@@ -1,0 +1,30 @@
+//! Baseline execution engines the Block-STM paper compares against (§4.1 and §5).
+//!
+//! * [`BohmExecutor`] — a reimplementation of the **Bohm** [Faleiro & Abadi, VLDB'15]
+//!   execution strategy as the paper uses it: the engine is *given perfect write-sets*
+//!   for every transaction, pre-builds a multi-version structure of placeholder
+//!   entries, and then executes transactions in parallel, blocking a read until the
+//!   placeholder it depends on is filled. No aborts, no validations — but it needs
+//!   knowledge Block-STM does not assume.
+//! * [`LitmExecutor`] — a reimplementation of the **LiTM** [Xia et al., PMAM'19]
+//!   deterministic STM strategy as described in §5: execute all remaining transactions
+//!   from the committed state, commit a maximal independent set (greedy in index
+//!   order), repeat until the block is exhausted. Cheap under low conflict, wasteful
+//!   under contention.
+//!
+//! Both engines produce the same [`BlockOutput`] type as the Block-STM and sequential
+//! executors so the benchmark harness can treat all engines uniformly.
+//!
+//! Note on semantics: Bohm and the sequential/Block-STM engines commit the state of
+//! the *preset order*; LiTM, by design, commits a different (but deterministic)
+//! serialization — the integration tests therefore check LiTM for determinism and
+//! serializability rather than byte-equality with the sequential output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bohm;
+pub mod litm;
+
+pub use bohm::BohmExecutor;
+pub use litm::LitmExecutor;

@@ -1,0 +1,55 @@
+//! Criterion ablation bench: quantifies the dependency-recheck and task-return
+//! optimizations of the Block-STM scheduler on a contended Diem p2p workload.
+//!
+//! A wider report (including metrics such as re-execution ratios) is produced by
+//! `cargo run -p block-stm-bench --release --bin ablation`.
+
+use block_stm::{ExecutorOptions, ParallelExecutor};
+use block_stm_bench::default_gas_schedule;
+use block_stm_vm::Vm;
+use block_stm_workloads::P2pWorkload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let block_size = 300;
+    let accounts = 100; // contended: optimizations matter most here
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(8);
+    let vm = Vm::new(default_gas_schedule());
+    let workload = P2pWorkload::diem(accounts, block_size);
+    let (storage, block) = workload.generate();
+
+    let mut group = c.benchmark_group("ablation_diem_100acc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(block_size as u64));
+
+    let variants: Vec<(&str, ExecutorOptions)> = vec![
+        ("all-on", ExecutorOptions::with_concurrency(threads)),
+        (
+            "no-dependency-recheck",
+            ExecutorOptions::with_concurrency(threads).dependency_recheck(false),
+        ),
+        (
+            "no-task-return",
+            ExecutorOptions::with_concurrency(threads).task_return_optimization(false),
+        ),
+        (
+            "all-off",
+            ExecutorOptions::with_concurrency(threads)
+                .dependency_recheck(false)
+                .task_return_optimization(false),
+        ),
+    ];
+    for (name, options) in variants {
+        let executor = ParallelExecutor::new(vm, options);
+        group.bench_function(name, |b| b.iter(|| executor.execute_block(&block, &storage)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion spot-check of Figure 3: Block-STM vs LiTM vs Bohm vs sequential on Diem
+//! p2p transactions, sweeping threads at a fixed block size.
+//!
+//! The full parameter grid (block sizes 10^3/10^4, accounts 10^3/10^4, all thread
+//! counts) is produced by `cargo run -p block-stm-bench --release --bin fig3`.
+
+use block_stm_bench::{default_gas_schedule, execute_once, Engine};
+use block_stm_vm::p2p::P2pFlavor;
+use block_stm_workloads::P2pWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let block_size = 300;
+    let accounts = 1_000;
+    let gas = default_gas_schedule();
+    let workload = P2pWorkload::diem(accounts, block_size);
+    let (storage, block) = workload.generate();
+    let write_sets = P2pWorkload::perfect_write_sets(&block);
+
+    let mut group = c.benchmark_group("fig3_diem_threads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(block_size as u64));
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(8);
+    let thread_points: Vec<usize> = [2usize, 4, 8, 16, max_threads]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+
+    group.bench_function("Sequential", |b| {
+        b.iter(|| execute_once(Engine::Sequential, &block, &write_sets, &storage, gas))
+    });
+    for &threads in &thread_points {
+        group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, &t| {
+            b.iter(|| execute_once(Engine::BlockStm { threads: t }, &block, &write_sets, &storage, gas))
+        });
+        group.bench_with_input(BenchmarkId::new("Bohm", threads), &threads, |b, &t| {
+            b.iter(|| execute_once(Engine::Bohm { threads: t }, &block, &write_sets, &storage, gas))
+        });
+        group.bench_with_input(BenchmarkId::new("LiTM", threads), &threads, |b, &t| {
+            b.iter(|| execute_once(Engine::Litm { threads: t }, &block, &write_sets, &storage, gas))
+        });
+    }
+    group.finish();
+
+    // Sanity check for the P2pFlavor used by this figure.
+    assert_eq!(workload.flavor, P2pFlavor::Diem);
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

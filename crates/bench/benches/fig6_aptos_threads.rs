@@ -1,0 +1,45 @@
+//! Criterion spot-check of Figure 6: Block-STM vs sequential execution on Aptos p2p
+//! transactions, sweeping threads at a fixed block size.
+//!
+//! The full grid is produced by `cargo run -p block-stm-bench --release --bin fig6`.
+
+use block_stm_bench::{default_gas_schedule, execute_once, Engine};
+use block_stm_workloads::P2pWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let block_size = 300;
+    let accounts = 1_000;
+    let gas = default_gas_schedule();
+    let workload = P2pWorkload::aptos(accounts, block_size);
+    let (storage, block) = workload.generate();
+    let write_sets = P2pWorkload::perfect_write_sets(&block);
+
+    let mut group = c.benchmark_group("fig6_aptos_threads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(block_size as u64));
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(8);
+    let thread_points: Vec<usize> = [2usize, 4, 8, 16, max_threads]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+
+    group.bench_function("Sequential", |b| {
+        b.iter(|| execute_once(Engine::Sequential, &block, &write_sets, &storage, gas))
+    });
+    for &threads in &thread_points {
+        group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, &t| {
+            b.iter(|| execute_once(Engine::BlockStm { threads: t }, &block, &write_sets, &storage, gas))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

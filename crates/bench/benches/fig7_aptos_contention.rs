@@ -1,0 +1,47 @@
+//! Criterion spot-check of Figure 7: Block-STM vs sequential execution on highly
+//! contended Aptos p2p workloads (2, 10 and 100 accounts).
+//!
+//! The full grid is produced by `cargo run -p block-stm-bench --release --bin fig7`.
+
+use block_stm_bench::{default_gas_schedule, execute_once, Engine};
+use block_stm_workloads::P2pWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let block_size = 300;
+    let gas = default_gas_schedule();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(8);
+
+    let mut group = c.benchmark_group("fig7_aptos_contention");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(block_size as u64));
+
+    for accounts in [2u64, 10, 100] {
+        let workload = P2pWorkload::aptos(accounts, block_size);
+        let (storage, block) = workload.generate();
+        let write_sets = P2pWorkload::perfect_write_sets(&block);
+        group.bench_with_input(
+            BenchmarkId::new("Sequential", accounts),
+            &accounts,
+            |b, _| b.iter(|| execute_once(Engine::Sequential, &block, &write_sets, &storage, gas)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("BSTM-{threads}t"), accounts),
+            &accounts,
+            |b, _| {
+                b.iter(|| {
+                    execute_once(Engine::BlockStm { threads }, &block, &write_sets, &storage, gas)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion spot-check of Figure 8: Block-STM throughput as the block size grows
+//! (Aptos p2p).
+//!
+//! The full grid (up to 5*10^4 transactions) is produced by
+//! `cargo run -p block-stm-bench --release --bin fig8`.
+
+use block_stm_bench::{default_gas_schedule, execute_once, Engine};
+use block_stm_workloads::P2pWorkload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let gas = default_gas_schedule();
+    let accounts = 1_000;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(8);
+
+    let mut group = c.benchmark_group("fig8_aptos_blocksize");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+
+    for block_size in [300usize, 1_000, 3_000] {
+        let workload = P2pWorkload::aptos(accounts, block_size);
+        let (storage, block) = workload.generate();
+        let write_sets = P2pWorkload::perfect_write_sets(&block);
+        group.throughput(Throughput::Elements(block_size as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("BSTM-{threads}t"), block_size),
+            &block_size,
+            |b, _| {
+                b.iter(|| {
+                    execute_once(Engine::BlockStm { threads }, &block, &write_sets, &storage, gas)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

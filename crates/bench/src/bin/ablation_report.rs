@@ -1,0 +1,82 @@
+//! Ablation study over the Block-STM design choices discussed in the paper
+//! (§2, §4 and §6) that are switchable in this implementation:
+//!
+//! * the ESTIMATE-based dependency re-check before re-executing an aborted
+//!   transaction (§4's mitigation for restart-from-scratch VMs),
+//! * handing follow-up tasks directly back to the caller instead of routing them
+//!   through the shared counters (cases 1(b)/2(c) of the scheduler).
+//!
+//! Each variant runs the contended Diem p2p workload (100 accounts) and the
+//! low-contention one (10^4 accounts); output shows throughput plus re-execution and
+//! validation ratios, which is where the optimizations show up.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin ablation`.
+
+use block_stm::{ExecutorOptions, ParallelExecutor};
+use block_stm_bench::{default_gas_schedule, quick_mode};
+use block_stm_vm::p2p::P2pFlavor;
+use block_stm_vm::Vm;
+use block_stm_workloads::P2pWorkload;
+use std::time::Instant;
+
+fn main() {
+    let quick = quick_mode();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(8);
+    let block_size = if quick { 500 } else { 10_000 };
+    let samples = if quick { 1 } else { 3 };
+    let vm = Vm::new(default_gas_schedule());
+
+    let variants: Vec<(&str, ExecutorOptions)> = vec![
+        ("baseline(all-on)", ExecutorOptions::with_concurrency(threads)),
+        (
+            "no-dependency-recheck",
+            ExecutorOptions::with_concurrency(threads).dependency_recheck(false),
+        ),
+        (
+            "no-task-return",
+            ExecutorOptions::with_concurrency(threads).task_return_optimization(false),
+        ),
+        (
+            "all-off",
+            ExecutorOptions::with_concurrency(threads)
+                .dependency_recheck(false)
+                .task_return_optimization(false),
+        ),
+    ];
+
+    println!("# Ablation: Block-STM optimizations, Diem p2p, {threads} threads, block {block_size}");
+    println!("variant\taccounts\ttps\tre_exec_ratio\tvalidation_ratio\tdependency_aborts");
+    for accounts in [100u64, 10_000] {
+        let workload = P2pWorkload {
+            flavor: P2pFlavor::Diem,
+            num_accounts: accounts,
+            block_size,
+            seed: 0xAB1A + accounts,
+            initial_balance: 1_000_000_000,
+            max_transfer: 100,
+        };
+        let (storage, block) = workload.generate();
+        for (name, options) in &variants {
+            let executor = ParallelExecutor::new(vm, options.clone());
+            // Warm up once, then average.
+            let _ = executor.execute_block(&block, &storage);
+            let mut total = std::time::Duration::ZERO;
+            let mut metrics = block_stm::MetricsSnapshot::default();
+            for _ in 0..samples {
+                let start = Instant::now();
+                let output = executor.execute_block(&block, &storage);
+                total += start.elapsed();
+                metrics = output.metrics;
+            }
+            let tps = block_size as f64 / (total / samples as u32).as_secs_f64();
+            println!(
+                "{name}\t{accounts}\t{tps:.0}\t{:.3}\t{:.3}\t{}",
+                metrics.re_execution_ratio(),
+                metrics.validation_ratio(),
+                metrics.dependency_aborts
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 3: Block-STM vs LiTM vs Bohm (perfect write-sets) vs sequential execution,
+//! Diem p2p transactions, block sizes 10^3 and 10^4, account universes 10^3 and 10^4,
+//! sweeping the number of threads.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin fig3`.
+//! Set `BLOCK_STM_BENCH_QUICK=1` for a fast smoke-test grid.
+
+use block_stm_bench::{available_thread_counts, quick_mode, Engine, P2pGrid};
+use block_stm_vm::p2p::P2pFlavor;
+
+fn main() {
+    let quick = quick_mode();
+    let grid = P2pGrid {
+        flavor: P2pFlavor::Diem,
+        accounts: if quick { vec![1_000] } else { vec![1_000, 10_000] },
+        block_sizes: if quick { vec![300] } else { vec![1_000, 10_000] },
+        threads: if quick {
+            vec![2, 4]
+        } else {
+            available_thread_counts()
+        },
+        engines: vec![
+            |threads| Engine::BlockStm { threads },
+            |threads| Engine::Litm { threads },
+            |threads| Engine::Bohm { threads },
+            |_| Engine::Sequential,
+        ],
+        samples: if quick { 1 } else { 3 },
+    };
+    grid.run("Figure 3: Diem p2p — BSTM vs LiTM vs Bohm vs Sequential (thread sweep)");
+}

@@ -1,0 +1,31 @@
+//! Figure 5: Block-STM throughput for increasing block sizes (10^3 .. 5*10^4) on Diem
+//! p2p transactions with 16 and 32 threads, account universes 10^3 and 10^4.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin fig5`.
+
+use block_stm_bench::{quick_mode, Engine, P2pGrid};
+use block_stm_vm::p2p::P2pFlavor;
+
+fn main() {
+    let quick = quick_mode();
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(8);
+    let grid = P2pGrid {
+        flavor: P2pFlavor::Diem,
+        accounts: if quick { vec![1_000] } else { vec![1_000, 10_000] },
+        block_sizes: if quick {
+            vec![500, 1_000]
+        } else {
+            vec![1_000, 5_000, 10_000, 20_000, 50_000]
+        },
+        threads: if quick {
+            vec![4]
+        } else {
+            vec![16.min(max_threads), max_threads]
+        },
+        engines: vec![|threads| Engine::BlockStm { threads }],
+        samples: if quick { 1 } else { 3 },
+    };
+    grid.run("Figure 5: Diem p2p — BSTM throughput vs block size (16 and max threads)");
+}

@@ -1,0 +1,24 @@
+//! Figure 6: Block-STM vs sequential execution, Aptos p2p transactions, block sizes
+//! 10^3 and 10^4, account universes 10^3 and 10^4, sweeping threads.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin fig6`.
+
+use block_stm_bench::{available_thread_counts, quick_mode, Engine, P2pGrid};
+use block_stm_vm::p2p::P2pFlavor;
+
+fn main() {
+    let quick = quick_mode();
+    let grid = P2pGrid {
+        flavor: P2pFlavor::Aptos,
+        accounts: if quick { vec![1_000] } else { vec![1_000, 10_000] },
+        block_sizes: if quick { vec![300] } else { vec![1_000, 10_000] },
+        threads: if quick {
+            vec![2, 4]
+        } else {
+            available_thread_counts()
+        },
+        engines: vec![|threads| Engine::BlockStm { threads }, |_| Engine::Sequential],
+        samples: if quick { 1 } else { 3 },
+    };
+    grid.run("Figure 6: Aptos p2p — BSTM vs Sequential (thread sweep)");
+}

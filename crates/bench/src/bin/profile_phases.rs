@@ -1,0 +1,161 @@
+//! Diagnostic micro-profiler: breaks one block execution into its constituent phases
+//! (VM execution, multi-version memory reads/records, validation, scheduling) and
+//! times each in isolation on a single thread. Useful when tuning the engine or the
+//! synthetic gas model.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin profile_phases`.
+
+use block_stm::{ExecutorOptions, MVHashMapView, ParallelExecutor, SequentialExecutor};
+use block_stm_bench::default_gas_schedule;
+use block_stm_metrics::ExecutionMetrics;
+use block_stm_mvmemory::MVMemory;
+use block_stm_vm::{Version, Vm, VmStatus};
+use block_stm_workloads::P2pWorkload;
+use std::time::Instant;
+
+fn main() {
+    let workload = P2pWorkload::diem(1_000, 10_000);
+    let (storage, block) = workload.generate();
+    let vm = Vm::new(default_gas_schedule());
+    let n = block.len();
+
+    // Phase 0: sequential baseline.
+    let start = Instant::now();
+    let _seq = SequentialExecutor::new(vm).execute_block(&block, &storage);
+    let seq_elapsed = start.elapsed();
+    println!(
+        "sequential executor          : {:>8.1} ms ({:.1} us/txn)",
+        seq_elapsed.as_secs_f64() * 1e3,
+        seq_elapsed.as_secs_f64() * 1e6 / n as f64
+    );
+
+    // Phase 1: VM execution + read capture + record into MVMemory, single thread, no
+    // scheduler and no validation.
+    let metrics = ExecutionMetrics::new();
+    let mvmemory: MVMemory<_, _> = MVMemory::new(n);
+    let start = Instant::now();
+    for (idx, txn) in block.iter().enumerate() {
+        let view = MVHashMapView::new(&mvmemory, &storage, idx, &metrics);
+        match vm.execute(txn, &view) {
+            VmStatus::Done(output) => {
+                let read_set = view.take_read_set();
+                let write_set: Vec<_> = output
+                    .writes
+                    .iter()
+                    .map(|w| (w.key, w.value.clone()))
+                    .collect();
+                mvmemory.record(Version::new(idx, 0), read_set, write_set);
+            }
+            VmStatus::ReadError { .. } => unreachable!(),
+        }
+    }
+    let exec_elapsed = start.elapsed();
+    println!(
+        "execute+capture+record       : {:>8.1} ms ({:.1} us/txn)",
+        exec_elapsed.as_secs_f64() * 1e3,
+        exec_elapsed.as_secs_f64() * 1e6 / n as f64
+    );
+
+    // Phase 2: validation of every recorded read-set.
+    let start = Instant::now();
+    let mut valid = 0usize;
+    for idx in 0..n {
+        if mvmemory.validate_read_set(idx) {
+            valid += 1;
+        }
+    }
+    let validate_elapsed = start.elapsed();
+    println!(
+        "validate_read_set x{n}       : {:>8.1} ms ({:.1} us/txn), {valid} valid",
+        validate_elapsed.as_secs_f64() * 1e3,
+        validate_elapsed.as_secs_f64() * 1e6 / n as f64
+    );
+
+    // Phase 3: snapshot.
+    let start = Instant::now();
+    let snapshot = mvmemory.snapshot();
+    println!(
+        "snapshot ({} locations)    : {:>8.1} ms",
+        snapshot.len(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Phase 3.5: scheduler-driven single-thread run, executed (a) inline on this
+    // thread and (b) inside a spawned scope thread, to separate scheduler cost from
+    // threading cost.
+    for spawned in [false, true] {
+        use block_stm_scheduler::{Scheduler, TaskKind};
+        let metrics = ExecutionMetrics::new();
+        let mvmemory: MVMemory<_, _> = MVMemory::new(n);
+        let scheduler = Scheduler::new(n);
+        let start = Instant::now();
+        let body = || {
+        let mut task = None;
+        while !scheduler.done() {
+            task = match task {
+                Some(t) => {
+                    let (version, kind): (Version, TaskKind) = t;
+                    match kind {
+                        TaskKind::Execution => {
+                            let view = MVHashMapView::new(&mvmemory, &storage, version.txn_idx, &metrics);
+                            match vm.execute(&block[version.txn_idx], &view) {
+                                VmStatus::Done(output) => {
+                                    let read_set = view.take_read_set();
+                                    let write_set: Vec<_> = output
+                                        .writes
+                                        .iter()
+                                        .map(|w| (w.key, w.value.clone()))
+                                        .collect();
+                                    let wrote = mvmemory.record(version, read_set, write_set);
+                                    scheduler
+                                        .finish_execution(version.txn_idx, version.incarnation, wrote)
+                                        .map(|t| (t.version, t.kind))
+                                }
+                                VmStatus::ReadError { .. } => unreachable!(),
+                            }
+                        }
+                        TaskKind::Validation => {
+                            let valid = mvmemory.validate_read_set(version.txn_idx);
+                            let aborted = !valid
+                                && scheduler.try_validation_abort(version.txn_idx, version.incarnation);
+                            if aborted {
+                                mvmemory.convert_writes_to_estimates(version.txn_idx);
+                            }
+                            scheduler
+                                .finish_validation(version.txn_idx, aborted)
+                                .map(|t| (t.version, t.kind))
+                        }
+                    }
+                }
+                None => scheduler.next_task().map(|t| (t.version, t.kind)),
+            };
+        }
+        };
+        if spawned {
+            std::thread::scope(|scope| {
+                scope.spawn(body);
+            });
+        } else {
+            body();
+        }
+        println!(
+            "scheduler 1 thread (spawned={spawned}): {:>8.1} ms ({:.1} us/txn)",
+            start.elapsed().as_secs_f64() * 1e3,
+            start.elapsed().as_secs_f64() * 1e6 / n as f64
+        );
+    }
+
+    // Phase 4: the full parallel executor at 1 and 8 threads for comparison.
+    for threads in [1usize, 8] {
+        let executor = ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads));
+        let start = Instant::now();
+        let output = executor.execute_block(&block, &storage);
+        let elapsed = start.elapsed();
+        println!(
+            "parallel executor {threads:>2} thread(s): {:>8.1} ms ({:.1} us/txn), {:.2} validations/txn",
+            elapsed.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e6 / n as f64,
+            output.metrics.validation_ratio()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Headline-claims summary: reproduces the speedup numbers quoted in the paper's
+//! abstract and §4.1 conclusion on this machine.
+//!
+//! * Block-STM vs sequential at low contention (10^4 accounts): paper reports up to
+//!   ~20x (Diem) / ~17x (Aptos) with 32 threads.
+//! * Block-STM vs sequential at high contention (100 accounts): paper reports up to 8x.
+//! * Overhead on a completely sequential workload (2 accounts): paper reports ≤ 30%.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin summary`.
+
+use block_stm_bench::{measure_engine, quick_mode, Engine};
+use block_stm_vm::p2p::P2pFlavor;
+use block_stm_workloads::P2pWorkload;
+
+fn main() {
+    let quick = quick_mode();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(32))
+        .unwrap_or(8);
+    let block_size = if quick { 500 } else { 10_000 };
+    let samples = if quick { 1 } else { 3 };
+
+    println!("# Headline claims (this machine: {threads} threads, block size {block_size})");
+    println!("flavor\tscenario\taccounts\tsequential_tps\tbstm_tps\tspeedup");
+
+    for flavor in [P2pFlavor::Diem, P2pFlavor::Aptos] {
+        let flavor_name = match flavor {
+            P2pFlavor::Diem => "diem-p2p",
+            P2pFlavor::Aptos => "aptos-p2p",
+        };
+        for (scenario, accounts) in [
+            ("low-contention", 10_000u64),
+            ("high-contention", 100),
+            ("sequential-workload", 2),
+        ] {
+            let workload = P2pWorkload {
+                flavor,
+                num_accounts: accounts,
+                block_size,
+                seed: 0x5C_A1E + accounts,
+                initial_balance: 1_000_000_000,
+                max_transfer: 100,
+            };
+            let seq = measure_engine(Engine::Sequential, &workload, samples);
+            let bstm = measure_engine(Engine::BlockStm { threads }, &workload, samples);
+            let speedup = bstm.throughput_tps / seq.throughput_tps;
+            println!(
+                "{flavor_name}\t{scenario}\t{accounts}\t{:.0}\t{:.0}\t{:.2}x",
+                seq.throughput_tps, bstm.throughput_tps, speedup
+            );
+        }
+    }
+    println!("# Paper reference: ~20x/17x at low contention, ~8x at 100 accounts, >=0.77x (<=30% overhead) at 2 accounts.");
+}

@@ -1,0 +1,256 @@
+//! Shared measurement plumbing for the `fig*` binaries and the Criterion benches.
+
+use block_stm::{ExecutorOptions, ParallelExecutor, SequentialExecutor};
+use block_stm_baselines::{BohmExecutor, LitmExecutor};
+use block_stm_metrics::MetricsSnapshot;
+use block_stm_storage::{AccessPath, InMemoryStorage, StateValue};
+use block_stm_vm::p2p::PeerToPeerTransaction;
+use block_stm_vm::{GasSchedule, Vm};
+use block_stm_workloads::P2pWorkload;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Which execution engine to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The Block-STM parallel executor with the given worker-thread count.
+    BlockStm {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// The Bohm baseline (perfect write-sets) with the given worker-thread count.
+    Bohm {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// The LiTM deterministic-STM baseline with the given worker-thread count.
+    Litm {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// The sequential baseline.
+    Sequential,
+}
+
+impl Engine {
+    /// Short label used in output rows ("BSTM", "Bohm", "LiTM", "Sequential").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::BlockStm { .. } => "BSTM",
+            Engine::Bohm { .. } => "Bohm",
+            Engine::Litm { .. } => "LiTM",
+            Engine::Sequential => "Sequential",
+        }
+    }
+
+    /// The thread count used by the engine (1 for sequential).
+    pub fn threads(&self) -> usize {
+        match self {
+            Engine::BlockStm { threads }
+            | Engine::Bohm { threads }
+            | Engine::Litm { threads } => *threads,
+            Engine::Sequential => 1,
+        }
+    }
+}
+
+/// One measured data point: a (engine, workload) pair with averaged throughput.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Engine label ("BSTM", "Bohm", "LiTM", "Sequential").
+    pub engine: String,
+    /// Transaction flavour ("diem-p2p" / "aptos-p2p").
+    pub flavor: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Account-universe size of the workload.
+    pub accounts: u64,
+    /// Block size of the workload.
+    pub block_size: usize,
+    /// Average throughput in transactions per second over all samples.
+    pub throughput_tps: f64,
+    /// Average wall-clock time per block execution, in milliseconds.
+    pub avg_block_ms: f64,
+    /// Number of samples averaged.
+    pub samples: usize,
+    /// Metrics of the last sample (abort rates etc.).
+    pub metrics: MetricsSnapshot,
+}
+
+impl Measurement {
+    /// Header matching [`Measurement::tsv_row`].
+    pub fn tsv_header() -> String {
+        "engine\tflavor\tthreads\taccounts\tblock_size\ttps\tavg_block_ms\tre_exec_ratio\tvalidation_ratio".to_string()
+    }
+
+    /// Tab-separated row for terminal output.
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.2}\t{:.3}\t{:.3}",
+            self.engine,
+            self.flavor,
+            self.threads,
+            self.accounts,
+            self.block_size,
+            self.throughput_tps,
+            self.avg_block_ms,
+            self.metrics.re_execution_ratio(),
+            self.metrics.validation_ratio(),
+        )
+    }
+}
+
+/// Returns `true` when the harness should shrink the parameter grid (set the
+/// `BLOCK_STM_BENCH_QUICK` environment variable to any value). Used by CI and smoke
+/// runs; the full grids reproduce the paper's figures.
+pub fn quick_mode() -> bool {
+    std::env::var_os("BLOCK_STM_BENCH_QUICK").is_some()
+}
+
+/// The gas schedule used by all benchmark workloads: synthetic VM work calibrated so a
+/// Diem p2p transaction costs a few tens of microseconds sequentially (see
+/// EXPERIMENTS.md for the calibration notes).
+pub fn default_gas_schedule() -> GasSchedule {
+    GasSchedule::benchmark()
+}
+
+/// The thread counts to sweep: the paper uses {4, 8, 16, 24, 32} on a 32-core machine;
+/// we clip to the parallelism actually available on this host and always include 1.
+pub fn available_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(32);
+    let mut counts: Vec<usize> = [1usize, 2, 4, 8, 16, 24, 32]
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect();
+    if counts.last().copied() != Some(max) {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Executes `engine` once over the prepared workload and returns the elapsed time and
+/// engine metrics.
+pub fn execute_once(
+    engine: Engine,
+    block: &[PeerToPeerTransaction],
+    write_sets: &[Vec<AccessPath>],
+    storage: &InMemoryStorage<AccessPath, StateValue>,
+    gas: GasSchedule,
+) -> (Duration, MetricsSnapshot) {
+    let vm = Vm::new(gas);
+    let start = Instant::now();
+    let metrics = match engine {
+        Engine::BlockStm { threads } => {
+            let executor =
+                ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads));
+            executor.execute_block(block, storage).metrics
+        }
+        Engine::Bohm { threads } => {
+            let executor = BohmExecutor::new(vm, threads);
+            executor.execute_block(block, write_sets, storage).metrics
+        }
+        Engine::Litm { threads } => {
+            let executor = LitmExecutor::new(vm, threads);
+            executor.execute_block(block, storage).metrics
+        }
+        Engine::Sequential => {
+            let executor = SequentialExecutor::new(vm);
+            executor.execute_block(block, storage).metrics
+        }
+    };
+    (start.elapsed(), metrics)
+}
+
+/// Measures `engine` on `workload`, averaging over `samples` runs (the paper averages
+/// 10 measurements per data point).
+pub fn measure_engine(engine: Engine, workload: &P2pWorkload, samples: usize) -> Measurement {
+    let gas = default_gas_schedule();
+    let (storage, block) = workload.generate();
+    let write_sets = P2pWorkload::perfect_write_sets(&block);
+    // One untimed warm-up run to populate allocator pools and caches.
+    let _ = execute_once(engine, &block, &write_sets, &storage, gas);
+    let mut total = Duration::ZERO;
+    let mut last_metrics = MetricsSnapshot::default();
+    for _ in 0..samples.max(1) {
+        let (elapsed, metrics) = execute_once(engine, &block, &write_sets, &storage, gas);
+        total += elapsed;
+        last_metrics = metrics;
+    }
+    let samples = samples.max(1);
+    let avg = total / samples as u32;
+    let throughput_tps = workload.block_size as f64 / avg.as_secs_f64();
+    Measurement {
+        engine: engine.label().to_string(),
+        flavor: match workload.flavor {
+            block_stm_vm::p2p::P2pFlavor::Diem => "diem-p2p".to_string(),
+            block_stm_vm::p2p::P2pFlavor::Aptos => "aptos-p2p".to_string(),
+        },
+        threads: engine.threads(),
+        accounts: workload.num_accounts,
+        block_size: workload.block_size,
+        throughput_tps,
+        avg_block_ms: avg.as_secs_f64() * 1_000.0,
+        samples,
+        metrics: last_metrics,
+    }
+}
+
+/// A parameter grid over a p2p workload family, shared by the `fig*` binaries.
+#[derive(Debug, Clone)]
+pub struct P2pGrid {
+    /// Diem or Aptos flavour.
+    pub flavor: block_stm_vm::p2p::P2pFlavor,
+    /// Account-universe sizes to sweep.
+    pub accounts: Vec<u64>,
+    /// Block sizes to sweep.
+    pub block_sizes: Vec<usize>,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Engines to measure.
+    pub engines: Vec<fn(usize) -> Engine>,
+    /// Samples per point.
+    pub samples: usize,
+}
+
+impl P2pGrid {
+    /// Runs the grid, printing a TSV row (and a JSON line to stderr-style comment) per
+    /// point, and returns all measurements.
+    pub fn run(&self, title: &str) -> Vec<Measurement> {
+        println!("# {title}");
+        println!("{}", Measurement::tsv_header());
+        let mut results = Vec::new();
+        for &block_size in &self.block_sizes {
+            for &accounts in &self.accounts {
+                for &threads in &self.threads {
+                    for make_engine in &self.engines {
+                        let engine = make_engine(threads);
+                        // The sequential baseline does not depend on the thread count:
+                        // measure it once per (block, accounts) at threads == first.
+                        if engine == Engine::Sequential && threads != self.threads[0] {
+                            continue;
+                        }
+                        let workload = P2pWorkload {
+                            flavor: self.flavor,
+                            num_accounts: accounts,
+                            block_size,
+                            seed: 0xB10C + accounts + block_size as u64,
+                            initial_balance: 1_000_000_000,
+                            max_transfer: 100,
+                        };
+                        let measurement = measure_engine(engine, &workload, self.samples);
+                        println!("{}", measurement.tsv_row());
+                        results.push(measurement);
+                    }
+                }
+            }
+        }
+        println!(
+            "# json: {}",
+            serde_json::to_string(&results).expect("measurements serialize")
+        );
+        results
+    }
+}

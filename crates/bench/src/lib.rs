@@ -1,0 +1,25 @@
+//! Benchmark harness for the Block-STM reproduction.
+//!
+//! Every figure of the paper's evaluation (§4.1, Figures 3–8) has two regeneration
+//! paths built on this crate:
+//!
+//! * a **`fig*` binary** (`cargo run -p block-stm-bench --release --bin fig3`, ...)
+//!   that sweeps the figure's full parameter grid and prints the same series the
+//!   figure plots as tab-separated rows (plus a JSON line per row for downstream
+//!   plotting), and
+//! * a **Criterion bench** (`cargo bench -p block-stm-bench --bench fig3_diem_threads`)
+//!   that measures a small representative subset with statistical rigor.
+//!
+//! The harness measures end-to-end block execution: generating the workload and the
+//! genesis state is excluded, reading from storage and producing the final state
+//! (`MVMemory.snapshot`) is included, persisting is not — matching the paper's
+//! measurement methodology.
+
+#![forbid(unsafe_code)]
+
+pub mod harness;
+
+pub use harness::{
+    available_thread_counts, default_gas_schedule, execute_once, measure_engine, quick_mode,
+    Engine, Measurement, P2pGrid,
+};

@@ -1,0 +1,114 @@
+//! Executor configuration.
+
+/// Tuning knobs of the [`ParallelExecutor`](crate::ParallelExecutor).
+///
+/// The defaults reproduce the configuration evaluated in the paper; the individual
+/// switches exist so the ablation benchmarks can quantify each optimization
+/// (see DESIGN.md, "Ablations").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutorOptions {
+    /// Number of worker threads. `0` (the default) means "use all available
+    /// parallelism", capped at 32 to mirror the paper's setup.
+    pub concurrency: usize,
+    /// Before re-executing a transaction whose previous incarnation was aborted, scan
+    /// its previous read-set for unresolved ESTIMATE markers and register a dependency
+    /// instead of paying for a doomed re-execution (the §4 mitigation for VMs that
+    /// restart from scratch). Default: `true`.
+    pub dependency_recheck: bool,
+    /// Allow `finish_execution` / `finish_validation` to hand the follow-up task
+    /// directly back to the calling thread instead of routing it through the shared
+    /// counters (the paper's cases 1(b)/2(c) optimization). Default: `true`.
+    pub task_return_optimization: bool,
+    /// Shard count of the multi-version memory's concurrent hash map. `None` uses the
+    /// default (256).
+    pub mvmemory_shards: Option<usize>,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        Self {
+            concurrency: 0,
+            dependency_recheck: true,
+            task_return_optimization: true,
+            mvmemory_shards: None,
+        }
+    }
+}
+
+impl ExecutorOptions {
+    /// Options with an explicit worker-thread count and default optimizations.
+    pub fn with_concurrency(concurrency: usize) -> Self {
+        Self {
+            concurrency,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: toggles the dependency re-check optimization.
+    pub fn dependency_recheck(mut self, enabled: bool) -> Self {
+        self.dependency_recheck = enabled;
+        self
+    }
+
+    /// Builder: toggles the task-return optimization.
+    pub fn task_return_optimization(mut self, enabled: bool) -> Self {
+        self.task_return_optimization = enabled;
+        self
+    }
+
+    /// Builder: sets the multi-version memory shard count.
+    pub fn mvmemory_shards(mut self, shards: usize) -> Self {
+        self.mvmemory_shards = Some(shards);
+        self
+    }
+
+    /// The number of worker threads to actually spawn: the configured concurrency, or
+    /// the machine's available parallelism when unset, never less than 1 and never
+    /// more than 32 (the paper's maximum).
+    pub fn effective_concurrency(&self) -> usize {
+        let requested = if self.concurrency == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.concurrency
+        };
+        requested.clamp(1, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_both_optimizations() {
+        let options = ExecutorOptions::default();
+        assert!(options.dependency_recheck);
+        assert!(options.task_return_optimization);
+        assert_eq!(options.concurrency, 0);
+        assert!(options.mvmemory_shards.is_none());
+    }
+
+    #[test]
+    fn effective_concurrency_clamps() {
+        assert_eq!(ExecutorOptions::with_concurrency(4).effective_concurrency(), 4);
+        assert_eq!(ExecutorOptions::with_concurrency(1).effective_concurrency(), 1);
+        assert_eq!(
+            ExecutorOptions::with_concurrency(1_000).effective_concurrency(),
+            32
+        );
+        assert!(ExecutorOptions::default().effective_concurrency() >= 1);
+    }
+
+    #[test]
+    fn builders_toggle_flags() {
+        let options = ExecutorOptions::default()
+            .dependency_recheck(false)
+            .task_return_optimization(false)
+            .mvmemory_shards(64);
+        assert!(!options.dependency_recheck);
+        assert!(!options.task_return_optimization);
+        assert_eq!(options.mvmemory_shards, Some(64));
+    }
+}

@@ -1,0 +1,85 @@
+//! # Block-STM
+//!
+//! A from-scratch Rust reproduction of **Block-STM** (*"Block-STM: Scaling Blockchain
+//! Execution by Turning Ordering Curse to a Performance Blessing"*, PPoPP 2023):
+//! a parallel, in-memory execution engine for blocks of transactions whose outcome is
+//! guaranteed to equal a sequential execution in the block's *preset order*.
+//!
+//! ## How it works
+//!
+//! Transactions are executed speculatively and optimistically by a pool of worker
+//! threads. Reads go through a shared **multi-version memory** (one entry per writing
+//! transaction per location), so a speculative execution of `tx_j` observes the writes
+//! of the highest transaction below `j` that has executed so far. After executing, an
+//! incarnation is **validated** by re-reading its read-set; a mismatch aborts it, marks
+//! its writes as `ESTIMATE` dependencies and schedules a re-execution. A low-overhead
+//! **collaborative scheduler** dispenses execution and validation tasks in index order
+//! from a pair of atomic counters, and lazily detects when the whole block has
+//! committed.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use block_stm::{ParallelExecutor, SequentialExecutor, ExecutorOptions};
+//! use block_stm_storage::InMemoryStorage;
+//! use block_stm_vm::synthetic::SyntheticTransaction;
+//! use block_stm_vm::Vm;
+//!
+//! // Pre-block state: two counters.
+//! let mut storage = InMemoryStorage::new();
+//! storage.insert(0u64, 100u64);
+//! storage.insert(1u64, 200u64);
+//!
+//! // A block of read-modify-write transactions with a preset order.
+//! let block: Vec<SyntheticTransaction> = (0..64)
+//!     .map(|i| SyntheticTransaction::transfer(i % 2, (i + 1) % 2, i))
+//!     .collect();
+//!
+//! // Execute in parallel ...
+//! let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
+//! let parallel_output = parallel.execute_block(&block, &storage);
+//!
+//! // ... and sequentially; the committed state must be identical.
+//! let sequential = SequentialExecutor::new(Vm::for_testing());
+//! let sequential_output = sequential.execute_block(&block, &storage);
+//! assert_eq!(parallel_output.updates, sequential_output.updates);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`ParallelExecutor`] — the Block-STM engine (Algorithm 1 wiring of the scheduler,
+//!   multi-version memory and VM).
+//! * [`SequentialExecutor`] — the baseline the paper compares against and the
+//!   correctness oracle for every other engine.
+//! * [`BlockOutput`] — committed state updates, per-transaction outputs and execution
+//!   metrics.
+//! * [`ExecutorOptions`] — thread count and the optional optimizations evaluated in the
+//!   ablation benchmarks.
+//!
+//! The building blocks live in sibling crates: `block-stm-mvmemory` (Algorithm 2),
+//! `block-stm-scheduler` (Algorithms 4–5), `block-stm-vm` (transaction model and
+//! simulated VM), `block-stm-storage` (pre-block state) and `block-stm-sync`
+//! (concurrency primitives).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod output;
+mod parallel;
+mod sequential;
+mod view;
+
+pub use config::ExecutorOptions;
+pub use output::BlockOutput;
+pub use parallel::ParallelExecutor;
+pub use sequential::SequentialExecutor;
+pub use view::MVHashMapView;
+
+// Re-export the pieces users need to define and run transactions without adding the
+// sibling crates as direct dependencies.
+pub use block_stm_metrics::MetricsSnapshot;
+pub use block_stm_vm::{
+    AbortCode, ExecutionFailure, GasSchedule, Incarnation, ReadOutcome, StateReader, Transaction,
+    TransactionContext, TransactionOutput, TxnIndex, Version, Vm, WriteOp,
+};

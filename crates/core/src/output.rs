@@ -1,0 +1,136 @@
+//! Block execution outputs.
+
+use block_stm_metrics::MetricsSnapshot;
+use block_stm_vm::TransactionOutput;
+use std::collections::BTreeMap;
+
+/// The result of executing one block with any of the engines in this workspace.
+///
+/// `updates` is the committed state delta — for every location written by the block,
+/// the value written by the highest transaction (what `MVMemory.snapshot()` returns in
+/// the paper). It is sorted by key so outputs of different engines can be compared with
+/// `==`, which is the primary correctness oracle of the test suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockOutput<K, V> {
+    /// Committed state updates, sorted by key.
+    pub updates: Vec<(K, V)>,
+    /// Per-transaction outputs (the last incarnation's output for each transaction),
+    /// in preset order.
+    pub outputs: Vec<TransactionOutput<K, V>>,
+    /// Execution metrics recorded by the engine.
+    pub metrics: MetricsSnapshot,
+}
+
+impl<K, V> BlockOutput<K, V>
+where
+    K: Ord + Clone,
+    V: Clone,
+{
+    /// Builds an output, sorting the updates by key.
+    pub fn new(
+        mut updates: Vec<(K, V)>,
+        outputs: Vec<TransactionOutput<K, V>>,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        updates.sort_by(|a, b| a.0.cmp(&b.0));
+        Self {
+            updates,
+            outputs,
+            metrics,
+        }
+    }
+
+    /// Number of transactions in the block.
+    pub fn num_txns(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The committed updates as an ordered map.
+    pub fn state_map(&self) -> BTreeMap<K, V> {
+        self.updates.iter().cloned().collect()
+    }
+
+    /// Looks up the committed value written to `key` by this block, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.updates
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|idx| &self.updates[idx].1)
+    }
+
+    /// Total gas charged across all transactions.
+    pub fn total_gas(&self) -> u64 {
+        self.outputs.iter().map(|output| output.gas_used).sum()
+    }
+
+    /// Number of transactions that aborted deterministically (empty write-set commit).
+    pub fn aborted_txns(&self) -> usize {
+        self.outputs.iter().filter(|output| output.is_aborted()).count()
+    }
+
+    /// Returns `true` if both outputs commit exactly the same state delta.
+    /// (Per-transaction gas/metrics may legitimately differ between engines.)
+    pub fn state_equals(&self, other: &Self) -> bool
+    where
+        V: PartialEq,
+    {
+        self.updates == other.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm_vm::WriteOp;
+
+    fn output_with(updates: Vec<(u64, u64)>) -> BlockOutput<u64, u64> {
+        BlockOutput::new(updates, vec![], MetricsSnapshot::default())
+    }
+
+    #[test]
+    fn updates_are_sorted_on_construction() {
+        let output = output_with(vec![(3, 30), (1, 10), (2, 20)]);
+        assert_eq!(output.updates, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn get_uses_binary_search() {
+        let output = output_with(vec![(5, 50), (1, 10), (9, 90)]);
+        assert_eq!(output.get(&5), Some(&50));
+        assert_eq!(output.get(&2), None);
+    }
+
+    #[test]
+    fn state_map_and_equality() {
+        let a = output_with(vec![(2, 20), (1, 10)]);
+        let b = output_with(vec![(1, 10), (2, 20)]);
+        assert!(a.state_equals(&b));
+        assert_eq!(a.state_map().len(), 2);
+        let c = output_with(vec![(1, 11), (2, 20)]);
+        assert!(!a.state_equals(&c));
+    }
+
+    #[test]
+    fn totals_and_abort_counts() {
+        let outputs = vec![
+            TransactionOutput {
+                writes: vec![WriteOp::new(1u64, 1u64)],
+                gas_used: 10,
+                abort_code: None,
+                reads_performed: 1,
+                work_sink: 0,
+            },
+            TransactionOutput {
+                writes: vec![],
+                gas_used: 5,
+                abort_code: Some(block_stm_vm::AbortCode::User(1)),
+                reads_performed: 0,
+                work_sink: 0,
+            },
+        ];
+        let output = BlockOutput::new(vec![(1, 1)], outputs, MetricsSnapshot::default());
+        assert_eq!(output.num_txns(), 2);
+        assert_eq!(output.total_gas(), 15);
+        assert_eq!(output.aborted_txns(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! The sequential baseline executor.
+//!
+//! Executes the block's transactions one after another, in preset order, against the
+//! pre-block storage plus the accumulated in-block writes. This is
+//!
+//! * the **baseline** every figure of the paper compares against, and
+//! * the **correctness oracle**: by definition of the problem (§2), every other engine
+//!   must commit exactly this executor's final state.
+
+use crate::output::BlockOutput;
+use block_stm_metrics::ExecutionMetrics;
+use block_stm_storage::Storage;
+use block_stm_vm::{ReadOutcome, StateReader, Transaction, Vm, VmStatus};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A state view over "pre-block storage + writes of lower transactions", used by the
+/// sequential executor (and by the LiTM baseline between rounds).
+pub(crate) struct SequentialView<'a, K, V, S> {
+    storage: &'a S,
+    /// Writes committed by transactions lower in the block.
+    committed: &'a HashMap<K, V>,
+}
+
+impl<'a, K, V, S> SequentialView<'a, K, V, S> {
+    pub(crate) fn new(storage: &'a S, committed: &'a HashMap<K, V>) -> Self {
+        Self { storage, committed }
+    }
+}
+
+impl<K, V, S> StateReader<K, V> for SequentialView<'_, K, V, S>
+where
+    K: Eq + Hash + Clone + Debug,
+    V: Clone + Debug,
+    S: Storage<K, V>,
+{
+    fn read(&self, key: &K) -> ReadOutcome<V> {
+        if let Some(value) = self.committed.get(key) {
+            return ReadOutcome::Value(value.clone());
+        }
+        match self.storage.get(key) {
+            Some(value) => ReadOutcome::Value(value),
+            None => ReadOutcome::NotFound,
+        }
+    }
+}
+
+/// Executes blocks sequentially in the preset order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor {
+    vm: Vm,
+}
+
+impl SequentialExecutor {
+    /// Creates a sequential executor using the given VM.
+    pub fn new(vm: Vm) -> Self {
+        Self { vm }
+    }
+
+    /// Executes `block` against `storage` and returns the committed output.
+    pub fn execute_block<T, S>(&self, block: &[T], storage: &S) -> BlockOutput<T::Key, T::Value>
+    where
+        T: Transaction,
+        S: Storage<T::Key, T::Value>,
+    {
+        let metrics = ExecutionMetrics::new();
+        metrics.record_block(block.len());
+        let mut committed: HashMap<T::Key, T::Value> = HashMap::new();
+        let mut outputs = Vec::with_capacity(block.len());
+
+        for txn in block {
+            metrics.record_incarnation();
+            let view = SequentialView::new(storage, &committed);
+            let output = match self.vm.execute(txn, &view) {
+                VmStatus::Done(output) => output,
+                VmStatus::ReadError { blocking_txn_idx } => unreachable!(
+                    "sequential execution can never observe an ESTIMATE (blocking txn {blocking_txn_idx})"
+                ),
+            };
+            for write in &output.writes {
+                committed.insert(write.key.clone(), write.value.clone());
+            }
+            outputs.push(output);
+        }
+
+        BlockOutput::new(committed.into_iter().collect(), outputs, metrics.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm_storage::InMemoryStorage;
+    use block_stm_vm::synthetic::SyntheticTransaction;
+
+    fn storage_with(pairs: &[(u64, u64)]) -> InMemoryStorage<u64, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn executes_in_preset_order() {
+        let storage = storage_with(&[(1, 0)]);
+        let block = vec![
+            SyntheticTransaction::increment(1),
+            SyntheticTransaction::increment(1),
+            SyntheticTransaction::increment(1),
+        ];
+        let executor = SequentialExecutor::new(Vm::for_testing());
+        let output = executor.execute_block(&block, &storage);
+        assert_eq!(output.num_txns(), 3);
+        assert_eq!(output.updates.len(), 1);
+        // Re-running must give the identical result (determinism).
+        let again = executor.execute_block(&block, &storage);
+        assert!(output.state_equals(&again));
+    }
+
+    #[test]
+    fn later_transactions_see_earlier_writes() {
+        let storage = storage_with(&[]);
+        let block = vec![
+            SyntheticTransaction::put(7, 1),
+            // Reads key 7 (written by txn 0) and writes key 8.
+            SyntheticTransaction {
+                reads: vec![7],
+                writes: vec![8],
+                conditional_writes: vec![],
+                salt: 0,
+                extra_gas: 0,
+                abort_when_divisible_by: None,
+            },
+        ];
+        let executor = SequentialExecutor::new(Vm::for_testing());
+        let output = executor.execute_block(&block, &storage);
+        let map = output.state_map();
+        assert!(map.contains_key(&7));
+        assert!(map.contains_key(&8));
+
+        // Changing txn 0's write value must change txn 1's output too.
+        let block2 = vec![
+            SyntheticTransaction::put(7, 2),
+            block[1].clone(),
+        ];
+        let output2 = executor.execute_block(&block2, &storage);
+        assert_ne!(output.state_map()[&8], output2.state_map()[&8]);
+    }
+
+    #[test]
+    fn empty_block_produces_empty_output() {
+        let storage = storage_with(&[(1, 1)]);
+        let executor = SequentialExecutor::new(Vm::for_testing());
+        let output = executor.execute_block::<SyntheticTransaction, _>(&[], &storage);
+        assert_eq!(output.num_txns(), 0);
+        assert!(output.updates.is_empty());
+        assert_eq!(output.metrics.incarnations, 0);
+    }
+
+    #[test]
+    fn metrics_count_one_incarnation_per_txn() {
+        let storage = storage_with(&[]);
+        let block: Vec<_> = (0..10).map(|i| SyntheticTransaction::put(i, i)).collect();
+        let executor = SequentialExecutor::new(Vm::for_testing());
+        let output = executor.execute_block(&block, &storage);
+        assert_eq!(output.metrics.incarnations, 10);
+        assert_eq!(output.metrics.total_txns, 10);
+        assert_eq!(output.metrics.validations, 0);
+    }
+}

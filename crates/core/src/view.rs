@@ -1,0 +1,159 @@
+//! The parallel executor's state view: multi-version memory first, storage second,
+//! with read-set capture (Algorithm 3's read interception).
+
+use block_stm_metrics::ExecutionMetrics;
+use block_stm_mvmemory::{MVMemory, MVReadOutput, ReadDescriptor};
+use block_stm_storage::Storage;
+use block_stm_vm::{ReadOutcome, StateReader, TxnIndex};
+use std::cell::RefCell;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The view handed to the VM while executing one incarnation of transaction `txn_idx`
+/// inside the parallel executor.
+///
+/// A read is served by the multi-version memory (the highest write of a *lower*
+/// transaction), falling back to pre-block storage when no such write exists, and is
+/// recorded in the incarnation's read-set together with the observed version (or the
+/// "storage" ⊥ descriptor). If the multi-version memory reports an ESTIMATE, the read
+/// outcome is a dependency and nothing is recorded — the incarnation will abort.
+pub struct MVHashMapView<'a, K, V, S> {
+    mvmemory: &'a MVMemory<K, V>,
+    storage: &'a S,
+    txn_idx: TxnIndex,
+    metrics: &'a ExecutionMetrics,
+    captured_reads: RefCell<Vec<ReadDescriptor<K>>>,
+}
+
+impl<'a, K, V, S> MVHashMapView<'a, K, V, S>
+where
+    K: Eq + Hash + Clone + Debug,
+    V: Clone + Debug,
+    S: Storage<K, V>,
+{
+    /// Creates a view for one incarnation of `txn_idx`.
+    pub fn new(
+        mvmemory: &'a MVMemory<K, V>,
+        storage: &'a S,
+        txn_idx: TxnIndex,
+        metrics: &'a ExecutionMetrics,
+    ) -> Self {
+        Self {
+            mvmemory,
+            storage,
+            txn_idx,
+            metrics,
+            captured_reads: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The transaction index this view serves.
+    pub fn txn_idx(&self) -> TxnIndex {
+        self.txn_idx
+    }
+
+    /// Consumes the view, returning the captured read-set (passed to
+    /// `MVMemory::record`).
+    pub fn take_read_set(self) -> Vec<ReadDescriptor<K>> {
+        self.captured_reads.into_inner()
+    }
+
+    /// Number of reads captured so far (diagnostics).
+    pub fn reads_captured(&self) -> usize {
+        self.captured_reads.borrow().len()
+    }
+
+    /// The block-wide metrics recorder this view reports to. Per-read events are not
+    /// recorded (they would contend on shared counters in the hottest path); the
+    /// recorder is exposed so custom transaction runners can record task-level events.
+    pub fn metrics(&self) -> &ExecutionMetrics {
+        self.metrics
+    }
+}
+
+impl<K, V, S> StateReader<K, V> for MVHashMapView<'_, K, V, S>
+where
+    K: Eq + Hash + Clone + Debug,
+    V: Clone + Debug,
+    S: Storage<K, V>,
+{
+    fn read(&self, key: &K) -> ReadOutcome<V> {
+        // Note: per-read metric counters are deliberately NOT recorded here — a shared
+        // atomic increment per read would put two highly contended cache lines on the
+        // hottest path of every worker thread. Read counts are aggregated per task
+        // from the transaction outputs instead.
+        match self.mvmemory.read(key, self.txn_idx) {
+            MVReadOutput::Versioned(version, value) => {
+                self.captured_reads
+                    .borrow_mut()
+                    .push(ReadDescriptor::from_version(key.clone(), version));
+                ReadOutcome::Value((*value).clone())
+            }
+            MVReadOutput::NotFound => {
+                self.captured_reads
+                    .borrow_mut()
+                    .push(ReadDescriptor::from_storage(key.clone()));
+                match self.storage.get(key) {
+                    Some(value) => ReadOutcome::Value(value),
+                    None => ReadOutcome::NotFound,
+                }
+            }
+            MVReadOutput::Dependency(blocking_txn_idx) => {
+                // The incarnation is about to abort; its partial read-set is discarded
+                // along with it, so there is nothing to record.
+                ReadOutcome::Dependency(blocking_txn_idx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm_mvmemory::ReadOrigin;
+    use block_stm_storage::InMemoryStorage;
+    use block_stm_vm::Version;
+
+    fn fixture() -> (MVMemory<u64, u64>, InMemoryStorage<u64, u64>, ExecutionMetrics) {
+        let mvmemory = MVMemory::new(8);
+        let mut storage = InMemoryStorage::new();
+        storage.insert(1, 100);
+        storage.insert(2, 200);
+        (mvmemory, storage, ExecutionMetrics::new())
+    }
+
+    #[test]
+    fn reads_prefer_multiversion_over_storage() {
+        let (mvmemory, storage, metrics) = fixture();
+        mvmemory.record(Version::new(1, 0), vec![], vec![(1, 111)]);
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics);
+        assert_eq!(view.read(&1), ReadOutcome::Value(111));
+        assert_eq!(view.read(&2), ReadOutcome::Value(200));
+        assert_eq!(view.read(&9), ReadOutcome::NotFound);
+        let reads = view.take_read_set();
+        assert_eq!(reads.len(), 3);
+        assert_eq!(reads[0].origin, ReadOrigin::MultiVersion(Version::new(1, 0)));
+        assert_eq!(reads[1].origin, ReadOrigin::Storage);
+        assert_eq!(reads[2].origin, ReadOrigin::Storage);
+    }
+
+    #[test]
+    fn own_index_writes_are_invisible() {
+        let (mvmemory, storage, metrics) = fixture();
+        mvmemory.record(Version::new(3, 0), vec![], vec![(1, 333)]);
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics);
+        // txn 3 must not see its own (or higher) multi-version entries: value comes
+        // from storage.
+        assert_eq!(view.read(&1), ReadOutcome::Value(100));
+    }
+
+    #[test]
+    fn estimates_surface_as_dependencies_and_are_not_recorded() {
+        let (mvmemory, storage, metrics) = fixture();
+        mvmemory.record(Version::new(1, 0), vec![], vec![(1, 111)]);
+        mvmemory.convert_writes_to_estimates(1);
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics);
+        assert_eq!(view.read(&1), ReadOutcome::Dependency(1));
+        assert_eq!(view.reads_captured(), 0);
+    }
+}

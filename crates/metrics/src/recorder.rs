@@ -1,0 +1,175 @@
+//! The live, thread-shared metrics recorder.
+
+use crate::snapshot::MetricsSnapshot;
+use block_stm_sync::PaddedAtomicU64;
+
+/// Thread-safe execution metrics shared by all worker threads of one block execution.
+///
+/// All recording methods take `&self` and are wait-free (a single relaxed
+/// `fetch_add`); the recorder can therefore be shared freely behind an `Arc` or a
+/// plain reference inside `std::thread::scope`.
+#[derive(Debug, Default)]
+pub struct ExecutionMetrics {
+    /// Number of transactions in the executed block.
+    total_txns: PaddedAtomicU64,
+    /// Total incarnations executed (including the first execution of each transaction).
+    incarnations: PaddedAtomicU64,
+    /// Total validation tasks performed.
+    validations: PaddedAtomicU64,
+    /// Validations that failed and led to a successful abort.
+    validation_failures: PaddedAtomicU64,
+    /// Executions aborted early because they read an `ESTIMATE` marker.
+    dependency_aborts: PaddedAtomicU64,
+    /// Executions that re-tried immediately because `add_dependency` lost its race
+    /// (the blocking transaction finished before the dependency could be registered).
+    dependency_races: PaddedAtomicU64,
+    /// Engine-specific round counter (LiTM commit rounds; unused by Block-STM).
+    rounds: PaddedAtomicU64,
+    /// Number of reads served from the multi-version map rather than storage.
+    mv_reads: PaddedAtomicU64,
+    /// Number of reads served from pre-block storage.
+    storage_reads: PaddedAtomicU64,
+    /// Blocked-read spin iterations (Bohm baseline only).
+    blocked_read_spins: PaddedAtomicU64,
+    /// `Scheduler.next_task()` calls that returned no task (worker had to poll again).
+    scheduler_polls: PaddedAtomicU64,
+}
+
+impl ExecutionMetrics {
+    /// Creates a zeroed recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the size of the block being executed.
+    pub fn record_block(&self, num_txns: usize) {
+        self.total_txns.add(num_txns as u64);
+    }
+
+    /// Records that one incarnation was executed (successfully or not).
+    pub fn record_incarnation(&self) {
+        self.incarnations.increment();
+    }
+
+    /// Records a validation task and its outcome (`passed == false` means the
+    /// validation failed and the incarnation was aborted by this thread).
+    pub fn record_validation(&self, passed: bool) {
+        self.validations.increment();
+        if !passed {
+            self.validation_failures.increment();
+        }
+    }
+
+    /// Records an execution aborted early due to a dependency (ESTIMATE read).
+    pub fn record_dependency_abort(&self) {
+        self.dependency_aborts.increment();
+    }
+
+    /// Records an `add_dependency` race that resulted in an immediate re-execution.
+    pub fn record_dependency_race(&self) {
+        self.dependency_races.increment();
+    }
+
+    /// Records `n` engine rounds (used by the LiTM baseline).
+    pub fn record_rounds(&self, n: u64) {
+        self.rounds.add(n);
+    }
+
+    /// Records a read served by the multi-version data structure.
+    pub fn record_mv_read(&self) {
+        self.mv_reads.increment();
+    }
+
+    /// Records a read served from pre-block storage.
+    pub fn record_storage_read(&self) {
+        self.storage_reads.increment();
+    }
+
+    /// Records `n` spin iterations on a blocked read (Bohm baseline).
+    pub fn record_blocked_read_spins(&self, n: u64) {
+        self.blocked_read_spins.add(n);
+    }
+
+    /// Records an empty-handed `next_task` poll by a worker thread.
+    pub fn record_scheduler_poll(&self) {
+        self.scheduler_polls.increment();
+    }
+
+    /// Freezes the counters into a plain snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            total_txns: self.total_txns.load(),
+            incarnations: self.incarnations.load(),
+            validations: self.validations.load(),
+            validation_failures: self.validation_failures.load(),
+            dependency_aborts: self.dependency_aborts.load(),
+            dependency_races: self.dependency_races.load(),
+            rounds: self.rounds.load(),
+            mv_reads: self.mv_reads.load(),
+            storage_reads: self.storage_reads.load(),
+            blocked_read_spins: self.blocked_read_spins.load(),
+            scheduler_polls: self.scheduler_polls.load(),
+        }
+    }
+
+    /// Resets every counter to zero so the recorder can be reused for another block.
+    pub fn reset(&self) {
+        self.total_txns.reset();
+        self.incarnations.reset();
+        self.validations.reset();
+        self.validation_failures.reset();
+        self.dependency_aborts.reset();
+        self.dependency_races.reset();
+        self.rounds.reset();
+        self.mv_reads.reset();
+        self.storage_reads.reset();
+        self.blocked_read_spins.reset();
+        self.scheduler_polls.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn reset_zeroes_every_counter() {
+        let metrics = ExecutionMetrics::new();
+        metrics.record_block(10);
+        metrics.record_incarnation();
+        metrics.record_validation(false);
+        metrics.record_dependency_abort();
+        metrics.record_dependency_race();
+        metrics.record_rounds(2);
+        metrics.record_mv_read();
+        metrics.record_storage_read();
+        metrics.record_blocked_read_spins(7);
+        metrics.reset();
+        let snap = metrics.snapshot();
+        assert_eq!(snap, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let metrics = Arc::new(ExecutionMetrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        metrics.record_incarnation();
+                        metrics.record_validation(i % 10 == 0);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.incarnations, 80_000);
+        assert_eq!(snap.validations, 80_000);
+        assert_eq!(snap.validation_failures, 8 * 9_000);
+    }
+}

@@ -1,0 +1,134 @@
+//! Frozen, serializable metrics snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// A frozen copy of [`ExecutionMetrics`](crate::ExecutionMetrics) counters.
+///
+/// Snapshots are plain data: they can be compared, serialized (the `fig*` harnesses
+/// emit them as JSON alongside throughput rows) and aggregated.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Number of transactions in the block.
+    pub total_txns: u64,
+    /// Total incarnations executed.
+    pub incarnations: u64,
+    /// Total validation tasks performed.
+    pub validations: u64,
+    /// Validations that failed and aborted an incarnation.
+    pub validation_failures: u64,
+    /// Executions aborted early on an `ESTIMATE` read.
+    pub dependency_aborts: u64,
+    /// `add_dependency` races resolved by immediate re-execution.
+    pub dependency_races: u64,
+    /// Engine-specific rounds (LiTM).
+    pub rounds: u64,
+    /// Reads served from the multi-version map.
+    pub mv_reads: u64,
+    /// Reads served from pre-block storage.
+    pub storage_reads: u64,
+    /// Spin iterations on blocked reads (Bohm).
+    pub blocked_read_spins: u64,
+    /// Empty-handed `next_task` polls by worker threads (Block-STM).
+    pub scheduler_polls: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of incarnations that were aborted by a failed validation.
+    /// Returns 0.0 when no incarnations were recorded.
+    pub fn abort_rate(&self) -> f64 {
+        if self.incarnations == 0 {
+            0.0
+        } else {
+            self.validation_failures as f64 / self.incarnations as f64
+        }
+    }
+
+    /// Average number of incarnations per transaction (1.0 is the optimum: every
+    /// transaction executed exactly once).
+    pub fn re_execution_ratio(&self) -> f64 {
+        if self.total_txns == 0 {
+            0.0
+        } else {
+            self.incarnations as f64 / self.total_txns as f64
+        }
+    }
+
+    /// Average number of validations per transaction.
+    pub fn validation_ratio(&self) -> f64 {
+        if self.total_txns == 0 {
+            0.0
+        } else {
+            self.validations as f64 / self.total_txns as f64
+        }
+    }
+
+    /// Element-wise sum of two snapshots (useful when aggregating repeated runs).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            total_txns: self.total_txns + other.total_txns,
+            incarnations: self.incarnations + other.incarnations,
+            validations: self.validations + other.validations,
+            validation_failures: self.validation_failures + other.validation_failures,
+            dependency_aborts: self.dependency_aborts + other.dependency_aborts,
+            dependency_races: self.dependency_races + other.dependency_races,
+            rounds: self.rounds + other.rounds,
+            mv_reads: self.mv_reads + other.mv_reads,
+            storage_reads: self.storage_reads + other.storage_reads,
+            blocked_read_spins: self.blocked_read_spins + other.blocked_read_spins,
+            scheduler_polls: self.scheduler_polls + other.scheduler_polls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            total_txns: 100,
+            incarnations: 120,
+            validations: 150,
+            validation_failures: 20,
+            dependency_aborts: 5,
+            dependency_races: 1,
+            rounds: 0,
+            mv_reads: 400,
+            storage_reads: 1000,
+            blocked_read_spins: 0,
+            scheduler_polls: 3,
+        }
+    }
+
+    #[test]
+    fn ratios_computed_correctly() {
+        let snap = sample();
+        assert!((snap.abort_rate() - 20.0 / 120.0).abs() < 1e-12);
+        assert!((snap.re_execution_ratio() - 1.2).abs() < 1e-12);
+        assert!((snap.validation_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.abort_rate(), 0.0);
+        assert_eq!(snap.re_execution_ratio(), 0.0);
+        assert_eq!(snap.validation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let merged = sample().merge(&sample());
+        assert_eq!(merged.total_txns, 200);
+        assert_eq!(merged.incarnations, 240);
+        assert_eq!(merged.storage_reads, 2000);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

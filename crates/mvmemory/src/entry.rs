@@ -1,0 +1,68 @@
+//! Per-(location, transaction) entries of the multi-version map.
+
+use block_stm_vm::Incarnation;
+use std::sync::Arc;
+
+/// What the multi-version map stores for a given `(location, txn_idx)` pair:
+/// either a concrete value written by a specific incarnation, or an `ESTIMATE` marker
+/// left behind by an aborted incarnation (the next incarnation is *estimated* to write
+/// this location again).
+#[derive(Debug, Clone)]
+pub enum EntryCell<V> {
+    /// A value written by the given incarnation of the transaction. The value is kept
+    /// behind an `Arc` so that converting a whole write-set to estimates (and cloning
+    /// values out on reads) never deep-copies payloads.
+    Write(Incarnation, Arc<V>),
+    /// The aborted incarnation's write, now serving as a dependency estimate.
+    Estimate,
+}
+
+impl<V> EntryCell<V> {
+    /// Creates a written-value entry.
+    pub fn write(incarnation: Incarnation, value: V) -> Self {
+        EntryCell::Write(incarnation, Arc::new(value))
+    }
+
+    /// Returns `true` if this entry is an ESTIMATE marker.
+    pub fn is_estimate(&self) -> bool {
+        matches!(self, EntryCell::Estimate)
+    }
+
+    /// Returns the incarnation number and value if this is a written value.
+    pub fn as_write(&self) -> Option<(Incarnation, &Arc<V>)> {
+        match self {
+            EntryCell::Write(incarnation, value) => Some((*incarnation, value)),
+            EntryCell::Estimate => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_entry_exposes_incarnation_and_value() {
+        let entry = EntryCell::write(3, 42u64);
+        assert!(!entry.is_estimate());
+        let (incarnation, value) = entry.as_write().unwrap();
+        assert_eq!(incarnation, 3);
+        assert_eq!(**value, 42);
+    }
+
+    #[test]
+    fn estimate_entry_has_no_value() {
+        let entry: EntryCell<u64> = EntryCell::Estimate;
+        assert!(entry.is_estimate());
+        assert!(entry.as_write().is_none());
+    }
+
+    #[test]
+    fn clone_shares_the_value_allocation() {
+        let entry = EntryCell::write(0, vec![1u8; 128]);
+        let cloned = entry.clone();
+        let (_, a) = entry.as_write().unwrap();
+        let (_, b) = cloned.as_write().unwrap();
+        assert!(Arc::ptr_eq(a, b));
+    }
+}

@@ -1,0 +1,36 @@
+//! The multi-version memory of Block-STM (Algorithm 2 of the paper).
+//!
+//! `MVMemory` is the shared, in-memory, multi-version data structure through which
+//! speculative transaction executions communicate. For every memory location it stores
+//! *one entry per transaction that wrote it*, tagged with the writer's version
+//! (transaction index + incarnation number) — hence "multi-version". A read by
+//! transaction `tx_j` returns the value written by the *highest transaction below `j`*
+//! in the preset serialization order, or falls through to pre-block storage when no
+//! such write exists.
+//!
+//! Aborted incarnations leave `ESTIMATE` markers on the locations they wrote: the next
+//! incarnation is estimated to write them again, so a lower-priority speculation that
+//! would read them registers a dependency instead of proceeding with a stale value.
+//!
+//! The module exposes exactly the operations of Algorithm 2:
+//!
+//! | Paper                              | Here                                             |
+//! |------------------------------------|--------------------------------------------------|
+//! | `record(version, rs, ws)`          | [`MVMemory::record`]                             |
+//! | `convert_writes_to_estimates(i)`   | [`MVMemory::convert_writes_to_estimates`]        |
+//! | `read(location, i)`                | [`MVMemory::read`]                               |
+//! | `validate_read_set(i)`             | [`MVMemory::validate_read_set`]                  |
+//! | `snapshot()`                       | [`MVMemory::snapshot`]                           |
+//!
+//! plus read-set descriptor types shared with the executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod mvmemory;
+mod read_set;
+
+pub use entry::EntryCell;
+pub use mvmemory::{MVMemory, MVReadOutput};
+pub use read_set::{ReadDescriptor, ReadOrigin};

@@ -1,0 +1,487 @@
+//! The `MVMemory` data structure (Algorithm 2).
+
+use crate::entry::EntryCell;
+use crate::read_set::{ReadDescriptor, ReadOrigin};
+use block_stm_sync::{RcuCell, ShardedMap};
+use block_stm_vm::{TxnIndex, Version};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Result of a speculative [`MVMemory::read`] on behalf of transaction `txn_idx`
+/// (mirrors the `OK` / `NOT_FOUND` / `READ_ERROR` statuses of the paper).
+#[derive(Debug, Clone)]
+pub enum MVReadOutput<V> {
+    /// The highest write below `txn_idx`: its full version and the written value.
+    Versioned(Version, Arc<V>),
+    /// No transaction below `txn_idx` wrote this location; the caller should fall back
+    /// to pre-block storage.
+    NotFound,
+    /// The highest write below `txn_idx` is an ESTIMATE marker left by an aborted
+    /// incarnation of the given transaction: the caller has a dependency on it.
+    Dependency(TxnIndex),
+}
+
+impl<V> MVReadOutput<V> {
+    /// Returns the versioned value, if any.
+    pub fn as_versioned(&self) -> Option<(Version, &Arc<V>)> {
+        match self {
+            MVReadOutput::Versioned(version, value) => Some((*version, value)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`MVReadOutput::Dependency`].
+    pub fn is_dependency(&self) -> bool {
+        matches!(self, MVReadOutput::Dependency(_))
+    }
+}
+
+/// The shared multi-version memory for one block execution.
+///
+/// `K` is the memory-location (access-path) type and `V` the stored value type. The
+/// structure is sized for a fixed block of `block_size` transactions and is shared by
+/// reference across all worker threads.
+#[derive(Debug)]
+pub struct MVMemory<K, V> {
+    /// `(location → (txn_idx → entry))`: a concurrent hash map over access paths whose
+    /// per-location values are ordered search trees keyed by transaction index, exactly
+    /// as described in §4 of the paper.
+    data: ShardedMap<K, BTreeMap<TxnIndex, EntryCell<V>>>,
+    /// Per transaction: the set of locations written by its last finished incarnation.
+    last_written_locations: Vec<RcuCell<Vec<K>>>,
+    /// Per transaction: the read-set recorded by its last finished incarnation.
+    last_read_set: Vec<RcuCell<Vec<ReadDescriptor<K>>>>,
+    block_size: usize,
+}
+
+impl<K, V> MVMemory<K, V>
+where
+    K: Eq + Hash + Clone + Debug,
+    V: Debug,
+{
+    /// Creates the multi-version memory for a block of `block_size` transactions.
+    pub fn new(block_size: usize) -> Self {
+        Self {
+            data: ShardedMap::default(),
+            last_written_locations: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
+            last_read_set: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
+            block_size,
+        }
+    }
+
+    /// Creates the memory with an explicit shard count (benchmark ablations).
+    pub fn with_shards(block_size: usize, shards: usize) -> Self {
+        Self {
+            data: ShardedMap::new(shards),
+            last_written_locations: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
+            last_read_set: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
+            block_size,
+        }
+    }
+
+    /// Number of transactions in the block this memory serves.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Applies the write-set of a finished incarnation to the data map
+    /// (`apply_write_set`, Lines 27–29).
+    fn apply_write_set(
+        &self,
+        txn_idx: TxnIndex,
+        incarnation: usize,
+        write_set: &[(K, V)],
+    ) where
+        V: Clone,
+    {
+        for (location, value) in write_set {
+            self.data.mutate(location.clone(), |tree| {
+                tree.insert(txn_idx, EntryCell::write(incarnation, value.clone()));
+            });
+        }
+    }
+
+    /// Updates `last_written_locations[txn_idx]`, removes entries the new incarnation
+    /// no longer writes, and reports whether a location was written for the first time
+    /// (`rcu_update_written_locations`, Lines 30–35).
+    fn rcu_update_written_locations(&self, txn_idx: TxnIndex, new_locations: Vec<K>) -> bool {
+        let prev_locations = self.last_written_locations[txn_idx].load();
+        // Remove entries for locations written by the previous incarnation but not by
+        // this one (Line 33). Dropping the whole per-location tree when it becomes
+        // empty keeps snapshot iteration proportional to live locations.
+        for unwritten in prev_locations
+            .iter()
+            .filter(|loc| !new_locations.contains(loc))
+        {
+            self.data.mutate_and_maybe_remove(unwritten, |tree| {
+                tree.remove(&txn_idx);
+                tree.is_empty()
+            });
+        }
+        let wrote_new_location = new_locations
+            .iter()
+            .any(|loc| !prev_locations.contains(loc));
+        self.last_written_locations[txn_idx].store(new_locations);
+        wrote_new_location
+    }
+
+    /// Records the results of an execution (`record`, Lines 36–42).
+    ///
+    /// Applies the write-set to the data map, updates the written-locations and
+    /// read-set snapshots, and returns `true` iff the incarnation wrote to at least one
+    /// location its previous incarnation did not write (the `wrote_new_location`
+    /// indicator consumed by `Scheduler.finish_execution`).
+    pub fn record(
+        &self,
+        version: Version,
+        read_set: Vec<ReadDescriptor<K>>,
+        write_set: Vec<(K, V)>,
+    ) -> bool
+    where
+        V: Clone,
+    {
+        let Version {
+            txn_idx,
+            incarnation,
+        } = version;
+        debug_assert!(txn_idx < self.block_size);
+        self.apply_write_set(txn_idx, incarnation, &write_set);
+        let new_locations: Vec<K> = write_set.into_iter().map(|(location, _)| location).collect();
+        let wrote_new_location = self.rcu_update_written_locations(txn_idx, new_locations);
+        self.last_read_set[txn_idx].store(read_set);
+        wrote_new_location
+    }
+
+    /// Replaces every entry written by `txn_idx`'s last finished incarnation with an
+    /// ESTIMATE marker (`convert_writes_to_estimates`, Lines 43–46). Called by the
+    /// thread that successfully aborted the incarnation, *before* the transaction is
+    /// re-scheduled for execution.
+    pub fn convert_writes_to_estimates(&self, txn_idx: TxnIndex) {
+        let prev_locations = self.last_written_locations[txn_idx].load();
+        for location in prev_locations.iter() {
+            let present = self.data.mutate_if_present(location, |tree| {
+                if let Some(entry) = tree.get_mut(&txn_idx) {
+                    *entry = EntryCell::Estimate;
+                }
+            });
+            debug_assert!(
+                present.is_some(),
+                "entry for a previously written location must exist"
+            );
+        }
+    }
+
+    /// Speculative read of `location` on behalf of transaction `txn_idx`
+    /// (`read`, Lines 47–54): returns the entry written by the highest transaction with
+    /// index strictly below `txn_idx`, a dependency if that entry is an ESTIMATE, or
+    /// `NotFound` if no lower transaction wrote the location.
+    pub fn read(&self, location: &K, txn_idx: TxnIndex) -> MVReadOutput<V> {
+        self.data.read_with(location, |tree| match tree {
+            None => MVReadOutput::NotFound,
+            Some(tree) => match tree.range(..txn_idx).next_back() {
+                None => MVReadOutput::NotFound,
+                Some((&idx, entry)) => match entry {
+                    EntryCell::Estimate => MVReadOutput::Dependency(idx),
+                    EntryCell::Write(incarnation, value) => MVReadOutput::Versioned(
+                        Version::new(idx, *incarnation),
+                        Arc::clone(value),
+                    ),
+                },
+            },
+        })
+    }
+
+    /// Validates the read-set recorded by `txn_idx`'s last finished incarnation
+    /// (`validate_read_set`, Lines 62–72): re-reads every location and compares the
+    /// observed origin (version or storage) against the recorded descriptor.
+    pub fn validate_read_set(&self, txn_idx: TxnIndex) -> bool {
+        let prior_reads = self.last_read_set[txn_idx].load();
+        prior_reads.iter().all(|descriptor| {
+            match self.read(&descriptor.key, txn_idx) {
+                // Previously read entry is now an ESTIMATE: fail (Line 67).
+                MVReadOutput::Dependency(_) => false,
+                // Entry disappeared: only valid if the prior read also came from
+                // storage (Line 68–69).
+                MVReadOutput::NotFound => descriptor.origin == ReadOrigin::Storage,
+                // Entry present: must match the exact version observed before
+                // (Line 70–71; a prior storage read also fails here).
+                MVReadOutput::Versioned(version, _) => {
+                    descriptor.origin == ReadOrigin::MultiVersion(version)
+                }
+            }
+        })
+    }
+
+    /// Returns the read-set recorded by the last finished incarnation of `txn_idx`.
+    /// Used by the executor's "check known dependencies before re-executing"
+    /// optimization (§4) and by tests.
+    pub fn last_read_set(&self, txn_idx: TxnIndex) -> Arc<Vec<ReadDescriptor<K>>> {
+        self.last_read_set[txn_idx].load()
+    }
+
+    /// Returns the locations written by the last finished incarnation of `txn_idx`.
+    pub fn last_written_locations(&self, txn_idx: TxnIndex) -> Arc<Vec<K>> {
+        self.last_written_locations[txn_idx].load()
+    }
+
+    /// Scans the prior read-set of `txn_idx` and returns the first location currently
+    /// marked as an ESTIMATE, if any, together with the blocking transaction index.
+    /// This is the §4 mitigation for VMs that must restart from scratch: before paying
+    /// for a full re-execution, cheaply check whether a known dependency is still
+    /// unresolved.
+    pub fn first_estimate_in_prior_reads(&self, txn_idx: TxnIndex) -> Option<(K, TxnIndex)> {
+        let prior_reads = self.last_read_set[txn_idx].load();
+        for descriptor in prior_reads.iter() {
+            if let MVReadOutput::Dependency(blocking) = self.read(&descriptor.key, txn_idx) {
+                return Some((descriptor.key.clone(), blocking));
+            }
+        }
+        None
+    }
+
+    /// Produces the final per-location values after all transactions committed
+    /// (`snapshot`, Lines 55–61): for every location touched during the block, the
+    /// value written by the highest transaction. Locations whose highest entry is an
+    /// ESTIMATE (impossible after commit) are skipped, matching the paper's
+    /// `status = OK` filter.
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let mut output = Vec::new();
+        for key in self.data.keys() {
+            if let MVReadOutput::Versioned(_, value) = self.read(&key, self.block_size) {
+                output.push((key, (*value).clone()));
+            }
+        }
+        output
+    }
+
+    /// Number of live `(location, txn_idx)` entries; exposed for tests and metrics.
+    pub fn entry_count(&self) -> usize {
+        let mut count = 0;
+        self.data.for_each(|_, tree| count += tree.len());
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Memory = MVMemory<u64, u64>;
+
+    fn descriptor_mv(key: u64, txn: TxnIndex, inc: usize) -> ReadDescriptor<u64> {
+        ReadDescriptor::from_version(key, Version::new(txn, inc))
+    }
+
+    #[test]
+    fn read_returns_not_found_when_empty() {
+        let memory = Memory::new(4);
+        assert!(matches!(memory.read(&1, 2), MVReadOutput::NotFound));
+    }
+
+    #[test]
+    fn read_returns_highest_lower_write() {
+        let memory = Memory::new(8);
+        memory.record(Version::new(1, 0), vec![], vec![(10, 100)]);
+        memory.record(Version::new(3, 0), vec![], vec![(10, 300)]);
+        memory.record(Version::new(6, 0), vec![], vec![(10, 600)]);
+
+        // tx5 must see tx3's write even though tx6 also wrote (paper's example).
+        match memory.read(&10, 5) {
+            MVReadOutput::Versioned(version, value) => {
+                assert_eq!(version, Version::new(3, 0));
+                assert_eq!(*value, 300);
+            }
+            other => panic!("unexpected read output {other:?}"),
+        }
+        // tx1 sees nothing (only writes by strictly lower transactions are visible).
+        assert!(matches!(memory.read(&10, 1), MVReadOutput::NotFound));
+        // tx2 sees tx1's write.
+        match memory.read(&10, 2) {
+            MVReadOutput::Versioned(version, value) => {
+                assert_eq!(version, Version::new(1, 0));
+                assert_eq!(*value, 100);
+            }
+            other => panic!("unexpected read output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_reports_new_locations_only_when_write_set_grows() {
+        let memory = Memory::new(4);
+        assert!(memory.record(Version::new(2, 0), vec![], vec![(1, 10), (2, 20)]));
+        // Same locations on re-execution: not a new location.
+        assert!(!memory.record(Version::new(2, 1), vec![], vec![(1, 11), (2, 21)]));
+        // Subset: still not a new location.
+        assert!(!memory.record(Version::new(2, 2), vec![], vec![(1, 12)]));
+        // A location outside the previous write-set: new.
+        assert!(memory.record(Version::new(2, 3), vec![], vec![(1, 13), (3, 30)]));
+    }
+
+    #[test]
+    fn record_removes_entries_no_longer_written() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(1, 0), vec![], vec![(1, 10), (2, 20)]);
+        assert_eq!(memory.entry_count(), 2);
+        memory.record(Version::new(1, 1), vec![], vec![(2, 21)]);
+        assert_eq!(memory.entry_count(), 1);
+        assert!(matches!(memory.read(&1, 3), MVReadOutput::NotFound));
+        match memory.read(&2, 3) {
+            MVReadOutput::Versioned(version, value) => {
+                assert_eq!(version, Version::new(1, 1));
+                assert_eq!(*value, 21);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimates_block_lower_priority_reads() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(1, 0), vec![], vec![(5, 50)]);
+        memory.convert_writes_to_estimates(1);
+        match memory.read(&5, 3) {
+            MVReadOutput::Dependency(blocking) => assert_eq!(blocking, 1),
+            other => panic!("expected dependency, got {other:?}"),
+        }
+        // The writer itself (and lower transactions) is unaffected.
+        assert!(matches!(memory.read(&5, 1), MVReadOutput::NotFound));
+    }
+
+    #[test]
+    fn next_incarnation_overwrites_estimates() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(1, 0), vec![], vec![(5, 50)]);
+        memory.convert_writes_to_estimates(1);
+        memory.record(Version::new(1, 1), vec![], vec![(5, 51)]);
+        match memory.read(&5, 2) {
+            MVReadOutput::Versioned(version, value) => {
+                assert_eq!(version, Version::new(1, 1));
+                assert_eq!(*value, 51);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn estimate_not_overwritten_is_removed_when_next_incarnation_skips_location() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(1, 0), vec![], vec![(5, 50), (6, 60)]);
+        memory.convert_writes_to_estimates(1);
+        // Next incarnation writes only location 5: the estimate at 6 must be removed.
+        memory.record(Version::new(1, 1), vec![], vec![(5, 51)]);
+        assert!(matches!(memory.read(&6, 3), MVReadOutput::NotFound));
+    }
+
+    #[test]
+    fn validate_read_set_passes_for_matching_versions() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 70)]);
+        let read_set = vec![descriptor_mv(7, 0, 0), ReadDescriptor::from_storage(8)];
+        memory.record(Version::new(2, 0), read_set, vec![(9, 90)]);
+        assert!(memory.validate_read_set(2));
+    }
+
+    #[test]
+    fn validate_read_set_fails_on_version_change() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 70)]);
+        memory.record(Version::new(2, 0), vec![descriptor_mv(7, 0, 0)], vec![]);
+        // Transaction 0 re-executes (incarnation 1) and writes a new version.
+        memory.record(Version::new(0, 1), vec![], vec![(7, 71)]);
+        assert!(!memory.validate_read_set(2));
+    }
+
+    #[test]
+    fn validate_read_set_fails_on_new_intervening_write() {
+        let memory = Memory::new(4);
+        // Transaction 2 read location 7 from storage.
+        memory.record(
+            Version::new(2, 0),
+            vec![ReadDescriptor::from_storage(7)],
+            vec![],
+        );
+        assert!(memory.validate_read_set(2));
+        // Later, transaction 1 writes location 7: the storage read is stale.
+        memory.record(Version::new(1, 0), vec![], vec![(7, 70)]);
+        assert!(!memory.validate_read_set(2));
+    }
+
+    #[test]
+    fn validate_read_set_fails_on_estimate() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 70)]);
+        memory.record(Version::new(2, 0), vec![descriptor_mv(7, 0, 0)], vec![]);
+        memory.convert_writes_to_estimates(0);
+        assert!(!memory.validate_read_set(2));
+    }
+
+    #[test]
+    fn validate_read_set_fails_when_entry_disappears() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 70)]);
+        memory.record(Version::new(2, 0), vec![descriptor_mv(7, 0, 0)], vec![]);
+        // Transaction 0 re-executes and no longer writes location 7.
+        memory.record(Version::new(0, 1), vec![], vec![]);
+        assert!(!memory.validate_read_set(2));
+    }
+
+    #[test]
+    fn snapshot_returns_highest_writes() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(1, 10), (2, 20)]);
+        memory.record(Version::new(2, 0), vec![], vec![(2, 22), (3, 33)]);
+        let mut snapshot = memory.snapshot();
+        snapshot.sort_unstable();
+        assert_eq!(snapshot, vec![(1, 10), (2, 22), (3, 33)]);
+    }
+
+    #[test]
+    fn first_estimate_in_prior_reads_detects_unresolved_dependency() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 70)]);
+        memory.record(Version::new(2, 0), vec![descriptor_mv(7, 0, 0)], vec![]);
+        assert_eq!(memory.first_estimate_in_prior_reads(2), None);
+        memory.convert_writes_to_estimates(0);
+        assert_eq!(memory.first_estimate_in_prior_reads(2), Some((7, 0)));
+    }
+
+    #[test]
+    fn concurrent_recorders_and_readers_do_not_lose_writes() {
+        use std::sync::Arc as StdArc;
+        let memory = StdArc::new(Memory::new(64));
+        let writers: Vec<_> = (0..8usize)
+            .map(|t| {
+                let memory = StdArc::clone(&memory);
+                std::thread::spawn(move || {
+                    for txn in (t..64).step_by(8) {
+                        memory.record(
+                            Version::new(txn, 0),
+                            vec![],
+                            vec![(txn as u64 % 16, txn as u64)],
+                        );
+                    }
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        // Every location must now return the highest writer below 64.
+        for location in 0..16u64 {
+            match memory.read(&location, 64) {
+                MVReadOutput::Versioned(version, value) => {
+                    assert_eq!(version.txn_idx as u64 % 16, location);
+                    assert_eq!(*value, version.txn_idx as u64);
+                    // The highest txn writing `location` is location + 48.
+                    assert_eq!(version.txn_idx as u64, location + 48);
+                }
+                other => panic!("location {location}: unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Read-set descriptors.
+
+use block_stm_vm::Version;
+
+/// Where a speculative read obtained its value from.
+///
+/// The paper stores, per read, "the version of the transaction (during the execution
+/// of which the value was written), or ⊥ if the value was read from storage"
+/// (§3.1.2). Validation compares these descriptors against a fresh read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOrigin {
+    /// The value was written by the given version (transaction index, incarnation).
+    MultiVersion(Version),
+    /// The value (or absence of one) came from pre-block storage — the ⊥ descriptor.
+    Storage,
+}
+
+/// One entry of an incarnation's read-set: which location was read and what version
+/// served it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadDescriptor<K> {
+    /// The location read.
+    pub key: K,
+    /// The observed origin (version or storage).
+    pub origin: ReadOrigin,
+}
+
+impl<K> ReadDescriptor<K> {
+    /// A read served by the multi-version map.
+    pub fn from_version(key: K, version: Version) -> Self {
+        Self {
+            key,
+            origin: ReadOrigin::MultiVersion(version),
+        }
+    }
+
+    /// A read served by (or falling through to) pre-block storage.
+    pub fn from_storage(key: K) -> Self {
+        Self {
+            key,
+            origin: ReadOrigin::Storage,
+        }
+    }
+
+    /// Returns the observed version, or `None` for storage reads.
+    pub fn version(&self) -> Option<Version> {
+        match self.origin {
+            ReadOrigin::MultiVersion(version) => Some(version),
+            ReadOrigin::Storage => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_accessor_distinguishes_origins() {
+        let v = Version::new(2, 1);
+        assert_eq!(ReadDescriptor::from_version("k", v).version(), Some(v));
+        assert_eq!(ReadDescriptor::from_storage("k").version(), None);
+    }
+
+    #[test]
+    fn descriptors_compare_by_key_and_origin() {
+        let a = ReadDescriptor::from_version(1u64, Version::new(0, 0));
+        let b = ReadDescriptor::from_version(1u64, Version::new(0, 1));
+        let c = ReadDescriptor::from_storage(1u64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, a.clone());
+    }
+}

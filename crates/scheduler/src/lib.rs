@@ -1,0 +1,33 @@
+//! The Block-STM collaborative scheduler (Algorithms 4 and 5 of the paper).
+//!
+//! The scheduler coordinates execution and validation tasks among worker threads while
+//! preserving the preset serialization order. Conceptually it maintains two ordered
+//! sets — pending *executions* `E` and pending *validations* `V` — and always hands a
+//! thread the task with the smallest transaction index. Because concurrent priority
+//! queues are hard to scale, both ordered sets are realized as a single atomic counter
+//! (`execution_idx` / `validation_idx`) combined with a per-transaction status array:
+//! a thread claims an index with `fetch_and_increment` and then checks whether that
+//! transaction actually has a ready task; adding a task for transaction `i` lowers the
+//! counter back to `i`.
+//!
+//! Completion is detected lazily (the "commit rule" of §2): when both counters have run
+//! past the end of the block, no tasks are in flight (`num_active_tasks == 0`), and a
+//! double-collect over `decrease_cnt` shows neither counter was lowered concurrently,
+//! the whole block is committed and the `done_marker` is raised.
+//!
+//! The public API mirrors the paper's function names one-to-one so the correctness
+//! argument of Appendix A maps directly onto this code:
+//! [`Scheduler::next_task`], [`Scheduler::add_dependency`],
+//! [`Scheduler::finish_execution`], [`Scheduler::try_validation_abort`],
+//! [`Scheduler::finish_validation`], [`Scheduler::done`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+mod status;
+mod task;
+
+pub use scheduler::Scheduler;
+pub use status::TxnStatus;
+pub use task::{Task, TaskKind};

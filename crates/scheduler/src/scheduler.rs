@@ -1,0 +1,681 @@
+//! The collaborative scheduler (Algorithms 4 and 5).
+
+use crate::status::TxnStatus;
+use crate::task::Task;
+use block_stm_sync::{AtomicMinCounter, CachePadded, PaddedAtomicBool, PaddedAtomicUsize};
+use block_stm_vm::{Incarnation, TxnIndex, Version};
+use parking_lot::Mutex;
+
+/// Incarnation number plus lifecycle status, protected together by one mutex
+/// (the paper's `txn_status[txn_idx] = mutex((incarnation_number, status))`).
+#[derive(Debug, Clone, Copy)]
+struct StatusEntry {
+    incarnation: Incarnation,
+    status: TxnStatus,
+}
+
+/// The Block-STM collaborative scheduler for one block execution.
+///
+/// The scheduler is created per block, shared by reference across worker threads, and
+/// discarded afterwards. All methods take `&self`.
+#[derive(Debug)]
+pub struct Scheduler {
+    block_size: usize,
+    /// Index of the next transaction to try to execute (cursor of the ordered set `E`).
+    execution_idx: AtomicMinCounter,
+    /// Index of the next transaction to try to validate (cursor of the ordered set `V`).
+    validation_idx: AtomicMinCounter,
+    /// Incremented every time either index is decreased; lets `check_done` detect
+    /// concurrent decreases with a double-collect (Theorem 1).
+    decrease_cnt: PaddedAtomicUsize,
+    /// Number of in-flight execution/validation tasks (including claimed-but-not-yet
+    /// -materialized ones).
+    num_active_tasks: PaddedAtomicUsize,
+    /// Set once all transactions are committed; lets threads exit their run loop.
+    done_marker: PaddedAtomicBool,
+    /// Per transaction: indices of transactions waiting for it to re-execute.
+    txn_dependency: Vec<CachePadded<Mutex<Vec<TxnIndex>>>>,
+    /// Per transaction: current incarnation number and status.
+    txn_status: Vec<CachePadded<Mutex<StatusEntry>>>,
+    /// Whether `finish_execution` / `finish_validation` may hand the follow-up task
+    /// directly back to the calling thread instead of going through the shared
+    /// counters (the paper's cases 1(b)/2(c) optimization). Disabled only by the
+    /// ablation benchmarks.
+    task_return_optimization: bool,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for a block of `block_size` transactions.
+    pub fn new(block_size: usize) -> Self {
+        Self {
+            block_size,
+            execution_idx: AtomicMinCounter::new(0),
+            validation_idx: AtomicMinCounter::new(0),
+            decrease_cnt: PaddedAtomicUsize::new(0),
+            num_active_tasks: PaddedAtomicUsize::new(0),
+            done_marker: PaddedAtomicBool::new(false),
+            txn_dependency: (0..block_size)
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
+            txn_status: (0..block_size)
+                .map(|_| {
+                    CachePadded::new(Mutex::new(StatusEntry {
+                        incarnation: 0,
+                        status: TxnStatus::ReadyToExecute,
+                    }))
+                })
+                .collect(),
+            task_return_optimization: true,
+        }
+    }
+
+    /// Disables the "return the follow-up task to the caller" optimization
+    /// (ablation study; see DESIGN.md).
+    pub fn without_task_return_optimization(mut self) -> Self {
+        self.task_return_optimization = false;
+        self
+    }
+
+    /// Number of transactions in the block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// `done()` (Line 101): whether all transactions are committed and threads may
+    /// exit their run loop.
+    pub fn done(&self) -> bool {
+        self.done_marker.load()
+    }
+
+    /// Current incarnation number of `txn_idx` (used by executors for bookkeeping and
+    /// by tests).
+    pub fn incarnation_of(&self, txn_idx: TxnIndex) -> Incarnation {
+        self.txn_status[txn_idx].lock().incarnation
+    }
+
+    /// Current status of `txn_idx` (test/diagnostic helper).
+    pub fn status_of(&self, txn_idx: TxnIndex) -> TxnStatus {
+        self.txn_status[txn_idx].lock().status
+    }
+
+    /// `decrease_execution_idx` (Lines 98–100).
+    fn decrease_execution_idx(&self, target_idx: TxnIndex) {
+        self.execution_idx.decrease(target_idx);
+        self.decrease_cnt.increment();
+    }
+
+    /// `decrease_validation_idx` (Lines 103–105).
+    fn decrease_validation_idx(&self, target_idx: TxnIndex) {
+        self.validation_idx.decrease(target_idx);
+        self.decrease_cnt.increment();
+    }
+
+    /// `check_done` (Lines 106–109): the double-collect completion check.
+    fn check_done(&self) {
+        let observed_cnt = self.decrease_cnt.load();
+        let execution_idx = self.execution_idx.load();
+        let validation_idx = self.validation_idx.load();
+        let active = self.num_active_tasks.load();
+        if execution_idx.min(validation_idx) >= self.block_size
+            && active == 0
+            && observed_cnt == self.decrease_cnt.load()
+        {
+            self.done_marker.store(true);
+        }
+    }
+
+    /// `try_incarnate` (Lines 110–117): claims the next incarnation of `txn_idx` for
+    /// execution if (and only if) the transaction is `READY_TO_EXECUTE`.
+    ///
+    /// Unlike the paper's pseudo-code, the active-task accounting on failure is done by
+    /// the callers, which keeps the increment/decrement pairs visible at a single
+    /// level of the call stack.
+    fn try_incarnate(&self, txn_idx: TxnIndex) -> Option<Version> {
+        if txn_idx < self.block_size {
+            let mut entry = self.txn_status[txn_idx].lock();
+            if entry.status == TxnStatus::ReadyToExecute {
+                entry.status = TxnStatus::Executing;
+                return Some(Version::new(txn_idx, entry.incarnation));
+            }
+        }
+        None
+    }
+
+    /// `next_version_to_execute` (Lines 118–124).
+    fn next_version_to_execute(&self) -> Option<Version> {
+        if self.execution_idx.load() >= self.block_size {
+            self.check_done();
+            return None;
+        }
+        self.num_active_tasks.increment();
+        let idx_to_execute = self.execution_idx.fetch_and_increment();
+        match self.try_incarnate(idx_to_execute) {
+            Some(version) => Some(version),
+            None => {
+                self.num_active_tasks.decrement();
+                None
+            }
+        }
+    }
+
+    /// `next_version_to_validate` (Lines 125–136).
+    fn next_version_to_validate(&self) -> Option<Version> {
+        if self.validation_idx.load() >= self.block_size {
+            self.check_done();
+            return None;
+        }
+        self.num_active_tasks.increment();
+        let idx_to_validate = self.validation_idx.fetch_and_increment();
+        if idx_to_validate < self.block_size {
+            let entry = self.txn_status[idx_to_validate].lock();
+            if entry.status == TxnStatus::Executed {
+                return Some(Version::new(idx_to_validate, entry.incarnation));
+            }
+        }
+        self.num_active_tasks.decrement();
+        None
+    }
+
+    /// `next_task` (Lines 137–146): hands the calling thread the lowest-indexed ready
+    /// task, preferring validation when the validation cursor is behind the execution
+    /// cursor.
+    pub fn next_task(&self) -> Option<Task> {
+        if self.validation_idx.load() < self.execution_idx.load() {
+            self.next_version_to_validate()
+                .map(|version| Task::validation(version))
+        } else {
+            self.next_version_to_execute()
+                .map(|version| Task::execution(version))
+        }
+    }
+
+    /// `add_dependency` (Lines 147–154): records that `txn_idx` must wait for
+    /// `blocking_txn_idx` to finish its next incarnation (because `txn_idx` read an
+    /// ESTIMATE written by it).
+    ///
+    /// Returns `false` when the race described in §3.3 is detected: the blocking
+    /// transaction finished executing before the dependency could be registered — the
+    /// caller should simply re-execute immediately.
+    pub fn add_dependency(&self, txn_idx: TxnIndex, blocking_txn_idx: TxnIndex) -> bool {
+        debug_assert!(blocking_txn_idx < txn_idx, "dependencies point to lower txns");
+        // Lock order: dependency list of the blocking transaction first, then statuses.
+        // This is the only place two locks are held simultaneously (Claim 5).
+        let mut dependency_guard = self.txn_dependency[blocking_txn_idx].lock();
+        if self.txn_status[blocking_txn_idx].lock().status == TxnStatus::Executed {
+            // Dependency resolved before locking: the caller re-executes immediately.
+            return false;
+        }
+        {
+            let mut entry = self.txn_status[txn_idx].lock();
+            debug_assert_eq!(entry.status, TxnStatus::Executing);
+            entry.status = TxnStatus::Aborting;
+        }
+        dependency_guard.push(txn_idx);
+        drop(dependency_guard);
+        // The execution task ended without producing an output.
+        self.num_active_tasks.decrement();
+        true
+    }
+
+    /// `set_ready_status` (Lines 155–158): moves an `ABORTING(i)` transaction to
+    /// `READY_TO_EXECUTE(i + 1)`.
+    fn set_ready_status(&self, txn_idx: TxnIndex) {
+        let mut entry = self.txn_status[txn_idx].lock();
+        debug_assert_eq!(entry.status, TxnStatus::Aborting);
+        entry.incarnation += 1;
+        entry.status = TxnStatus::ReadyToExecute;
+    }
+
+    /// `resume_dependencies` (Lines 159–164): wakes every transaction that was waiting
+    /// on the just-finished one and makes sure the execution cursor will revisit them.
+    fn resume_dependencies(&self, dependent_txn_indices: &[TxnIndex]) {
+        for &dep_txn_idx in dependent_txn_indices {
+            self.set_ready_status(dep_txn_idx);
+        }
+        if let Some(&min_dependency_idx) = dependent_txn_indices.iter().min() {
+            self.decrease_execution_idx(min_dependency_idx);
+        }
+    }
+
+    /// `finish_execution` (Lines 165–175): called after an incarnation's effects were
+    /// recorded in the multi-version memory.
+    ///
+    /// Returns a validation task for the caller when only the transaction itself needs
+    /// re-validation (no new location was written) — the paper's case 1(b) optimization.
+    pub fn finish_execution(
+        &self,
+        txn_idx: TxnIndex,
+        incarnation: Incarnation,
+        wrote_new_path: bool,
+    ) -> Option<Task> {
+        {
+            let mut entry = self.txn_status[txn_idx].lock();
+            debug_assert_eq!(entry.status, TxnStatus::Executing);
+            debug_assert_eq!(entry.incarnation, incarnation);
+            entry.status = TxnStatus::Executed;
+        }
+        let deps = std::mem::take(&mut *self.txn_dependency[txn_idx].lock());
+        self.resume_dependencies(&deps);
+
+        if self.validation_idx.load() > txn_idx {
+            // Higher transactions have already been (or are being) validated against a
+            // state that did not include this incarnation's writes.
+            if wrote_new_path {
+                // They must all be re-validated: lower the validation cursor.
+                self.decrease_validation_idx(txn_idx);
+            } else if self.task_return_optimization {
+                // Only this transaction needs validation; hand it straight back.
+                return Some(Task::validation(Version::new(txn_idx, incarnation)));
+            } else {
+                self.decrease_validation_idx(txn_idx);
+            }
+        }
+        self.num_active_tasks.decrement();
+        None
+    }
+
+    /// `try_validation_abort` (Lines 176–181): claims the right to abort incarnation
+    /// `incarnation` of `txn_idx`. Only the first failing validation per incarnation
+    /// succeeds.
+    pub fn try_validation_abort(&self, txn_idx: TxnIndex, incarnation: Incarnation) -> bool {
+        let mut entry = self.txn_status[txn_idx].lock();
+        if entry.incarnation == incarnation && entry.status == TxnStatus::Executed {
+            entry.status = TxnStatus::Aborting;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `finish_validation` (Lines 182–191): called after a validation task completes.
+    /// If the validation aborted the incarnation, schedules the re-execution (possibly
+    /// returning it directly to the caller) and re-validation of higher transactions.
+    pub fn finish_validation(&self, txn_idx: TxnIndex, aborted: bool) -> Option<Task> {
+        if aborted {
+            self.set_ready_status(txn_idx);
+            self.decrease_validation_idx(txn_idx + 1);
+            if self.execution_idx.load() > txn_idx {
+                if self.task_return_optimization {
+                    if let Some(version) = self.try_incarnate(txn_idx) {
+                        return Some(Task::execution(version));
+                    }
+                } else {
+                    self.decrease_execution_idx(txn_idx);
+                }
+            }
+        }
+        self.num_active_tasks.decrement();
+        None
+    }
+
+    /// Test/diagnostic helper: number of in-flight tasks.
+    pub fn active_tasks(&self) -> usize {
+        self.num_active_tasks.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// `next_task` may legitimately return `None` a few times while the validation
+    /// cursor runs ahead of transactions that have not executed yet (the paper's run
+    /// loop simply retries); this helper retries a bounded number of times.
+    fn claim(scheduler: &Scheduler) -> Task {
+        for _ in 0..100 {
+            if let Some(task) = scheduler.next_task() {
+                return task;
+            }
+        }
+        panic!("no task became available");
+    }
+
+    #[test]
+    fn initial_tasks_are_executions_in_order() {
+        let scheduler = Scheduler::new(3);
+        let t0 = claim(&scheduler);
+        assert_eq!(t0, Task::execution(Version::new(0, 0)));
+        let t1 = claim(&scheduler);
+        assert_eq!(t1, Task::execution(Version::new(1, 0)));
+        assert_eq!(scheduler.active_tasks(), 2);
+    }
+
+    #[test]
+    fn empty_block_terminates_immediately() {
+        let scheduler = Scheduler::new(0);
+        assert!(!scheduler.done());
+        assert!(scheduler.next_task().is_none());
+        assert!(scheduler.done());
+    }
+
+    #[test]
+    fn simple_block_runs_to_completion_single_threaded() {
+        let n = 4;
+        let scheduler = Scheduler::new(n);
+        let mut executed = vec![0usize; n];
+        let mut validated = vec![0usize; n];
+        let mut pending: Option<Task> = None;
+        let mut steps = 0;
+        while !scheduler.done() {
+            steps += 1;
+            assert!(steps < 1_000, "scheduler did not terminate");
+            let task = match pending.take() {
+                Some(task) => Some(task),
+                None => scheduler.next_task(),
+            };
+            let Some(task) = task else { continue };
+            match task.kind {
+                TaskKind::Execution => {
+                    executed[task.version.txn_idx] += 1;
+                    pending = scheduler.finish_execution(
+                        task.version.txn_idx,
+                        task.version.incarnation,
+                        true,
+                    );
+                }
+                TaskKind::Validation => {
+                    validated[task.version.txn_idx] += 1;
+                    pending = scheduler.finish_validation(task.version.txn_idx, false);
+                }
+            }
+        }
+        assert!(executed.iter().all(|&count| count == 1));
+        assert!(validated.iter().all(|&count| count >= 1));
+        assert_eq!(scheduler.active_tasks(), 0);
+    }
+
+    #[test]
+    fn finish_execution_without_new_path_returns_validation_task() {
+        let scheduler = Scheduler::new(2);
+        // Claiming the second execution task makes the validation cursor attempt (and
+        // skip) transaction 0, leaving validation_idx == 1.
+        let e0 = claim(&scheduler);
+        let e1 = claim(&scheduler);
+        assert_eq!(e0, Task::execution(Version::new(0, 0)));
+        assert_eq!(e1, Task::execution(Version::new(1, 0)));
+        // txn 1: validation cursor (1) is not strictly above it, so nothing is handed
+        // back — its validation will be claimed through next_task later.
+        assert_eq!(scheduler.finish_execution(1, 0, false), None);
+        // txn 0: the validation cursor already ran past it and no new location was
+        // written, so its validation task is handed straight back to the caller
+        // (case 1(b) of the paper).
+        let handed_back = scheduler.finish_execution(0, 0, false);
+        assert_eq!(handed_back, Some(Task::validation(Version::new(0, 0))));
+        assert_eq!(scheduler.finish_validation(0, false), None);
+        // The remaining validation (txn 1) is claimed through the shared cursor.
+        let v1 = claim(&scheduler);
+        assert_eq!(v1, Task::validation(Version::new(1, 0)));
+        assert_eq!(scheduler.finish_validation(1, false), None);
+        while !scheduler.done() {
+            assert!(scheduler.next_task().is_none());
+        }
+        assert!(scheduler.done());
+    }
+
+    #[test]
+    fn failed_validation_returns_re_execution_task_and_bumps_incarnation() {
+        let scheduler = Scheduler::new(3);
+        // Claim all executions first (so no validation task interleaves), then finish.
+        let executions: Vec<Task> = (0..3).map(|_| claim(&scheduler)).collect();
+        assert!(executions.iter().all(|task| task.is_execution()));
+        for task in &executions {
+            scheduler.finish_execution(task.version.txn_idx, 0, true);
+        }
+        // Claim validation of txn 0 and abort it.
+        let v0 = claim(&scheduler);
+        assert_eq!(v0, Task::validation(Version::new(0, 0)));
+        assert!(scheduler.try_validation_abort(0, 0));
+        // Second abort attempt for the same incarnation must fail.
+        assert!(!scheduler.try_validation_abort(0, 0));
+        let followup = scheduler.finish_validation(0, true).unwrap();
+        assert_eq!(followup, Task::execution(Version::new(0, 1)));
+        assert_eq!(scheduler.incarnation_of(0), 1);
+        assert_eq!(scheduler.status_of(0), TxnStatus::Executing);
+    }
+
+    #[test]
+    fn failed_validation_schedules_revalidation_of_higher_transactions() {
+        let scheduler = Scheduler::new(3);
+        let executions: Vec<Task> = (0..3).map(|_| claim(&scheduler)).collect();
+        assert!(executions.iter().all(|task| task.is_execution()));
+        for task in &executions {
+            scheduler.finish_execution(task.version.txn_idx, 0, true);
+        }
+        // Validate all three (claiming moves validation_idx to 3).
+        let mut validations = Vec::new();
+        for _ in 0..3 {
+            validations.push(claim(&scheduler));
+        }
+        // Abort txn 1.
+        assert!(scheduler.try_validation_abort(1, 0));
+        let reexec = scheduler.finish_validation(1, true).unwrap();
+        assert!(reexec.is_execution());
+        // Finish the other validations without abort.
+        assert_eq!(scheduler.finish_validation(0, false), None);
+        assert_eq!(scheduler.finish_validation(2, false), None);
+        // Complete the re-execution of txn 1 (no new path): a validation task for it
+        // comes straight back because the validation cursor had passed it.
+        let v1 = scheduler
+            .finish_execution(1, 1, false)
+            .expect("validation task should be returned to the caller");
+        assert_eq!(v1, Task::validation(Version::new(1, 1)));
+        assert_eq!(scheduler.finish_validation(1, false), None);
+        // Validation cursor was lowered to 2 by the abort: txn 2 gets re-validated.
+        let v2 = claim(&scheduler);
+        assert_eq!(v2, Task::validation(Version::new(2, 0)));
+        assert_eq!(scheduler.finish_validation(2, false), None);
+        while !scheduler.done() {
+            assert!(scheduler.next_task().is_none());
+        }
+        assert!(scheduler.done());
+    }
+
+    #[test]
+    fn add_dependency_registers_and_resumes() {
+        let scheduler = Scheduler::new(3);
+        let e0 = claim(&scheduler);
+        let e1 = claim(&scheduler);
+        let e2 = claim(&scheduler);
+        assert!(e0.is_execution() && e1.is_execution() && e2.is_execution());
+        // txn2 discovers a dependency on txn0 (still executing): must register.
+        assert!(scheduler.add_dependency(2, 0));
+        assert_eq!(scheduler.status_of(2), TxnStatus::Aborting);
+        // txn0 finishes: txn2 must be resumed with incarnation 1.
+        scheduler.finish_execution(0, 0, true);
+        assert_eq!(scheduler.status_of(2), TxnStatus::ReadyToExecute);
+        assert_eq!(scheduler.incarnation_of(2), 1);
+        // txn1 finishes too.
+        scheduler.finish_execution(1, 0, true);
+        // Remaining work completes: validations of 0 and 1, then execution of 2, etc.
+        let mut pending: Option<Task> = None;
+        let mut guard = 0;
+        let mut executed_txn2_again = false;
+        while !scheduler.done() {
+            guard += 1;
+            assert!(guard < 100);
+            let task = pending.take().or_else(|| scheduler.next_task());
+            let Some(task) = task else { continue };
+            match task.kind {
+                TaskKind::Execution => {
+                    if task.version.txn_idx == 2 {
+                        executed_txn2_again = true;
+                        assert_eq!(task.version.incarnation, 1);
+                    }
+                    pending = scheduler.finish_execution(
+                        task.version.txn_idx,
+                        task.version.incarnation,
+                        false,
+                    );
+                }
+                TaskKind::Validation => {
+                    pending = scheduler.finish_validation(task.version.txn_idx, false);
+                }
+            }
+        }
+        assert!(executed_txn2_again);
+    }
+
+    #[test]
+    fn add_dependency_detects_race_with_finished_blocking_txn() {
+        let scheduler = Scheduler::new(2);
+        let e0 = claim(&scheduler);
+        let e1 = claim(&scheduler);
+        assert!(e0.is_execution() && e1.is_execution());
+        // txn0 finishes before txn1 can register its dependency.
+        scheduler.finish_execution(0, 0, true);
+        assert!(!scheduler.add_dependency(1, 0));
+        // txn1 is still executing and can finish normally.
+        assert_eq!(scheduler.status_of(1), TxnStatus::Executing);
+        scheduler.finish_execution(1, 0, true);
+    }
+
+    #[test]
+    fn try_validation_abort_rejects_stale_incarnations() {
+        let scheduler = Scheduler::new(1);
+        let e0 = claim(&scheduler);
+        assert!(e0.is_execution());
+        scheduler.finish_execution(0, 0, true);
+        // Wrong incarnation number: no abort.
+        assert!(!scheduler.try_validation_abort(0, 1));
+        // Correct incarnation: abort succeeds exactly once.
+        assert!(scheduler.try_validation_abort(0, 0));
+        assert!(!scheduler.try_validation_abort(0, 0));
+    }
+
+    #[test]
+    fn without_task_return_optimization_still_completes() {
+        let n = 5;
+        let scheduler = Scheduler::new(n).without_task_return_optimization();
+        let mut executed = vec![0usize; n];
+        let mut steps = 0;
+        while !scheduler.done() {
+            steps += 1;
+            assert!(steps < 10_000);
+            let Some(task) = scheduler.next_task() else { continue };
+            match task.kind {
+                TaskKind::Execution => {
+                    executed[task.version.txn_idx] += 1;
+                    let followup = scheduler.finish_execution(
+                        task.version.txn_idx,
+                        task.version.incarnation,
+                        false,
+                    );
+                    assert!(followup.is_none(), "optimization disabled: no direct tasks");
+                }
+                TaskKind::Validation => {
+                    let followup = scheduler.finish_validation(task.version.txn_idx, false);
+                    assert!(followup.is_none());
+                }
+            }
+        }
+        assert!(executed.iter().all(|&count| count == 1));
+    }
+
+    #[test]
+    fn multithreaded_happy_path_executes_every_txn_exactly_once() {
+        let n = 200;
+        let scheduler = Arc::new(Scheduler::new(n));
+        let executions = Arc::new(Mutex::new(HashMap::<usize, usize>::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let scheduler = Arc::clone(&scheduler);
+                let executions = Arc::clone(&executions);
+                std::thread::spawn(move || {
+                    let mut task: Option<Task> = None;
+                    while !scheduler.done() {
+                        match task.take() {
+                            Some(t) if t.is_execution() => {
+                                *executions.lock().entry(t.version.txn_idx).or_insert(0) += 1;
+                                task = scheduler.finish_execution(
+                                    t.version.txn_idx,
+                                    t.version.incarnation,
+                                    false,
+                                );
+                            }
+                            Some(t) => {
+                                task = scheduler.finish_validation(t.version.txn_idx, false);
+                            }
+                            None => {
+                                task = scheduler.next_task();
+                                if task.is_none() {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let executions = executions.lock();
+        assert_eq!(executions.len(), n);
+        assert!(executions.values().all(|&count| count == 1));
+        assert_eq!(scheduler.active_tasks(), 0);
+    }
+
+    #[test]
+    fn multithreaded_with_random_aborts_terminates() {
+        // Validations randomly abort (once per incarnation, bounded by a per-txn cap)
+        // to exercise the re-execution and re-validation paths under concurrency.
+        let n = 120;
+        let scheduler = Arc::new(Scheduler::new(n));
+        let abort_budget: Arc<Vec<PaddedAtomicUsize>> =
+            Arc::new((0..n).map(|_| PaddedAtomicUsize::new(2)).collect());
+        let threads: Vec<_> = (0..8)
+            .map(|seed| {
+                let scheduler = Arc::clone(&scheduler);
+                let abort_budget = Arc::clone(&abort_budget);
+                std::thread::spawn(move || {
+                    let mut rng_state: u64 = 0x1234_5678 + seed as u64;
+                    let mut task: Option<Task> = None;
+                    while !scheduler.done() {
+                        match task.take() {
+                            Some(t) if t.is_execution() => {
+                                task = scheduler.finish_execution(
+                                    t.version.txn_idx,
+                                    t.version.incarnation,
+                                    (t.version.txn_idx + t.version.incarnation) % 3 == 0,
+                                );
+                            }
+                            Some(t) => {
+                                rng_state ^= rng_state << 13;
+                                rng_state ^= rng_state >> 7;
+                                rng_state ^= rng_state << 17;
+                                let idx = t.version.txn_idx;
+                                let want_abort = rng_state % 4 == 0
+                                    && abort_budget[idx].load() > 0;
+                                let aborted = want_abort
+                                    && scheduler
+                                        .try_validation_abort(idx, t.version.incarnation);
+                                if aborted {
+                                    abort_budget[idx].decrement();
+                                }
+                                task = scheduler.finish_validation(idx, aborted);
+                            }
+                            None => {
+                                task = scheduler.next_task();
+                                if task.is_none() {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert!(scheduler.done());
+        assert_eq!(scheduler.active_tasks(), 0);
+        // Every transaction must have finished in the EXECUTED state.
+        for txn_idx in 0..n {
+            assert_eq!(scheduler.status_of(txn_idx), TxnStatus::Executed);
+        }
+    }
+}

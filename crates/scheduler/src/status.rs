@@ -1,0 +1,73 @@
+//! Per-transaction incarnation status (Figure 2 of the paper).
+
+/// The lifecycle status of a transaction's current incarnation.
+///
+/// Valid transitions (Figure 2):
+///
+/// ```text
+/// READY_TO_EXECUTE(i) --try_incarnate--> EXECUTING(i)
+/// EXECUTING(i) --finish_execution--> EXECUTED(i)
+/// EXECUTING(i) --add_dependency--> ABORTING(i)        (read hit an ESTIMATE)
+/// EXECUTED(i)  --try_validation_abort--> ABORTING(i)  (validation failed)
+/// ABORTING(i)  --set_ready_status/resume--> READY_TO_EXECUTE(i + 1)
+/// ```
+///
+/// A status never returns to `READY_TO_EXECUTE(i)` for the same incarnation `i`, which
+/// is what guarantees each incarnation is executed at most once (Corollary 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnStatus {
+    /// The next incarnation is ready to be picked up by a thread.
+    ReadyToExecute,
+    /// Some thread is currently executing this incarnation.
+    Executing,
+    /// The incarnation finished executing and recorded its effects.
+    Executed,
+    /// The incarnation is being aborted (failed validation or hit a dependency);
+    /// it will become `ReadyToExecute` for the next incarnation.
+    Aborting,
+}
+
+impl TxnStatus {
+    /// Returns `true` if the transition `self -> next` is allowed by Figure 2.
+    pub fn can_transition_to(&self, next: TxnStatus) -> bool {
+        use TxnStatus::*;
+        matches!(
+            (self, next),
+            (ReadyToExecute, Executing)
+                | (Executing, Executed)
+                | (Executing, Aborting)
+                | (Executed, Aborting)
+                | (Aborting, ReadyToExecute)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TxnStatus::*;
+
+    #[test]
+    fn legal_transitions_follow_figure_2() {
+        assert!(ReadyToExecute.can_transition_to(Executing));
+        assert!(Executing.can_transition_to(Executed));
+        assert!(Executing.can_transition_to(Aborting));
+        assert!(Executed.can_transition_to(Aborting));
+        assert!(Aborting.can_transition_to(ReadyToExecute));
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        assert!(!ReadyToExecute.can_transition_to(Executed));
+        assert!(!ReadyToExecute.can_transition_to(Aborting));
+        assert!(!Executing.can_transition_to(ReadyToExecute));
+        assert!(!Executed.can_transition_to(Executing));
+        assert!(!Executed.can_transition_to(ReadyToExecute));
+        assert!(!Aborting.can_transition_to(Executing));
+        assert!(!Aborting.can_transition_to(Executed));
+        // Self transitions are never legal.
+        for status in [ReadyToExecute, Executing, Executed, Aborting] {
+            assert!(!status.can_transition_to(status));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Scheduler task descriptors.
+
+use block_stm_vm::Version;
+
+/// What kind of work a [`Task`] asks a thread to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Execute the incarnation identified by the task's version.
+    Execution,
+    /// Validate the (already executed) incarnation identified by the task's version.
+    Validation,
+}
+
+/// A unit of work handed to a worker thread by the scheduler: execute or validate a
+/// specific incarnation of a specific transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// Which incarnation of which transaction.
+    pub version: Version,
+    /// Execute or validate.
+    pub kind: TaskKind,
+}
+
+impl Task {
+    /// Creates an execution task.
+    pub fn execution(version: Version) -> Self {
+        Self {
+            version,
+            kind: TaskKind::Execution,
+        }
+    }
+
+    /// Creates a validation task.
+    pub fn validation(version: Version) -> Self {
+        Self {
+            version,
+            kind: TaskKind::Validation,
+        }
+    }
+
+    /// Returns `true` if this is an execution task.
+    pub fn is_execution(&self) -> bool {
+        self.kind == TaskKind::Execution
+    }
+
+    /// Returns `true` if this is a validation task.
+    pub fn is_validation(&self) -> bool {
+        self.kind == TaskKind::Validation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let v = Version::new(3, 1);
+        assert!(Task::execution(v).is_execution());
+        assert!(!Task::execution(v).is_validation());
+        assert!(Task::validation(v).is_validation());
+        assert_eq!(Task::validation(v).version, v);
+    }
+}

@@ -1,0 +1,284 @@
+//! Account addresses, resource tags and access paths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 16-byte account address, as used by Diem/Aptos.
+///
+/// Addresses are ordered and hashable so that they can key both the pre-block storage
+/// and the multi-version memory. The convenience constructor
+/// [`AccountAddress::from_index`] derives a deterministic address from a workload
+/// account index, which is how the benchmark generators name their account universe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AccountAddress(pub [u8; 16]);
+
+impl AccountAddress {
+    /// The all-zero address, reserved for on-chain configuration resources
+    /// (the "core code address" in Diem terms).
+    pub const CORE: AccountAddress = AccountAddress([0u8; 16]);
+
+    /// Builds a deterministic address from a small integer index. Index `i` maps to an
+    /// address whose low 8 bytes are a mixed version of `i`, so consecutive indices do
+    /// not collide in the low bits used by hash sharding.
+    pub fn from_index(index: u64) -> Self {
+        // SplitMix64 finalizer: cheap, deterministic, well distributed.
+        let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&index.to_be_bytes());
+        bytes[8..].copy_from_slice(&z.to_be_bytes());
+        AccountAddress(bytes)
+    }
+
+    /// Recovers the workload index this address was generated from (the high 8 bytes).
+    /// Only meaningful for addresses created with [`from_index`](Self::from_index).
+    pub fn index_hint(&self) -> u64 {
+        let mut high = [0u8; 8];
+        high.copy_from_slice(&self.0[..8]);
+        u64::from_be_bytes(high)
+    }
+
+    /// Returns the raw bytes of the address.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for AccountAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for byte in &self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AccountAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of an on-chain configuration resource stored under the core address.
+///
+/// Diem transactions consult a number of global configuration resources during the
+/// prologue (transaction validation) phase — these account for most of the 21 reads a
+/// Diem p2p transaction performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ConfigId {
+    /// Protocol version.
+    Version,
+    /// The chain id (mainnet / testnet / ...).
+    ChainId,
+    /// Gas schedule used to charge transactions.
+    GasSchedule,
+    /// Current block timestamp resource.
+    BlockTimestamp,
+    /// Consensus / validator-set configuration.
+    ValidatorSet,
+    /// Registered currency metadata (exchange rate to the gas currency).
+    CurrencyInfo,
+    /// Dual-attestation travel-rule limit.
+    DualAttestationLimit,
+    /// VM publishing / script allow-list option.
+    VmPublishingOption,
+    /// Epoch number resource.
+    Epoch,
+    /// Accrued transaction-fee resource.
+    TransactionFees,
+}
+
+impl ConfigId {
+    /// All configuration resources, in a fixed order (used by genesis and workloads).
+    pub const ALL: [ConfigId; 10] = [
+        ConfigId::Version,
+        ConfigId::ChainId,
+        ConfigId::GasSchedule,
+        ConfigId::BlockTimestamp,
+        ConfigId::ValidatorSet,
+        ConfigId::CurrencyInfo,
+        ConfigId::DualAttestationLimit,
+        ConfigId::VmPublishingOption,
+        ConfigId::Epoch,
+        ConfigId::TransactionFees,
+    ];
+}
+
+/// The resource addressed within an account (or within the core address).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceTag {
+    /// The account's coin balance.
+    Balance,
+    /// The account's sequence number (replay protection).
+    SequenceNumber,
+    /// The full account resource (authentication key, role, frozen flag).
+    Account,
+    /// The account's freezing bit, read during the prologue.
+    FreezingBit,
+    /// Event counter for sent-payment events.
+    SentEvents,
+    /// Event counter for received-payment events.
+    ReceivedEvents,
+    /// A global configuration resource (only meaningful under [`AccountAddress::CORE`]).
+    Config(ConfigId),
+    /// An arbitrary user-defined resource, for custom workloads and examples.
+    Custom(u64),
+}
+
+/// A fully-qualified state key: which resource of which account.
+///
+/// This is the `location` / "access path" the paper's `MVMemory` maps to versioned
+/// values.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AccessPath {
+    /// The account that owns the resource.
+    pub address: AccountAddress,
+    /// The resource within the account.
+    pub tag: ResourceTag,
+}
+
+impl AccessPath {
+    /// Creates an access path.
+    pub fn new(address: AccountAddress, tag: ResourceTag) -> Self {
+        Self { address, tag }
+    }
+
+    /// The balance resource of `address`.
+    pub fn balance(address: AccountAddress) -> Self {
+        Self::new(address, ResourceTag::Balance)
+    }
+
+    /// The sequence-number resource of `address`.
+    pub fn sequence_number(address: AccountAddress) -> Self {
+        Self::new(address, ResourceTag::SequenceNumber)
+    }
+
+    /// The account resource of `address`.
+    pub fn account(address: AccountAddress) -> Self {
+        Self::new(address, ResourceTag::Account)
+    }
+
+    /// The freezing-bit resource of `address`.
+    pub fn freezing_bit(address: AccountAddress) -> Self {
+        Self::new(address, ResourceTag::FreezingBit)
+    }
+
+    /// The sent-events counter of `address`.
+    pub fn sent_events(address: AccountAddress) -> Self {
+        Self::new(address, ResourceTag::SentEvents)
+    }
+
+    /// The received-events counter of `address`.
+    pub fn received_events(address: AccountAddress) -> Self {
+        Self::new(address, ResourceTag::ReceivedEvents)
+    }
+
+    /// The global configuration resource `id` (owned by the core address).
+    pub fn config(id: ConfigId) -> Self {
+        Self::new(AccountAddress::CORE, ResourceTag::Config(id))
+    }
+
+    /// A custom resource of `address`, for examples and synthetic workloads.
+    pub fn custom(address: AccountAddress, id: u64) -> Self {
+        Self::new(address, ResourceTag::Custom(id))
+    }
+}
+
+impl fmt::Debug for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{:?}", self.address, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn from_index_is_deterministic_and_injective_for_small_indices() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            let addr = AccountAddress::from_index(i);
+            assert_eq!(addr, AccountAddress::from_index(i));
+            assert_eq!(addr.index_hint(), i);
+            assert!(seen.insert(addr), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn core_address_is_all_zero() {
+        assert_eq!(AccountAddress::CORE.as_bytes(), &[0u8; 16]);
+    }
+
+    #[test]
+    fn display_formats_as_hex() {
+        let addr = AccountAddress([0xab; 16]);
+        let text = format!("{addr}");
+        assert!(text.starts_with("0x"));
+        assert_eq!(text.len(), 2 + 32);
+        assert!(text[2..].chars().all(|c| c == 'a' || c == 'b'));
+    }
+
+    #[test]
+    fn access_path_constructors_set_expected_tags() {
+        let addr = AccountAddress::from_index(7);
+        assert_eq!(AccessPath::balance(addr).tag, ResourceTag::Balance);
+        assert_eq!(
+            AccessPath::sequence_number(addr).tag,
+            ResourceTag::SequenceNumber
+        );
+        assert_eq!(AccessPath::account(addr).tag, ResourceTag::Account);
+        assert_eq!(AccessPath::freezing_bit(addr).tag, ResourceTag::FreezingBit);
+        assert_eq!(
+            AccessPath::config(ConfigId::GasSchedule).address,
+            AccountAddress::CORE
+        );
+        assert_eq!(AccessPath::custom(addr, 3).tag, ResourceTag::Custom(3));
+    }
+
+    #[test]
+    fn access_paths_are_distinct_per_tag() {
+        let addr = AccountAddress::from_index(1);
+        let paths = [
+            AccessPath::balance(addr),
+            AccessPath::sequence_number(addr),
+            AccessPath::account(addr),
+            AccessPath::freezing_bit(addr),
+            AccessPath::sent_events(addr),
+            AccessPath::received_events(addr),
+        ];
+        let unique: HashSet<_> = paths.iter().collect();
+        assert_eq!(unique.len(), paths.len());
+    }
+
+    #[test]
+    fn config_ids_all_distinct() {
+        let unique: HashSet<_> = ConfigId::ALL.iter().collect();
+        assert_eq!(unique.len(), ConfigId::ALL.len());
+    }
+
+    #[test]
+    fn access_path_ordering_groups_by_address() {
+        let a = AccountAddress::from_index(1);
+        let b = AccountAddress::from_index(2);
+        let mut paths = vec![
+            AccessPath::balance(b),
+            AccessPath::sequence_number(a),
+            AccessPath::balance(a),
+        ];
+        paths.sort();
+        assert_eq!(paths[0].address, paths[1].address);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let path = AccessPath::config(ConfigId::Epoch);
+        let json = serde_json::to_string(&path).unwrap();
+        let back: AccessPath = serde_json::from_str(&json).unwrap();
+        assert_eq!(path, back);
+    }
+}

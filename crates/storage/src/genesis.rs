@@ -1,0 +1,169 @@
+//! Genesis (pre-block) state construction.
+
+use crate::access_path::{AccessPath, AccountAddress, ConfigId};
+use crate::account::AccountResource;
+use crate::state_value::StateValue;
+use crate::storage::InMemoryStorage;
+
+/// Builds a realistic pre-block state for the benchmark workloads: a universe of `n`
+/// funded accounts plus the on-chain configuration resources that Diem p2p transactions
+/// read during their prologue.
+///
+/// The builder is deterministic: the same parameters always produce the same state, so
+/// parallel and sequential executions of the same block can be compared byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct GenesisBuilder {
+    num_accounts: u64,
+    initial_balance: u64,
+    initial_sequence_number: u64,
+    config_blob_size: usize,
+}
+
+impl Default for GenesisBuilder {
+    fn default() -> Self {
+        Self {
+            num_accounts: 0,
+            initial_balance: 1_000_000_000,
+            initial_sequence_number: 0,
+            config_blob_size: 64,
+        }
+    }
+}
+
+impl GenesisBuilder {
+    /// Creates a builder for a universe of `num_accounts` accounts.
+    pub fn new(num_accounts: u64) -> Self {
+        Self {
+            num_accounts,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the initial balance of every account (default: 10^9).
+    pub fn initial_balance(mut self, balance: u64) -> Self {
+        self.initial_balance = balance;
+        self
+    }
+
+    /// Sets the initial sequence number of every account (default: 0).
+    pub fn initial_sequence_number(mut self, seq: u64) -> Self {
+        self.initial_sequence_number = seq;
+        self
+    }
+
+    /// Sets the size of each on-chain configuration blob (default: 64 bytes).
+    pub fn config_blob_size(mut self, size: usize) -> Self {
+        self.config_blob_size = size;
+        self
+    }
+
+    /// Returns the address of workload account `index`.
+    pub fn account_address(index: u64) -> AccountAddress {
+        AccountAddress::from_index(index)
+    }
+
+    /// Materializes the pre-block storage.
+    pub fn build(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        // 6 resources per account + the config resources.
+        let capacity = self.num_accounts as usize * 6 + ConfigId::ALL.len();
+        let mut storage = InMemoryStorage::with_capacity(capacity);
+
+        // On-chain configuration under the core address.
+        for (i, id) in ConfigId::ALL.iter().enumerate() {
+            let mut blob = vec![0u8; self.config_blob_size];
+            for (j, byte) in blob.iter_mut().enumerate() {
+                *byte = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+            }
+            storage.insert(AccessPath::config(*id), StateValue::Bytes(blob));
+        }
+
+        // Funded accounts.
+        for index in 0..self.num_accounts {
+            let address = AccountAddress::from_index(index);
+            let account =
+                AccountResource::new(AccountResource::auth_key_for_index(index), u64::MAX / 2);
+            storage.insert(
+                AccessPath::balance(address),
+                StateValue::U64(self.initial_balance),
+            );
+            storage.insert(
+                AccessPath::sequence_number(address),
+                StateValue::U64(self.initial_sequence_number),
+            );
+            storage.insert(AccessPath::account(address), StateValue::Account(account));
+            storage.insert(AccessPath::freezing_bit(address), StateValue::Bool(false));
+            storage.insert(AccessPath::sent_events(address), StateValue::U64(0));
+            storage.insert(AccessPath::received_events(address), StateValue::U64(0));
+        }
+
+        storage
+    }
+
+    /// Number of accounts this builder will create.
+    pub fn num_accounts(&self) -> u64 {
+        self.num_accounts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Storage;
+
+    #[test]
+    fn build_creates_expected_resource_count() {
+        let storage = GenesisBuilder::new(10).build();
+        assert_eq!(storage.len(), 10 * 6 + ConfigId::ALL.len());
+    }
+
+    #[test]
+    fn accounts_are_funded_and_unfrozen() {
+        let storage = GenesisBuilder::new(3).initial_balance(42).build();
+        for index in 0..3 {
+            let address = GenesisBuilder::account_address(index);
+            assert_eq!(
+                storage.get(&AccessPath::balance(address)),
+                Some(StateValue::U64(42))
+            );
+            assert_eq!(
+                storage.get(&AccessPath::sequence_number(address)),
+                Some(StateValue::U64(0))
+            );
+            assert_eq!(
+                storage.get(&AccessPath::freezing_bit(address)),
+                Some(StateValue::Bool(false))
+            );
+            let account = storage.get(&AccessPath::account(address)).unwrap();
+            assert!(!account.as_account().unwrap().frozen);
+        }
+    }
+
+    #[test]
+    fn config_resources_present_and_sized() {
+        let storage = GenesisBuilder::new(0).config_blob_size(16).build();
+        for id in ConfigId::ALL {
+            let value = storage.get(&AccessPath::config(id)).unwrap();
+            assert_eq!(value.as_bytes().unwrap().len(), 16);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = GenesisBuilder::new(25).build();
+        let b = GenesisBuilder::new(25).build();
+        assert_eq!(a.len(), b.len());
+        for (key, value) in a.iter() {
+            assert_eq!(b.get(key).as_ref(), Some(value));
+        }
+    }
+
+    #[test]
+    fn initial_sequence_number_is_applied() {
+        let storage = GenesisBuilder::new(1).initial_sequence_number(7).build();
+        let address = GenesisBuilder::account_address(0);
+        assert_eq!(
+            storage.get(&AccessPath::sequence_number(address)),
+            Some(StateValue::U64(7))
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Blockchain state substrate for the Block-STM reproduction.
+//!
+//! The paper evaluates Block-STM inside the Diem/Aptos blockchain, where transaction
+//! reads and writes target *access paths*: `(account address, resource tag)` pairs
+//! addressing Move resources such as the account's balance, its sequence number, the
+//! freezing flag, on-chain configuration entries and block metadata. The engine itself
+//! only needs a key/value interface, but the evaluation workloads (Diem p2p with
+//! 21 reads / 4 writes, Aptos p2p with 8 reads / 5 writes) are defined in terms of
+//! these resources, so this crate models them faithfully:
+//!
+//! * [`AccountAddress`] — a 16-byte account identifier (Diem-style).
+//! * [`ResourceTag`] / [`AccessPath`] — what a transaction reads or writes.
+//! * [`StateValue`] — the value stored at an access path (balances, sequence numbers,
+//!   serialized resources, configuration blobs).
+//! * [`AccountResource`] — the account record (balance, sequence number, frozen flag).
+//! * [`Storage`] / [`InMemoryStorage`] — the *pre-block* state that every read falls
+//!   back to when no smaller transaction in the block wrote the location
+//!   (the `Storage` module abstracted in Algorithm 3 of the paper).
+//! * [`GenesisBuilder`] — constructs a realistic pre-block state: `n` funded accounts
+//!   plus the on-chain configuration entries that Diem p2p transactions read.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access_path;
+mod account;
+mod genesis;
+mod state_value;
+mod storage;
+
+pub use access_path::{AccessPath, AccountAddress, ConfigId, ResourceTag};
+pub use account::AccountResource;
+pub use genesis::GenesisBuilder;
+pub use state_value::StateValue;
+pub use storage::{EmptyStorage, InMemoryStorage, Storage};

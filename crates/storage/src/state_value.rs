@@ -1,0 +1,157 @@
+//! Values stored at access paths.
+
+use crate::account::AccountResource;
+use serde::{Deserialize, Serialize};
+
+/// The value stored at an [`AccessPath`](crate::AccessPath).
+///
+/// A real blockchain stores serialized Move resources (byte blobs); we keep typed
+/// variants so workloads and tests can assert on semantic content (balances, sequence
+/// numbers) without a serialization layer, plus a raw [`StateValue::Bytes`] variant for
+/// configuration blobs and custom resources.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateValue {
+    /// An unsigned 64-bit quantity (balances, sequence numbers, event counters).
+    U64(u64),
+    /// An unsigned 128-bit quantity (total supply style values).
+    U128(u128),
+    /// A boolean flag (freezing bit).
+    Bool(bool),
+    /// A structured account resource.
+    Account(AccountResource),
+    /// An opaque blob (on-chain configuration, custom resources).
+    Bytes(Vec<u8>),
+}
+
+impl StateValue {
+    /// Returns the inner `u64`, if this value is a [`StateValue::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            StateValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the inner `u128`, if this value is a [`StateValue::U128`].
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            StateValue::U128(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the inner `bool`, if this value is a [`StateValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            StateValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the inner account resource, if this value is an [`StateValue::Account`].
+    pub fn as_account(&self) -> Option<&AccountResource> {
+        match self {
+            StateValue::Account(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the inner byte blob, if this value is a [`StateValue::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            StateValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory size in bytes, used by the simulated gas model to charge
+    /// proportionally to the amount of data read/written.
+    pub fn size_hint(&self) -> usize {
+        match self {
+            StateValue::U64(_) => 8,
+            StateValue::U128(_) => 16,
+            StateValue::Bool(_) => 1,
+            StateValue::Account(_) => AccountResource::SERIALIZED_SIZE,
+            StateValue::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl From<u64> for StateValue {
+    fn from(v: u64) -> Self {
+        StateValue::U64(v)
+    }
+}
+
+impl From<u128> for StateValue {
+    fn from(v: u128) -> Self {
+        StateValue::U128(v)
+    }
+}
+
+impl From<bool> for StateValue {
+    fn from(v: bool) -> Self {
+        StateValue::Bool(v)
+    }
+}
+
+impl From<AccountResource> for StateValue {
+    fn from(v: AccountResource) -> Self {
+        StateValue::Account(v)
+    }
+}
+
+impl From<Vec<u8>> for StateValue {
+    fn from(v: Vec<u8>) -> Self {
+        StateValue::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(StateValue::U64(5).as_u64(), Some(5));
+        assert_eq!(StateValue::U64(5).as_bool(), None);
+        assert_eq!(StateValue::U128(7).as_u128(), Some(7));
+        assert_eq!(StateValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(
+            StateValue::Bytes(vec![1, 2, 3]).as_bytes(),
+            Some(&[1u8, 2, 3][..])
+        );
+        let account = AccountResource::new([9u8; 32], 1_000);
+        assert_eq!(
+            StateValue::Account(account.clone()).as_account(),
+            Some(&account)
+        );
+    }
+
+    #[test]
+    fn from_impls_produce_expected_variants() {
+        assert_eq!(StateValue::from(1u64), StateValue::U64(1));
+        assert_eq!(StateValue::from(2u128), StateValue::U128(2));
+        assert_eq!(StateValue::from(true), StateValue::Bool(true));
+        assert_eq!(
+            StateValue::from(vec![9u8]),
+            StateValue::Bytes(vec![9u8])
+        );
+    }
+
+    #[test]
+    fn size_hint_reflects_payload() {
+        assert_eq!(StateValue::U64(0).size_hint(), 8);
+        assert_eq!(StateValue::U128(0).size_hint(), 16);
+        assert_eq!(StateValue::Bool(false).size_hint(), 1);
+        assert_eq!(StateValue::Bytes(vec![0u8; 40]).size_hint(), 40);
+        assert!(StateValue::Account(AccountResource::new([0; 32], 0)).size_hint() >= 40);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let value = StateValue::Account(AccountResource::new([3u8; 32], 77));
+        let json = serde_json::to_string(&value).unwrap();
+        assert_eq!(serde_json::from_str::<StateValue>(&json).unwrap(), value);
+    }
+}

@@ -1,0 +1,206 @@
+//! The pre-block storage abstraction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Read-only pre-block state (the paper's `Storage` module).
+///
+/// During block execution, a read that finds no write by a lower transaction in the
+/// multi-version memory falls back to this trait (Algorithm 3, `NOT_FOUND` case). The
+/// trait is generic over key and value types so the execution engine can be reused
+/// with non-blockchain state models in examples and property tests.
+pub trait Storage<K, V>: Sync {
+    /// Returns the value stored at `key` before the block executes, or `None` if the
+    /// location does not exist.
+    fn get(&self, key: &K) -> Option<V>;
+
+    /// Returns whether the location exists in the pre-block state.
+    fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+/// A simple hash-map backed [`Storage`] implementation.
+///
+/// The map is immutable during block execution (shared by reference across worker
+/// threads); populate it up-front via [`InMemoryStorage::from_iter`],
+/// [`InMemoryStorage::insert`] or the genesis builder, then hand it to an executor.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryStorage<K, V> {
+    values: HashMap<K, V>,
+}
+
+impl<K, V> InMemoryStorage<K, V>
+where
+    K: Eq + Hash,
+{
+    /// Creates an empty storage.
+    pub fn new() -> Self {
+        Self {
+            values: HashMap::new(),
+        }
+    }
+
+    /// Creates a storage with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            values: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts a value (pre-block population).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.values.insert(key, value)
+    }
+
+    /// Removes a value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.values.remove(key)
+    }
+
+    /// Number of stored locations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the storage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Applies a block's output (key/value updates) to produce the post-block state.
+    /// Used by tests and examples that chain several blocks.
+    pub fn apply_updates(&mut self, updates: impl IntoIterator<Item = (K, V)>) {
+        for (key, value) in updates {
+            self.values.insert(key, value);
+        }
+    }
+
+    /// Iterates over all stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.values.iter()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for InMemoryStorage<K, V>
+where
+    K: Eq + Hash,
+{
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K, V> Storage<K, V> for InMemoryStorage<K, V>
+where
+    K: Eq + Hash + Sync,
+    V: Clone + Sync,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        self.values.get(key).cloned()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+/// Blanket implementation so `&S`, `Arc<S>` and `Box<S>` can be passed wherever a
+/// storage is expected.
+impl<K, V, S> Storage<K, V> for &S
+where
+    S: Storage<K, V> + ?Sized,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        (**self).get(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        (**self).contains(key)
+    }
+}
+
+impl<K, V, S> Storage<K, V> for std::sync::Arc<S>
+where
+    S: Storage<K, V> + Send + Sync + ?Sized,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        (**self).get(key)
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        (**self).contains(key)
+    }
+}
+
+/// An empty storage: every read misses. Useful for tests whose transactions only read
+/// locations written within the block.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyStorage;
+
+impl<K, V> Storage<K, V> for EmptyStorage
+where
+    K: Sync,
+{
+    fn get(&self, _key: &K) -> Option<V> {
+        None
+    }
+
+    fn contains(&self, _key: &K) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_contains() {
+        let mut storage = InMemoryStorage::new();
+        storage.insert("a", 1u64);
+        assert_eq!(Storage::get(&storage, &"a"), Some(1));
+        assert!(Storage::contains(&storage, &"a"));
+        assert_eq!(Storage::get(&storage, &"b"), None);
+        assert!(!Storage::contains(&storage, &"b"));
+    }
+
+    #[test]
+    fn from_iter_and_len() {
+        let storage: InMemoryStorage<u32, u32> = (0..10).map(|i| (i, i * i)).collect();
+        assert_eq!(storage.len(), 10);
+        assert!(!storage.is_empty());
+        assert_eq!(Storage::get(&storage, &3), Some(9));
+    }
+
+    #[test]
+    fn apply_updates_overwrites() {
+        let mut storage: InMemoryStorage<&str, u64> = InMemoryStorage::new();
+        storage.insert("x", 1);
+        storage.apply_updates(vec![("x", 2), ("y", 3)]);
+        assert_eq!(Storage::get(&storage, &"x"), Some(2));
+        assert_eq!(Storage::get(&storage, &"y"), Some(3));
+    }
+
+    #[test]
+    fn reference_and_arc_forwarding() {
+        let mut storage = InMemoryStorage::new();
+        storage.insert(1u8, 10u8);
+        let by_ref: &InMemoryStorage<u8, u8> = &storage;
+        assert_eq!(Storage::get(&by_ref, &1), Some(10));
+        let by_arc = Arc::new(storage);
+        assert_eq!(Storage::get(&by_arc, &1), Some(10));
+        assert!(Storage::contains(&by_arc, &1));
+    }
+
+    #[test]
+    fn empty_storage_always_misses() {
+        let storage = EmptyStorage;
+        let value: Option<u64> = Storage::<u32, u64>::get(&storage, &1);
+        assert_eq!(value, None);
+        assert!(!Storage::<u32, u64>::contains(&storage, &1));
+    }
+}

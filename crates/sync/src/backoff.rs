@@ -1,0 +1,113 @@
+//! Exponential spin/yield backoff.
+//!
+//! Block-STM itself never busy-waits on data (a transaction that hits an unresolved
+//! dependency aborts its incarnation and the thread moves on to other work), but two
+//! places in this reproduction do wait:
+//!
+//! * the **Bohm baseline**, where a read of a placeholder version blocks until the
+//!   owning transaction produces the value (Bohm's design point: perfect write-sets
+//!   mean the value *will* arrive);
+//! * tests that wait for a concurrent condition to become visible.
+//!
+//! [`Backoff`] implements the usual strategy: a few busy-spin rounds with
+//! `core::hint::spin_loop`, escalating to `std::thread::yield_now` once spinning is
+//! unlikely to be productive.
+
+/// Exponential backoff helper for short waits.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin rounds double until this exponent, after which [`snooze`](Self::snooze)
+    /// starts yielding to the OS scheduler.
+    const SPIN_LIMIT: u32 = 6;
+    /// Upper bound on the exponent so the spin count stays bounded.
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Creates a fresh backoff state.
+    pub fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Resets the backoff to its initial (cheapest) state.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Backs off in a spin loop; suitable when the awaited condition is expected to
+    /// change within a few hundred cycles.
+    pub fn spin(&mut self) {
+        for _ in 0..(1u32 << self.step.min(Self::SPIN_LIMIT)) {
+            core::hint::spin_loop();
+        }
+        if self.step <= Self::SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off, yielding the thread once the spin budget is exhausted. This is what
+    /// blocking readers should call in a loop.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+            if self.step <= Self::YIELD_LIMIT {
+                self.step += 1;
+            }
+        }
+    }
+
+    /// Returns `true` once the caller should consider parking / switching strategy
+    /// instead of spinning (the wait has become long).
+    pub fn is_completed(&self) -> bool {
+        self.step > Self::YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_escalates_and_completes() {
+        let mut backoff = Backoff::new();
+        assert!(!backoff.is_completed());
+        for _ in 0..32 {
+            backoff.snooze();
+        }
+        assert!(backoff.is_completed());
+        backoff.reset();
+        assert!(!backoff.is_completed());
+    }
+
+    #[test]
+    fn spin_never_panics_and_stays_bounded() {
+        let mut backoff = Backoff::new();
+        for _ in 0..100 {
+            backoff.spin();
+        }
+    }
+
+    #[test]
+    fn snooze_wait_for_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let setter = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                flag.store(true, Ordering::Release);
+            })
+        };
+        let mut backoff = Backoff::new();
+        while !flag.load(Ordering::Acquire) {
+            backoff.snooze();
+        }
+        setter.join().unwrap();
+        assert!(flag.load(Ordering::Acquire));
+    }
+}

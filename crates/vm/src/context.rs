@@ -1,0 +1,256 @@
+//! The instrumented execution context handed to transaction code.
+
+use crate::errors::{ExecutionFailure, ReadDependency};
+use crate::gas::{GasMeter, GasSchedule};
+use crate::transaction::{TransactionOutput, WriteOp};
+use crate::view::{ReadOutcome, StateReader};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Size estimator used for gas charging when values do not expose a size.
+fn default_size_of<V>(_: &V) -> usize {
+    std::mem::size_of::<V>()
+}
+
+/// The VM-side view of one transaction execution (Algorithm 3).
+///
+/// The context owns the incarnation's write-set buffer and gas meter, and borrows the
+/// engine's [`StateReader`]. It implements the paper's read/write interception rules:
+///
+/// * **writes** are buffered locally; only the latest value per location is kept
+///   (Lines 78–81). The engine applies the buffered write-set to shared memory after
+///   the execution finishes — the VM never touches shared state.
+/// * **reads** first consult the local write buffer (read-your-own-writes, Line 84),
+///   then ask the engine's reader. A [`ReadOutcome::Dependency`] is surfaced as an
+///   [`ExecutionFailure::Dependency`] so the `?` operator aborts the incarnation at the
+///   exact read that encountered the ESTIMATE marker (Line 95).
+pub struct TransactionContext<'a, K, V, R> {
+    reader: &'a R,
+    writes: Vec<WriteOp<K, V>>,
+    write_index: HashMap<K, usize>,
+    gas: GasMeter,
+    reads_performed: usize,
+    size_of: fn(&V) -> usize,
+}
+
+impl<'a, K, V, R> TransactionContext<'a, K, V, R>
+where
+    K: Eq + Hash + Clone + Debug,
+    V: Clone + Debug,
+    R: StateReader<K, V>,
+{
+    /// Creates a context over the engine's reader with the given gas schedule.
+    pub fn new(reader: &'a R, schedule: GasSchedule) -> Self {
+        let mut gas = GasMeter::new(schedule);
+        gas.charge_base();
+        Self {
+            reader,
+            writes: Vec::new(),
+            write_index: HashMap::new(),
+            gas,
+            reads_performed: 0,
+            size_of: default_size_of::<V>,
+        }
+    }
+
+    /// Overrides how value sizes are estimated for per-byte gas charging.
+    pub fn with_size_estimator(mut self, size_of: fn(&V) -> usize) -> Self {
+        self.size_of = size_of;
+        self
+    }
+
+    /// Reads `key`, returning `None` if the location does not exist.
+    ///
+    /// Propagates a dependency as an error so transaction code can simply use `?`.
+    pub fn read(&mut self, key: &K) -> Result<Option<V>, ExecutionFailure> {
+        self.reads_performed += 1;
+        // Read-your-own-writes: the VM observes its latest buffered value.
+        if let Some(&idx) = self.write_index.get(key) {
+            let value = self.writes[idx].value.clone();
+            self.gas.charge_read((self.size_of)(&value));
+            return Ok(Some(value));
+        }
+        match self.reader.read(key) {
+            ReadOutcome::Value(value) => {
+                self.gas.charge_read((self.size_of)(&value));
+                Ok(Some(value))
+            }
+            ReadOutcome::NotFound => {
+                self.gas.charge_read(0);
+                Ok(None)
+            }
+            ReadOutcome::Dependency(blocking_txn_idx) => {
+                Err(ExecutionFailure::Dependency(ReadDependency::new(
+                    blocking_txn_idx,
+                )))
+            }
+        }
+    }
+
+    /// Reads `key` and fails with the given abort code if the location is absent.
+    pub fn read_required(
+        &mut self,
+        key: &K,
+        missing: crate::errors::AbortCode,
+    ) -> Result<V, ExecutionFailure> {
+        match self.read(key)? {
+            Some(value) => Ok(value),
+            None => Err(ExecutionFailure::Abort(missing)),
+        }
+    }
+
+    /// Buffers a write of `value` to `key`, replacing any earlier buffered value.
+    pub fn write(&mut self, key: K, value: V) {
+        self.gas.charge_write((self.size_of)(&value));
+        match self.write_index.get(&key) {
+            Some(&idx) => self.writes[idx].value = value,
+            None => {
+                self.write_index.insert(key.clone(), self.writes.len());
+                self.writes.push(WriteOp::new(key, value));
+            }
+        }
+    }
+
+    /// Charges `units` of additional gas (synthetic contract computation).
+    pub fn charge_gas(&mut self, units: u64) {
+        self.gas.charge_units(units);
+    }
+
+    /// Number of reads performed so far.
+    pub fn reads_performed(&self) -> usize {
+        self.reads_performed
+    }
+
+    /// Number of distinct locations written so far.
+    pub fn writes_pending(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Finalizes the context into a [`TransactionOutput`] containing the write-set.
+    pub(crate) fn into_output(self) -> TransactionOutput<K, V> {
+        let (gas_used, work_sink) = self.gas.finish();
+        TransactionOutput {
+            writes: self.writes,
+            gas_used,
+            abort_code: None,
+            reads_performed: self.reads_performed,
+            work_sink,
+        }
+    }
+
+    /// Finalizes the context into an aborted output: gas is still charged, but the
+    /// write-set is discarded (the blockchain semantics of a transaction abort).
+    pub(crate) fn into_aborted_output(
+        self,
+        code: crate::errors::AbortCode,
+    ) -> TransactionOutput<K, V> {
+        let (gas_used, work_sink) = self.gas.finish();
+        TransactionOutput {
+            writes: Vec::new(),
+            gas_used,
+            abort_code: Some(code),
+            reads_performed: self.reads_performed,
+            work_sink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::AbortCode;
+    use std::collections::HashMap;
+
+    struct FixtureReader {
+        values: HashMap<u64, u64>,
+        estimates: HashMap<u64, usize>,
+    }
+
+    impl StateReader<u64, u64> for FixtureReader {
+        fn read(&self, key: &u64) -> ReadOutcome<u64> {
+            if let Some(&blocking) = self.estimates.get(key) {
+                return ReadOutcome::Dependency(blocking);
+            }
+            match self.values.get(key) {
+                Some(v) => ReadOutcome::Value(*v),
+                None => ReadOutcome::NotFound,
+            }
+        }
+    }
+
+    fn reader() -> FixtureReader {
+        FixtureReader {
+            values: HashMap::from([(1, 100), (2, 200)]),
+            estimates: HashMap::from([(9, 3)]),
+        }
+    }
+
+    #[test]
+    fn reads_hit_reader_and_misses_return_none() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        assert_eq!(ctx.read(&1).unwrap(), Some(100));
+        assert_eq!(ctx.read(&5).unwrap(), None);
+        assert_eq!(ctx.reads_performed(), 2);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        ctx.write(1, 111);
+        assert_eq!(ctx.read(&1).unwrap(), Some(111));
+        ctx.write(1, 222);
+        assert_eq!(ctx.read(&1).unwrap(), Some(222));
+        assert_eq!(ctx.writes_pending(), 1, "writes to the same key are coalesced");
+    }
+
+    #[test]
+    fn dependency_reads_become_failures() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        let err = ctx.read(&9).unwrap_err();
+        assert_eq!(
+            err,
+            ExecutionFailure::Dependency(ReadDependency::new(3))
+        );
+    }
+
+    #[test]
+    fn read_required_aborts_on_missing() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        assert_eq!(ctx.read_required(&1, AbortCode::AccountNotFound).unwrap(), 100);
+        let err = ctx.read_required(&5, AbortCode::AccountNotFound).unwrap_err();
+        assert_eq!(err, ExecutionFailure::Abort(AbortCode::AccountNotFound));
+    }
+
+    #[test]
+    fn into_output_contains_latest_writes_and_gas() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        ctx.write(7, 70);
+        ctx.write(8, 80);
+        ctx.write(7, 71);
+        ctx.charge_gas(5);
+        let output = ctx.into_output();
+        assert_eq!(
+            output.writes,
+            vec![WriteOp::new(7, 71), WriteOp::new(8, 80)]
+        );
+        assert!(output.gas_used >= 5);
+        assert!(!output.is_aborted());
+    }
+
+    #[test]
+    fn aborted_output_drops_writes_but_keeps_gas() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        ctx.write(7, 70);
+        let output = ctx.into_aborted_output(AbortCode::User(9));
+        assert!(output.writes.is_empty());
+        assert_eq!(output.abort_code, Some(AbortCode::User(9)));
+        assert!(output.gas_used > 0);
+    }
+}

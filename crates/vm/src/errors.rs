@@ -1,0 +1,123 @@
+//! Execution failure types.
+
+use crate::types::TxnIndex;
+use std::fmt;
+
+/// A read could not be served speculatively because the location currently holds an
+/// `ESTIMATE` marker written by a lower transaction: the transaction has a *dependency*
+/// on `blocking_txn_idx` and its execution must be retried after that transaction's
+/// next incarnation completes (the `READ_ERROR` of Algorithm 2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadDependency {
+    /// The lower transaction whose estimated write blocks this read.
+    pub blocking_txn_idx: TxnIndex,
+}
+
+impl ReadDependency {
+    /// Creates a dependency on `blocking_txn_idx`.
+    pub fn new(blocking_txn_idx: TxnIndex) -> Self {
+        Self { blocking_txn_idx }
+    }
+}
+
+impl fmt::Display for ReadDependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "read blocked by estimate of txn {}", self.blocking_txn_idx)
+    }
+}
+
+/// A deterministic, transaction-level abort code (the Move VM's equivalent of a failed
+/// prologue check or an explicit `abort` instruction).
+///
+/// Aborted transactions still commit "successfully" from the engine's point of view —
+/// they simply produce an empty write-set — exactly as a blockchain discards the
+/// effects of a transaction whose payload aborts while still charging and sequencing
+/// it. Keeping abort codes deterministic is essential: parallel and sequential
+/// execution must agree on which transactions aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCode {
+    /// The sending account does not exist in the pre-block state.
+    AccountNotFound,
+    /// The sending account is frozen.
+    AccountFrozen,
+    /// Insufficient balance for the attempted operation.
+    InsufficientBalance,
+    /// A resource had an unexpected type (storage corruption or test misconfiguration).
+    TypeMismatch,
+    /// Generic user-defined abort with a code, mirroring Move's `abort <code>`.
+    User(u64),
+}
+
+impl fmt::Display for AbortCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCode::AccountNotFound => write!(f, "account not found"),
+            AbortCode::AccountFrozen => write!(f, "account frozen"),
+            AbortCode::InsufficientBalance => write!(f, "insufficient balance"),
+            AbortCode::TypeMismatch => write!(f, "resource type mismatch"),
+            AbortCode::User(code) => write!(f, "user abort({code})"),
+        }
+    }
+}
+
+/// Why a transaction's `execute` returned early.
+///
+/// `Dependency` propagates a [`ReadDependency`] out of the transaction body (the `?`
+/// operator converts automatically); `Abort` is a deterministic transaction abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionFailure {
+    /// The execution must be suspended/re-scheduled: a read hit an ESTIMATE marker.
+    Dependency(ReadDependency),
+    /// The transaction aborted deterministically.
+    Abort(AbortCode),
+}
+
+impl From<ReadDependency> for ExecutionFailure {
+    fn from(dep: ReadDependency) -> Self {
+        ExecutionFailure::Dependency(dep)
+    }
+}
+
+impl From<AbortCode> for ExecutionFailure {
+    fn from(code: AbortCode) -> Self {
+        ExecutionFailure::Abort(code)
+    }
+}
+
+impl fmt::Display for ExecutionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionFailure::Dependency(dep) => write!(f, "{dep}"),
+            ExecutionFailure::Abort(code) => write!(f, "abort: {code}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutionFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependency_converts_into_failure() {
+        let failure: ExecutionFailure = ReadDependency::new(4).into();
+        assert_eq!(
+            failure,
+            ExecutionFailure::Dependency(ReadDependency { blocking_txn_idx: 4 })
+        );
+    }
+
+    #[test]
+    fn abort_code_converts_into_failure() {
+        let failure: ExecutionFailure = AbortCode::InsufficientBalance.into();
+        assert_eq!(failure, ExecutionFailure::Abort(AbortCode::InsufficientBalance));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(format!("{}", ReadDependency::new(9)).contains('9'));
+        assert!(format!("{}", ExecutionFailure::Abort(AbortCode::User(42))).contains("42"));
+        assert!(format!("{}", AbortCode::AccountFrozen).contains("frozen"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulated smart-contract virtual machine for the Block-STM reproduction.
+//!
+//! The paper executes Move transactions inside the Diem/Aptos VM. The engine only
+//! requires three properties of that VM (§2 and §3.2.1):
+//!
+//! 1. **Instrumented reads and writes.** Every read goes through a view the engine
+//!    controls (so it can be served from the multi-version memory or storage and
+//!    recorded in the read-set), and writes are buffered into a write-set that is
+//!    applied to shared memory only after the execution finishes.
+//! 2. **No side effects outside the write-set** — `VM.execute` "does not write to
+//!    shared memory" (Algorithm 1, Line 12), making speculative execution safe.
+//! 3. **Error encapsulation** — the VM "captures all execution errors that could stem
+//!    from inconsistent reads during speculative transaction execution" (§4), so
+//!    opacity is not required.
+//!
+//! This crate provides a small deterministic VM with those properties:
+//!
+//! * [`Transaction`] — the trait user transactions implement ("smart contract code"),
+//!   generic over key and value types.
+//! * [`StateReader`] / [`ReadOutcome`] — the interface the execution engine implements
+//!   to serve reads (from `MVMemory` + `Storage` in the parallel executor, or from the
+//!   current state in the sequential one).
+//! * [`TransactionContext`] — the instrumented view handed to transaction code:
+//!   read-your-own-writes, write buffering, gas metering, dependency interrupts.
+//! * [`Vm`] — drives one transaction execution and produces a [`VmResult`]
+//!   (write-set, gas used, or a read dependency / abort).
+//! * [`p2p`] — Diem-style (21 reads / 4 writes) and Aptos-style (8 reads / 5 writes)
+//!   peer-to-peer payment transactions used throughout the paper's evaluation.
+//! * [`synthetic`] — configurable read/write transactions over small integer key
+//!   spaces, used by property tests and the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod errors;
+mod gas;
+pub mod p2p;
+pub mod synthetic;
+mod transaction;
+mod types;
+mod view;
+mod vm;
+
+pub use context::TransactionContext;
+pub use errors::{AbortCode, ExecutionFailure, ReadDependency};
+pub use gas::{GasMeter, GasSchedule};
+pub use transaction::{Transaction, TransactionOutput, WriteOp};
+pub use types::{Incarnation, TxnIndex, Version};
+pub use view::{ReadOutcome, StateReader};
+pub use vm::{Vm, VmResult, VmStatus};

@@ -1,0 +1,533 @@
+//! Peer-to-peer payment transactions, in Diem and Aptos flavours.
+//!
+//! These are the workloads used throughout the paper's evaluation (§4.1):
+//!
+//! * **Diem p2p** — "perform 21 reads and 4 writes. [...] the 4 writes of the
+//!   transaction involve updating balances and sequence numbers of A and B. The reason
+//!   for 21 reads is that every Diem transaction is verified against some on-chain
+//!   information [...]. During this process, information such as the correct block time
+//!   and whether or not the account is frozen is read."
+//! * **Aptos p2p** — "perform 8 reads and 5 writes each, where the Aptos p2p
+//!   transactions reduce many of the verification and on-chain reads". A single Diem
+//!   p2p costs roughly 2x the VM time of an Aptos p2p.
+//!
+//! The transaction below reproduces both access patterns exactly (read/write counts and
+//!   which resources they touch) and uses the synthetic gas model to reproduce the 2:1
+//! execution-cost ratio. The payment semantics are simple and deterministic: transfer
+//! `amount`, or transfer nothing if the balance is insufficient (the real chain would
+//! abort; keeping the transaction committed with a partial effect keeps balance
+//! conservation easy to assert in tests — an explicit abort mode is also available).
+
+use crate::context::TransactionContext;
+use crate::errors::{AbortCode, ExecutionFailure};
+use crate::transaction::Transaction;
+use crate::view::StateReader;
+use block_stm_storage::{AccessPath, AccountAddress, ConfigId, StateValue};
+use serde::{Deserialize, Serialize};
+
+/// Which chain's p2p access pattern (and VM cost) to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum P2pFlavor {
+    /// Diem-style transfer: 21 reads, 4 writes, ~2x the execution gas of Aptos.
+    Diem,
+    /// Aptos-style transfer: 8 reads, 5 writes.
+    Aptos,
+}
+
+impl P2pFlavor {
+    /// Number of reads this flavour performs.
+    pub const fn expected_reads(&self) -> usize {
+        match self {
+            P2pFlavor::Diem => 21,
+            P2pFlavor::Aptos => 8,
+        }
+    }
+
+    /// Number of writes this flavour performs.
+    pub const fn expected_writes(&self) -> usize {
+        match self {
+            P2pFlavor::Diem => 4,
+            P2pFlavor::Aptos => 5,
+        }
+    }
+
+    /// Extra execution gas charged on top of per-read/per-write costs, calibrated so a
+    /// Diem p2p costs about twice an Aptos p2p end to end.
+    pub const fn execution_gas(&self) -> u64 {
+        match self {
+            P2pFlavor::Diem => 260,
+            P2pFlavor::Aptos => 110,
+        }
+    }
+}
+
+/// How the transaction behaves when the sender's balance is insufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsufficientBalanceBehavior {
+    /// Transfer nothing but still bump sequence numbers (default; keeps every
+    /// transaction committed, which matches how the benchmarks fund accounts so that
+    /// transfers never fail).
+    TransferZero,
+    /// Abort the transaction deterministically with
+    /// [`AbortCode::InsufficientBalance`].
+    Abort,
+}
+
+/// A peer-to-peer payment of `amount` from `sender` to `receiver`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerToPeerTransaction {
+    /// Paying account.
+    pub sender: AccountAddress,
+    /// Receiving account.
+    pub receiver: AccountAddress,
+    /// Amount to transfer.
+    pub amount: u64,
+    /// Diem or Aptos access pattern.
+    pub flavor: P2pFlavor,
+    /// Behaviour on insufficient balance.
+    pub on_insufficient: InsufficientBalanceBehavior,
+}
+
+impl PeerToPeerTransaction {
+    /// Creates a Diem-flavoured transfer.
+    pub fn diem(sender: AccountAddress, receiver: AccountAddress, amount: u64) -> Self {
+        Self {
+            sender,
+            receiver,
+            amount,
+            flavor: P2pFlavor::Diem,
+            on_insufficient: InsufficientBalanceBehavior::TransferZero,
+        }
+    }
+
+    /// Creates an Aptos-flavoured transfer.
+    pub fn aptos(sender: AccountAddress, receiver: AccountAddress, amount: u64) -> Self {
+        Self {
+            sender,
+            receiver,
+            amount,
+            flavor: P2pFlavor::Aptos,
+            on_insufficient: InsufficientBalanceBehavior::TransferZero,
+        }
+    }
+
+    /// Switches the insufficient-balance behaviour.
+    pub fn with_insufficient_behavior(mut self, behavior: InsufficientBalanceBehavior) -> Self {
+        self.on_insufficient = behavior;
+        self
+    }
+
+    /// The exact set of access paths this transaction may write — its *perfect
+    /// write-set*, used to drive the Bohm baseline ("we artificially provide Bohm with
+    /// perfect write-sets information", §4.1).
+    pub fn perfect_write_set(&self) -> Vec<AccessPath> {
+        match self.flavor {
+            P2pFlavor::Diem => vec![
+                AccessPath::balance(self.sender),
+                AccessPath::sequence_number(self.sender),
+                AccessPath::balance(self.receiver),
+                AccessPath::sequence_number(self.receiver),
+            ],
+            P2pFlavor::Aptos => vec![
+                AccessPath::balance(self.sender),
+                AccessPath::sequence_number(self.sender),
+                AccessPath::balance(self.receiver),
+                AccessPath::account(self.sender),
+                AccessPath::account(self.receiver),
+            ],
+        }
+    }
+
+    fn read_u64<R: StateReader<AccessPath, StateValue>>(
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+        path: &AccessPath,
+    ) -> Result<u64, ExecutionFailure> {
+        match ctx.read(path)? {
+            Some(StateValue::U64(v)) => Ok(v),
+            Some(_) => Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+            None => Err(ExecutionFailure::Abort(AbortCode::AccountNotFound)),
+        }
+    }
+
+    fn execute_diem<R: StateReader<AccessPath, StateValue>>(
+        &self,
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    ) -> Result<(), ExecutionFailure> {
+        // --- Prologue: 10 on-chain configuration reads (block time, gas schedule,
+        // chain id, currency info, dual attestation, ...).
+        for id in ConfigId::ALL {
+            let _ = ctx.read(&AccessPath::config(id))?;
+        }
+
+        // --- Sender verification: 6 reads.
+        let sender_account = ctx.read(&AccessPath::account(self.sender))?;
+        let sender_frozen = ctx.read(&AccessPath::freezing_bit(self.sender))?;
+        let sender_balance = Self::read_u64(ctx, &AccessPath::balance(self.sender))?;
+        let sender_seq = Self::read_u64(ctx, &AccessPath::sequence_number(self.sender))?;
+        let _sender_sent = ctx.read(&AccessPath::sent_events(self.sender))?;
+        let _sender_received = ctx.read(&AccessPath::received_events(self.sender))?;
+
+        // --- Receiver verification: 5 reads.
+        let _receiver_account = ctx.read(&AccessPath::account(self.receiver))?;
+        let receiver_frozen = ctx.read(&AccessPath::freezing_bit(self.receiver))?;
+        let receiver_balance = Self::read_u64(ctx, &AccessPath::balance(self.receiver))?;
+        let receiver_seq = Self::read_u64(ctx, &AccessPath::sequence_number(self.receiver))?;
+        let _receiver_received = ctx.read(&AccessPath::received_events(self.receiver))?;
+
+        if sender_account.is_none() {
+            return Err(ExecutionFailure::Abort(AbortCode::AccountNotFound));
+        }
+        if sender_frozen == Some(StateValue::Bool(true))
+            || receiver_frozen == Some(StateValue::Bool(true))
+        {
+            return Err(ExecutionFailure::Abort(AbortCode::AccountFrozen));
+        }
+
+        // --- Synthetic Move interpretation work (prologue checks, event emission, ...).
+        ctx.charge_gas(self.flavor.execution_gas());
+
+        let transferred = self.settle_amount(sender_balance)?;
+
+        // --- 4 writes: balances and sequence numbers of both parties.
+        ctx.write(
+            AccessPath::balance(self.sender),
+            StateValue::U64(sender_balance - transferred),
+        );
+        ctx.write(
+            AccessPath::sequence_number(self.sender),
+            StateValue::U64(sender_seq + 1),
+        );
+        if self.sender == self.receiver {
+            // Self-payment: the balance is unchanged overall and the sequence number
+            // write below supersedes the one above (write-set keeps the latest value).
+            ctx.write(
+                AccessPath::balance(self.receiver),
+                StateValue::U64(sender_balance),
+            );
+            ctx.write(
+                AccessPath::sequence_number(self.receiver),
+                StateValue::U64(sender_seq + 1),
+            );
+        } else {
+            ctx.write(
+                AccessPath::balance(self.receiver),
+                StateValue::U64(receiver_balance + transferred),
+            );
+            ctx.write(
+                AccessPath::sequence_number(self.receiver),
+                StateValue::U64(receiver_seq),
+            );
+        }
+        Ok(())
+    }
+
+    fn execute_aptos<R: StateReader<AccessPath, StateValue>>(
+        &self,
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    ) -> Result<(), ExecutionFailure> {
+        // --- Prologue: 3 configuration reads (Aptos trims most on-chain verification).
+        let _ = ctx.read(&AccessPath::config(ConfigId::BlockTimestamp))?;
+        let _ = ctx.read(&AccessPath::config(ConfigId::GasSchedule))?;
+        let _ = ctx.read(&AccessPath::config(ConfigId::ChainId))?;
+
+        // --- Sender: 3 reads; receiver: 2 reads.
+        let sender_account = ctx.read(&AccessPath::account(self.sender))?;
+        let sender_balance = Self::read_u64(ctx, &AccessPath::balance(self.sender))?;
+        let sender_seq = Self::read_u64(ctx, &AccessPath::sequence_number(self.sender))?;
+        let receiver_account = ctx.read(&AccessPath::account(self.receiver))?;
+        let receiver_balance = Self::read_u64(ctx, &AccessPath::balance(self.receiver))?;
+
+        let sender_resource = match sender_account {
+            Some(StateValue::Account(account)) => account,
+            Some(_) => return Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+            None => return Err(ExecutionFailure::Abort(AbortCode::AccountNotFound)),
+        };
+        let receiver_resource = match receiver_account {
+            Some(StateValue::Account(account)) => account,
+            Some(_) => return Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+            None => return Err(ExecutionFailure::Abort(AbortCode::AccountNotFound)),
+        };
+
+        ctx.charge_gas(self.flavor.execution_gas());
+
+        let transferred = self.settle_amount(sender_balance)?;
+
+        // --- 5 writes: sender balance & sequence number, receiver balance, and both
+        // account resources (event counters).
+        ctx.write(
+            AccessPath::balance(self.sender),
+            StateValue::U64(sender_balance - transferred),
+        );
+        ctx.write(
+            AccessPath::sequence_number(self.sender),
+            StateValue::U64(sender_seq + 1),
+        );
+        if self.sender == self.receiver {
+            ctx.write(
+                AccessPath::balance(self.receiver),
+                StateValue::U64(sender_balance),
+            );
+            let updated = sender_resource.with_sent_event().with_received_event();
+            ctx.write(
+                AccessPath::account(self.sender),
+                StateValue::Account(updated.clone()),
+            );
+            ctx.write(AccessPath::account(self.receiver), StateValue::Account(updated));
+        } else {
+            ctx.write(
+                AccessPath::balance(self.receiver),
+                StateValue::U64(receiver_balance + transferred),
+            );
+            ctx.write(
+                AccessPath::account(self.sender),
+                StateValue::Account(sender_resource.with_sent_event()),
+            );
+            ctx.write(
+                AccessPath::account(self.receiver),
+                StateValue::Account(receiver_resource.with_received_event()),
+            );
+        }
+        Ok(())
+    }
+
+    fn settle_amount(&self, sender_balance: u64) -> Result<u64, ExecutionFailure> {
+        if sender_balance >= self.amount {
+            Ok(self.amount)
+        } else {
+            match self.on_insufficient {
+                InsufficientBalanceBehavior::TransferZero => Ok(0),
+                InsufficientBalanceBehavior::Abort => {
+                    Err(ExecutionFailure::Abort(AbortCode::InsufficientBalance))
+                }
+            }
+        }
+    }
+}
+
+impl Transaction for PeerToPeerTransaction {
+    type Key = AccessPath;
+    type Value = StateValue;
+
+    fn execute<R: StateReader<AccessPath, StateValue>>(
+        &self,
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    ) -> Result<(), ExecutionFailure> {
+        match self.flavor {
+            P2pFlavor::Diem => self.execute_diem(ctx),
+            P2pFlavor::Aptos => self.execute_aptos(ctx),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self.flavor {
+            P2pFlavor::Diem => "diem-p2p",
+            P2pFlavor::Aptos => "aptos-p2p",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ReadOutcome;
+    use crate::vm::{Vm, VmStatus};
+    use block_stm_storage::{GenesisBuilder, InMemoryStorage, Storage};
+
+    /// A reader backed directly by pre-block storage (sequential, no block context).
+    struct StorageReader<'a>(&'a InMemoryStorage<AccessPath, StateValue>);
+
+    impl StateReader<AccessPath, StateValue> for StorageReader<'_> {
+        fn read(&self, key: &AccessPath) -> ReadOutcome<StateValue> {
+            match self.0.get(key) {
+                Some(v) => ReadOutcome::Value(v),
+                None => ReadOutcome::NotFound,
+            }
+        }
+    }
+
+    fn run(
+        txn: &PeerToPeerTransaction,
+        storage: &InMemoryStorage<AccessPath, StateValue>,
+    ) -> crate::transaction::TransactionOutput<AccessPath, StateValue> {
+        let vm = Vm::for_testing();
+        match vm.execute(txn, &StorageReader(storage)) {
+            VmStatus::Done(output) => output,
+            VmStatus::ReadError { .. } => panic!("unexpected dependency"),
+        }
+    }
+
+    #[test]
+    fn diem_p2p_performs_21_reads_and_4_writes() {
+        let storage = GenesisBuilder::new(4).initial_balance(1_000).build();
+        let txn = PeerToPeerTransaction::diem(
+            GenesisBuilder::account_address(0),
+            GenesisBuilder::account_address(1),
+            10,
+        );
+        let output = run(&txn, &storage);
+        assert_eq!(output.reads_performed, P2pFlavor::Diem.expected_reads());
+        assert_eq!(output.writes.len(), P2pFlavor::Diem.expected_writes());
+        assert!(!output.is_aborted());
+    }
+
+    #[test]
+    fn aptos_p2p_performs_8_reads_and_5_writes() {
+        let storage = GenesisBuilder::new(4).initial_balance(1_000).build();
+        let txn = PeerToPeerTransaction::aptos(
+            GenesisBuilder::account_address(2),
+            GenesisBuilder::account_address(3),
+            10,
+        );
+        let output = run(&txn, &storage);
+        assert_eq!(output.reads_performed, P2pFlavor::Aptos.expected_reads());
+        assert_eq!(output.writes.len(), P2pFlavor::Aptos.expected_writes());
+    }
+
+    #[test]
+    fn transfer_moves_funds_and_bumps_sequence_number() {
+        let storage = GenesisBuilder::new(2).initial_balance(500).build();
+        let sender = GenesisBuilder::account_address(0);
+        let receiver = GenesisBuilder::account_address(1);
+        let txn = PeerToPeerTransaction::diem(sender, receiver, 123);
+        let output = run(&txn, &storage);
+        let mut post = storage.clone();
+        post.apply_updates(output.writes.iter().map(|w| (w.key, w.value.clone())));
+        assert_eq!(
+            post.get(&AccessPath::balance(sender)),
+            Some(StateValue::U64(500 - 123))
+        );
+        assert_eq!(
+            post.get(&AccessPath::balance(receiver)),
+            Some(StateValue::U64(500 + 123))
+        );
+        assert_eq!(
+            post.get(&AccessPath::sequence_number(sender)),
+            Some(StateValue::U64(1))
+        );
+    }
+
+    #[test]
+    fn insufficient_balance_transfers_zero_by_default() {
+        let storage = GenesisBuilder::new(2).initial_balance(10).build();
+        let sender = GenesisBuilder::account_address(0);
+        let receiver = GenesisBuilder::account_address(1);
+        let txn = PeerToPeerTransaction::diem(sender, receiver, 1_000);
+        let output = run(&txn, &storage);
+        assert!(!output.is_aborted());
+        let mut post = storage.clone();
+        post.apply_updates(output.writes.iter().map(|w| (w.key, w.value.clone())));
+        assert_eq!(
+            post.get(&AccessPath::balance(sender)),
+            Some(StateValue::U64(10))
+        );
+        assert_eq!(
+            post.get(&AccessPath::balance(receiver)),
+            Some(StateValue::U64(10))
+        );
+    }
+
+    #[test]
+    fn insufficient_balance_abort_mode_aborts() {
+        let storage = GenesisBuilder::new(2).initial_balance(10).build();
+        let txn = PeerToPeerTransaction::aptos(
+            GenesisBuilder::account_address(0),
+            GenesisBuilder::account_address(1),
+            1_000,
+        )
+        .with_insufficient_behavior(InsufficientBalanceBehavior::Abort);
+        let output = run(&txn, &storage);
+        assert_eq!(output.abort_code, Some(AbortCode::InsufficientBalance));
+        assert!(output.writes.is_empty());
+    }
+
+    #[test]
+    fn missing_sender_aborts_with_account_not_found() {
+        let storage = GenesisBuilder::new(1).build();
+        let txn = PeerToPeerTransaction::diem(
+            GenesisBuilder::account_address(10),
+            GenesisBuilder::account_address(0),
+            1,
+        );
+        let output = run(&txn, &storage);
+        assert_eq!(output.abort_code, Some(AbortCode::AccountNotFound));
+    }
+
+    #[test]
+    fn self_payment_preserves_balance() {
+        let storage = GenesisBuilder::new(1).initial_balance(700).build();
+        let addr = GenesisBuilder::account_address(0);
+        for txn in [
+            PeerToPeerTransaction::diem(addr, addr, 100),
+            PeerToPeerTransaction::aptos(addr, addr, 100),
+        ] {
+            let output = run(&txn, &storage);
+            let mut post = storage.clone();
+            post.apply_updates(output.writes.iter().map(|w| (w.key, w.value.clone())));
+            assert_eq!(
+                post.get(&AccessPath::balance(addr)),
+                Some(StateValue::U64(700)),
+                "flavor {:?}",
+                txn.flavor
+            );
+            assert_eq!(
+                post.get(&AccessPath::sequence_number(addr)),
+                Some(StateValue::U64(1))
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_write_set_covers_actual_writes() {
+        let storage = GenesisBuilder::new(2).initial_balance(1_000).build();
+        for txn in [
+            PeerToPeerTransaction::diem(
+                GenesisBuilder::account_address(0),
+                GenesisBuilder::account_address(1),
+                5,
+            ),
+            PeerToPeerTransaction::aptos(
+                GenesisBuilder::account_address(0),
+                GenesisBuilder::account_address(1),
+                5,
+            ),
+        ] {
+            let declared = txn.perfect_write_set();
+            let output = run(&txn, &storage);
+            for write in &output.writes {
+                assert!(
+                    declared.contains(&write.key),
+                    "write to {:?} not declared in perfect write-set of {:?}",
+                    write.key,
+                    txn.flavor
+                );
+            }
+            assert_eq!(declared.len(), txn.flavor.expected_writes());
+        }
+    }
+
+    #[test]
+    fn diem_costs_roughly_twice_aptos() {
+        let storage = GenesisBuilder::new(2).initial_balance(1_000).build();
+        let diem = run(
+            &PeerToPeerTransaction::diem(
+                GenesisBuilder::account_address(0),
+                GenesisBuilder::account_address(1),
+                5,
+            ),
+            &storage,
+        );
+        let aptos = run(
+            &PeerToPeerTransaction::aptos(
+                GenesisBuilder::account_address(0),
+                GenesisBuilder::account_address(1),
+                5,
+            ),
+            &storage,
+        );
+        let ratio = diem.gas_used as f64 / aptos.gas_used as f64;
+        assert!(
+            (1.6..=2.6).contains(&ratio),
+            "Diem/Aptos gas ratio {ratio} outside expected band"
+        );
+    }
+}

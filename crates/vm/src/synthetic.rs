@@ -1,0 +1,281 @@
+//! Synthetic read/write transactions over a small integer key space.
+//!
+//! These transactions are the workhorse of the correctness test suite: property tests
+//! generate random blocks of them and assert that every engine (Block-STM, Bohm, LiTM,
+//! sequential) produces the identical final state. They are intentionally nastier than
+//! p2p payments:
+//!
+//! * the write *value* is a deterministic function of everything the transaction read,
+//!   so any stale or reordered read changes the committed state and is caught;
+//! * an optional *conditional* write-set makes the set of written locations depend on
+//!   the read values, exercising the `wrote_new_location` path of
+//!   `MVMemory.record` / `Scheduler.finish_execution` (Algorithm 2, Line 35) where a
+//!   re-execution writes to locations its previous incarnation did not.
+
+use crate::context::TransactionContext;
+use crate::errors::{AbortCode, ExecutionFailure};
+use crate::transaction::Transaction;
+use crate::view::StateReader;
+use serde::{Deserialize, Serialize};
+
+/// Key type of synthetic transactions.
+pub type Key = u64;
+/// Value type of synthetic transactions.
+pub type Value = u64;
+
+/// A synthetic transaction: read `reads`, combine the values, write a derived value to
+/// every key in `writes` (always) and `conditional_writes` (only when the combined read
+/// value is odd).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntheticTransaction {
+    /// Locations read unconditionally, in order.
+    pub reads: Vec<Key>,
+    /// Locations written unconditionally.
+    pub writes: Vec<Key>,
+    /// Locations written only when the mixed read value is odd.
+    pub conditional_writes: Vec<Key>,
+    /// A per-transaction salt mixed into written values (makes transactions with the
+    /// same access pattern distinguishable).
+    pub salt: u64,
+    /// Extra synthetic gas to burn, simulating contract computation.
+    pub extra_gas: u64,
+    /// If set, the transaction aborts deterministically with this user code when the
+    /// mixed read value is divisible by the given modulus (exercises abort paths).
+    pub abort_when_divisible_by: Option<u64>,
+}
+
+impl SyntheticTransaction {
+    /// A transaction that reads nothing and writes `value` to `key`.
+    pub fn put(key: Key, value: Value) -> Self {
+        Self {
+            reads: vec![],
+            writes: vec![key],
+            conditional_writes: vec![],
+            salt: value,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+        }
+    }
+
+    /// A read-modify-write of a single location (classic counter increment): reads
+    /// `key` and writes a value derived from it back to `key`. Blocks of these over a
+    /// single key are inherently sequential — the worst case for any parallel engine.
+    pub fn increment(key: Key) -> Self {
+        Self {
+            reads: vec![key],
+            writes: vec![key],
+            conditional_writes: vec![],
+            salt: 1,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+        }
+    }
+
+    /// A transfer-shaped transaction: reads and writes `from` and `to`.
+    pub fn transfer(from: Key, to: Key, salt: u64) -> Self {
+        Self {
+            reads: vec![from, to],
+            writes: vec![from, to],
+            conditional_writes: vec![],
+            salt,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+        }
+    }
+
+    /// Builder: adds extra gas.
+    pub fn with_extra_gas(mut self, gas: u64) -> Self {
+        self.extra_gas = gas;
+        self
+    }
+
+    /// Builder: adds conditional writes.
+    pub fn with_conditional_writes(mut self, keys: Vec<Key>) -> Self {
+        self.conditional_writes = keys;
+        self
+    }
+
+    /// Builder: aborts when the mixed read value is divisible by `modulus`.
+    pub fn with_abort_divisor(mut self, modulus: u64) -> Self {
+        self.abort_when_divisible_by = Some(modulus.max(1));
+        self
+    }
+
+    /// The full set of locations this transaction may write (unconditional plus
+    /// conditional) — its perfect write-set for the Bohm baseline.
+    pub fn perfect_write_set(&self) -> Vec<Key> {
+        let mut set = self.writes.clone();
+        set.extend(self.conditional_writes.iter().copied());
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Deterministically mixes a read value into an accumulator.
+    fn mix(acc: u64, value: u64) -> u64 {
+        acc.rotate_left(7) ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The value written to `key` given the mixed read accumulator.
+    fn written_value(&self, mixed: u64, key: Key) -> Value {
+        mixed
+            .wrapping_add(self.salt.wrapping_mul(0x1000_0001))
+            .wrapping_add(key.rotate_left(13))
+    }
+}
+
+impl Transaction for SyntheticTransaction {
+    type Key = Key;
+    type Value = Value;
+
+    fn execute<R: StateReader<Key, Value>>(
+        &self,
+        ctx: &mut TransactionContext<'_, Key, Value, R>,
+    ) -> Result<(), ExecutionFailure> {
+        let mut mixed = 0xABCD_EF01_2345_6789u64;
+        for key in &self.reads {
+            let value = ctx.read(key)?.unwrap_or(0);
+            mixed = Self::mix(mixed, value);
+        }
+        if self.extra_gas > 0 {
+            ctx.charge_gas(self.extra_gas);
+        }
+        if let Some(modulus) = self.abort_when_divisible_by {
+            if mixed % modulus == 0 {
+                return Err(ExecutionFailure::Abort(AbortCode::User(modulus)));
+            }
+        }
+        for key in &self.writes {
+            let value = self.written_value(mixed, *key);
+            ctx.write(*key, value);
+        }
+        if mixed % 2 == 1 {
+            for key in &self.conditional_writes {
+                let value = self.written_value(mixed, *key).wrapping_add(1);
+                ctx.write(*key, value);
+            }
+        }
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        "synthetic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ReadOutcome;
+    use crate::vm::{Vm, VmStatus};
+    use std::collections::HashMap;
+
+    struct MapReader(HashMap<Key, Value>);
+
+    impl StateReader<Key, Value> for MapReader {
+        fn read(&self, key: &Key) -> ReadOutcome<Value> {
+            match self.0.get(key) {
+                Some(v) => ReadOutcome::Value(*v),
+                None => ReadOutcome::NotFound,
+            }
+        }
+    }
+
+    fn run(
+        txn: &SyntheticTransaction,
+        state: &HashMap<Key, Value>,
+    ) -> crate::transaction::TransactionOutput<Key, Value> {
+        match Vm::for_testing().execute(txn, &MapReader(state.clone())) {
+            VmStatus::Done(output) => output,
+            VmStatus::ReadError { .. } => panic!("unexpected dependency"),
+        }
+    }
+
+    #[test]
+    fn put_writes_single_key() {
+        let output = run(&SyntheticTransaction::put(5, 99), &HashMap::new());
+        assert_eq!(output.writes.len(), 1);
+        assert_eq!(output.writes[0].key, 5);
+    }
+
+    #[test]
+    fn execution_is_deterministic_given_same_reads() {
+        let state = HashMap::from([(1, 10), (2, 20)]);
+        let txn = SyntheticTransaction::transfer(1, 2, 7);
+        let a = run(&txn, &state);
+        let b = run(&txn, &state);
+        assert_eq!(a.writes, b.writes);
+    }
+
+    #[test]
+    fn written_values_depend_on_read_values() {
+        let txn = SyntheticTransaction::transfer(1, 2, 7);
+        let a = run(&txn, &HashMap::from([(1, 10), (2, 20)]));
+        let b = run(&txn, &HashMap::from([(1, 11), (2, 20)]));
+        assert_ne!(
+            a.writes, b.writes,
+            "a change in a read value must change the written values"
+        );
+    }
+
+    #[test]
+    fn conditional_writes_toggle_with_read_parity() {
+        let txn = SyntheticTransaction {
+            reads: vec![1],
+            writes: vec![2],
+            conditional_writes: vec![3],
+            salt: 0,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+        };
+        // Find two input values producing different parities of the mixed accumulator.
+        let mut with_conditional = None;
+        let mut without_conditional = None;
+        for value in 0..64u64 {
+            let output = run(&txn, &HashMap::from([(1, value)]));
+            match output.writes.len() {
+                2 => with_conditional = Some(value),
+                1 => without_conditional = Some(value),
+                n => panic!("unexpected write count {n}"),
+            }
+            if with_conditional.is_some() && without_conditional.is_some() {
+                break;
+            }
+        }
+        assert!(with_conditional.is_some(), "no input triggered the conditional write");
+        assert!(without_conditional.is_some(), "every input triggered the conditional write");
+    }
+
+    #[test]
+    fn abort_divisor_aborts_deterministically() {
+        let txn = SyntheticTransaction::increment(1).with_abort_divisor(1);
+        let output = run(&txn, &HashMap::from([(1, 5)]));
+        assert!(output.is_aborted());
+        assert!(output.writes.is_empty());
+    }
+
+    #[test]
+    fn perfect_write_set_is_sorted_unique_superset() {
+        let txn = SyntheticTransaction {
+            reads: vec![],
+            writes: vec![3, 1, 3],
+            conditional_writes: vec![2, 1],
+            salt: 0,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+        };
+        assert_eq!(txn.perfect_write_set(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn increment_chain_applied_sequentially_changes_value_each_step() {
+        let mut state = HashMap::from([(1u64, 0u64)]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let output = run(&SyntheticTransaction::increment(1), &state);
+            let new_value = output.writes[0].value;
+            assert!(seen.insert(new_value), "values must keep changing");
+            state.insert(1, new_value);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The transaction trait and transaction outputs.
+
+use crate::context::TransactionContext;
+use crate::errors::{AbortCode, ExecutionFailure};
+use crate::view::StateReader;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A single write produced by a transaction: the new value of one location.
+///
+/// The paper's write-sets are `(memory location, value)` pairs; we keep the pair as a
+/// named struct so baselines and tests can pattern-match on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp<K, V> {
+    /// The written location.
+    pub key: K,
+    /// The new value.
+    pub value: V,
+}
+
+impl<K, V> WriteOp<K, V> {
+    /// Creates a write operation.
+    pub fn new(key: K, value: V) -> Self {
+        Self { key, value }
+    }
+}
+
+/// The result of one successful (non-interrupted) transaction execution: the buffered
+/// write-set plus bookkeeping the benchmarks report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionOutput<K, V> {
+    /// The write-set, deduplicated: the *last* value written per location
+    /// (Algorithm 3, Lines 78–81).
+    pub writes: Vec<WriteOp<K, V>>,
+    /// Gas consumed by the execution.
+    pub gas_used: u64,
+    /// If the transaction aborted deterministically (e.g. insufficient balance), the
+    /// abort code. Aborted transactions produce an empty write-set but still commit.
+    pub abort_code: Option<AbortCode>,
+    /// Number of reads the execution performed (including reads of its own writes).
+    pub reads_performed: usize,
+    /// Opaque accumulator from the synthetic gas work; folding it into the output
+    /// prevents the work loop from being optimized away.
+    pub work_sink: u64,
+}
+
+impl<K, V> TransactionOutput<K, V> {
+    /// An output with no effects (used for deterministically aborted transactions).
+    pub fn empty() -> Self {
+        Self {
+            writes: Vec::new(),
+            gas_used: 0,
+            abort_code: None,
+            reads_performed: 0,
+            work_sink: 0,
+        }
+    }
+
+    /// Whether the transaction aborted deterministically.
+    pub fn is_aborted(&self) -> bool {
+        self.abort_code.is_some()
+    }
+
+    /// Iterates over `(key, value)` pairs of the write-set.
+    pub fn write_pairs(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.writes.iter().map(|w| (&w.key, &w.value))
+    }
+}
+
+/// The trait implemented by every transaction type executed by the engines in this
+/// workspace ("the smart contract code").
+///
+/// Implementations perform *all* state access through the provided
+/// [`TransactionContext`]: reads via [`TransactionContext::read`] (which transparently
+/// checks the transaction's own pending writes first, then asks the engine), writes via
+/// [`TransactionContext::write`], and optional extra gas via
+/// [`TransactionContext::charge_gas`]. The engine guarantees the context never exposes
+/// state written by *higher* transactions in the preset order.
+///
+/// `execute` must be **deterministic**: given the same values returned by the reads, it
+/// must produce the same writes and the same abort decision. This is what lets every
+/// engine (and every incarnation) arrive at the same committed state.
+pub trait Transaction: Send + Sync {
+    /// The memory-location key type.
+    type Key: Eq + Hash + Ord + Clone + Debug + Send + Sync;
+    /// The value type stored at locations.
+    type Value: Clone + PartialEq + Debug + Send + Sync;
+
+    /// Executes the transaction logic against the instrumented context.
+    ///
+    /// Returning `Err(ExecutionFailure::Dependency(_))` aborts the incarnation because
+    /// a read hit an ESTIMATE marker (propagated automatically by `?` on context
+    /// reads). Returning `Err(ExecutionFailure::Abort(_))` is a deterministic
+    /// transaction abort: the engine commits the transaction with an empty write-set.
+    fn execute<R: StateReader<Self::Key, Self::Value>>(
+        &self,
+        ctx: &mut TransactionContext<'_, Self::Key, Self::Value, R>,
+    ) -> Result<(), ExecutionFailure>;
+
+    /// A human-readable label used in logs and benchmark output.
+    fn label(&self) -> &'static str {
+        "txn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_op_holds_key_and_value() {
+        let op = WriteOp::new("k", 7u64);
+        assert_eq!(op.key, "k");
+        assert_eq!(op.value, 7);
+    }
+
+    #[test]
+    fn empty_output_has_no_effects() {
+        let output: TransactionOutput<u64, u64> = TransactionOutput::empty();
+        assert!(output.writes.is_empty());
+        assert!(!output.is_aborted());
+        assert_eq!(output.gas_used, 0);
+    }
+
+    #[test]
+    fn write_pairs_iterates_in_order() {
+        let output = TransactionOutput {
+            writes: vec![WriteOp::new(1u32, 10u32), WriteOp::new(2, 20)],
+            gas_used: 5,
+            abort_code: None,
+            reads_performed: 0,
+            work_sink: 0,
+        };
+        let pairs: Vec<_> = output.write_pairs().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn aborted_output_reports_is_aborted() {
+        let output: TransactionOutput<u64, u64> = TransactionOutput {
+            abort_code: Some(AbortCode::User(3)),
+            ..TransactionOutput::empty()
+        };
+        assert!(output.is_aborted());
+    }
+}

@@ -1,0 +1,73 @@
+//! Fundamental index types shared by the whole engine.
+
+/// The position of a transaction within the block — the *preset serialization order*.
+///
+/// Transaction `tx_1 < tx_2 < ... < tx_n` of the paper corresponds to indices
+/// `0, 1, ..., n-1` here.
+pub type TxnIndex = usize;
+
+/// The ordinal of a (re-)execution of a transaction: the first execution is
+/// incarnation `0`, and each abort increments it.
+pub type Incarnation = usize;
+
+/// A *version* identifies one specific incarnation of one transaction:
+/// `(transaction index, incarnation number)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Version {
+    /// Position of the transaction in the block's preset order.
+    pub txn_idx: TxnIndex,
+    /// Incarnation number of this execution.
+    pub incarnation: Incarnation,
+}
+
+impl Version {
+    /// Creates a version.
+    pub fn new(txn_idx: TxnIndex, incarnation: Incarnation) -> Self {
+        Self {
+            txn_idx,
+            incarnation,
+        }
+    }
+
+    /// The initial incarnation of transaction `txn_idx`.
+    pub fn initial(txn_idx: TxnIndex) -> Self {
+        Self::new(txn_idx, 0)
+    }
+
+    /// The version of the next incarnation of the same transaction.
+    pub fn next_incarnation(&self) -> Self {
+        Self::new(self.txn_idx, self.incarnation + 1)
+    }
+}
+
+impl From<(TxnIndex, Incarnation)> for Version {
+    fn from((txn_idx, incarnation): (TxnIndex, Incarnation)) -> Self {
+        Self::new(txn_idx, incarnation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_constructors() {
+        let v = Version::new(3, 2);
+        assert_eq!(v.txn_idx, 3);
+        assert_eq!(v.incarnation, 2);
+        assert_eq!(Version::initial(5), Version::new(5, 0));
+        assert_eq!(Version::from((1, 4)), Version::new(1, 4));
+    }
+
+    #[test]
+    fn next_incarnation_increments_only_incarnation() {
+        let v = Version::new(7, 0).next_incarnation();
+        assert_eq!(v, Version::new(7, 1));
+    }
+
+    #[test]
+    fn version_ordering_is_by_index_then_incarnation() {
+        assert!(Version::new(1, 5) < Version::new(2, 0));
+        assert!(Version::new(2, 0) < Version::new(2, 1));
+    }
+}

@@ -1,0 +1,103 @@
+//! The read interface the execution engine exposes to the VM.
+
+use crate::types::TxnIndex;
+
+/// Outcome of a speculative read issued by the VM for transaction `txn_idx`.
+///
+/// Mirrors the return statuses of `MVMemory.read` in Algorithm 2:
+/// `OK` → [`ReadOutcome::Value`], `NOT_FOUND` → [`ReadOutcome::NotFound`] (the caller
+/// then falls back to pre-block storage, which the engine's reader already does for
+/// convenience, so `NotFound` here means "absent from both the multi-version memory
+/// and storage"), `READ_ERROR` → [`ReadOutcome::Dependency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome<V> {
+    /// The location exists and holds `V`.
+    Value(V),
+    /// The location does not exist (neither written by a lower transaction nor present
+    /// in pre-block storage).
+    NotFound,
+    /// The location currently holds an ESTIMATE marker written by the given lower
+    /// transaction; the read cannot be served speculatively.
+    Dependency(TxnIndex),
+}
+
+impl<V> ReadOutcome<V> {
+    /// Maps the contained value.
+    pub fn map<U>(self, f: impl FnOnce(V) -> U) -> ReadOutcome<U> {
+        match self {
+            ReadOutcome::Value(v) => ReadOutcome::Value(f(v)),
+            ReadOutcome::NotFound => ReadOutcome::NotFound,
+            ReadOutcome::Dependency(idx) => ReadOutcome::Dependency(idx),
+        }
+    }
+
+    /// Returns the value if present.
+    pub fn into_value(self) -> Option<V> {
+        match self {
+            ReadOutcome::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The engine-provided state reader used to serve VM reads.
+///
+/// * In the **parallel executor**, the implementation reads the multi-version memory
+///   for the highest write below the executing transaction's index, falls back to
+///   pre-block storage, and records the `(location, version)` pair in the read-set
+///   (Algorithm 3, Lines 83–95).
+/// * In the **sequential executor**, it reads the current materialized state.
+/// * In **baselines** (Bohm, LiTM) it implements each engine's own read rule.
+///
+/// Implementations use interior mutability to capture read-sets; the trait therefore
+/// takes `&self`.
+pub trait StateReader<K, V> {
+    /// Serves a read of `key` on behalf of the executing transaction.
+    fn read(&self, key: &K) -> ReadOutcome<V>;
+}
+
+impl<K, V, S> StateReader<K, V> for &S
+where
+    S: StateReader<K, V> + ?Sized,
+{
+    fn read(&self, key: &K) -> ReadOutcome<V> {
+        (**self).read(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapReader(HashMap<u64, u64>);
+
+    impl StateReader<u64, u64> for MapReader {
+        fn read(&self, key: &u64) -> ReadOutcome<u64> {
+            match self.0.get(key) {
+                Some(v) => ReadOutcome::Value(*v),
+                None => ReadOutcome::NotFound,
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_into_value() {
+        let outcome = ReadOutcome::Value(21u64).map(|v| v * 2);
+        assert_eq!(outcome, ReadOutcome::Value(42));
+        assert_eq!(outcome.into_value(), Some(42));
+        assert_eq!(ReadOutcome::<u64>::NotFound.into_value(), None);
+        assert_eq!(
+            ReadOutcome::<u64>::Dependency(3).map(|v| v + 1),
+            ReadOutcome::Dependency(3)
+        );
+    }
+
+    #[test]
+    fn reference_forwarding_works() {
+        let reader = MapReader(HashMap::from([(1, 10)]));
+        let by_ref: &MapReader = &reader;
+        assert_eq!(StateReader::read(&by_ref, &1), ReadOutcome::Value(10));
+        assert_eq!(StateReader::read(&by_ref, &2), ReadOutcome::NotFound);
+    }
+}

@@ -1,0 +1,221 @@
+//! The VM driver: executes one transaction against a state reader.
+
+use crate::context::TransactionContext;
+use crate::errors::{ExecutionFailure, ReadDependency};
+use crate::gas::GasSchedule;
+use crate::transaction::{Transaction, TransactionOutput};
+use crate::types::TxnIndex;
+use crate::view::StateReader;
+
+/// Status part of a [`VmResult`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmStatus<K, V> {
+    /// The incarnation ran to completion; the output (write-set) is attached.
+    /// Deterministic transaction aborts are *also* reported here, with an empty
+    /// write-set and `abort_code` set — from the engine's perspective they committed.
+    Done(TransactionOutput<K, V>),
+    /// The incarnation could not complete because a read hit an ESTIMATE marker:
+    /// `blocking_txn_idx` must finish its next incarnation first (the paper's
+    /// `READ_ERROR` / `blocking_txn_idx` result of `VM.execute`).
+    ReadError {
+        /// The lower transaction this execution depends on.
+        blocking_txn_idx: TxnIndex,
+    },
+}
+
+/// Result of [`Vm::execute`].
+pub type VmResult<K, V> = VmStatus<K, V>;
+
+/// The virtual machine: a thin, stateless driver that wires a [`Transaction`]'s logic
+/// to a [`TransactionContext`] and converts failures into engine-visible statuses.
+///
+/// The VM is `Copy`-cheap and shared by reference across worker threads; all mutable
+/// execution state lives in the per-execution context.
+#[derive(Debug, Clone, Copy)]
+pub struct Vm {
+    schedule: GasSchedule,
+}
+
+impl Vm {
+    /// Creates a VM with the given gas schedule.
+    pub fn new(schedule: GasSchedule) -> Self {
+        Self { schedule }
+    }
+
+    /// A VM that charges gas but performs no synthetic work (unit tests).
+    pub fn for_testing() -> Self {
+        Self::new(GasSchedule::zero_work())
+    }
+
+    /// The gas schedule in force.
+    pub fn schedule(&self) -> GasSchedule {
+        self.schedule
+    }
+
+    /// Executes `txn` against `reader`.
+    ///
+    /// Never touches shared state: all effects are returned in the write-set of the
+    /// [`VmStatus::Done`] output.
+    pub fn execute<T, R>(&self, txn: &T, reader: &R) -> VmResult<T::Key, T::Value>
+    where
+        T: Transaction,
+        R: StateReader<T::Key, T::Value>,
+    {
+        let mut ctx = TransactionContext::new(reader, self.schedule);
+        match txn.execute(&mut ctx) {
+            Ok(()) => VmStatus::Done(ctx.into_output()),
+            Err(ExecutionFailure::Abort(code)) => VmStatus::Done(ctx.into_aborted_output(code)),
+            Err(ExecutionFailure::Dependency(ReadDependency { blocking_txn_idx })) => {
+                VmStatus::ReadError { blocking_txn_idx }
+            }
+        }
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new(GasSchedule::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::AbortCode;
+    use crate::view::ReadOutcome;
+    use std::collections::HashMap;
+
+    /// A transaction that reads `source`, adds `delta` and writes the result to `dest`;
+    /// aborts if `source` is missing and `require_source` is set.
+    struct AddTxn {
+        source: u64,
+        dest: u64,
+        delta: u64,
+        require_source: bool,
+    }
+
+    impl Transaction for AddTxn {
+        type Key = u64;
+        type Value = u64;
+
+        fn execute<R: StateReader<u64, u64>>(
+            &self,
+            ctx: &mut TransactionContext<'_, u64, u64, R>,
+        ) -> Result<(), ExecutionFailure> {
+            let base = if self.require_source {
+                ctx.read_required(&self.source, AbortCode::AccountNotFound)?
+            } else {
+                ctx.read(&self.source)?.unwrap_or(0)
+            };
+            ctx.write(self.dest, base + self.delta);
+            Ok(())
+        }
+
+        fn label(&self) -> &'static str {
+            "add"
+        }
+    }
+
+    struct MapReader {
+        values: HashMap<u64, u64>,
+        estimate_at: Option<(u64, TxnIndex)>,
+    }
+
+    impl StateReader<u64, u64> for MapReader {
+        fn read(&self, key: &u64) -> ReadOutcome<u64> {
+            if let Some((k, blocking)) = self.estimate_at {
+                if k == *key {
+                    return ReadOutcome::Dependency(blocking);
+                }
+            }
+            match self.values.get(key) {
+                Some(v) => ReadOutcome::Value(*v),
+                None => ReadOutcome::NotFound,
+            }
+        }
+    }
+
+    #[test]
+    fn successful_execution_produces_write_set() {
+        let reader = MapReader {
+            values: HashMap::from([(1, 41)]),
+            estimate_at: None,
+        };
+        let vm = Vm::for_testing();
+        let txn = AddTxn {
+            source: 1,
+            dest: 2,
+            delta: 1,
+            require_source: true,
+        };
+        match vm.execute(&txn, &reader) {
+            VmStatus::Done(output) => {
+                assert_eq!(output.writes.len(), 1);
+                assert_eq!(output.writes[0].key, 2);
+                assert_eq!(output.writes[0].value, 42);
+                assert!(output.gas_used > 0);
+            }
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_abort_commits_with_empty_write_set() {
+        let reader = MapReader {
+            values: HashMap::new(),
+            estimate_at: None,
+        };
+        let vm = Vm::for_testing();
+        let txn = AddTxn {
+            source: 1,
+            dest: 2,
+            delta: 1,
+            require_source: true,
+        };
+        match vm.execute(&txn, &reader) {
+            VmStatus::Done(output) => {
+                assert!(output.writes.is_empty());
+                assert_eq!(output.abort_code, Some(AbortCode::AccountNotFound));
+            }
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependency_read_surfaces_as_read_error() {
+        let reader = MapReader {
+            values: HashMap::new(),
+            estimate_at: Some((1, 7)),
+        };
+        let vm = Vm::for_testing();
+        let txn = AddTxn {
+            source: 1,
+            dest: 2,
+            delta: 1,
+            require_source: false,
+        };
+        assert_eq!(
+            vm.execute(&txn, &reader),
+            VmStatus::ReadError { blocking_txn_idx: 7 }
+        );
+    }
+
+    #[test]
+    fn missing_optional_read_defaults_to_zero() {
+        let reader = MapReader {
+            values: HashMap::new(),
+            estimate_at: None,
+        };
+        let vm = Vm::for_testing();
+        let txn = AddTxn {
+            source: 5,
+            dest: 6,
+            delta: 3,
+            require_source: false,
+        };
+        match vm.execute(&txn, &reader) {
+            VmStatus::Done(output) => assert_eq!(output.writes[0].value, 3),
+            other => panic!("unexpected status: {other:?}"),
+        }
+    }
+}

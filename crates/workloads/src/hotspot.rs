@@ -1,0 +1,127 @@
+//! Hotspot workloads: a tunable fraction of transactions touch one shared location.
+//!
+//! The paper motivates Block-STM with exactly this pattern: "transactions can have a
+//! significant number of access conflicts [...] due to potential performance attacks,
+//! accessing popular contracts or due to economic opportunities (such as auctions and
+//! arbitrage)" (§1). The hotspot workload models a popular auction/counter contract:
+//! each transaction either bids on the hot contract (read-modify-write of the hot key)
+//! or performs an unrelated private update.
+
+use block_stm_vm::synthetic::SyntheticTransaction;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a hotspot (popular contract) workload over `u64` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotspotWorkload {
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// Percentage (0–100) of transactions that touch the hot key.
+    pub hot_pct: u8,
+    /// Number of cold keys used by the remaining transactions.
+    pub num_cold_keys: u64,
+    /// Extra gas per transaction.
+    pub extra_gas: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HotspotWorkload {
+    /// The key all hot transactions contend on.
+    pub const HOT_KEY: u64 = 0;
+
+    /// Creates a hotspot workload.
+    pub fn new(block_size: usize, hot_pct: u8) -> Self {
+        Self {
+            block_size,
+            hot_pct: hot_pct.min(100),
+            num_cold_keys: 4 * block_size.max(1) as u64,
+            extra_gas: 0,
+            seed: 0x407,
+        }
+    }
+
+    /// Builder: sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the extra per-transaction gas.
+    pub fn with_extra_gas(mut self, gas: u64) -> Self {
+        self.extra_gas = gas;
+        self
+    }
+
+    /// The pre-block state: the hot key plus all cold keys.
+    pub fn initial_state(&self) -> HashMap<u64, u64> {
+        let mut state: HashMap<u64, u64> = (1..=self.num_cold_keys).map(|k| (k, k)).collect();
+        state.insert(Self::HOT_KEY, 1_000);
+        state
+    }
+
+    /// Generates the block: `hot_pct`% of transactions bid on the hot key (read +
+    /// write it), the rest update a private cold key.
+    pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        (0..self.block_size)
+            .map(|i| {
+                let is_hot = rng.gen_range(0..100) < self.hot_pct;
+                let txn = if is_hot {
+                    SyntheticTransaction::increment(Self::HOT_KEY)
+                } else {
+                    let cold_key = 1 + (i as u64 % self.num_cold_keys.max(1));
+                    SyntheticTransaction::increment(cold_key)
+                };
+                txn.with_extra_gas(self.extra_gas)
+            })
+            .collect()
+    }
+
+    /// Number of hot transactions in the generated block (deterministic in the seed).
+    pub fn hot_txn_count(&self) -> usize {
+        self.generate_block()
+            .iter()
+            .filter(|txn| txn.writes.contains(&Self::HOT_KEY))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_fraction_roughly_matches_percentage() {
+        let workload = HotspotWorkload::new(1_000, 30);
+        let hot = workload.hot_txn_count();
+        assert!((200..400).contains(&hot), "hot count {hot} far from 30%");
+    }
+
+    #[test]
+    fn zero_percent_has_no_hot_transactions() {
+        assert_eq!(HotspotWorkload::new(500, 0).hot_txn_count(), 0);
+    }
+
+    #[test]
+    fn hundred_percent_is_fully_hot() {
+        assert_eq!(HotspotWorkload::new(200, 100).hot_txn_count(), 200);
+    }
+
+    #[test]
+    fn initial_state_contains_hot_and_cold_keys() {
+        let workload = HotspotWorkload::new(10, 50);
+        let state = workload.initial_state();
+        assert!(state.contains_key(&HotspotWorkload::HOT_KEY));
+        assert!(state.len() as u64 > workload.num_cold_keys / 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let workload = HotspotWorkload::new(64, 25);
+        assert_eq!(workload.generate_block(), workload.generate_block());
+    }
+}

@@ -1,0 +1,33 @@
+//! Benchmark workload generators for the Block-STM reproduction.
+//!
+//! The paper's evaluation (§4.1) is built around peer-to-peer payment blocks executed
+//! over account universes of different sizes: "Each p2p transaction randomly chooses
+//! two different accounts and performs a payment. [...] We experiment with block sizes
+//! of 10³ and 10⁴ transactions and the number of accounts of 2, 10, 100, 10³ and 10⁴.
+//! The number of accounts determines the amount of conflicts, and in particular, with
+//! just 2 accounts the load is inherently sequential."
+//!
+//! This crate generates exactly those workloads (plus a few extra shapes used by the
+//! examples, ablations and stress tests):
+//!
+//! * [`P2pWorkload`] — Diem/Aptos flavoured payment blocks over `n` funded accounts,
+//!   with the genesis state to run them against and perfect write-sets for the Bohm
+//!   baseline.
+//! * [`SyntheticWorkload`] — random read/write transactions over an integer key space,
+//!   used by the property/stress tests.
+//! * [`HotspotWorkload`] — a tunable fraction of transactions touch one hot location
+//!   (an auction/counter contract), the adversarial pattern discussed in the paper's
+//!   introduction (performance attacks, popular contracts, auctions).
+//!
+//! All generators are deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hotspot;
+mod p2p;
+mod synthetic;
+
+pub use hotspot::HotspotWorkload;
+pub use p2p::P2pWorkload;
+pub use synthetic::SyntheticWorkload;

@@ -1,0 +1,181 @@
+//! Peer-to-peer payment workloads (the paper's benchmark).
+
+use block_stm_storage::{AccessPath, GenesisBuilder, InMemoryStorage, StateValue};
+use block_stm_vm::p2p::{P2pFlavor, PeerToPeerTransaction};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a peer-to-peer payment workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct P2pWorkload {
+    /// Diem (21R/4W) or Aptos (8R/5W) transaction shape.
+    pub flavor: P2pFlavor,
+    /// Size of the account universe. 2 accounts make the block inherently sequential;
+    /// 10⁴ accounts make conflicts rare.
+    pub num_accounts: u64,
+    /// Number of transactions in the generated block.
+    pub block_size: usize,
+    /// RNG seed; the same seed always produces the same block.
+    pub seed: u64,
+    /// Initial balance of every account in the genesis state.
+    pub initial_balance: u64,
+    /// Largest single transfer amount (amounts are drawn uniformly from
+    /// `1..=max_transfer`).
+    pub max_transfer: u64,
+}
+
+impl P2pWorkload {
+    /// A Diem-flavoured workload with the paper's default funding.
+    pub fn diem(num_accounts: u64, block_size: usize) -> Self {
+        Self {
+            flavor: P2pFlavor::Diem,
+            num_accounts,
+            block_size,
+            seed: 0xD1EE_77,
+            initial_balance: 1_000_000_000,
+            max_transfer: 100,
+        }
+    }
+
+    /// An Aptos-flavoured workload with the paper's default funding.
+    pub fn aptos(num_accounts: u64, block_size: usize) -> Self {
+        Self {
+            flavor: P2pFlavor::Aptos,
+            num_accounts,
+            block_size,
+            seed: 0xA7_05,
+            initial_balance: 1_000_000_000,
+            max_transfer: 100,
+        }
+    }
+
+    /// Builder: overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the pre-block (genesis) state for this workload's account universe.
+    pub fn genesis(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        GenesisBuilder::new(self.num_accounts)
+            .initial_balance(self.initial_balance)
+            .build()
+    }
+
+    /// Generates the block of transactions.
+    ///
+    /// Each transaction picks two *different* accounts uniformly at random (unless the
+    /// universe has a single account) and transfers a random amount, matching the
+    /// paper's description.
+    pub fn generate_block(&self) -> Vec<PeerToPeerTransaction> {
+        assert!(self.num_accounts >= 1, "at least one account is required");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        (0..self.block_size)
+            .map(|_| {
+                let sender_idx = rng.gen_range(0..self.num_accounts);
+                let receiver_idx = if self.num_accounts == 1 {
+                    sender_idx
+                } else {
+                    // Redraw until distinct ("randomly chooses two different accounts").
+                    let mut candidate = rng.gen_range(0..self.num_accounts);
+                    while candidate == sender_idx {
+                        candidate = rng.gen_range(0..self.num_accounts);
+                    }
+                    candidate
+                };
+                let amount = rng.gen_range(1..=self.max_transfer);
+                let sender = GenesisBuilder::account_address(sender_idx);
+                let receiver = GenesisBuilder::account_address(receiver_idx);
+                match self.flavor {
+                    P2pFlavor::Diem => PeerToPeerTransaction::diem(sender, receiver, amount),
+                    P2pFlavor::Aptos => PeerToPeerTransaction::aptos(sender, receiver, amount),
+                }
+            })
+            .collect()
+    }
+
+    /// Generates both the genesis state and the block.
+    pub fn generate(&self) -> (InMemoryStorage<AccessPath, StateValue>, Vec<PeerToPeerTransaction>) {
+        (self.genesis(), self.generate_block())
+    }
+
+    /// Perfect write-sets for the Bohm baseline, aligned with the block.
+    pub fn perfect_write_sets(block: &[PeerToPeerTransaction]) -> Vec<Vec<AccessPath>> {
+        block.iter().map(|txn| txn.perfect_write_set()).collect()
+    }
+
+    /// Expected conflict intensity: the probability that two random transactions share
+    /// at least one account (birthday-style estimate). Used to sanity-check generated
+    /// workloads in tests and to label harness output.
+    pub fn expected_pairwise_conflict_rate(&self) -> f64 {
+        if self.num_accounts <= 2 {
+            return 1.0;
+        }
+        let n = self.num_accounts as f64;
+        // Probability that two transactions (each touching 2 distinct accounts) share
+        // at least one account: 1 - C(n-2,2)/C(n,2).
+        1.0 - ((n - 2.0) * (n - 3.0)) / (n * (n - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm_storage::Storage;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let workload = P2pWorkload::diem(100, 500);
+        assert_eq!(workload.generate_block(), workload.generate_block());
+        let other_seed = workload.with_seed(7).generate_block();
+        assert_ne!(workload.generate_block(), other_seed);
+    }
+
+    #[test]
+    fn senders_and_receivers_differ_with_multiple_accounts() {
+        let block = P2pWorkload::aptos(2, 200).generate_block();
+        assert!(block.iter().all(|txn| txn.sender != txn.receiver));
+    }
+
+    #[test]
+    fn accounts_stay_in_universe() {
+        let workload = P2pWorkload::diem(10, 300);
+        let (storage, block) = workload.generate();
+        for txn in &block {
+            assert!(storage.contains(&AccessPath::balance(txn.sender)));
+            assert!(storage.contains(&AccessPath::balance(txn.receiver)));
+        }
+    }
+
+    #[test]
+    fn block_size_and_flavor_respected() {
+        let workload = P2pWorkload::aptos(50, 123);
+        let block = workload.generate_block();
+        assert_eq!(block.len(), 123);
+        assert!(block.iter().all(|txn| txn.flavor == P2pFlavor::Aptos));
+    }
+
+    #[test]
+    fn conflict_rate_decreases_with_account_count() {
+        let small = P2pWorkload::diem(10, 1).expected_pairwise_conflict_rate();
+        let large = P2pWorkload::diem(10_000, 1).expected_pairwise_conflict_rate();
+        assert!(small > large);
+        assert_eq!(P2pWorkload::diem(2, 1).expected_pairwise_conflict_rate(), 1.0);
+    }
+
+    #[test]
+    fn perfect_write_sets_align_with_block() {
+        let block = P2pWorkload::diem(20, 50).generate_block();
+        let write_sets = P2pWorkload::perfect_write_sets(&block);
+        assert_eq!(write_sets.len(), block.len());
+        assert!(write_sets.iter().all(|ws| ws.len() == 4));
+    }
+
+    #[test]
+    fn single_account_universe_self_pays() {
+        let block = P2pWorkload::aptos(1, 10).generate_block();
+        assert!(block.iter().all(|txn| txn.sender == txn.receiver));
+    }
+}

@@ -1,0 +1,145 @@
+//! Random synthetic read/write workloads over an integer key space.
+
+use block_stm_vm::synthetic::SyntheticTransaction;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a random synthetic workload (used by stress and property tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntheticWorkload {
+    /// Size of the key universe.
+    pub num_keys: u64,
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// Reads per transaction (upper bound; the actual count is uniform in `0..=reads`).
+    pub max_reads: usize,
+    /// Writes per transaction (at least 1, uniform in `1..=writes`).
+    pub max_writes: usize,
+    /// Probability (percent, 0–100) that a transaction carries a conditional write.
+    pub conditional_write_pct: u8,
+    /// Probability (percent, 0–100) that a transaction may deterministically abort.
+    pub abort_pct: u8,
+    /// Extra gas per transaction (synthetic contract computation).
+    pub extra_gas: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticWorkload {
+    fn default() -> Self {
+        Self {
+            num_keys: 64,
+            block_size: 256,
+            max_reads: 3,
+            max_writes: 2,
+            conditional_write_pct: 20,
+            abort_pct: 10,
+            extra_gas: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SyntheticWorkload {
+    /// Creates a workload over `num_keys` keys with `block_size` transactions.
+    pub fn new(num_keys: u64, block_size: usize) -> Self {
+        Self {
+            num_keys,
+            block_size,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the extra per-transaction gas.
+    pub fn with_extra_gas(mut self, gas: u64) -> Self {
+        self.extra_gas = gas;
+        self
+    }
+
+    /// The pre-block state: every key initialized to a deterministic value.
+    pub fn initial_state(&self) -> HashMap<u64, u64> {
+        (0..self.num_keys).map(|k| (k, k.wrapping_mul(31) + 7)).collect()
+    }
+
+    /// Generates the block.
+    pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
+        assert!(self.num_keys > 0, "key universe must not be empty");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        (0..self.block_size)
+            .map(|_| {
+                let reads = (0..rng.gen_range(0..=self.max_reads))
+                    .map(|_| rng.gen_range(0..self.num_keys))
+                    .collect();
+                let writes = (0..rng.gen_range(1..=self.max_writes.max(1)))
+                    .map(|_| rng.gen_range(0..self.num_keys))
+                    .collect();
+                let conditional_writes = if rng.gen_range(0..100) < self.conditional_write_pct {
+                    vec![rng.gen_range(0..self.num_keys)]
+                } else {
+                    Vec::new()
+                };
+                let abort_when_divisible_by = if rng.gen_range(0..100) < self.abort_pct {
+                    Some(rng.gen_range(2..6))
+                } else {
+                    None
+                };
+                SyntheticTransaction {
+                    reads,
+                    writes,
+                    conditional_writes,
+                    salt: rng.gen(),
+                    extra_gas: self.extra_gas,
+                    abort_when_divisible_by,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let workload = SyntheticWorkload::new(16, 100);
+        assert_eq!(workload.generate_block(), workload.generate_block());
+        assert_ne!(
+            workload.generate_block(),
+            workload.with_seed(1).generate_block()
+        );
+    }
+
+    #[test]
+    fn every_transaction_writes_at_least_one_key_in_universe() {
+        let workload = SyntheticWorkload::new(8, 200);
+        for txn in workload.generate_block() {
+            assert!(!txn.writes.is_empty());
+            assert!(txn.writes.iter().all(|k| *k < 8));
+            assert!(txn.reads.iter().all(|k| *k < 8));
+        }
+    }
+
+    #[test]
+    fn initial_state_covers_all_keys() {
+        let workload = SyntheticWorkload::new(10, 1);
+        let state = workload.initial_state();
+        assert_eq!(state.len(), 10);
+        assert!(state.contains_key(&9));
+    }
+
+    #[test]
+    fn extra_gas_is_propagated() {
+        let workload = SyntheticWorkload::new(4, 10).with_extra_gas(77);
+        assert!(workload.generate_block().iter().all(|t| t.extra_gas == 77));
+    }
+}

@@ -1,0 +1,5 @@
+//! Integration-test crate for the Block-STM reproduction.
+//!
+//! This library target is intentionally empty: all content lives in the `tests/`
+//! directory as integration tests that exercise the public APIs of the workspace
+//! crates together (engine equivalence, balance conservation, determinism, stress).

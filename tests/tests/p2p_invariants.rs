@@ -1,0 +1,115 @@
+//! Domain-level invariants of the peer-to-peer workloads: balance conservation,
+//! sequence-number monotonicity and deterministic replay.
+
+use block_stm::{BlockOutput, ExecutorOptions, ParallelExecutor, Vm};
+use block_stm_storage::{AccessPath, InMemoryStorage, ResourceTag, StateValue, Storage};
+use block_stm_workloads::P2pWorkload;
+
+fn execute(
+    workload: &P2pWorkload,
+    threads: usize,
+) -> (InMemoryStorage<AccessPath, StateValue>, BlockOutput<AccessPath, StateValue>) {
+    let (storage, block) = workload.generate();
+    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(threads))
+        .execute_block(&block, &storage);
+    (storage, output)
+}
+
+#[test]
+fn total_supply_is_conserved() {
+    for workload in [P2pWorkload::diem(20, 300), P2pWorkload::aptos(20, 300)] {
+        let (storage, output) = execute(&workload, 8);
+        let initial_total: u64 = (0..workload.num_accounts)
+            .map(|_| workload.initial_balance)
+            .sum();
+        // Post-state = pre-state overwritten by the block's updates.
+        let mut post = storage.clone();
+        post.apply_updates(output.updates.iter().cloned());
+        let final_total: u64 = (0..workload.num_accounts)
+            .map(|index| {
+                let address = block_stm_storage::GenesisBuilder::account_address(index);
+                post.get(&AccessPath::balance(address))
+                    .and_then(|value| value.as_u64())
+                    .expect("balance exists")
+            })
+            .sum();
+        assert_eq!(initial_total, final_total, "flavor {:?}", workload.flavor);
+    }
+}
+
+#[test]
+fn sequence_numbers_count_sent_transactions() {
+    let workload = P2pWorkload::diem(5, 200);
+    let (storage, block) = workload.generate();
+    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4))
+        .execute_block(&block, &storage);
+    let mut post = storage.clone();
+    post.apply_updates(output.updates.iter().cloned());
+
+    // The Diem p2p transaction bumps the sender's sequence number by one, so the total
+    // of all sequence numbers equals the number of transactions in the block.
+    let total_seq: u64 = (0..workload.num_accounts)
+        .map(|index| {
+            let address = block_stm_storage::GenesisBuilder::account_address(index);
+            post.get(&AccessPath::sequence_number(address))
+                .and_then(|value| value.as_u64())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(total_seq, block.len() as u64);
+}
+
+#[test]
+fn updates_only_touch_declared_resources() {
+    let workload = P2pWorkload::aptos(30, 200);
+    let (_, output) = execute(&workload, 8);
+    for (path, _) in &output.updates {
+        assert!(
+            matches!(
+                path.tag,
+                ResourceTag::Balance | ResourceTag::SequenceNumber | ResourceTag::Account
+            ),
+            "unexpected resource written: {path:?}"
+        );
+    }
+}
+
+#[test]
+fn replay_of_the_same_block_is_deterministic() {
+    let workload = P2pWorkload::aptos(15, 250);
+    let (_, first) = execute(&workload, 8);
+    for threads in [1, 3, 8] {
+        let (_, replay) = execute(&workload, threads);
+        assert_eq!(first.updates, replay.updates);
+    }
+}
+
+#[test]
+fn chained_blocks_apply_cleanly() {
+    // Execute three consecutive blocks, applying each output before the next — the way
+    // a blockchain advances its state block by block.
+    let accounts = 12u64;
+    let mut state = P2pWorkload::diem(accounts, 0).genesis();
+    let mut previous_totals = Vec::new();
+    for round in 0..3u64 {
+        let workload = P2pWorkload::diem(accounts, 150).with_seed(round);
+        let block = workload.generate_block();
+        let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4))
+            .execute_block(&block, &state);
+        state.apply_updates(output.updates.iter().cloned());
+        let total: u64 = (0..accounts)
+            .map(|index| {
+                let address = block_stm_storage::GenesisBuilder::account_address(index);
+                state
+                    .get(&AccessPath::balance(address))
+                    .and_then(|value| value.as_u64())
+                    .unwrap()
+            })
+            .sum();
+        previous_totals.push(total);
+    }
+    assert!(
+        previous_totals.windows(2).all(|pair| pair[0] == pair[1]),
+        "supply must stay constant across blocks: {previous_totals:?}"
+    );
+}

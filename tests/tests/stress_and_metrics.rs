@@ -1,0 +1,110 @@
+//! Stress tests (bigger blocks, dependency chains, many threads) and checks on the
+//! execution metrics the engines report.
+
+use block_stm::{ExecutorOptions, ParallelExecutor, SequentialExecutor, Vm};
+use block_stm_storage::InMemoryStorage;
+use block_stm_vm::synthetic::SyntheticTransaction;
+use block_stm_workloads::SyntheticWorkload;
+
+fn storage_with_keys(keys: u64) -> InMemoryStorage<u64, u64> {
+    (0..keys).map(|k| (k, 0u64)).collect()
+}
+
+#[test]
+fn long_dependency_chain_completes_and_matches() {
+    // txn i reads key i-1 and writes key i: a chain of length n where every transaction
+    // depends on its predecessor. Worst case for speculation, good test for the
+    // ESTIMATE/dependency machinery and for liveness.
+    let n = 300u64;
+    let storage = storage_with_keys(n + 1);
+    let block: Vec<SyntheticTransaction> = (0..n)
+        .map(|i| SyntheticTransaction {
+            reads: vec![i],
+            writes: vec![i + 1],
+            conditional_writes: vec![],
+            salt: i,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+        })
+        .collect();
+    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8))
+        .execute_block(&block, &storage);
+    assert_eq!(parallel.updates, sequential.updates);
+}
+
+#[test]
+fn large_random_block_with_many_threads() {
+    let workload = SyntheticWorkload::new(64, 2_000).with_seed(7);
+    let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
+    let block = workload.generate_block();
+    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(16))
+        .execute_block(&block, &storage);
+    assert_eq!(parallel.updates, sequential.updates);
+    assert_eq!(parallel.outputs.len(), 2_000);
+}
+
+#[test]
+fn single_hot_key_block_is_live_under_many_threads() {
+    // Fully contended: every transaction increments the same key.
+    let storage = storage_with_keys(1);
+    let block: Vec<SyntheticTransaction> =
+        (0..500).map(|_| SyntheticTransaction::increment(0)).collect();
+    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(16))
+        .execute_block(&block, &storage);
+    assert_eq!(parallel.updates, sequential.updates);
+    // Contention shows up in the metrics: re-executions and/or dependency suspensions.
+    assert!(
+        parallel.metrics.incarnations >= 500,
+        "every transaction executes at least once"
+    );
+}
+
+#[test]
+fn metrics_are_consistent_with_the_block() {
+    let workload = SyntheticWorkload::new(16, 400).with_seed(3);
+    let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
+    let block = workload.generate_block();
+    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8))
+        .execute_block(&block, &storage);
+    let metrics = output.metrics;
+    assert_eq!(metrics.total_txns, 400);
+    assert!(metrics.incarnations >= 400);
+    assert!(metrics.validations >= 400, "every txn is validated at least once");
+    assert!(metrics.validation_failures <= metrics.validations);
+    assert!(metrics.re_execution_ratio() >= 1.0);
+    assert!(metrics.validation_ratio() >= 1.0);
+    // Gas must have been charged for every transaction.
+    assert!(output.total_gas() > 0);
+    assert_eq!(output.outputs.len(), 400);
+}
+
+#[test]
+fn empty_and_single_transaction_blocks() {
+    let storage = storage_with_keys(4);
+    let executor = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8));
+    let empty: Vec<SyntheticTransaction> = vec![];
+    let output = executor.execute_block(&empty, &storage);
+    assert!(output.updates.is_empty());
+    assert_eq!(output.num_txns(), 0);
+
+    let single = vec![SyntheticTransaction::put(2, 99)];
+    let output = executor.execute_block(&single, &storage);
+    assert_eq!(output.num_txns(), 1);
+    assert_eq!(output.updates.len(), 1);
+}
+
+#[test]
+fn threads_exceeding_block_size_are_handled() {
+    let storage = storage_with_keys(4);
+    let block = vec![
+        SyntheticTransaction::increment(0),
+        SyntheticTransaction::increment(1),
+    ];
+    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(32))
+        .execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+    assert_eq!(output.updates, sequential.updates);
+}

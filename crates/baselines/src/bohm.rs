@@ -24,7 +24,9 @@ use block_stm::BlockOutput;
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_storage::Storage;
 use block_stm_sync::{Backoff, ShardedMap};
-use block_stm_vm::{ReadOutcome, StateReader, Transaction, TransactionOutput, TxnIndex, Vm, VmStatus};
+use block_stm_vm::{
+    ReadOutcome, StateReader, Transaction, TransactionOutput, TxnIndex, Vm, VmStatus,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
@@ -117,8 +119,9 @@ impl BohmExecutor {
         });
 
         // ---- Phase 2: parallel execution in index order. ----
-        let outputs: Vec<Mutex<Option<TransactionOutput<T::Key, T::Value>>>> =
-            (0..num_txns).map(|_| Mutex::new(None)).collect();
+        type OutputSlot<T> =
+            Mutex<Option<TransactionOutput<<T as Transaction>::Key, <T as Transaction>::Value>>>;
+        let outputs: Vec<OutputSlot<T>> = (0..num_txns).map(|_| Mutex::new(None)).collect();
         let next_txn = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -322,8 +325,7 @@ mod tests {
     fn empty_block() {
         let storage = storage_with_keys(1);
         let bohm = BohmExecutor::new(Vm::for_testing(), 4);
-        let output =
-            bohm.execute_block::<SyntheticTransaction, _>(&[], &[], &storage);
+        let output = bohm.execute_block::<SyntheticTransaction, _>(&[], &[], &storage);
         assert_eq!(output.num_txns(), 0);
     }
 
@@ -337,7 +339,9 @@ mod tests {
     #[test]
     fn sequential_chain_matches_preset_order() {
         let storage = storage_with_keys(1);
-        let block: Vec<_> = (0..50).map(|_| SyntheticTransaction::increment(0)).collect();
+        let block: Vec<_> = (0..50)
+            .map(|_| SyntheticTransaction::increment(0))
+            .collect();
         run_both(&block, &storage, 4);
     }
 

@@ -78,8 +78,9 @@ impl LitmExecutor {
             rounds += 1;
             // ---- Execution phase: run every remaining transaction in parallel from
             // the committed state snapshot. ----
-            let results: Vec<Mutex<Option<RoundExecution<T::Key, T::Value>>>> =
-                remaining.iter().map(|_| Mutex::new(None)).collect();
+            type RoundSlot<T> =
+                Mutex<Option<RoundExecution<<T as Transaction>::Key, <T as Transaction>::Value>>>;
+            let results: Vec<RoundSlot<T>> = remaining.iter().map(|_| Mutex::new(None)).collect();
             let cursor = AtomicUsize::new(0);
             let threads = self.concurrency.min(remaining.len());
             std::thread::scope(|scope| {
@@ -223,10 +224,15 @@ mod tests {
     #[test]
     fn fully_conflicting_block_needs_one_round_per_transaction() {
         let storage = storage_with_keys(1);
-        let block: Vec<_> = (0..10).map(|_| SyntheticTransaction::increment(0)).collect();
+        let block: Vec<_> = (0..10)
+            .map(|_| SyntheticTransaction::increment(0))
+            .collect();
         let litm = LitmExecutor::new(Vm::for_testing(), 4);
         let output = litm.execute_block(&block, &storage);
-        assert_eq!(output.metrics.rounds, 10, "one commit per round on a hot key");
+        assert_eq!(
+            output.metrics.rounds, 10,
+            "one commit per round on a hot key"
+        );
         assert_eq!(output.num_txns(), 10);
     }
 
@@ -277,7 +283,10 @@ mod tests {
         let spread: Vec<_> = (0..40)
             .map(|i| SyntheticTransaction::transfer(i * 13 % 1_000, (i * 17 + 500) % 1_000, i))
             .collect();
-        let contended_rounds = litm.execute_block(&contended, &contended_storage).metrics.rounds;
+        let contended_rounds = litm
+            .execute_block(&contended, &contended_storage)
+            .metrics
+            .rounds;
         let spread_rounds = litm.execute_block(&spread, &spread_storage).metrics.rounds;
         assert!(
             contended_rounds > spread_rounds,

@@ -46,7 +46,9 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     for (name, options) in variants {
         let executor = ParallelExecutor::new(vm, options);
-        group.bench_function(name, |b| b.iter(|| executor.execute_block(&block, &storage)));
+        group.bench_function(name, |b| {
+            b.iter(|| executor.execute_block(&block, &storage))
+        });
     }
     group.finish();
 }

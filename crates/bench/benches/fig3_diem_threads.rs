@@ -37,13 +37,37 @@ fn bench_fig3(c: &mut Criterion) {
     });
     for &threads in &thread_points {
         group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, &t| {
-            b.iter(|| execute_once(Engine::BlockStm { threads: t }, &block, &write_sets, &storage, gas))
+            b.iter(|| {
+                execute_once(
+                    Engine::BlockStm { threads: t },
+                    &block,
+                    &write_sets,
+                    &storage,
+                    gas,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("Bohm", threads), &threads, |b, &t| {
-            b.iter(|| execute_once(Engine::Bohm { threads: t }, &block, &write_sets, &storage, gas))
+            b.iter(|| {
+                execute_once(
+                    Engine::Bohm { threads: t },
+                    &block,
+                    &write_sets,
+                    &storage,
+                    gas,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("LiTM", threads), &threads, |b, &t| {
-            b.iter(|| execute_once(Engine::Litm { threads: t }, &block, &write_sets, &storage, gas))
+            b.iter(|| {
+                execute_once(
+                    Engine::Litm { threads: t },
+                    &block,
+                    &write_sets,
+                    &storage,
+                    gas,
+                )
+            })
         });
     }
     group.finish();

@@ -31,7 +31,13 @@ fn bench_fig5(c: &mut Criterion) {
             &block_size,
             |b, _| {
                 b.iter(|| {
-                    execute_once(Engine::BlockStm { threads }, &block, &write_sets, &storage, gas)
+                    execute_once(
+                        Engine::BlockStm { threads },
+                        &block,
+                        &write_sets,
+                        &storage,
+                        gas,
+                    )
                 })
             },
         );

@@ -35,7 +35,15 @@ fn bench_fig6(c: &mut Criterion) {
     });
     for &threads in &thread_points {
         group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, &t| {
-            b.iter(|| execute_once(Engine::BlockStm { threads: t }, &block, &write_sets, &storage, gas))
+            b.iter(|| {
+                execute_once(
+                    Engine::BlockStm { threads: t },
+                    &block,
+                    &write_sets,
+                    &storage,
+                    gas,
+                )
+            })
         });
     }
     group.finish();

@@ -35,7 +35,13 @@ fn bench_fig7(c: &mut Criterion) {
             &accounts,
             |b, _| {
                 b.iter(|| {
-                    execute_once(Engine::BlockStm { threads }, &block, &write_sets, &storage, gas)
+                    execute_once(
+                        Engine::BlockStm { threads },
+                        &block,
+                        &write_sets,
+                        &storage,
+                        gas,
+                    )
                 })
             },
         );

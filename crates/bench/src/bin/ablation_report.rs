@@ -29,7 +29,10 @@ fn main() {
     let vm = Vm::new(default_gas_schedule());
 
     let variants: Vec<(&str, ExecutorOptions)> = vec![
-        ("baseline(all-on)", ExecutorOptions::with_concurrency(threads)),
+        (
+            "baseline(all-on)",
+            ExecutorOptions::with_concurrency(threads),
+        ),
         (
             "no-dependency-recheck",
             ExecutorOptions::with_concurrency(threads).dependency_recheck(false),
@@ -46,7 +49,9 @@ fn main() {
         ),
     ];
 
-    println!("# Ablation: Block-STM optimizations, Diem p2p, {threads} threads, block {block_size}");
+    println!(
+        "# Ablation: Block-STM optimizations, Diem p2p, {threads} threads, block {block_size}"
+    );
     println!("variant\taccounts\ttps\tre_exec_ratio\tvalidation_ratio\tdependency_aborts");
     for accounts in [100u64, 10_000] {
         let workload = P2pWorkload {

@@ -12,8 +12,16 @@ fn main() {
     let quick = quick_mode();
     let grid = P2pGrid {
         flavor: P2pFlavor::Diem,
-        accounts: if quick { vec![1_000] } else { vec![1_000, 10_000] },
-        block_sizes: if quick { vec![300] } else { vec![1_000, 10_000] },
+        accounts: if quick {
+            vec![1_000]
+        } else {
+            vec![1_000, 10_000]
+        },
+        block_sizes: if quick {
+            vec![300]
+        } else {
+            vec![1_000, 10_000]
+        },
         threads: if quick {
             vec![2, 4]
         } else {

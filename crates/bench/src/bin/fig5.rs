@@ -13,7 +13,11 @@ fn main() {
         .unwrap_or(8);
     let grid = P2pGrid {
         flavor: P2pFlavor::Diem,
-        accounts: if quick { vec![1_000] } else { vec![1_000, 10_000] },
+        accounts: if quick {
+            vec![1_000]
+        } else {
+            vec![1_000, 10_000]
+        },
         block_sizes: if quick {
             vec![500, 1_000]
         } else {

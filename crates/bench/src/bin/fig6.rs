@@ -10,14 +10,24 @@ fn main() {
     let quick = quick_mode();
     let grid = P2pGrid {
         flavor: P2pFlavor::Aptos,
-        accounts: if quick { vec![1_000] } else { vec![1_000, 10_000] },
-        block_sizes: if quick { vec![300] } else { vec![1_000, 10_000] },
+        accounts: if quick {
+            vec![1_000]
+        } else {
+            vec![1_000, 10_000]
+        },
+        block_sizes: if quick {
+            vec![300]
+        } else {
+            vec![1_000, 10_000]
+        },
         threads: if quick {
             vec![2, 4]
         } else {
             available_thread_counts()
         },
-        engines: vec![|threads| Engine::BlockStm { threads }, |_| Engine::Sequential],
+        engines: vec![|threads| Engine::BlockStm { threads }, |_| {
+            Engine::Sequential
+        }],
         samples: if quick { 1 } else { 3 },
     };
     grid.run("Figure 6: Aptos p2p — BSTM vs Sequential (thread sweep)");

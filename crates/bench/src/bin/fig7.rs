@@ -11,13 +11,19 @@ fn main() {
     let grid = P2pGrid {
         flavor: P2pFlavor::Aptos,
         accounts: vec![2, 10, 100],
-        block_sizes: if quick { vec![300] } else { vec![1_000, 10_000] },
+        block_sizes: if quick {
+            vec![300]
+        } else {
+            vec![1_000, 10_000]
+        },
         threads: if quick {
             vec![2, 4]
         } else {
             available_thread_counts()
         },
-        engines: vec![|threads| Engine::BlockStm { threads }, |_| Engine::Sequential],
+        engines: vec![|threads| Engine::BlockStm { threads }, |_| {
+            Engine::Sequential
+        }],
         samples: if quick { 1 } else { 3 },
     };
     grid.run("Figure 7: Aptos p2p under high contention (2/10/100 accounts)");

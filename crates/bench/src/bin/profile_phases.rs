@@ -90,46 +90,56 @@ fn main() {
         let scheduler = Scheduler::new(n);
         let start = Instant::now();
         let body = || {
-        let mut task = None;
-        while !scheduler.done() {
-            task = match task {
-                Some(t) => {
-                    let (version, kind): (Version, TaskKind) = t;
-                    match kind {
-                        TaskKind::Execution => {
-                            let view = MVHashMapView::new(&mvmemory, &storage, version.txn_idx, &metrics);
-                            match vm.execute(&block[version.txn_idx], &view) {
-                                VmStatus::Done(output) => {
-                                    let read_set = view.take_read_set();
-                                    let write_set: Vec<_> = output
-                                        .writes
-                                        .iter()
-                                        .map(|w| (w.key, w.value.clone()))
-                                        .collect();
-                                    let wrote = mvmemory.record(version, read_set, write_set);
-                                    scheduler
-                                        .finish_execution(version.txn_idx, version.incarnation, wrote)
-                                        .map(|t| (t.version, t.kind))
+            let mut task = None;
+            while !scheduler.done() {
+                task = match task {
+                    Some(t) => {
+                        let (version, kind): (Version, TaskKind) = t;
+                        match kind {
+                            TaskKind::Execution => {
+                                let view = MVHashMapView::new(
+                                    &mvmemory,
+                                    &storage,
+                                    version.txn_idx,
+                                    &metrics,
+                                );
+                                match vm.execute(&block[version.txn_idx], &view) {
+                                    VmStatus::Done(output) => {
+                                        let read_set = view.take_read_set();
+                                        let write_set: Vec<_> = output
+                                            .writes
+                                            .iter()
+                                            .map(|w| (w.key, w.value.clone()))
+                                            .collect();
+                                        let wrote = mvmemory.record(version, read_set, write_set);
+                                        scheduler
+                                            .finish_execution(
+                                                version.txn_idx,
+                                                version.incarnation,
+                                                wrote,
+                                            )
+                                            .map(|t| (t.version, t.kind))
+                                    }
+                                    VmStatus::ReadError { .. } => unreachable!(),
                                 }
-                                VmStatus::ReadError { .. } => unreachable!(),
                             }
-                        }
-                        TaskKind::Validation => {
-                            let valid = mvmemory.validate_read_set(version.txn_idx);
-                            let aborted = !valid
-                                && scheduler.try_validation_abort(version.txn_idx, version.incarnation);
-                            if aborted {
-                                mvmemory.convert_writes_to_estimates(version.txn_idx);
+                            TaskKind::Validation => {
+                                let valid = mvmemory.validate_read_set(version.txn_idx);
+                                let aborted = !valid
+                                    && scheduler
+                                        .try_validation_abort(version.txn_idx, version.incarnation);
+                                if aborted {
+                                    mvmemory.convert_writes_to_estimates(version.txn_idx);
+                                }
+                                scheduler
+                                    .finish_validation(version.txn_idx, aborted)
+                                    .map(|t| (t.version, t.kind))
                             }
-                            scheduler
-                                .finish_validation(version.txn_idx, aborted)
-                                .map(|t| (t.version, t.kind))
                         }
                     }
-                }
-                None => scheduler.next_task().map(|t| (t.version, t.kind)),
-            };
-        }
+                    None => scheduler.next_task().map(|t| (t.version, t.kind)),
+                };
+            }
         };
         if spawned {
             std::thread::scope(|scope| {

@@ -46,9 +46,9 @@ impl Engine {
     /// The thread count used by the engine (1 for sequential).
     pub fn threads(&self) -> usize {
         match self {
-            Engine::BlockStm { threads }
-            | Engine::Bohm { threads }
-            | Engine::Litm { threads } => *threads,
+            Engine::BlockStm { threads } | Engine::Bohm { threads } | Engine::Litm { threads } => {
+                *threads
+            }
             Engine::Sequential => 1,
         }
     }
@@ -144,8 +144,7 @@ pub fn execute_once(
     let start = Instant::now();
     let metrics = match engine {
         Engine::BlockStm { threads } => {
-            let executor =
-                ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads));
+            let executor = ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads));
             executor.execute_block(block, storage).metrics
         }
         Engine::Bohm { threads } => {

@@ -92,8 +92,14 @@ mod tests {
 
     #[test]
     fn effective_concurrency_clamps() {
-        assert_eq!(ExecutorOptions::with_concurrency(4).effective_concurrency(), 4);
-        assert_eq!(ExecutorOptions::with_concurrency(1).effective_concurrency(), 1);
+        assert_eq!(
+            ExecutorOptions::with_concurrency(4).effective_concurrency(),
+            4
+        );
+        assert_eq!(
+            ExecutorOptions::with_concurrency(1).effective_concurrency(),
+            1
+        );
         assert_eq!(
             ExecutorOptions::with_concurrency(1_000).effective_concurrency(),
             32

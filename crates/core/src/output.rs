@@ -65,7 +65,10 @@ where
 
     /// Number of transactions that aborted deterministically (empty write-set commit).
     pub fn aborted_txns(&self) -> usize {
-        self.outputs.iter().filter(|output| output.is_aborted()).count()
+        self.outputs
+            .iter()
+            .filter(|output| output.is_aborted())
+            .count()
     }
 
     /// Returns `true` if both outputs commit exactly the same state delta.

@@ -66,8 +66,7 @@ impl ParallelExecutor {
         } else {
             Scheduler::new(num_txns).without_task_return_optimization()
         };
-        let outputs: Vec<Mutex<Option<TransactionOutput<T::Key, T::Value>>>> =
-            (0..num_txns).map(|_| Mutex::new(None)).collect();
+        let outputs: Vec<OutputSlot<T>> = (0..num_txns).map(|_| Mutex::new(None)).collect();
 
         let worker = Worker {
             vm: &self.vm,
@@ -104,6 +103,10 @@ impl ParallelExecutor {
     }
 }
 
+/// One per-transaction output slot, filled by the incarnation that commits.
+type OutputSlot<T> =
+    Mutex<Option<TransactionOutput<<T as Transaction>::Key, <T as Transaction>::Value>>>;
+
 /// Per-block shared context of the worker threads. `Copy`-able by reference only; all
 /// fields are shared state borrowed from [`ParallelExecutor::execute_block`].
 struct Worker<'a, T: Transaction, S> {
@@ -114,7 +117,7 @@ struct Worker<'a, T: Transaction, S> {
     mvmemory: &'a MVMemory<T::Key, T::Value>,
     scheduler: &'a Scheduler,
     metrics: &'a ExecutionMetrics,
-    outputs: &'a [Mutex<Option<TransactionOutput<T::Key, T::Value>>>],
+    outputs: &'a [OutputSlot<T>],
 }
 
 // Manual impl: deriving Clone/Copy would add unnecessary bounds on T and S.
@@ -246,7 +249,11 @@ mod tests {
         (0..keys).map(|k| (k, k * 1_000)).collect()
     }
 
-    fn assert_matches_sequential(block: &[SyntheticTransaction], storage: &InMemoryStorage<u64, u64>, threads: usize) {
+    fn assert_matches_sequential(
+        block: &[SyntheticTransaction],
+        storage: &InMemoryStorage<u64, u64>,
+        threads: usize,
+    ) {
         let parallel = ParallelExecutor::new(
             Vm::for_testing(),
             ExecutorOptions::with_concurrency(threads),
@@ -290,7 +297,9 @@ mod tests {
     #[test]
     fn independent_transactions_all_commit() {
         let storage = storage_with_keys(0);
-        let block: Vec<_> = (0..128).map(|i| SyntheticTransaction::put(i, i * 7)).collect();
+        let block: Vec<_> = (0..128)
+            .map(|i| SyntheticTransaction::put(i, i * 7))
+            .collect();
         assert_matches_sequential(&block, &storage, 8);
     }
 
@@ -298,7 +307,9 @@ mod tests {
     fn fully_sequential_chain_matches() {
         // Every transaction reads and writes the same key: worst-case contention.
         let storage = storage_with_keys(1);
-        let block: Vec<_> = (0..100).map(|_| SyntheticTransaction::increment(0)).collect();
+        let block: Vec<_> = (0..100)
+            .map(|_| SyntheticTransaction::increment(0))
+            .collect();
         assert_matches_sequential(&block, &storage, 8);
     }
 
@@ -377,7 +388,8 @@ mod tests {
         let block: Vec<_> = (0..50)
             .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
             .collect();
-        let executor = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
+        let executor =
+            ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
         let output = executor.execute_block(&block, &storage);
         assert!(output.metrics.incarnations >= 50);
         assert!(output.metrics.validations >= 50);
@@ -390,7 +402,8 @@ mod tests {
         let block: Vec<_> = (0..120)
             .map(|i| SyntheticTransaction::transfer(i % 3, (i + 1) % 3, i))
             .collect();
-        let executor = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8));
+        let executor =
+            ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8));
         let reference = executor.execute_block(&block, &storage);
         for _ in 0..5 {
             let run = executor.execute_block(&block, &storage);

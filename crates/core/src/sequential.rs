@@ -137,10 +137,7 @@ mod tests {
         assert!(map.contains_key(&8));
 
         // Changing txn 0's write value must change txn 1's output too.
-        let block2 = vec![
-            SyntheticTransaction::put(7, 2),
-            block[1].clone(),
-        ];
+        let block2 = vec![SyntheticTransaction::put(7, 2), block[1].clone()];
         let output2 = executor.execute_block(&block2, &storage);
         assert_ne!(output.state_map()[&8], output2.state_map()[&8]);
     }

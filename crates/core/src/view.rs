@@ -114,7 +114,11 @@ mod tests {
     use block_stm_storage::InMemoryStorage;
     use block_stm_vm::Version;
 
-    fn fixture() -> (MVMemory<u64, u64>, InMemoryStorage<u64, u64>, ExecutionMetrics) {
+    fn fixture() -> (
+        MVMemory<u64, u64>,
+        InMemoryStorage<u64, u64>,
+        ExecutionMetrics,
+    ) {
         let mvmemory = MVMemory::new(8);
         let mut storage = InMemoryStorage::new();
         storage.insert(1, 100);
@@ -132,7 +136,10 @@ mod tests {
         assert_eq!(view.read(&9), ReadOutcome::NotFound);
         let reads = view.take_read_set();
         assert_eq!(reads.len(), 3);
-        assert_eq!(reads[0].origin, ReadOrigin::MultiVersion(Version::new(1, 0)));
+        assert_eq!(
+            reads[0].origin,
+            ReadOrigin::MultiVersion(Version::new(1, 0))
+        );
         assert_eq!(reads[1].origin, ReadOrigin::Storage);
         assert_eq!(reads[2].origin, ReadOrigin::Storage);
     }

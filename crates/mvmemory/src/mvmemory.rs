@@ -88,12 +88,8 @@ where
 
     /// Applies the write-set of a finished incarnation to the data map
     /// (`apply_write_set`, Lines 27–29).
-    fn apply_write_set(
-        &self,
-        txn_idx: TxnIndex,
-        incarnation: usize,
-        write_set: &[(K, V)],
-    ) where
+    fn apply_write_set(&self, txn_idx: TxnIndex, incarnation: usize, write_set: &[(K, V)])
+    where
         V: Clone,
     {
         for (location, value) in write_set {
@@ -148,7 +144,10 @@ where
         } = version;
         debug_assert!(txn_idx < self.block_size);
         self.apply_write_set(txn_idx, incarnation, &write_set);
-        let new_locations: Vec<K> = write_set.into_iter().map(|(location, _)| location).collect();
+        let new_locations: Vec<K> = write_set
+            .into_iter()
+            .map(|(location, _)| location)
+            .collect();
         let wrote_new_location = self.rcu_update_written_locations(txn_idx, new_locations);
         self.last_read_set[txn_idx].store(read_set);
         wrote_new_location
@@ -184,10 +183,9 @@ where
                 None => MVReadOutput::NotFound,
                 Some((&idx, entry)) => match entry {
                     EntryCell::Estimate => MVReadOutput::Dependency(idx),
-                    EntryCell::Write(incarnation, value) => MVReadOutput::Versioned(
-                        Version::new(idx, *incarnation),
-                        Arc::clone(value),
-                    ),
+                    EntryCell::Write(incarnation, value) => {
+                        MVReadOutput::Versioned(Version::new(idx, *incarnation), Arc::clone(value))
+                    }
                 },
             },
         })
@@ -448,6 +446,66 @@ mod tests {
         assert_eq!(memory.first_estimate_in_prior_reads(2), None);
         memory.convert_writes_to_estimates(0);
         assert_eq!(memory.first_estimate_in_prior_reads(2), Some((7, 0)));
+    }
+
+    #[test]
+    fn estimate_is_invisible_to_writer_and_lower_transactions() {
+        // Algorithm 2: a read by txn j scans entries strictly below j. An
+        // ESTIMATE left by txn 3 must therefore block only higher-indexed
+        // readers; the writer itself and lower transactions fall through.
+        let memory = Memory::new(8);
+        memory.record(Version::new(3, 0), vec![], vec![(7, 70)]);
+        memory.convert_writes_to_estimates(3);
+
+        assert!(matches!(memory.read(&7, 3), MVReadOutput::NotFound));
+        assert!(matches!(memory.read(&7, 2), MVReadOutput::NotFound));
+        for reader in [4, 5, 7] {
+            match memory.read(&7, reader) {
+                MVReadOutput::Dependency(blocking) => assert_eq!(blocking, 3),
+                other => panic!("reader {reader}: expected dependency, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_shadows_only_until_a_higher_write_exists() {
+        // A reader above a later real write sees that write; a reader between
+        // the estimate and the later write still hits the dependency.
+        let memory = Memory::new(8);
+        memory.record(Version::new(2, 0), vec![], vec![(9, 20)]);
+        memory.record(Version::new(5, 0), vec![], vec![(9, 50)]);
+        memory.convert_writes_to_estimates(2);
+
+        match memory.read(&9, 4) {
+            MVReadOutput::Dependency(blocking) => assert_eq!(blocking, 2),
+            other => panic!("expected dependency on 2, got {other:?}"),
+        }
+        match memory.read(&9, 7) {
+            MVReadOutput::Versioned(version, value) => {
+                assert_eq!(version, Version::new(5, 0));
+                assert_eq!(*value, 50);
+            }
+            other => panic!("expected txn 5's write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_estimate_in_prior_reads_ignores_resolved_estimates() {
+        // The dependency re-check (Algorithm 4's optimization) reports only
+        // reads whose entry is *currently* an ESTIMATE: once the blocker
+        // re-executes, the recorded read no longer blocks.
+        let memory = Memory::new(8);
+        memory.record(Version::new(1, 0), vec![], vec![(5, 50)]);
+        memory.record(
+            Version::new(3, 0),
+            vec![descriptor_mv(5, 1, 0)],
+            vec![(6, 60)],
+        );
+        memory.convert_writes_to_estimates(1);
+        assert_eq!(memory.first_estimate_in_prior_reads(3), Some((5, 1)));
+
+        memory.record(Version::new(1, 1), vec![], vec![(5, 51)]);
+        assert_eq!(memory.first_estimate_in_prior_reads(3), None);
     }
 
     #[test]

@@ -181,11 +181,9 @@ impl Scheduler {
     /// cursor.
     pub fn next_task(&self) -> Option<Task> {
         if self.validation_idx.load() < self.execution_idx.load() {
-            self.next_version_to_validate()
-                .map(|version| Task::validation(version))
+            self.next_version_to_validate().map(Task::validation)
         } else {
-            self.next_version_to_execute()
-                .map(|version| Task::execution(version))
+            self.next_version_to_execute().map(Task::execution)
         }
     }
 
@@ -197,7 +195,10 @@ impl Scheduler {
     /// transaction finished executing before the dependency could be registered — the
     /// caller should simply re-execute immediately.
     pub fn add_dependency(&self, txn_idx: TxnIndex, blocking_txn_idx: TxnIndex) -> bool {
-        debug_assert!(blocking_txn_idx < txn_idx, "dependencies point to lower txns");
+        debug_assert!(
+            blocking_txn_idx < txn_idx,
+            "dependencies point to lower txns"
+        );
         // Lock order: dependency list of the blocking transaction first, then statuses.
         // This is the only place two locks are held simultaneously (Claim 5).
         let mut dependency_guard = self.txn_dependency[blocking_txn_idx].lock();
@@ -554,7 +555,9 @@ mod tests {
         while !scheduler.done() {
             steps += 1;
             assert!(steps < 10_000);
-            let Some(task) = scheduler.next_task() else { continue };
+            let Some(task) = scheduler.next_task() else {
+                continue;
+            };
             match task.kind {
                 TaskKind::Execution => {
                     executed[task.version.txn_idx] += 1;
@@ -619,6 +622,74 @@ mod tests {
     }
 
     #[test]
+    fn status_walks_figure_2_through_the_public_api() {
+        // Drive one transaction through the full lifecycle of Figure 2 using
+        // only scheduler entry points, asserting the observable status after
+        // each step: READY_TO_EXECUTE(0) -> EXECUTING(0) -> EXECUTED(0)
+        // -> ABORTING(0) -> READY_TO_EXECUTE(1) -> EXECUTING(1).
+        let scheduler = Scheduler::new(1);
+        assert_eq!(scheduler.status_of(0), TxnStatus::ReadyToExecute);
+        assert_eq!(scheduler.incarnation_of(0), 0);
+
+        let task = claim(&scheduler);
+        assert_eq!(task, Task::execution(Version::new(0, 0)));
+        assert_eq!(scheduler.status_of(0), TxnStatus::Executing);
+
+        assert!(scheduler.finish_execution(0, 0, true).is_none());
+        assert_eq!(scheduler.status_of(0), TxnStatus::Executed);
+
+        // Validation fails: only the first abort claim for the incarnation wins.
+        assert!(scheduler.try_validation_abort(0, 0));
+        assert_eq!(scheduler.status_of(0), TxnStatus::Aborting);
+        assert!(
+            !scheduler.try_validation_abort(0, 0),
+            "an incarnation can only be aborted once"
+        );
+
+        // finish_validation schedules the re-execution; with the task-return
+        // optimization the next incarnation comes straight back.
+        let requeued = scheduler.finish_validation(0, true);
+        assert_eq!(requeued, Some(Task::execution(Version::new(0, 1))));
+        assert_eq!(scheduler.incarnation_of(0), 1);
+        assert_eq!(scheduler.status_of(0), TxnStatus::Executing);
+    }
+
+    #[test]
+    fn add_dependency_aborts_executing_txn_until_blocker_finishes() {
+        let scheduler = Scheduler::new(3);
+        let e0 = claim(&scheduler);
+        let e1 = claim(&scheduler);
+        assert_eq!(e0, Task::execution(Version::new(0, 0)));
+        assert_eq!(e1, Task::execution(Version::new(1, 0)));
+
+        // txn 1 read an ESTIMATE of txn 0: it suspends (EXECUTING -> ABORTING).
+        assert!(scheduler.add_dependency(1, 0));
+        assert_eq!(scheduler.status_of(1), TxnStatus::Aborting);
+
+        // When txn 0 finishes, txn 1 is resumed as READY_TO_EXECUTE(1).
+        scheduler.finish_execution(0, 0, true);
+        assert_eq!(scheduler.status_of(1), TxnStatus::ReadyToExecute);
+        assert_eq!(scheduler.incarnation_of(1), 1);
+
+        // Once the blocker has already executed, add_dependency refuses and
+        // the caller re-executes immediately (the §3.3 race). Pending
+        // validations of txn 0 come first (the cursor prefers the lowest
+        // index); drain them until txn 1's re-execution is handed out.
+        let e1_again = loop {
+            let task = claim(&scheduler);
+            match task.kind {
+                TaskKind::Validation => {
+                    scheduler.finish_validation(task.version.txn_idx, false);
+                }
+                TaskKind::Execution => break task,
+            }
+        };
+        assert_eq!(e1_again, Task::execution(Version::new(1, 1)));
+        assert!(!scheduler.add_dependency(1, 0));
+        assert_eq!(scheduler.status_of(1), TxnStatus::Executing);
+    }
+
+    #[test]
     fn multithreaded_with_random_aborts_terminates() {
         // Validations randomly abort (once per incarnation, bounded by a per-txn cap)
         // to exercise the re-execution and re-validation paths under concurrency.
@@ -647,11 +718,10 @@ mod tests {
                                 rng_state ^= rng_state >> 7;
                                 rng_state ^= rng_state << 17;
                                 let idx = t.version.txn_idx;
-                                let want_abort = rng_state % 4 == 0
-                                    && abort_budget[idx].load() > 0;
+                                let want_abort =
+                                    rng_state.is_multiple_of(4) && abort_budget[idx].load() > 0;
                                 let aborted = want_abort
-                                    && scheduler
-                                        .try_validation_abort(idx, t.version.incarnation);
+                                    && scheduler.try_validation_abort(idx, t.version.incarnation);
                                 if aborted {
                                     abort_budget[idx].decrement();
                                 }

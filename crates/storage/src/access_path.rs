@@ -265,7 +265,7 @@ mod tests {
     fn access_path_ordering_groups_by_address() {
         let a = AccountAddress::from_index(1);
         let b = AccountAddress::from_index(2);
-        let mut paths = vec![
+        let mut paths = [
             AccessPath::balance(b),
             AccessPath::sequence_number(a),
             AccessPath::balance(a),

@@ -133,10 +133,7 @@ mod tests {
         assert_eq!(StateValue::from(1u64), StateValue::U64(1));
         assert_eq!(StateValue::from(2u128), StateValue::U128(2));
         assert_eq!(StateValue::from(true), StateValue::Bool(true));
-        assert_eq!(
-            StateValue::from(vec![9u8]),
-            StateValue::Bytes(vec![9u8])
-        );
+        assert_eq!(StateValue::from(vec![9u8]), StateValue::Bytes(vec![9u8]));
     }
 
     #[test]

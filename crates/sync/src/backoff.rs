@@ -94,6 +94,29 @@ mod tests {
     }
 
     #[test]
+    fn spin_exponent_saturates_at_spin_limit() {
+        // `spin` alone must never escalate past the spin budget: the exponent
+        // saturates at SPIN_LIMIT + 1, so each call spins at most
+        // 2^SPIN_LIMIT rounds and the backoff never reports completion.
+        let mut backoff = Backoff::new();
+        for _ in 0..10_000 {
+            backoff.spin();
+            assert!(
+                !backoff.is_completed(),
+                "pure spinning must not exhaust the yield budget"
+            );
+        }
+        // Only snoozing (which yields) walks the exponent to completion, and
+        // it does so within a small, bounded number of calls.
+        let mut snoozes = 0;
+        while !backoff.is_completed() {
+            backoff.snooze();
+            snoozes += 1;
+            assert!(snoozes <= 16, "snooze escalation must be bounded");
+        }
+    }
+
+    #[test]
     fn snooze_wait_for_flag() {
         let flag = Arc::new(AtomicBool::new(false));
         let setter = {

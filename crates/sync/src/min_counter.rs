@@ -134,6 +134,66 @@ mod tests {
         for handle in handles {
             handle.join().unwrap();
         }
-        assert!(counter.load() <= 3, "final value {} too high", counter.load());
+        assert!(
+            counter.load() <= 3,
+            "final value {} too high",
+            counter.load()
+        );
+    }
+
+    #[test]
+    fn decrease_is_monotone_over_any_interleaving() {
+        // The counter must always equal the running minimum of its history:
+        // a decrease to a higher target is a no-op and reports `false`.
+        let counter = AtomicMinCounter::new(100);
+        let targets = [70usize, 90, 40, 40, 65, 12, 99, 12];
+        let mut running_min = 100usize;
+        for target in targets {
+            let lowered = counter.decrease(target);
+            assert_eq!(
+                lowered,
+                target < running_min,
+                "decrease({target}) from {running_min} misreported"
+            );
+            running_min = running_min.min(target);
+            assert_eq!(counter.load(), running_min);
+        }
+        // Claims resume from the lowered value.
+        assert_eq!(counter.fetch_and_increment(), 12);
+        assert_eq!(counter.load(), 13);
+    }
+
+    #[test]
+    fn mixed_claims_and_decreases_stay_above_lowest_target() {
+        // 4 claimer threads race 4 decreasing threads; whatever the
+        // interleaving, the counter can never end below the lowest decrease
+        // target (decrease is min, never subtraction).
+        let counter = Arc::new(AtomicMinCounter::new(10_000));
+        let lowest_target = 100usize;
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    counter.fetch_and_increment();
+                }
+            }));
+        }
+        for t in 0..4usize {
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    counter.decrease(lowest_target + t * 97 + i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(
+            counter.load() >= lowest_target,
+            "counter {} fell below the lowest decrease target",
+            counter.load()
+        );
     }
 }

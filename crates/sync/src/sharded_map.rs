@@ -215,10 +215,13 @@ mod tests {
         let map: ShardedMap<u8, u8> = ShardedMap::new(4);
         assert_eq!(map.mutate_if_present(&1, |v| *v += 1), None);
         map.insert(1, 10);
-        assert_eq!(map.mutate_if_present(&1, |v| {
-            *v += 1;
-            *v
-        }), Some(11));
+        assert_eq!(
+            map.mutate_if_present(&1, |v| {
+                *v += 1;
+                *v
+            }),
+            Some(11)
+        );
     }
 
     #[test]
@@ -274,6 +277,44 @@ mod tests {
         map.clear();
         assert!(map.is_empty());
         assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_gets_under_8_threads() {
+        // 4 writers and 4 readers race on the same key space: a concurrent
+        // `get` must observe either "absent" or the exact value written for
+        // that key — never a torn or foreign value.
+        let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new(16));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let map = Arc::clone(&map);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let key = t * 2_000 + i;
+                    map.insert(key, key * 31 + 7);
+                }
+            }));
+        }
+        for t in 0..4u64 {
+            let map = Arc::clone(&map);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..2_000u64 {
+                    let key = ((t + round) * 2_654_435_761) % 8_000;
+                    if let Some(value) = map.get_cloned(&key) {
+                        assert_eq!(value, key * 31 + 7, "torn read for key {key}");
+                    }
+                    map.read_with(&key, |entry| {
+                        if let Some(&value) = entry {
+                            assert_eq!(value, key * 31 + 7);
+                        }
+                    });
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(map.len(), 8_000);
     }
 
     #[test]

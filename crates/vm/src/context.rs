@@ -80,11 +80,9 @@ where
                 self.gas.charge_read(0);
                 Ok(None)
             }
-            ReadOutcome::Dependency(blocking_txn_idx) => {
-                Err(ExecutionFailure::Dependency(ReadDependency::new(
-                    blocking_txn_idx,
-                )))
-            }
+            ReadOutcome::Dependency(blocking_txn_idx) => Err(ExecutionFailure::Dependency(
+                ReadDependency::new(blocking_txn_idx),
+            )),
         }
     }
 
@@ -203,7 +201,11 @@ mod tests {
         assert_eq!(ctx.read(&1).unwrap(), Some(111));
         ctx.write(1, 222);
         assert_eq!(ctx.read(&1).unwrap(), Some(222));
-        assert_eq!(ctx.writes_pending(), 1, "writes to the same key are coalesced");
+        assert_eq!(
+            ctx.writes_pending(),
+            1,
+            "writes to the same key are coalesced"
+        );
     }
 
     #[test]
@@ -211,18 +213,20 @@ mod tests {
         let r = reader();
         let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
         let err = ctx.read(&9).unwrap_err();
-        assert_eq!(
-            err,
-            ExecutionFailure::Dependency(ReadDependency::new(3))
-        );
+        assert_eq!(err, ExecutionFailure::Dependency(ReadDependency::new(3)));
     }
 
     #[test]
     fn read_required_aborts_on_missing() {
         let r = reader();
         let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
-        assert_eq!(ctx.read_required(&1, AbortCode::AccountNotFound).unwrap(), 100);
-        let err = ctx.read_required(&5, AbortCode::AccountNotFound).unwrap_err();
+        assert_eq!(
+            ctx.read_required(&1, AbortCode::AccountNotFound).unwrap(),
+            100
+        );
+        let err = ctx
+            .read_required(&5, AbortCode::AccountNotFound)
+            .unwrap_err();
         assert_eq!(err, ExecutionFailure::Abort(AbortCode::AccountNotFound));
     }
 

@@ -22,7 +22,11 @@ impl ReadDependency {
 
 impl fmt::Display for ReadDependency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "read blocked by estimate of txn {}", self.blocking_txn_idx)
+        write!(
+            f,
+            "read blocked by estimate of txn {}",
+            self.blocking_txn_idx
+        )
     }
 }
 
@@ -104,14 +108,19 @@ mod tests {
         let failure: ExecutionFailure = ReadDependency::new(4).into();
         assert_eq!(
             failure,
-            ExecutionFailure::Dependency(ReadDependency { blocking_txn_idx: 4 })
+            ExecutionFailure::Dependency(ReadDependency {
+                blocking_txn_idx: 4
+            })
         );
     }
 
     #[test]
     fn abort_code_converts_into_failure() {
         let failure: ExecutionFailure = AbortCode::InsufficientBalance.into();
-        assert_eq!(failure, ExecutionFailure::Abort(AbortCode::InsufficientBalance));
+        assert_eq!(
+            failure,
+            ExecutionFailure::Abort(AbortCode::InsufficientBalance)
+        );
     }
 
     #[test]

@@ -272,7 +272,10 @@ impl PeerToPeerTransaction {
                 AccessPath::account(self.sender),
                 StateValue::Account(updated.clone()),
             );
-            ctx.write(AccessPath::account(self.receiver), StateValue::Account(updated));
+            ctx.write(
+                AccessPath::account(self.receiver),
+                StateValue::Account(updated),
+            );
         } else {
             ctx.write(
                 AccessPath::balance(self.receiver),

@@ -141,7 +141,7 @@ impl Transaction for SyntheticTransaction {
             ctx.charge_gas(self.extra_gas);
         }
         if let Some(modulus) = self.abort_when_divisible_by {
-            if mixed % modulus == 0 {
+            if mixed.is_multiple_of(modulus) {
                 return Err(ExecutionFailure::Abort(AbortCode::User(modulus)));
             }
         }
@@ -242,8 +242,14 @@ mod tests {
                 break;
             }
         }
-        assert!(with_conditional.is_some(), "no input triggered the conditional write");
-        assert!(without_conditional.is_some(), "every input triggered the conditional write");
+        assert!(
+            with_conditional.is_some(),
+            "no input triggered the conditional write"
+        );
+        assert!(
+            without_conditional.is_some(),
+            "every input triggered the conditional write"
+        );
     }
 
     #[test]

@@ -196,7 +196,9 @@ mod tests {
         };
         assert_eq!(
             vm.execute(&txn, &reader),
-            VmStatus::ReadError { blocking_txn_idx: 7 }
+            VmStatus::ReadError {
+                blocking_txn_idx: 7
+            }
         );
     }
 

@@ -33,7 +33,7 @@ impl P2pWorkload {
             flavor: P2pFlavor::Diem,
             num_accounts,
             block_size,
-            seed: 0xD1EE_77,
+            seed: 0x00D1_EE77,
             initial_balance: 1_000_000_000,
             max_transfer: 100,
         }
@@ -97,7 +97,12 @@ impl P2pWorkload {
     }
 
     /// Generates both the genesis state and the block.
-    pub fn generate(&self) -> (InMemoryStorage<AccessPath, StateValue>, Vec<PeerToPeerTransaction>) {
+    pub fn generate(
+        &self,
+    ) -> (
+        InMemoryStorage<AccessPath, StateValue>,
+        Vec<PeerToPeerTransaction>,
+    ) {
         (self.genesis(), self.generate_block())
     }
 
@@ -162,7 +167,10 @@ mod tests {
         let small = P2pWorkload::diem(10, 1).expected_pairwise_conflict_rate();
         let large = P2pWorkload::diem(10_000, 1).expected_pairwise_conflict_rate();
         assert!(small > large);
-        assert_eq!(P2pWorkload::diem(2, 1).expected_pairwise_conflict_rate(), 1.0);
+        assert_eq!(
+            P2pWorkload::diem(2, 1).expected_pairwise_conflict_rate(),
+            1.0
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl SyntheticWorkload {
 
     /// The pre-block state: every key initialized to a deterministic value.
     pub fn initial_state(&self) -> HashMap<u64, u64> {
-        (0..self.num_keys).map(|k| (k, k.wrapping_mul(31) + 7)).collect()
+        (0..self.num_keys)
+            .map(|k| (k, k.wrapping_mul(31) + 7))
+            .collect()
     }
 
     /// Generates the block.

@@ -54,8 +54,7 @@ fn main() {
     );
 
     let start = Instant::now();
-    let bohm_output =
-        BohmExecutor::new(vm, threads).execute_block(&block, &write_sets, &storage);
+    let bohm_output = BohmExecutor::new(vm, threads).execute_block(&block, &write_sets, &storage);
     let bohm_tps = block_size as f64 / start.elapsed().as_secs_f64();
     println!(
         "bohm        {bohm_tps:9.0}          {:.2}x   given perfect write-sets for free",

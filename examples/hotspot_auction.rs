@@ -43,8 +43,8 @@ impl Transaction for AuctionTxn {
             AuctionTxn::Bid { bidder, amount } => {
                 let high_bid = ctx.read(&AUCTION_HIGH_BID)?.unwrap_or(0);
                 let bid_count = ctx.read(&AUCTION_BID_COUNT)?.unwrap_or(0);
-                let balance = ctx
-                    .read_required(&(BALANCE_BASE + bidder), AbortCode::AccountNotFound)?;
+                let balance =
+                    ctx.read_required(&(BALANCE_BASE + bidder), AbortCode::AccountNotFound)?;
                 ctx.write(AUCTION_BID_COUNT, bid_count + 1);
                 if *amount > high_bid && balance >= *amount {
                     // Outbid: become the highest bidder.

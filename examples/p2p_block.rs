@@ -82,7 +82,10 @@ fn main() {
         .collect();
     let total_balance: u64 = touched_balances.iter().sum();
     let expected = touched_balances.len() as u64 * workload.initial_balance;
-    assert_eq!(total_balance, expected, "transfers must conserve the supply");
+    assert_eq!(
+        total_balance, expected,
+        "transfers must conserve the supply"
+    );
     println!(
         "{} touched balances sum to {total_balance} — supply conserved ✓",
         touched_balances.len()

@@ -1,0 +1,363 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! Implements the API subset this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a small adaptive runner: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose per-sample iteration count is chosen to fill
+//! `measurement_time`. Mean, standard deviation and throughput are printed as
+//! plain text. No HTML reports, no statistical regression analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (name, Some(p)) => write!(f, "{name}/{p}"),
+            (name, None) => write!(f, "{name}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing helper handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping each return value alive until
+    /// after the measurement (a stand-in for `criterion::black_box` plumbing).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let output = routine();
+            black_box(output);
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// An opaque identity function that hides a value from the optimizer well
+/// enough for these benches (reads the value through `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+    test_mode: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        // Parse the CLI arguments cargo-bench/cargo-test pass along: a
+        // positional substring filter plus the harness flags criterion
+        // supports (`--bench` is an accepted no-op marker, `--test` runs each
+        // benchmark exactly once, `--list` only prints names).
+        let mut filter = None;
+        let mut list_only = false;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--profile-time" => {}
+                "--test" | "--exact" => test_mode = true,
+                "--list" => list_only = true,
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with("--") => {}
+                positional => {
+                    if filter.is_none() {
+                        filter = Some(positional.to_string());
+                    }
+                }
+            }
+        }
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            filter,
+            list_only,
+            test_mode,
+        }
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let settings = self.settings.clone();
+        run_one(&settings, None, &id.into().to_string(), None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Annotates the group's per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.settings,
+            Some(&self.name),
+            &id.into().to_string(),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full_name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &settings.filter {
+        if !full_name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if settings.list_only {
+        println!("{full_name}: benchmark");
+        return;
+    }
+    if settings.test_mode {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{full_name}: test passed");
+        return;
+    }
+
+    // Warm-up: run batches until the warm-up budget is spent, measuring the
+    // per-iteration cost to calibrate sample iteration counts.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut batch: u64 = 1;
+    while warm_start.elapsed() < settings.warm_up_time {
+        let mut bencher = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        warm_iters += batch;
+        batch = (batch * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+    // Sampling: pick an iteration count per sample so all samples together
+    // roughly fill the measurement budget.
+    let budget = settings.measurement_time.as_secs_f64();
+    let iters_per_sample =
+        ((budget / settings.sample_size as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+    let mut samples = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    let variance =
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    let stddev = variance.sqrt();
+
+    let mut line = format!(
+        "{full_name}: mean {} median {} ± {} ({} samples × {} iters)",
+        format_time(mean),
+        format_time(median),
+        format_time(stddev),
+        samples.len(),
+        iters_per_sample,
+    );
+    if let Some(throughput) = throughput {
+        let (amount, unit) = match throughput {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!(" — {:.0} {unit}", amount / mean));
+    }
+    println!("{line}");
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group-runner function over benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` over group-runner functions, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::{BoxedTree, Strategy, VecPhase, VecTree};
+use crate::test_runner::TestRunner;
+use rand::Rng;
+
+/// Strategy for vectors with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates `Vec<S::Value>` with a length in `size` (half-open, like the
+/// upstream `SizeRange` conversion from `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: 'static,
+{
+    type Value = Vec<S::Value>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<Vec<S::Value>> {
+        let len = runner.rng.gen_range(self.size.clone());
+        let elems: Vec<BoxedTree<S::Value>> =
+            (0..len).map(|_| self.element.new_tree(runner)).collect();
+        Box::new(VecTree {
+            included: vec![true; elems.len()],
+            phase: VecPhase::Removing(elems.len()),
+            min_len: self.size.start,
+            last: None,
+            elems,
+        })
+    }
+}

@@ -1,0 +1,155 @@
+//! Self-tests for the shim's shrinking machinery: failures must not only be
+//! found, they must be *minimized*, and the failing seed must be persisted.
+
+use crate::collection::vec;
+use crate::strategy::Strategy;
+use crate::test_runner::{run_proptest, ProptestConfig, TestCaseError};
+
+/// Runs `run_proptest` against a failing property and returns the panic
+/// message, using a temp dir so regression persistence never touches the
+/// repository's committed `proptest-regressions/`.
+fn failing_run<S, F>(name: &str, strategy: S, test: F) -> String
+where
+    S: Strategy + std::panic::RefUnwindSafe,
+    S::Value: std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>
+        + std::panic::RefUnwindSafe
+        + std::panic::UnwindSafe,
+{
+    let scratch = std::env::temp_dir().join(format!("proptest-shim-selftest-{name}"));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(scratch.join("proptest-regressions")).expect("scratch dir");
+    let manifest_dir = scratch.to_string_lossy().into_owned();
+    let config = ProptestConfig::with_cases(64);
+    let result = std::panic::catch_unwind(|| {
+        run_proptest(
+            &config,
+            &manifest_dir,
+            &format!("{name}.rs"),
+            name,
+            &strategy,
+            test,
+        );
+    });
+    let panic = result.expect_err("the property must fail");
+    let message = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic carries a message");
+    // The seed must have been persisted for replay.
+    let regression_file = scratch
+        .join("proptest-regressions")
+        .join(format!("{name}.txt"));
+    let persisted = std::fs::read_to_string(&regression_file).expect("seed persisted");
+    assert!(
+        persisted.lines().any(|l| l.starts_with("cc 0x")),
+        "regression file has a seed line: {persisted:?}"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    message
+}
+
+#[test]
+fn integer_failures_shrink_to_the_boundary() {
+    // Property: x < 37. The minimal counterexample in 0..10_000 is exactly 37,
+    // and binary-search shrinking must land on it, not near it.
+    let message = failing_run("int_boundary", (0u64..10_000,), |(x,)| {
+        if x < 37 {
+            Ok(())
+        } else {
+            Err(TestCaseError::fail(format!("{x} >= 37")))
+        }
+    });
+    assert!(
+        message.contains("minimal failing input: (37,)"),
+        "expected the exact boundary 37, got:\n{message}"
+    );
+}
+
+#[test]
+fn vec_failures_shrink_to_a_minimal_witness() {
+    // Property: no element equals 7. Shrinking must strip passing elements
+    // and minimize the witness to exactly `[7]`.
+    let message = failing_run("vec_witness", (vec(0u64..50, 1..40),), |(xs,)| {
+        if xs.contains(&7) {
+            Err(TestCaseError::fail("found a 7"))
+        } else {
+            Ok(())
+        }
+    });
+    assert!(
+        message.contains("minimal failing input: ([7],)"),
+        "expected the one-element witness [7], got:\n{message}"
+    );
+}
+
+#[test]
+fn passing_properties_do_not_panic_or_persist() {
+    let scratch = std::env::temp_dir().join("proptest-shim-selftest-passing");
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(scratch.join("proptest-regressions")).expect("scratch dir");
+    run_proptest(
+        &ProptestConfig::with_cases(32),
+        &scratch.to_string_lossy(),
+        "passing.rs",
+        "passing",
+        &(0u64..100,),
+        |(x,)| {
+            if x < 100 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("out of range"))
+            }
+        },
+    );
+    let regression_file = scratch.join("proptest-regressions").join("passing.txt");
+    assert!(!regression_file.exists(), "no seed persisted for a pass");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn persisted_seeds_are_replayed_first() {
+    // Seed a regression file by failing once, then verify a fresh run fails
+    // immediately from the persisted seed (reported as such), even with a
+    // case budget of zero fresh cases.
+    let scratch = std::env::temp_dir().join("proptest-shim-selftest-replay");
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(scratch.join("proptest-regressions")).expect("scratch dir");
+    let manifest_dir = scratch.to_string_lossy().into_owned();
+    let always_fail =
+        |(_x,): (u64,)| -> Result<(), TestCaseError> { Err(TestCaseError::fail("always")) };
+
+    let first = std::panic::catch_unwind(|| {
+        run_proptest(
+            &ProptestConfig::with_cases(1),
+            &manifest_dir,
+            "replay.rs",
+            "replay",
+            &(0u64..10,),
+            always_fail,
+        );
+    });
+    assert!(first.is_err());
+
+    let second = std::panic::catch_unwind(|| {
+        run_proptest(
+            &ProptestConfig::with_cases(0),
+            &manifest_dir,
+            "replay.rs",
+            "replay",
+            &(0u64..10,),
+            always_fail,
+        );
+    });
+    let panic = second.expect_err("replayed seed must fail again");
+    let message = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic carries a message");
+    assert!(
+        message.contains("persisted regression seed"),
+        "failure must be attributed to the replayed seed, got:\n{message}"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

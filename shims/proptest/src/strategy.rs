@@ -1,0 +1,509 @@
+//! Strategies and value trees: generation plus shrinking.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::test_runner::TestRunner;
+use rand::Rng;
+
+/// A generated value plus the state needed to shrink it.
+///
+/// `simplify` moves to a strictly "smaller" candidate; `complicate` walks back
+/// halfway after a simplification overshot (the test passed on the simpler
+/// value). Both return `false` when no further move exists.
+pub trait ValueTree {
+    /// The type of value this tree produces.
+    type Value;
+
+    /// The current candidate value.
+    fn current(&self) -> Self::Value;
+
+    /// Attempts to move to a simpler candidate.
+    fn simplify(&mut self) -> bool;
+
+    /// Attempts to walk back toward the last known-failing candidate.
+    fn complicate(&mut self) -> bool;
+}
+
+/// A boxed value tree (all combinators erase tree types).
+pub type BoxedTree<T> = Box<dyn ValueTree<Value = T>>;
+
+/// Generates values of an associated type, shrinkable via [`ValueTree`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws a new value tree using the runner's RNG.
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<Self::Value>;
+
+    /// Maps generated values through `f` (shrinking maps the source).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            map: Arc::new(f),
+        }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<T> {
+        (**self).new_tree(runner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------------
+
+/// Binary-search shrinker over an integer domain `[min, current]`.
+struct IntTree<T> {
+    curr: T,
+    /// Lowest candidate not yet ruled out by `complicate`.
+    low: T,
+    /// The value before the last `simplify`, for `complicate` to restore.
+    prev: Option<T>,
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl ValueTree for IntTree<$t> {
+            type Value = $t;
+
+            fn current(&self) -> $t {
+                self.curr
+            }
+
+            fn simplify(&mut self) -> bool {
+                if self.curr <= self.low {
+                    return false;
+                }
+                self.prev = Some(self.curr);
+                self.curr = self.low + (self.curr - self.low) / 2;
+                true
+            }
+
+            fn complicate(&mut self) -> bool {
+                match self.prev.take() {
+                    Some(prev) => {
+                        // The simpler half passed the test: rule it out.
+                        self.low = self.curr.saturating_add(1).min(prev);
+                        self.curr = prev;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let value = runner.rng.gen_range(self.clone());
+                Box::new(IntTree {
+                    curr: value,
+                    low: self.start,
+                    prev: None,
+                })
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// any
+// ---------------------------------------------------------------------------
+
+/// Full-domain strategy for primitive types (the shim's `any::<T>()`).
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait ArbitraryPrimitive: Sized {
+    /// Draws one value and wraps it in a shrinkable tree.
+    fn any_tree(runner: &mut TestRunner) -> BoxedTree<Self>;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl ArbitraryPrimitive for $t {
+            fn any_tree(runner: &mut TestRunner) -> BoxedTree<Self> {
+                let value: $t = runner.rng.gen();
+                Box::new(IntTree {
+                    curr: value,
+                    low: 0,
+                    prev: None,
+                })
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl ArbitraryPrimitive for bool {
+    fn any_tree(runner: &mut TestRunner) -> BoxedTree<Self> {
+        let value: bool = runner.rng.gen();
+        Box::new(BoolTree {
+            curr: value,
+            prev: None,
+        })
+    }
+}
+
+struct BoolTree {
+    curr: bool,
+    prev: Option<bool>,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+
+    fn current(&self) -> bool {
+        self.curr
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.curr {
+            self.prev = Some(true);
+            self.curr = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.prev.take() {
+            Some(prev) => {
+                self.curr = prev;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<T: ArbitraryPrimitive> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<T> {
+        T::any_tree(runner)
+    }
+}
+
+/// Returns the full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: ArbitraryPrimitive>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just
+// ---------------------------------------------------------------------------
+
+/// A strategy that always produces a clone of one value (no shrinking).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+struct JustTree<T: Clone>(T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_tree(&self, _runner: &mut TestRunner) -> BoxedTree<T> {
+        Box::new(JustTree(self.0.clone()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop_map
+// ---------------------------------------------------------------------------
+
+/// Strategy combinator produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: Arc<F>,
+}
+
+struct MapTree<I, O> {
+    inner: BoxedTree<I>,
+    map: Arc<dyn Fn(I) -> O>,
+}
+
+impl<I, O> ValueTree for MapTree<I, O> {
+    type Value = O;
+
+    fn current(&self) -> O {
+        (self.map)(self.inner.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    S::Value: 'static,
+    O: 'static,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<O> {
+        Box::new(MapTree {
+            inner: self.source.new_tree(runner),
+            map: self.map.clone() as Arc<dyn Fn(S::Value) -> O>,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// Uniform choice between strategies of a common value type.
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `branches` is empty.
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Self { branches }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<T> {
+        let index = runner.rng.gen_range(0..self.branches.len());
+        // Shrinking stays within the chosen branch.
+        self.branches[index].new_tree(runner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($( ($($S:ident / $i:tt),+) ),+ $(,)?) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: 'static),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn new_tree(&self, runner: &mut TestRunner) -> BoxedTree<Self::Value> {
+                Box::new(TupleTree {
+                    trees: ($(self.$i.new_tree(runner),)+),
+                    active: 0,
+                    last: None,
+                })
+            }
+        }
+
+        impl<$($S),+> ValueTree for TupleTree<($(BoxedTree<$S>,)+)>
+        where
+            $($S: 'static),+
+        {
+            type Value = ($($S,)+);
+
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$i.current(),)+)
+            }
+
+            fn simplify(&mut self) -> bool {
+                let arity = tuple_strategy!(@count $($S)+);
+                while self.active < arity {
+                    let moved = match self.active {
+                        $($i => self.trees.$i.simplify(),)+
+                        _ => unreachable!(),
+                    };
+                    if moved {
+                        self.last = Some(self.active);
+                        return true;
+                    }
+                    self.active += 1;
+                }
+                false
+            }
+
+            fn complicate(&mut self) -> bool {
+                match self.last {
+                    Some(index) => match index {
+                        $($i => self.trees.$i.complicate(),)+
+                        _ => unreachable!(),
+                    },
+                    None => false,
+                }
+            }
+        }
+    )+};
+    (@count $($S:ident)+) => { [$(tuple_strategy!(@one $S)),+].len() };
+    (@one $S:ident) => { () };
+}
+
+/// Component-wise shrinker for tuple strategies.
+struct TupleTree<Trees> {
+    trees: Trees,
+    /// Index of the component currently being simplified.
+    active: usize,
+    /// Component that performed the last simplify (for `complicate`).
+    last: Option<usize>,
+}
+
+tuple_strategy! {
+    (A/0),
+    (A/0, B/1),
+    (A/0, B/1, C/2),
+    (A/0, B/1, C/2, D/3),
+    (A/0, B/1, C/2, D/3, E/4),
+    (A/0, B/1, C/2, D/3, E/4, F/5),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6),
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7),
+}
+
+// ---------------------------------------------------------------------------
+// Vec trees (used by collection::vec)
+// ---------------------------------------------------------------------------
+
+/// Shrinker for vectors: first tries dropping elements (back to front), then
+/// shrinks the surviving elements left to right.
+pub(crate) struct VecTree<T> {
+    pub(crate) elems: Vec<BoxedTree<T>>,
+    pub(crate) included: Vec<bool>,
+    pub(crate) min_len: usize,
+    pub(crate) phase: VecPhase,
+    pub(crate) last: Option<VecAction>,
+}
+
+pub(crate) enum VecPhase {
+    /// Next removal candidate (index into `elems`, counting down).
+    Removing(usize),
+    /// Element currently being shrunk.
+    Shrinking(usize),
+}
+
+pub(crate) enum VecAction {
+    Removed(usize),
+    Shrunk(usize),
+}
+
+impl<T> VecTree<T> {
+    fn included_len(&self) -> usize {
+        self.included.iter().filter(|&&keep| keep).count()
+    }
+}
+
+impl<T> ValueTree for VecTree<T> {
+    type Value = Vec<T>;
+
+    fn current(&self) -> Vec<T> {
+        self.elems
+            .iter()
+            .zip(&self.included)
+            .filter(|(_, &keep)| keep)
+            .map(|(tree, _)| tree.current())
+            .collect()
+    }
+
+    fn simplify(&mut self) -> bool {
+        loop {
+            match self.phase {
+                VecPhase::Removing(index) => {
+                    if self.included_len() <= self.min_len {
+                        self.phase = VecPhase::Shrinking(0);
+                        continue;
+                    }
+                    match index.checked_sub(1) {
+                        Some(next) => {
+                            self.phase = VecPhase::Removing(next);
+                            if self.included[next] {
+                                self.included[next] = false;
+                                self.last = Some(VecAction::Removed(next));
+                                return true;
+                            }
+                        }
+                        None => {
+                            self.phase = VecPhase::Shrinking(0);
+                        }
+                    }
+                }
+                VecPhase::Shrinking(index) => {
+                    if index >= self.elems.len() {
+                        return false;
+                    }
+                    if self.included[index] && self.elems[index].simplify() {
+                        self.last = Some(VecAction::Shrunk(index));
+                        return true;
+                    }
+                    self.phase = VecPhase::Shrinking(index + 1);
+                }
+            }
+        }
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.last.take() {
+            Some(VecAction::Removed(index)) => {
+                // This element was load-bearing: restore it permanently.
+                self.included[index] = true;
+                true
+            }
+            Some(VecAction::Shrunk(index)) => self.elems[index].complicate(),
+            None => false,
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The property-test runner: seeded case generation, shrinking, and
+//! regression-seed persistence.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::strategy::Strategy;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runner state handed to strategies during generation.
+pub struct TestRunner {
+    /// The RNG for the current test case (seeded per case).
+    pub rng: ChaCha8Rng,
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Upper bound on shrink steps after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Self {
+            cases,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives one `proptest!`-declared test: replays persisted regression seeds
+/// first, then runs `config.cases` fresh seeded cases, shrinking and
+/// persisting the seed on failure. Panics (standard `#[test]` failure) with
+/// the minimal counterexample.
+pub fn run_proptest<S, F>(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    strategy: &S,
+    test: F,
+) where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let regression_file = regression_path(manifest_dir, source_file);
+
+    for seed in load_seeds(&regression_file, test_name) {
+        if let Some(failure) = run_case(config, seed, strategy, &test) {
+            fail(test_name, seed, &regression_file, failure, true);
+        }
+    }
+
+    let master_seed = entropy_seed();
+    let mut master = ChaCha8Rng::seed_from_u64(master_seed);
+    for _ in 0..config.cases {
+        let seed = master.next_u64();
+        if let Some(failure) = run_case(config, seed, strategy, &test) {
+            persist_seed(&regression_file, seed, test_name);
+            fail(test_name, seed, &regression_file, failure, false);
+        }
+    }
+}
+
+/// A shrunk failure: the final error plus the minimal input's debug rendering.
+struct Failure {
+    message: String,
+    minimal: String,
+    shrink_steps: u32,
+}
+
+fn run_case<S, F>(config: &ProptestConfig, seed: u64, strategy: &S, test: &F) -> Option<Failure>
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut runner = TestRunner {
+        rng: ChaCha8Rng::seed_from_u64(seed),
+    };
+    let mut tree = strategy.new_tree(&mut runner);
+    let mut last_error = match test(tree.current()) {
+        Ok(()) => return None,
+        Err(e) => e,
+    };
+
+    let mut steps = 0;
+    while steps < config.max_shrink_iters {
+        if !tree.simplify() {
+            break;
+        }
+        steps += 1;
+        match test(tree.current()) {
+            Err(e) => last_error = e,
+            Ok(()) => {
+                // Overshot: the simpler input passes. Walk back.
+                if !tree.complicate() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // The tree may currently hold a passing candidate (e.g. shrink budget ran
+    // out right after an overshoot); walk back until it fails again.
+    if test(tree.current()).is_ok() {
+        while tree.complicate() {
+            if let Err(e) = test(tree.current()) {
+                last_error = e;
+                break;
+            }
+        }
+    }
+
+    Some(Failure {
+        message: last_error.message,
+        minimal: format!("{:?}", tree.current()),
+        shrink_steps: steps,
+    })
+}
+
+fn fail(
+    test_name: &str,
+    seed: u64,
+    regression_file: &Path,
+    failure: Failure,
+    from_regression: bool,
+) -> ! {
+    let origin = if from_regression {
+        format!(
+            "persisted regression seed (see {})",
+            regression_file.display()
+        )
+    } else {
+        format!(
+            "fresh case, seed persisted to {}",
+            regression_file.display()
+        )
+    };
+    panic!(
+        "proptest `{test_name}` failed [{origin}]\n\
+         seed: 0x{seed:016x}\n\
+         shrink steps: {steps}\n\
+         minimal failing input: {minimal}\n\
+         error: {message}",
+        steps = failure.shrink_steps,
+        minimal = failure.minimal,
+        message = failure.message,
+    );
+}
+
+/// Seeds the master RNG from wall-clock entropy (overridable for
+/// reproducibility via `PROPTEST_SEED`).
+fn entropy_seed() -> u64 {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        let parsed = seed
+            .strip_prefix("0x")
+            .map(|hex| u64::from_str_radix(hex, 16))
+            .unwrap_or_else(|| seed.parse());
+        if let Ok(seed) = parsed {
+            return seed;
+        }
+    }
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x00C0_FFEE)
+}
+
+/// Resolves the regression file for a test source file: the nearest
+/// `proptest-regressions/` directory at or above the crate (so a committed
+/// workspace-level directory is found), keyed by the source file's stem.
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut dir = PathBuf::from(manifest_dir);
+    for _ in 0..4 {
+        let candidate = dir.join("proptest-regressions");
+        if candidate.is_dir() {
+            return candidate.join(format!("{stem}.txt"));
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+/// Loads persisted seeds for `test_name` from the regression file.
+fn load_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(content) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    content
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            let (seed_text, comment) = match rest.split_once('#') {
+                Some((s, c)) => (s.trim(), c.trim()),
+                None => (rest.trim(), ""),
+            };
+            // Only replay seeds recorded for this test (seeds drive this
+            // test's strategies; another test's seed would generate an
+            // unrelated input).
+            if comment != test_name {
+                return None;
+            }
+            let seed_text = seed_text.strip_prefix("0x").unwrap_or(seed_text);
+            u64::from_str_radix(seed_text, 16).ok()
+        })
+        .collect()
+}
+
+/// Appends a failing seed to the regression file (idempotent per seed).
+fn persist_seed(path: &Path, seed: u64, test_name: &str) {
+    let line = format!("cc 0x{seed:016x} # {test_name}");
+    let existing = fs::read_to_string(path).unwrap_or_default();
+    if existing.lines().any(|l| l.trim() == line) {
+        return;
+    }
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let mut content = existing;
+    if content.is_empty() {
+        content.push_str(
+            "# Seeds for failing proptest cases, replayed before fresh cases on every\n\
+             # run. This file is auto-appended; commit new entries alongside the fix.\n",
+        );
+    }
+    content.push_str(&line);
+    content.push('\n');
+    let _ = fs::write(path, content);
+}

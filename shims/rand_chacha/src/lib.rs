@@ -1,0 +1,152 @@
+//! Offline shim for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, exposing [`ChaCha8Rng`].
+//!
+//! Unlike the other shims this one implements the real ChaCha8 block function
+//! (the IETF variant with a 64-bit block counter), so the keystream for a
+//! given 256-bit seed matches the ChaCha8 specification. Word-to-output
+//! ordering follows the natural little-endian block layout, which is the same
+//! ordering upstream `rand_chacha` uses; `seed_from_u64` goes through the
+//! `rand` shim's SplitMix64 expansion, so *that* entry point is deterministic
+//! within this workspace but not guaranteed bit-identical to upstream.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A cryptographically strong (ChaCha8) seeded random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next word index within `block`; 16 means "generate a new block".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        let mut x = [0u32; 16];
+        x[0..4].copy_from_slice(&SIGMA);
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = 0; // stream id low
+        x[15] = 0; // stream id high
+        let input = x;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (out, inp) in x.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = x;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// Returns the current 64-bit word position within the keystream.
+    pub fn get_word_pos(&self) -> u128 {
+        // `index == 16` means the current block is fully consumed (or none was
+        // generated yet): the position is exactly `counter` whole blocks.
+        if self.index >= 16 {
+            self.counter as u128 * 16
+        } else {
+            (self.counter as u128 - 1) * 16 + self.index as u128
+        }
+    }
+}
+
+#[inline(always)]
+fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keystream_is_deterministic_and_differs_across_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha8_block_matches_reference_structure() {
+        // A zero key must not produce a zero block (the sigma constants feed in).
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.get_word_pos(), 0, "fresh rng is at position 0");
+        let first = rng.next_u64();
+        assert_ne!(first, 0);
+        // Boundary: after consuming exactly one block the position is 16.
+        for _ in 0..14 {
+            rng.next_u32();
+        }
+        assert_eq!(rng.get_word_pos(), 16);
+        // Blocks advance: the 17th word comes from the second block.
+        rng.next_u32();
+        assert_eq!(rng.get_word_pos(), 17);
+    }
+}

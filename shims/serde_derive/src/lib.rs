@@ -1,0 +1,430 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without `syn`/`quote`.
+//!
+//! The macros parse the item's token stream directly and emit impls of the
+//! `serde` *shim*'s value-tree traits as source strings. Supported shapes —
+//! exactly what this workspace derives on:
+//!
+//! * structs with named fields,
+//! * newtype and tuple structs,
+//! * enums with unit, newtype, tuple and struct variants.
+//!
+//! Not supported (the macros panic with a clear message): generic parameters
+//! and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item a derive is applied to.
+enum Shape {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the serde shim's `Serialize` for the annotated item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive shim: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `a: Ty, b: Ty, ...`, returning the field names. Types are skipped
+/// with angle-bracket depth tracking so `BTreeMap<K, V>` commas don't split.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body (`Ty, Ty, ...`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Skips one type, stopping after the top-level `,` (or at end of stream).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                fields
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                fields
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(token) = tokens.get(i) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::serde::Value::String(\"{name}\".to_string())"),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         Ok({name}({items})),\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"expected array of {n} elements for `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(names) => format!(
+            "match __value {{\n\
+                 ::serde::Value::Object(_) => Ok({name} {{ {fields} }}),\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                     \"expected object for `{name}`, got {{}}\", __other.kind()))),\n\
+             }}",
+            fields = named_field_initializers(name, names, "__value")
+        ),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `a: <lookup "a">, b: <lookup "b">, ...` initializers reading from `source`.
+fn named_field_initializers(context: &str, names: &[String], source: &str) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {source}.get(\"{f}\") {{\n\
+                     Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     None => return Err(::serde::Error::custom(\
+                         \"missing field `{f}` in `{context}`\")),\n\
+                 }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(variant, fields)| match fields {
+            Fields::Unit => {
+                format!("{name}::{variant} => ::serde::Value::String(\"{variant}\".to_string()),")
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{variant}(__x0) => ::serde::Value::Object(vec![\
+                     (\"{variant}\".to_string(), ::serde::Serialize::to_value(__x0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{variant}({binders}) => ::serde::Value::Object(vec![\
+                         (\"{variant}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                    binders = binders.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let binders = field_names.join(", ");
+                let entries: Vec<String> = field_names
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {binders} }} => ::serde::Value::Object(vec![\
+                         (\"{variant}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                    entries = entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}",
+        arms = arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, fields)| matches!(fields, Fields::Unit))
+        .map(|(variant, _)| format!("\"{variant}\" => Ok({name}::{variant}),"))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(variant, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "\"{variant}\" => Ok({name}::{variant}(::serde::Deserialize::from_value(__payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{variant}\" => match __payload {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             Ok({name}::{variant}({items})),\n\
+                         __other => Err(::serde::Error::custom(format!(\
+                             \"expected array of {n} elements for `{name}::{variant}`, got {{}}\", \
+                             __other.kind()))),\n\
+                     }},",
+                    items = items.join(", ")
+                ))
+            }
+            Fields::Named(field_names) => Some(format!(
+                "\"{variant}\" => Ok({name}::{variant} {{ {fields} }}),",
+                fields = named_field_initializers(
+                    &format!("{name}::{variant}"),
+                    field_names,
+                    "__payload"
+                )
+            )),
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __value {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::Error::custom(format!(\
+                             \"unknown unit variant `{{__other}}` for `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => Err(::serde::Error::custom(format!(\
+                                 \"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"expected variant of `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n")
+    )
+}

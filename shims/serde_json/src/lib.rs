@@ -1,0 +1,384 @@
+//! Offline shim for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate: `to_string` / `from_str` over the serde shim's [`Value`] tree.
+//!
+//! Encoding conventions match real `serde_json` for the data model the
+//! workspace derives: named structs are objects, newtype structs are their
+//! inner value, unit enum variants are strings, data-carrying variants are
+//! single-key objects, and byte arrays are arrays of numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error for both serialization and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e)
+    }
+}
+
+/// Alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value())?;
+    Ok(out)
+}
+
+/// Deserializes a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let value = parse_value_complete(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a JSON string into a raw [`Value`] tree.
+pub fn parse_value_complete(input: &str) -> Result<Value> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value) -> Result<()> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error::new("non-finite float cannot be encoded as JSON"));
+            }
+            // `{:?}` prints the shortest representation that round-trips and
+            // always includes a decimal point or exponent.
+            out.push_str(&format!("{f:?}"));
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent over bytes)
+// ---------------------------------------------------------------------------
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `]` in array, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::new("expected `:` after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected `,` or `}}` in object, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!(
+            "invalid literal at byte {pos}",
+            pos = *pos
+        )))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new("expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let first = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a `\uXXXX` low surrogate must follow.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(Error::new("unpaired surrogate"));
+                            }
+                            *pos += 2;
+                            let second = parse_hex4(bytes, pos)?;
+                            let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(first)
+                        };
+                        out.push(c.ok_or_else(|| Error::new("invalid unicode escape"))?);
+                    }
+                    other => return Err(Error::new(format!("invalid escape: {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so boundaries
+                // are valid; find the next char boundary).
+                let start = *pos;
+                let mut end = start + 1;
+                while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
+                    end += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+/// Parses the 4 hex digits after `\u`, leaving `pos` on the final digit.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    let start = *pos + 1;
+    let digits = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| Error::new("truncated \\u escape"))?;
+    let text = std::str::from_utf8(digits).map_err(|_| Error::new("invalid \\u escape"))?;
+    let value = u32::from_str_radix(text, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+    *pos = start + 3;
+    Ok(value)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::new(format!("invalid number at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+    } else if let Some(stripped) = text.strip_prefix('-') {
+        stripped
+            .parse::<u128>()
+            .map(|u| Value::Int(-(u as i128)))
+            .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+    } else {
+        text.parse::<u128>()
+            .map(Value::UInt)
+            .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_arrays_objects() {
+        let value = Value::Object(vec![
+            ("a".to_string(), Value::UInt(7)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            (
+                "c".to_string(),
+                Value::String("x \"quoted\" \n".to_string()),
+            ),
+            ("d".to_string(), Value::Float(1.5)),
+            ("e".to_string(), Value::Int(-3)),
+        ]);
+        let text = {
+            let mut out = String::new();
+            write_value(&mut out, &value).unwrap();
+            out
+        };
+        assert_eq!(parse_value_complete(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn parses_nested_and_unicode() {
+        let parsed = parse_value_complete(r#"{"k": [{"x": "é😀"}, 1e3]}"#).unwrap();
+        match parsed.get("k") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items[0].get("x"), Some(&Value::String("é😀".to_string())));
+                assert_eq!(items[1], Value::Float(1000.0));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}

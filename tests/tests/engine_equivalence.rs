@@ -27,7 +27,8 @@ fn check_synthetic_block(
     );
 
     let write_sets: Vec<Vec<u64>> = block.iter().map(|txn| txn.perfect_write_set()).collect();
-    let bohm = BohmExecutor::new(Vm::for_testing(), threads).execute_block(block, &write_sets, storage);
+    let bohm =
+        BohmExecutor::new(Vm::for_testing(), threads).execute_block(block, &write_sets, storage);
     assert_eq!(
         bohm.updates, sequential.updates,
         "Bohm diverged from sequential at {threads} threads"

@@ -8,10 +8,16 @@ use block_stm_workloads::P2pWorkload;
 fn execute(
     workload: &P2pWorkload,
     threads: usize,
-) -> (InMemoryStorage<AccessPath, StateValue>, BlockOutput<AccessPath, StateValue>) {
+) -> (
+    InMemoryStorage<AccessPath, StateValue>,
+    BlockOutput<AccessPath, StateValue>,
+) {
     let (storage, block) = workload.generate();
-    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(threads))
-        .execute_block(&block, &storage);
+    let output = ParallelExecutor::new(
+        Vm::for_testing(),
+        ExecutorOptions::with_concurrency(threads),
+    )
+    .execute_block(&block, &storage);
     (storage, output)
 }
 

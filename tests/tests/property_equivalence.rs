@@ -19,14 +19,16 @@ fn arb_txn() -> impl Strategy<Value = SyntheticTransaction> {
         any::<u64>(),
         prop_oneof![Just(None), (2u64..5).prop_map(Some)],
     )
-        .prop_map(|(reads, writes, conditional, salt, abort)| SyntheticTransaction {
-            reads,
-            writes,
-            conditional_writes: conditional,
-            salt,
-            extra_gas: 0,
-            abort_when_divisible_by: abort,
-        })
+        .prop_map(
+            |(reads, writes, conditional, salt, abort)| SyntheticTransaction {
+                reads,
+                writes,
+                conditional_writes: conditional,
+                salt,
+                extra_gas: 0,
+                abort_when_divisible_by: abort,
+            },
+        )
 }
 
 fn initial_storage() -> InMemoryStorage<u64, u64> {

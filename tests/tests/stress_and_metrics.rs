@@ -49,8 +49,9 @@ fn large_random_block_with_many_threads() {
 fn single_hot_key_block_is_live_under_many_threads() {
     // Fully contended: every transaction increments the same key.
     let storage = storage_with_keys(1);
-    let block: Vec<SyntheticTransaction> =
-        (0..500).map(|_| SyntheticTransaction::increment(0)).collect();
+    let block: Vec<SyntheticTransaction> = (0..500)
+        .map(|_| SyntheticTransaction::increment(0))
+        .collect();
     let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
     let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(16))
         .execute_block(&block, &storage);
@@ -72,7 +73,10 @@ fn metrics_are_consistent_with_the_block() {
     let metrics = output.metrics;
     assert_eq!(metrics.total_txns, 400);
     assert!(metrics.incarnations >= 400);
-    assert!(metrics.validations >= 400, "every txn is validated at least once");
+    assert!(
+        metrics.validations >= 400,
+        "every txn is validated at least once"
+    );
     assert!(metrics.validation_failures <= metrics.validations);
     assert!(metrics.re_execution_ratio() >= 1.0);
     assert!(metrics.validation_ratio() >= 1.0);

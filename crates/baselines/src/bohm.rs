@@ -19,8 +19,12 @@
 //! There are no aborts and no validations: with perfect write-sets every transaction
 //! executes exactly once. The price is the up-front knowledge and the insertion phase,
 //! which is exactly the trade-off the paper's Figure 3 explores.
+//!
+//! Through the [`BlockExecutor`] interface the write-sets come from
+//! [`Transaction::declared_write_set`]; transaction models that cannot declare them
+//! make the engine return [`ExecutionError::MissingWriteSet`] instead of guessing.
 
-use block_stm::BlockOutput;
+use block_stm::{BlockExecutor, BlockOutput, ExecutionError, PanicCollector};
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_storage::Storage;
 use block_stm_sync::{Backoff, ShardedMap};
@@ -31,7 +35,8 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// State of one declared write slot.
@@ -66,33 +71,54 @@ impl BohmExecutor {
         }
     }
 
-    /// Executes `block` given its `perfect_write_sets` (one declared write-set per
-    /// transaction, aligned by index) against the pre-block `storage`.
-    ///
-    /// # Panics
-    /// Panics if `perfect_write_sets.len() != block.len()`, or (in debug builds) if a
-    /// transaction writes a location it did not declare — that would violate Bohm's
-    /// core assumption.
+    /// Executes `block`, deriving the perfect write-sets from
+    /// [`Transaction::declared_write_set`]. Fails with
+    /// [`ExecutionError::MissingWriteSet`] if a transaction declares none.
     pub fn execute_block<T, S>(
         &self,
         block: &[T],
-        perfect_write_sets: &[Vec<T::Key>],
         storage: &S,
-    ) -> BlockOutput<T::Key, T::Value>
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError>
     where
         T: Transaction,
         S: Storage<T::Key, T::Value>,
     {
-        assert_eq!(
-            block.len(),
-            perfect_write_sets.len(),
-            "one perfect write-set per transaction is required"
-        );
+        let mut write_sets = Vec::with_capacity(block.len());
+        for (txn_idx, txn) in block.iter().enumerate() {
+            write_sets.push(
+                txn.declared_write_set()
+                    .ok_or(ExecutionError::MissingWriteSet { txn_idx })?,
+            );
+        }
+        self.execute_with_write_sets(block, &write_sets, storage)
+    }
+
+    /// Executes `block` given externally supplied `perfect_write_sets` (one declared
+    /// write-set per transaction, aligned by index) against the pre-block `storage`.
+    ///
+    /// Benchmarks that want the write-set derivation outside the timed region use
+    /// this entry point directly.
+    pub fn execute_with_write_sets<T, S>(
+        &self,
+        block: &[T],
+        perfect_write_sets: &[Vec<T::Key>],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError>
+    where
+        T: Transaction,
+        S: Storage<T::Key, T::Value>,
+    {
+        if block.len() != perfect_write_sets.len() {
+            return Err(ExecutionError::WriteSetMismatch {
+                block_len: block.len(),
+                write_sets_len: perfect_write_sets.len(),
+            });
+        }
         let num_txns = block.len();
         let metrics = ExecutionMetrics::new();
         metrics.record_block(num_txns);
         if num_txns == 0 {
-            return BlockOutput::new(Vec::new(), Vec::new(), metrics.snapshot());
+            return Ok(BlockOutput::new(Vec::new(), Vec::new(), metrics.snapshot()));
         }
 
         // ---- Phase 1: insertion (parallel over location partitions). ----
@@ -123,6 +149,12 @@ impl BohmExecutor {
             Mutex<Option<TransactionOutput<<T as Transaction>::Key, <T as Transaction>::Value>>>;
         let outputs: Vec<OutputSlot<T>> = (0..num_txns).map(|_| Mutex::new(None)).collect();
         let next_txn = AtomicUsize::new(0);
+        // Raised when a worker panics or detects a broken contract: blocked readers
+        // stop waiting for values that will never arrive, and the block is reported
+        // as failed.
+        let halted = AtomicBool::new(false);
+        let panics = PanicCollector::new();
+        let first_error: Mutex<Option<ExecutionError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let chains = &chains;
@@ -130,7 +162,13 @@ impl BohmExecutor {
                 let next_txn = &next_txn;
                 let metrics = &metrics;
                 let vm = &self.vm;
+                let halted = &halted;
+                let panics = &panics;
+                let first_error = &first_error;
                 scope.spawn(move || loop {
+                    if halted.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let txn_idx = next_txn.fetch_add(1, Ordering::SeqCst);
                     if txn_idx >= num_txns {
                         break;
@@ -141,21 +179,58 @@ impl BohmExecutor {
                         storage,
                         txn_idx,
                         metrics,
+                        halted,
                     };
-                    let output = match vm.execute(&block[txn_idx], &view) {
-                        VmStatus::Done(output) => output,
-                        VmStatus::ReadError { .. } => {
-                            unreachable!("Bohm reads never observe estimates")
+                    let executed =
+                        catch_unwind(AssertUnwindSafe(|| -> Result<(), ExecutionError> {
+                            match vm.execute(&block[txn_idx], &view) {
+                                VmStatus::Done(output) => {
+                                    publish_writes(
+                                        chains,
+                                        txn_idx,
+                                        &perfect_write_sets[txn_idx],
+                                        &output,
+                                    )?;
+                                    *outputs[txn_idx].lock() = Some(output);
+                                    Ok(())
+                                }
+                                VmStatus::ReadError { .. } => {
+                                    // Bohm reads never observe estimates; treat it
+                                    // like a panic so the block fails typed.
+                                    panic!("Bohm read returned a dependency (engine bug)");
+                                }
+                            }
+                        }));
+                    match executed {
+                        Ok(Ok(())) => {}
+                        Ok(Err(error)) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(error);
+                            }
+                            drop(slot);
+                            halted.store(true, Ordering::SeqCst);
+                            break;
                         }
-                    };
-                    publish_writes(chains, txn_idx, &perfect_write_sets[txn_idx], &output);
-                    *outputs[txn_idx].lock() = Some(output);
+                        Err(payload) => {
+                            panics.record(&*payload);
+                            halted.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
                 });
             }
         });
+        if let Some(error) = first_error.into_inner() {
+            return Err(error);
+        }
+        if let Some(error) = panics.into_error() {
+            return Err(error);
+        }
 
         // ---- Collect the final state: highest written slot per location. ----
         let mut updates = Vec::new();
+        let mut missing_slot = false;
         chains.for_each(|location, chain| {
             for (_, slot) in chain.iter().rev() {
                 match &*slot.read() {
@@ -164,15 +239,46 @@ impl BohmExecutor {
                         break;
                     }
                     Slot::Skipped => continue,
-                    Slot::Pending => unreachable!("all transactions have executed"),
+                    // Impossible after a clean execution phase (every transaction
+                    // resolves its declared slots); flagged instead of panicking.
+                    Slot::Pending => {
+                        missing_slot = true;
+                        break;
+                    }
                 }
             }
         });
-        let outputs = outputs
-            .into_iter()
-            .map(|cell| cell.into_inner().expect("every transaction executed"))
-            .collect();
-        BlockOutput::new(updates, outputs, metrics.snapshot())
+        if missing_slot {
+            return Err(ExecutionError::Internal {
+                detail: "a declared write slot was never resolved".to_string(),
+            });
+        }
+        let mut collected = Vec::with_capacity(num_txns);
+        for (txn_idx, cell) in outputs.into_iter().enumerate() {
+            match cell.into_inner() {
+                Some(output) => collected.push(output),
+                None => return Err(ExecutionError::MissingOutput { txn_idx }),
+            }
+        }
+        Ok(BlockOutput::new(updates, collected, metrics.snapshot()))
+    }
+}
+
+impl<T, S> BlockExecutor<T, S> for BohmExecutor
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    fn name(&self) -> &'static str {
+        "bohm"
+    }
+
+    fn execute_block(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError> {
+        BohmExecutor::execute_block(self, block, storage)
     }
 }
 
@@ -187,22 +293,27 @@ fn location_partition<K: Hash>(location: &K, partitions: usize) -> usize {
 
 /// Fills the declared slots of `txn_idx` from the actual execution output: declared
 /// locations that were written get the value, the rest are marked skipped.
+///
+/// A write outside the declared set violates Bohm's core assumption — readers would
+/// silently miss it because no placeholder exists — so it is rejected with
+/// [`ExecutionError::UndeclaredWrite`] *before* any slot is published.
 fn publish_writes<K, V>(
     chains: &ShardedMap<K, VersionChain<V>>,
     txn_idx: TxnIndex,
     declared: &[K],
     output: &TransactionOutput<K, V>,
-) where
+) -> Result<(), ExecutionError>
+where
     K: Eq + Hash + Clone + Debug,
     V: Clone + Debug,
 {
-    debug_assert!(
-        output
-            .writes
-            .iter()
-            .all(|write| declared.contains(&write.key)),
-        "transaction {txn_idx} wrote a location missing from its perfect write-set"
-    );
+    if output
+        .writes
+        .iter()
+        .any(|write| !declared.contains(&write.key))
+    {
+        return Err(ExecutionError::UndeclaredWrite { txn_idx });
+    }
     for location in declared {
         let value = output
             .writes
@@ -220,6 +331,7 @@ fn publish_writes<K, V>(
             };
         });
     }
+    Ok(())
 }
 
 /// The read view of one Bohm transaction execution.
@@ -228,6 +340,8 @@ struct BohmView<'a, K, V, S> {
     storage: &'a S,
     txn_idx: TxnIndex,
     metrics: &'a ExecutionMetrics,
+    /// Set when a sibling worker panicked: stop waiting on pending slots.
+    halted: &'a AtomicBool,
 }
 
 impl<K, V, S> BohmView<'_, K, V, S>
@@ -265,6 +379,11 @@ where
                     Some(Some(value)) => return Some(value),
                     Some(None) => break, // skipped: fall through to the next lower writer
                     None => {
+                        if self.halted.load(Ordering::SeqCst) {
+                            // The writer we are waiting on is dead; the block will be
+                            // reported as failed, any value serves as a placeholder.
+                            return None;
+                        }
                         self.metrics.record_blocked_read_spins(1);
                         backoff.snooze();
                     }
@@ -310,22 +429,29 @@ mod tests {
         storage: &InMemoryStorage<u64, u64>,
         threads: usize,
     ) {
-        let write_sets: Vec<Vec<u64>> = block.iter().map(|t| t.perfect_write_set()).collect();
         let bohm = BohmExecutor::new(Vm::for_testing(), threads);
         let sequential = SequentialExecutor::new(Vm::for_testing());
-        let bohm_output = bohm.execute_block(block, &write_sets, storage);
-        let sequential_output = sequential.execute_block(block, storage);
+        // Derived write-sets (trait path) and precomputed ones must agree.
+        let bohm_output = bohm.execute_block(block, storage).unwrap();
+        let write_sets: Vec<Vec<u64>> = block.iter().map(|t| t.perfect_write_set()).collect();
+        let precomputed = bohm
+            .execute_with_write_sets(block, &write_sets, storage)
+            .unwrap();
+        let sequential_output = sequential.execute_block(block, storage).unwrap();
         assert_eq!(
             bohm_output.updates, sequential_output.updates,
             "Bohm must commit the preset-order state"
         );
+        assert_eq!(bohm_output.updates, precomputed.updates);
     }
 
     #[test]
     fn empty_block() {
         let storage = storage_with_keys(1);
         let bohm = BohmExecutor::new(Vm::for_testing(), 4);
-        let output = bohm.execute_block::<SyntheticTransaction, _>(&[], &[], &storage);
+        let output = bohm
+            .execute_block::<SyntheticTransaction, _>(&[], &storage)
+            .unwrap();
         assert_eq!(output.num_txns(), 0);
     }
 
@@ -387,11 +513,113 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one perfect write-set per transaction")]
-    fn mismatched_write_set_length_panics() {
+    fn mismatched_write_set_length_is_a_typed_error() {
         let storage = storage_with_keys(1);
         let block = vec![SyntheticTransaction::put(0, 1)];
         let bohm = BohmExecutor::new(Vm::for_testing(), 2);
-        let _ = bohm.execute_block(&block, &[], &storage);
+        let err = bohm
+            .execute_with_write_sets(&block, &[], &storage)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecutionError::WriteSetMismatch {
+                block_len: 1,
+                write_sets_len: 0
+            }
+        );
+    }
+
+    #[test]
+    fn missing_declared_write_set_is_a_typed_error() {
+        use block_stm_vm::{ExecutionFailure, TransactionContext};
+
+        /// A transaction model that cannot declare write-sets.
+        struct Opaque;
+        impl Transaction for Opaque {
+            type Key = u64;
+            type Value = u64;
+            fn execute<R: StateReader<u64, u64>>(
+                &self,
+                ctx: &mut TransactionContext<'_, u64, u64, R>,
+            ) -> Result<(), ExecutionFailure> {
+                ctx.write(0, 1);
+                Ok(())
+            }
+        }
+
+        let storage: InMemoryStorage<u64, u64> = storage_with_keys(1);
+        let bohm = BohmExecutor::new(Vm::for_testing(), 2);
+        let err = bohm.execute_block(&[Opaque], &storage).unwrap_err();
+        assert_eq!(err, ExecutionError::MissingWriteSet { txn_idx: 0 });
+    }
+
+    #[test]
+    fn undeclared_write_is_a_typed_error_not_a_silent_drop() {
+        use block_stm_vm::{ExecutionFailure, TransactionContext};
+
+        /// Declares only key 0 but also writes key 1 — an under-approximated
+        /// write-set, which Bohm must reject rather than silently drop.
+        struct UnderDeclared;
+        impl Transaction for UnderDeclared {
+            type Key = u64;
+            type Value = u64;
+            fn execute<R: StateReader<u64, u64>>(
+                &self,
+                ctx: &mut TransactionContext<'_, u64, u64, R>,
+            ) -> Result<(), ExecutionFailure> {
+                ctx.write(0, 1);
+                ctx.write(1, 1);
+                Ok(())
+            }
+            fn declared_write_set(&self) -> Option<Vec<u64>> {
+                Some(vec![0])
+            }
+        }
+
+        let storage: InMemoryStorage<u64, u64> = storage_with_keys(2);
+        let bohm = BohmExecutor::new(Vm::for_testing(), 2);
+        let err = bohm.execute_block(&[UnderDeclared], &storage).unwrap_err();
+        assert_eq!(err, ExecutionError::UndeclaredWrite { txn_idx: 0 });
+    }
+
+    #[test]
+    fn panicking_transaction_is_a_typed_error_not_a_hang() {
+        use block_stm_vm::{ExecutionFailure, TransactionContext};
+
+        /// Writes key 0; panics for one index. Other transactions *read* key 0, so
+        /// without the halt flag they would block forever on the dead writer's slot.
+        struct MaybePanic {
+            idx: u64,
+            panic_at: u64,
+        }
+        impl Transaction for MaybePanic {
+            type Key = u64;
+            type Value = u64;
+            fn execute<R: StateReader<u64, u64>>(
+                &self,
+                ctx: &mut TransactionContext<'_, u64, u64, R>,
+            ) -> Result<(), ExecutionFailure> {
+                if self.idx == self.panic_at {
+                    panic!("bohm txn panicked");
+                }
+                let prev = ctx.read(&0)?.unwrap_or(0);
+                ctx.write(0, prev + 1);
+                Ok(())
+            }
+            fn declared_write_set(&self) -> Option<Vec<u64>> {
+                Some(vec![0])
+            }
+        }
+
+        let storage: InMemoryStorage<u64, u64> = storage_with_keys(1);
+        let bohm = BohmExecutor::new(Vm::for_testing(), 4);
+        let block: Vec<_> = (0..12).map(|idx| MaybePanic { idx, panic_at: 3 }).collect();
+        let err = bohm.execute_block(&block, &storage).unwrap_err();
+        match err {
+            ExecutionError::WorkerPanic { detail, .. } => {
+                assert!(detail.contains("bohm txn panicked"), "detail: {detail}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 }

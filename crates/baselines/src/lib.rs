@@ -12,8 +12,11 @@
 //!   order), repeat until the block is exhausted. Cheap under low conflict, wasteful
 //!   under contention.
 //!
-//! Both engines produce the same [`BlockOutput`] type as the Block-STM and sequential
-//! executors so the benchmark harness can treat all engines uniformly.
+//! Both engines implement the workspace-wide
+//! [`BlockExecutor`](block_stm::BlockExecutor) trait, so the benchmark harness, the
+//! conformance suite and the examples drive them exactly like the Block-STM and
+//! sequential engines. Worker panics surface as typed
+//! [`ExecutionError`](block_stm::ExecutionError)s, never as hangs or unwinds.
 //!
 //! Note on semantics: Bohm and the sequential/Block-STM engines commit the state of
 //! the *preset order*; LiTM, by design, commits a different (but deterministic)

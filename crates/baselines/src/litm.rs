@@ -22,7 +22,7 @@
 //! The committed serialization is deterministic but generally *not* the preset block
 //! order (unlike Block-STM and Bohm), which matches the real system's semantics.
 
-use block_stm::BlockOutput;
+use block_stm::{BlockExecutor, BlockOutput, ExecutionError, PanicCollector};
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_storage::Storage;
 use block_stm_vm::{ReadOutcome, StateReader, Transaction, TransactionOutput, Vm, VmStatus};
@@ -30,6 +30,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The LiTM deterministic STM executor.
@@ -56,7 +57,11 @@ impl LitmExecutor {
     }
 
     /// Executes `block` against `storage`, returning the committed output.
-    pub fn execute_block<T, S>(&self, block: &[T], storage: &S) -> BlockOutput<T::Key, T::Value>
+    pub fn execute_block<T, S>(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError>
     where
         T: Transaction,
         S: Storage<T::Key, T::Value>,
@@ -65,7 +70,7 @@ impl LitmExecutor {
         let metrics = ExecutionMetrics::new();
         metrics.record_block(num_txns);
         if num_txns == 0 {
-            return BlockOutput::new(Vec::new(), Vec::new(), metrics.snapshot());
+            return Ok(BlockOutput::new(Vec::new(), Vec::new(), metrics.snapshot()));
         }
 
         let mut committed_state: HashMap<T::Key, T::Value> = HashMap::new();
@@ -82,6 +87,10 @@ impl LitmExecutor {
                 Mutex<Option<RoundExecution<<T as Transaction>::Key, <T as Transaction>::Value>>>;
             let results: Vec<RoundSlot<T>> = remaining.iter().map(|_| Mutex::new(None)).collect();
             let cursor = AtomicUsize::new(0);
+            let panics = PanicCollector::new();
+            // Raised on the first caught panic: sibling workers stop claiming the
+            // round's remaining (doomed) transactions instead of executing them.
+            let halted = std::sync::atomic::AtomicBool::new(false);
             let threads = self.concurrency.min(remaining.len());
             std::thread::scope(|scope| {
                 for _ in 0..threads {
@@ -91,39 +100,60 @@ impl LitmExecutor {
                     let committed_state = &committed_state;
                     let metrics = &metrics;
                     let vm = &self.vm;
+                    let panics = &panics;
+                    let halted = &halted;
                     scope.spawn(move || loop {
+                        if halted.load(Ordering::SeqCst) {
+                            break;
+                        }
                         let slot = cursor.fetch_add(1, Ordering::SeqCst);
                         if slot >= remaining.len() {
                             break;
                         }
                         let txn_idx = remaining[slot];
                         metrics.record_incarnation();
-                        let view = LitmView {
-                            committed: committed_state,
-                            storage,
-                            reads: Mutex::new(Vec::new()),
-                        };
-                        let output = match vm.execute(&block[txn_idx], &view) {
-                            VmStatus::Done(output) => output,
-                            VmStatus::ReadError { .. } => {
-                                unreachable!("LiTM reads never observe estimates")
-                            }
-                        };
-                        let reads = view.reads.into_inner();
-                        *results[slot].lock() = Some(RoundExecution {
-                            txn_idx,
-                            reads,
-                            output,
-                        });
+                        let executed = catch_unwind(AssertUnwindSafe(|| {
+                            let view = LitmView {
+                                committed: committed_state,
+                                storage,
+                                reads: Mutex::new(Vec::new()),
+                            };
+                            let output = match vm.execute(&block[txn_idx], &view) {
+                                VmStatus::Done(output) => output,
+                                VmStatus::ReadError { .. } => {
+                                    // LiTM reads never observe estimates; fail the
+                                    // block with a typed error via the panic counter.
+                                    panic!("LiTM read returned a dependency (engine bug)");
+                                }
+                            };
+                            let reads = view.reads.into_inner();
+                            *results[slot].lock() = Some(RoundExecution {
+                                txn_idx,
+                                reads,
+                                output,
+                            });
+                        }));
+                        if let Err(payload) = executed {
+                            panics.record(&*payload);
+                            halted.store(true, Ordering::SeqCst);
+                            break;
+                        }
                     });
                 }
             });
+            if let Some(error) = panics.into_error() {
+                return Err(error);
+            }
 
             // ---- Commit phase: greedy maximal independent set in block order. ----
             let mut written_this_round: HashSet<T::Key> = HashSet::new();
             let mut still_remaining = Vec::new();
-            for cell in results {
-                let execution = cell.into_inner().expect("every slot executed");
+            for (slot, cell) in results.into_iter().enumerate() {
+                let Some(execution) = cell.into_inner() else {
+                    return Err(ExecutionError::MissingOutput {
+                        txn_idx: remaining[slot],
+                    });
+                };
                 let conflicts = execution
                     .reads
                     .iter()
@@ -148,15 +178,44 @@ impl LitmExecutor {
         }
 
         metrics.record_rounds(rounds);
-        let outputs = final_outputs
-            .into_iter()
-            .map(|output| output.expect("every transaction committed in some round"))
-            .collect();
-        BlockOutput::new(
+        let mut outputs = Vec::with_capacity(num_txns);
+        for (txn_idx, output) in final_outputs.into_iter().enumerate() {
+            // Termination guarantees every transaction committed in some round;
+            // report the broken invariant instead of unwinding.
+            match output {
+                Some(output) => outputs.push(output),
+                None => return Err(ExecutionError::MissingOutput { txn_idx }),
+            }
+        }
+        Ok(BlockOutput::new(
             committed_state.into_iter().collect(),
             outputs,
             metrics.snapshot(),
-        )
+        ))
+    }
+}
+
+impl<T, S> BlockExecutor<T, S> for LitmExecutor
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    fn name(&self) -> &'static str {
+        "litm"
+    }
+
+    fn execute_block(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError> {
+        LitmExecutor::execute_block(self, block, storage)
+    }
+
+    /// LiTM commits a deterministic serialization that is generally *not* the preset
+    /// block order (see the module docs).
+    fn preserves_preset_order(&self) -> bool {
+        false
     }
 }
 
@@ -201,7 +260,9 @@ mod tests {
     fn empty_block() {
         let storage = storage_with_keys(1);
         let litm = LitmExecutor::new(Vm::for_testing(), 4);
-        let output = litm.execute_block::<SyntheticTransaction, _>(&[], &storage);
+        let output = litm
+            .execute_block::<SyntheticTransaction, _>(&[], &storage)
+            .unwrap();
         assert_eq!(output.num_txns(), 0);
         assert_eq!(output.metrics.rounds, 0);
     }
@@ -211,13 +272,13 @@ mod tests {
         let storage = storage_with_keys(0);
         let block: Vec<_> = (0..64).map(|i| SyntheticTransaction::put(i, i)).collect();
         let litm = LitmExecutor::new(Vm::for_testing(), 4);
-        let output = litm.execute_block(&block, &storage);
+        let output = litm.execute_block(&block, &storage).unwrap();
         assert_eq!(output.metrics.rounds, 1);
         // With no conflicts the result equals the preset-order (sequential) state.
         let sequential = SequentialExecutor::new(Vm::for_testing());
         assert_eq!(
             output.updates,
-            sequential.execute_block(&block, &storage).updates
+            sequential.execute_block(&block, &storage).unwrap().updates
         );
     }
 
@@ -228,7 +289,7 @@ mod tests {
             .map(|_| SyntheticTransaction::increment(0))
             .collect();
         let litm = LitmExecutor::new(Vm::for_testing(), 4);
-        let output = litm.execute_block(&block, &storage);
+        let output = litm.execute_block(&block, &storage).unwrap();
         assert_eq!(
             output.metrics.rounds, 10,
             "one commit per round on a hot key"
@@ -242,9 +303,13 @@ mod tests {
         let block: Vec<_> = (0..60)
             .map(|i| SyntheticTransaction::transfer(i % 4, (i * 7 + 1) % 4, i))
             .collect();
-        let reference = LitmExecutor::new(Vm::for_testing(), 1).execute_block(&block, &storage);
+        let reference = LitmExecutor::new(Vm::for_testing(), 1)
+            .execute_block(&block, &storage)
+            .unwrap();
         for threads in [2, 4, 8] {
-            let run = LitmExecutor::new(Vm::for_testing(), threads).execute_block(&block, &storage);
+            let run = LitmExecutor::new(Vm::for_testing(), threads)
+                .execute_block(&block, &storage)
+                .unwrap();
             assert_eq!(reference.updates, run.updates, "threads = {threads}");
         }
     }
@@ -261,7 +326,7 @@ mod tests {
             .map(|i| SyntheticTransaction::transfer(i % 3, (i + 1) % 3, i))
             .collect();
         let litm = LitmExecutor::new(Vm::for_testing(), 4);
-        let output = litm.execute_block(&block, &storage);
+        let output = litm.execute_block(&block, &storage).unwrap();
         assert_eq!(output.outputs.len(), block.len());
         assert!(output.metrics.rounds >= 1);
         // Every non-aborted transaction produced writes that target existing keys.
@@ -285,9 +350,14 @@ mod tests {
             .collect();
         let contended_rounds = litm
             .execute_block(&contended, &contended_storage)
+            .unwrap()
             .metrics
             .rounds;
-        let spread_rounds = litm.execute_block(&spread, &spread_storage).metrics.rounds;
+        let spread_rounds = litm
+            .execute_block(&spread, &spread_storage)
+            .unwrap()
+            .metrics
+            .rounds;
         assert!(
             contended_rounds > spread_rounds,
             "contended {contended_rounds} rounds should exceed spread {spread_rounds}"

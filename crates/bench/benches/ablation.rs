@@ -4,7 +4,7 @@
 //! A wider report (including metrics such as re-execution ratios) is produced by
 //! `cargo run -p block-stm-bench --release --bin ablation`.
 
-use block_stm::{ExecutorOptions, ParallelExecutor};
+use block_stm::{BlockStmBuilder, ExecutorOptions};
 use block_stm_bench::default_gas_schedule;
 use block_stm_vm::Vm;
 use block_stm_workloads::P2pWorkload;
@@ -45,9 +45,9 @@ fn bench_ablation(c: &mut Criterion) {
         ),
     ];
     for (name, options) in variants {
-        let executor = ParallelExecutor::new(vm, options);
+        let executor = BlockStmBuilder::from_options(vm, options).build();
         group.bench_function(name, |b| {
-            b.iter(|| executor.execute_block(&block, &storage))
+            b.iter(|| executor.execute_block(&block, &storage).unwrap())
         });
     }
     group.finish();

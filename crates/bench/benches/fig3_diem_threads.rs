@@ -16,7 +16,6 @@ fn bench_fig3(c: &mut Criterion) {
     let gas = default_gas_schedule();
     let workload = P2pWorkload::diem(accounts, block_size);
     let (storage, block) = workload.generate();
-    let write_sets = P2pWorkload::perfect_write_sets(&block);
 
     let mut group = c.benchmark_group("fig3_diem_threads");
     group.sample_size(10);
@@ -32,43 +31,26 @@ fn bench_fig3(c: &mut Criterion) {
         .filter(|&t| t <= max_threads)
         .collect();
 
+    let sequential = Engine::Sequential.build(gas);
     group.bench_function("Sequential", |b| {
-        b.iter(|| execute_once(Engine::Sequential, &block, &write_sets, &storage, gas))
+        b.iter(|| execute_once(sequential.as_ref(), &block, &storage))
     });
     for &threads in &thread_points {
-        group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, &t| {
-            b.iter(|| {
-                execute_once(
-                    Engine::BlockStm { threads: t },
-                    &block,
-                    &write_sets,
-                    &storage,
-                    gas,
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("Bohm", threads), &threads, |b, &t| {
-            b.iter(|| {
-                execute_once(
-                    Engine::Bohm { threads: t },
-                    &block,
-                    &write_sets,
-                    &storage,
-                    gas,
-                )
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("LiTM", threads), &threads, |b, &t| {
-            b.iter(|| {
-                execute_once(
-                    Engine::Litm { threads: t },
-                    &block,
-                    &write_sets,
-                    &storage,
-                    gas,
-                )
-            })
-        });
+        // Engines are built once per series (persistent pools, Bohm's precomputed
+        // write-sets and all) and then handed the block over and over, like a
+        // validator would.
+        for engine in [
+            Engine::BlockStm { threads },
+            Engine::Bohm { threads },
+            Engine::Litm { threads },
+        ] {
+            let executor = engine.build_for_block(gas, &block);
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), threads),
+                &threads,
+                |b, _| b.iter(|| execute_once(executor.as_ref(), &block, &storage)),
+            );
+        }
     }
     group.finish();
 

@@ -14,7 +14,6 @@ fn bench_fig6(c: &mut Criterion) {
     let gas = default_gas_schedule();
     let workload = P2pWorkload::aptos(accounts, block_size);
     let (storage, block) = workload.generate();
-    let write_sets = P2pWorkload::perfect_write_sets(&block);
 
     let mut group = c.benchmark_group("fig6_aptos_threads");
     group.sample_size(10);
@@ -30,20 +29,14 @@ fn bench_fig6(c: &mut Criterion) {
         .filter(|&t| t <= max_threads)
         .collect();
 
+    let sequential = Engine::Sequential.build(gas);
     group.bench_function("Sequential", |b| {
-        b.iter(|| execute_once(Engine::Sequential, &block, &write_sets, &storage, gas))
+        b.iter(|| execute_once(sequential.as_ref(), &block, &storage))
     });
     for &threads in &thread_points {
-        group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, &t| {
-            b.iter(|| {
-                execute_once(
-                    Engine::BlockStm { threads: t },
-                    &block,
-                    &write_sets,
-                    &storage,
-                    gas,
-                )
-            })
+        let executor = Engine::BlockStm { threads }.build(gas);
+        group.bench_with_input(BenchmarkId::new("BSTM", threads), &threads, |b, _| {
+            b.iter(|| execute_once(executor.as_ref(), &block, &storage))
         });
     }
     group.finish();

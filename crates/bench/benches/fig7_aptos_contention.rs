@@ -21,29 +21,20 @@ fn bench_fig7(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     group.throughput(Throughput::Elements(block_size as u64));
 
+    let sequential = Engine::Sequential.build(gas);
+    let block_stm = Engine::BlockStm { threads }.build(gas);
     for accounts in [2u64, 10, 100] {
         let workload = P2pWorkload::aptos(accounts, block_size);
         let (storage, block) = workload.generate();
-        let write_sets = P2pWorkload::perfect_write_sets(&block);
         group.bench_with_input(
             BenchmarkId::new("Sequential", accounts),
             &accounts,
-            |b, _| b.iter(|| execute_once(Engine::Sequential, &block, &write_sets, &storage, gas)),
+            |b, _| b.iter(|| execute_once(sequential.as_ref(), &block, &storage)),
         );
         group.bench_with_input(
             BenchmarkId::new(format!("BSTM-{threads}t"), accounts),
             &accounts,
-            |b, _| {
-                b.iter(|| {
-                    execute_once(
-                        Engine::BlockStm { threads },
-                        &block,
-                        &write_sets,
-                        &storage,
-                        gas,
-                    )
-                })
-            },
+            |b, _| b.iter(|| execute_once(block_stm.as_ref(), &block, &storage)),
         );
     }
     group.finish();

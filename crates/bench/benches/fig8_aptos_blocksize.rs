@@ -21,25 +21,15 @@ fn bench_fig8(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(1));
 
+    let executor = Engine::BlockStm { threads }.build(gas);
     for block_size in [300usize, 1_000, 3_000] {
         let workload = P2pWorkload::aptos(accounts, block_size);
         let (storage, block) = workload.generate();
-        let write_sets = P2pWorkload::perfect_write_sets(&block);
         group.throughput(Throughput::Elements(block_size as u64));
         group.bench_with_input(
             BenchmarkId::new(format!("BSTM-{threads}t"), block_size),
             &block_size,
-            |b, _| {
-                b.iter(|| {
-                    execute_once(
-                        Engine::BlockStm { threads },
-                        &block,
-                        &write_sets,
-                        &storage,
-                        gas,
-                    )
-                })
-            },
+            |b, _| b.iter(|| execute_once(executor.as_ref(), &block, &storage)),
         );
     }
     group.finish();

@@ -12,7 +12,7 @@
 //!
 //! Run with `cargo run -p block-stm-bench --release --bin ablation`.
 
-use block_stm::{ExecutorOptions, ParallelExecutor};
+use block_stm::{BlockStmBuilder, ExecutorOptions};
 use block_stm_bench::{default_gas_schedule, quick_mode};
 use block_stm_vm::p2p::P2pFlavor;
 use block_stm_vm::Vm;
@@ -64,14 +64,14 @@ fn main() {
         };
         let (storage, block) = workload.generate();
         for (name, options) in &variants {
-            let executor = ParallelExecutor::new(vm, options.clone());
+            let executor = BlockStmBuilder::from_options(vm, options.clone()).build();
             // Warm up once, then average.
-            let _ = executor.execute_block(&block, &storage);
+            let _ = executor.execute_block(&block, &storage).unwrap();
             let mut total = std::time::Duration::ZERO;
             let mut metrics = block_stm::MetricsSnapshot::default();
             for _ in 0..samples {
                 let start = Instant::now();
-                let output = executor.execute_block(&block, &storage);
+                let output = executor.execute_block(&block, &storage).unwrap();
                 total += start.elapsed();
                 metrics = output.metrics;
             }

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run -p block-stm-bench --release --bin profile_phases`.
 
-use block_stm::{ExecutorOptions, MVHashMapView, ParallelExecutor, SequentialExecutor};
+use block_stm::{BlockStmBuilder, MVHashMapView, SequentialExecutor};
 use block_stm_bench::default_gas_schedule;
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_mvmemory::MVMemory;
@@ -21,7 +21,9 @@ fn main() {
 
     // Phase 0: sequential baseline.
     let start = Instant::now();
-    let _seq = SequentialExecutor::new(vm).execute_block(&block, &storage);
+    let _seq = SequentialExecutor::new(vm)
+        .execute_block(&block, &storage)
+        .unwrap();
     let seq_elapsed = start.elapsed();
     println!(
         "sequential executor          : {:>8.1} ms ({:.1} us/txn)",
@@ -157,9 +159,9 @@ fn main() {
 
     // Phase 4: the full parallel executor at 1 and 8 threads for comparison.
     for threads in [1usize, 8] {
-        let executor = ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads));
+        let executor = BlockStmBuilder::new(vm).concurrency(threads).build();
         let start = Instant::now();
-        let output = executor.execute_block(&block, &storage);
+        let output = executor.execute_block(&block, &storage).unwrap();
         let elapsed = start.elapsed();
         println!(
             "parallel executor {threads:>2} thread(s): {:>8.1} ms ({:.1} us/txn), {:.2} validations/txn",

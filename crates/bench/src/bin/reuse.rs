@@ -1,0 +1,205 @@
+//! Executor-reuse benchmark: one persistent `BlockStm` vs. a fresh executor per
+//! block.
+//!
+//! The paper's setting (§1, §6) is a validator executing *block after block*; this
+//! benchmark quantifies why the engine is shaped for that: at small block sizes the
+//! per-block setup cost — spawning/joining worker threads plus allocating the
+//! multi-version memory, scheduler arrays and output slots — is a measurable fraction
+//! of the block time. The `reused` mode builds one [`BlockStm`] and hands it every
+//! block (workers park in between, arenas are reset in place); the `fresh` mode
+//! builds and drops an executor per block, which is what the deprecated one-shot
+//! `ParallelExecutor` flow effectively paid.
+//!
+//! Gas is `zero_work` so the numbers isolate *engine* cost: with heavy VM work the
+//! setup cost shrinks proportionally (also visible here via the diem-p2p rows).
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin reuse`.
+//! Set `BLOCK_STM_BENCH_QUICK=1` for a fast smoke-test grid.
+
+use block_stm::{BlockExecutor, BlockStmBuilder, GasSchedule, Transaction, Vm};
+use block_stm_bench::quick_mode;
+use block_stm_storage::{InMemoryStorage, Storage};
+use block_stm_vm::p2p::P2pFlavor;
+use block_stm_workloads::{P2pWorkload, SyntheticWorkload};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured row: a (workload, mode) pair.
+#[derive(Debug, Clone, Serialize)]
+struct ReuseMeasurement {
+    workload: String,
+    mode: String,
+    block_size: usize,
+    threads: usize,
+    blocks: usize,
+    tps: f64,
+    avg_block_ms: f64,
+    /// `fresh.avg_block_ms / reused.avg_block_ms` — filled on the `reused` row.
+    speedup_vs_fresh: f64,
+}
+
+fn tsv_header() -> &'static str {
+    "workload\tmode\tblock_size\tthreads\tblocks\ttps\tavg_block_ms\tspeedup_vs_fresh"
+}
+
+impl ReuseMeasurement {
+    fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.3}\t{:.2}",
+            self.workload,
+            self.mode,
+            self.block_size,
+            self.threads,
+            self.blocks,
+            self.tps,
+            self.avg_block_ms,
+            self.speedup_vs_fresh,
+        )
+    }
+}
+
+/// Average per-block seconds over `blocks` consecutive executions of `block`.
+fn run_mode<T, S>(
+    make_executor: impl Fn() -> Box<dyn BlockExecutor<T, S>>,
+    reuse: bool,
+    block: &[T],
+    storage: &S,
+    blocks: usize,
+) -> f64
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    // Warm up allocator pools and (in reused mode) the executor's arenas.
+    let warm = make_executor();
+    warm.execute_block(block, storage).expect("warm-up failed");
+    if reuse {
+        let executor = warm;
+        let start = Instant::now();
+        for _ in 0..blocks {
+            executor
+                .execute_block(block, storage)
+                .expect("block must execute");
+        }
+        start.elapsed().as_secs_f64() / blocks as f64
+    } else {
+        drop(warm);
+        let start = Instant::now();
+        for _ in 0..blocks {
+            // The naive integration: build (spawns the pool), execute one block,
+            // drop (joins the pool).
+            let executor = make_executor();
+            executor
+                .execute_block(block, storage)
+                .expect("block must execute");
+        }
+        start.elapsed().as_secs_f64() / blocks as f64
+    }
+}
+
+fn measure_pair<T, S>(
+    results: &mut Vec<ReuseMeasurement>,
+    workload_name: &str,
+    block: &[T],
+    storage: &S,
+    threads: usize,
+    blocks: usize,
+    gas: GasSchedule,
+) where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    let make = || -> Box<dyn BlockExecutor<T, S>> {
+        Box::new(
+            BlockStmBuilder::new(Vm::new(gas))
+                .concurrency(threads)
+                .build(),
+        )
+    };
+    let fresh_avg = run_mode(make, false, block, storage, blocks);
+    let reused_avg = run_mode(make, true, block, storage, blocks);
+    for (mode, avg, speedup) in [
+        ("fresh", fresh_avg, 1.0),
+        ("reused", reused_avg, fresh_avg / reused_avg),
+    ] {
+        let row = ReuseMeasurement {
+            workload: workload_name.to_string(),
+            mode: mode.to_string(),
+            block_size: block.len(),
+            threads,
+            blocks,
+            tps: block.len() as f64 / avg,
+            avg_block_ms: avg * 1_000.0,
+            speedup_vs_fresh: speedup,
+        };
+        println!("{}", row.tsv_row());
+        results.push(row);
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    // At least 2 workers so the persistent pool (and the fresh mode's per-block
+    // spawn/join) is actually exercised, even on a 1-CPU host.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+        .max(2);
+    let blocks = if quick { 5 } else { 50 };
+    let gas = GasSchedule::zero_work();
+
+    println!(
+        "# Reuse: persistent BlockStm vs fresh-executor-per-block, {threads} threads, \
+         {blocks} blocks per mode"
+    );
+    println!("{}", tsv_header());
+    let mut results = Vec::new();
+
+    // Synthetic read-modify-write blocks: VM work is negligible, so the rows isolate
+    // the engine's per-block setup overhead (the effect the redesign removes).
+    for block_size in if quick {
+        vec![200usize]
+    } else {
+        vec![100, 1_000, 5_000]
+    } {
+        let workload = SyntheticWorkload::new(256, block_size).with_seed(0xE05E);
+        let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
+        let block = workload.generate_block();
+        measure_pair(
+            &mut results,
+            "synthetic",
+            &block,
+            &storage,
+            threads,
+            blocks,
+            gas,
+        );
+    }
+
+    // A realistic payment block for scale: setup cost as a fraction of real work.
+    if !quick {
+        let workload = P2pWorkload {
+            flavor: P2pFlavor::Diem,
+            num_accounts: 1_000,
+            block_size: 1_000,
+            seed: 0xE05E,
+            initial_balance: 1_000_000_000,
+            max_transfer: 100,
+        };
+        let (storage, block) = workload.generate();
+        measure_pair(
+            &mut results,
+            "diem-p2p",
+            &block,
+            &storage,
+            threads,
+            blocks.min(20),
+            gas,
+        );
+    }
+
+    println!(
+        "# json: {}",
+        serde_json::to_string(&results).expect("measurements serialize")
+    );
+}

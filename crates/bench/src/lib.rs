@@ -21,5 +21,5 @@ pub mod harness;
 
 pub use harness::{
     available_thread_counts, default_gas_schedule, execute_once, measure_engine, quick_mode,
-    Engine, Measurement, P2pGrid,
+    BenchExecutor, BenchStorage, BenchTxn, Engine, Measurement, P2pGrid,
 };

@@ -1,0 +1,792 @@
+//! The Block-STM engine (Algorithm 1) behind a persistent worker pool.
+//!
+//! [`BlockStm`] is the production shape of the parallel executor: it is constructed
+//! **once** (via [`BlockStmBuilder`]), owns a pool of worker threads that *park*
+//! between blocks, and keeps the per-block structures — the multi-version memory's
+//! version arrays, the scheduler's counters and status vector, the per-transaction
+//! output slots — alive across [`execute_block`](BlockStm::execute_block) calls,
+//! **resetting** them instead of reallocating. At the small block sizes of the
+//! paper's Figures 5 and 8 the per-block setup cost (thread spawn/join plus arena
+//! allocation) is a measurable fraction of the block time; the `reuse` benchmark in
+//! `crates/bench` quantifies the win.
+
+use crate::config::ExecutorOptions;
+use crate::errors::{ExecutionError, PanicCollector};
+use crate::executor::BlockExecutor;
+use crate::output::BlockOutput;
+use crate::view::MVHashMapView;
+use block_stm_metrics::{ExecutionMetrics, MetricsSnapshot};
+use block_stm_mvmemory::MVMemory;
+use block_stm_scheduler::{Scheduler, SchedulerOptions, Task, TaskKind};
+use block_stm_storage::Storage;
+use block_stm_sync::{Backoff, WorkerPool};
+use block_stm_vm::{Transaction, TransactionOutput, Version, Vm, VmStatus};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Builder for [`BlockStm`]: the VM plus every tuning knob of [`ExecutorOptions`].
+///
+/// ```
+/// use block_stm::{BlockStmBuilder, Vm};
+///
+/// let executor = BlockStmBuilder::new(Vm::for_testing())
+///     .concurrency(4)
+///     .dependency_recheck(true)
+///     .build();
+/// assert_eq!(executor.concurrency(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockStmBuilder {
+    vm: Vm,
+    options: ExecutorOptions,
+}
+
+impl BlockStmBuilder {
+    /// Starts a builder with default options (all optimizations on, one worker per
+    /// available core).
+    pub fn new(vm: Vm) -> Self {
+        Self {
+            vm,
+            options: ExecutorOptions::default(),
+        }
+    }
+
+    /// Starts a builder from a pre-assembled [`ExecutorOptions`].
+    pub fn from_options(vm: Vm, options: ExecutorOptions) -> Self {
+        Self { vm, options }
+    }
+
+    /// Sets the worker-thread count (`0` = one per available core, capped at 32).
+    pub fn concurrency(mut self, concurrency: usize) -> Self {
+        self.options.concurrency = concurrency;
+        self
+    }
+
+    /// Toggles the §4 dependency re-check before re-executing an aborted transaction.
+    pub fn dependency_recheck(mut self, enabled: bool) -> Self {
+        self.options.dependency_recheck = enabled;
+        self
+    }
+
+    /// Toggles the scheduler's task-return optimization (cases 1(b)/2(c)).
+    pub fn task_return_optimization(mut self, enabled: bool) -> Self {
+        self.options.task_return_optimization = enabled;
+        self
+    }
+
+    /// Sets the multi-version memory shard count.
+    pub fn mvmemory_shards(mut self, shards: usize) -> Self {
+        self.options.mvmemory_shards = Some(shards);
+        self
+    }
+
+    /// Builds the executor: spawns the persistent worker pool (threads park until the
+    /// first block arrives) and prepares the reusable per-block state.
+    pub fn build(self) -> BlockStm {
+        let workers = self.options.effective_concurrency();
+        BlockStm {
+            vm: self.vm,
+            // The calling thread participates as worker 0 (like rayon's
+            // `in_place_scope`), so the pool itself needs one thread fewer.
+            pool: WorkerPool::new(workers.saturating_sub(1)),
+            options: self.options,
+            state: Mutex::new(None),
+        }
+    }
+}
+
+/// The Block-STM engine: executes block after block of transactions in parallel,
+/// committing a state identical to a sequential execution in each block's preset
+/// order.
+///
+/// Construct it once via [`BlockStmBuilder`] and keep it alive for the lifetime of
+/// the validator: worker threads park between blocks and per-block structures are
+/// reset and reused. Blocks, storage and outputs are borrowed/owned plain data —
+/// nothing escapes an [`execute_block`](Self::execute_block) call.
+///
+/// A panicking transaction does not unwind through the engine: the block fails with
+/// [`ExecutionError::WorkerPanic`] and the executor stays usable.
+pub struct BlockStm {
+    vm: Vm,
+    options: ExecutorOptions,
+    pool: WorkerPool,
+    /// Reusable per-block state, type-erased so one executor can serve any
+    /// `(Key, Value)` pair; in a real deployment the pair never changes, so the
+    /// downcast always hits and the arena is reused block after block.
+    state: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Debug for BlockStm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStm")
+            .field("options", &self.options)
+            .field("pool_threads", &self.pool.thread_count())
+            .finish()
+    }
+}
+
+impl BlockStm {
+    /// Shorthand for [`BlockStmBuilder::new`].
+    pub fn builder(vm: Vm) -> BlockStmBuilder {
+        BlockStmBuilder::new(vm)
+    }
+
+    /// An executor with default options (all optimizations on, one worker per
+    /// available core).
+    pub fn with_defaults(vm: Vm) -> Self {
+        BlockStmBuilder::new(vm).build()
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ExecutorOptions {
+        &self.options
+    }
+
+    /// The VM this executor runs transactions with.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The number of workers that execute a (large enough) block, including the
+    /// calling thread.
+    pub fn concurrency(&self) -> usize {
+        self.pool.thread_count() + 1
+    }
+
+    /// Number of blocks dispatched onto the persistent pool so far (diagnostics).
+    pub fn blocks_dispatched(&self) -> u64 {
+        self.pool.epochs_run()
+    }
+
+    /// Executes `block` against the pre-block `storage`.
+    ///
+    /// Returns the committed state updates (equal to a sequential execution of the
+    /// block), the per-transaction outputs and the engine metrics for this run — or a
+    /// typed [`ExecutionError`] if a worker panicked or an engine invariant broke.
+    /// The same instance is intended to execute block after block; concurrent calls
+    /// from several threads are safe and serialize on the per-block state.
+    pub fn execute_block<T, S>(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError>
+    where
+        T: Transaction,
+        S: Storage<T::Key, T::Value>,
+    {
+        let num_txns = block.len();
+        if num_txns == 0 {
+            return Ok(BlockOutput::new(
+                Vec::new(),
+                Vec::new(),
+                MetricsSnapshot::default(),
+            ));
+        }
+        // `effective_concurrency` is clamped to >= 1; the check guards against a
+        // future regression turning a stall into a typed error instead of a hang.
+        let participants = self.options.effective_concurrency().min(num_txns);
+        if participants == 0 {
+            return Err(ExecutionError::InvalidConcurrency {
+                requested: self.options.concurrency,
+            });
+        }
+
+        let mut guard = self.state.lock();
+        let state = EngineState::<T::Key, T::Value>::prepare(&mut guard, &self.options, num_txns);
+        state.metrics.record_block(num_txns);
+
+        let panics = PanicCollector::new();
+        let worker = Worker {
+            vm: &self.vm,
+            options: &self.options,
+            block,
+            storage,
+            mvmemory: &state.mvmemory,
+            scheduler: &state.scheduler,
+            metrics: &state.metrics,
+            outputs: &state.outputs,
+        };
+        let job = |_worker_index: usize| {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker.run())) {
+                // Contain the panic: release every other worker, record what
+                // happened, and let `execute_block` report a typed error. The dirty
+                // per-block state is fully reset before the next block.
+                // (`&*payload`, not `&payload`: the latter would unsize the Box
+                // itself into the `dyn Any` and defeat the downcasts.)
+                worker.scheduler.halt();
+                panics.record(&*payload);
+            }
+        };
+        let pool_outcome = self.pool.run(participants, &job);
+
+        if let Err(job_panics) = pool_outcome {
+            // The job above catches all panics, so this only fires if the catch
+            // itself failed — count it rather than trust it cannot happen.
+            panics.record_anonymous(job_panics.panicked);
+        }
+        if let Some(error) = panics.into_error() {
+            return Err(error);
+        }
+
+        let updates = state.mvmemory.snapshot();
+        let mut outputs = Vec::with_capacity(num_txns);
+        for (txn_idx, slot) in state.outputs.iter_mut().enumerate().take(num_txns) {
+            match slot.get_mut().take() {
+                Some(output) => outputs.push(output),
+                None => return Err(ExecutionError::MissingOutput { txn_idx }),
+            }
+        }
+        Ok(BlockOutput::new(updates, outputs, state.metrics.snapshot()))
+    }
+}
+
+impl<T, S> BlockExecutor<T, S> for BlockStm
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    fn name(&self) -> &'static str {
+        "block-stm"
+    }
+
+    fn execute_block(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError> {
+        BlockStm::execute_block(self, block, storage)
+    }
+}
+
+/// One per-transaction output slot, filled by the incarnation that commits.
+type OutputSlot<K, V> = Mutex<Option<TransactionOutput<K, V>>>;
+
+/// The reusable per-block arena: everything `execute_block` used to allocate fresh
+/// per call. Reset is cheap — counters re-armed, maps cleared in place, snapshot
+/// cells swapped to a shared empty — and allocation-free once the arena has grown to
+/// the steady-state block size.
+struct EngineState<K, V> {
+    metrics: ExecutionMetrics,
+    mvmemory: MVMemory<K, V>,
+    scheduler: Scheduler,
+    outputs: Vec<OutputSlot<K, V>>,
+}
+
+impl<K, V> EngineState<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Debug + Send + Sync + 'static,
+    V: Clone + PartialEq + Debug + Send + Sync + 'static,
+{
+    fn new(num_txns: usize, options: &ExecutorOptions) -> Self {
+        Self {
+            metrics: ExecutionMetrics::new(),
+            mvmemory: match options.mvmemory_shards {
+                Some(shards) => MVMemory::with_shards(num_txns, shards),
+                None => MVMemory::new(num_txns),
+            },
+            scheduler: Scheduler::with_options(
+                num_txns,
+                SchedulerOptions {
+                    task_return_optimization: options.task_return_optimization,
+                },
+            ),
+            outputs: (0..num_txns).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Re-arms the arena for the next block, reusing every allocation.
+    fn reset(&mut self, num_txns: usize) {
+        self.metrics.reset();
+        self.mvmemory.reset(num_txns);
+        self.scheduler.reset(num_txns);
+        self.outputs.truncate(num_txns);
+        for slot in &mut self.outputs {
+            *slot.get_mut() = None;
+        }
+        self.outputs.resize_with(num_txns, || Mutex::new(None));
+    }
+
+    /// Fetches the executor's arena for this `(K, V)` pair out of the type-erased
+    /// slot, resetting it for `num_txns` transactions — or builds a fresh one on
+    /// first use (or if the executor is suddenly driven with a different state
+    /// model).
+    fn prepare<'a>(
+        slot: &'a mut Option<Box<dyn Any + Send>>,
+        options: &ExecutorOptions,
+        num_txns: usize,
+    ) -> &'a mut Self {
+        let reusable = matches!(slot, Some(state) if state.is::<Self>());
+        if !reusable {
+            *slot = Some(Box::new(Self::new(num_txns, options)));
+        }
+        let state = slot
+            .as_mut()
+            .and_then(|state| state.downcast_mut::<Self>())
+            .expect("slot was just populated with an EngineState of this type");
+        if reusable {
+            state.reset(num_txns);
+        }
+        state
+    }
+}
+
+/// Per-block shared context of the worker threads. `Copy`-able by reference only; all
+/// fields are shared state borrowed from [`BlockStm::execute_block`].
+struct Worker<'a, T: Transaction, S> {
+    vm: &'a Vm,
+    options: &'a ExecutorOptions,
+    block: &'a [T],
+    storage: &'a S,
+    mvmemory: &'a MVMemory<T::Key, T::Value>,
+    scheduler: &'a Scheduler,
+    metrics: &'a ExecutionMetrics,
+    outputs: &'a [OutputSlot<T::Key, T::Value>],
+}
+
+// Manual impl: deriving Clone/Copy would add unnecessary bounds on T and S.
+impl<T: Transaction, S> Clone for Worker<'_, T, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Transaction, S> Copy for Worker<'_, T, S> {}
+
+impl<T, S> Worker<'_, T, S>
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    /// The thread main loop (`run()`, Algorithm 1 Lines 1–9): keep performing tasks,
+    /// chaining directly into any follow-up task the scheduler hands back, until the
+    /// scheduler reports completion.
+    ///
+    /// Idle polling is bounded: a worker that repeatedly finds no ready task spins
+    /// briefly, then escalates to `thread::yield_now` through [`Backoff`] so an
+    /// oversubscribed host (e.g. a 1-CPU CI box running more workers than cores)
+    /// does not burn a core busy-waiting. Yield fallbacks are recorded in the
+    /// metrics.
+    fn run(&self) {
+        let mut task: Option<Task> = None;
+        let mut backoff = Backoff::new();
+        while !self.scheduler.done() {
+            task = match task {
+                Some(Task {
+                    version,
+                    kind: TaskKind::Execution,
+                }) => self.try_execute(version),
+                Some(Task {
+                    version,
+                    kind: TaskKind::Validation,
+                }) => self.needs_reexecution(version),
+                None => {
+                    let next = self.scheduler.next_task();
+                    if next.is_none() {
+                        // No ready task right now; other threads may still create
+                        // some. Blocks execute in milliseconds, so poll — but with a
+                        // bounded spin that degrades to yielding.
+                        self.metrics.record_scheduler_poll();
+                        if backoff.will_yield() {
+                            self.metrics.record_scheduler_yield();
+                        }
+                        backoff.snooze();
+                    } else {
+                        backoff.reset();
+                    }
+                    next
+                }
+            };
+        }
+    }
+
+    /// `try_execute` (Algorithm 1 Lines 10–19): run one incarnation and record its
+    /// effects, or register a dependency if it reads an ESTIMATE.
+    fn try_execute(&self, version: Version) -> Option<Task> {
+        let txn_idx = version.txn_idx;
+        let txn = &self.block[txn_idx];
+        loop {
+            // §4 mitigation: when the VM must restart from scratch, first check the
+            // previous incarnation's read-set for unresolved dependencies; registering
+            // one is much cheaper than a doomed re-execution.
+            if self.options.dependency_recheck && version.incarnation > 0 {
+                if let Some((_, blocking_txn_idx)) =
+                    self.mvmemory.first_estimate_in_prior_reads(txn_idx)
+                {
+                    if self.scheduler.add_dependency(txn_idx, blocking_txn_idx) {
+                        return None;
+                    }
+                    // Dependency resolved in the meantime: fall through and execute.
+                    self.metrics.record_dependency_race();
+                }
+            }
+
+            let view = MVHashMapView::new(self.mvmemory, self.storage, txn_idx, self.metrics);
+            self.metrics.record_incarnation();
+            match self.vm.execute(txn, &view) {
+                VmStatus::ReadError { blocking_txn_idx } => {
+                    self.metrics.record_dependency_abort();
+                    if self.scheduler.add_dependency(txn_idx, blocking_txn_idx) {
+                        // Suspended: the execution task will be re-created when the
+                        // blocking transaction finishes (resume_dependencies).
+                        return None;
+                    }
+                    // The dependency was resolved before we could register it:
+                    // re-execute immediately (Algorithm 1 Line 15).
+                    self.metrics.record_dependency_race();
+                    continue;
+                }
+                VmStatus::Done(output) => {
+                    let read_set = view.take_read_set();
+                    let write_set: Vec<(T::Key, T::Value)> = output
+                        .writes
+                        .iter()
+                        .map(|write| (write.key.clone(), write.value.clone()))
+                        .collect();
+                    let wrote_new_location = self.mvmemory.record(version, read_set, write_set);
+                    *self.outputs[txn_idx].lock() = Some(output);
+                    return self.scheduler.finish_execution(
+                        txn_idx,
+                        version.incarnation,
+                        wrote_new_location,
+                    );
+                }
+            }
+        }
+    }
+
+    /// `needs_reexecution` (Algorithm 1 Lines 20–26): validate the incarnation's
+    /// read-set; on failure, abort it (first failing validation only), convert its
+    /// writes to ESTIMATEs and schedule the re-execution.
+    fn needs_reexecution(&self, version: Version) -> Option<Task> {
+        let txn_idx = version.txn_idx;
+        let read_set_valid = self.mvmemory.validate_read_set(txn_idx);
+        let aborted = !read_set_valid
+            && self
+                .scheduler
+                .try_validation_abort(txn_idx, version.incarnation);
+        self.metrics.record_validation(!aborted);
+        if aborted {
+            self.mvmemory.convert_writes_to_estimates(txn_idx);
+        }
+        self.scheduler.finish_validation(txn_idx, aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialExecutor;
+    use block_stm_storage::InMemoryStorage;
+    use block_stm_vm::synthetic::SyntheticTransaction;
+    use block_stm_vm::{ExecutionFailure, StateReader, TransactionContext};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn storage_with_keys(keys: u64) -> InMemoryStorage<u64, u64> {
+        (0..keys).map(|k| (k, k * 1_000)).collect()
+    }
+
+    fn assert_matches_sequential(
+        block: &[SyntheticTransaction],
+        storage: &InMemoryStorage<u64, u64>,
+        threads: usize,
+    ) {
+        let parallel = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .build();
+        let sequential = SequentialExecutor::new(Vm::for_testing());
+        let parallel_output = parallel.execute_block(block, storage).unwrap();
+        let sequential_output = sequential.execute_block(block, storage).unwrap();
+        assert_eq!(
+            parallel_output.updates, sequential_output.updates,
+            "parallel and sequential committed states diverge"
+        );
+        assert_eq!(parallel_output.num_txns(), block.len());
+        // Per-transaction write-sets must match too (same committed incarnations).
+        for (idx, (p, s)) in parallel_output
+            .outputs
+            .iter()
+            .zip(sequential_output.outputs.iter())
+            .enumerate()
+        {
+            assert_eq!(p.writes, s.writes, "write-set mismatch at txn {idx}");
+            assert_eq!(p.abort_code, s.abort_code, "abort mismatch at txn {idx}");
+        }
+    }
+
+    #[test]
+    fn empty_block() {
+        let storage = storage_with_keys(1);
+        let executor = BlockStm::with_defaults(Vm::for_testing());
+        let output = executor
+            .execute_block::<SyntheticTransaction, _>(&[], &storage)
+            .unwrap();
+        assert_eq!(output.num_txns(), 0);
+        assert!(output.updates.is_empty());
+    }
+
+    #[test]
+    fn single_transaction_block() {
+        let storage = storage_with_keys(2);
+        let block = vec![SyntheticTransaction::transfer(0, 1, 42)];
+        assert_matches_sequential(&block, &storage, 4);
+    }
+
+    #[test]
+    fn independent_transactions_all_commit() {
+        let storage = storage_with_keys(0);
+        let block: Vec<_> = (0..128)
+            .map(|i| SyntheticTransaction::put(i, i * 7))
+            .collect();
+        assert_matches_sequential(&block, &storage, 8);
+    }
+
+    #[test]
+    fn fully_sequential_chain_matches() {
+        // Every transaction reads and writes the same key: worst-case contention.
+        let storage = storage_with_keys(1);
+        let block: Vec<_> = (0..100)
+            .map(|_| SyntheticTransaction::increment(0))
+            .collect();
+        assert_matches_sequential(&block, &storage, 8);
+    }
+
+    #[test]
+    fn conditional_writes_and_aborts_match() {
+        let storage = storage_with_keys(8);
+        let block: Vec<_> = (0..60)
+            .map(|i| {
+                SyntheticTransaction::transfer(i % 8, (i * 3) % 8, i)
+                    .with_conditional_writes(vec![(i * 5) % 8 + 100])
+                    .with_abort_divisor(5)
+            })
+            .collect();
+        assert_matches_sequential(&block, &storage, 8);
+    }
+
+    #[test]
+    fn random_blocks_match_sequential_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(0xB10C_57E0);
+        for trial in 0..12 {
+            let num_keys = rng.gen_range(2..20u64);
+            let block_len = rng.gen_range(1..80usize);
+            let storage = storage_with_keys(num_keys);
+            let block: Vec<_> = (0..block_len)
+                .map(|_| {
+                    let reads = (0..rng.gen_range(0..4))
+                        .map(|_| rng.gen_range(0..num_keys))
+                        .collect();
+                    let writes = (0..rng.gen_range(1..4))
+                        .map(|_| rng.gen_range(0..num_keys))
+                        .collect();
+                    let conditional = (0..rng.gen_range(0..2))
+                        .map(|_| rng.gen_range(0..num_keys))
+                        .collect();
+                    SyntheticTransaction {
+                        reads,
+                        writes,
+                        conditional_writes: conditional,
+                        salt: rng.gen(),
+                        extra_gas: 0,
+                        abort_when_divisible_by: if rng.gen_bool(0.2) { Some(3) } else { None },
+                    }
+                })
+                .collect();
+            let threads = [1, 2, 4, 8][trial % 4];
+            assert_matches_sequential(&block, &storage, threads);
+        }
+    }
+
+    #[test]
+    fn options_ablations_still_match_sequential() {
+        let storage = storage_with_keys(4);
+        let block: Vec<_> = (0..80)
+            .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
+            .collect();
+        for builder in [
+            BlockStmBuilder::new(Vm::for_testing())
+                .concurrency(4)
+                .dependency_recheck(false),
+            BlockStmBuilder::new(Vm::for_testing())
+                .concurrency(4)
+                .task_return_optimization(false),
+            BlockStmBuilder::new(Vm::for_testing())
+                .concurrency(4)
+                .dependency_recheck(false)
+                .task_return_optimization(false),
+            BlockStmBuilder::new(Vm::for_testing())
+                .concurrency(4)
+                .mvmemory_shards(2),
+        ] {
+            let parallel = builder.build();
+            let sequential = SequentialExecutor::new(Vm::for_testing());
+            assert_eq!(
+                parallel.execute_block(&block, &storage).unwrap().updates,
+                sequential.execute_block(&block, &storage).unwrap().updates
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_reflect_at_least_one_incarnation_and_validation_per_txn() {
+        let storage = storage_with_keys(4);
+        let block: Vec<_> = (0..50)
+            .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
+            .collect();
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .build();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        assert!(output.metrics.incarnations >= 50);
+        assert!(output.metrics.validations >= 50);
+        assert_eq!(output.metrics.total_txns, 50);
+    }
+
+    #[test]
+    fn deterministic_across_repeated_parallel_runs() {
+        let storage = storage_with_keys(3);
+        let block: Vec<_> = (0..120)
+            .map(|i| SyntheticTransaction::transfer(i % 3, (i + 1) % 3, i))
+            .collect();
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(8)
+            .build();
+        let reference = executor.execute_block(&block, &storage).unwrap();
+        for _ in 0..5 {
+            let run = executor.execute_block(&block, &storage).unwrap();
+            assert_eq!(reference.updates, run.updates);
+        }
+    }
+
+    #[test]
+    fn one_executor_reuses_state_across_blocks_of_different_sizes() {
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .build();
+        let sequential = SequentialExecutor::new(Vm::for_testing());
+        let mut storage = storage_with_keys(6);
+        let mut oracle = storage.clone();
+        // Sizes deliberately grow and shrink to exercise arena resizing both ways.
+        for (round, size) in [40usize, 5, 120, 1, 64].into_iter().enumerate() {
+            let block: Vec<_> = (0..size as u64)
+                .map(|i| SyntheticTransaction::transfer(i % 6, (i + round as u64 + 1) % 6, i))
+                .collect();
+            let output = executor.execute_block(&block, &storage).unwrap();
+            let expected = sequential.execute_block(&block, &oracle).unwrap();
+            assert_eq!(output.updates, expected.updates, "round {round}");
+            storage.apply_updates(output.updates.iter().cloned());
+            oracle.apply_updates(expected.updates.iter().cloned());
+        }
+        assert_eq!(executor.blocks_dispatched(), 5);
+    }
+
+    /// A trivial transaction over a `String`-valued state model, used to prove one
+    /// executor can serve different `(Key, Value)` pairs.
+    struct TagTxn {
+        key: u64,
+    }
+
+    impl Transaction for TagTxn {
+        type Key = u64;
+        type Value = String;
+
+        fn execute<R: StateReader<u64, String>>(
+            &self,
+            ctx: &mut TransactionContext<'_, u64, String, R>,
+        ) -> Result<(), ExecutionFailure> {
+            let prev = ctx.read(&self.key)?.unwrap_or_default();
+            ctx.write(self.key, format!("{prev}x"));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn one_executor_serves_different_state_models() {
+        // Switching the (Key, Value) pair mid-life rebuilds the type-erased arena
+        // instead of corrupting it.
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .build();
+        let storage = storage_with_keys(4);
+        let block: Vec<_> = (0..10)
+            .map(|i| SyntheticTransaction::increment(i % 4))
+            .collect();
+        let first = executor.execute_block(&block, &storage).unwrap();
+        assert_eq!(first.num_txns(), 10);
+
+        let string_storage: InMemoryStorage<u64, String> = InMemoryStorage::new();
+        let string_block: Vec<TagTxn> = (0..6).map(|i| TagTxn { key: i % 2 }).collect();
+        let tagged = executor
+            .execute_block(&string_block, &string_storage)
+            .unwrap();
+        assert_eq!(tagged.get(&0), Some(&"xxx".to_string()));
+        assert_eq!(tagged.get(&1), Some(&"xxx".to_string()));
+
+        // And back again: the u64 model still works.
+        let output = executor.execute_block(&block, &storage).unwrap();
+        assert_eq!(output.updates, first.updates);
+    }
+
+    /// A transaction that panics when executed — drives the worker-panic error path.
+    struct PanickingTxn {
+        panics: bool,
+    }
+
+    impl Transaction for PanickingTxn {
+        type Key = u64;
+        type Value = u64;
+
+        fn execute<R: StateReader<u64, u64>>(
+            &self,
+            ctx: &mut TransactionContext<'_, u64, u64, R>,
+        ) -> Result<(), ExecutionFailure> {
+            if self.panics {
+                panic!("transaction logic exploded");
+            }
+            ctx.write(1, 1);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn panicking_transaction_yields_typed_error_and_executor_survives() {
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .build();
+        let storage: InMemoryStorage<u64, u64> = storage_with_keys(2);
+        let block: Vec<PanickingTxn> = (0..8).map(|i| PanickingTxn { panics: i == 5 }).collect();
+        let err = executor.execute_block(&block, &storage).unwrap_err();
+        match &err {
+            ExecutionError::WorkerPanic { workers, detail } => {
+                assert!(*workers >= 1);
+                assert!(
+                    detail.contains("transaction logic exploded"),
+                    "detail: {detail}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // The executor remains fully usable afterwards.
+        let healthy: Vec<PanickingTxn> = (0..8).map(|_| PanickingTxn { panics: false }).collect();
+        let output = executor.execute_block(&healthy, &storage).unwrap();
+        assert_eq!(output.num_txns(), 8);
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let executor: Box<dyn BlockExecutor<SyntheticTransaction, InMemoryStorage<u64, u64>>> =
+            Box::new(
+                BlockStmBuilder::new(Vm::for_testing())
+                    .concurrency(2)
+                    .build(),
+            );
+        assert_eq!(executor.name(), "block-stm");
+        assert!(executor.preserves_preset_order());
+        let storage = storage_with_keys(2);
+        let block = vec![SyntheticTransaction::increment(0)];
+        let output = executor.execute_block(&block, &storage).unwrap();
+        assert_eq!(output.num_txns(), 1);
+    }
+}

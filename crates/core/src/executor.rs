@@ -1,0 +1,49 @@
+//! The engine-agnostic block-execution interface.
+
+use crate::errors::ExecutionError;
+use crate::output::BlockOutput;
+use block_stm_storage::Storage;
+use block_stm_vm::Transaction;
+
+/// A block-execution engine: anything that can turn `(block, pre-block storage)` into
+/// a [`BlockOutput`].
+///
+/// The paper's setting (§1, §6) is a validator executing *block after block*; this
+/// trait is the seam that lets benchmarks, tests and examples drive every engine in
+/// the workspace — [`BlockStm`](crate::BlockStm), the
+/// [`SequentialExecutor`](crate::SequentialExecutor) baseline, and the Bohm/LiTM
+/// comparison engines — through one interface instead of four bespoke call sites.
+/// Engines are constructed once (with their thread pools and tuning options) and then
+/// handed block after block.
+///
+/// The trait is object-safe: harness code typically works with
+/// `Box<dyn BlockExecutor<T, S>>`.
+pub trait BlockExecutor<T, S>
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    /// A short, stable engine name for reports and benchmark output
+    /// (e.g. `"block-stm"`, `"sequential"`, `"bohm"`, `"litm"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes `block` against the pre-block `storage` and returns the committed
+    /// output, or a typed [`ExecutionError`] — never a panic — when the block cannot
+    /// be completed (worker panic, engine misconfiguration, violated invariant).
+    fn execute_block(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError>;
+
+    /// Whether this engine commits exactly the state of a sequential execution in the
+    /// block's preset order.
+    ///
+    /// `true` for Block-STM, the sequential baseline and Bohm; `false` for LiTM,
+    /// which by design commits a different (but deterministic) serialization — the
+    /// conformance suite checks determinism and completeness instead of
+    /// byte-equality for such engines.
+    fn preserves_preset_order(&self) -> bool {
+        true
+    }
+}

@@ -17,10 +17,23 @@
 //! from a pair of atomic counters, and lazily detects when the whole block has
 //! committed.
 //!
+//! ## The `BlockExecutor` interface
+//!
+//! Every engine in this workspace — the parallel [`BlockStm`] engine, the
+//! [`SequentialExecutor`] baseline, and the Bohm/LiTM comparison engines in
+//! `block-stm-baselines` — implements the [`BlockExecutor`] trait: construct the
+//! engine once, then hand it block after block. [`BlockStm`] is built via
+//! [`BlockStmBuilder`] and is the production shape from the paper's validator setting
+//! (§1, §6): it owns a **persistent worker pool** whose threads park between blocks,
+//! and per-block structures (multi-version memory arrays, scheduler counters, output
+//! slots) are **reset and reused** rather than reallocated — at small block sizes the
+//! per-block setup cost would otherwise dominate. Failures (a panicking transaction,
+//! a misconfiguration) surface as typed [`ExecutionError`]s, never panics.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use block_stm::{ParallelExecutor, SequentialExecutor, ExecutorOptions};
+//! use block_stm::{BlockExecutor, BlockStmBuilder, SequentialExecutor};
 //! use block_stm_storage::InMemoryStorage;
 //! use block_stm_vm::synthetic::SyntheticTransaction;
 //! use block_stm_vm::Vm;
@@ -30,48 +43,84 @@
 //! storage.insert(0u64, 100u64);
 //! storage.insert(1u64, 200u64);
 //!
+//! // Build the engine ONCE: it keeps a persistent worker pool and reusable
+//! // per-block state, and then executes block after block.
+//! let executor = BlockStmBuilder::new(Vm::for_testing()).concurrency(4).build();
+//!
 //! // A block of read-modify-write transactions with a preset order.
 //! let block: Vec<SyntheticTransaction> = (0..64)
 //!     .map(|i| SyntheticTransaction::transfer(i % 2, (i + 1) % 2, i))
 //!     .collect();
 //!
 //! // Execute in parallel ...
-//! let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
-//! let parallel_output = parallel.execute_block(&block, &storage);
+//! let parallel_output = executor.execute_block(&block, &storage).expect("no worker panicked");
 //!
 //! // ... and sequentially; the committed state must be identical.
 //! let sequential = SequentialExecutor::new(Vm::for_testing());
-//! let sequential_output = sequential.execute_block(&block, &storage);
+//! let sequential_output = sequential.execute_block(&block, &storage).unwrap();
 //! assert_eq!(parallel_output.updates, sequential_output.updates);
+//!
+//! // The same engine instance keeps serving blocks, reusing its pool and arenas.
+//! let again = executor.execute_block(&block, &storage).unwrap();
+//! assert_eq!(again.updates, parallel_output.updates);
 //! ```
+//!
+//! ## Migrating from `ParallelExecutor`
+//!
+//! The one-shot [`ParallelExecutor`] (spawn threads, execute, join, drop) is
+//! deprecated and now delegates to a [`BlockStm`] internally. Replace
+//!
+//! ```text
+//! ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(8)).execute_block(&b, &s)
+//! ```
+//!
+//! with
+//!
+//! ```text
+//! BlockStmBuilder::new(vm).concurrency(8).build().execute_block(&b, &s)?
+//! ```
+//!
+//! and keep the built executor alive across blocks. The new `execute_block` returns
+//! `Result<BlockOutput<_, _>, ExecutionError>`: worker panics are contained and
+//! reported instead of unwinding through the engine.
 //!
 //! ## Crate layout
 //!
-//! * [`ParallelExecutor`] — the Block-STM engine (Algorithm 1 wiring of the scheduler,
-//!   multi-version memory and VM).
+//! * [`BlockExecutor`] — the engine-agnostic interface every engine implements.
+//! * [`BlockStm`] / [`BlockStmBuilder`] — the Block-STM engine (Algorithm 1 wiring of
+//!   the scheduler, multi-version memory and VM) with its persistent worker pool.
 //! * [`SequentialExecutor`] — the baseline the paper compares against and the
 //!   correctness oracle for every other engine.
 //! * [`BlockOutput`] — committed state updates, per-transaction outputs and execution
 //!   metrics.
-//! * [`ExecutorOptions`] — thread count and the optional optimizations evaluated in the
-//!   ablation benchmarks.
+//! * [`ExecutionError`] — typed failures (worker panic, misconfiguration, violated
+//!   invariants).
+//! * [`ExecutorOptions`] — thread count and the optional optimizations evaluated in
+//!   the ablation benchmarks (assembled fluently by [`BlockStmBuilder`]).
 //!
 //! The building blocks live in sibling crates: `block-stm-mvmemory` (Algorithm 2),
 //! `block-stm-scheduler` (Algorithms 4–5), `block-stm-vm` (transaction model and
 //! simulated VM), `block-stm-storage` (pre-block state) and `block-stm-sync`
-//! (concurrency primitives).
+//! (concurrency primitives, including the persistent worker pool).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block_stm;
 mod config;
+mod errors;
+mod executor;
 mod output;
 mod parallel;
 mod sequential;
 mod view;
 
+pub use block_stm::{BlockStm, BlockStmBuilder};
 pub use config::ExecutorOptions;
+pub use errors::{ExecutionError, PanicCollector};
+pub use executor::BlockExecutor;
 pub use output::BlockOutput;
+#[allow(deprecated)]
 pub use parallel::ParallelExecutor;
 pub use sequential::SequentialExecutor;
 pub use view::MVHashMapView;

@@ -1,33 +1,49 @@
-//! The Block-STM parallel executor (Algorithm 1, wired to Algorithms 2–5).
+//! Deprecated compatibility shim: [`ParallelExecutor`] delegating to
+//! [`BlockStm`](crate::BlockStm).
+//!
+//! The one-shot `ParallelExecutor` API predates the persistent-pool redesign; it is
+//! kept for one release so downstream code migrates on its own schedule. See the
+//! crate-level migration note.
 
+#![allow(deprecated)]
+
+use crate::block_stm::{BlockStm, BlockStmBuilder};
 use crate::config::ExecutorOptions;
 use crate::output::BlockOutput;
-use crate::view::MVHashMapView;
-use block_stm_metrics::ExecutionMetrics;
-use block_stm_mvmemory::MVMemory;
-use block_stm_scheduler::{Scheduler, Task, TaskKind};
 use block_stm_storage::Storage;
-use block_stm_vm::{Transaction, TransactionOutput, Version, Vm, VmStatus};
-use parking_lot::Mutex;
+use block_stm_vm::{Transaction, Vm};
 
-/// The Block-STM engine: executes a block of transactions in parallel, committing a
-/// state identical to the sequential execution in the block's preset order.
+/// The pre-redesign entry point to the Block-STM engine.
 ///
-/// The executor is cheap to construct and reusable: every call to
-/// [`execute_block`](Self::execute_block) builds a fresh multi-version memory and
-/// scheduler, spawns `options.concurrency` worker threads inside a scope, and joins
-/// them before returning. Transactions, the pre-block storage and the produced output
-/// are all borrowed/owned plain data — nothing escapes the call.
-#[derive(Debug, Clone)]
+/// Internally this is now a thin wrapper over a persistent [`BlockStm`], so existing
+/// callers transparently gain worker-pool and arena reuse across repeated
+/// `execute_block` calls on one instance. New code should build a [`BlockStm`] via
+/// [`BlockStmBuilder`](crate::BlockStmBuilder) and drive it through the
+/// [`BlockExecutor`](crate::BlockExecutor) trait.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `BlockStm` (via `BlockStmBuilder`) through the `BlockExecutor` trait; \
+            this shim will be removed in the next release"
+)]
+#[derive(Debug)]
 pub struct ParallelExecutor {
-    vm: Vm,
-    options: ExecutorOptions,
+    engine: BlockStm,
+}
+
+impl Clone for ParallelExecutor {
+    fn clone(&self) -> Self {
+        // The engine (thread pool + arena) is rebuilt: clones are independent
+        // executors with the same configuration, exactly as before the redesign.
+        Self::new(*self.engine.vm(), self.engine.options().clone())
+    }
 }
 
 impl ParallelExecutor {
     /// Creates an executor with the given VM (gas schedule) and options.
     pub fn new(vm: Vm, options: ExecutorOptions) -> Self {
-        Self { vm, options }
+        Self {
+            engine: BlockStmBuilder::from_options(vm, options).build(),
+        }
     }
 
     /// Creates an executor with default options (all optimizations on, one worker per
@@ -38,201 +54,23 @@ impl ParallelExecutor {
 
     /// The configured options.
     pub fn options(&self) -> &ExecutorOptions {
-        &self.options
+        self.engine.options()
     }
 
     /// Executes `block` against the pre-block `storage`.
     ///
-    /// Returns the committed state updates (equal to a sequential execution of the
-    /// block), the per-transaction outputs and the engine metrics for this run.
+    /// # Panics
+    /// Unlike [`BlockStm::execute_block`], which returns a typed
+    /// [`ExecutionError`](crate::ExecutionError), this legacy signature panics if a
+    /// worker panics mid-block (the pre-redesign behavior).
     pub fn execute_block<T, S>(&self, block: &[T], storage: &S) -> BlockOutput<T::Key, T::Value>
     where
         T: Transaction,
         S: Storage<T::Key, T::Value>,
     {
-        let num_txns = block.len();
-        let metrics = ExecutionMetrics::new();
-        metrics.record_block(num_txns);
-        if num_txns == 0 {
-            return BlockOutput::new(Vec::new(), Vec::new(), metrics.snapshot());
-        }
-
-        let mvmemory = match self.options.mvmemory_shards {
-            Some(shards) => MVMemory::with_shards(num_txns, shards),
-            None => MVMemory::new(num_txns),
-        };
-        let scheduler = if self.options.task_return_optimization {
-            Scheduler::new(num_txns)
-        } else {
-            Scheduler::new(num_txns).without_task_return_optimization()
-        };
-        let outputs: Vec<OutputSlot<T>> = (0..num_txns).map(|_| Mutex::new(None)).collect();
-
-        let worker = Worker {
-            vm: &self.vm,
-            options: &self.options,
-            block,
-            storage,
-            mvmemory: &mvmemory,
-            scheduler: &scheduler,
-            metrics: &metrics,
-            outputs: &outputs,
-        };
-
-        let concurrency = self.options.effective_concurrency().min(num_txns.max(1));
-        // The calling thread participates as one of the workers (like production
-        // block-execution pipelines and rayon's `in_place_scope`): it avoids leaving a
-        // core idle while the caller blocks, and keeps the single-threaded
-        // configuration free of any thread-spawn overhead.
-        std::thread::scope(|scope| {
-            for _ in 1..concurrency {
-                scope.spawn(|| worker.run());
-            }
-            worker.run();
-        });
-
-        let updates = mvmemory.snapshot();
-        let outputs = outputs
-            .into_iter()
-            .map(|cell| {
-                cell.into_inner()
-                    .expect("every transaction must have produced an output")
-            })
-            .collect();
-        BlockOutput::new(updates, outputs, metrics.snapshot())
-    }
-}
-
-/// One per-transaction output slot, filled by the incarnation that commits.
-type OutputSlot<T> =
-    Mutex<Option<TransactionOutput<<T as Transaction>::Key, <T as Transaction>::Value>>>;
-
-/// Per-block shared context of the worker threads. `Copy`-able by reference only; all
-/// fields are shared state borrowed from [`ParallelExecutor::execute_block`].
-struct Worker<'a, T: Transaction, S> {
-    vm: &'a Vm,
-    options: &'a ExecutorOptions,
-    block: &'a [T],
-    storage: &'a S,
-    mvmemory: &'a MVMemory<T::Key, T::Value>,
-    scheduler: &'a Scheduler,
-    metrics: &'a ExecutionMetrics,
-    outputs: &'a [OutputSlot<T>],
-}
-
-// Manual impl: deriving Clone/Copy would add unnecessary bounds on T and S.
-impl<T: Transaction, S> Clone for Worker<'_, T, S> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T: Transaction, S> Copy for Worker<'_, T, S> {}
-
-impl<T, S> Worker<'_, T, S>
-where
-    T: Transaction,
-    S: Storage<T::Key, T::Value>,
-{
-    /// The thread main loop (`run()`, Algorithm 1 Lines 1–9): keep performing tasks,
-    /// chaining directly into any follow-up task the scheduler hands back, until the
-    /// scheduler reports completion.
-    fn run(&self) {
-        let mut task: Option<Task> = None;
-        while !self.scheduler.done() {
-            task = match task {
-                Some(Task {
-                    version,
-                    kind: TaskKind::Execution,
-                }) => self.try_execute(version),
-                Some(Task {
-                    version,
-                    kind: TaskKind::Validation,
-                }) => self.needs_reexecution(version),
-                None => {
-                    let next = self.scheduler.next_task();
-                    if next.is_none() {
-                        // No ready task right now; other threads may still create
-                        // some. Spin politely rather than sleeping: blocks execute in
-                        // milliseconds and parking latency would dominate.
-                        self.metrics.record_scheduler_poll();
-                        std::hint::spin_loop();
-                    }
-                    next
-                }
-            };
-        }
-    }
-
-    /// `try_execute` (Algorithm 1 Lines 10–19): run one incarnation and record its
-    /// effects, or register a dependency if it reads an ESTIMATE.
-    fn try_execute(&self, version: Version) -> Option<Task> {
-        let txn_idx = version.txn_idx;
-        let txn = &self.block[txn_idx];
-        loop {
-            // §4 mitigation: when the VM must restart from scratch, first check the
-            // previous incarnation's read-set for unresolved dependencies; registering
-            // one is much cheaper than a doomed re-execution.
-            if self.options.dependency_recheck && version.incarnation > 0 {
-                if let Some((_, blocking_txn_idx)) =
-                    self.mvmemory.first_estimate_in_prior_reads(txn_idx)
-                {
-                    if self.scheduler.add_dependency(txn_idx, blocking_txn_idx) {
-                        return None;
-                    }
-                    // Dependency resolved in the meantime: fall through and execute.
-                    self.metrics.record_dependency_race();
-                }
-            }
-
-            let view = MVHashMapView::new(self.mvmemory, self.storage, txn_idx, self.metrics);
-            self.metrics.record_incarnation();
-            match self.vm.execute(txn, &view) {
-                VmStatus::ReadError { blocking_txn_idx } => {
-                    self.metrics.record_dependency_abort();
-                    if self.scheduler.add_dependency(txn_idx, blocking_txn_idx) {
-                        // Suspended: the execution task will be re-created when the
-                        // blocking transaction finishes (resume_dependencies).
-                        return None;
-                    }
-                    // The dependency was resolved before we could register it:
-                    // re-execute immediately (Algorithm 1 Line 15).
-                    self.metrics.record_dependency_race();
-                    continue;
-                }
-                VmStatus::Done(output) => {
-                    let read_set = view.take_read_set();
-                    let write_set: Vec<(T::Key, T::Value)> = output
-                        .writes
-                        .iter()
-                        .map(|write| (write.key.clone(), write.value.clone()))
-                        .collect();
-                    let wrote_new_location = self.mvmemory.record(version, read_set, write_set);
-                    *self.outputs[txn_idx].lock() = Some(output);
-                    return self.scheduler.finish_execution(
-                        txn_idx,
-                        version.incarnation,
-                        wrote_new_location,
-                    );
-                }
-            }
-        }
-    }
-
-    /// `needs_reexecution` (Algorithm 1 Lines 20–26): validate the incarnation's
-    /// read-set; on failure, abort it (first failing validation only), convert its
-    /// writes to ESTIMATEs and schedule the re-execution.
-    fn needs_reexecution(&self, version: Version) -> Option<Task> {
-        let txn_idx = version.txn_idx;
-        let read_set_valid = self.mvmemory.validate_read_set(txn_idx);
-        let aborted = !read_set_valid
-            && self
-                .scheduler
-                .try_validation_abort(txn_idx, version.incarnation);
-        self.metrics.record_validation(!aborted);
-        if aborted {
-            self.mvmemory.convert_writes_to_estimates(txn_idx);
-        }
-        self.scheduler.finish_validation(txn_idx, aborted)
+        self.engine
+            .execute_block(block, storage)
+            .unwrap_or_else(|error| panic!("block execution failed: {error}"))
     }
 }
 
@@ -242,172 +80,22 @@ mod tests {
     use crate::sequential::SequentialExecutor;
     use block_stm_storage::InMemoryStorage;
     use block_stm_vm::synthetic::SyntheticTransaction;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn storage_with_keys(keys: u64) -> InMemoryStorage<u64, u64> {
-        (0..keys).map(|k| (k, k * 1_000)).collect()
-    }
-
-    fn assert_matches_sequential(
-        block: &[SyntheticTransaction],
-        storage: &InMemoryStorage<u64, u64>,
-        threads: usize,
-    ) {
-        let parallel = ParallelExecutor::new(
-            Vm::for_testing(),
-            ExecutorOptions::with_concurrency(threads),
-        );
-        let sequential = SequentialExecutor::new(Vm::for_testing());
-        let parallel_output = parallel.execute_block(block, storage);
-        let sequential_output = sequential.execute_block(block, storage);
-        assert_eq!(
-            parallel_output.updates, sequential_output.updates,
-            "parallel and sequential committed states diverge"
-        );
-        assert_eq!(parallel_output.num_txns(), block.len());
-        // Per-transaction write-sets must match too (same committed incarnations).
-        for (idx, (p, s)) in parallel_output
-            .outputs
-            .iter()
-            .zip(sequential_output.outputs.iter())
-            .enumerate()
-        {
-            assert_eq!(p.writes, s.writes, "write-set mismatch at txn {idx}");
-            assert_eq!(p.abort_code, s.abort_code, "abort mismatch at txn {idx}");
-        }
-    }
 
     #[test]
-    fn empty_block() {
-        let storage = storage_with_keys(1);
-        let executor = ParallelExecutor::with_defaults(Vm::for_testing());
-        let output = executor.execute_block::<SyntheticTransaction, _>(&[], &storage);
-        assert_eq!(output.num_txns(), 0);
-        assert!(output.updates.is_empty());
-    }
-
-    #[test]
-    fn single_transaction_block() {
-        let storage = storage_with_keys(2);
-        let block = vec![SyntheticTransaction::transfer(0, 1, 42)];
-        assert_matches_sequential(&block, &storage, 4);
-    }
-
-    #[test]
-    fn independent_transactions_all_commit() {
-        let storage = storage_with_keys(0);
-        let block: Vec<_> = (0..128)
-            .map(|i| SyntheticTransaction::put(i, i * 7))
-            .collect();
-        assert_matches_sequential(&block, &storage, 8);
-    }
-
-    #[test]
-    fn fully_sequential_chain_matches() {
-        // Every transaction reads and writes the same key: worst-case contention.
-        let storage = storage_with_keys(1);
-        let block: Vec<_> = (0..100)
-            .map(|_| SyntheticTransaction::increment(0))
-            .collect();
-        assert_matches_sequential(&block, &storage, 8);
-    }
-
-    #[test]
-    fn conditional_writes_and_aborts_match() {
-        let storage = storage_with_keys(8);
+    fn shim_still_matches_sequential() {
+        let storage: InMemoryStorage<u64, u64> = (0..4u64).map(|k| (k, k * 100)).collect();
         let block: Vec<_> = (0..60)
-            .map(|i| {
-                SyntheticTransaction::transfer(i % 8, (i * 3) % 8, i)
-                    .with_conditional_writes(vec![(i * 5) % 8 + 100])
-                    .with_abort_divisor(5)
-            })
-            .collect();
-        assert_matches_sequential(&block, &storage, 8);
-    }
-
-    #[test]
-    fn random_blocks_match_sequential_across_thread_counts() {
-        let mut rng = StdRng::seed_from_u64(0xB10C_57E0);
-        for trial in 0..12 {
-            let num_keys = rng.gen_range(2..20u64);
-            let block_len = rng.gen_range(1..80usize);
-            let storage = storage_with_keys(num_keys);
-            let block: Vec<_> = (0..block_len)
-                .map(|_| {
-                    let reads = (0..rng.gen_range(0..4))
-                        .map(|_| rng.gen_range(0..num_keys))
-                        .collect();
-                    let writes = (0..rng.gen_range(1..4))
-                        .map(|_| rng.gen_range(0..num_keys))
-                        .collect();
-                    let conditional = (0..rng.gen_range(0..2))
-                        .map(|_| rng.gen_range(0..num_keys))
-                        .collect();
-                    SyntheticTransaction {
-                        reads,
-                        writes,
-                        conditional_writes: conditional,
-                        salt: rng.gen(),
-                        extra_gas: 0,
-                        abort_when_divisible_by: if rng.gen_bool(0.2) { Some(3) } else { None },
-                    }
-                })
-                .collect();
-            let threads = [1, 2, 4, 8][trial % 4];
-            assert_matches_sequential(&block, &storage, threads);
-        }
-    }
-
-    #[test]
-    fn options_ablations_still_match_sequential() {
-        let storage = storage_with_keys(4);
-        let block: Vec<_> = (0..80)
             .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
             .collect();
-        for options in [
-            ExecutorOptions::with_concurrency(4).dependency_recheck(false),
-            ExecutorOptions::with_concurrency(4).task_return_optimization(false),
-            ExecutorOptions::with_concurrency(4)
-                .dependency_recheck(false)
-                .task_return_optimization(false),
-            ExecutorOptions::with_concurrency(4).mvmemory_shards(2),
-        ] {
-            let parallel = ParallelExecutor::new(Vm::for_testing(), options);
-            let sequential = SequentialExecutor::new(Vm::for_testing());
-            assert_eq!(
-                parallel.execute_block(&block, &storage).updates,
-                sequential.execute_block(&block, &storage).updates
-            );
-        }
-    }
-
-    #[test]
-    fn metrics_reflect_at_least_one_incarnation_and_validation_per_txn() {
-        let storage = storage_with_keys(4);
-        let block: Vec<_> = (0..50)
-            .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
-            .collect();
-        let executor =
-            ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
-        let output = executor.execute_block(&block, &storage);
-        assert!(output.metrics.incarnations >= 50);
-        assert!(output.metrics.validations >= 50);
-        assert_eq!(output.metrics.total_txns, 50);
-    }
-
-    #[test]
-    fn deterministic_across_repeated_parallel_runs() {
-        let storage = storage_with_keys(3);
-        let block: Vec<_> = (0..120)
-            .map(|i| SyntheticTransaction::transfer(i % 3, (i + 1) % 3, i))
-            .collect();
-        let executor =
-            ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8));
-        let reference = executor.execute_block(&block, &storage);
-        for _ in 0..5 {
-            let run = executor.execute_block(&block, &storage);
-            assert_eq!(reference.updates, run.updates);
-        }
+        let shim = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
+        let output = shim.execute_block(&block, &storage);
+        let expected = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&block, &storage)
+            .unwrap();
+        assert_eq!(output.updates, expected.updates);
+        // Clones are independent but equivalent executors.
+        let clone_output = shim.clone().execute_block(&block, &storage);
+        assert_eq!(clone_output.updates, expected.updates);
+        assert_eq!(shim.options().concurrency, 4);
     }
 }

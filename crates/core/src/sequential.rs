@@ -7,6 +7,8 @@
 //! * the **correctness oracle**: by definition of the problem (§2), every other engine
 //!   must commit exactly this executor's final state.
 
+use crate::errors::ExecutionError;
+use crate::executor::BlockExecutor;
 use crate::output::BlockOutput;
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_storage::Storage;
@@ -59,7 +61,11 @@ impl SequentialExecutor {
     }
 
     /// Executes `block` against `storage` and returns the committed output.
-    pub fn execute_block<T, S>(&self, block: &[T], storage: &S) -> BlockOutput<T::Key, T::Value>
+    pub fn execute_block<T, S>(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError>
     where
         T: Transaction,
         S: Storage<T::Key, T::Value>,
@@ -74,9 +80,16 @@ impl SequentialExecutor {
             let view = SequentialView::new(storage, &committed);
             let output = match self.vm.execute(txn, &view) {
                 VmStatus::Done(output) => output,
-                VmStatus::ReadError { blocking_txn_idx } => unreachable!(
-                    "sequential execution can never observe an ESTIMATE (blocking txn {blocking_txn_idx})"
-                ),
+                VmStatus::ReadError { blocking_txn_idx } => {
+                    // A sequential execution can never observe an ESTIMATE; report
+                    // the broken invariant instead of unwinding.
+                    return Err(ExecutionError::Internal {
+                        detail: format!(
+                            "sequential execution observed an ESTIMATE (blocking txn \
+                             {blocking_txn_idx})"
+                        ),
+                    });
+                }
             };
             for write in &output.writes {
                 committed.insert(write.key.clone(), write.value.clone());
@@ -84,7 +97,29 @@ impl SequentialExecutor {
             outputs.push(output);
         }
 
-        BlockOutput::new(committed.into_iter().collect(), outputs, metrics.snapshot())
+        Ok(BlockOutput::new(
+            committed.into_iter().collect(),
+            outputs,
+            metrics.snapshot(),
+        ))
+    }
+}
+
+impl<T, S> BlockExecutor<T, S> for SequentialExecutor
+where
+    T: Transaction,
+    S: Storage<T::Key, T::Value>,
+{
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn execute_block(
+        &self,
+        block: &[T],
+        storage: &S,
+    ) -> Result<BlockOutput<T::Key, T::Value>, ExecutionError> {
+        SequentialExecutor::execute_block(self, block, storage)
     }
 }
 
@@ -107,11 +142,11 @@ mod tests {
             SyntheticTransaction::increment(1),
         ];
         let executor = SequentialExecutor::new(Vm::for_testing());
-        let output = executor.execute_block(&block, &storage);
+        let output = executor.execute_block(&block, &storage).unwrap();
         assert_eq!(output.num_txns(), 3);
         assert_eq!(output.updates.len(), 1);
         // Re-running must give the identical result (determinism).
-        let again = executor.execute_block(&block, &storage);
+        let again = executor.execute_block(&block, &storage).unwrap();
         assert!(output.state_equals(&again));
     }
 
@@ -131,14 +166,14 @@ mod tests {
             },
         ];
         let executor = SequentialExecutor::new(Vm::for_testing());
-        let output = executor.execute_block(&block, &storage);
+        let output = executor.execute_block(&block, &storage).unwrap();
         let map = output.state_map();
         assert!(map.contains_key(&7));
         assert!(map.contains_key(&8));
 
         // Changing txn 0's write value must change txn 1's output too.
         let block2 = vec![SyntheticTransaction::put(7, 2), block[1].clone()];
-        let output2 = executor.execute_block(&block2, &storage);
+        let output2 = executor.execute_block(&block2, &storage).unwrap();
         assert_ne!(output.state_map()[&8], output2.state_map()[&8]);
     }
 
@@ -146,7 +181,9 @@ mod tests {
     fn empty_block_produces_empty_output() {
         let storage = storage_with(&[(1, 1)]);
         let executor = SequentialExecutor::new(Vm::for_testing());
-        let output = executor.execute_block::<SyntheticTransaction, _>(&[], &storage);
+        let output = executor
+            .execute_block::<SyntheticTransaction, _>(&[], &storage)
+            .unwrap();
         assert_eq!(output.num_txns(), 0);
         assert!(output.updates.is_empty());
         assert_eq!(output.metrics.incarnations, 0);
@@ -157,7 +194,7 @@ mod tests {
         let storage = storage_with(&[]);
         let block: Vec<_> = (0..10).map(|i| SyntheticTransaction::put(i, i)).collect();
         let executor = SequentialExecutor::new(Vm::for_testing());
-        let output = executor.execute_block(&block, &storage);
+        let output = executor.execute_block(&block, &storage).unwrap();
         assert_eq!(output.metrics.incarnations, 10);
         assert_eq!(output.metrics.total_txns, 10);
         assert_eq!(output.metrics.validations, 0);

@@ -33,6 +33,9 @@ pub struct ExecutionMetrics {
     blocked_read_spins: PaddedAtomicU64,
     /// `Scheduler.next_task()` calls that returned no task (worker had to poll again).
     scheduler_polls: PaddedAtomicU64,
+    /// Idle polls that escalated from spinning to `thread::yield_now` because the
+    /// spin budget was exhausted (oversubscribed host or a long sequential tail).
+    scheduler_yields: PaddedAtomicU64,
 }
 
 impl ExecutionMetrics {
@@ -95,6 +98,12 @@ impl ExecutionMetrics {
         self.scheduler_polls.increment();
     }
 
+    /// Records an idle poll that yielded the thread to the OS scheduler instead of
+    /// spinning (the worker's bounded-spin fallback).
+    pub fn record_scheduler_yield(&self) {
+        self.scheduler_yields.increment();
+    }
+
     /// Freezes the counters into a plain snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -109,6 +118,7 @@ impl ExecutionMetrics {
             storage_reads: self.storage_reads.load(),
             blocked_read_spins: self.blocked_read_spins.load(),
             scheduler_polls: self.scheduler_polls.load(),
+            scheduler_yields: self.scheduler_yields.load(),
         }
     }
 
@@ -125,6 +135,7 @@ impl ExecutionMetrics {
         self.storage_reads.reset();
         self.blocked_read_spins.reset();
         self.scheduler_polls.reset();
+        self.scheduler_yields.reset();
     }
 }
 
@@ -145,6 +156,8 @@ mod tests {
         metrics.record_mv_read();
         metrics.record_storage_read();
         metrics.record_blocked_read_spins(7);
+        metrics.record_scheduler_poll();
+        metrics.record_scheduler_yield();
         metrics.reset();
         let snap = metrics.snapshot();
         assert_eq!(snap, MetricsSnapshot::default());

@@ -30,6 +30,9 @@ pub struct MetricsSnapshot {
     pub blocked_read_spins: u64,
     /// Empty-handed `next_task` polls by worker threads (Block-STM).
     pub scheduler_polls: u64,
+    /// Idle polls that fell back from spinning to an OS-level yield (Block-STM's
+    /// bounded-spin worker loop).
+    pub scheduler_yields: u64,
 }
 
 impl MetricsSnapshot {
@@ -76,6 +79,7 @@ impl MetricsSnapshot {
             storage_reads: self.storage_reads + other.storage_reads,
             blocked_read_spins: self.blocked_read_spins + other.blocked_read_spins,
             scheduler_polls: self.scheduler_polls + other.scheduler_polls,
+            scheduler_yields: self.scheduler_yields + other.scheduler_yields,
         }
     }
 }
@@ -97,6 +101,7 @@ mod tests {
             storage_reads: 1000,
             blocked_read_spins: 0,
             scheduler_polls: 3,
+            scheduler_yields: 1,
         }
     }
 

@@ -86,6 +86,35 @@ where
         self.block_size
     }
 
+    /// Re-arms the memory for a new block of `block_size` transactions, reusing the
+    /// sharded data map (its shard hash maps keep their capacity) and the
+    /// per-transaction snapshot arrays instead of reallocating everything.
+    ///
+    /// Requires `&mut self`: exclusive access proves no worker thread still reads
+    /// from the previous block.
+    pub fn reset(&mut self, block_size: usize) {
+        self.data.clear();
+        self.block_size = block_size;
+        // One shared empty snapshot per array: re-arming a transaction is a pointer
+        // swap, not an allocation.
+        let empty_locations: Arc<Vec<K>> = Arc::new(Vec::new());
+        self.last_written_locations.truncate(block_size);
+        for cell in &self.last_written_locations {
+            cell.store_arc(Arc::clone(&empty_locations));
+        }
+        while self.last_written_locations.len() < block_size {
+            self.last_written_locations.push(RcuCell::new(Vec::new()));
+        }
+        let empty_reads: Arc<Vec<ReadDescriptor<K>>> = Arc::new(Vec::new());
+        self.last_read_set.truncate(block_size);
+        for cell in &self.last_read_set {
+            cell.store_arc(Arc::clone(&empty_reads));
+        }
+        while self.last_read_set.len() < block_size {
+            self.last_read_set.push(RcuCell::new(Vec::new()));
+        }
+    }
+
     /// Applies the write-set of a finished incarnation to the data map
     /// (`apply_write_set`, Lines 27–29).
     fn apply_write_set(&self, txn_idx: TxnIndex, incarnation: usize, write_set: &[(K, V)])
@@ -506,6 +535,42 @@ mod tests {
 
         memory.record(Version::new(1, 1), vec![], vec![(5, 51)]);
         assert_eq!(memory.first_estimate_in_prior_reads(3), None);
+    }
+
+    #[test]
+    fn reset_clears_state_and_supports_resizing() {
+        let mut memory = Memory::new(4);
+        memory.record(
+            Version::new(1, 0),
+            vec![descriptor_mv(9, 0, 0)],
+            vec![(5, 50), (6, 60)],
+        );
+        memory.convert_writes_to_estimates(1);
+        assert!(memory.entry_count() > 0);
+
+        memory.reset(4);
+        assert_eq!(memory.entry_count(), 0);
+        assert!(matches!(memory.read(&5, 3), MVReadOutput::NotFound));
+        assert!(memory.last_read_set(1).is_empty());
+        assert!(memory.last_written_locations(1).is_empty());
+        // A fresh block records cleanly after the reset.
+        memory.record(Version::new(0, 0), vec![], vec![(5, 51)]);
+        match memory.read(&5, 2) {
+            MVReadOutput::Versioned(version, value) => {
+                assert_eq!(version, Version::new(0, 0));
+                assert_eq!(*value, 51);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Growing and shrinking across resets.
+        memory.reset(8);
+        assert_eq!(memory.block_size(), 8);
+        memory.record(Version::new(7, 0), vec![], vec![(1, 10)]);
+        assert!(memory.validate_read_set(7));
+        memory.reset(2);
+        assert_eq!(memory.block_size(), 2);
+        assert_eq!(memory.entry_count(), 0);
     }
 
     #[test]

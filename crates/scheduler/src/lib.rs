@@ -28,6 +28,6 @@ mod scheduler;
 mod status;
 mod task;
 
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerOptions};
 pub use status::TxnStatus;
 pub use task::{Task, TaskKind};

@@ -14,10 +14,36 @@ struct StatusEntry {
     status: TxnStatus,
 }
 
+/// Configuration of a [`Scheduler`], applied at construction (or on
+/// [`Scheduler::reset`], which preserves it).
+///
+/// This is the single configuration entry point for the scheduler, consistent with
+/// the executor's builder style; it replaces the old two-step
+/// `Scheduler::new(n).without_task_return_optimization()` construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerOptions {
+    /// Allow `finish_execution` / `finish_validation` to hand the follow-up task
+    /// directly back to the calling thread instead of routing it through the shared
+    /// counters (the paper's cases 1(b)/2(c) optimization). Disabled only by the
+    /// ablation benchmarks. Default: `true`.
+    pub task_return_optimization: bool,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        Self {
+            task_return_optimization: true,
+        }
+    }
+}
+
 /// The Block-STM collaborative scheduler for one block execution.
 ///
-/// The scheduler is created per block, shared by reference across worker threads, and
-/// discarded afterwards. All methods take `&self`.
+/// The scheduler is shared by reference across worker threads while a block executes;
+/// all hot-path methods take `&self`. Between blocks, an owning executor may call
+/// [`reset`](Self::reset) (which requires `&mut self`, i.e. proof of exclusive
+/// access) to reuse the per-transaction arrays for the next block instead of
+/// reallocating them.
 #[derive(Debug)]
 pub struct Scheduler {
     block_size: usize,
@@ -45,8 +71,15 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Creates a scheduler for a block of `block_size` transactions.
+    /// Creates a scheduler for a block of `block_size` transactions with default
+    /// options.
     pub fn new(block_size: usize) -> Self {
+        Self::with_options(block_size, SchedulerOptions::default())
+    }
+
+    /// Creates a scheduler for a block of `block_size` transactions with explicit
+    /// [`SchedulerOptions`].
+    pub fn with_options(block_size: usize, options: SchedulerOptions) -> Self {
         Self {
             block_size,
             execution_idx: AtomicMinCounter::new(0),
@@ -65,15 +98,54 @@ impl Scheduler {
                     }))
                 })
                 .collect(),
-            task_return_optimization: true,
+            task_return_optimization: options.task_return_optimization,
         }
     }
 
-    /// Disables the "return the follow-up task to the caller" optimization
-    /// (ablation study; see DESIGN.md).
-    pub fn without_task_return_optimization(mut self) -> Self {
-        self.task_return_optimization = false;
-        self
+    /// Re-arms the scheduler for a new block of `block_size` transactions, reusing
+    /// the per-transaction arrays (and their heap allocations) instead of building a
+    /// fresh scheduler. Options are preserved.
+    ///
+    /// Requires `&mut self`: the borrow checker thereby proves no worker thread still
+    /// holds a reference from the previous block.
+    pub fn reset(&mut self, block_size: usize) {
+        self.block_size = block_size;
+        self.execution_idx.store(0);
+        self.validation_idx.store(0);
+        self.decrease_cnt.store(0);
+        self.num_active_tasks.store(0);
+        self.done_marker.store(false);
+        self.txn_dependency.truncate(block_size);
+        for cell in &mut self.txn_dependency {
+            cell.get_mut().clear();
+        }
+        while self.txn_dependency.len() < block_size {
+            self.txn_dependency
+                .push(CachePadded::new(Mutex::new(Vec::new())));
+        }
+        self.txn_status.truncate(block_size);
+        for cell in &mut self.txn_status {
+            *cell.get_mut() = StatusEntry {
+                incarnation: 0,
+                status: TxnStatus::ReadyToExecute,
+            };
+        }
+        while self.txn_status.len() < block_size {
+            self.txn_status
+                .push(CachePadded::new(Mutex::new(StatusEntry {
+                    incarnation: 0,
+                    status: TxnStatus::ReadyToExecute,
+                })));
+        }
+    }
+
+    /// Raises the done marker immediately, releasing every worker from its run loop.
+    ///
+    /// Used by executors to regain control after a worker died mid-block (e.g. a
+    /// panicking transaction): the block's results are discarded and the scheduler
+    /// must be [`reset`](Self::reset) before the next block.
+    pub fn halt(&self) {
+        self.done_marker.store(true);
     }
 
     /// Number of transactions in the block.
@@ -549,7 +621,12 @@ mod tests {
     #[test]
     fn without_task_return_optimization_still_completes() {
         let n = 5;
-        let scheduler = Scheduler::new(n).without_task_return_optimization();
+        let scheduler = Scheduler::with_options(
+            n,
+            SchedulerOptions {
+                task_return_optimization: false,
+            },
+        );
         let mut executed = vec![0usize; n];
         let mut steps = 0;
         while !scheduler.done() {
@@ -687,6 +764,90 @@ mod tests {
         assert_eq!(e1_again, Task::execution(Version::new(1, 1)));
         assert!(!scheduler.add_dependency(1, 0));
         assert_eq!(scheduler.status_of(1), TxnStatus::Executing);
+    }
+
+    /// Drives a scheduler to completion single-threaded, counting executions.
+    fn drive_to_completion(scheduler: &Scheduler) -> Vec<usize> {
+        let mut executed = vec![0usize; scheduler.block_size()];
+        let mut pending: Option<Task> = None;
+        let mut steps = 0;
+        while !scheduler.done() {
+            steps += 1;
+            assert!(steps < 10_000, "scheduler did not terminate");
+            let Some(task) = pending.take().or_else(|| scheduler.next_task()) else {
+                continue;
+            };
+            pending = match task.kind {
+                TaskKind::Execution => {
+                    executed[task.version.txn_idx] += 1;
+                    scheduler.finish_execution(task.version.txn_idx, task.version.incarnation, true)
+                }
+                TaskKind::Validation => scheduler.finish_validation(task.version.txn_idx, false),
+            };
+        }
+        executed
+    }
+
+    #[test]
+    fn reset_rearms_for_a_new_block_reusing_arrays() {
+        let mut scheduler = Scheduler::new(3);
+        let executed = drive_to_completion(&scheduler);
+        assert!(executed.iter().all(|&count| count == 1));
+        assert!(scheduler.done());
+
+        // Same size: statuses, cursors and the done marker must all re-arm.
+        scheduler.reset(3);
+        assert!(!scheduler.done());
+        assert_eq!(scheduler.active_tasks(), 0);
+        for txn_idx in 0..3 {
+            assert_eq!(scheduler.status_of(txn_idx), TxnStatus::ReadyToExecute);
+            assert_eq!(scheduler.incarnation_of(txn_idx), 0);
+        }
+        let executed = drive_to_completion(&scheduler);
+        assert!(executed.iter().all(|&count| count == 1));
+
+        // Growing and shrinking across resets works too.
+        scheduler.reset(7);
+        assert_eq!(scheduler.block_size(), 7);
+        assert_eq!(drive_to_completion(&scheduler).len(), 7);
+        scheduler.reset(1);
+        assert_eq!(scheduler.block_size(), 1);
+        assert_eq!(drive_to_completion(&scheduler), vec![1]);
+    }
+
+    #[test]
+    fn reset_preserves_options() {
+        let mut scheduler = Scheduler::with_options(
+            2,
+            SchedulerOptions {
+                task_return_optimization: false,
+            },
+        );
+        scheduler.reset(2);
+        // With the optimization disabled, a failed validation never hands the
+        // re-execution straight back.
+        let executions: Vec<Task> = (0..2).map(|_| claim(&scheduler)).collect();
+        for task in &executions {
+            scheduler.finish_execution(task.version.txn_idx, 0, true);
+        }
+        let v0 = claim(&scheduler);
+        assert_eq!(v0, Task::validation(Version::new(0, 0)));
+        assert!(scheduler.try_validation_abort(0, 0));
+        assert_eq!(scheduler.finish_validation(0, true), None);
+    }
+
+    #[test]
+    fn halt_releases_the_run_loop_immediately() {
+        let scheduler = Scheduler::new(100);
+        let _claimed = claim(&scheduler);
+        assert!(!scheduler.done());
+        scheduler.halt();
+        assert!(scheduler.done());
+        // After a reset, the scheduler is fully usable again.
+        let mut scheduler = scheduler;
+        scheduler.reset(2);
+        assert!(!scheduler.done());
+        assert!(drive_to_completion(&scheduler).iter().all(|&c| c == 1));
     }
 
     #[test]

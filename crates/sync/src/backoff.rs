@@ -60,6 +60,14 @@ impl Backoff {
         }
     }
 
+    /// Returns `true` once the spin budget is exhausted, i.e. the next
+    /// [`snooze`](Self::snooze) will yield to the OS scheduler instead of spinning.
+    /// Callers that track how often polling degrades to yielding (the Block-STM
+    /// worker loop records this in its metrics) check this before snoozing.
+    pub fn will_yield(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+
     /// Returns `true` once the caller should consider parking / switching strategy
     /// instead of spinning (the wait has become long).
     pub fn is_completed(&self) -> bool {

@@ -7,7 +7,11 @@
 //! snapshots for per-transaction read-sets and written-location sets.
 //!
 //! This crate provides those building blocks from scratch, on top of `std::sync::atomic`
-//! and `parking_lot` locks only. Everything here is safe Rust.
+//! and `parking_lot` locks only. Everything here is safe Rust **except** the
+//! [`worker_pool`] module, which contains the workspace's single audited `unsafe`
+//! block: the lifetime erasure every persistent scoped thread pool (rayon,
+//! crossbeam) needs to run borrowed jobs on long-lived threads. See that module's
+//! soundness argument.
 //!
 //! Modules:
 //!
@@ -22,8 +26,11 @@
 //! * [`min_counter`] — [`AtomicMinCounter`](min_counter::AtomicMinCounter), an atomic
 //!   counter supporting `fetch_add` and decrease-to-minimum, the primitive behind the
 //!   scheduler's `execution_idx` / `validation_idx`.
+//! * [`worker_pool`] — [`WorkerPool`](worker_pool::WorkerPool), a persistent pool of
+//!   parked worker threads that executes one borrowed job per block (the thread pool
+//!   behind the `BlockStm` engine).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backoff;
@@ -31,9 +38,11 @@ pub mod min_counter;
 pub mod padded;
 pub mod rcu;
 pub mod sharded_map;
+pub mod worker_pool;
 
 pub use backoff::Backoff;
 pub use min_counter::AtomicMinCounter;
 pub use padded::{CachePadded, PaddedAtomicBool, PaddedAtomicU64, PaddedAtomicUsize};
 pub use rcu::RcuCell;
 pub use sharded_map::ShardedMap;
+pub use worker_pool::{JobPanics, WorkerPool};

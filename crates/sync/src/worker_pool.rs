@@ -1,0 +1,449 @@
+//! A persistent, parking worker pool for scoped block execution.
+//!
+//! Production Block-STM deployments (Aptos' executor, pevm) keep a long-lived
+//! rayon-style thread pool and dispatch every block onto it, because at small block
+//! sizes the per-block cost of spawning and joining OS threads dominates execution
+//! itself. [`WorkerPool`] provides that shape for this workspace: `new(n)` spawns `n`
+//! threads once, the threads **park on a condvar between blocks**, and
+//! [`WorkerPool::run`] wakes a chosen number of them to execute one borrowed job,
+//! returning only when every participant has finished.
+//!
+//! # Why this module contains `unsafe`
+//!
+//! The job is a *borrowed* closure (`&dyn Fn(usize)`) over per-block data — the block
+//! slice, the storage reference, the multi-version memory. Safe Rust can hand such
+//! non-`'static` borrows to other threads only through `std::thread::scope`, which
+//! spawns and joins threads per call — exactly the overhead a persistent pool exists
+//! to remove. Every production scoped pool (rayon, crossbeam, scoped_threadpool)
+//! therefore erases the job's lifetime behind a raw pointer and re-establishes safety
+//! with a completion protocol. This module does the same, and is the **only**
+//! unsafe-bearing code in the workspace.
+//!
+//! # Soundness argument
+//!
+//! The lifetime of the job reference is erased when it is stored as a raw pointer in
+//! [`JobHandle`]. The pointer is dereferenced only by participating workers, and:
+//!
+//! 1. A worker dereferences the pointer only between observing a fresh epoch (while
+//!    holding the state lock) and decrementing the completion latch. The decrement
+//!    happens strictly *after* the last use of the job reference.
+//! 2. [`WorkerPool::run`] returns only after the completion latch reaches zero, i.e.
+//!    after every participating worker has performed its decrement. The borrow that
+//!    produced the pointer is therefore live for every dereference.
+//! 3. Non-participating workers (index ≥ `participants`) never read the job pointer.
+//! 4. Dispatches are serialized by an internal lock, so a second `run` cannot
+//!    overwrite the pointer while workers of the previous epoch still use it, and
+//!    `Drop` (which requires `&mut self`) cannot race a `run` (which holds `&self`).
+//!
+//! Worker panics are caught with `catch_unwind`, counted, and reported to the caller
+//! as [`JobPanics`]; a panicking job still decrements the latch, so the pool never
+//! deadlocks and remains usable for subsequent blocks.
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Error returned by [`WorkerPool::run`] when one or more invocations of the job
+/// panicked. The pool itself stays healthy: the panic is contained to the incarnation
+/// that raised it and the pool can keep executing blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanics {
+    /// Number of job invocations (including the caller's, index 0) that panicked.
+    pub panicked: usize,
+}
+
+impl std::fmt::Display for JobPanics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} worker job invocation(s) panicked", self.panicked)
+    }
+}
+
+impl std::error::Error for JobPanics {}
+
+/// A lifetime-erased reference to the current job. The `'static` is a lie told once,
+/// in [`WorkerPool::run`]'s transmute; the module-level soundness argument explains
+/// why every use of this handle happens while the real borrow is still live. Being a
+/// `&'static (dyn ... + Sync)`, the handle is automatically `Send` + `Copy`.
+#[derive(Copy, Clone)]
+struct JobHandle {
+    job: &'static (dyn Fn(usize) + Sync),
+}
+
+/// Dispatch state: which job (if any) is current, and which epoch it belongs to.
+struct DispatchState {
+    /// Incremented once per dispatch; workers detect new work by comparing against
+    /// the last epoch they served.
+    epoch: u64,
+    /// Worker indices `1..participants` run the current job (index 0 is the caller).
+    participants: usize,
+    /// The current job; `Some` exactly while an epoch is in flight.
+    job: Option<JobHandle>,
+    /// Set once, on drop: workers exit their loop.
+    shutdown: bool,
+}
+
+/// Completion state: how many participating workers have not finished yet.
+struct LatchState {
+    remaining: usize,
+    panicked: usize,
+}
+
+struct Shared {
+    dispatch: Mutex<DispatchState>,
+    /// Signals workers that `dispatch` changed (new epoch or shutdown).
+    work_cv: Condvar,
+    latch: Mutex<LatchState>,
+    /// Signals the caller that `latch.remaining` reached zero.
+    done_cv: Condvar,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding these locks is impossible by construction (the critical
+    // sections below contain no user code), but recover from poisoning anyway so a
+    // bug cannot cascade into an unrelated panic.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed-size pool of persistent worker threads executing borrowed jobs.
+///
+/// The pool's threads are spawned once and parked between jobs; a job is a
+/// `&(dyn Fn(usize) + Sync)` closure invoked with a distinct worker index per
+/// participant. Index 0 always runs on the calling thread (the caller participates,
+/// like rayon's `in_place_scope`, so a pool of size `n - 1` saturates `n` cores).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    /// Serializes dispatches from multiple threads sharing the pool by reference.
+    dispatch_guard: Mutex<()>,
+    /// Total dispatches served (diagnostics / tests).
+    epochs_run: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads.len())
+            .field("epochs_run", &self.epochs_run.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` parked worker threads. `0` is valid and means every
+    /// job runs inline on the caller only.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            dispatch: Mutex::new(DispatchState {
+                epoch: 0,
+                participants: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            latch: Mutex::new(LatchState {
+                remaining: 0,
+                panicked: 0,
+            }),
+            done_cv: Condvar::new(),
+        });
+        let threads = (1..=threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("block-stm-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning a worker thread failed")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            dispatch_guard: Mutex::new(()),
+            epochs_run: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pool threads (excluding the participating caller).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Number of jobs dispatched so far (diagnostics).
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job` on `participants` workers: the calling thread as index 0, plus up to
+    /// `participants - 1` pool threads as indices `1..participants`. Blocks until all
+    /// participants have returned.
+    ///
+    /// If the pool has fewer threads than `participants - 1`, the job simply runs on
+    /// every available pool thread; it must not rely on an exact participant count.
+    /// Panics inside `job` are caught and reported as [`JobPanics`]; the pool stays
+    /// usable afterwards.
+    pub fn run(&self, participants: usize, job: &(dyn Fn(usize) + Sync)) -> Result<(), JobPanics> {
+        let participants = participants.max(1);
+        let pool_workers = (participants - 1).min(self.threads.len());
+        self.epochs_run.fetch_add(1, Ordering::Relaxed);
+        if pool_workers == 0 {
+            // Caller-only: no pointer erasure, no wakeups.
+            return match catch_unwind(AssertUnwindSafe(|| job(0))) {
+                Ok(()) => Ok(()),
+                Err(_) => Err(JobPanics { panicked: 1 }),
+            };
+        }
+
+        let _serialized = lock(&self.dispatch_guard);
+        {
+            let mut latch = lock(&self.shared.latch);
+            latch.remaining = pool_workers;
+            latch.panicked = 0;
+        }
+        // SAFETY: the ONLY unsafe in this workspace — erases the job borrow's
+        // lifetime so parked persistent threads can call it. Sound because `run`
+        // does not return until the completion latch proves every participant has
+        // finished its last call through this reference, and the handle is retired
+        // (set to `None`) before `run` returns (module-level argument, points 1–4).
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
+        {
+            let mut dispatch = lock(&self.shared.dispatch);
+            dispatch.job = Some(JobHandle { job: erased });
+            // `pool_workers` threads have indices 1..=pool_workers; they participate
+            // when their index is strictly below this bound.
+            dispatch.participants = pool_workers + 1;
+            dispatch.epoch += 1;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is participant 0.
+        let caller_panicked = catch_unwind(AssertUnwindSafe(|| job(0))).is_err();
+
+        let worker_panics = {
+            let mut latch = lock(&self.shared.latch);
+            while latch.remaining > 0 {
+                latch = self
+                    .shared
+                    .done_cv
+                    .wait(latch)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            latch.panicked
+        };
+        // Retire the pointer: after this, no copy of it will ever be dereferenced
+        // again (workers only read it when a *new* epoch begins).
+        lock(&self.shared.dispatch).job = None;
+
+        let panicked = worker_panics + usize::from(caller_panicked);
+        if panicked > 0 {
+            Err(JobPanics { panicked })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut dispatch = lock(&self.shared.dispatch);
+            dispatch.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            // A worker thread can only terminate via the shutdown flag; if it somehow
+            // panicked outside a job (a pool bug), surface that during drop.
+            if handle.join().is_err() {
+                // Never unwind out of drop: report and continue joining the rest.
+                eprintln!("block-stm worker thread panicked outside a job");
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Park until a new epoch (that includes this worker) or shutdown.
+        let job = {
+            let mut dispatch = lock(&shared.dispatch);
+            loop {
+                if dispatch.shutdown {
+                    return;
+                }
+                if dispatch.epoch != seen_epoch {
+                    seen_epoch = dispatch.epoch;
+                    if index < dispatch.participants {
+                        if let Some(handle) = dispatch.job {
+                            break handle;
+                        }
+                    }
+                    // Not a participant this epoch: fall through and keep waiting.
+                }
+                dispatch = shared
+                    .work_cv
+                    .wait(dispatch)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        // The caller blocks in `run` until this worker decrements the latch below,
+        // which happens strictly after this call returns, so the borrow behind the
+        // handle is still live here (module-level soundness argument).
+        let panicked = catch_unwind(AssertUnwindSafe(|| (job.job)(index))).is_err();
+
+        let mut latch = lock(&shared.latch);
+        latch.remaining -= 1;
+        if panicked {
+            latch.panicked += 1;
+        }
+        if latch.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_job_on_all_participants_with_distinct_indices() {
+        let pool = WorkerPool::new(3);
+        let indices = Mutex::new(BTreeSet::new());
+        pool.run(4, &|idx| {
+            indices.lock().unwrap().insert(idx);
+        })
+        .unwrap();
+        assert_eq!(indices.into_inner().unwrap(), BTreeSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn zero_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let counter = AtomicUsize::new(0);
+        pool.run(8, &|idx| {
+            assert_eq!(idx, 0);
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn participants_below_pool_size_leave_extra_workers_parked() {
+        let pool = WorkerPool::new(7);
+        let max_index = AtomicUsize::new(0);
+        let calls = AtomicUsize::new(0);
+        pool.run(2, &|idx| {
+            max_index.fetch_max(idx, Ordering::SeqCst);
+            calls.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(max_index.load(Ordering::SeqCst) <= 1);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_and_mutations_are_not_lost() {
+        // The whole point of the pool: jobs borrow non-'static data.
+        let pool = WorkerPool::new(4);
+        let cells: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let next = AtomicUsize::new(0);
+        pool.run(5, &|_| loop {
+            let i = next.fetch_add(1, Ordering::SeqCst);
+            if i >= cells.len() {
+                break;
+            }
+            cells[i].fetch_add(i + 1, Ordering::SeqCst);
+        })
+        .unwrap();
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.load(Ordering::SeqCst), i + 1);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(3, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 600);
+        assert_eq!(pool.epochs_run(), 200);
+    }
+
+    #[test]
+    fn worker_panics_are_reported_and_pool_survives() {
+        let pool = WorkerPool::new(3);
+        let err = pool
+            .run(4, &|idx| {
+                if idx % 2 == 1 {
+                    panic!("boom {idx}");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.panicked, 2);
+        // The pool still works after the panic.
+        let counter = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_panic_is_contained_and_counted() {
+        let pool = WorkerPool::new(1);
+        let err = pool
+            .run(2, &|idx| {
+                if idx == 0 {
+                    panic!("caller job panics");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.panicked, 1);
+        assert_eq!(format!("{err}"), "1 worker job invocation(s) panicked");
+    }
+
+    #[test]
+    fn concurrent_runs_from_multiple_threads_are_serialized() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.run(3, &|_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 50 * 3);
+    }
+
+    #[test]
+    fn drop_joins_all_threads() {
+        let pool = WorkerPool::new(4);
+        pool.run(5, &|_| {}).unwrap();
+        drop(pool); // must not hang
+    }
+}

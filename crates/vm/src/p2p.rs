@@ -327,6 +327,10 @@ impl Transaction for PeerToPeerTransaction {
             P2pFlavor::Aptos => "aptos-p2p",
         }
     }
+
+    fn declared_write_set(&self) -> Option<Vec<AccessPath>> {
+        Some(self.perfect_write_set())
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,10 @@ impl Transaction for SyntheticTransaction {
     fn label(&self) -> &'static str {
         "synthetic"
     }
+
+    fn declared_write_set(&self) -> Option<Vec<Key>> {
+        Some(self.perfect_write_set())
+    }
 }
 
 #[cfg(test)]

@@ -81,10 +81,12 @@ impl<K, V> TransactionOutput<K, V> {
 /// must produce the same writes and the same abort decision. This is what lets every
 /// engine (and every incarnation) arrive at the same committed state.
 pub trait Transaction: Send + Sync {
-    /// The memory-location key type.
-    type Key: Eq + Hash + Ord + Clone + Debug + Send + Sync;
-    /// The value type stored at locations.
-    type Value: Clone + PartialEq + Debug + Send + Sync;
+    /// The memory-location key type. `'static` because executors keep reusable
+    /// per-block structures (multi-version memory, output slots) typed by `Key` alive
+    /// across blocks; keys are plain data in every realistic state model.
+    type Key: Eq + Hash + Ord + Clone + Debug + Send + Sync + 'static;
+    /// The value type stored at locations (`'static` for the same reason as `Key`).
+    type Value: Clone + PartialEq + Debug + Send + Sync + 'static;
 
     /// Executes the transaction logic against the instrumented context.
     ///
@@ -100,6 +102,18 @@ pub trait Transaction: Send + Sync {
     /// A human-readable label used in logs and benchmark output.
     fn label(&self) -> &'static str {
         "txn"
+    }
+
+    /// The transaction's *declared* write-set — a superset of every location any
+    /// execution of it may write — when the transaction model can provide one.
+    ///
+    /// Block-STM never needs this (run-time write-set estimation is its whole
+    /// point); the Bohm baseline, which assumes perfect pre-execution write-set
+    /// knowledge, uses it to build its placeholder version chains when driven
+    /// through the engine-agnostic `BlockExecutor` interface. The default (`None`)
+    /// makes Bohm report a typed error rather than guess.
+    fn declared_write_set(&self) -> Option<Vec<Self::Key>> {
+        None
     }
 }
 

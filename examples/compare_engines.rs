@@ -2,13 +2,46 @@
 //! sequential baseline) on the same peer-to-peer block and print a small table —
 //! a miniature, human-readable version of the paper's Figure 3.
 //!
-//! Run with `cargo run -p block-stm-examples --release --bin compare_engines -- [accounts] [block_size]`.
+//! Since the `BlockExecutor` redesign, all four engines are driven through ONE
+//! interface: build each executor once, then hand it the block.
+//!
+//! Run with `cargo run -p block-stm-tests --release --example compare_engines -- [accounts] [block_size]`.
 
-use block_stm::{ExecutorOptions, GasSchedule, ParallelExecutor, SequentialExecutor, Vm};
+use block_stm::{
+    BlockExecutor, BlockOutput, BlockStmBuilder, ExecutionError, GasSchedule, SequentialExecutor,
+    Vm,
+};
 use block_stm_baselines::{BohmExecutor, LitmExecutor};
-use block_stm_vm::p2p::P2pFlavor;
+use block_stm_storage::{AccessPath, InMemoryStorage, StateValue};
+use block_stm_vm::p2p::{P2pFlavor, PeerToPeerTransaction};
 use block_stm_workloads::P2pWorkload;
 use std::time::Instant;
+
+/// Bohm with its perfect write-sets precomputed outside the timed region — the
+/// paper's measurement setup ("we artificially provide Bohm with perfect write-sets
+/// information", §4.1). Also demonstrates how easily the `BlockExecutor` trait
+/// composes: a five-line adapter specializes an engine for a fixed block.
+struct BohmGivenWriteSets {
+    inner: BohmExecutor,
+    write_sets: Vec<Vec<AccessPath>>,
+}
+
+impl BlockExecutor<PeerToPeerTransaction, InMemoryStorage<AccessPath, StateValue>>
+    for BohmGivenWriteSets
+{
+    fn name(&self) -> &'static str {
+        "bohm"
+    }
+
+    fn execute_block(
+        &self,
+        block: &[PeerToPeerTransaction],
+        storage: &InMemoryStorage<AccessPath, StateValue>,
+    ) -> Result<BlockOutput<AccessPath, StateValue>, ExecutionError> {
+        self.inner
+            .execute_with_write_sets(block, &self.write_sets, storage)
+    }
+}
 
 fn arg(index: usize, default: u64) -> u64 {
     std::env::args()
@@ -34,46 +67,56 @@ fn main() {
         max_transfer: 100,
     };
     let (storage, block) = workload.generate();
-    let write_sets = P2pWorkload::perfect_write_sets(&block);
 
     println!("Aptos p2p block: {accounts} accounts, {block_size} txns, {threads} threads");
     println!("engine        txns/s      vs sequential   note");
 
-    let start = Instant::now();
-    let seq_output = SequentialExecutor::new(vm).execute_block(&block, &storage);
-    let seq_tps = block_size as f64 / start.elapsed().as_secs_f64();
-    println!("sequential  {seq_tps:9.0}          1.00x   preset-order oracle");
+    // One interface, four engines: the whole point of the redesign.
+    type Engine =
+        Box<dyn BlockExecutor<PeerToPeerTransaction, InMemoryStorage<AccessPath, StateValue>>>;
+    let engines: Vec<(Engine, &str)> = vec![
+        (Box::new(SequentialExecutor::new(vm)), "preset-order oracle"),
+        (
+            Box::new(BlockStmBuilder::new(vm).concurrency(threads).build()),
+            "no prior knowledge of write-sets",
+        ),
+        (
+            Box::new(BohmGivenWriteSets {
+                inner: BohmExecutor::new(vm, threads),
+                write_sets: P2pWorkload::perfect_write_sets(&block),
+            }),
+            "given perfect write-sets for free",
+        ),
+        (
+            Box::new(LitmExecutor::new(vm, threads)),
+            "deterministic STM, different serialization",
+        ),
+    ];
 
-    let start = Instant::now();
-    let bstm_output = ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads))
-        .execute_block(&block, &storage);
-    let bstm_tps = block_size as f64 / start.elapsed().as_secs_f64();
-    println!(
-        "block-stm   {bstm_tps:9.0}          {:.2}x   no prior knowledge of write-sets",
-        bstm_tps / seq_tps
-    );
-
-    let start = Instant::now();
-    let bohm_output = BohmExecutor::new(vm, threads).execute_block(&block, &write_sets, &storage);
-    let bohm_tps = block_size as f64 / start.elapsed().as_secs_f64();
-    println!(
-        "bohm        {bohm_tps:9.0}          {:.2}x   given perfect write-sets for free",
-        bohm_tps / seq_tps
-    );
-
-    let start = Instant::now();
-    let litm_output = LitmExecutor::new(vm, threads).execute_block(&block, &storage);
-    let litm_tps = block_size as f64 / start.elapsed().as_secs_f64();
-    println!(
-        "litm        {litm_tps:9.0}          {:.2}x   deterministic STM, {} rounds",
-        litm_tps / seq_tps,
-        litm_output.metrics.rounds
-    );
-
-    // Block-STM and Bohm must commit the preset-order state; LiTM commits a different
-    // (deterministic) serialization, so only its supply conservation is checked here.
-    assert_eq!(bstm_output.updates, seq_output.updates);
-    assert_eq!(bohm_output.updates, seq_output.updates);
-    assert_eq!(litm_output.num_txns(), block_size);
+    let mut seq_tps = 0.0;
+    let mut seq_updates = Vec::new();
+    for (engine, note) in &engines {
+        let start = Instant::now();
+        let output = engine
+            .execute_block(&block, &storage)
+            .expect("block executes cleanly");
+        let tps = block_size as f64 / start.elapsed().as_secs_f64();
+        if engine.name() == "sequential" {
+            seq_tps = tps;
+            seq_updates = output.updates.clone();
+        }
+        println!(
+            "{:<11} {tps:9.0}          {:.2}x   {note}",
+            engine.name(),
+            tps / seq_tps,
+        );
+        // Block-STM and Bohm must commit the preset-order state; LiTM commits a
+        // different (deterministic) serialization, so only completeness is checked.
+        if engine.preserves_preset_order() {
+            assert_eq!(output.updates, seq_updates);
+        } else {
+            assert_eq!(output.num_txns(), block_size);
+        }
+    }
     println!("block-stm and bohm match the sequential baseline ✓");
 }

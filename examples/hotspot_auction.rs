@@ -12,8 +12,8 @@
 //! Run with `cargo run -p block-stm-examples --release --bin hotspot_auction -- [bid_pct]`.
 
 use block_stm::{
-    AbortCode, ExecutionFailure, ExecutorOptions, ParallelExecutor, SequentialExecutor,
-    StateReader, Transaction, TransactionContext, Vm,
+    AbortCode, BlockStmBuilder, ExecutionFailure, SequentialExecutor, StateReader, Transaction,
+    TransactionContext, Vm,
 };
 use block_stm_storage::InMemoryStorage;
 use std::time::Instant;
@@ -130,12 +130,18 @@ fn main() {
 
     let sequential = SequentialExecutor::new(Vm::default());
     let start = Instant::now();
-    let seq_output = sequential.execute_block(&block, &storage);
+    let seq_output = sequential
+        .execute_block(&block, &storage)
+        .expect("sequential baseline executes");
     let seq_elapsed = start.elapsed();
 
-    let parallel = ParallelExecutor::new(Vm::default(), ExecutorOptions::with_concurrency(threads));
+    let parallel = BlockStmBuilder::new(Vm::default())
+        .concurrency(threads)
+        .build();
     let start = Instant::now();
-    let par_output = parallel.execute_block(&block, &storage);
+    let par_output = parallel
+        .execute_block(&block, &storage)
+        .expect("block executes cleanly");
     let par_elapsed = start.elapsed();
 
     assert_eq!(par_output.updates, seq_output.updates);

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run -p block-stm-examples --release --bin p2p_block -- [accounts] [block_size] [threads]`.
 
-use block_stm::{ExecutorOptions, GasSchedule, ParallelExecutor, SequentialExecutor, Vm};
+use block_stm::{BlockStmBuilder, GasSchedule, SequentialExecutor, Vm};
 use block_stm_storage::{AccessPath, StateValue};
 use block_stm_vm::p2p::P2pFlavor;
 use block_stm_workloads::P2pWorkload;
@@ -36,7 +36,9 @@ fn main() {
     // Sequential baseline.
     let sequential = SequentialExecutor::new(vm);
     let start = Instant::now();
-    let seq_output = sequential.execute_block(&block, &storage);
+    let seq_output = sequential
+        .execute_block(&block, &storage)
+        .expect("sequential baseline executes");
     let seq_elapsed = start.elapsed();
     println!(
         "sequential: {:8.0} txns/s ({:.1} ms)",
@@ -44,10 +46,12 @@ fn main() {
         seq_elapsed.as_secs_f64() * 1e3
     );
 
-    // Block-STM.
-    let parallel = ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(threads));
+    // Block-STM: built once (persistent pool), timed per block.
+    let parallel = BlockStmBuilder::new(vm).concurrency(threads).build();
     let start = Instant::now();
-    let par_output = parallel.execute_block(&block, &storage);
+    let par_output = parallel
+        .execute_block(&block, &storage)
+        .expect("block executes cleanly");
     let par_elapsed = start.elapsed();
     println!(
         "block-stm : {:8.0} txns/s ({:.1} ms) — speedup {:.2}x",

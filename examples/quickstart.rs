@@ -1,11 +1,11 @@
 //! Quickstart: define a tiny custom transaction type, execute a block with Block-STM,
 //! and check the result against the sequential baseline.
 //!
-//! Run with `cargo run -p block-stm-examples --bin quickstart`.
+//! Run with `cargo run -p block-stm-tests --example quickstart`.
 
 use block_stm::{
-    ExecutionFailure, ExecutorOptions, ParallelExecutor, SequentialExecutor, StateReader,
-    Transaction, TransactionContext, Vm,
+    BlockStmBuilder, ExecutionFailure, SequentialExecutor, StateReader, Transaction,
+    TransactionContext, Vm,
 };
 use block_stm_storage::InMemoryStorage;
 
@@ -55,9 +55,15 @@ fn main() {
         })
         .collect();
 
-    // Execute the block in parallel with 4 worker threads.
-    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4));
-    let output = parallel.execute_block(&block, &storage);
+    // Build the engine ONCE (persistent worker pool, reusable per-block state), then
+    // execute the block in parallel with 4 workers. A panicking transaction or a
+    // misconfiguration would surface as a typed `ExecutionError`, not a panic.
+    let executor = BlockStmBuilder::new(Vm::for_testing())
+        .concurrency(4)
+        .build();
+    let output = executor
+        .execute_block(&block, &storage)
+        .expect("block executes cleanly");
 
     println!("committed {} transactions", output.num_txns());
     println!("state updates:");
@@ -73,9 +79,18 @@ fn main() {
     // The whole point of Block-STM: the parallel result is *identical* to executing
     // the block sequentially in the preset order.
     let sequential = SequentialExecutor::new(Vm::for_testing());
-    let reference = sequential.execute_block(&block, &storage);
+    let reference = sequential
+        .execute_block(&block, &storage)
+        .expect("sequential baseline executes");
     assert_eq!(output.updates, reference.updates);
     let total: u64 = output.updates.iter().map(|(_, balance)| *balance).sum();
     assert_eq!(total, 8 * 1_000, "transfers must conserve the total supply");
+
+    // The same executor keeps serving blocks — workers park in between, and the
+    // per-block structures are reused instead of reallocated.
+    let again = executor
+        .execute_block(&block, &storage)
+        .expect("reused executor works");
+    assert_eq!(again.updates, output.updates);
     println!("parallel output matches the sequential baseline ✓");
 }

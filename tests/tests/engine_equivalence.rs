@@ -4,31 +4,35 @@
 //! ("the preset order allows us to test correctness by comparing to sequential
 //! implementation outputs", §4).
 
-use block_stm::{ExecutorOptions, ParallelExecutor, SequentialExecutor, Vm};
+use block_stm::{BlockStmBuilder, SequentialExecutor, Vm};
 use block_stm_baselines::BohmExecutor;
 use block_stm_storage::InMemoryStorage;
 use block_stm_vm::synthetic::SyntheticTransaction;
 use block_stm_workloads::{HotspotWorkload, P2pWorkload, SyntheticWorkload};
+
+fn block_stm(threads: usize) -> block_stm::BlockStm {
+    BlockStmBuilder::new(Vm::for_testing())
+        .concurrency(threads)
+        .build()
+}
 
 fn check_synthetic_block(
     block: &[SyntheticTransaction],
     storage: &InMemoryStorage<u64, u64>,
     threads: usize,
 ) {
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(block, storage);
-    let parallel = ParallelExecutor::new(
-        Vm::for_testing(),
-        ExecutorOptions::with_concurrency(threads),
-    )
-    .execute_block(block, storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(block, storage)
+        .unwrap();
+    let parallel = block_stm(threads).execute_block(block, storage).unwrap();
     assert_eq!(
         parallel.updates, sequential.updates,
         "Block-STM diverged from sequential at {threads} threads"
     );
 
-    let write_sets: Vec<Vec<u64>> = block.iter().map(|txn| txn.perfect_write_set()).collect();
-    let bohm =
-        BohmExecutor::new(Vm::for_testing(), threads).execute_block(block, &write_sets, storage);
+    let bohm = BohmExecutor::new(Vm::for_testing(), threads)
+        .execute_block(block, storage)
+        .unwrap();
     assert_eq!(
         bohm.updates, sequential.updates,
         "Bohm diverged from sequential at {threads} threads"
@@ -61,18 +65,17 @@ fn hotspot_workloads_match() {
 fn diem_p2p_block_matches_sequential() {
     let workload = P2pWorkload::diem(50, 400);
     let (storage, block) = workload.generate();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
     for threads in [2, 8] {
-        let parallel = ParallelExecutor::new(
-            Vm::for_testing(),
-            ExecutorOptions::with_concurrency(threads),
-        )
-        .execute_block(&block, &storage);
+        let parallel = block_stm(threads).execute_block(&block, &storage).unwrap();
         assert_eq!(parallel.updates, sequential.updates);
         assert_eq!(parallel.outputs.len(), block.len());
     }
-    let write_sets = P2pWorkload::perfect_write_sets(&block);
-    let bohm = BohmExecutor::new(Vm::for_testing(), 8).execute_block(&block, &write_sets, &storage);
+    let bohm = BohmExecutor::new(Vm::for_testing(), 8)
+        .execute_block(&block, &storage)
+        .unwrap();
     assert_eq!(bohm.updates, sequential.updates);
 }
 
@@ -80,9 +83,10 @@ fn diem_p2p_block_matches_sequential() {
 fn aptos_p2p_block_matches_sequential() {
     let workload = P2pWorkload::aptos(10, 300);
     let (storage, block) = workload.generate();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(6))
-        .execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    let parallel = block_stm(6).execute_block(&block, &storage).unwrap();
     assert_eq!(parallel.updates, sequential.updates);
 }
 
@@ -91,9 +95,10 @@ fn inherently_sequential_two_account_block_matches() {
     // With 2 accounts every transaction conflicts with the previous one.
     let workload = P2pWorkload::diem(2, 250);
     let (storage, block) = workload.generate();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8))
-        .execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    let parallel = block_stm(8).execute_block(&block, &storage).unwrap();
     assert_eq!(parallel.updates, sequential.updates);
 }
 
@@ -102,17 +107,25 @@ fn executor_option_ablations_preserve_correctness() {
     let workload = SyntheticWorkload::new(8, 300).with_seed(99);
     let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
     let block = workload.generate_block();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-    for options in [
-        ExecutorOptions::with_concurrency(8).dependency_recheck(false),
-        ExecutorOptions::with_concurrency(8).task_return_optimization(false),
-        ExecutorOptions::with_concurrency(8)
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    for builder in [
+        BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(8)
+            .dependency_recheck(false),
+        BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(8)
+            .task_return_optimization(false),
+        BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(8)
             .dependency_recheck(false)
             .task_return_optimization(false),
-        ExecutorOptions::with_concurrency(8).mvmemory_shards(4),
+        BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(8)
+            .mvmemory_shards(4),
     ] {
-        let parallel =
-            ParallelExecutor::new(Vm::for_testing(), options).execute_block(&block, &storage);
+        let parallel = builder.build().execute_block(&block, &storage).unwrap();
         assert_eq!(parallel.updates, sequential.updates);
     }
 }

@@ -1,9 +1,15 @@
 //! Domain-level invariants of the peer-to-peer workloads: balance conservation,
 //! sequence-number monotonicity and deterministic replay.
 
-use block_stm::{BlockOutput, ExecutorOptions, ParallelExecutor, Vm};
+use block_stm::{BlockOutput, BlockStm, BlockStmBuilder, Vm};
 use block_stm_storage::{AccessPath, InMemoryStorage, ResourceTag, StateValue, Storage};
 use block_stm_workloads::P2pWorkload;
+
+fn block_stm(threads: usize) -> BlockStm {
+    BlockStmBuilder::new(Vm::for_testing())
+        .concurrency(threads)
+        .build()
+}
 
 fn execute(
     workload: &P2pWorkload,
@@ -13,11 +19,7 @@ fn execute(
     BlockOutput<AccessPath, StateValue>,
 ) {
     let (storage, block) = workload.generate();
-    let output = ParallelExecutor::new(
-        Vm::for_testing(),
-        ExecutorOptions::with_concurrency(threads),
-    )
-    .execute_block(&block, &storage);
+    let output = block_stm(threads).execute_block(&block, &storage).unwrap();
     (storage, output)
 }
 
@@ -47,8 +49,7 @@ fn total_supply_is_conserved() {
 fn sequence_numbers_count_sent_transactions() {
     let workload = P2pWorkload::diem(5, 200);
     let (storage, block) = workload.generate();
-    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4))
-        .execute_block(&block, &storage);
+    let output = block_stm(4).execute_block(&block, &storage).unwrap();
     let mut post = storage.clone();
     post.apply_updates(output.updates.iter().cloned());
 
@@ -93,15 +94,15 @@ fn replay_of_the_same_block_is_deterministic() {
 #[test]
 fn chained_blocks_apply_cleanly() {
     // Execute three consecutive blocks, applying each output before the next — the way
-    // a blockchain advances its state block by block.
+    // a blockchain advances its state block by block, through ONE persistent executor.
     let accounts = 12u64;
+    let executor = block_stm(4);
     let mut state = P2pWorkload::diem(accounts, 0).genesis();
     let mut previous_totals = Vec::new();
     for round in 0..3u64 {
         let workload = P2pWorkload::diem(accounts, 150).with_seed(round);
         let block = workload.generate_block();
-        let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(4))
-            .execute_block(&block, &state);
+        let output = executor.execute_block(&block, &state).unwrap();
         state.apply_updates(output.updates.iter().cloned());
         let total: u64 = (0..accounts)
             .map(|index| {

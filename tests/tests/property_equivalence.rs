@@ -2,7 +2,7 @@
 //! the parallel engines commit exactly the sequential preset-order state, on any
 //! thread count. Shrinking gives minimal counterexamples if the engines ever diverge.
 
-use block_stm::{ExecutorOptions, ParallelExecutor, SequentialExecutor, Vm};
+use block_stm::{BlockStmBuilder, SequentialExecutor, Vm};
 use block_stm_baselines::{BohmExecutor, LitmExecutor};
 use block_stm_storage::InMemoryStorage;
 use block_stm_vm::synthetic::SyntheticTransaction;
@@ -41,12 +41,14 @@ proptest! {
     #[test]
     fn block_stm_equals_sequential(block in vec(arb_txn(), 1..60), threads in 1usize..9) {
         let storage = initial_storage();
-        let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-        let parallel = ParallelExecutor::new(
-            Vm::for_testing(),
-            ExecutorOptions::with_concurrency(threads),
-        )
-        .execute_block(&block, &storage);
+        let sequential = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&block, &storage)
+            .unwrap();
+        let parallel = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .build()
+            .execute_block(&block, &storage)
+            .unwrap();
         prop_assert_eq!(parallel.updates, sequential.updates);
         // Committed per-transaction effects must match as well.
         for (p, s) in parallel.outputs.iter().zip(sequential.outputs.iter()) {
@@ -58,18 +60,24 @@ proptest! {
     #[test]
     fn bohm_equals_sequential(block in vec(arb_txn(), 1..50), threads in 1usize..7) {
         let storage = initial_storage();
-        let write_sets: Vec<Vec<u64>> = block.iter().map(|t| t.perfect_write_set()).collect();
-        let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+        let sequential = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&block, &storage)
+            .unwrap();
         let bohm = BohmExecutor::new(Vm::for_testing(), threads)
-            .execute_block(&block, &write_sets, &storage);
+            .execute_block(&block, &storage)
+            .unwrap();
         prop_assert_eq!(bohm.updates, sequential.updates);
     }
 
     #[test]
     fn litm_is_deterministic_and_complete(block in vec(arb_txn(), 1..40), threads in 1usize..7) {
         let storage = initial_storage();
-        let reference = LitmExecutor::new(Vm::for_testing(), 1).execute_block(&block, &storage);
-        let run = LitmExecutor::new(Vm::for_testing(), threads).execute_block(&block, &storage);
+        let reference = LitmExecutor::new(Vm::for_testing(), 1)
+            .execute_block(&block, &storage)
+            .unwrap();
+        let run = LitmExecutor::new(Vm::for_testing(), threads)
+            .execute_block(&block, &storage)
+            .unwrap();
         // LiTM commits a different serialization than the preset order, but it must be
         // deterministic (independent of thread count) and commit every transaction.
         prop_assert_eq!(reference.updates, run.updates);
@@ -80,9 +88,11 @@ proptest! {
     #[test]
     fn parallel_execution_is_deterministic(block in vec(arb_txn(), 1..40)) {
         let storage = initial_storage();
-        let executor = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(6));
-        let first = executor.execute_block(&block, &storage);
-        let second = executor.execute_block(&block, &storage);
+        // One executor, executed twice: also exercises the arena-reuse path under
+        // arbitrary blocks.
+        let executor = BlockStmBuilder::new(Vm::for_testing()).concurrency(6).build();
+        let first = executor.execute_block(&block, &storage).unwrap();
+        let second = executor.execute_block(&block, &storage).unwrap();
         prop_assert_eq!(first.updates, second.updates);
     }
 }

@@ -1,10 +1,16 @@
 //! Stress tests (bigger blocks, dependency chains, many threads) and checks on the
 //! execution metrics the engines report.
 
-use block_stm::{ExecutorOptions, ParallelExecutor, SequentialExecutor, Vm};
+use block_stm::{BlockStm, BlockStmBuilder, SequentialExecutor, Vm};
 use block_stm_storage::InMemoryStorage;
 use block_stm_vm::synthetic::SyntheticTransaction;
 use block_stm_workloads::SyntheticWorkload;
+
+fn block_stm(threads: usize) -> BlockStm {
+    BlockStmBuilder::new(Vm::for_testing())
+        .concurrency(threads)
+        .build()
+}
 
 fn storage_with_keys(keys: u64) -> InMemoryStorage<u64, u64> {
     (0..keys).map(|k| (k, 0u64)).collect()
@@ -27,9 +33,10 @@ fn long_dependency_chain_completes_and_matches() {
             abort_when_divisible_by: None,
         })
         .collect();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8))
-        .execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    let parallel = block_stm(8).execute_block(&block, &storage).unwrap();
     assert_eq!(parallel.updates, sequential.updates);
 }
 
@@ -38,9 +45,10 @@ fn large_random_block_with_many_threads() {
     let workload = SyntheticWorkload::new(64, 2_000).with_seed(7);
     let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
     let block = workload.generate_block();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(16))
-        .execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    let parallel = block_stm(16).execute_block(&block, &storage).unwrap();
     assert_eq!(parallel.updates, sequential.updates);
     assert_eq!(parallel.outputs.len(), 2_000);
 }
@@ -52,9 +60,10 @@ fn single_hot_key_block_is_live_under_many_threads() {
     let block: Vec<SyntheticTransaction> = (0..500)
         .map(|_| SyntheticTransaction::increment(0))
         .collect();
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
-    let parallel = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(16))
-        .execute_block(&block, &storage);
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    let parallel = block_stm(16).execute_block(&block, &storage).unwrap();
     assert_eq!(parallel.updates, sequential.updates);
     // Contention shows up in the metrics: re-executions and/or dependency suspensions.
     assert!(
@@ -68,8 +77,7 @@ fn metrics_are_consistent_with_the_block() {
     let workload = SyntheticWorkload::new(16, 400).with_seed(3);
     let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
     let block = workload.generate_block();
-    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8))
-        .execute_block(&block, &storage);
+    let output = block_stm(8).execute_block(&block, &storage).unwrap();
     let metrics = output.metrics;
     assert_eq!(metrics.total_txns, 400);
     assert!(metrics.incarnations >= 400);
@@ -80,6 +88,8 @@ fn metrics_are_consistent_with_the_block() {
     assert!(metrics.validation_failures <= metrics.validations);
     assert!(metrics.re_execution_ratio() >= 1.0);
     assert!(metrics.validation_ratio() >= 1.0);
+    // Yield fallbacks are a subset of idle polls.
+    assert!(metrics.scheduler_yields <= metrics.scheduler_polls);
     // Gas must have been charged for every transaction.
     assert!(output.total_gas() > 0);
     assert_eq!(output.outputs.len(), 400);
@@ -88,14 +98,14 @@ fn metrics_are_consistent_with_the_block() {
 #[test]
 fn empty_and_single_transaction_blocks() {
     let storage = storage_with_keys(4);
-    let executor = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(8));
+    let executor = block_stm(8);
     let empty: Vec<SyntheticTransaction> = vec![];
-    let output = executor.execute_block(&empty, &storage);
+    let output = executor.execute_block(&empty, &storage).unwrap();
     assert!(output.updates.is_empty());
     assert_eq!(output.num_txns(), 0);
 
     let single = vec![SyntheticTransaction::put(2, 99)];
-    let output = executor.execute_block(&single, &storage);
+    let output = executor.execute_block(&single, &storage).unwrap();
     assert_eq!(output.num_txns(), 1);
     assert_eq!(output.updates.len(), 1);
 }
@@ -107,8 +117,27 @@ fn threads_exceeding_block_size_are_handled() {
         SyntheticTransaction::increment(0),
         SyntheticTransaction::increment(1),
     ];
-    let output = ParallelExecutor::new(Vm::for_testing(), ExecutorOptions::with_concurrency(32))
-        .execute_block(&block, &storage);
-    let sequential = SequentialExecutor::new(Vm::for_testing()).execute_block(&block, &storage);
+    let output = block_stm(32).execute_block(&block, &storage).unwrap();
+    let sequential = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
     assert_eq!(output.updates, sequential.updates);
+}
+
+#[test]
+fn oversubscribed_executor_stays_live_and_records_yields() {
+    // Far more workers than cores (and than transactions with ready tasks): the
+    // bounded-spin fallback must keep the block completing promptly rather than
+    // burning cores in spin loops.
+    let storage = storage_with_keys(1);
+    let block: Vec<SyntheticTransaction> = (0..200)
+        .map(|_| SyntheticTransaction::increment(0))
+        .collect();
+    let executor = block_stm(16);
+    let output = executor.execute_block(&block, &storage).unwrap();
+    assert_eq!(output.num_txns(), 200);
+    // On a fully serial chain with 16 workers, idle polling is guaranteed; the
+    // fallback metric only fires when polls outlast the spin budget, so we assert
+    // the weaker invariant that the counters are coherent.
+    assert!(output.metrics.scheduler_yields <= output.metrics.scheduler_polls);
 }

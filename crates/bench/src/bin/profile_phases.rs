@@ -5,12 +5,13 @@
 //!
 //! Run with `cargo run -p block-stm-bench --release --bin profile_phases`.
 
-use block_stm::{BlockStmBuilder, MVHashMapView, SequentialExecutor};
+use block_stm::{BlockStmBuilder, LocationCache, MVHashMapView, SequentialExecutor};
 use block_stm_bench::default_gas_schedule;
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_mvmemory::MVMemory;
 use block_stm_vm::{Version, Vm, VmStatus};
 use block_stm_workloads::P2pWorkload;
+use std::cell::RefCell;
 use std::time::Instant;
 
 fn main() {
@@ -35,9 +36,10 @@ fn main() {
     // scheduler and no validation.
     let metrics = ExecutionMetrics::new();
     let mvmemory: MVMemory<_, _> = MVMemory::new(n);
+    let cache = RefCell::new(LocationCache::new());
     let start = Instant::now();
     for (idx, txn) in block.iter().enumerate() {
-        let view = MVHashMapView::new(&mvmemory, &storage, idx, &metrics);
+        let view = MVHashMapView::new(&mvmemory, &storage, idx, &metrics, &cache);
         match vm.execute(txn, &view) {
             VmStatus::Done(output) => {
                 let read_set = view.take_read_set();
@@ -46,16 +48,26 @@ fn main() {
                     .iter()
                     .map(|w| (w.key, w.value.clone()))
                     .collect();
-                mvmemory.record(Version::new(idx, 0), read_set, write_set);
+                mvmemory.record_with_cache(
+                    &mut cache.borrow_mut(),
+                    Version::new(idx, 0),
+                    read_set,
+                    write_set,
+                );
             }
             VmStatus::ReadError { .. } => unreachable!(),
         }
     }
     let exec_elapsed = start.elapsed();
+    let cache_stats = cache.borrow().stats();
     println!(
         "execute+capture+record       : {:>8.1} ms ({:.1} us/txn)",
         exec_elapsed.as_secs_f64() * 1e3,
         exec_elapsed.as_secs_f64() * 1e6 / n as f64
+    );
+    println!(
+        "  location cache: {} hits, {} interner hits, {} first touches",
+        cache_stats.hits, cache_stats.interner_hits, cache_stats.interner_misses
     );
 
     // Phase 2: validation of every recorded read-set.
@@ -92,6 +104,7 @@ fn main() {
         let scheduler = Scheduler::new(n);
         let start = Instant::now();
         let body = || {
+            let cache = RefCell::new(LocationCache::new());
             let mut task = None;
             while !scheduler.done() {
                 task = match task {
@@ -104,6 +117,7 @@ fn main() {
                                     &storage,
                                     version.txn_idx,
                                     &metrics,
+                                    &cache,
                                 );
                                 match vm.execute(&block[version.txn_idx], &view) {
                                     VmStatus::Done(output) => {
@@ -113,7 +127,12 @@ fn main() {
                                             .iter()
                                             .map(|w| (w.key, w.value.clone()))
                                             .collect();
-                                        let wrote = mvmemory.record(version, read_set, write_set);
+                                        let wrote = mvmemory.record_with_cache(
+                                            &mut cache.borrow_mut(),
+                                            version,
+                                            read_set,
+                                            write_set,
+                                        );
                                         scheduler
                                             .finish_execution(
                                                 version.txn_idx,
@@ -168,6 +187,12 @@ fn main() {
             elapsed.as_secs_f64() * 1e3,
             elapsed.as_secs_f64() * 1e6 / n as f64,
             output.metrics.validation_ratio()
+        );
+        println!(
+            "  location cache: {} hits, {} interner hits, {} first touches",
+            output.metrics.mvmemory_cache_hits,
+            output.metrics.mvmemory_interner_hits,
+            output.metrics.mvmemory_interner_misses
         );
     }
 }

@@ -16,13 +16,14 @@ use crate::executor::BlockExecutor;
 use crate::output::BlockOutput;
 use crate::view::MVHashMapView;
 use block_stm_metrics::{ExecutionMetrics, MetricsSnapshot};
-use block_stm_mvmemory::MVMemory;
+use block_stm_mvmemory::{LocationCache, MVMemory};
 use block_stm_scheduler::{Scheduler, SchedulerOptions, Task, TaskKind};
 use block_stm_storage::Storage;
 use block_stm_sync::{Backoff, WorkerPool};
 use block_stm_vm::{Transaction, TransactionOutput, Version, Vm, VmStatus};
 use parking_lot::Mutex;
 use std::any::Any;
+use std::cell::RefCell;
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -368,7 +369,15 @@ where
     /// oversubscribed host (e.g. a 1-CPU CI box running more workers than cores)
     /// does not burn a core busy-waiting. Yield fallbacks are recorded in the
     /// metrics.
+    ///
+    /// Each worker owns a [`LocationCache`] for the duration of the block: every
+    /// location it touches is resolved against the multi-version memory's sharded
+    /// interner at most once, and all later reads/writes of that location go
+    /// straight to the lock-free cell. The cache dies with the block (before
+    /// `MVMemory::reset`, which requires all cell handles to be dropped), flushing
+    /// its hit/miss counters into the shared metrics on the way out.
     fn run(&self) {
+        let cache = RefCell::new(LocationCache::new());
         let mut task: Option<Task> = None;
         let mut backoff = Backoff::new();
         while !self.scheduler.done() {
@@ -376,7 +385,7 @@ where
                 Some(Task {
                     version,
                     kind: TaskKind::Execution,
-                }) => self.try_execute(version),
+                }) => self.try_execute(version, &cache),
                 Some(Task {
                     version,
                     kind: TaskKind::Validation,
@@ -399,11 +408,18 @@ where
                 }
             };
         }
+        let stats = cache.borrow().stats();
+        self.metrics
+            .record_location_cache(stats.hits, stats.interner_hits, stats.interner_misses);
     }
 
     /// `try_execute` (Algorithm 1 Lines 10–19): run one incarnation and record its
     /// effects, or register a dependency if it reads an ESTIMATE.
-    fn try_execute(&self, version: Version) -> Option<Task> {
+    fn try_execute(
+        &self,
+        version: Version,
+        cache: &RefCell<LocationCache<T::Key, T::Value>>,
+    ) -> Option<Task> {
         let txn_idx = version.txn_idx;
         let txn = &self.block[txn_idx];
         loop {
@@ -422,7 +438,8 @@ where
                 }
             }
 
-            let view = MVHashMapView::new(self.mvmemory, self.storage, txn_idx, self.metrics);
+            let view =
+                MVHashMapView::new(self.mvmemory, self.storage, txn_idx, self.metrics, cache);
             self.metrics.record_incarnation();
             match self.vm.execute(txn, &view) {
                 VmStatus::ReadError { blocking_txn_idx } => {
@@ -444,7 +461,12 @@ where
                         .iter()
                         .map(|write| (write.key.clone(), write.value.clone()))
                         .collect();
-                    let wrote_new_location = self.mvmemory.record(version, read_set, write_set);
+                    let wrote_new_location = self.mvmemory.record_with_cache(
+                        &mut cache.borrow_mut(),
+                        version,
+                        read_set,
+                        write_set,
+                    );
                     *self.outputs[txn_idx].lock() = Some(output);
                     return self.scheduler.finish_execution(
                         txn_idx,
@@ -642,6 +664,39 @@ mod tests {
         assert!(output.metrics.incarnations >= 50);
         assert!(output.metrics.validations >= 50);
         assert_eq!(output.metrics.total_txns, 50);
+    }
+
+    #[test]
+    fn steady_state_location_accesses_bypass_the_sharded_map() {
+        // Acceptance bar of the two-level MVMemory design: once a location is
+        // interned, reads and writes to it never touch the sharded map (no
+        // shard-lock acquisitions). With one worker the accounting is exact: every
+        // transaction resolves key 0 twice (one read, one write), the very first
+        // resolution is the global first touch, and everything else must be a
+        // per-worker cache hit.
+        let storage = storage_with_keys(1);
+        let block: Vec<_> = (0..50)
+            .map(|_| SyntheticTransaction::increment(0))
+            .collect();
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(1)
+            .build();
+        let metrics = executor.execute_block(&block, &storage).unwrap().metrics;
+        let accesses = metrics.mvmemory_cache_hits
+            + metrics.mvmemory_interner_hits
+            + metrics.mvmemory_interner_misses;
+        assert_eq!(metrics.mvmemory_interner_misses, 1);
+        assert_eq!(metrics.mvmemory_interner_hits, 0);
+        assert_eq!(metrics.mvmemory_cache_hits, accesses - 1);
+        assert!(accesses >= 100, "two resolutions per transaction");
+
+        // Across blocks the interner is recycled, not rebuilt: the next block's
+        // first touch finds the location already interned (a read-path hit, no
+        // shard write lock), and steady state is again all cache hits.
+        let metrics = executor.execute_block(&block, &storage).unwrap().metrics;
+        assert_eq!(metrics.mvmemory_interner_misses, 0);
+        assert_eq!(metrics.mvmemory_interner_hits, 1);
+        assert!(metrics.mvmemory_cache_hits >= 99);
     }
 
     #[test]

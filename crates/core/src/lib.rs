@@ -125,6 +125,10 @@ pub use parallel::ParallelExecutor;
 pub use sequential::SequentialExecutor;
 pub use view::MVHashMapView;
 
+// Re-exported so executor embedders and benches can drive the multi-version
+// memory's cached hot path without a direct dependency on the mvmemory crate.
+pub use block_stm_mvmemory::{LocationCache, LocationCacheStats, LocationId};
+
 // Re-export the pieces users need to define and run transactions without adding the
 // sibling crates as direct dependencies.
 pub use block_stm_metrics::MetricsSnapshot;

@@ -2,7 +2,7 @@
 //! with read-set capture (Algorithm 3's read interception).
 
 use block_stm_metrics::ExecutionMetrics;
-use block_stm_mvmemory::{MVMemory, MVReadOutput, ReadDescriptor};
+use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput, ReadDescriptor};
 use block_stm_storage::Storage;
 use block_stm_vm::{ReadOutcome, StateReader, TxnIndex};
 use std::cell::RefCell;
@@ -15,13 +15,20 @@ use std::hash::Hash;
 /// A read is served by the multi-version memory (the highest write of a *lower*
 /// transaction), falling back to pre-block storage when no such write exists, and is
 /// recorded in the incarnation's read-set together with the observed version (or the
-/// "storage" ⊥ descriptor). If the multi-version memory reports an ESTIMATE, the read
-/// outcome is a dependency and nothing is recorded — the incarnation will abort.
+/// "storage" ⊥ descriptor) and the location's interned id. If the multi-version
+/// memory reports an ESTIMATE, the read outcome is a dependency and nothing is
+/// recorded — the incarnation will abort.
+///
+/// Locations are resolved through the worker's [`LocationCache`]: the view borrows
+/// the cache that outlives it (one cache per worker per block), so repeated accesses
+/// to the same location — within this incarnation or any other incarnation this
+/// worker executes — skip the multi-version memory's sharded map entirely.
 pub struct MVHashMapView<'a, K, V, S> {
     mvmemory: &'a MVMemory<K, V>,
     storage: &'a S,
     txn_idx: TxnIndex,
     metrics: &'a ExecutionMetrics,
+    cache: &'a RefCell<LocationCache<K, V>>,
     captured_reads: RefCell<Vec<ReadDescriptor<K>>>,
 }
 
@@ -31,18 +38,21 @@ where
     V: Clone + Debug,
     S: Storage<K, V>,
 {
-    /// Creates a view for one incarnation of `txn_idx`.
+    /// Creates a view for one incarnation of `txn_idx`, resolving locations through
+    /// the worker's `cache`.
     pub fn new(
         mvmemory: &'a MVMemory<K, V>,
         storage: &'a S,
         txn_idx: TxnIndex,
         metrics: &'a ExecutionMetrics,
+        cache: &'a RefCell<LocationCache<K, V>>,
     ) -> Self {
         Self {
             mvmemory,
             storage,
             txn_idx,
             metrics,
+            cache,
             captured_reads: RefCell::new(Vec::new()),
         }
     }
@@ -80,19 +90,23 @@ where
     fn read(&self, key: &K) -> ReadOutcome<V> {
         // Note: per-read metric counters are deliberately NOT recorded here — a shared
         // atomic increment per read would put two highly contended cache lines on the
-        // hottest path of every worker thread. Read counts are aggregated per task
-        // from the transaction outputs instead.
-        match self.mvmemory.read(key, self.txn_idx) {
+        // hottest path of every worker thread. The location-cache hit/miss counters
+        // accumulate locally in the worker's cache and are flushed once per block;
+        // read counts are aggregated per task from the transaction outputs.
+        let (id, output) =
+            self.mvmemory
+                .read_with_cache(&mut self.cache.borrow_mut(), key, self.txn_idx);
+        match output {
             MVReadOutput::Versioned(version, value) => {
                 self.captured_reads
                     .borrow_mut()
-                    .push(ReadDescriptor::from_version(key.clone(), version));
-                ReadOutcome::Value((*value).clone())
+                    .push(ReadDescriptor::from_version(key.clone(), version).with_location(id));
+                ReadOutcome::Value(value)
             }
             MVReadOutput::NotFound => {
                 self.captured_reads
                     .borrow_mut()
-                    .push(ReadDescriptor::from_storage(key.clone()));
+                    .push(ReadDescriptor::from_storage(key.clone()).with_location(id));
                 match self.storage.get(key) {
                     Some(value) => ReadOutcome::Value(value),
                     None => ReadOutcome::NotFound,
@@ -130,7 +144,8 @@ mod tests {
     fn reads_prefer_multiversion_over_storage() {
         let (mvmemory, storage, metrics) = fixture();
         mvmemory.record(Version::new(1, 0), vec![], vec![(1, 111)]);
-        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
         assert_eq!(view.read(&1), ReadOutcome::Value(111));
         assert_eq!(view.read(&2), ReadOutcome::Value(200));
         assert_eq!(view.read(&9), ReadOutcome::NotFound);
@@ -140,15 +155,19 @@ mod tests {
             reads[0].origin,
             ReadOrigin::MultiVersion(Version::new(1, 0))
         );
+        assert!(reads[0].id.is_resolved(), "hot-path descriptors carry ids");
         assert_eq!(reads[1].origin, ReadOrigin::Storage);
         assert_eq!(reads[2].origin, ReadOrigin::Storage);
+        // All three locations are now memoized in the worker cache.
+        assert_eq!(cache.borrow().len(), 3);
     }
 
     #[test]
     fn own_index_writes_are_invisible() {
         let (mvmemory, storage, metrics) = fixture();
         mvmemory.record(Version::new(3, 0), vec![], vec![(1, 333)]);
-        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
         // txn 3 must not see its own (or higher) multi-version entries: value comes
         // from storage.
         assert_eq!(view.read(&1), ReadOutcome::Value(100));
@@ -159,8 +178,26 @@ mod tests {
         let (mvmemory, storage, metrics) = fixture();
         mvmemory.record(Version::new(1, 0), vec![], vec![(1, 111)]);
         mvmemory.convert_writes_to_estimates(1);
-        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
         assert_eq!(view.read(&1), ReadOutcome::Dependency(1));
         assert_eq!(view.reads_captured(), 0);
+    }
+
+    #[test]
+    fn cache_is_shared_across_views_of_one_worker() {
+        let (mvmemory, storage, metrics) = fixture();
+        mvmemory.record(Version::new(0, 0), vec![], vec![(1, 111)]);
+        let cache = RefCell::new(LocationCache::new());
+        let first = MVHashMapView::new(&mvmemory, &storage, 2, &metrics, &cache);
+        assert_eq!(first.read(&1), ReadOutcome::Value(111));
+        drop(first);
+        let second = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
+        assert_eq!(second.read(&1), ReadOutcome::Value(111));
+        let stats = cache.borrow().stats();
+        // One global first touch by record(), one interner hit by the first view,
+        // then a pure cache hit for the second view.
+        assert_eq!(stats.interner_hits, 1);
+        assert_eq!(stats.hits, 1);
     }
 }

@@ -36,6 +36,14 @@ pub struct ExecutionMetrics {
     /// Idle polls that escalated from spinning to `thread::yield_now` because the
     /// spin budget was exhausted (oversubscribed host or a long sequential tail).
     scheduler_yields: PaddedAtomicU64,
+    /// Location resolutions served by a per-worker cache (no shared-state access).
+    mvmemory_cache_hits: PaddedAtomicU64,
+    /// Worker-cache misses resolved by the interner's read path (the location was
+    /// already interned by another worker; one shard read lock).
+    mvmemory_interner_hits: PaddedAtomicU64,
+    /// Global location first touches: the access interned the location (shard write
+    /// lock + cell allocation).
+    mvmemory_interner_misses: PaddedAtomicU64,
 }
 
 impl ExecutionMetrics {
@@ -104,6 +112,14 @@ impl ExecutionMetrics {
         self.scheduler_yields.increment();
     }
 
+    /// Flushes one worker's location-cache counters (bulk add: workers accumulate
+    /// these locally, without atomics, and report once per block).
+    pub fn record_location_cache(&self, hits: u64, interner_hits: u64, interner_misses: u64) {
+        self.mvmemory_cache_hits.add(hits);
+        self.mvmemory_interner_hits.add(interner_hits);
+        self.mvmemory_interner_misses.add(interner_misses);
+    }
+
     /// Freezes the counters into a plain snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -119,6 +135,9 @@ impl ExecutionMetrics {
             blocked_read_spins: self.blocked_read_spins.load(),
             scheduler_polls: self.scheduler_polls.load(),
             scheduler_yields: self.scheduler_yields.load(),
+            mvmemory_cache_hits: self.mvmemory_cache_hits.load(),
+            mvmemory_interner_hits: self.mvmemory_interner_hits.load(),
+            mvmemory_interner_misses: self.mvmemory_interner_misses.load(),
         }
     }
 
@@ -136,6 +155,9 @@ impl ExecutionMetrics {
         self.blocked_read_spins.reset();
         self.scheduler_polls.reset();
         self.scheduler_yields.reset();
+        self.mvmemory_cache_hits.reset();
+        self.mvmemory_interner_hits.reset();
+        self.mvmemory_interner_misses.reset();
     }
 }
 
@@ -158,6 +180,7 @@ mod tests {
         metrics.record_blocked_read_spins(7);
         metrics.record_scheduler_poll();
         metrics.record_scheduler_yield();
+        metrics.record_location_cache(5, 2, 1);
         metrics.reset();
         let snap = metrics.snapshot();
         assert_eq!(snap, MetricsSnapshot::default());

@@ -33,6 +33,12 @@ pub struct MetricsSnapshot {
     /// Idle polls that fell back from spinning to an OS-level yield (Block-STM's
     /// bounded-spin worker loop).
     pub scheduler_yields: u64,
+    /// Location resolutions served by per-worker caches (zero shard-lock accesses).
+    pub mvmemory_cache_hits: u64,
+    /// Worker-cache misses served by the interner's shard read path.
+    pub mvmemory_interner_hits: u64,
+    /// Global location first touches (shard write lock + cell allocation).
+    pub mvmemory_interner_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -80,6 +86,10 @@ impl MetricsSnapshot {
             blocked_read_spins: self.blocked_read_spins + other.blocked_read_spins,
             scheduler_polls: self.scheduler_polls + other.scheduler_polls,
             scheduler_yields: self.scheduler_yields + other.scheduler_yields,
+            mvmemory_cache_hits: self.mvmemory_cache_hits + other.mvmemory_cache_hits,
+            mvmemory_interner_hits: self.mvmemory_interner_hits + other.mvmemory_interner_hits,
+            mvmemory_interner_misses: self.mvmemory_interner_misses
+                + other.mvmemory_interner_misses,
         }
     }
 }
@@ -102,6 +112,9 @@ mod tests {
             blocked_read_spins: 0,
             scheduler_polls: 3,
             scheduler_yields: 1,
+            mvmemory_cache_hits: 900,
+            mvmemory_interner_hits: 40,
+            mvmemory_interner_misses: 60,
         }
     }
 
@@ -127,6 +140,8 @@ mod tests {
         assert_eq!(merged.total_txns, 200);
         assert_eq!(merged.incarnations, 240);
         assert_eq!(merged.storage_reads, 2000);
+        assert_eq!(merged.mvmemory_cache_hits, 1800);
+        assert_eq!(merged.mvmemory_interner_misses, 120);
     }
 
     #[test]

@@ -6,31 +6,71 @@
 //! (transaction index + incarnation number) — hence "multi-version". A read by
 //! transaction `tx_j` returns the value written by the *highest transaction below `j`*
 //! in the preset serialization order, or falls through to pre-block storage when no
-//! such write exists.
+//! such write exists. Aborted incarnations leave `ESTIMATE` markers on the locations
+//! they wrote so lower-priority speculations register dependencies instead of reading
+//! stale values.
 //!
-//! Aborted incarnations leave `ESTIMATE` markers on the locations they wrote: the next
-//! incarnation is estimated to write them again, so a lower-priority speculation that
-//! would read them registers a dependency instead of proceeding with a stale value.
+//! # The two-level layout
+//!
+//! §4 of the paper describes the data map as "a concurrent hashmap over access
+//! paths, with lock-protected search trees for efficient txn_idx-based look-ups".
+//! This crate keeps the *semantics* of that design but replaces its synchronization
+//! with a two-level, mostly lock-free layout:
+//!
+//! * **Level 1 — location interning.** Each access path is resolved through the
+//!   sharded hash map **once** per block, yielding a dense [`LocationId`] and a
+//!   shared handle to the location's lock-free
+//!   [`VersionedCell`](block_stm_sync::VersionedCell). Workers memoize the
+//!   resolution in a per-worker [`LocationCache`] (a plain FxHash map, no
+//!   synchronization), so a steady-state access performs **zero shard-lock
+//!   acquisitions and zero SipHash work**. Validation and abort handling do not
+//!   even hash: read/write sets carry `LocationId`s, resolved through a lock-free
+//!   id registry.
+//! * **Level 2 — versioned cells.** The per-location "lock-protected search tree"
+//!   is now an RCU-published sorted slot array
+//!   ([`VersionedCell`](block_stm_sync::VersionedCell) in `block-stm-sync`): reads
+//!   are an atomic snapshot load plus binary search; a re-executing transaction
+//!   republishes its owned slot in place; `ESTIMATE` marking and removal are single
+//!   flag stores. Only a location's *first* write by a given transaction takes the
+//!   cell's short mutex to insert a slot.
 //!
 //! The module exposes exactly the operations of Algorithm 2:
 //!
 //! | Paper                              | Here                                             |
 //! |------------------------------------|--------------------------------------------------|
-//! | `record(version, rs, ws)`          | [`MVMemory::record`]                             |
+//! | `record(version, rs, ws)`          | [`MVMemory::record`] / [`MVMemory::record_with_cache`] |
 //! | `convert_writes_to_estimates(i)`   | [`MVMemory::convert_writes_to_estimates`]        |
-//! | `read(location, i)`                | [`MVMemory::read`]                               |
+//! | `read(location, i)`                | [`MVMemory::read`] / [`MVMemory::read_with`] / [`MVMemory::read_with_cache`] |
 //! | `validate_read_set(i)`             | [`MVMemory::validate_read_set`]                  |
 //! | `snapshot()`                       | [`MVMemory::snapshot`]                           |
 //!
 //! plus read-set descriptor types shared with the executor.
+//!
+//! # Example: the worker hot path
+//!
+//! ```
+//! use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput};
+//! use block_stm_vm::Version;
+//!
+//! let memory: MVMemory<u64, u64> = MVMemory::new(4);
+//! // Each worker owns one cache per block; resolutions are memoized locally.
+//! let mut cache = LocationCache::new();
+//! memory.record_with_cache(&mut cache, Version::new(0, 0), vec![], vec![(7, 70)]);
+//! let (id, out) = memory.read_with_cache(&mut cache, &7, 2);
+//! assert!(id.is_resolved());
+//! assert_eq!(out, MVReadOutput::Versioned(Version::new(0, 0), 70));
+//! // Steady state: the second access was served by the worker cache.
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().interner_misses, 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod entry;
+mod interner;
 mod mvmemory;
 mod read_set;
 
-pub use entry::EntryCell;
-pub use mvmemory::{MVMemory, MVReadOutput};
+pub use interner::{LocationCache, LocationCacheStats, LocationId};
+pub use mvmemory::{MVMemory, MVRead, MVReadOutput, WrittenLocation};
 pub use read_set::{ReadDescriptor, ReadOrigin};

@@ -1,20 +1,31 @@
-//! The `MVMemory` data structure (Algorithm 2).
+//! The `MVMemory` data structure (Algorithm 2), on the two-level lock-free layout.
+//!
+//! See the crate docs for the design. In short: locations are *interned* (level 1)
+//! into dense [`LocationId`]s with one lock-free [`VersionedCell`] each (level 2);
+//! the per-location lock-protected `BTreeMap` of the original design is gone.
+//! Steady-state reads and writes resolve locations through per-worker
+//! [`LocationCache`]s and then operate on cells without any lock.
 
-use crate::entry::EntryCell;
+use crate::interner::{Interner, LocationCache, LocationId};
 use crate::read_set::{ReadDescriptor, ReadOrigin};
-use block_stm_sync::{RcuCell, ShardedMap};
-use block_stm_vm::{TxnIndex, Version};
-use std::collections::BTreeMap;
+use block_stm_sync::versioned_cell::CellRead;
+use block_stm_sync::{RcuCell, VersionedCell};
+use block_stm_vm::{Incarnation, TxnIndex, Version};
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::Arc;
 
+/// Default shard count of the interner map (first-touch path only).
+const DEFAULT_INTERNER_SHARDS: usize = 256;
+
 /// Result of a speculative [`MVMemory::read`] on behalf of transaction `txn_idx`
-/// (mirrors the `OK` / `NOT_FOUND` / `READ_ERROR` statuses of the paper).
-#[derive(Debug, Clone)]
+/// (mirrors the `OK` / `NOT_FOUND` / `READ_ERROR` statuses of the paper). The value
+/// is an owned clone; use [`MVMemory::read_with`] to inspect it by reference
+/// without cloning.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MVReadOutput<V> {
     /// The highest write below `txn_idx`: its full version and the written value.
-    Versioned(Version, Arc<V>),
+    Versioned(Version, V),
     /// No transaction below `txn_idx` wrote this location; the caller should fall back
     /// to pre-block storage.
     NotFound,
@@ -25,7 +36,7 @@ pub enum MVReadOutput<V> {
 
 impl<V> MVReadOutput<V> {
     /// Returns the versioned value, if any.
-    pub fn as_versioned(&self) -> Option<(Version, &Arc<V>)> {
+    pub fn as_versioned(&self) -> Option<(Version, &V)> {
         match self {
             MVReadOutput::Versioned(version, value) => Some((*version, value)),
             _ => None,
@@ -38,6 +49,58 @@ impl<V> MVReadOutput<V> {
     }
 }
 
+/// Borrowed result of a speculative read, handed to the closure of
+/// [`MVMemory::read_with`]. Unlike [`MVReadOutput`] the value is a reference into
+/// the multi-version structure: no clone, no `Arc` reference-count traffic.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MVRead<'a, V> {
+    /// The highest write below the reader: its full version and a borrow of the value.
+    Versioned(Version, &'a V),
+    /// No transaction below the reader wrote this location.
+    NotFound,
+    /// The highest write below the reader is an ESTIMATE left by the given transaction.
+    Dependency(TxnIndex),
+}
+
+impl<V> MVRead<'_, V> {
+    /// Clones the borrowed value into an owned [`MVReadOutput`].
+    pub fn to_owned(&self) -> MVReadOutput<V>
+    where
+        V: Clone,
+    {
+        match self {
+            MVRead::Versioned(version, value) => {
+                MVReadOutput::Versioned(*version, (*value).clone())
+            }
+            MVRead::NotFound => MVReadOutput::NotFound,
+            MVRead::Dependency(blocking) => MVReadOutput::Dependency(*blocking),
+        }
+    }
+
+    /// The observed version, if the read was served by the multi-version map.
+    pub fn version(&self) -> Option<Version> {
+        match self {
+            MVRead::Versioned(version, _) => Some(*version),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`MVRead::Dependency`].
+    pub fn is_dependency(&self) -> bool {
+        matches!(self, MVRead::Dependency(_))
+    }
+}
+
+/// One location written by a transaction's last finished incarnation: the key plus
+/// its interned id (the id makes abort/removal handling a lock-free registry lookup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrittenLocation<K> {
+    /// The written access path.
+    pub key: K,
+    /// Its interned location id.
+    pub id: LocationId,
+}
+
 /// The shared multi-version memory for one block execution.
 ///
 /// `K` is the memory-location (access-path) type and `V` the stored value type. The
@@ -45,12 +108,11 @@ impl<V> MVReadOutput<V> {
 /// reference across all worker threads.
 #[derive(Debug)]
 pub struct MVMemory<K, V> {
-    /// `(location → (txn_idx → entry))`: a concurrent hash map over access paths whose
-    /// per-location values are ordered search trees keyed by transaction index, exactly
-    /// as described in §4 of the paper.
-    data: ShardedMap<K, BTreeMap<TxnIndex, EntryCell<V>>>,
-    /// Per transaction: the set of locations written by its last finished incarnation.
-    last_written_locations: Vec<RcuCell<Vec<K>>>,
+    /// Level 1: `location → (id, cell)` interning; the only place the sharded map is
+    /// touched. Steady-state accesses resolve through per-worker [`LocationCache`]s.
+    interner: Interner<K, V>,
+    /// Per transaction: the locations written by its last finished incarnation.
+    last_written_locations: Vec<RcuCell<Vec<WrittenLocation<K>>>>,
     /// Per transaction: the read-set recorded by its last finished incarnation.
     last_read_set: Vec<RcuCell<Vec<ReadDescriptor<K>>>>,
     block_size: usize,
@@ -63,18 +125,14 @@ where
 {
     /// Creates the multi-version memory for a block of `block_size` transactions.
     pub fn new(block_size: usize) -> Self {
-        Self {
-            data: ShardedMap::default(),
-            last_written_locations: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
-            last_read_set: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
-            block_size,
-        }
+        Self::with_shards(block_size, DEFAULT_INTERNER_SHARDS)
     }
 
-    /// Creates the memory with an explicit shard count (benchmark ablations).
+    /// Creates the memory with an explicit interner shard count (benchmark
+    /// ablations; shards only matter on location first touches).
     pub fn with_shards(block_size: usize, shards: usize) -> Self {
         Self {
-            data: ShardedMap::new(shards),
+            interner: Interner::new(shards),
             last_written_locations: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
             last_read_set: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
             block_size,
@@ -86,18 +144,32 @@ where
         self.block_size
     }
 
-    /// Re-arms the memory for a new block of `block_size` transactions, reusing the
-    /// sharded data map (its shard hash maps keep their capacity) and the
-    /// per-transaction snapshot arrays instead of reallocating everything.
+    /// Number of shards backing the interner (ablation introspection).
+    pub fn shard_count(&self) -> usize {
+        self.interner.shard_count()
+    }
+
+    /// Number of distinct locations interned so far.
+    pub fn interned_locations(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Re-arms the memory for a new block of `block_size` transactions. The interner
+    /// keeps every `location → id` assignment and **recycles** the versioned cells
+    /// in place (cleared, not reallocated), and the per-transaction snapshot arrays
+    /// are swapped to a shared empty snapshot instead of reallocating.
     ///
     /// Requires `&mut self`: exclusive access proves no worker thread still reads
-    /// from the previous block.
+    /// from the previous block — this is the RCU quiescent point at which all
+    /// garbage parked by the lock-free cells is freed. Workers must drop their
+    /// [`LocationCache`]s before the reset (a cell pinned by a stale cache handle is
+    /// replaced instead of recycled).
     pub fn reset(&mut self, block_size: usize) {
-        self.data.clear();
+        self.interner.reset();
         self.block_size = block_size;
         // One shared empty snapshot per array: re-arming a transaction is a pointer
         // swap, not an allocation.
-        let empty_locations: Arc<Vec<K>> = Arc::new(Vec::new());
+        let empty_locations: Arc<Vec<WrittenLocation<K>>> = Arc::new(Vec::new());
         self.last_written_locations.truncate(block_size);
         for cell in &self.last_written_locations {
             cell.store_arc(Arc::clone(&empty_locations));
@@ -115,130 +187,256 @@ where
         }
     }
 
-    /// Applies the write-set of a finished incarnation to the data map
-    /// (`apply_write_set`, Lines 27–29).
-    fn apply_write_set(&self, txn_idx: TxnIndex, incarnation: usize, write_set: &[(K, V)])
-    where
-        V: Clone,
-    {
-        for (location, value) in write_set {
-            self.data.mutate(location.clone(), |tree| {
-                tree.insert(txn_idx, EntryCell::write(incarnation, value.clone()));
-            });
+    /// Maps a cell-level read to the paper's read statuses.
+    fn cell_read(cell: &VersionedCell<V>, txn_idx: TxnIndex) -> MVRead<'_, V> {
+        match cell.read(txn_idx) {
+            CellRead::Value {
+                txn_idx: writer,
+                incarnation,
+                value,
+            } => MVRead::Versioned(Version::new(writer, incarnation), value),
+            CellRead::Estimate { txn_idx: blocking } => MVRead::Dependency(blocking),
+            CellRead::Missing => MVRead::NotFound,
         }
     }
 
-    /// Updates `last_written_locations[txn_idx]`, removes entries the new incarnation
-    /// no longer writes, and reports whether a location was written for the first time
-    /// (`rcu_update_written_locations`, Lines 30–35).
-    fn rcu_update_written_locations(&self, txn_idx: TxnIndex, new_locations: Vec<K>) -> bool {
-        let prev_locations = self.last_written_locations[txn_idx].load();
-        // Remove entries for locations written by the previous incarnation but not by
-        // this one (Line 33). Dropping the whole per-location tree when it becomes
-        // empty keeps snapshot iteration proportional to live locations.
-        for unwritten in prev_locations
-            .iter()
-            .filter(|loc| !new_locations.contains(loc))
-        {
-            self.data.mutate_and_maybe_remove(unwritten, |tree| {
-                tree.remove(&txn_idx);
-                tree.is_empty()
-            });
-        }
-        let wrote_new_location = new_locations
-            .iter()
-            .any(|loc| !prev_locations.contains(loc));
-        self.last_written_locations[txn_idx].store(new_locations);
-        wrote_new_location
-    }
-
-    /// Records the results of an execution (`record`, Lines 36–42).
+    /// Records the results of an execution (`record`, Lines 36–42), resolving
+    /// locations through the shared interner.
     ///
-    /// Applies the write-set to the data map, updates the written-locations and
-    /// read-set snapshots, and returns `true` iff the incarnation wrote to at least one
-    /// location its previous incarnation did not write (the `wrote_new_location`
-    /// indicator consumed by `Scheduler.finish_execution`).
+    /// Applies the write-set to the per-location cells, updates the
+    /// written-locations and read-set snapshots, and returns `true` iff the
+    /// incarnation wrote to at least one location its previous incarnation did not
+    /// write (the `wrote_new_location` indicator consumed by
+    /// `Scheduler.finish_execution`).
     pub fn record(
         &self,
         version: Version,
         read_set: Vec<ReadDescriptor<K>>,
         write_set: Vec<(K, V)>,
-    ) -> bool
-    where
-        V: Clone,
-    {
+    ) -> bool {
         let Version {
             txn_idx,
             incarnation,
         } = version;
         debug_assert!(txn_idx < self.block_size);
-        self.apply_write_set(txn_idx, incarnation, &write_set);
-        let new_locations: Vec<K> = write_set
-            .into_iter()
-            .map(|(location, _)| location)
-            .collect();
-        let wrote_new_location = self.rcu_update_written_locations(txn_idx, new_locations);
-        self.last_read_set[txn_idx].store(read_set);
+        let mut new_locations = Vec::with_capacity(write_set.len());
+        let mut pending = write_set.into_iter();
+        while let Some((key, value)) = pending.next() {
+            // Last write wins on duplicate keys (and keeps the one-publish-per-
+            // incarnation contract of `VersionedCell::write`).
+            if pending.as_slice().iter().any(|(later, _)| *later == key) {
+                continue;
+            }
+            let interned = self.interner.resolve(&key).0;
+            interned.cell.write(txn_idx, incarnation, value);
+            new_locations.push(WrittenLocation {
+                key,
+                id: interned.id,
+            });
+        }
+        self.finish_record(version, read_set, new_locations)
+    }
+
+    /// [`record`](Self::record) through a per-worker [`LocationCache`]: the hot path
+    /// used by the parallel executor, which resolves every location with a fast
+    /// local hash lookup (no shard lock and no handle cloning once cached).
+    pub fn record_with_cache(
+        &self,
+        cache: &mut LocationCache<K, V>,
+        version: Version,
+        read_set: Vec<ReadDescriptor<K>>,
+        write_set: Vec<(K, V)>,
+    ) -> bool {
+        let Version {
+            txn_idx,
+            incarnation,
+        } = version;
+        debug_assert!(txn_idx < self.block_size);
+        let mut new_locations = Vec::with_capacity(write_set.len());
+        let mut pending = write_set.into_iter();
+        while let Some((key, value)) = pending.next() {
+            // Last write wins on duplicate keys (see `record`).
+            if pending.as_slice().iter().any(|(later, _)| *later == key) {
+                continue;
+            }
+            let interned = cache.resolve(&self.interner, &key);
+            interned.cell.write(txn_idx, incarnation, value);
+            let id = interned.id;
+            new_locations.push(WrittenLocation { key, id });
+        }
+        self.finish_record(version, read_set, new_locations)
+    }
+
+    fn finish_record(
+        &self,
+        version: Version,
+        read_set: Vec<ReadDescriptor<K>>,
+        new_locations: Vec<WrittenLocation<K>>,
+    ) -> bool {
+        let wrote_new_location =
+            self.rcu_update_written_locations(version.txn_idx, version.incarnation, new_locations);
+        self.last_read_set[version.txn_idx].store(read_set);
         wrote_new_location
+    }
+
+    /// Updates `last_written_locations[txn_idx]`, tombstones entries the new
+    /// incarnation no longer writes, and reports whether a location was written for
+    /// the first time (`rcu_update_written_locations`, Lines 30–35). Removal is a
+    /// flag store on the owned slot — no tree surgery, no map mutation.
+    fn rcu_update_written_locations(
+        &self,
+        txn_idx: TxnIndex,
+        incarnation: Incarnation,
+        new_locations: Vec<WrittenLocation<K>>,
+    ) -> bool {
+        let prev_locations = self.last_written_locations[txn_idx].load();
+        for unwritten in prev_locations
+            .iter()
+            .filter(|prev| !new_locations.iter().any(|new| new.id == prev.id))
+        {
+            let removed = self.with_cell_of(unwritten, |cell| cell.remove(txn_idx, incarnation));
+            debug_assert!(
+                removed == Some(true),
+                "entry for a previously written location must exist"
+            );
+        }
+        let wrote_new_location = new_locations
+            .iter()
+            .any(|new| !prev_locations.iter().any(|prev| prev.id == new.id));
+        self.last_written_locations[txn_idx].store(new_locations);
+        wrote_new_location
+    }
+
+    /// Resolves a previously written location to its cell and applies `f`: a
+    /// lock-free registry lookup with no handle cloning (written locations always
+    /// carry resolved ids; the key fallback only covers a registry snapshot that
+    /// predates the id's chunk).
+    fn with_cell_of<R>(
+        &self,
+        location: &WrittenLocation<K>,
+        f: impl FnOnce(&VersionedCell<V>) -> R,
+    ) -> Option<R> {
+        if let Some(cell) = self.interner.cell_by_id(location.id) {
+            return Some(f(cell));
+        }
+        self.interner
+            .lookup(&location.key)
+            .map(|entry| f(&entry.cell))
     }
 
     /// Replaces every entry written by `txn_idx`'s last finished incarnation with an
     /// ESTIMATE marker (`convert_writes_to_estimates`, Lines 43–46). Called by the
     /// thread that successfully aborted the incarnation, *before* the transaction is
-    /// re-scheduled for execution.
+    /// re-scheduled for execution. A pure flag store per location — the slot arrays
+    /// and the interner map are untouched.
     pub fn convert_writes_to_estimates(&self, txn_idx: TxnIndex) {
         let prev_locations = self.last_written_locations[txn_idx].load();
         for location in prev_locations.iter() {
-            let present = self.data.mutate_if_present(location, |tree| {
-                if let Some(entry) = tree.get_mut(&txn_idx) {
-                    *entry = EntryCell::Estimate;
-                }
-            });
+            let marked = self.with_cell_of(location, |cell| cell.mark_estimate(txn_idx));
             debug_assert!(
-                present.is_some(),
+                marked == Some(true),
                 "entry for a previously written location must exist"
             );
         }
     }
 
     /// Speculative read of `location` on behalf of transaction `txn_idx`
-    /// (`read`, Lines 47–54): returns the entry written by the highest transaction with
-    /// index strictly below `txn_idx`, a dependency if that entry is an ESTIMATE, or
-    /// `NotFound` if no lower transaction wrote the location.
-    pub fn read(&self, location: &K, txn_idx: TxnIndex) -> MVReadOutput<V> {
-        self.data.read_with(location, |tree| match tree {
-            None => MVReadOutput::NotFound,
-            Some(tree) => match tree.range(..txn_idx).next_back() {
-                None => MVReadOutput::NotFound,
-                Some((&idx, entry)) => match entry {
-                    EntryCell::Estimate => MVReadOutput::Dependency(idx),
-                    EntryCell::Write(incarnation, value) => {
-                        MVReadOutput::Versioned(Version::new(idx, *incarnation), Arc::clone(value))
-                    }
-                },
-            },
-        })
+    /// (`read`, Lines 47–54): returns the entry written by the highest transaction
+    /// with index strictly below `txn_idx`, a dependency if that entry is an
+    /// ESTIMATE, or `NotFound` if no lower transaction wrote the location.
+    ///
+    /// Returns an owned clone of the value; prefer [`read_with`](Self::read_with)
+    /// (no clone) or [`read_with_cache`](Self::read_with_cache) (worker hot path).
+    pub fn read(&self, location: &K, txn_idx: TxnIndex) -> MVReadOutput<V>
+    where
+        V: Clone,
+    {
+        self.read_with(location, txn_idx, |read| read.to_owned())
+    }
+
+    /// Closure-based speculative read: `f` receives the borrowed [`MVRead`] result,
+    /// avoiding any value clone or `Arc` reference-count bump. This is the path
+    /// validation uses when it must fall back to key lookup.
+    pub fn read_with<R>(
+        &self,
+        location: &K,
+        txn_idx: TxnIndex,
+        f: impl FnOnce(MVRead<'_, V>) -> R,
+    ) -> R {
+        match self.interner.lookup(location) {
+            None => f(MVRead::NotFound),
+            Some(interned) => f(Self::cell_read(&interned.cell, txn_idx)),
+        }
+    }
+
+    /// Hot-path speculative read through a per-worker [`LocationCache`]: resolves
+    /// the location with a local fast-hash lookup (interning it globally on the
+    /// block-wide first touch), then reads the lock-free cell. Returns the interned
+    /// id — callers stamp it into read-set descriptors so validation can skip key
+    /// hashing entirely.
+    pub fn read_with_cache(
+        &self,
+        cache: &mut LocationCache<K, V>,
+        location: &K,
+        txn_idx: TxnIndex,
+    ) -> (LocationId, MVReadOutput<V>)
+    where
+        V: Clone,
+    {
+        let interned = cache.resolve(&self.interner, location);
+        let output = Self::cell_read(&interned.cell, txn_idx).to_owned();
+        (interned.id, output)
     }
 
     /// Validates the read-set recorded by `txn_idx`'s last finished incarnation
     /// (`validate_read_set`, Lines 62–72): re-reads every location and compares the
     /// observed origin (version or storage) against the recorded descriptor.
+    ///
+    /// Descriptors recorded by the executor carry interned ids, so each re-read is a
+    /// lock-free registry lookup plus a cell read — no hashing, no shard lock, no
+    /// value clone.
     pub fn validate_read_set(&self, txn_idx: TxnIndex) -> bool {
         let prior_reads = self.last_read_set[txn_idx].load();
-        prior_reads.iter().all(|descriptor| {
-            match self.read(&descriptor.key, txn_idx) {
-                // Previously read entry is now an ESTIMATE: fail (Line 67).
-                MVReadOutput::Dependency(_) => false,
-                // Entry disappeared: only valid if the prior read also came from
-                // storage (Line 68–69).
-                MVReadOutput::NotFound => descriptor.origin == ReadOrigin::Storage,
-                // Entry present: must match the exact version observed before
-                // (Line 70–71; a prior storage read also fails here).
-                MVReadOutput::Versioned(version, _) => {
-                    descriptor.origin == ReadOrigin::MultiVersion(version)
-                }
-            }
+        prior_reads
+            .iter()
+            .all(|descriptor| self.descriptor_still_holds(descriptor, txn_idx))
+    }
+
+    fn descriptor_still_holds(&self, descriptor: &ReadDescriptor<K>, txn_idx: TxnIndex) -> bool {
+        self.read_descriptor_with(descriptor, txn_idx, |read| {
+            Self::origin_matches(read, descriptor.origin)
         })
+    }
+
+    /// Re-reads a descriptor's location: by interned id through the lock-free
+    /// registry when resolved (no hashing), falling back to key lookup otherwise.
+    /// Both validation and the dependency pre-check dispatch through here so the
+    /// two paths cannot diverge.
+    fn read_descriptor_with<R>(
+        &self,
+        descriptor: &ReadDescriptor<K>,
+        txn_idx: TxnIndex,
+        f: impl FnOnce(MVRead<'_, V>) -> R,
+    ) -> R {
+        if descriptor.id.is_resolved() {
+            if let Some(cell) = self.interner.cell_by_id(descriptor.id) {
+                return f(Self::cell_read(cell, txn_idx));
+            }
+        }
+        self.read_with(&descriptor.key, txn_idx, f)
+    }
+
+    fn origin_matches(read: MVRead<'_, V>, origin: ReadOrigin) -> bool {
+        match read {
+            // Previously read entry is now an ESTIMATE: fail (Line 67).
+            MVRead::Dependency(_) => false,
+            // Entry disappeared: only valid if the prior read also came from
+            // storage (Line 68–69).
+            MVRead::NotFound => origin == ReadOrigin::Storage,
+            // Entry present: must match the exact version observed before
+            // (Line 70–71; a prior storage read also fails here).
+            MVRead::Versioned(version, _) => origin == ReadOrigin::MultiVersion(version),
+        }
     }
 
     /// Returns the read-set recorded by the last finished incarnation of `txn_idx`.
@@ -249,7 +447,7 @@ where
     }
 
     /// Returns the locations written by the last finished incarnation of `txn_idx`.
-    pub fn last_written_locations(&self, txn_idx: TxnIndex) -> Arc<Vec<K>> {
+    pub fn last_written_locations(&self, txn_idx: TxnIndex) -> Arc<Vec<WrittenLocation<K>>> {
         self.last_written_locations[txn_idx].load()
     }
 
@@ -257,11 +455,16 @@ where
     /// marked as an ESTIMATE, if any, together with the blocking transaction index.
     /// This is the §4 mitigation for VMs that must restart from scratch: before paying
     /// for a full re-execution, cheaply check whether a known dependency is still
-    /// unresolved.
+    /// unresolved. Like validation, the scan runs on ids: registry lookups plus
+    /// lock-free cell reads.
     pub fn first_estimate_in_prior_reads(&self, txn_idx: TxnIndex) -> Option<(K, TxnIndex)> {
         let prior_reads = self.last_read_set[txn_idx].load();
         for descriptor in prior_reads.iter() {
-            if let MVReadOutput::Dependency(blocking) = self.read(&descriptor.key, txn_idx) {
+            let blocking = self.read_descriptor_with(descriptor, txn_idx, |read| match read {
+                MVRead::Dependency(blocking) => Some(blocking),
+                _ => None,
+            });
+            if let Some(blocking) = blocking {
                 return Some((descriptor.key.clone(), blocking));
             }
         }
@@ -271,25 +474,27 @@ where
     /// Produces the final per-location values after all transactions committed
     /// (`snapshot`, Lines 55–61): for every location touched during the block, the
     /// value written by the highest transaction. Locations whose highest entry is an
-    /// ESTIMATE (impossible after commit) are skipped, matching the paper's
-    /// `status = OK` filter.
+    /// ESTIMATE (impossible after commit) or that only ever held tombstones are
+    /// skipped, matching the paper's `status = OK` filter.
     pub fn snapshot(&self) -> Vec<(K, V)>
     where
         V: Clone,
     {
         let mut output = Vec::new();
-        for key in self.data.keys() {
-            if let MVReadOutput::Versioned(_, value) = self.read(&key, self.block_size) {
-                output.push((key, (*value).clone()));
+        self.interner.for_each(|key, cell| {
+            if let MVRead::Versioned(_, value) = Self::cell_read(cell, self.block_size) {
+                output.push((key.clone(), value.clone()));
             }
-        }
+        });
         output
     }
 
     /// Number of live `(location, txn_idx)` entries; exposed for tests and metrics.
     pub fn entry_count(&self) -> usize {
         let mut count = 0;
-        self.data.for_each(|_, tree| count += tree.len());
+        self.interner.for_each(|_, cell| {
+            count += cell.live_entries();
+        });
         count
     }
 }
@@ -318,23 +523,30 @@ mod tests {
         memory.record(Version::new(6, 0), vec![], vec![(10, 600)]);
 
         // tx5 must see tx3's write even though tx6 also wrote (paper's example).
-        match memory.read(&10, 5) {
-            MVReadOutput::Versioned(version, value) => {
-                assert_eq!(version, Version::new(3, 0));
-                assert_eq!(*value, 300);
-            }
-            other => panic!("unexpected read output {other:?}"),
-        }
+        assert_eq!(
+            memory.read(&10, 5),
+            MVReadOutput::Versioned(Version::new(3, 0), 300)
+        );
         // tx1 sees nothing (only writes by strictly lower transactions are visible).
         assert!(matches!(memory.read(&10, 1), MVReadOutput::NotFound));
         // tx2 sees tx1's write.
-        match memory.read(&10, 2) {
-            MVReadOutput::Versioned(version, value) => {
-                assert_eq!(version, Version::new(1, 0));
-                assert_eq!(*value, 100);
-            }
-            other => panic!("unexpected read output {other:?}"),
-        }
+        assert_eq!(
+            memory.read(&10, 2),
+            MVReadOutput::Versioned(Version::new(1, 0), 100)
+        );
+    }
+
+    #[test]
+    fn read_with_borrows_instead_of_cloning() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(3, 30)]);
+        let (version, doubled) = memory.read_with(&3, 2, |read| match read {
+            MVRead::Versioned(version, value) => (version, *value * 2),
+            other => panic!("unexpected {other:?}"),
+        });
+        assert_eq!(version, Version::new(0, 0));
+        assert_eq!(doubled, 60);
+        assert!(memory.read_with(&9, 2, |read| matches!(read, MVRead::NotFound)));
     }
 
     #[test]
@@ -357,13 +569,37 @@ mod tests {
         memory.record(Version::new(1, 1), vec![], vec![(2, 21)]);
         assert_eq!(memory.entry_count(), 1);
         assert!(matches!(memory.read(&1, 3), MVReadOutput::NotFound));
-        match memory.read(&2, 3) {
-            MVReadOutput::Versioned(version, value) => {
-                assert_eq!(version, Version::new(1, 1));
-                assert_eq!(*value, 21);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_eq!(
+            memory.read(&2, 3),
+            MVReadOutput::Versioned(Version::new(1, 1), 21)
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_write_set_apply_last_wins_once() {
+        // A duplicated key must publish exactly once per incarnation (the
+        // VersionedCell seqlock contract) with the last value winning, matching
+        // the old BTreeMap insert-overwrite semantics.
+        let memory = Memory::new(4);
+        let mut cache = LocationCache::new();
+        memory.record(Version::new(1, 0), vec![], vec![(5, 50), (5, 51), (6, 60)]);
+        assert_eq!(
+            memory.read(&5, 3),
+            MVReadOutput::Versioned(Version::new(1, 0), 51)
+        );
+        assert_eq!(memory.entry_count(), 2);
+        memory.record_with_cache(
+            &mut cache,
+            Version::new(1, 1),
+            vec![],
+            vec![(5, 52), (5, 53)],
+        );
+        assert_eq!(
+            memory.read(&5, 3),
+            MVReadOutput::Versioned(Version::new(1, 1), 53)
+        );
+        // Location 6 left the write-set: removed.
+        assert!(matches!(memory.read(&6, 3), MVReadOutput::NotFound));
     }
 
     #[test]
@@ -385,13 +621,10 @@ mod tests {
         memory.record(Version::new(1, 0), vec![], vec![(5, 50)]);
         memory.convert_writes_to_estimates(1);
         memory.record(Version::new(1, 1), vec![], vec![(5, 51)]);
-        match memory.read(&5, 2) {
-            MVReadOutput::Versioned(version, value) => {
-                assert_eq!(version, Version::new(1, 1));
-                assert_eq!(*value, 51);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_eq!(
+            memory.read(&5, 2),
+            MVReadOutput::Versioned(Version::new(1, 1), 51)
+        );
     }
 
     #[test]
@@ -509,13 +742,10 @@ mod tests {
             MVReadOutput::Dependency(blocking) => assert_eq!(blocking, 2),
             other => panic!("expected dependency on 2, got {other:?}"),
         }
-        match memory.read(&9, 7) {
-            MVReadOutput::Versioned(version, value) => {
-                assert_eq!(version, Version::new(5, 0));
-                assert_eq!(*value, 50);
-            }
-            other => panic!("expected txn 5's write, got {other:?}"),
-        }
+        assert_eq!(
+            memory.read(&9, 7),
+            MVReadOutput::Versioned(Version::new(5, 0), 50)
+        );
     }
 
     #[test]
@@ -555,13 +785,10 @@ mod tests {
         assert!(memory.last_written_locations(1).is_empty());
         // A fresh block records cleanly after the reset.
         memory.record(Version::new(0, 0), vec![], vec![(5, 51)]);
-        match memory.read(&5, 2) {
-            MVReadOutput::Versioned(version, value) => {
-                assert_eq!(version, Version::new(0, 0));
-                assert_eq!(*value, 51);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_eq!(
+            memory.read(&5, 2),
+            MVReadOutput::Versioned(Version::new(0, 0), 51)
+        );
 
         // Growing and shrinking across resets.
         memory.reset(8);
@@ -574,6 +801,55 @@ mod tests {
     }
 
     #[test]
+    fn reset_keeps_interned_locations_but_hides_their_old_values() {
+        let mut memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(5, 50)]);
+        assert_eq!(memory.interned_locations(), 1);
+        memory.reset(4);
+        // The interning survives (no re-hash next block) but the data is gone.
+        assert_eq!(memory.interned_locations(), 1);
+        assert!(matches!(memory.read(&5, 3), MVReadOutput::NotFound));
+        assert!(memory.snapshot().is_empty());
+    }
+
+    #[test]
+    fn cached_reads_and_records_agree_with_uncached_paths() {
+        let memory = Memory::new(8);
+        let mut cache = LocationCache::new();
+        // Record through the cache, as the executor does.
+        memory.record_with_cache(&mut cache, Version::new(1, 0), vec![], vec![(10, 100)]);
+        let (id_first, out_first) = memory.read_with_cache(&mut cache, &10, 5);
+        assert_eq!(out_first, MVReadOutput::Versioned(Version::new(1, 0), 100));
+        assert!(id_first.is_resolved());
+        // The uncached read sees the same state.
+        assert_eq!(memory.read(&10, 5), out_first);
+        // And the id is stable across repeated cached reads.
+        let (id_again, _) = memory.read_with_cache(&mut cache, &10, 5);
+        assert_eq!(id_first, id_again);
+        let stats = cache.stats();
+        assert_eq!(stats.interner_misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn interned_descriptors_validate_without_key_fallback() {
+        let memory = Memory::new(8);
+        let mut cache = LocationCache::new();
+        memory.record_with_cache(&mut cache, Version::new(0, 0), vec![], vec![(7, 70)]);
+        let (id, out) = memory.read_with_cache(&mut cache, &7, 2);
+        let version = match out {
+            MVReadOutput::Versioned(version, _) => version,
+            other => panic!("unexpected {other:?}"),
+        };
+        let descriptor = ReadDescriptor::from_version(7, version).with_location(id);
+        memory.record_with_cache(&mut cache, Version::new(2, 0), vec![descriptor], vec![]);
+        assert!(memory.validate_read_set(2));
+        // The id-based path notices the version change like the key path would.
+        memory.record_with_cache(&mut cache, Version::new(0, 1), vec![], vec![(7, 71)]);
+        assert!(!memory.validate_read_set(2));
+    }
+
+    #[test]
     fn concurrent_recorders_and_readers_do_not_lose_writes() {
         use std::sync::Arc as StdArc;
         let memory = StdArc::new(Memory::new(64));
@@ -581,8 +857,10 @@ mod tests {
             .map(|t| {
                 let memory = StdArc::clone(&memory);
                 std::thread::spawn(move || {
+                    let mut cache = LocationCache::new();
                     for txn in (t..64).step_by(8) {
-                        memory.record(
+                        memory.record_with_cache(
+                            &mut cache,
                             Version::new(txn, 0),
                             vec![],
                             vec![(txn as u64 % 16, txn as u64)],
@@ -599,7 +877,7 @@ mod tests {
             match memory.read(&location, 64) {
                 MVReadOutput::Versioned(version, value) => {
                     assert_eq!(version.txn_idx as u64 % 16, location);
-                    assert_eq!(*value, version.txn_idx as u64);
+                    assert_eq!(value, version.txn_idx as u64);
                     // The highest txn writing `location` is location + 48.
                     assert_eq!(version.txn_idx as u64, location + 48);
                 }

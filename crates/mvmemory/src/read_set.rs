@@ -1,5 +1,6 @@
 //! Read-set descriptors.
 
+use crate::interner::LocationId;
 use block_stm_vm::Version;
 
 /// Where a speculative read obtained its value from.
@@ -17,10 +18,18 @@ pub enum ReadOrigin {
 
 /// One entry of an incarnation's read-set: which location was read and what version
 /// served it.
+///
+/// Descriptors produced on the executor's hot path also carry the location's
+/// interned [`LocationId`], which lets validation and dependency re-checks resolve
+/// the location through the lock-free id registry instead of re-hashing the key.
+/// Descriptors built by hand (tests, external tooling) default to
+/// [`LocationId::UNRESOLVED`] and are validated through the key-lookup fallback.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadDescriptor<K> {
     /// The location read.
     pub key: K,
+    /// The interned id of `key`, or [`LocationId::UNRESOLVED`].
+    pub id: LocationId,
     /// The observed origin (version or storage).
     pub origin: ReadOrigin,
 }
@@ -30,6 +39,7 @@ impl<K> ReadDescriptor<K> {
     pub fn from_version(key: K, version: Version) -> Self {
         Self {
             key,
+            id: LocationId::UNRESOLVED,
             origin: ReadOrigin::MultiVersion(version),
         }
     }
@@ -38,8 +48,15 @@ impl<K> ReadDescriptor<K> {
     pub fn from_storage(key: K) -> Self {
         Self {
             key,
+            id: LocationId::UNRESOLVED,
             origin: ReadOrigin::Storage,
         }
+    }
+
+    /// Attaches the interned location id (executor hot path).
+    pub fn with_location(mut self, id: LocationId) -> Self {
+        self.id = id;
+        self
     }
 
     /// Returns the observed version, or `None` for storage reads.
@@ -70,5 +87,13 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn hand_built_descriptors_are_unresolved() {
+        assert!(!ReadDescriptor::from_storage(1u64).id.is_resolved());
+        assert!(!ReadDescriptor::from_version(1u64, Version::new(0, 0))
+            .id
+            .is_resolved());
     }
 }

@@ -1,0 +1,228 @@
+//! Property-based model test: the lock-free two-level `MVMemory` must behave
+//! exactly like a trivial sequential reference model under arbitrary interleaved
+//! record / re-record (with implicit removals) / estimate sequences, observed
+//! through every `(location, reader)` pair after every step.
+//!
+//! The reference model is the paper's semantics written in the most obvious way: a
+//! map of per-location `BTreeMap<txn, entry>` search trees. If the interner, the id
+//! registry, the RCU slot arrays, tombstoning or compaction ever diverge from those
+//! semantics, some read observes it and shrinking produces a minimal op sequence.
+
+use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput};
+use block_stm_vm::Version;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const KEYS: u64 = 6;
+const TXNS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// The next incarnation of `txn` records this write-set (locations the previous
+    /// incarnation wrote but this one does not are removed, per Algorithm 2).
+    Record { txn: usize, writes: Vec<(u64, u64)> },
+    /// Abort `txn`'s last finished incarnation: its writes become ESTIMATEs.
+    Estimate { txn: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..TXNS, vec((0..KEYS, any::<u64>()), 0..4))
+            .prop_map(|(txn, writes)| Op::Record { txn, writes }),
+        (0..TXNS).prop_map(|txn| Op::Estimate { txn }),
+    ]
+}
+
+/// One model entry: the writer's incarnation plus the value, or `None` for an
+/// ESTIMATE marker.
+type ModelEntry = (usize, Option<u64>);
+
+/// The sequential reference: per-location ordered maps, per-transaction write-set
+/// bookkeeping, applied single-threadedly.
+#[derive(Default)]
+struct Model {
+    data: BTreeMap<u64, BTreeMap<usize, ModelEntry>>,
+    last_written: Vec<Vec<u64>>,
+    incarnations: Vec<usize>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Self {
+            data: BTreeMap::new(),
+            last_written: vec![Vec::new(); TXNS],
+            incarnations: vec![0; TXNS],
+        }
+    }
+
+    fn record(&mut self, txn: usize, writes: &[(u64, u64)]) -> usize {
+        let incarnation = self.incarnations[txn];
+        self.incarnations[txn] += 1;
+        for (key, value) in writes {
+            self.data
+                .entry(*key)
+                .or_default()
+                .insert(txn, (incarnation, Some(*value)));
+        }
+        let new_keys: Vec<u64> = writes.iter().map(|(key, _)| *key).collect();
+        let prev = std::mem::replace(&mut self.last_written[txn], new_keys.clone());
+        for unwritten in prev.iter().filter(|key| !new_keys.contains(key)) {
+            if let Some(tree) = self.data.get_mut(unwritten) {
+                tree.remove(&txn);
+            }
+        }
+        incarnation
+    }
+
+    fn estimate(&mut self, txn: usize) {
+        for key in &self.last_written[txn] {
+            if let Some(entry) = self.data.get_mut(key).and_then(|tree| tree.get_mut(&txn)) {
+                entry.1 = None;
+            }
+        }
+    }
+
+    fn read(&self, key: u64, bound: usize) -> MVReadOutput<u64> {
+        match self
+            .data
+            .get(&key)
+            .and_then(|tree| tree.range(..bound).next_back())
+        {
+            None => MVReadOutput::NotFound,
+            Some((&txn, (_, None))) => MVReadOutput::Dependency(txn),
+            Some((&txn, (incarnation, Some(value)))) => {
+                MVReadOutput::Versioned(Version::new(txn, *incarnation), *value)
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (key, _) in self.data.iter() {
+            if let MVReadOutput::Versioned(_, value) = self.read(*key, TXNS) {
+                out.push((*key, value));
+            }
+        }
+        out
+    }
+
+    fn entry_count(&self) -> usize {
+        self.data.values().map(BTreeMap::len).sum()
+    }
+}
+
+fn assert_all_reads_match(
+    model: &Model,
+    memory: &MVMemory<u64, u64>,
+    cache: &mut LocationCache<u64, u64>,
+    step: usize,
+) -> Result<(), TestCaseError> {
+    for key in 0..KEYS {
+        for bound in 0..=TXNS {
+            let expected = model.read(key, bound);
+            // Exercise both the interner path and the worker-cache path.
+            let uncached = memory.read(&key, bound);
+            let (_, cached) = memory.read_with_cache(cache, &key, bound);
+            // The shim's prop_assert_eq takes no format args; encode the context in
+            // a tuple so a failure still names the step and read.
+            prop_assert_eq!(
+                (step, key, bound, "uncached", &uncached),
+                (step, key, bound, "uncached", &expected)
+            );
+            prop_assert_eq!(
+                (step, key, bound, "cached", &cached),
+                (step, key, bound, "cached", &expected)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mvmemory_matches_sequential_reference_model(ops in vec(arb_op(), 1..40)) {
+        let memory: MVMemory<u64, u64> = MVMemory::new(TXNS);
+        let mut cache = LocationCache::new();
+        let mut model = Model::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Record { txn, writes } => {
+                    let incarnation = model.record(*txn, writes);
+                    // Alternate between the plain and cache-threaded record paths.
+                    if step % 2 == 0 {
+                        memory.record(
+                            Version::new(*txn, incarnation),
+                            vec![],
+                            writes.clone(),
+                        );
+                    } else {
+                        memory.record_with_cache(
+                            &mut cache,
+                            Version::new(*txn, incarnation),
+                            vec![],
+                            writes.clone(),
+                        );
+                    }
+                }
+                Op::Estimate { txn } => {
+                    model.estimate(*txn);
+                    memory.convert_writes_to_estimates(*txn);
+                }
+            }
+            assert_all_reads_match(&model, &memory, &mut cache, step)?;
+        }
+        let mut snapshot = memory.snapshot();
+        snapshot.sort_unstable();
+        prop_assert_eq!(snapshot, model.snapshot());
+        prop_assert_eq!(memory.entry_count(), model.entry_count());
+    }
+
+    #[test]
+    fn model_equivalence_survives_block_resets(
+        first in vec(arb_op(), 1..20),
+        second in vec(arb_op(), 1..20),
+    ) {
+        // The reset must hide every previous-block value while recycling cells and
+        // keeping interning; the second block must then behave like a fresh memory.
+        let mut memory: MVMemory<u64, u64> = MVMemory::new(TXNS);
+        let mut model = Model::new();
+        let cache: LocationCache<u64, u64> = LocationCache::new();
+        for op in &first {
+            match op {
+                Op::Record { txn, writes } => {
+                    let incarnation = model.record(*txn, writes);
+                    memory.record(Version::new(*txn, incarnation), vec![], writes.clone());
+                }
+                Op::Estimate { txn } => {
+                    model.estimate(*txn);
+                    memory.convert_writes_to_estimates(*txn);
+                }
+            }
+        }
+        drop(cache); // caches must not outlive the block
+        memory.reset(TXNS);
+        let mut model = Model::new();
+        let mut cache = LocationCache::new();
+        for (step, op) in second.iter().enumerate() {
+            match op {
+                Op::Record { txn, writes } => {
+                    let incarnation = model.record(*txn, writes);
+                    memory.record_with_cache(
+                        &mut cache,
+                        Version::new(*txn, incarnation),
+                        vec![],
+                        writes.clone(),
+                    );
+                }
+                Op::Estimate { txn } => {
+                    model.estimate(*txn);
+                    memory.convert_writes_to_estimates(*txn);
+                }
+            }
+            assert_all_reads_match(&model, &memory, &mut cache, step)?;
+        }
+    }
+}

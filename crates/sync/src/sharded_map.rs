@@ -10,12 +10,18 @@
 //! The API is closure-based (`read_with`, `mutate`) rather than guard-based so that
 //! callers cannot accidentally hold a shard lock across a long computation such as a
 //! VM execution.
+//!
+//! Hashing defaults to [`FxBuildHasher`]: keys are process-internal access paths, so
+//! SipHash's flooding resistance buys nothing while its latency sits on the hot
+//! path. The hasher is a type parameter (`ShardedMap<K, V, S>`) so benchmarks can
+//! still instantiate the historical SipHash flavor (`ShardedMap<K, V, RandomState>`)
+//! for old-vs-new comparisons.
 
+use crate::fxhash::FxBuildHasher;
 use crate::padded::CachePadded;
 use parking_lot::RwLock;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash};
 
 /// Default number of shards; chosen to comfortably exceed the thread counts used in
 /// the paper's evaluation (up to 32) so that shard contention is negligible.
@@ -27,33 +33,37 @@ pub const DEFAULT_SHARDS: usize = 256;
 /// cache line: shard locks are taken (and therefore written) by every reader, and
 /// false sharing between hot shards measurably hurts read-heavy workloads.
 #[derive(Debug)]
-pub struct ShardedMap<K, V> {
-    shards: Vec<CachePadded<RwLock<HashMap<K, V>>>>,
+pub struct ShardedMap<K, V, S = FxBuildHasher> {
+    shards: Vec<CachePadded<RwLock<HashMap<K, V, S>>>>,
+    hasher: S,
     mask: usize,
 }
 
-impl<K, V> Default for ShardedMap<K, V>
+impl<K, V, S> Default for ShardedMap<K, V, S>
 where
     K: Hash + Eq,
+    S: BuildHasher + Default,
 {
     fn default() -> Self {
         Self::new(DEFAULT_SHARDS)
     }
 }
 
-impl<K, V> ShardedMap<K, V>
+impl<K, V, S> ShardedMap<K, V, S>
 where
     K: Hash + Eq,
+    S: BuildHasher + Default,
 {
     /// Creates a map with `shard_count` shards (rounded up to the next power of two,
     /// minimum 1).
     pub fn new(shard_count: usize) -> Self {
         let count = shard_count.max(1).next_power_of_two();
         let shards = (0..count)
-            .map(|_| CachePadded::new(RwLock::new(HashMap::new())))
+            .map(|_| CachePadded::new(RwLock::new(HashMap::with_hasher(S::default()))))
             .collect();
         Self {
             shards,
+            hasher: S::default(),
             mask: count - 1,
         }
     }
@@ -63,10 +73,11 @@ where
         self.shards.len()
     }
 
-    fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        let index = (hasher.finish() as usize) & self.mask;
+    fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V, S>> {
+        // Shard on the HIGH half of the hash: the per-shard hash maps consume the
+        // low bits for bucket selection, so using them for sharding too would make
+        // every co-sharded key collide into the same probe chain.
+        let index = ((self.hasher.hash_one(key) >> 32) as usize) & self.mask;
         &self.shards[index]
     }
 
@@ -98,6 +109,25 @@ where
         V: Clone,
     {
         self.read_with(key, |v| v.cloned())
+    }
+
+    /// Returns a clone of the value under `key`, inserting `make()` first if the key
+    /// is absent. The second component reports whether the insert happened (the
+    /// interner's "first touch" signal). `make` runs under the shard's write lock and
+    /// must therefore be short and must not touch this map.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> (V, bool)
+    where
+        V: Clone,
+    {
+        let mut guard = self.shard_for(&key).write();
+        match guard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => (entry.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let value = make();
+                entry.insert(value.clone());
+                (value, true)
+            }
+        }
     }
 
     /// Applies `f` to a mutable reference of the value under `key`, inserting
@@ -193,13 +223,21 @@ mod tests {
 
     #[test]
     fn insert_get_remove_roundtrip() {
-        let map = ShardedMap::new(8);
+        let map: ShardedMap<&str, i32> = ShardedMap::new(8);
         assert_eq!(map.insert("a", 1), None);
         assert_eq!(map.insert("a", 2), Some(1));
         assert!(map.contains_key(&"a"));
         assert_eq!(map.get_cloned(&"a"), Some(2));
         assert_eq!(map.remove(&"a"), Some(2));
         assert!(map.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_reports_first_touch() {
+        let map: ShardedMap<u32, u32> = ShardedMap::new(4);
+        assert_eq!(map.get_or_insert_with(7, || 70), (70, true));
+        assert_eq!(map.get_or_insert_with(7, || 99), (70, false));
+        assert_eq!(map.get_cloned(&7), Some(70));
     }
 
     #[test]
@@ -243,7 +281,7 @@ mod tests {
 
     #[test]
     fn keys_and_for_each_cover_all_entries() {
-        let map = ShardedMap::new(16);
+        let map: ShardedMap<u32, u32> = ShardedMap::new(16);
         for i in 0..100u32 {
             map.insert(i, i * 2);
         }
@@ -258,7 +296,7 @@ mod tests {
 
     #[test]
     fn retain_filters_entries() {
-        let map = ShardedMap::new(4);
+        let map: ShardedMap<u32, u32> = ShardedMap::new(4);
         for i in 0..50u32 {
             map.insert(i, i);
         }
@@ -270,7 +308,7 @@ mod tests {
 
     #[test]
     fn clear_empties_map() {
-        let map = ShardedMap::new(4);
+        let map: ShardedMap<u32, ()> = ShardedMap::new(4);
         for i in 0..10u32 {
             map.insert(i, ());
         }
@@ -319,7 +357,7 @@ mod tests {
 
     #[test]
     fn concurrent_writers_to_distinct_keys() {
-        let map = Arc::new(ShardedMap::new(32));
+        let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new(32));
         let handles: Vec<_> = (0..8u64)
             .map(|t| {
                 let map = Arc::clone(&map);

@@ -1,0 +1,421 @@
+//! Lock-free RCU snapshot pointers with quiescence-deferred reclamation.
+//!
+//! [`SnapshotPtr`] is the read-side primitive behind the multi-version memory's
+//! lock-free hot path: a pointer to an immutable snapshot that readers load with a
+//! single `Acquire` atomic load (no lock, no reference-count traffic) and writers
+//! replace by publishing a freshly built snapshot. It is the "RCU" of the paper's §3.2
+//! ("storing a pointer to the set and accessing the pointer atomically, i.e. via
+//! read-copy-update") taken to its logical conclusion — where [`RcuCell`](crate::RcuCell)
+//! trades a lock acquisition per `load` for `Arc` convenience, `SnapshotPtr` makes the
+//! read side entirely wait-free.
+//!
+//! # Reclamation model
+//!
+//! Classic RCU needs a grace period before a retired snapshot can be freed. This
+//! workspace has a natural one: the per-block data structures are drained between
+//! blocks, when the executor holds `&mut` access (see `MVMemory::reset`). `SnapshotPtr`
+//! therefore *parks* replaced snapshots on an internal lock-free stack instead of
+//! freeing them, and reclaims the whole stack in [`quiesce`](SnapshotPtr::quiesce) /
+//! [`set`](SnapshotPtr::set) / `Drop` — all of which require exclusive access.
+//! Garbage is bounded by the number of publishes within one block, which Block-STM
+//! already bounds by the number of incarnations.
+//!
+//! Snapshots live in intrusive nodes: the `next` link used by the retired stack is
+//! allocated together with the value, so parking a replaced snapshot is a pointer
+//! push, not an allocation. Quiescing does not return nodes to the allocator either:
+//! it drops the parked *values* in place and moves the nodes onto a **free pool**,
+//! from which later publishes pop their node instead of calling `malloc`. In steady
+//! state (block after block through `MVMemory::reset`) the hot path therefore
+//! allocates only while a block sets a new high-water mark of publishes, and the
+//! per-block quiesce is pointer relinking plus `drop` of the values — not a burst
+//! of scattered frees. This matters most on the re-execution path, where every
+//! re-record republishes slot values.
+//!
+//! # Why this module contains `unsafe`
+//!
+//! Safe Rust cannot hand out `&T` borrows of a value owned behind an `AtomicPtr`;
+//! crates like `arc-swap` exist precisely because this requires a reclamation
+//! protocol. The protocol here is deliberately the simplest sound one (defer until
+//! exclusive access) rather than hazard pointers or epochs.
+//!
+//! # Soundness argument
+//!
+//! 1. `current` always points to a live `Node<T>` allocation with an **initialized**
+//!    value: it is initialized from an allocation holding a just-written value and
+//!    only ever replaced by another such pointer (`publish`, `set`). Nodes on the
+//!    `retired` stack are likewise initialized; nodes on the `free` pool have had
+//!    their value dropped and hold only spare capacity.
+//! 2. A replaced `current` node is never freed (or reused) by `&self` methods:
+//!    `publish` pushes it onto the `retired` stack through the node's own atomic
+//!    `next` link, where it stays alive and initialized. The push writes only the
+//!    `next` field — the `value` field readers borrow is untouched (and `next` is an
+//!    atomic, so the store is defined even while other threads hold references into
+//!    the node).
+//! 3. References returned by [`load`](SnapshotPtr::load) borrow `self`. The only
+//!    operations that drop parked values or free memory — [`quiesce`](SnapshotPtr::quiesce),
+//!    [`set`](SnapshotPtr::set) and `Drop` — take `&mut self` (or ownership), so the
+//!    borrow checker proves no `load` reference is alive when values die.
+//! 4. The Treiber push CAS loop owns the retired node until the CAS succeeds; a
+//!    successful CAS transfers ownership to the stack. Concurrent pushes are
+//!    linearized by the CAS on `retired`. The `free` pool is push-only under
+//!    `&mut self` and pop-only under `&self`: pops never race a push, so the classic
+//!    Treiber ABA window (a popped node re-pushed mid-CAS) cannot occur.
+//! 5. `Send`/`Sync`: `SnapshotPtr<T>` owns `T` values and hands out `&T` to other
+//!    threads, so it is `Sync` iff `T: Send + Sync` and `Send` iff `T: Send`, the
+//!    same bounds an `RwLock<T>`-based design would impose.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// An intrusive snapshot node: the published value plus the link the retired stack
+/// and free pool reuse once the node is replaced.
+///
+/// `value` is initialized for the current node and every retired node, and
+/// uninitialized (dropped) for nodes on the free pool — see the module's soundness
+/// argument, point 1.
+struct Node<T> {
+    value: MaybeUninit<T>,
+    /// Null while the node is current; the retired/free stack link afterwards.
+    /// Atomic so pushes can store through a shared reference while readers hold
+    /// `&value`.
+    next: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    fn boxed(value: T) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            value: MaybeUninit::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// An atomically replaceable, lock-free-readable snapshot pointer.
+///
+/// `load` is a single `Acquire` pointer load; `publish` swaps in a new heap snapshot
+/// and parks the old one until [`quiesce`](Self::quiesce) (or drop) frees it under
+/// exclusive access. See the module docs for the full reclamation contract.
+pub struct SnapshotPtr<T> {
+    current: AtomicPtr<Node<T>>,
+    /// Parked snapshots (initialized values) awaiting the next quiescent point.
+    retired: AtomicPtr<Node<T>>,
+    /// Spare node allocations (values dropped); popped by `publish`.
+    free: AtomicPtr<Node<T>>,
+}
+
+// SAFETY: see soundness argument point 5 in the module docs.
+unsafe impl<T: Send + Sync> Sync for SnapshotPtr<T> {}
+unsafe impl<T: Send> Send for SnapshotPtr<T> {}
+
+impl<T> SnapshotPtr<T> {
+    /// Creates a pointer whose initial snapshot is `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            current: AtomicPtr::new(Node::boxed(value)),
+            retired: AtomicPtr::new(ptr::null_mut()),
+            free: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Returns a reference to the current snapshot.
+    ///
+    /// Wait-free: one `Acquire` load. The reference stays valid for the lifetime of
+    /// the `&self` borrow even if another thread publishes a replacement concurrently
+    /// (the replaced snapshot is parked, not freed).
+    #[inline]
+    pub fn load(&self) -> &T {
+        // SAFETY: `current` is always a live node with an initialized value (module
+        // docs, points 1–3), and the returned borrow cannot outlive `self` while
+        // any value-dropping operation requires `&mut self`.
+        unsafe {
+            (*self.current.load(Ordering::Acquire))
+                .value
+                .assume_init_ref()
+        }
+    }
+
+    /// Publishes `value` as the new snapshot; the previous snapshot is parked until
+    /// the next quiescent point. Reuses a pooled node when one is available —
+    /// steady-state publishes are allocation-free — and parking never allocates.
+    /// Callers that race publish full snapshots each; the last swap wins and every
+    /// loser is parked, never leaked or double-freed.
+    pub fn publish(&self, value: T) {
+        let new = match self.pop_free() {
+            Some(node) => {
+                // SAFETY: free-pool nodes are exclusively owned by this thread after
+                // a successful pop and their value slot is uninitialized (module
+                // docs, points 1 and 4): writing a fresh value is a plain init.
+                unsafe {
+                    (*node).value.write(value);
+                    (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+                }
+                node
+            }
+            None => Node::boxed(value),
+        };
+        let old = self.current.swap(new, Ordering::AcqRel);
+        self.park(old);
+    }
+
+    /// Pops a spare node from the free pool. Pops never race pushes (pushes require
+    /// `&mut self`), so the CAS loop is ABA-free.
+    fn pop_free(&self) -> Option<*mut Node<T>> {
+        loop {
+            let head = self.free.load(Ordering::Acquire);
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: nodes on the free pool are live allocations; `next` is only
+            // written by pushes, which cannot run concurrently (they take `&mut`).
+            let next = unsafe { (*head).next.load(Ordering::Relaxed) };
+            if self
+                .free
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(head);
+            }
+        }
+    }
+
+    /// Pushes a replaced node onto the retired stack (Treiber push).
+    fn park(&self, node: *mut Node<T>) {
+        // SAFETY: `node` was just detached from `current` by this thread, which now
+        // owns it exclusively apart from readers' `&value` borrows; storing to the
+        // atomic `next` field does not touch `value` (module docs, point 2).
+        let next = unsafe { &(*node).next };
+        loop {
+            let head = self.retired.load(Ordering::Relaxed);
+            next.store(head, Ordering::Relaxed);
+            if self
+                .retired
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Mutable access to the current snapshot under exclusive access (readers
+    /// cannot exist). Does not free parked garbage; pair with
+    /// [`quiesce`](Self::quiesce).
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: `current` is a live `Box<Node<T>>` and `&mut self` excludes all
+        // concurrent loads and publishes.
+        unsafe {
+            (*self.current.load(Ordering::Acquire))
+                .value
+                .assume_init_mut()
+        }
+    }
+
+    /// Replaces the snapshot under exclusive access, dropping the previous value
+    /// and retiring all parked garbage to the free pool (no readers can exist).
+    pub fn set(&mut self, value: T) {
+        let new = Node::boxed(value);
+        let old = self.current.swap(new, Ordering::AcqRel);
+        // SAFETY: `&mut self` proves no outstanding `load` borrows; `old` is a live
+        // node with an initialized value, owned solely by us after the swap.
+        unsafe {
+            (*old).value.assume_init_drop();
+            self.push_free(old);
+        }
+        self.quiesce();
+    }
+
+    /// Drops every parked snapshot **value** and moves the nodes to the free pool
+    /// for reuse; no memory is returned to the allocator. Requires `&mut self`,
+    /// which proves no reader holds a reference into the garbage (all `load`
+    /// borrows have ended).
+    pub fn quiesce(&mut self) {
+        let mut head = self.retired.swap(ptr::null_mut(), Ordering::Acquire);
+        while !head.is_null() {
+            // SAFETY: retired nodes are exclusively owned by the stack, initialized,
+            // and `&mut self` excludes concurrent pushes, pops and readers.
+            unsafe {
+                let next = (*head).next.load(Ordering::Relaxed);
+                (*head).value.assume_init_drop();
+                self.push_free(head);
+                head = next;
+            }
+        }
+    }
+
+    /// Pushes a value-dropped node onto the free pool. Only callable with exclusive
+    /// access (all callers hold `&mut self`), upholding the pop-only-vs-push-only
+    /// split of the pool.
+    fn push_free(&mut self, node: *mut Node<T>) {
+        let head = self.free.load(Ordering::Relaxed);
+        // SAFETY: `node` is exclusively owned and its value slot is uninitialized.
+        unsafe { (*node).next.store(head, Ordering::Relaxed) };
+        self.free.store(node, Ordering::Release);
+    }
+
+    /// Number of parked snapshots (diagnostics/tests only; takes `&mut self` so the
+    /// count is exact).
+    pub fn retired_len(&mut self) -> usize {
+        let mut count = 0;
+        let mut head = self.retired.load(Ordering::Acquire);
+        while !head.is_null() {
+            count += 1;
+            // SAFETY: `&mut self` excludes concurrent pushes/pops; nodes are live
+            // until quiesced.
+            head = unsafe { (*head).next.load(Ordering::Relaxed) };
+        }
+        count
+    }
+
+    /// Number of pooled spare nodes (diagnostics/tests only).
+    pub fn pooled_len(&mut self) -> usize {
+        let mut count = 0;
+        let mut head = self.free.load(Ordering::Acquire);
+        while !head.is_null() {
+            count += 1;
+            // SAFETY: `&mut self` excludes concurrent pops; nodes are live.
+            head = unsafe { (*head).next.load(Ordering::Relaxed) };
+        }
+        count
+    }
+}
+
+impl<T> Drop for SnapshotPtr<T> {
+    fn drop(&mut self) {
+        // Retired values must be dropped; quiesce moves the nodes to the pool so a
+        // single pool walk can free everything.
+        self.quiesce();
+        let current = self.current.load(Ordering::Acquire);
+        // SAFETY: owning drop; `current` is initialized with no outstanding
+        // borrows, and pooled nodes hold no live values.
+        unsafe {
+            (*current).value.assume_init_drop();
+            drop(Box::from_raw(current));
+        }
+        let mut head = self.free.load(Ordering::Acquire);
+        while !head.is_null() {
+            // SAFETY: pooled nodes are exclusively owned, values already dropped;
+            // `MaybeUninit` performs no drop of its contents.
+            unsafe {
+                let node = Box::from_raw(head);
+                head = node.next.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SnapshotPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SnapshotPtr").field(self.load()).finish()
+    }
+}
+
+impl<T: Default> Default for SnapshotPtr<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_returns_latest_exclusive_set() {
+        let mut ptr = SnapshotPtr::new(vec![1, 2]);
+        assert_eq!(*ptr.load(), vec![1, 2]);
+        ptr.set(vec![3]);
+        assert_eq!(*ptr.load(), vec![3]);
+        assert_eq!(ptr.retired_len(), 0);
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut ptr = SnapshotPtr::new(vec![1u32]);
+        ptr.get_mut().push(2);
+        assert_eq!(*ptr.load(), vec![1, 2]);
+        assert_eq!(ptr.retired_len(), 0);
+    }
+
+    #[test]
+    fn publish_parks_old_snapshots_until_quiesce() {
+        let mut ptr = SnapshotPtr::new(0u64);
+        for i in 1..=10 {
+            ptr.publish(i);
+        }
+        assert_eq!(*ptr.load(), 10);
+        assert_eq!(ptr.retired_len(), 10);
+        ptr.quiesce();
+        assert_eq!(ptr.retired_len(), 0);
+        assert_eq!(*ptr.load(), 10);
+    }
+
+    #[test]
+    fn reader_survives_concurrent_publish() {
+        let ptr = SnapshotPtr::new(String::from("first"));
+        let snapshot = ptr.load();
+        ptr.publish(String::from("second"));
+        // The old snapshot is parked, not freed: the borrow is still valid.
+        assert_eq!(snapshot, "first");
+        assert_eq!(ptr.load(), "second");
+    }
+
+    #[test]
+    fn drop_frees_current_and_garbage() {
+        struct CountsDrops(Arc<AtomicUsize>);
+        impl Drop for CountsDrops {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let ptr = SnapshotPtr::new(CountsDrops(Arc::clone(&drops)));
+        for _ in 0..5 {
+            ptr.publish(CountsDrops(Arc::clone(&drops)));
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(ptr);
+        assert_eq!(drops.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn concurrent_publishers_and_readers_never_tear() {
+        // Snapshots are (a, b) pairs with b == a * 7; readers must never observe a
+        // torn pair, and parked garbage must keep old borrows valid.
+        let ptr = Arc::new(SnapshotPtr::new((0u64, 0u64)));
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let ptr = Arc::clone(&ptr);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let a = t * 10_000 + i;
+                        ptr.publish((a, a * 7));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let ptr = Arc::clone(&ptr);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        let (a, b) = *ptr.load();
+                        assert_eq!(b, a * 7, "torn snapshot ({a}, {b})");
+                    }
+                })
+            })
+            .collect();
+        for handle in writers.into_iter().chain(readers) {
+            handle.join().unwrap();
+        }
+        let mut ptr = Arc::into_inner(ptr).expect("all clones joined");
+        assert_eq!(ptr.retired_len(), 8_000);
+        ptr.quiesce();
+        assert_eq!(ptr.retired_len(), 0);
+    }
+}

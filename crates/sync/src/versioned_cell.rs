@@ -1,0 +1,585 @@
+//! Lock-free multi-version cells: one per memory location.
+//!
+//! The paper describes MVMemory's data map as "a concurrent hashmap over access
+//! paths, with lock-protected search trees for efficient txn_idx-based look-ups"
+//! (§4). [`VersionedCell`] replaces the lock-protected search tree with a lock-free
+//! design tuned for Block-STM's actual access pattern:
+//!
+//! * **Reads dominate** and must find the highest writer below a transaction index:
+//!   the cell publishes an immutable, sorted slot array via [`SnapshotPtr`], so a
+//!   read is an atomic pointer load plus a binary search — no lock, no allocation,
+//!   no reference-count traffic.
+//! * **Re-execution rewrites the same slots**: a transaction that re-executes after
+//!   an abort almost always writes the same locations again. Rewriting an owned slot
+//!   is an in-place publish of the new value plus one `Release` store of the slot's
+//!   packed `(incarnation, tag)` state word — the slot array is untouched.
+//! * **ESTIMATE marking and removal are flag stores**, not tree mutations: aborting
+//!   an incarnation flips the owned slots' tag to `ESTIMATE`; an incarnation that
+//!   stops writing a location tombstones its slot with the `EMPTY` tag.
+//! * Only a **structural insert** — the first time a transaction ever writes the
+//!   location — takes the cell's short mutex to publish a new slot array. Slots are
+//!   `Arc`-shared between array versions, so concurrent in-place writes through an
+//!   older array are never lost. Rebuilds **compact**: tombstoned slots are dropped,
+//!   so array length (and rebuild cost) tracks the number of *live* writers of the
+//!   location, not the all-time churn of write-sets.
+//!
+//! # Concurrency contract
+//!
+//! Per slot there is at most one mutator at a time: Block-STM's scheduler serializes
+//! the incarnations of one transaction, and only the thread that executed (or
+//! aborted) incarnation `i` touches transaction `i`'s entries. Readers are
+//! unrestricted. Each slot is a single-writer seqlock over the packed state word
+//! `(incarnation << 2) | tag`. A write publishes in three steps — state to
+//! `(incarnation, WRITING)`, value pointer, state to `(incarnation, VALUE)` with
+//! `Release` — and a reader loads the state, the value, then the state again,
+//! accepting only two identical non-`WRITING` states. That pairing is exact:
+//!
+//! * every value publish is sandwiched between two stores of its own incarnation's
+//!   state words, and incarnations never repeat within a block, so a reader that
+//!   loaded a *newer* value than its state claims must observe a different state on
+//!   the re-check (the value load's `Acquire` makes the preceding `WRITING` store
+//!   visible) and retries;
+//! * conversely, an accepted state word's `Release` store makes its own value
+//!   publish visible, so the loaded value is never *older* than the state claims;
+//! * a reader retries only while a writer is mid-publish on that very slot, which the
+//!   single-writer rule makes rare and short.
+//!
+//! Replaced slot arrays and values are parked inside their [`SnapshotPtr`]s and freed
+//! at the block boundary ([`VersionedCell::reset`], `&mut self`), so readers never
+//! dereference freed memory — see `snapshot_ptr`'s soundness argument.
+
+use crate::snapshot_ptr::SnapshotPtr;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tag bits of the packed slot state word.
+const TAG_MASK: usize = 0b11;
+/// The slot holds a value written by the tagged incarnation.
+const TAG_VALUE: usize = 0;
+/// The slot is an ESTIMATE marker left by an aborted incarnation.
+const TAG_ESTIMATE: usize = 1;
+/// The slot was tombstoned: a later incarnation stopped writing the location.
+const TAG_EMPTY: usize = 2;
+/// A value publish is in flight (seqlock in-progress marker); readers retry.
+const TAG_WRITING: usize = 3;
+
+#[inline]
+const fn pack(incarnation: usize, tag: usize) -> usize {
+    (incarnation << 2) | tag
+}
+
+/// One `(transaction, location)` entry: a single-writer seqlock over an RCU value.
+struct Slot<V> {
+    txn_idx: usize,
+    /// `(incarnation << 2) | tag`; strictly monotonic, written with `Release`.
+    state: AtomicUsize,
+    value: SnapshotPtr<V>,
+}
+
+impl<V> Slot<V> {
+    #[inline]
+    fn state(&self) -> usize {
+        self.state.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn publish_state(&self, state: usize) {
+        self.state.store(state, Ordering::Release);
+    }
+
+    /// The seqlock write protocol: in-progress marker, value, final state word.
+    /// The `WRITING` store is what lets readers reject a newer value paired with an
+    /// older state when two writes follow each other with no estimate in between.
+    #[inline]
+    fn publish_in_place(&self, incarnation: usize, value: V) {
+        self.publish_state(pack(incarnation, TAG_WRITING));
+        self.value.publish(value);
+        self.publish_state(pack(incarnation, TAG_VALUE));
+    }
+}
+
+/// Result of [`VersionedCell::read`]: the highest live entry strictly below the
+/// requested transaction index.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CellRead<'a, V> {
+    /// The highest lower entry is a value written by `(txn_idx, incarnation)`.
+    Value {
+        /// Index of the writing transaction.
+        txn_idx: usize,
+        /// Incarnation that produced the value.
+        incarnation: usize,
+        /// The written value, borrowed from the cell (valid for the cell borrow).
+        value: &'a V,
+    },
+    /// The highest lower entry is an ESTIMATE marker left by `txn_idx`.
+    Estimate {
+        /// Index of the transaction whose abort left the marker.
+        txn_idx: usize,
+    },
+    /// No transaction below the bound currently writes this location.
+    Missing,
+}
+
+/// A lock-free multi-version cell for one memory location. See the module docs for
+/// the design and the single-writer-per-slot contract.
+pub struct VersionedCell<V> {
+    /// Sorted (by `txn_idx`) array of `Arc`-shared slots, RCU-published.
+    slots: SnapshotPtr<Vec<Arc<Slot<V>>>>,
+    /// Serializes structural inserts (slot-array replacement) only.
+    structural: Mutex<()>,
+}
+
+impl<V> Default for VersionedCell<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> VersionedCell<V> {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self {
+            slots: SnapshotPtr::new(Vec::new()),
+            structural: Mutex::new(()),
+        }
+    }
+
+    #[inline]
+    fn find(slots: &[Arc<Slot<V>>], txn_idx: usize) -> Option<&Arc<Slot<V>>> {
+        slots
+            .binary_search_by(|slot| slot.txn_idx.cmp(&txn_idx))
+            .ok()
+            .map(|pos| &slots[pos])
+    }
+
+    /// Builds a new sorted array from `slots` with `insert` added, dropping
+    /// tombstoned slots (compaction). Dropping an `EMPTY` slot cannot lose a write:
+    /// only the slot's own transaction can revive it, and revivals take the
+    /// structural mutex (see [`write`](Self::write)), so they are serialized with
+    /// this rebuild.
+    fn rebuilt_with(slots: &[Arc<Slot<V>>], insert: Arc<Slot<V>>) -> Vec<Arc<Slot<V>>> {
+        let mut new = Vec::with_capacity(slots.len() + 1);
+        let mut pending = Some(insert);
+        for slot in slots {
+            if let Some(inserting) = &pending {
+                debug_assert_ne!(slot.txn_idx, inserting.txn_idx);
+                if slot.txn_idx > inserting.txn_idx {
+                    new.push(pending.take().expect("checked above"));
+                }
+            }
+            if slot.state() & TAG_MASK != TAG_EMPTY {
+                new.push(Arc::clone(slot));
+            }
+        }
+        if let Some(inserting) = pending {
+            new.push(inserting);
+        }
+        new
+    }
+
+    /// Publishes `value` as the write of `(txn_idx, incarnation)`.
+    ///
+    /// Callers must publish **at most once per `(txn_idx, incarnation)`** (dedup
+    /// write-sets first): a second publish would repeat an identical state word and
+    /// reopen the seqlock pairing ambiguity the `WRITING` marker closes.
+    ///
+    /// In-place (lock-free) when the transaction already owns a **live** slot — the
+    /// common re-execution case. Reviving a tombstoned slot or inserting a new one
+    /// takes the structural mutex: a compacting rebuild may only drop `EMPTY`
+    /// slots, and the mutex serializes it against the one thread (the slot's own
+    /// transaction) that could concurrently flip that slot live again — without
+    /// it, a rebuild could capture the slot as `EMPTY`, race the revival, and
+    /// publish an array that silently drops the revived write. Returns `true` if a
+    /// structural insert was performed.
+    pub fn write(&self, txn_idx: usize, incarnation: usize, value: V) -> bool {
+        let slots = self.slots.load();
+        if let Some(slot) = Self::find(slots, txn_idx) {
+            // Only this transaction tombstones or revives its slot, so the tag
+            // observed here is stable until we act on it.
+            if slot.state() & TAG_MASK != TAG_EMPTY {
+                slot.publish_in_place(incarnation, value);
+                return false;
+            }
+        }
+        let _guard = self.structural.lock();
+        // Re-load under the lock: a structural rebuild may have republished (or
+        // compacted the tombstoned slot out of) the array.
+        let slots = self.slots.load();
+        match slots.binary_search_by(|slot| slot.txn_idx.cmp(&txn_idx)) {
+            Ok(pos) => {
+                // Revival (or a slot that appeared since the optimistic check):
+                // in place, serialized with rebuilds by the mutex.
+                slots[pos].publish_in_place(incarnation, value);
+                false
+            }
+            Err(_) => {
+                let slot = Arc::new(Slot {
+                    txn_idx,
+                    state: AtomicUsize::new(pack(incarnation, TAG_VALUE)),
+                    value: SnapshotPtr::new(value),
+                });
+                let new = Self::rebuilt_with(slots, slot);
+                self.slots.publish(new);
+                true
+            }
+        }
+    }
+
+    /// Flips `txn_idx`'s slot to an ESTIMATE marker (dependency hint for readers).
+    /// Returns `false` if the transaction holds no slot (callers treat that as an
+    /// accounting bug and `debug_assert` on it).
+    pub fn mark_estimate(&self, txn_idx: usize) -> bool {
+        match Self::find(self.slots.load(), txn_idx) {
+            Some(slot) => {
+                // Single mutator per slot: plain read-modify-write is race-free.
+                let state = slot.state();
+                slot.publish_state((state & !TAG_MASK) | TAG_ESTIMATE);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tombstones `txn_idx`'s slot: incarnation `removing_incarnation` of the same
+    /// transaction no longer writes this location. Returns `false` if no slot exists.
+    ///
+    /// The tombstone carries the *removing* incarnation so the state word stays
+    /// monotonic (`pack(k, ESTIMATE) < pack(k + 1, EMPTY) < pack(k + 2, VALUE)`).
+    pub fn remove(&self, txn_idx: usize, removing_incarnation: usize) -> bool {
+        match Self::find(self.slots.load(), txn_idx) {
+            Some(slot) => {
+                slot.publish_state(pack(removing_incarnation, TAG_EMPTY));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the highest live entry strictly below `bound` (Algorithm 2's `read`):
+    /// a value, an ESTIMATE dependency, or [`CellRead::Missing`].
+    ///
+    /// Lock-free: snapshot load + binary search; per candidate slot a seqlock read
+    /// that retries only while that slot's single writer is mid-publish.
+    pub fn read(&self, bound: usize) -> CellRead<'_, V> {
+        let slots = self.slots.load();
+        let mut pos = slots.partition_point(|slot| slot.txn_idx < bound);
+        while pos > 0 {
+            pos -= 1;
+            let slot = &slots[pos];
+            loop {
+                let s1 = slot.state();
+                match s1 & TAG_MASK {
+                    TAG_EMPTY => break, // tombstone: fall through to the next lower slot
+                    TAG_ESTIMATE => {
+                        return CellRead::Estimate {
+                            txn_idx: slot.txn_idx,
+                        }
+                    }
+                    TAG_WRITING => {
+                        // The slot's writer is mid-publish; its store is a handful
+                        // of instructions away.
+                        std::hint::spin_loop();
+                    }
+                    _ => {
+                        let value = slot.value.load();
+                        if slot.state() == s1 {
+                            return CellRead::Value {
+                                txn_idx: slot.txn_idx,
+                                incarnation: s1 >> 2,
+                                value,
+                            };
+                        }
+                        // A writer replaced the value mid-read: retry this slot.
+                    }
+                }
+            }
+        }
+        CellRead::Missing
+    }
+
+    /// Number of live (non-tombstoned) entries; used by tests and metrics.
+    pub fn live_entries(&self) -> usize {
+        self.slots
+            .load()
+            .iter()
+            .filter(|slot| slot.state() & TAG_MASK != TAG_EMPTY)
+            .count()
+    }
+
+    /// Current slot-array length including tombstones (diagnostics).
+    pub fn slot_count(&self) -> usize {
+        self.slots.load().len()
+    }
+
+    /// Re-arms the cell for the next block and frees all parked garbage. `&mut
+    /// self` is the quiescent point: no reader can hold a borrow into the cell.
+    ///
+    /// The slot array is **kept** and every slot tombstoned in place: the next
+    /// block's transactions overwhelmingly write the same locations, and a write
+    /// into a kept slot is an in-place revival — it briefly takes the structural
+    /// mutex (as every revival does) but performs no array rebuild and no slot
+    /// allocation. (Resetting a state word downwards is safe only here, where
+    /// `&mut` guarantees no concurrent reader — the per-slot state ordering the
+    /// seqlock relies on is a per-epoch property.) Slots pinned by a leaked
+    /// external reference force a full rebuild of the array instead.
+    pub fn reset(&mut self) {
+        self.slots.quiesce();
+        let slots = self.slots.get_mut();
+        let all_exclusive = slots.iter().all(|slot| Arc::strong_count(slot) == 1);
+        if all_exclusive {
+            for shared in slots.iter_mut() {
+                let slot = Arc::get_mut(shared).expect("strong_count checked above");
+                *slot.state.get_mut() = pack(0, TAG_EMPTY);
+                // The last block's value stays allocated (recycled storage, never
+                // readable behind the EMPTY tag); parked replacements are freed.
+                slot.value.quiesce();
+            }
+        } else {
+            self.slots.set(Vec::new());
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for VersionedCell<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let slots = self.slots.load();
+        let mut map = f.debug_map();
+        for slot in slots.iter() {
+            let state = slot.state();
+            let tag = match state & TAG_MASK {
+                TAG_VALUE => "value",
+                TAG_ESTIMATE => "estimate",
+                TAG_WRITING => "writing",
+                _ => "empty",
+            };
+            map.entry(&slot.txn_idx, &format_args!("inc {} {tag}", state >> 2));
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn empty_cell_reads_missing() {
+        let cell: VersionedCell<u64> = VersionedCell::new();
+        assert_eq!(cell.read(5), CellRead::Missing);
+        assert_eq!(cell.live_entries(), 0);
+    }
+
+    #[test]
+    fn read_returns_highest_lower_entry() {
+        let cell = VersionedCell::new();
+        assert!(cell.write(1, 0, 100u64));
+        assert!(cell.write(3, 0, 300));
+        assert!(cell.write(6, 0, 600));
+        match cell.read(5) {
+            CellRead::Value {
+                txn_idx,
+                incarnation,
+                value,
+            } => {
+                assert_eq!((txn_idx, incarnation, *value), (3, 0, 300));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cell.read(1), CellRead::Missing);
+        assert!(matches!(
+            cell.read(usize::MAX),
+            CellRead::Value { txn_idx: 6, .. }
+        ));
+    }
+
+    #[test]
+    fn rewrite_is_in_place_and_bumps_incarnation() {
+        let cell = VersionedCell::new();
+        assert!(cell.write(2, 0, 10u64)); // structural
+        assert!(!cell.write(2, 1, 11)); // in place
+        match cell.read(4) {
+            CellRead::Value {
+                incarnation, value, ..
+            } => {
+                assert_eq!(incarnation, 1);
+                assert_eq!(*value, 11);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cell.slot_count(), 1);
+    }
+
+    #[test]
+    fn estimate_and_tombstone_transitions() {
+        let cell = VersionedCell::new();
+        cell.write(2, 0, 20u64);
+        assert!(cell.mark_estimate(2));
+        assert_eq!(cell.read(5), CellRead::Estimate { txn_idx: 2 });
+        // The writer itself looks below its own index: no entry.
+        assert_eq!(cell.read(2), CellRead::Missing);
+        // Next incarnation stops writing the location.
+        assert!(cell.remove(2, 1));
+        assert_eq!(cell.read(5), CellRead::Missing);
+        assert_eq!(cell.live_entries(), 0);
+        // A later incarnation writes it again: in place, no structural churn.
+        assert!(!cell.write(2, 2, 22));
+        assert!(matches!(
+            cell.read(5),
+            CellRead::Value { incarnation: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn tombstones_are_skipped_during_reads() {
+        let cell = VersionedCell::new();
+        cell.write(1, 0, 1u64);
+        cell.write(4, 0, 4);
+        cell.remove(4, 1);
+        match cell.read(6) {
+            CellRead::Value { txn_idx, value, .. } => {
+                assert_eq!((txn_idx, *value), (1, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_slots_reject_estimate_and_remove() {
+        let cell: VersionedCell<u64> = VersionedCell::new();
+        assert!(!cell.mark_estimate(3));
+        assert!(!cell.remove(3, 1));
+    }
+
+    #[test]
+    fn reset_clears_slots() {
+        let mut cell = VersionedCell::new();
+        for txn in 0..8 {
+            cell.write(txn, 0, txn as u64);
+        }
+        assert_eq!(cell.slot_count(), 8);
+        cell.reset();
+        // Slots are kept (tombstoned) so the next block revives them in place.
+        assert_eq!(cell.slot_count(), 8);
+        assert_eq!(cell.live_entries(), 0);
+        assert_eq!(cell.read(8), CellRead::Missing);
+        assert!(!cell.write(1, 0, 9), "revival is in place, not structural");
+        assert_eq!(cell.live_entries(), 1);
+        match cell.read(5) {
+            CellRead::Value {
+                txn_idx,
+                incarnation,
+                value,
+            } => assert_eq!((txn_idx, incarnation, *value), (1, 0, 9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The satellite stress test: 8 threads (4 single-writer mutators, 4 readers)
+    /// race publishes, estimates, tombstones and reads. Readers assert the seqlock
+    /// invariant — an observed `(incarnation, value)` pair is always consistent —
+    /// which fails loudly if value/state publication ever tears.
+    #[test]
+    fn eight_thread_publish_read_races_stay_consistent() {
+        const TXNS_PER_WRITER: usize = 4;
+        const ROUNDS: usize = 300;
+        let cell: Arc<VersionedCell<u64>> = Arc::new(VersionedCell::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // value = txn * 1_000_000 + incarnation: readers can re-derive the expected
+        // value from the version they observed.
+        let writers: Vec<_> = (0..4usize)
+            .map(|w| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    // Writer w exclusively owns transactions w, 4+w, 8+w, 12+w —
+                    // the module's single-mutator-per-slot contract.
+                    for round in 0..ROUNDS {
+                        for t in 0..TXNS_PER_WRITER {
+                            let txn = t * 4 + w;
+                            let incarnation = round * 3;
+                            cell.write(txn, incarnation, (txn * 1_000_000 + incarnation) as u64);
+                            cell.mark_estimate(txn);
+                            let next = incarnation + 1;
+                            if round % 5 == w % 5 {
+                                cell.remove(txn, next);
+                            } else {
+                                cell.write(txn, next, (txn * 1_000_000 + next) as u64);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4usize)
+            .map(|r| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut observed = 0u64;
+                    let mut bound = r + 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        match cell.read(bound) {
+                            CellRead::Value {
+                                txn_idx,
+                                incarnation,
+                                value,
+                            } => {
+                                assert!(txn_idx < bound);
+                                assert_eq!(
+                                    *value,
+                                    (txn_idx * 1_000_000 + incarnation) as u64,
+                                    "torn (version, value) pair"
+                                );
+                                observed += 1;
+                            }
+                            CellRead::Estimate { txn_idx } => assert!(txn_idx < bound),
+                            CellRead::Missing => {}
+                        }
+                        bound = bound % 16 + 1;
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut total_observed = 0;
+        for reader in readers {
+            total_observed += reader.join().unwrap();
+        }
+        assert!(total_observed > 0, "readers never observed a value");
+        // Final state is deterministic per txn: last round had incarnation 3*(ROUNDS-1)+1
+        // either written or tombstoned.
+        let final_inc = (ROUNDS - 1) * 3 + 1;
+        for txn in 0..16 {
+            let w = txn % 4;
+            let removed = (ROUNDS - 1) % 5 == w % 5;
+            match cell.read(txn + 1) {
+                CellRead::Value {
+                    txn_idx,
+                    incarnation,
+                    value,
+                } => {
+                    if removed {
+                        // Tombstoned: the read falls through to a lower live slot.
+                        assert!(txn_idx < txn, "txn {txn} should be tombstoned");
+                        assert_eq!(*value, (txn_idx * 1_000_000 + incarnation) as u64);
+                    } else {
+                        assert_eq!(txn_idx, txn);
+                        assert_eq!(incarnation, final_inc);
+                        assert_eq!(*value, (txn * 1_000_000 + final_inc) as u64);
+                    }
+                }
+                CellRead::Missing => {
+                    assert!(removed, "txn {txn} should hold its final write");
+                }
+                other => panic!("txn {txn}: unexpected final state {other:?}"),
+            }
+        }
+    }
+}

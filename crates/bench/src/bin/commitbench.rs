@@ -1,0 +1,252 @@
+//! Commit-ladder benchmark: rolling commit (ladder on, the default) vs the seed's
+//! batch-at-the-end completion (ladder off), plus commit-lag percentiles.
+//!
+//! Three workloads bracket the ladder's behavior:
+//!
+//! * `read-heavy` — a low-conflict block over a wide key universe with a zero-work
+//!   gas schedule, so the numbers isolate *engine* overhead: the ladder must not
+//!   cost throughput here (its drain is a watermark compare per loop iteration, and
+//!   the committed-prefix fast path removes descriptor recording for settled
+//!   reads);
+//! * `long_chain` — every transaction depends on transaction 0 (mass
+//!   re-validation behind the hub; the wave bookkeeping's stress case);
+//! * `commit_stall` — a conflict-free block whose transaction 0 burns real gas:
+//!   everything validates immediately but must wait to commit, maximizing commit
+//!   lag.
+//!
+//! Ladder-on rows additionally report the commit-lag distribution (p50/p99, in
+//! transactions), measured in a separate instrumented pass through a `CommitSink`
+//! so the throughput rows stay sink-free on both sides.
+//!
+//! Run with `cargo run -p block-stm-bench --release --bin commitbench`.
+//! Set `BLOCK_STM_BENCH_QUICK=1` for a fast smoke-test grid. Baselines are recorded
+//! via `scripts/record-baseline.sh commitbench`.
+
+use block_stm::{BlockStmBuilder, CommitEvent, CommitSink, GasSchedule, Vm};
+use block_stm_bench::quick_mode;
+use block_stm_storage::InMemoryStorage;
+use block_stm_vm::synthetic::SyntheticTransaction;
+use block_stm_workloads::{CommitStallWorkload, LongChainWorkload, SyntheticWorkload};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Collects per-commit lags for the percentile pass.
+#[derive(Default)]
+struct LagSink {
+    lags: Mutex<Vec<usize>>,
+}
+
+impl CommitSink<u64, u64> for LagSink {
+    fn on_commit(&self, event: &CommitEvent<'_, u64, u64>) {
+        self.lags.lock().push(event.commit_lag());
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CommitbenchMeasurement {
+    workload: String,
+    mode: String,
+    threads: usize,
+    blocks: usize,
+    block_size: usize,
+    tps: f64,
+    avg_block_ms: f64,
+    /// Commit-lag percentiles in transactions (ladder-on rows only; 0 otherwise).
+    lag_p50: usize,
+    lag_p99: usize,
+    lag_max: usize,
+    /// `ladder-on tps / ladder-off tps`; filled on the `ladder-on` row.
+    speedup_vs_ladder_off: f64,
+}
+
+fn tsv_header() -> &'static str {
+    "workload\tmode\tthreads\tblocks\tblock_size\ttps\tavg_block_ms\tlag_p50\tlag_p99\tlag_max\tspeedup_vs_ladder_off"
+}
+
+impl CommitbenchMeasurement {
+    fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.3}\t{}\t{}\t{}\t{:.2}",
+            self.workload,
+            self.mode,
+            self.threads,
+            self.blocks,
+            self.block_size,
+            self.tps,
+            self.avg_block_ms,
+            self.lag_p50,
+            self.lag_p99,
+            self.lag_max,
+            self.speedup_vs_ladder_off,
+        )
+    }
+}
+
+fn percentile(sorted: &[usize], pct: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * pct / 100.0).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Average seconds per block over `blocks` consecutive executions on one executor.
+fn timed_blocks(
+    executor: &block_stm::BlockStm,
+    block: &[SyntheticTransaction],
+    storage: &InMemoryStorage<u64, u64>,
+    blocks: usize,
+) -> f64 {
+    executor.execute_block(block, storage).expect("warm-up");
+    let start = Instant::now();
+    for _ in 0..blocks {
+        executor
+            .execute_block(block, storage)
+            .expect("block executes");
+    }
+    start.elapsed().as_secs_f64() / blocks as f64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_workload(
+    results: &mut Vec<CommitbenchMeasurement>,
+    name: &str,
+    block: &[SyntheticTransaction],
+    storage: &InMemoryStorage<u64, u64>,
+    gas: GasSchedule,
+    threads: usize,
+    blocks: usize,
+) {
+    let ladder_off = BlockStmBuilder::new(Vm::new(gas))
+        .concurrency(threads)
+        .rolling_commit(false)
+        .build();
+    let off_avg = timed_blocks(&ladder_off, block, storage, blocks);
+    drop(ladder_off);
+
+    let ladder_on = BlockStmBuilder::new(Vm::new(gas))
+        .concurrency(threads)
+        .build();
+    let on_avg = timed_blocks(&ladder_on, block, storage, blocks);
+    drop(ladder_on);
+
+    // Separate instrumented pass for the lag distribution (one block is enough —
+    // the workloads are deterministic; the sink adds its own cost, so the pass is
+    // excluded from the throughput rows).
+    let sink = Arc::new(LagSink::default());
+    let instrumented = BlockStmBuilder::new(Vm::new(gas))
+        .concurrency(threads)
+        .commit_sink::<u64, u64>(sink.clone())
+        .build();
+    instrumented
+        .execute_block(block, storage)
+        .expect("instrumented block executes");
+    let mut lags = std::mem::take(&mut *sink.lags.lock());
+    lags.sort_unstable();
+
+    for (mode, avg, lag_stats, speedup) in [
+        ("ladder-off", off_avg, None, 1.0),
+        ("ladder-on", on_avg, Some(&lags), off_avg / on_avg),
+    ] {
+        let (lag_p50, lag_p99, lag_max) = match lag_stats {
+            Some(lags) => (
+                percentile(lags, 50.0),
+                percentile(lags, 99.0),
+                lags.last().copied().unwrap_or(0),
+            ),
+            None => (0, 0, 0),
+        };
+        let row = CommitbenchMeasurement {
+            workload: name.to_string(),
+            mode: mode.to_string(),
+            threads,
+            blocks,
+            block_size: block.len(),
+            tps: block.len() as f64 / avg,
+            avg_block_ms: avg * 1_000.0,
+            lag_p50,
+            lag_p99,
+            lag_max,
+            speedup_vs_ladder_off: speedup,
+        };
+        println!("{}", row.tsv_row());
+        results.push(row);
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4)
+        .max(2);
+    let blocks = if quick { 4 } else { 30 };
+    let block_size = if quick { 400 } else { 2_000 };
+
+    println!(
+        "# commitbench: rolling commit ladder on vs off, {threads} threads, \
+         {blocks} blocks per mode, {block_size} txns per block"
+    );
+    println!("{}", tsv_header());
+    let mut results = Vec::new();
+
+    // read-heavy: wide key universe, mostly reads, zero-work gas — pure engine
+    // overhead. The acceptance bar: ladder-on must not be slower here.
+    let read_heavy = SyntheticWorkload {
+        num_keys: 4 * block_size as u64,
+        block_size,
+        max_reads: 6,
+        max_writes: 1,
+        conditional_write_pct: 0,
+        abort_pct: 0,
+        extra_gas: 0,
+        seed: 0xC0117,
+    };
+    let storage: InMemoryStorage<u64, u64> = read_heavy.initial_state().into_iter().collect();
+    let block = read_heavy.generate_block();
+    measure_workload(
+        &mut results,
+        "read-heavy",
+        &block,
+        &storage,
+        GasSchedule::zero_work(),
+        threads,
+        blocks,
+    );
+
+    // long_chain: everything re-validates behind the hub transaction.
+    let chain = LongChainWorkload::new(block_size);
+    let storage: InMemoryStorage<u64, u64> = chain.initial_state().into_iter().collect();
+    let block = chain.generate_block();
+    measure_workload(
+        &mut results,
+        "long_chain",
+        &block,
+        &storage,
+        GasSchedule::zero_work(),
+        threads,
+        blocks,
+    );
+
+    // commit_stall: conflict-free, but txn 0 burns real gas — maximal commit lag.
+    let stall =
+        CommitStallWorkload::front_staller(block_size, if quick { 20_000 } else { 100_000 });
+    let storage: InMemoryStorage<u64, u64> = stall.initial_state().into_iter().collect();
+    let block = stall.generate_block();
+    measure_workload(
+        &mut results,
+        "commit_stall",
+        &block,
+        &storage,
+        GasSchedule::benchmark(),
+        threads,
+        blocks.min(10),
+    );
+
+    println!(
+        "# json: {}",
+        serde_json::to_string(&results).expect("measurements serialize")
+    );
+}

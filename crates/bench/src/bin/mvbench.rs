@@ -164,7 +164,11 @@ impl MvImpl for InternedCell {
     const NAME: &'static str = "interned-cell";
 
     fn read(&mut self, key: u64, txn: usize) -> u64 {
-        match self.memory.read_with_cache(&mut self.cache, &key, txn).1 {
+        match self
+            .memory
+            .read_with_cache(&mut self.cache, &key, txn)
+            .output
+        {
             MVReadOutput::NotFound => 0,
             MVReadOutput::Dependency(idx) => 1 ^ (idx as u64) << 1,
             MVReadOutput::Versioned(version, value) => {

@@ -98,19 +98,19 @@ fn main() {
     // thread and (b) inside a spawned scope thread, to separate scheduler cost from
     // threading cost.
     for spawned in [false, true] {
-        use block_stm_scheduler::{Scheduler, TaskKind};
+        use block_stm_scheduler::{Scheduler, Task, TaskKind};
         let metrics = ExecutionMetrics::new();
         let mvmemory: MVMemory<_, _> = MVMemory::new(n);
         let scheduler = Scheduler::new(n);
         let start = Instant::now();
         let body = || {
             let cache = RefCell::new(LocationCache::new());
-            let mut task = None;
+            let mut task: Option<Task> = None;
             while !scheduler.done() {
                 task = match task {
                     Some(t) => {
-                        let (version, kind): (Version, TaskKind) = t;
-                        match kind {
+                        let version: Version = t.version;
+                        match t.kind {
                             TaskKind::Execution => {
                                 let view = MVHashMapView::new(
                                     &mvmemory,
@@ -133,13 +133,11 @@ fn main() {
                                             read_set,
                                             write_set,
                                         );
-                                        scheduler
-                                            .finish_execution(
-                                                version.txn_idx,
-                                                version.incarnation,
-                                                wrote,
-                                            )
-                                            .map(|t| (t.version, t.kind))
+                                        scheduler.finish_execution(
+                                            version.txn_idx,
+                                            version.incarnation,
+                                            wrote,
+                                        )
                                     }
                                     VmStatus::ReadError { .. } => unreachable!(),
                                 }
@@ -152,13 +150,16 @@ fn main() {
                                 if aborted {
                                     mvmemory.convert_writes_to_estimates(version.txn_idx);
                                 }
-                                scheduler
-                                    .finish_validation(version.txn_idx, aborted)
-                                    .map(|t| (t.version, t.kind))
+                                scheduler.finish_validation(
+                                    version.txn_idx,
+                                    version.incarnation,
+                                    t.wave,
+                                    aborted,
+                                )
                             }
                         }
                     }
-                    None => scheduler.next_task().map(|t| (t.version, t.kind)),
+                    None => scheduler.next_task(),
                 };
             }
         };

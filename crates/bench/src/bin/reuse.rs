@@ -7,7 +7,7 @@
 //! multi-version memory, scheduler arrays and output slots — is a measurable fraction
 //! of the block time. The `reused` mode builds one [`BlockStm`] and hands it every
 //! block (workers park in between, arenas are reset in place); the `fresh` mode
-//! builds and drops an executor per block, which is what the deprecated one-shot
+//! builds and drops an executor per block, which is what the removed one-shot
 //! `ParallelExecutor` flow effectively paid.
 //!
 //! Gas is `zero_work` so the numbers isolate *engine* cost: with heavy VM work the

@@ -13,6 +13,9 @@
 use crate::config::ExecutorOptions;
 use crate::errors::{ExecutionError, PanicCollector};
 use crate::executor::BlockExecutor;
+use crate::hooks::{
+    BlockLimiter, CommitSink, ErasedBlockLimiter, ErasedCommitSink, LimiterAdapter, SinkAdapter,
+};
 use crate::output::BlockOutput;
 use crate::view::MVHashMapView;
 use block_stm_metrics::{ExecutionMetrics, MetricsSnapshot};
@@ -27,6 +30,7 @@ use std::cell::RefCell;
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Builder for [`BlockStm`]: the VM plus every tuning knob of [`ExecutorOptions`].
 ///
@@ -39,10 +43,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 ///     .build();
 /// assert_eq!(executor.concurrency(), 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct BlockStmBuilder {
     vm: Vm,
     options: ExecutorOptions,
+    sink: Option<Arc<dyn ErasedCommitSink>>,
+    limiter: Option<Arc<dyn ErasedBlockLimiter>>,
+}
+
+impl Debug for BlockStmBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStmBuilder")
+            .field("options", &self.options)
+            .field("has_commit_sink", &self.sink.is_some())
+            .field("has_block_limiter", &self.limiter.is_some())
+            .finish()
+    }
 }
 
 impl BlockStmBuilder {
@@ -52,12 +68,19 @@ impl BlockStmBuilder {
         Self {
             vm,
             options: ExecutorOptions::default(),
+            sink: None,
+            limiter: None,
         }
     }
 
     /// Starts a builder from a pre-assembled [`ExecutorOptions`].
     pub fn from_options(vm: Vm, options: ExecutorOptions) -> Self {
-        Self { vm, options }
+        Self {
+            vm,
+            options,
+            sink: None,
+            limiter: None,
+        }
     }
 
     /// Sets the worker-thread count (`0` = one per available core, capped at 32).
@@ -78,9 +101,71 @@ impl BlockStmBuilder {
         self
     }
 
+    /// Toggles the scheduler's rolling commit ladder (on by default). Disabling it
+    /// restores the seed behavior — outputs materialize only when the whole block
+    /// settles — and is incompatible with streaming hooks.
+    pub fn rolling_commit(mut self, enabled: bool) -> Self {
+        self.options.rolling_commit = enabled;
+        self
+    }
+
     /// Sets the multi-version memory shard count.
     pub fn mvmemory_shards(mut self, shards: usize) -> Self {
         self.options.mvmemory_shards = Some(shards);
+        self
+    }
+
+    /// Attaches a [`CommitSink`]: committed `(txn_idx, output)` pairs are delivered
+    /// to it **in preset order, exactly once each**, while the rest of the block is
+    /// still executing. The sink is typed by the state model it consumes; executing
+    /// a block with different `(Key, Value)` types reports
+    /// [`ExecutionError::HookStateModelMismatch`].
+    ///
+    /// ```
+    /// use block_stm::{BlockStmBuilder, CommitEvent, CommitSink, Vm};
+    /// use parking_lot::Mutex;
+    /// use std::sync::Arc;
+    ///
+    /// #[derive(Default)]
+    /// struct Collect(Mutex<Vec<usize>>);
+    /// impl CommitSink<u64, u64> for Collect {
+    ///     fn on_commit(&self, event: &CommitEvent<'_, u64, u64>) {
+    ///         self.0.lock().push(event.txn_idx);
+    ///     }
+    /// }
+    ///
+    /// let sink = Arc::new(Collect::default());
+    /// let executor = BlockStmBuilder::new(Vm::for_testing())
+    ///     .concurrency(2)
+    ///     .commit_sink::<u64, u64>(sink.clone())
+    ///     .build();
+    /// # let storage: block_stm_storage::InMemoryStorage<u64, u64> =
+    /// #     (0..4u64).map(|k| (k, k)).collect();
+    /// # let block: Vec<block_stm_vm::synthetic::SyntheticTransaction> =
+    /// #     (0..8).map(|i| block_stm_vm::synthetic::SyntheticTransaction::increment(i % 4)).collect();
+    /// executor.execute_block(&block, &storage).unwrap();
+    /// assert_eq!(*sink.0.lock(), (0..8).collect::<Vec<_>>());
+    /// ```
+    pub fn commit_sink<K, V>(mut self, sink: Arc<dyn CommitSink<K, V>>) -> Self
+    where
+        K: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        self.sink = Some(Arc::new(SinkAdapter { sink }));
+        self
+    }
+
+    /// Attaches a [`BlockLimiter`]: it sees each committed output in order and can
+    /// cut the block at that committed boundary (see
+    /// [`BlockGasLimit`](crate::BlockGasLimit) for the canonical block-gas-limit
+    /// use). Transactions past the cut are cleanly excluded — the block output
+    /// equals a sequential execution of the truncated block.
+    pub fn block_limiter<K, V>(mut self, limiter: Arc<dyn BlockLimiter<K, V>>) -> Self
+    where
+        K: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        self.limiter = Some(Arc::new(LimiterAdapter { limiter }));
         self
     }
 
@@ -94,6 +179,8 @@ impl BlockStmBuilder {
             // `in_place_scope`), so the pool itself needs one thread fewer.
             pool: WorkerPool::new(workers.saturating_sub(1)),
             options: self.options,
+            sink: self.sink,
+            limiter: self.limiter,
             state: Mutex::new(None),
         }
     }
@@ -114,6 +201,12 @@ pub struct BlockStm {
     vm: Vm,
     options: ExecutorOptions,
     pool: WorkerPool,
+    /// Streaming consumer of the committed prefix, if attached (type-erased; see
+    /// [`BlockStmBuilder::commit_sink`]).
+    sink: Option<Arc<dyn ErasedCommitSink>>,
+    /// In-order admission control over the committed prefix, if attached
+    /// (type-erased; see [`BlockStmBuilder::block_limiter`]).
+    limiter: Option<Arc<dyn ErasedBlockLimiter>>,
     /// Reusable per-block state, type-erased so one executor can serve any
     /// `(Key, Value)` pair; in a real deployment the pair never changes, so the
     /// downcast always hits and the arena is reused block after block.
@@ -179,7 +272,18 @@ impl BlockStm {
         S: Storage<T::Key, T::Value>,
     {
         let num_txns = block.len();
+        let sink = self.sink.as_deref();
+        let limiter = self.limiter.as_deref();
+        if (sink.is_some() || limiter.is_some()) && !self.options.rolling_commit {
+            return Err(ExecutionError::HooksRequireRollingCommit);
+        }
         if num_txns == 0 {
+            if let Some(sink) = sink {
+                sink.begin_block(0);
+            }
+            if let Some(limiter) = limiter {
+                limiter.begin_block(0);
+            }
             return Ok(BlockOutput::new(
                 Vec::new(),
                 Vec::new(),
@@ -198,6 +302,12 @@ impl BlockStm {
         let mut guard = self.state.lock();
         let state = EngineState::<T::Key, T::Value>::prepare(&mut guard, &self.options, num_txns);
         state.metrics.record_block(num_txns);
+        if let Some(sink) = sink {
+            sink.begin_block(num_txns);
+        }
+        if let Some(limiter) = limiter {
+            limiter.begin_block(num_txns);
+        }
 
         let panics = PanicCollector::new();
         let worker = Worker {
@@ -209,6 +319,9 @@ impl BlockStm {
             scheduler: &state.scheduler,
             metrics: &state.metrics,
             outputs: &state.outputs,
+            commit_drain: &state.commit_drain,
+            sink,
+            limiter,
         };
         let job = |_worker_index: usize| {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker.run())) {
@@ -232,15 +345,32 @@ impl BlockStm {
             return Err(error);
         }
 
-        let updates = state.mvmemory.snapshot();
-        let mut outputs = Vec::with_capacity(num_txns);
-        for (txn_idx, slot) in state.outputs.iter_mut().enumerate().take(num_txns) {
+        let drain = state.commit_drain.get_mut();
+        if let Some(failure) = drain.failure.take() {
+            return Err(failure);
+        }
+        let cut = drain.cut;
+        let included = cut.unwrap_or(num_txns);
+        debug_assert!(
+            !self.options.rolling_commit || cut.is_some() || drain.drained == num_txns,
+            "complete rolling block must have drained every commit"
+        );
+        // A limiter cut excludes transactions `cut..` entirely: the committed state
+        // is the snapshot bounded below the cut, exactly a sequential execution of
+        // the truncated block (higher transactions' speculative writes are filtered
+        // by the version bound).
+        let updates = match cut {
+            Some(cut_at) => state.mvmemory.snapshot_prefix(cut_at),
+            None => state.mvmemory.snapshot(),
+        };
+        let mut outputs = Vec::with_capacity(included);
+        for (txn_idx, slot) in state.outputs.iter_mut().enumerate().take(included) {
             match slot.get_mut().take() {
                 Some(output) => outputs.push(output),
                 None => return Err(ExecutionError::MissingOutput { txn_idx }),
             }
         }
-        Ok(BlockOutput::new(updates, outputs, state.metrics.snapshot()))
+        Ok(BlockOutput::new(updates, outputs, state.metrics.snapshot()).with_truncation(cut))
     }
 }
 
@@ -265,6 +395,21 @@ where
 /// One per-transaction output slot, filled by the incarnation that commits.
 type OutputSlot<K, V> = Mutex<Option<TransactionOutput<K, V>>>;
 
+/// Progress of the commit drain: how much of the scheduler's committed prefix has
+/// been processed (metrics recorded, cells frozen, sink notified, limiter asked).
+/// Exactly one thread drains at a time (the mutex); the committed prefix is
+/// processed strictly in order, exactly once.
+#[derive(Debug, Default)]
+struct DrainState {
+    /// Number of committed transactions fully drained.
+    drained: usize,
+    /// Set when the block limiter cut the block: index of the first *excluded*
+    /// transaction.
+    cut: Option<usize>,
+    /// A typed failure discovered while draining (hook mismatch, missing output).
+    failure: Option<ExecutionError>,
+}
+
 /// The reusable per-block arena: everything `execute_block` used to allocate fresh
 /// per call. Reset is cheap — counters re-armed, maps cleared in place, snapshot
 /// cells swapped to a shared empty — and allocation-free once the arena has grown to
@@ -274,6 +419,7 @@ struct EngineState<K, V> {
     mvmemory: MVMemory<K, V>,
     scheduler: Scheduler,
     outputs: Vec<OutputSlot<K, V>>,
+    commit_drain: Mutex<DrainState>,
 }
 
 impl<K, V> EngineState<K, V>
@@ -292,9 +438,11 @@ where
                 num_txns,
                 SchedulerOptions {
                     task_return_optimization: options.task_return_optimization,
+                    rolling_commit: options.rolling_commit,
                 },
             ),
             outputs: (0..num_txns).map(|_| Mutex::new(None)).collect(),
+            commit_drain: Mutex::new(DrainState::default()),
         }
     }
 
@@ -308,6 +456,7 @@ where
             *slot.get_mut() = None;
         }
         self.outputs.resize_with(num_txns, || Mutex::new(None));
+        *self.commit_drain.get_mut() = DrainState::default();
     }
 
     /// Fetches the executor's arena for this `(K, V)` pair out of the type-erased
@@ -345,6 +494,9 @@ struct Worker<'a, T: Transaction, S> {
     scheduler: &'a Scheduler,
     metrics: &'a ExecutionMetrics,
     outputs: &'a [OutputSlot<T::Key, T::Value>],
+    commit_drain: &'a Mutex<DrainState>,
+    sink: Option<&'a dyn ErasedCommitSink>,
+    limiter: Option<&'a dyn ErasedBlockLimiter>,
 }
 
 // Manual impl: deriving Clone/Copy would add unnecessary bounds on T and S.
@@ -380,16 +532,21 @@ where
         let cache = RefCell::new(LocationCache::new());
         let mut task: Option<Task> = None;
         let mut backoff = Backoff::new();
+        let rolling = self.options.rolling_commit;
+        let mut drained_seen = 0usize;
         while !self.scheduler.done() {
             task = match task {
                 Some(Task {
                     version,
                     kind: TaskKind::Execution,
+                    ..
                 }) => self.try_execute(version, &cache),
-                Some(Task {
-                    version,
-                    kind: TaskKind::Validation,
-                }) => self.needs_reexecution(version),
+                Some(
+                    validation @ Task {
+                        kind: TaskKind::Validation,
+                        ..
+                    },
+                ) => self.needs_reexecution(validation),
                 None => {
                     let next = self.scheduler.next_task();
                     if next.is_none() {
@@ -407,10 +564,109 @@ where
                     next
                 }
             };
+            if rolling {
+                // Opportunistic drain, gated on ladder movement: one lock-free
+                // watermark load per iteration, and a drain attempt only when the
+                // ladder advanced past what this worker last observed. The cursor
+                // advances only when the drain actually ran — a failed try_lock
+                // must not mark the new prefix as seen, or a commit landing just
+                // as the current drainer exits would sit undelivered until the
+                // next ladder movement.
+                let watermark = self.scheduler.committed_prefix();
+                if watermark > drained_seen {
+                    if let Some(drained) = self.drain_commits(false) {
+                        drained_seen = drained;
+                    }
+                }
+            }
+        }
+        if rolling {
+            // The block is done (or halted): drain whatever the ladder committed,
+            // waiting for the lock so nothing is left behind.
+            self.drain_commits(true);
         }
         let stats = cache.borrow().stats();
         self.metrics
             .record_location_cache(stats.hits, stats.interner_hits, stats.interner_misses);
+    }
+
+    /// Processes the scheduler's committed prefix in order, exactly once per
+    /// transaction: records the commit-lag metric, freezes the multi-version
+    /// entries, asks the [`BlockLimiter`] whether the block continues and delivers
+    /// the output to the [`CommitSink`]. One drainer at a time; with
+    /// `block_on_lock == false` the call is a cheap no-op when another worker holds
+    /// the drain (its loop re-reads the watermark, so nothing is missed for long —
+    /// and the post-run blocking drain guarantees completeness).
+    ///
+    /// Returns the number of commits drained so far, or `None` when the drain lock
+    /// was busy and nothing was attempted.
+    fn drain_commits(&self, block_on_lock: bool) -> Option<usize> {
+        let mut state = if block_on_lock {
+            self.commit_drain.lock()
+        } else {
+            self.commit_drain.try_lock()?
+        };
+        let drained_before = state.drained;
+        let mut lag_sum = 0u64;
+        let mut lag_max = 0u64;
+        while state.cut.is_none() && state.failure.is_none() {
+            // Re-read the watermark each iteration: commits that land while we
+            // drain are picked up in the same pass.
+            if state.drained >= self.scheduler.committed_prefix() {
+                break;
+            }
+            let idx = state.drained;
+            let slot = self.outputs[idx].lock();
+            let Some(output) = slot.as_ref() else {
+                // A committed transaction always has an output; surface the broken
+                // invariant instead of unwinding.
+                state.failure = Some(ExecutionError::MissingOutput { txn_idx: idx });
+                self.scheduler.halt();
+                break;
+            };
+            if let Some(limiter) = self.limiter {
+                match limiter.include_next_erased(idx, output) {
+                    Some(true) => {}
+                    Some(false) => {
+                        // Cut at the committed boundary: txns `idx..` are excluded
+                        // and the remaining speculation is abandoned.
+                        state.cut = Some(idx);
+                        self.scheduler.halt();
+                        break;
+                    }
+                    None => {
+                        state.failure = Some(ExecutionError::HookStateModelMismatch {
+                            hook: "BlockLimiter",
+                        });
+                        self.scheduler.halt();
+                        break;
+                    }
+                }
+            }
+            let execution_cursor = self.scheduler.execution_cursor();
+            let lag = execution_cursor.saturating_sub(idx) as u64;
+            lag_sum += lag;
+            lag_max = lag_max.max(lag);
+            if let Some(sink) = self.sink {
+                if !sink.on_commit_erased(idx, output, execution_cursor) {
+                    state.failure =
+                        Some(ExecutionError::HookStateModelMismatch { hook: "CommitSink" });
+                    self.scheduler.halt();
+                    break;
+                }
+            }
+            drop(slot);
+            state.drained += 1;
+        }
+        if state.drained > drained_before {
+            // Freeze the prefix once per pass: readers at or below the watermark
+            // now take the final-read fast path (no descriptors, no seqlock
+            // re-checks); and flush the commit-lag metrics in one bulk update.
+            self.mvmemory.freeze_committed_prefix(state.drained);
+            self.metrics
+                .record_commits((state.drained - drained_before) as u64, lag_sum, lag_max);
+        }
+        Some(state.drained)
     }
 
     /// `try_execute` (Algorithm 1 Lines 10–19): run one incarnation and record its
@@ -455,6 +711,8 @@ where
                     continue;
                 }
                 VmStatus::Done(output) => {
+                    self.metrics
+                        .record_committed_prefix_reads(view.committed_final_reads());
                     let read_set = view.take_read_set();
                     let write_set: Vec<(T::Key, T::Value)> = output
                         .writes
@@ -480,19 +738,22 @@ where
 
     /// `needs_reexecution` (Algorithm 1 Lines 20–26): validate the incarnation's
     /// read-set; on failure, abort it (first failing validation only), convert its
-    /// writes to ESTIMATEs and schedule the re-execution.
-    fn needs_reexecution(&self, version: Version) -> Option<Task> {
-        let txn_idx = version.txn_idx;
+    /// writes to ESTIMATEs and schedule the re-execution. A passing validation
+    /// reports the task's wave back to the scheduler, which may advance the commit
+    /// ladder (and thereby complete the block).
+    fn needs_reexecution(&self, task: Task) -> Option<Task> {
+        let Version {
+            txn_idx,
+            incarnation,
+        } = task.version;
         let read_set_valid = self.mvmemory.validate_read_set(txn_idx);
-        let aborted = !read_set_valid
-            && self
-                .scheduler
-                .try_validation_abort(txn_idx, version.incarnation);
+        let aborted = !read_set_valid && self.scheduler.try_validation_abort(txn_idx, incarnation);
         self.metrics.record_validation(!aborted);
         if aborted {
             self.mvmemory.convert_writes_to_estimates(txn_idx);
         }
-        self.scheduler.finish_validation(txn_idx, aborted)
+        self.scheduler
+            .finish_validation(txn_idx, incarnation, task.wave, aborted)
     }
 }
 
@@ -827,6 +1088,168 @@ mod tests {
         let healthy: Vec<PanickingTxn> = (0..8).map(|_| PanickingTxn { panics: false }).collect();
         let output = executor.execute_block(&healthy, &storage).unwrap();
         assert_eq!(output.num_txns(), 8);
+    }
+
+    /// A sink collecting committed indices + lags, used by the streaming tests.
+    #[derive(Default)]
+    struct CollectingSink {
+        commits: Mutex<Vec<(usize, u64)>>,
+        begun: Mutex<Vec<usize>>,
+    }
+
+    impl crate::hooks::CommitSink<u64, u64> for CollectingSink {
+        fn begin_block(&self, block_size: usize) {
+            self.begun.lock().push(block_size);
+        }
+
+        fn on_commit(&self, event: &crate::hooks::CommitEvent<'_, u64, u64>) {
+            self.commits
+                .lock()
+                .push((event.txn_idx, event.output.gas_used));
+        }
+    }
+
+    #[test]
+    fn commit_sink_streams_every_txn_exactly_once_in_order() {
+        let sink = Arc::new(CollectingSink::default());
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .commit_sink::<u64, u64>(sink.clone())
+            .build();
+        let storage = storage_with_keys(4);
+        let block: Vec<_> = (0..60)
+            .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
+            .collect();
+        for round in 0..3 {
+            sink.commits.lock().clear();
+            let output = executor.execute_block(&block, &storage).unwrap();
+            let commits = sink.commits.lock();
+            let order: Vec<usize> = commits.iter().map(|(idx, _)| *idx).collect();
+            assert_eq!(order, (0..60).collect::<Vec<_>>(), "round {round}");
+            // The streamed outputs are the committed ones.
+            for ((_, gas), committed) in commits.iter().zip(output.outputs.iter()) {
+                assert_eq!(*gas, committed.gas_used, "round {round}");
+            }
+            assert!(!output.is_truncated());
+            assert_eq!(output.metrics.committed_txns, 60, "round {round}");
+        }
+        assert_eq!(
+            *sink.begun.lock(),
+            vec![60, 60, 60],
+            "begin_block per block"
+        );
+    }
+
+    #[test]
+    fn block_gas_limit_cuts_to_the_sequential_truncated_block() {
+        let storage = storage_with_keys(4);
+        let block: Vec<_> = (0..40)
+            .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
+            .collect();
+        // Find the gas schedule's deterministic per-txn cost from a sequential run,
+        // then budget for roughly half the block.
+        let sequential = SequentialExecutor::new(Vm::for_testing());
+        let full = sequential.execute_block(&block, &storage).unwrap();
+        let budget: u64 = full.outputs.iter().take(17).map(|o| o.gas_used).sum();
+        let limiter = Arc::new(crate::hooks::BlockGasLimit::new(budget));
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .block_limiter::<u64, u64>(limiter.clone())
+            .build();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        let cut = output.truncated_at.expect("budget must cut the block");
+        assert_eq!(cut, 17, "cut at the first over-budget transaction");
+        assert_eq!(output.outputs.len(), cut);
+        // The committed state equals a sequential execution of the truncated block.
+        let truncated = sequential.execute_block(&block[..cut], &storage).unwrap();
+        assert_eq!(output.updates, truncated.updates);
+        for (p, s) in output.outputs.iter().zip(truncated.outputs.iter()) {
+            assert_eq!(p.writes, s.writes);
+        }
+        // The executor stays fully usable (including un-truncated blocks is
+        // impossible with the limiter attached, but a larger budget passes all).
+        let generous = Arc::new(crate::hooks::BlockGasLimit::new(u64::MAX));
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .block_limiter::<u64, u64>(generous)
+            .build();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        assert!(!output.is_truncated());
+        assert_eq!(output.updates, full.updates);
+    }
+
+    #[test]
+    fn hooks_report_typed_errors_on_misuse() {
+        // Hook typed for a different state model than the block.
+        let sink = Arc::new(CollectingSink::default());
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .commit_sink::<u64, u64>(sink)
+            .build();
+        let string_storage: InMemoryStorage<u64, String> = InMemoryStorage::new();
+        let string_block: Vec<TagTxn> = (0..4).map(|i| TagTxn { key: i % 2 }).collect();
+        match executor.execute_block(&string_block, &string_storage) {
+            Err(ExecutionError::HookStateModelMismatch { hook }) => {
+                assert_eq!(hook, "CommitSink")
+            }
+            other => panic!("expected HookStateModelMismatch, got {other:?}"),
+        }
+        // Hooks without the ladder are refused up front.
+        let limiter = Arc::new(crate::hooks::BlockGasLimit::new(10));
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .rolling_commit(false)
+            .block_limiter::<u64, u64>(limiter)
+            .build();
+        let storage = storage_with_keys(2);
+        let block = vec![SyntheticTransaction::increment(0)];
+        match executor.execute_block(&block, &storage) {
+            Err(ExecutionError::HooksRequireRollingCommit) => {}
+            other => panic!("expected HooksRequireRollingCommit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rolling_commit_disabled_still_matches_sequential() {
+        let storage = storage_with_keys(4);
+        let block: Vec<_> = (0..60)
+            .map(|i| SyntheticTransaction::transfer(i % 4, (i + 1) % 4, i))
+            .collect();
+        let ladder_off = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(4)
+            .rolling_commit(false)
+            .build();
+        let output = ladder_off.execute_block(&block, &storage).unwrap();
+        let expected = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&block, &storage)
+            .unwrap();
+        assert_eq!(output.updates, expected.updates);
+        assert_eq!(output.metrics.committed_txns, 0, "no ladder, no commits");
+    }
+
+    #[test]
+    fn commit_lag_and_committed_prefix_read_metrics_are_recorded() {
+        // A fully sequential chain: every transaction reads the single hot key, so
+        // once the prefix commits, re-executions read it through the frozen fast
+        // path. Single worker makes the lag pattern deterministic enough to assert.
+        let storage = storage_with_keys(1);
+        let block: Vec<_> = (0..50)
+            .map(|_| SyntheticTransaction::increment(0))
+            .collect();
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .build();
+        let metrics = executor.execute_block(&block, &storage).unwrap().metrics;
+        assert_eq!(metrics.committed_txns, 50, "the ladder committed every txn");
+        assert!(
+            metrics.committed_prefix_reads > 0,
+            "chain re-executions must hit the frozen committed prefix"
+        );
+        assert!(
+            metrics.commit_lag_max >= 1,
+            "speculation must have run ahead of the commit point"
+        );
+        assert!(metrics.avg_commit_lag() >= 0.0);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Executor configuration.
 
-/// Tuning knobs of the [`ParallelExecutor`](crate::ParallelExecutor).
+/// Tuning knobs of the [`BlockStm`](crate::BlockStm) engine (assembled fluently by
+/// [`BlockStmBuilder`](crate::BlockStmBuilder)).
 ///
-/// The defaults reproduce the configuration evaluated in the paper; the individual
-/// switches exist so the ablation benchmarks can quantify each optimization
-/// (see DESIGN.md, "Ablations").
+/// The defaults reproduce the configuration evaluated in the paper plus the rolling
+/// commit ladder; the individual switches exist so the ablation benchmarks can
+/// quantify each optimization (see DESIGN.md, "Ablations", and the `commitbench`
+/// ladder-on/off comparison).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutorOptions {
     /// Number of worker threads. `0` (the default) means "use all available
@@ -19,6 +21,13 @@ pub struct ExecutorOptions {
     /// directly back to the calling thread instead of routing it through the shared
     /// counters (the paper's cases 1(b)/2(c) optimization). Default: `true`.
     pub task_return_optimization: bool,
+    /// Run the scheduler's rolling commit ladder: commit a growing prefix of the
+    /// block while the tail speculates, freeze committed entries in the
+    /// multi-version memory for cheap final reads, stream outputs to a
+    /// [`CommitSink`](crate::CommitSink), and allow a
+    /// [`BlockLimiter`](crate::BlockLimiter) to cut the block at a committed
+    /// boundary. Disabled only by the `commitbench` ablation. Default: `true`.
+    pub rolling_commit: bool,
     /// Shard count of the multi-version memory's concurrent hash map. `None` uses the
     /// default (256).
     pub mvmemory_shards: Option<usize>,
@@ -30,6 +39,7 @@ impl Default for ExecutorOptions {
             concurrency: 0,
             dependency_recheck: true,
             task_return_optimization: true,
+            rolling_commit: true,
             mvmemory_shards: None,
         }
     }
@@ -53,6 +63,12 @@ impl ExecutorOptions {
     /// Builder: toggles the task-return optimization.
     pub fn task_return_optimization(mut self, enabled: bool) -> Self {
         self.task_return_optimization = enabled;
+        self
+    }
+
+    /// Builder: toggles the rolling commit ladder.
+    pub fn rolling_commit(mut self, enabled: bool) -> Self {
+        self.rolling_commit = enabled;
         self
     }
 
@@ -82,10 +98,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_enable_both_optimizations() {
+    fn defaults_enable_all_optimizations() {
         let options = ExecutorOptions::default();
         assert!(options.dependency_recheck);
         assert!(options.task_return_optimization);
+        assert!(options.rolling_commit, "commit ladder is on by default");
         assert_eq!(options.concurrency, 0);
         assert!(options.mvmemory_shards.is_none());
     }
@@ -112,9 +129,11 @@ mod tests {
         let options = ExecutorOptions::default()
             .dependency_recheck(false)
             .task_return_optimization(false)
+            .rolling_commit(false)
             .mvmemory_shards(64);
         assert!(!options.dependency_recheck);
         assert!(!options.task_return_optimization);
+        assert!(!options.rolling_commit);
         assert_eq!(options.mvmemory_shards, Some(64));
     }
 }

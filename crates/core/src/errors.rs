@@ -54,6 +54,19 @@ pub enum ExecutionError {
         /// Index of the offending transaction.
         txn_idx: usize,
     },
+    /// A streaming hook ([`CommitSink`](crate::CommitSink) or
+    /// [`BlockLimiter`](crate::BlockLimiter)) was attached for a different state
+    /// model (`Key`/`Value` types) than the block being executed. One executor can
+    /// serve many state models, but each hook is typed; re-attach a hook matching
+    /// the block's types.
+    HookStateModelMismatch {
+        /// Which hook mismatched (`"CommitSink"` or `"BlockLimiter"`).
+        hook: &'static str,
+    },
+    /// A streaming hook was attached but the rolling commit ladder is disabled
+    /// (`rolling_commit(false)`): without the ladder there is no committed prefix to
+    /// stream or cut.
+    HooksRequireRollingCommit,
     /// Any other violated engine invariant (please report it as a bug).
     Internal {
         /// What went wrong.
@@ -167,6 +180,16 @@ impl fmt::Display for ExecutionError {
                 f,
                 "transaction {txn_idx} wrote a location missing from its declared \
                  write-set (the declaration must be a superset of every possible write)"
+            ),
+            ExecutionError::HookStateModelMismatch { hook } => write!(
+                f,
+                "the attached {hook} hook is typed for a different (Key, Value) state \
+                 model than the executed block"
+            ),
+            ExecutionError::HooksRequireRollingCommit => write!(
+                f,
+                "streaming hooks (CommitSink / BlockLimiter) require the rolling \
+                 commit ladder; remove `rolling_commit(false)` or the hooks"
             ),
             ExecutionError::Internal { detail } => write!(f, "engine invariant violated: {detail}"),
         }

@@ -65,34 +65,72 @@
 //! assert_eq!(again.updates, parallel_output.updates);
 //! ```
 //!
-//! ## Migrating from `ParallelExecutor`
+//! ## Streaming outputs: the commit ladder
 //!
-//! The one-shot [`ParallelExecutor`] (spawn threads, execute, join, drop) is
-//! deprecated and now delegates to a [`BlockStm`] internally. Replace
+//! The scheduler commits a **rolling prefix** of the block: as soon as the lowest
+//! uncommitted transaction holds a sufficiently fresh passing validation it is
+//! committed, permanently exempted from re-validation, and its multi-version entries
+//! are frozen for cheap final reads. Downstream consumers do not have to wait for
+//! the whole block:
 //!
-//! ```text
-//! ParallelExecutor::new(vm, ExecutorOptions::with_concurrency(8)).execute_block(&b, &s)
+//! * a [`CommitSink`] attached via [`BlockStmBuilder::commit_sink`] receives every
+//!   committed `(txn_idx, output)` in preset order, exactly once, while the tail of
+//!   the block still speculates;
+//! * a [`BlockLimiter`] attached via [`BlockStmBuilder::block_limiter`] can halt the
+//!   block early at a committed boundary — [`BlockGasLimit`] implements the classic
+//!   block-gas-limit scenario, where transactions past the cut are cleanly excluded
+//!   (the result equals a sequential execution of the truncated block, reported via
+//!   [`BlockOutput::truncated_at`]).
+//!
+//! ```
+//! use block_stm::{BlockGasLimit, BlockStmBuilder, CommitEvent, CommitSink, Vm};
+//! use block_stm_storage::InMemoryStorage;
+//! use block_stm_vm::synthetic::SyntheticTransaction;
+//! use parking_lot::Mutex;
+//! use std::sync::Arc;
+//!
+//! // A sink that receives committed outputs in order, while the block executes.
+//! #[derive(Default)]
+//! struct Stream(Mutex<Vec<(usize, u64)>>);
+//! impl CommitSink<u64, u64> for Stream {
+//!     fn on_commit(&self, event: &CommitEvent<'_, u64, u64>) {
+//!         self.0.lock().push((event.txn_idx, event.output.gas_used));
+//!     }
+//! }
+//!
+//! let sink = Arc::new(Stream::default());
+//! let executor = BlockStmBuilder::new(Vm::for_testing())
+//!     .concurrency(4)
+//!     .commit_sink::<u64, u64>(sink.clone())
+//!     .build();
+//!
+//! let storage: InMemoryStorage<u64, u64> = (0..8u64).map(|k| (k, 0)).collect();
+//! let block: Vec<_> = (0..32).map(|i| SyntheticTransaction::increment(i % 8)).collect();
+//! let output = executor.execute_block(&block, &storage).unwrap();
+//!
+//! // Every transaction was streamed exactly once, in preset order.
+//! let streamed = sink.0.lock();
+//! assert_eq!(streamed.len(), 32);
+//! assert!(streamed.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+//! assert!(!output.is_truncated());
+//! # let _ = BlockGasLimit::new(1); // linked above for the doc narrative
 //! ```
 //!
-//! with
-//!
-//! ```text
-//! BlockStmBuilder::new(vm).concurrency(8).build().execute_block(&b, &s)?
-//! ```
-//!
-//! and keep the built executor alive across blocks. The new `execute_block` returns
-//! `Result<BlockOutput<_, _>, ExecutionError>`: worker panics are contained and
-//! reported instead of unwinding through the engine.
+//! The ladder is on by default; `BlockStmBuilder::rolling_commit(false)` restores
+//! the batch-at-the-end behavior for ablation (the `commitbench` harness compares
+//! the two).
 //!
 //! ## Crate layout
 //!
 //! * [`BlockExecutor`] — the engine-agnostic interface every engine implements.
 //! * [`BlockStm`] / [`BlockStmBuilder`] — the Block-STM engine (Algorithm 1 wiring of
 //!   the scheduler, multi-version memory and VM) with its persistent worker pool.
+//! * [`CommitSink`] / [`BlockLimiter`] / [`BlockGasLimit`] — streaming hooks over the
+//!   rolling committed prefix.
 //! * [`SequentialExecutor`] — the baseline the paper compares against and the
 //!   correctness oracle for every other engine.
 //! * [`BlockOutput`] — committed state updates, per-transaction outputs and execution
-//!   metrics.
+//!   metrics (plus the [`truncated_at`](BlockOutput::truncated_at) cut marker).
 //! * [`ExecutionError`] — typed failures (worker panic, misconfiguration, violated
 //!   invariants).
 //! * [`ExecutorOptions`] — thread count and the optional optimizations evaluated in
@@ -106,12 +144,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Compile and run the README's code snippets (e.g. the "streaming outputs"
+// CommitSink example) as doctests, so the top-level docs can never rot.
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub mod readme_doctests {}
+
 mod block_stm;
 mod config;
 mod errors;
 mod executor;
+mod hooks;
 mod output;
-mod parallel;
 mod sequential;
 mod view;
 
@@ -119,9 +163,8 @@ pub use block_stm::{BlockStm, BlockStmBuilder};
 pub use config::ExecutorOptions;
 pub use errors::{ExecutionError, PanicCollector};
 pub use executor::BlockExecutor;
+pub use hooks::{BlockGasLimit, BlockLimiter, CommitEvent, CommitSink};
 pub use output::BlockOutput;
-#[allow(deprecated)]
-pub use parallel::ParallelExecutor;
 pub use sequential::SequentialExecutor;
 pub use view::MVHashMapView;
 

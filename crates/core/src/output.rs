@@ -15,10 +15,16 @@ pub struct BlockOutput<K, V> {
     /// Committed state updates, sorted by key.
     pub updates: Vec<(K, V)>,
     /// Per-transaction outputs (the last incarnation's output for each transaction),
-    /// in preset order.
+    /// in preset order. When the block was cut by a
+    /// [`BlockLimiter`](crate::BlockLimiter), only the included prefix is present.
     pub outputs: Vec<TransactionOutput<K, V>>,
     /// Execution metrics recorded by the engine.
     pub metrics: MetricsSnapshot,
+    /// `Some(cut)` when a [`BlockLimiter`](crate::BlockLimiter) halted the block at
+    /// a committed boundary: transactions `cut..` were excluded, `updates` and
+    /// `outputs` cover exactly the committed prefix `0..cut` (equal to a sequential
+    /// execution of the truncated block). `None` for a complete block.
+    pub truncated_at: Option<usize>,
 }
 
 impl<K, V> BlockOutput<K, V>
@@ -37,7 +43,19 @@ where
             updates,
             outputs,
             metrics,
+            truncated_at: None,
         }
+    }
+
+    /// Marks the output as cut at `cut` (see [`Self::truncated_at`]).
+    pub fn with_truncation(mut self, cut: Option<usize>) -> Self {
+        self.truncated_at = cut;
+        self
+    }
+
+    /// Whether a [`BlockLimiter`](crate::BlockLimiter) cut this block short.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated_at.is_some()
     }
 
     /// Number of transactions in the block.

@@ -5,7 +5,7 @@ use block_stm_metrics::ExecutionMetrics;
 use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput, ReadDescriptor};
 use block_stm_storage::Storage;
 use block_stm_vm::{ReadOutcome, StateReader, TxnIndex};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -23,6 +23,14 @@ use std::hash::Hash;
 /// the cache that outlives it (one cache per worker per block), so repeated accesses
 /// to the same location — within this incarnation or any other incarnation this
 /// worker executes — skip the multi-version memory's sharded map entirely.
+///
+/// **Committed-prefix fast path:** when every transaction below this one has already
+/// committed (the rolling commit ladder's frozen prefix), a read's outcome is final
+/// for the rest of the block — it is served through the cheaper committed cell path
+/// and **no read descriptor is recorded**, so the incarnation's validation has
+/// nothing to re-check for it. The count of such reads is surfaced via
+/// [`committed_final_reads`](Self::committed_final_reads) and flushed into the
+/// `committed_prefix_reads` metric by the executor.
 pub struct MVHashMapView<'a, K, V, S> {
     mvmemory: &'a MVMemory<K, V>,
     storage: &'a S,
@@ -30,6 +38,7 @@ pub struct MVHashMapView<'a, K, V, S> {
     metrics: &'a ExecutionMetrics,
     cache: &'a RefCell<LocationCache<K, V>>,
     captured_reads: RefCell<Vec<ReadDescriptor<K>>>,
+    committed_final_reads: Cell<u64>,
 }
 
 impl<'a, K, V, S> MVHashMapView<'a, K, V, S>
@@ -54,6 +63,7 @@ where
             metrics,
             cache,
             captured_reads: RefCell::new(Vec::new()),
+            committed_final_reads: Cell::new(0),
         }
     }
 
@@ -71,6 +81,13 @@ where
     /// Number of reads captured so far (diagnostics).
     pub fn reads_captured(&self) -> usize {
         self.captured_reads.borrow().len()
+    }
+
+    /// Number of reads served entirely from the frozen committed prefix (final:
+    /// recorded no descriptor). Flushed into the `committed_prefix_reads` metric by
+    /// the executor before the read-set is taken.
+    pub fn committed_final_reads(&self) -> u64 {
+        self.committed_final_reads.get()
     }
 
     /// The block-wide metrics recorder this view reports to. Per-read events are not
@@ -93,20 +110,38 @@ where
         // hottest path of every worker thread. The location-cache hit/miss counters
         // accumulate locally in the worker's cache and are flushed once per block;
         // read counts are aggregated per task from the transaction outputs.
-        let (id, output) =
-            self.mvmemory
-                .read_with_cache(&mut self.cache.borrow_mut(), key, self.txn_idx);
-        match output {
+        let read = self
+            .mvmemory
+            .read_with_cache(&mut self.cache.borrow_mut(), key, self.txn_idx);
+        if read.committed_final {
+            // Every transaction below this one has committed: the outcome can never
+            // change for the rest of the block, so validation has nothing to
+            // re-check — skip the descriptor entirely.
+            self.committed_final_reads
+                .set(self.committed_final_reads.get() + 1);
+            return match read.output {
+                MVReadOutput::Versioned(_, value) => ReadOutcome::Value(value),
+                MVReadOutput::NotFound => match self.storage.get(key) {
+                    Some(value) => ReadOutcome::Value(value),
+                    None => ReadOutcome::NotFound,
+                },
+                MVReadOutput::Dependency(blocking_txn_idx) => {
+                    debug_assert!(false, "ESTIMATE below the committed prefix");
+                    ReadOutcome::Dependency(blocking_txn_idx)
+                }
+            };
+        }
+        match read.output {
             MVReadOutput::Versioned(version, value) => {
-                self.captured_reads
-                    .borrow_mut()
-                    .push(ReadDescriptor::from_version(key.clone(), version).with_location(id));
+                self.captured_reads.borrow_mut().push(
+                    ReadDescriptor::from_version(key.clone(), version).with_location(read.id),
+                );
                 ReadOutcome::Value(value)
             }
             MVReadOutput::NotFound => {
                 self.captured_reads
                     .borrow_mut()
-                    .push(ReadDescriptor::from_storage(key.clone()).with_location(id));
+                    .push(ReadDescriptor::from_storage(key.clone()).with_location(read.id));
                 match self.storage.get(key) {
                     Some(value) => ReadOutcome::Value(value),
                     None => ReadOutcome::NotFound,
@@ -182,6 +217,30 @@ mod tests {
         let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
         assert_eq!(view.read(&1), ReadOutcome::Dependency(1));
         assert_eq!(view.reads_captured(), 0);
+    }
+
+    #[test]
+    fn committed_prefix_reads_skip_descriptor_capture() {
+        let (mvmemory, storage, metrics) = fixture();
+        mvmemory.record(Version::new(0, 0), vec![], vec![(1, 111)]);
+        // Transactions 0 and 1 committed: a reader at index 2 sees only final state.
+        mvmemory.freeze_committed_prefix(2);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 2, &metrics, &cache);
+        assert_eq!(view.read(&1), ReadOutcome::Value(111));
+        // Storage fall-throughs below the watermark are final too.
+        assert_eq!(view.read(&2), ReadOutcome::Value(200));
+        assert_eq!(
+            view.reads_captured(),
+            0,
+            "final reads record no descriptors"
+        );
+        assert_eq!(view.committed_final_reads(), 2);
+        // A reader above the watermark still captures descriptors.
+        let speculative = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
+        assert_eq!(speculative.read(&1), ReadOutcome::Value(111));
+        assert_eq!(speculative.reads_captured(), 1);
+        assert_eq!(speculative.committed_final_reads(), 0);
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub struct ExecutionMetrics {
     /// Global location first touches: the access interned the location (shard write
     /// lock + cell allocation).
     mvmemory_interner_misses: PaddedAtomicU64,
+    /// Transactions committed by the rolling commit ladder (0 with the ladder off).
+    committed_txns: PaddedAtomicU64,
+    /// Sum over all commits of the commit lag — how many transactions the execution
+    /// cursor had run ahead of the committing one (`execution_cursor - txn_idx`).
+    commit_lag_sum: PaddedAtomicU64,
+    /// Largest commit lag observed in the block.
+    commit_lag_max: PaddedAtomicU64,
+    /// Reads served entirely from the frozen committed prefix (final: recorded no
+    /// validation descriptor).
+    committed_prefix_reads: PaddedAtomicU64,
 }
 
 impl ExecutionMetrics {
@@ -120,6 +130,29 @@ impl ExecutionMetrics {
         self.mvmemory_interner_misses.add(interner_misses);
     }
 
+    /// Records one rolling commit with its lag (`execution_cursor - txn_idx` at
+    /// commit-drain time: how far speculation had run ahead of the committed
+    /// prefix).
+    pub fn record_commit(&self, lag: u64) {
+        self.record_commits(1, lag, lag);
+    }
+
+    /// Bulk form of [`record_commit`](Self::record_commit): one flush per commit
+    /// drain pass (the drain accumulates locally, like the location caches).
+    pub fn record_commits(&self, commits: u64, lag_sum: u64, lag_max: u64) {
+        self.committed_txns.add(commits);
+        self.commit_lag_sum.add(lag_sum);
+        self.commit_lag_max.fetch_max(lag_max);
+    }
+
+    /// Flushes one incarnation's count of reads served entirely from the frozen
+    /// committed prefix (final reads that recorded no validation descriptor).
+    pub fn record_committed_prefix_reads(&self, reads: u64) {
+        if reads > 0 {
+            self.committed_prefix_reads.add(reads);
+        }
+    }
+
     /// Freezes the counters into a plain snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -138,6 +171,10 @@ impl ExecutionMetrics {
             mvmemory_cache_hits: self.mvmemory_cache_hits.load(),
             mvmemory_interner_hits: self.mvmemory_interner_hits.load(),
             mvmemory_interner_misses: self.mvmemory_interner_misses.load(),
+            committed_txns: self.committed_txns.load(),
+            commit_lag_sum: self.commit_lag_sum.load(),
+            commit_lag_max: self.commit_lag_max.load(),
+            committed_prefix_reads: self.committed_prefix_reads.load(),
         }
     }
 
@@ -158,6 +195,10 @@ impl ExecutionMetrics {
         self.mvmemory_cache_hits.reset();
         self.mvmemory_interner_hits.reset();
         self.mvmemory_interner_misses.reset();
+        self.committed_txns.reset();
+        self.commit_lag_sum.reset();
+        self.commit_lag_max.reset();
+        self.committed_prefix_reads.reset();
     }
 }
 
@@ -181,6 +222,8 @@ mod tests {
         metrics.record_scheduler_poll();
         metrics.record_scheduler_yield();
         metrics.record_location_cache(5, 2, 1);
+        metrics.record_commit(3);
+        metrics.record_committed_prefix_reads(4);
         metrics.reset();
         let snap = metrics.snapshot();
         assert_eq!(snap, MetricsSnapshot::default());

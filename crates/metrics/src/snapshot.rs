@@ -39,6 +39,15 @@ pub struct MetricsSnapshot {
     pub mvmemory_interner_hits: u64,
     /// Global location first touches (shard write lock + cell allocation).
     pub mvmemory_interner_misses: u64,
+    /// Transactions committed by the rolling commit ladder (0 with the ladder off).
+    pub committed_txns: u64,
+    /// Sum of per-commit lags (`execution_cursor - txn_idx` at commit-drain time).
+    pub commit_lag_sum: u64,
+    /// Largest commit lag observed in the block.
+    pub commit_lag_max: u64,
+    /// Reads served entirely from the frozen committed prefix (no validation
+    /// descriptor recorded).
+    pub committed_prefix_reads: u64,
 }
 
 impl MetricsSnapshot {
@@ -71,6 +80,17 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Average commit lag in transactions: how far, on average, the execution
+    /// cursor had run ahead of each committing transaction. 0.0 when nothing was
+    /// committed through the ladder.
+    pub fn avg_commit_lag(&self) -> f64 {
+        if self.committed_txns == 0 {
+            0.0
+        } else {
+            self.commit_lag_sum as f64 / self.committed_txns as f64
+        }
+    }
+
     /// Element-wise sum of two snapshots (useful when aggregating repeated runs).
     pub fn merge(&self, other: &Self) -> Self {
         Self {
@@ -90,6 +110,10 @@ impl MetricsSnapshot {
             mvmemory_interner_hits: self.mvmemory_interner_hits + other.mvmemory_interner_hits,
             mvmemory_interner_misses: self.mvmemory_interner_misses
                 + other.mvmemory_interner_misses,
+            committed_txns: self.committed_txns + other.committed_txns,
+            commit_lag_sum: self.commit_lag_sum + other.commit_lag_sum,
+            commit_lag_max: self.commit_lag_max.max(other.commit_lag_max),
+            committed_prefix_reads: self.committed_prefix_reads + other.committed_prefix_reads,
         }
     }
 }
@@ -115,6 +139,10 @@ mod tests {
             mvmemory_cache_hits: 900,
             mvmemory_interner_hits: 40,
             mvmemory_interner_misses: 60,
+            committed_txns: 100,
+            commit_lag_sum: 250,
+            commit_lag_max: 9,
+            committed_prefix_reads: 120,
         }
     }
 
@@ -124,6 +152,7 @@ mod tests {
         assert!((snap.abort_rate() - 20.0 / 120.0).abs() < 1e-12);
         assert!((snap.re_execution_ratio() - 1.2).abs() < 1e-12);
         assert!((snap.validation_ratio() - 1.5).abs() < 1e-12);
+        assert!((snap.avg_commit_lag() - 2.5).abs() < 1e-12);
     }
 
     #[test]
@@ -132,6 +161,7 @@ mod tests {
         assert_eq!(snap.abort_rate(), 0.0);
         assert_eq!(snap.re_execution_ratio(), 0.0);
         assert_eq!(snap.validation_ratio(), 0.0);
+        assert_eq!(snap.avg_commit_lag(), 0.0);
     }
 
     #[test]
@@ -142,6 +172,10 @@ mod tests {
         assert_eq!(merged.storage_reads, 2000);
         assert_eq!(merged.mvmemory_cache_hits, 1800);
         assert_eq!(merged.mvmemory_interner_misses, 120);
+        assert_eq!(merged.committed_txns, 200);
+        assert_eq!(merged.commit_lag_sum, 500);
+        assert_eq!(merged.commit_lag_max, 9, "max merges as max, not sum");
+        assert_eq!(merged.committed_prefix_reads, 240);
     }
 
     #[test]

@@ -56,11 +56,16 @@
 //! // Each worker owns one cache per block; resolutions are memoized locally.
 //! let mut cache = LocationCache::new();
 //! memory.record_with_cache(&mut cache, Version::new(0, 0), vec![], vec![(7, 70)]);
-//! let (id, out) = memory.read_with_cache(&mut cache, &7, 2);
-//! assert!(id.is_resolved());
-//! assert_eq!(out, MVReadOutput::Versioned(Version::new(0, 0), 70));
-//! // Steady state: the second access was served by the worker cache.
-//! assert_eq!(cache.stats().hits, 1);
+//! let read = memory.read_with_cache(&mut cache, &7, 2);
+//! assert!(read.id.is_resolved());
+//! assert_eq!(read.output, MVReadOutput::Versioned(Version::new(0, 0), 70));
+//! // Nothing is committed yet, so the read is speculative ...
+//! assert!(!read.committed_final);
+//! // ... until the executor freezes the committed prefix past the reader: then the
+//! // same read is final and needs no validation descriptor.
+//! memory.freeze_committed_prefix(2);
+//! assert!(memory.read_with_cache(&mut cache, &7, 2).committed_final);
+//! // Steady state: the repeated accesses were served by the worker cache.
 //! assert_eq!(cache.stats().interner_misses, 1);
 //! ```
 
@@ -72,5 +77,5 @@ mod mvmemory;
 mod read_set;
 
 pub use interner::{LocationCache, LocationCacheStats, LocationId};
-pub use mvmemory::{MVMemory, MVRead, MVReadOutput, WrittenLocation};
+pub use mvmemory::{CachedRead, MVMemory, MVRead, MVReadOutput, WrittenLocation};
 pub use read_set::{ReadDescriptor, ReadOrigin};

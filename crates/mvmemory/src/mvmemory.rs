@@ -9,7 +9,7 @@
 use crate::interner::{Interner, LocationCache, LocationId};
 use crate::read_set::{ReadDescriptor, ReadOrigin};
 use block_stm_sync::versioned_cell::CellRead;
-use block_stm_sync::{RcuCell, VersionedCell};
+use block_stm_sync::{PaddedAtomicUsize, RcuCell, VersionedCell};
 use block_stm_vm::{Incarnation, TxnIndex, Version};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -91,6 +91,22 @@ impl<V> MVRead<'_, V> {
     }
 }
 
+/// Result of a cached hot-path read ([`MVMemory::read_with_cache`]): the location's
+/// interned id, the read outcome, and whether the outcome is **final** — every
+/// transaction below the reader has committed, so the value can never change for the
+/// rest of the block and the read needs no validation descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedRead<V> {
+    /// The location's interned id (stamped into read-set descriptors).
+    pub id: LocationId,
+    /// The read outcome (owned clone of the value, if any).
+    pub output: MVReadOutput<V>,
+    /// `true` iff the read was served entirely from the frozen committed prefix
+    /// (see [`MVMemory::freeze_committed_prefix`]): the executor may skip recording
+    /// a read descriptor for it.
+    pub committed_final: bool,
+}
+
 /// One location written by a transaction's last finished incarnation: the key plus
 /// its interned id (the id makes abort/removal handling a lock-free registry lookup).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +131,9 @@ pub struct MVMemory<K, V> {
     last_written_locations: Vec<RcuCell<Vec<WrittenLocation<K>>>>,
     /// Per transaction: the read-set recorded by its last finished incarnation.
     last_read_set: Vec<RcuCell<Vec<ReadDescriptor<K>>>>,
+    /// Length of the committed prefix frozen by the executor: every entry written by
+    /// a transaction below this index is final for the rest of the block.
+    committed_watermark: PaddedAtomicUsize,
     block_size: usize,
 }
 
@@ -135,8 +154,27 @@ where
             interner: Interner::new(shards),
             last_written_locations: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
             last_read_set: (0..block_size).map(|_| RcuCell::new(Vec::new())).collect(),
+            committed_watermark: PaddedAtomicUsize::new(0),
             block_size,
         }
+    }
+
+    /// Freezes the committed prefix at `prefix` transactions: the executor's commit
+    /// ladder guarantees every transaction below `prefix` is committed, so their
+    /// entries are final. Reads wholly below the watermark take the cheap
+    /// no-revalidation path ([`read_with_cache`](Self::read_with_cache) reports them
+    /// as `committed_final`). Monotone within a block; [`reset`](Self::reset)
+    /// re-arms it.
+    pub fn freeze_committed_prefix(&self, prefix: usize) {
+        debug_assert!(prefix <= self.block_size);
+        debug_assert!(prefix >= self.committed_watermark.load());
+        self.committed_watermark.store(prefix);
+    }
+
+    /// The frozen committed-prefix length (see
+    /// [`freeze_committed_prefix`](Self::freeze_committed_prefix)).
+    pub fn committed_prefix(&self) -> usize {
+        self.committed_watermark.load()
     }
 
     /// Number of transactions in the block this memory serves.
@@ -167,6 +205,7 @@ where
     pub fn reset(&mut self, block_size: usize) {
         self.interner.reset();
         self.block_size = block_size;
+        self.committed_watermark.store(0);
         // One shared empty snapshot per array: re-arming a transaction is a pointer
         // swap, not an allocation.
         let empty_locations: Arc<Vec<WrittenLocation<K>>> = Arc::new(Vec::new());
@@ -189,7 +228,17 @@ where
 
     /// Maps a cell-level read to the paper's read statuses.
     fn cell_read(cell: &VersionedCell<V>, txn_idx: TxnIndex) -> MVRead<'_, V> {
-        match cell.read(txn_idx) {
+        Self::lift_cell_read(cell.read(txn_idx))
+    }
+
+    /// Like [`cell_read`](Self::cell_read) on the committed fast path: every writer
+    /// below `txn_idx` has committed, so the seqlock re-check is skipped.
+    fn cell_read_committed(cell: &VersionedCell<V>, txn_idx: TxnIndex) -> MVRead<'_, V> {
+        Self::lift_cell_read(cell.read_committed(txn_idx))
+    }
+
+    fn lift_cell_read(read: CellRead<'_, V>) -> MVRead<'_, V> {
+        match read {
             CellRead::Value {
                 txn_idx: writer,
                 incarnation,
@@ -374,18 +423,36 @@ where
     /// block-wide first touch), then reads the lock-free cell. Returns the interned
     /// id — callers stamp it into read-set descriptors so validation can skip key
     /// hashing entirely.
+    ///
+    /// When every transaction below the reader has committed (the frozen prefix,
+    /// see [`freeze_committed_prefix`](Self::freeze_committed_prefix)), the read
+    /// takes the cheaper committed cell path and is reported `committed_final`:
+    /// its outcome can never change for the rest of the block, so the executor
+    /// skips the read descriptor entirely — validation has nothing to re-check.
     pub fn read_with_cache(
         &self,
         cache: &mut LocationCache<K, V>,
         location: &K,
         txn_idx: TxnIndex,
-    ) -> (LocationId, MVReadOutput<V>)
+    ) -> CachedRead<V>
     where
         V: Clone,
     {
+        // Load the watermark before the cell: the watermark only grows, so a read
+        // that observes `txn_idx <= watermark` is entirely below committed — and
+        // therefore immutable — entries.
+        let committed_final = txn_idx <= self.committed_watermark.load();
         let interned = cache.resolve(&self.interner, location);
-        let output = Self::cell_read(&interned.cell, txn_idx).to_owned();
-        (interned.id, output)
+        let output = if committed_final {
+            Self::cell_read_committed(&interned.cell, txn_idx).to_owned()
+        } else {
+            Self::cell_read(&interned.cell, txn_idx).to_owned()
+        };
+        CachedRead {
+            id: interned.id,
+            output,
+            committed_final,
+        }
     }
 
     /// Validates the read-set recorded by `txn_idx`'s last finished incarnation
@@ -480,9 +547,23 @@ where
     where
         V: Clone,
     {
+        self.snapshot_prefix(self.block_size)
+    }
+
+    /// Like [`snapshot`](Self::snapshot) but bounded: for every location touched
+    /// during the block, the value written by the highest transaction *below
+    /// `bound`*. Used by the executor when a `BlockLimiter` cuts the block at a
+    /// committed boundary — the result equals a sequential execution of the
+    /// truncated block, with writes of excluded (possibly half-executed) higher
+    /// transactions filtered out by the version bound.
+    pub fn snapshot_prefix(&self, bound: usize) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        debug_assert!(bound <= self.block_size);
         let mut output = Vec::new();
         self.interner.for_each(|key, cell| {
-            if let MVRead::Versioned(_, value) = Self::cell_read(cell, self.block_size) {
+            if let MVRead::Versioned(_, value) = Self::cell_read(cell, bound) {
                 output.push((key.clone(), value.clone()));
             }
         });
@@ -818,14 +899,18 @@ mod tests {
         let mut cache = LocationCache::new();
         // Record through the cache, as the executor does.
         memory.record_with_cache(&mut cache, Version::new(1, 0), vec![], vec![(10, 100)]);
-        let (id_first, out_first) = memory.read_with_cache(&mut cache, &10, 5);
-        assert_eq!(out_first, MVReadOutput::Versioned(Version::new(1, 0), 100));
-        assert!(id_first.is_resolved());
+        let first = memory.read_with_cache(&mut cache, &10, 5);
+        assert_eq!(
+            first.output,
+            MVReadOutput::Versioned(Version::new(1, 0), 100)
+        );
+        assert!(first.id.is_resolved());
+        assert!(!first.committed_final, "nothing frozen yet");
         // The uncached read sees the same state.
-        assert_eq!(memory.read(&10, 5), out_first);
+        assert_eq!(memory.read(&10, 5), first.output);
         // And the id is stable across repeated cached reads.
-        let (id_again, _) = memory.read_with_cache(&mut cache, &10, 5);
-        assert_eq!(id_first, id_again);
+        let again = memory.read_with_cache(&mut cache, &10, 5);
+        assert_eq!(first.id, again.id);
         let stats = cache.stats();
         assert_eq!(stats.interner_misses, 1);
         assert_eq!(stats.hits, 2);
@@ -836,17 +921,68 @@ mod tests {
         let memory = Memory::new(8);
         let mut cache = LocationCache::new();
         memory.record_with_cache(&mut cache, Version::new(0, 0), vec![], vec![(7, 70)]);
-        let (id, out) = memory.read_with_cache(&mut cache, &7, 2);
-        let version = match out {
+        let read = memory.read_with_cache(&mut cache, &7, 2);
+        let version = match read.output {
             MVReadOutput::Versioned(version, _) => version,
             other => panic!("unexpected {other:?}"),
         };
-        let descriptor = ReadDescriptor::from_version(7, version).with_location(id);
+        let descriptor = ReadDescriptor::from_version(7, version).with_location(read.id);
         memory.record_with_cache(&mut cache, Version::new(2, 0), vec![descriptor], vec![]);
         assert!(memory.validate_read_set(2));
         // The id-based path notices the version change like the key path would.
         memory.record_with_cache(&mut cache, Version::new(0, 1), vec![], vec![(7, 71)]);
         assert!(!memory.validate_read_set(2));
+    }
+
+    #[test]
+    fn frozen_prefix_reads_are_final_and_skip_revalidation_bookkeeping() {
+        let memory = Memory::new(8);
+        let mut cache = LocationCache::new();
+        memory.record(Version::new(0, 0), vec![], vec![(5, 50)]);
+        memory.record(Version::new(1, 0), vec![], vec![(6, 60)]);
+        // Nothing frozen: reads are speculative.
+        assert!(!memory.read_with_cache(&mut cache, &5, 2).committed_final);
+        // Transactions 0 and 1 commit; the executor freezes the prefix.
+        memory.freeze_committed_prefix(2);
+        assert_eq!(memory.committed_prefix(), 2);
+        // A reader at or below the watermark sees only committed entries: final.
+        let read = memory.read_with_cache(&mut cache, &5, 2);
+        assert!(read.committed_final);
+        assert_eq!(read.output, MVReadOutput::Versioned(Version::new(0, 0), 50));
+        // Storage fall-throughs below the watermark are final too.
+        let missing = memory.read_with_cache(&mut cache, &99, 2);
+        assert!(missing.committed_final);
+        assert_eq!(missing.output, MVReadOutput::NotFound);
+        // A reader above the watermark may still observe speculative writes.
+        let above = memory.read_with_cache(&mut cache, &6, 3);
+        assert!(!above.committed_final);
+        assert_eq!(
+            above.output,
+            MVReadOutput::Versioned(Version::new(1, 0), 60)
+        );
+        // reset() re-arms the watermark.
+        let mut memory = memory;
+        drop(cache);
+        memory.reset(8);
+        assert_eq!(memory.committed_prefix(), 0);
+    }
+
+    #[test]
+    fn snapshot_prefix_filters_writes_of_excluded_transactions() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(1, 10), (2, 20)]);
+        memory.record(Version::new(1, 0), vec![], vec![(2, 21)]);
+        memory.record(Version::new(3, 0), vec![], vec![(2, 23), (9, 90)]);
+        // Cutting after txn 1 excludes txn 3's writes entirely.
+        let mut prefix = memory.snapshot_prefix(2);
+        prefix.sort_unstable();
+        assert_eq!(prefix, vec![(1, 10), (2, 21)]);
+        // The full snapshot still sees the highest writers.
+        let mut full = memory.snapshot();
+        full.sort_unstable();
+        assert_eq!(full, vec![(1, 10), (2, 23), (9, 90)]);
+        // A zero-length prefix commits nothing.
+        assert!(memory.snapshot_prefix(0).is_empty());
     }
 
     #[test]

@@ -123,7 +123,7 @@ fn assert_all_reads_match(
             let expected = model.read(key, bound);
             // Exercise both the interner path and the worker-cache path.
             let uncached = memory.read(&key, bound);
-            let (_, cached) = memory.read_with_cache(cache, &key, bound);
+            let cached = memory.read_with_cache(cache, &key, bound).output;
             // The shim's prop_assert_eq takes no format args; encode the context in
             // a tuple so a failure still names the step and read.
             prop_assert_eq!(

@@ -1,4 +1,7 @@
-//! The Block-STM collaborative scheduler (Algorithms 4 and 5 of the paper).
+//! The Block-STM collaborative scheduler (Algorithms 4 and 5 of the paper) with a
+//! **rolling commit ladder**.
+//!
+//! # Task dispensing (Algorithms 4–5)
 //!
 //! The scheduler coordinates execution and validation tasks among worker threads while
 //! preserving the preset serialization order. Conceptually it maintains two ordered
@@ -10,16 +13,100 @@
 //! transaction actually has a ready task; adding a task for transaction `i` lowers the
 //! counter back to `i`.
 //!
-//! Completion is detected lazily (the "commit rule" of §2): when both counters have run
-//! past the end of the block, no tasks are in flight (`num_active_tasks == 0`), and a
-//! double-collect over `decrease_cnt` shows neither counter was lowered concurrently,
-//! the whole block is committed and the `done_marker` is raised.
+//! # The status lattice
+//!
+//! Each transaction's current incarnation walks this lattice (the paper's Figure 2
+//! extended with the two commit states):
+//!
+//! ```text
+//!                      (read hit an ESTIMATE)
+//!          +--------------- ABORTING(i) <--------------------+
+//!          |                   ^      ^                      |
+//!          v                   |      | (validation failed)  |
+//!  READY_TO_EXECUTE(i+1)       |      |                      |
+//!                              |      |                      |
+//!  READY_TO_EXECUTE(i) --> EXECUTING(i) --> EXECUTED(i) --> VALIDATED(i)
+//!                                                                |
+//!                                             (lowest uncommitted, fresh wave)
+//!                                                                v
+//!                                                          COMMITTED(i)   [terminal]
+//! ```
+//!
+//! `VALIDATED` records that a validation of the current incarnation passed (at a
+//! particular *wave*, see below); `COMMITTED` is terminal — a committed transaction is
+//! permanently exempt from re-validation and re-execution, its output is final, and
+//! its multi-version entries can be frozen for direct reads.
+//!
+//! # The commit ladder
+//!
+//! Instead of the block "finishing" only when the paper's double-collect `check_done`
+//! fires, a `commit` cursor walks the block front to back: whenever the lowest
+//! uncommitted transaction holds a sufficiently fresh passing validation, it is
+//! committed and the cursor advances ([`Scheduler::committed_prefix`]). Block
+//! completion is *derived* from the ladder — `done()` rises exactly when
+//! `committed_prefix() == block_size()` — and downstream consumers can stream the
+//! committed prefix while the tail of the block still speculates.
+//!
+//! ## Waves
+//!
+//! The validation cursor is packed as `(wave, index)`: every decrease of the cursor
+//! starts a new **wave**, and a claimed validation task is stamped with the wave it
+//! was claimed at. The per-transaction bookkeeping records
+//!
+//! * `max_triggered_wave` — the newest wave whose sweep claimed this transaction,
+//! * `required_wave` — the wave of the validation task last handed directly back by
+//!   `finish_execution` (the cursor never revisits the transaction for it), and
+//! * `validated_wave` — the newest wave at which a validation of the current
+//!   incarnation passed (cleared on abort).
+//!
+//! ## Safety argument (why committing is sound)
+//!
+//! Transaction `k` commits only when, atomically under its status lock:
+//!
+//! 1. `status == VALIDATED` with `validated_wave = Some(w_V)` (a validation of the
+//!    *current* incarnation passed; aborts clear the field),
+//! 2. `w_V >= max(max_triggered_wave, required_wave)`, and
+//! 3. the validation cursor `(idx, wave)` satisfies `idx > k || wave <= w_V`.
+//!
+//! Every event that can invalidate `k`'s reads — a lower transaction aborting (its
+//! writes become ESTIMATEs) or re-executing (new versions, possibly at new locations)
+//! — is followed, before the responsible thread does anything else, by a cursor
+//! decrease to a target `<= k`, creating a fresh wave `w`. The decrease is a SeqCst
+//! RMW on the cursor, and the invalidating stores happen before it; therefore any
+//! validation *claimed at wave `>= w`* observes the event when it re-reads, and
+//! cannot pass while `k`'s recorded reads are stale. So a *passing* validation at
+//! wave `>= w` certifies freshness with respect to every invalidation up to `w`.
+//!
+//! Now suppose `k` satisfies 1–3 but some invalidating decrease `D` (target `<= k`,
+//! wave `w > w_V`) exists. By 3, either the cursor's wave is `<= w_V < w` —
+//! impossible, waves are monotone — or the cursor index is past `k`, so after `D`
+//! the cursor swept from `D`'s target up through `k` and *claimed* index `k` at some
+//! wave `>= w`. If `k` was validatable at that claim, `max_triggered_wave >= w > w_V`
+//! contradicts 2. If it was not, `k`'s current incarnation finished executing only
+//! after that sweep passed, so its `finish_execution` saw the cursor above `k` and
+//! either stamped `required_wave >= w` (contradicting 2) or — with the task-return
+//! optimization off — lowered the cursor below `k` again, contradicting 3 (any
+//! later re-sweep re-enters the previous cases). Hence no such `D` exists, `w_V`
+//! certifies freshness against every invalidation, and since the ladder commits in
+//! index order, all lower transactions are already committed and can never create new
+//! invalidations: `k`'s reads equal the final committed state. ∎
+//!
+//! Liveness: the cursor only moves forward between decreases, idle workers keep
+//! claiming until it passes the block, and every claim either produces a validation
+//! (whose completion raises `validated_wave` to the claim's wave) or proves the
+//! transaction is mid-transition (whose completion schedules a fresh validation); the
+//! ladder therefore always advances eventually. With the ladder disabled
+//! ([`SchedulerOptions::rolling_commit`]), completion falls back to the paper's
+//! double-collect (`check_done`, Theorem 1), which is retained (and cross-checked in
+//! tests) as [`Scheduler::cursors_exhausted`].
 //!
 //! The public API mirrors the paper's function names one-to-one so the correctness
 //! argument of Appendix A maps directly onto this code:
 //! [`Scheduler::next_task`], [`Scheduler::add_dependency`],
 //! [`Scheduler::finish_execution`], [`Scheduler::try_validation_abort`],
-//! [`Scheduler::finish_validation`], [`Scheduler::done`].
+//! [`Scheduler::finish_validation`], [`Scheduler::done`] — plus the ladder's
+//! [`Scheduler::committed_prefix`] and [`Scheduler::halt`] (early halt at a committed
+//! boundary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,4 +117,4 @@ mod task;
 
 pub use scheduler::{Scheduler, SchedulerOptions};
 pub use status::TxnStatus;
-pub use task::{Task, TaskKind};
+pub use task::{Task, TaskKind, Wave};

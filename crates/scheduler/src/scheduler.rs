@@ -1,25 +1,47 @@
-//! The collaborative scheduler (Algorithms 4 and 5).
+//! The collaborative scheduler (Algorithms 4 and 5) with the rolling commit ladder.
 
 use crate::status::TxnStatus;
-use crate::task::Task;
+use crate::task::{Task, Wave};
 use block_stm_sync::{AtomicMinCounter, CachePadded, PaddedAtomicBool, PaddedAtomicUsize};
 use block_stm_vm::{Incarnation, TxnIndex, Version};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Incarnation number plus lifecycle status, protected together by one mutex
-/// (the paper's `txn_status[txn_idx] = mutex((incarnation_number, status))`).
+/// Incarnation number, lifecycle status and the commit ladder's wave bookkeeping,
+/// protected together by one mutex (the paper's
+/// `txn_status[txn_idx] = mutex((incarnation_number, status))`, extended).
 #[derive(Debug, Clone, Copy)]
 struct StatusEntry {
     incarnation: Incarnation,
     status: TxnStatus,
+    /// Highest wave at which the validation cursor claimed this transaction while it
+    /// was validatable. The commit ladder refuses to commit an incarnation whose
+    /// passing validation is older than this (a newer sweep has reached the
+    /// transaction, so a fresher validation is required or already in flight).
+    max_triggered_wave: Wave,
+    /// Wave of the validation task last handed directly back to the executing thread
+    /// by `finish_execution` (the cursor will never revisit the transaction for it,
+    /// so the requirement is recorded here instead of via `max_triggered_wave`).
+    required_wave: Wave,
+    /// Highest wave at which a validation of the *current* incarnation passed.
+    /// Cleared on abort.
+    validated_wave: Option<Wave>,
+}
+
+impl StatusEntry {
+    fn initial() -> Self {
+        Self {
+            incarnation: 0,
+            status: TxnStatus::ReadyToExecute,
+            max_triggered_wave: 0,
+            required_wave: 0,
+            validated_wave: None,
+        }
+    }
 }
 
 /// Configuration of a [`Scheduler`], applied at construction (or on
 /// [`Scheduler::reset`], which preserves it).
-///
-/// This is the single configuration entry point for the scheduler, consistent with
-/// the executor's builder style; it replaces the old two-step
-/// `Scheduler::new(n).without_task_return_optimization()` construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerOptions {
     /// Allow `finish_execution` / `finish_validation` to hand the follow-up task
@@ -27,14 +49,34 @@ pub struct SchedulerOptions {
     /// counters (the paper's cases 1(b)/2(c) optimization). Disabled only by the
     /// ablation benchmarks. Default: `true`.
     pub task_return_optimization: bool,
+    /// Run the rolling commit ladder: commit the lowest uncommitted transaction as
+    /// soon as it has a sufficiently fresh passing validation, exempt committed
+    /// transactions from re-validation, and derive block completion from
+    /// `committed_prefix() == block_size()` instead of the double-collect
+    /// `check_done`. Disabled only by ablation benchmarks (the `commitbench`
+    /// ladder-off rows). Default: `true`.
+    pub rolling_commit: bool,
 }
 
 impl Default for SchedulerOptions {
     fn default() -> Self {
         Self {
             task_return_optimization: true,
+            rolling_commit: true,
         }
     }
+}
+
+/// Packs the validation cursor: low 32 bits index, high 32 bits wave.
+#[inline]
+const fn pack_cursor(idx: usize, wave: Wave) -> u64 {
+    ((wave as u64) << 32) | idx as u64
+}
+
+/// Unpacks the validation cursor into `(idx, wave)`.
+#[inline]
+const fn unpack_cursor(packed: u64) -> (usize, Wave) {
+    ((packed & u32::MAX as u64) as usize, (packed >> 32) as Wave)
 }
 
 /// The Block-STM collaborative scheduler for one block execution.
@@ -44,30 +86,44 @@ impl Default for SchedulerOptions {
 /// [`reset`](Self::reset) (which requires `&mut self`, i.e. proof of exclusive
 /// access) to reuse the per-transaction arrays for the next block instead of
 /// reallocating them.
+///
+/// See the crate docs for the commit ladder design and its safety argument.
 #[derive(Debug)]
 pub struct Scheduler {
     block_size: usize,
     /// Index of the next transaction to try to execute (cursor of the ordered set `E`).
     execution_idx: AtomicMinCounter,
-    /// Index of the next transaction to try to validate (cursor of the ordered set `V`).
-    validation_idx: AtomicMinCounter,
-    /// Incremented every time either index is decreased; lets `check_done` detect
-    /// concurrent decreases with a double-collect (Theorem 1).
+    /// Packed validation cursor: `(wave << 32) | idx`. The index is the cursor of the
+    /// ordered set `V`; the wave increments on every decrease, so a claimed
+    /// validation task knows how fresh it is (commit ladder bookkeeping).
+    validation_idx: CachePadded<AtomicU64>,
+    /// Incremented every time either index is decreased; lets the legacy
+    /// `check_done` double-collect detect concurrent decreases (Theorem 1). With the
+    /// commit ladder enabled this is diagnostic only.
     decrease_cnt: PaddedAtomicUsize,
     /// Number of in-flight execution/validation tasks (including claimed-but-not-yet
     /// -materialized ones).
     num_active_tasks: PaddedAtomicUsize,
-    /// Set once all transactions are committed; lets threads exit their run loop.
+    /// Set once the block is complete (ladder reached `block_size`, or the legacy
+    /// double-collect fired, or the scheduler was halted).
     done_marker: PaddedAtomicBool,
+    /// Set by [`halt`](Self::halt): the block was cut short (worker panic or a
+    /// `BlockLimiter` boundary) rather than run to completion.
+    halted: PaddedAtomicBool,
+    /// The commit ladder cursor: index of the lowest uncommitted transaction. Only
+    /// the thread holding the mutex advances it; `commit_watermark` mirrors it for
+    /// lock-free reads.
+    commit_cursor: CachePadded<Mutex<usize>>,
+    /// Lock-free mirror of the commit cursor (the committed prefix length).
+    commit_watermark: PaddedAtomicUsize,
     /// Per transaction: indices of transactions waiting for it to re-execute.
     txn_dependency: Vec<CachePadded<Mutex<Vec<TxnIndex>>>>,
-    /// Per transaction: current incarnation number and status.
+    /// Per transaction: current incarnation number, status and wave bookkeeping.
     txn_status: Vec<CachePadded<Mutex<StatusEntry>>>,
-    /// Whether `finish_execution` / `finish_validation` may hand the follow-up task
-    /// directly back to the calling thread instead of going through the shared
-    /// counters (the paper's cases 1(b)/2(c) optimization). Disabled only by the
-    /// ablation benchmarks.
+    /// See [`SchedulerOptions::task_return_optimization`].
     task_return_optimization: bool,
+    /// See [`SchedulerOptions::rolling_commit`].
+    rolling_commit: bool,
 }
 
 impl Scheduler {
@@ -80,25 +136,28 @@ impl Scheduler {
     /// Creates a scheduler for a block of `block_size` transactions with explicit
     /// [`SchedulerOptions`].
     pub fn with_options(block_size: usize, options: SchedulerOptions) -> Self {
+        assert!(
+            block_size < u32::MAX as usize,
+            "block size must fit the packed validation cursor"
+        );
         Self {
             block_size,
             execution_idx: AtomicMinCounter::new(0),
-            validation_idx: AtomicMinCounter::new(0),
+            validation_idx: CachePadded::new(AtomicU64::new(pack_cursor(0, 0))),
             decrease_cnt: PaddedAtomicUsize::new(0),
             num_active_tasks: PaddedAtomicUsize::new(0),
             done_marker: PaddedAtomicBool::new(false),
+            halted: PaddedAtomicBool::new(false),
+            commit_cursor: CachePadded::new(Mutex::new(0)),
+            commit_watermark: PaddedAtomicUsize::new(0),
             txn_dependency: (0..block_size)
                 .map(|_| CachePadded::new(Mutex::new(Vec::new())))
                 .collect(),
             txn_status: (0..block_size)
-                .map(|_| {
-                    CachePadded::new(Mutex::new(StatusEntry {
-                        incarnation: 0,
-                        status: TxnStatus::ReadyToExecute,
-                    }))
-                })
+                .map(|_| CachePadded::new(Mutex::new(StatusEntry::initial())))
                 .collect(),
             task_return_optimization: options.task_return_optimization,
+            rolling_commit: options.rolling_commit,
         }
     }
 
@@ -109,12 +168,19 @@ impl Scheduler {
     /// Requires `&mut self`: the borrow checker thereby proves no worker thread still
     /// holds a reference from the previous block.
     pub fn reset(&mut self, block_size: usize) {
+        assert!(
+            block_size < u32::MAX as usize,
+            "block size must fit the packed validation cursor"
+        );
         self.block_size = block_size;
         self.execution_idx.store(0);
-        self.validation_idx.store(0);
+        *self.validation_idx.get_mut() = pack_cursor(0, 0);
         self.decrease_cnt.store(0);
         self.num_active_tasks.store(0);
         self.done_marker.store(false);
+        self.halted.store(false);
+        *self.commit_cursor.get_mut() = 0;
+        self.commit_watermark.store(0);
         self.txn_dependency.truncate(block_size);
         for cell in &mut self.txn_dependency {
             cell.get_mut().clear();
@@ -125,27 +191,30 @@ impl Scheduler {
         }
         self.txn_status.truncate(block_size);
         for cell in &mut self.txn_status {
-            *cell.get_mut() = StatusEntry {
-                incarnation: 0,
-                status: TxnStatus::ReadyToExecute,
-            };
+            *cell.get_mut() = StatusEntry::initial();
         }
         while self.txn_status.len() < block_size {
             self.txn_status
-                .push(CachePadded::new(Mutex::new(StatusEntry {
-                    incarnation: 0,
-                    status: TxnStatus::ReadyToExecute,
-                })));
+                .push(CachePadded::new(Mutex::new(StatusEntry::initial())));
         }
     }
 
     /// Raises the done marker immediately, releasing every worker from its run loop.
     ///
-    /// Used by executors to regain control after a worker died mid-block (e.g. a
-    /// panicking transaction): the block's results are discarded and the scheduler
-    /// must be [`reset`](Self::reset) before the next block.
+    /// Used by executors to cut a block short: after a worker died mid-block (the
+    /// results are discarded) or when a `BlockLimiter` declared the committed prefix
+    /// long enough (the results up to the executor's cut are kept — the prefix below
+    /// [`committed_prefix`](Self::committed_prefix) is already final and is not
+    /// disturbed by the halt). The scheduler must be [`reset`](Self::reset) before
+    /// the next block.
     pub fn halt(&self) {
+        self.halted.store(true);
         self.done_marker.store(true);
+    }
+
+    /// Whether [`halt`](Self::halt) cut this block short.
+    pub fn halted(&self) -> bool {
+        self.halted.load()
     }
 
     /// Number of transactions in the block.
@@ -153,10 +222,31 @@ impl Scheduler {
         self.block_size
     }
 
-    /// `done()` (Line 101): whether all transactions are committed and threads may
-    /// exit their run loop.
+    /// `done()` (Line 101): whether the block is complete and threads may exit their
+    /// run loop. With the commit ladder enabled this is raised exactly when
+    /// [`committed_prefix`](Self::committed_prefix) reaches
+    /// [`block_size`](Self::block_size) (or on [`halt`](Self::halt)).
     pub fn done(&self) -> bool {
         self.done_marker.load()
+    }
+
+    /// Length of the committed prefix: every transaction below this index is
+    /// `Committed` — its output, write-set and multi-version entries are final.
+    /// Monotonically increasing within a block; lock-free.
+    pub fn committed_prefix(&self) -> usize {
+        self.commit_watermark.load()
+    }
+
+    /// Position of the execution cursor, clamped to the block size. The distance
+    /// `execution_cursor() - committed_prefix()` is the commit lag: how far
+    /// speculation has run ahead of the committed prefix.
+    pub fn execution_cursor(&self) -> usize {
+        self.execution_idx.load().min(self.block_size)
+    }
+
+    /// Whether the rolling commit ladder is enabled.
+    pub fn rolling_commit_enabled(&self) -> bool {
+        self.rolling_commit
     }
 
     /// Current incarnation number of `txn_idx` (used by executors for bookkeeping and
@@ -170,29 +260,126 @@ impl Scheduler {
         self.txn_status[txn_idx].lock().status
     }
 
+    /// Capacity of the dependency list slot of `txn_idx` (steady-state allocation
+    /// test hook).
+    #[doc(hidden)]
+    pub fn dependency_capacity(&self, txn_idx: TxnIndex) -> usize {
+        self.txn_dependency[txn_idx].lock().capacity()
+    }
+
     /// `decrease_execution_idx` (Lines 98–100).
     fn decrease_execution_idx(&self, target_idx: TxnIndex) {
         self.execution_idx.decrease(target_idx);
         self.decrease_cnt.increment();
     }
 
-    /// `decrease_validation_idx` (Lines 103–105).
-    fn decrease_validation_idx(&self, target_idx: TxnIndex) {
-        self.validation_idx.decrease(target_idx);
-        self.decrease_cnt.increment();
+    /// `decrease_validation_idx` (Lines 103–105), wave-stamped: lowering the cursor
+    /// starts a new validation wave. Returns the wave at which transactions from
+    /// `target_idx` upward will (re-)validate — the new wave if this call lowered the
+    /// cursor, the current wave if it already was at or below the target.
+    fn decrease_validation_idx(&self, target_idx: TxnIndex) -> Wave {
+        let mut current = self.validation_idx.load(Ordering::SeqCst);
+        loop {
+            let (idx, wave) = unpack_cursor(current);
+            if idx <= target_idx {
+                return wave;
+            }
+            match self.validation_idx.compare_exchange(
+                current,
+                pack_cursor(target_idx, wave + 1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.decrease_cnt.increment();
+                    return wave + 1;
+                }
+                Err(observed) => current = observed,
+            }
+        }
     }
 
-    /// `check_done` (Lines 106–109): the double-collect completion check.
+    /// The current `(index, wave)` of the validation cursor.
+    fn validation_cursor(&self) -> (usize, Wave) {
+        unpack_cursor(self.validation_idx.load(Ordering::SeqCst))
+    }
+
+    /// Completion check. With the commit ladder enabled, completion is *derived from
+    /// the ladder*: the block is done exactly when the committed prefix covers it,
+    /// so this simply attempts a ladder advance (which raises the done marker at the
+    /// end). With the ladder disabled, this is the paper's double-collect
+    /// (`check_done`, Lines 106–109).
     fn check_done(&self) {
+        if self.done_marker.load() {
+            return;
+        }
+        if self.rolling_commit {
+            self.advance_commit_ladder();
+        } else if self.cursors_exhausted() {
+            self.done_marker.store(true);
+        }
+    }
+
+    /// The legacy double-collect completion condition (Theorem 1): both cursors ran
+    /// past the block, no task is in flight, and no cursor was lowered between the
+    /// two collects. With the commit ladder enabled this is exposed for diagnostics
+    /// and the termination-agreement test only.
+    pub fn cursors_exhausted(&self) -> bool {
         let observed_cnt = self.decrease_cnt.load();
         let execution_idx = self.execution_idx.load();
-        let validation_idx = self.validation_idx.load();
+        let (validation_idx, _) = self.validation_cursor();
         let active = self.num_active_tasks.load();
-        if execution_idx.min(validation_idx) >= self.block_size
+        execution_idx.min(validation_idx) >= self.block_size
             && active == 0
             && observed_cnt == self.decrease_cnt.load()
-        {
-            self.done_marker.store(true);
+    }
+
+    /// The post-validation commit hook: advances the commit ladder while the lowest
+    /// uncommitted transaction has a sufficiently fresh passing validation.
+    ///
+    /// A transaction `k` commits when, under its status lock:
+    ///
+    /// 1. its status is `Validated` for the current incarnation, with the passing
+    ///    validation's wave `w_V = validated_wave`;
+    /// 2. `w_V >= max(max_triggered_wave, required_wave)` — no newer sweep has
+    ///    reached the transaction, and the validation handed back after its last
+    ///    execution (if any) has completed;
+    /// 3. the validation cursor `(idx, wave)` satisfies `idx > k || wave <= w_V` — a
+    ///    sweep that could carry an unseen invalidation is not still below `k`.
+    ///
+    /// See the crate docs for why 1–3 imply the incarnation's reads equal the final
+    /// committed state (the safety argument).
+    fn advance_commit_ladder(&self) {
+        debug_assert!(self.rolling_commit);
+        let mut next = self.commit_cursor.lock();
+        loop {
+            if *next == self.block_size {
+                self.done_marker.store(true);
+                return;
+            }
+            if self.halted.load() {
+                // A halt freezes the ladder at the current boundary; the executor
+                // decides what to keep.
+                return;
+            }
+            let mut entry = self.txn_status[*next].lock();
+            let committable = entry.status == TxnStatus::Validated
+                && match entry.validated_wave {
+                    Some(validated) => {
+                        let fresh_enough =
+                            validated >= entry.max_triggered_wave.max(entry.required_wave);
+                        let (cursor_idx, cursor_wave) = self.validation_cursor();
+                        fresh_enough && (cursor_idx > *next || cursor_wave <= validated)
+                    }
+                    None => false,
+                };
+            if !committable {
+                return;
+            }
+            entry.status = TxnStatus::Committed;
+            drop(entry);
+            *next += 1;
+            self.commit_watermark.store(*next);
         }
     }
 
@@ -230,18 +417,28 @@ impl Scheduler {
         }
     }
 
-    /// `next_version_to_validate` (Lines 125–136).
-    fn next_version_to_validate(&self) -> Option<Version> {
-        if self.validation_idx.load() >= self.block_size {
+    /// `next_version_to_validate` (Lines 125–136). Claims the next validatable
+    /// transaction under the cursor and stamps the cursor's wave into both the
+    /// returned task and the transaction's `max_triggered_wave` (the commit ladder's
+    /// freshness floor). Committed transactions are never validatable: the committed
+    /// prefix is permanently exempt from re-validation.
+    fn next_version_to_validate(&self) -> Option<Task> {
+        let (idx, _) = self.validation_cursor();
+        if idx >= self.block_size {
             self.check_done();
             return None;
         }
         self.num_active_tasks.increment();
-        let idx_to_validate = self.validation_idx.fetch_and_increment();
+        let claimed = self.validation_idx.fetch_add(1, Ordering::SeqCst);
+        let (idx_to_validate, wave) = unpack_cursor(claimed);
         if idx_to_validate < self.block_size {
-            let entry = self.txn_status[idx_to_validate].lock();
-            if entry.status == TxnStatus::Executed {
-                return Some(Version::new(idx_to_validate, entry.incarnation));
+            let mut entry = self.txn_status[idx_to_validate].lock();
+            if entry.status.is_validatable() {
+                entry.max_triggered_wave = entry.max_triggered_wave.max(wave);
+                return Some(Task::validation(
+                    Version::new(idx_to_validate, entry.incarnation),
+                    wave,
+                ));
             }
         }
         self.num_active_tasks.decrement();
@@ -252,8 +449,9 @@ impl Scheduler {
     /// task, preferring validation when the validation cursor is behind the execution
     /// cursor.
     pub fn next_task(&self) -> Option<Task> {
-        if self.validation_idx.load() < self.execution_idx.load() {
-            self.next_version_to_validate().map(Task::validation)
+        let (validation_idx, _) = self.validation_cursor();
+        if validation_idx < self.execution_idx.load() {
+            self.next_version_to_validate()
         } else {
             self.next_version_to_execute().map(Task::execution)
         }
@@ -274,8 +472,15 @@ impl Scheduler {
         // Lock order: dependency list of the blocking transaction first, then statuses.
         // This is the only place two locks are held simultaneously (Claim 5).
         let mut dependency_guard = self.txn_dependency[blocking_txn_idx].lock();
-        if self.txn_status[blocking_txn_idx].lock().status == TxnStatus::Executed {
+        if self.txn_status[blocking_txn_idx]
+            .lock()
+            .status
+            .writes_settled()
+        {
             // Dependency resolved before locking: the caller re-executes immediately.
+            // (`Executed`, `Validated` or `Committed` — the blocker's writes are in
+            // place. Registering on a `Committed` blocker in particular would park
+            // the caller forever: committed transactions never resume dependents.)
             return false;
         }
         {
@@ -291,12 +496,13 @@ impl Scheduler {
     }
 
     /// `set_ready_status` (Lines 155–158): moves an `ABORTING(i)` transaction to
-    /// `READY_TO_EXECUTE(i + 1)`.
+    /// `READY_TO_EXECUTE(i + 1)`, invalidating any recorded passing validation.
     fn set_ready_status(&self, txn_idx: TxnIndex) {
         let mut entry = self.txn_status[txn_idx].lock();
         debug_assert_eq!(entry.status, TxnStatus::Aborting);
         entry.incarnation += 1;
         entry.status = TxnStatus::ReadyToExecute;
+        entry.validated_wave = None;
     }
 
     /// `resume_dependencies` (Lines 159–164): wakes every transaction that was waiting
@@ -313,8 +519,11 @@ impl Scheduler {
     /// `finish_execution` (Lines 165–175): called after an incarnation's effects were
     /// recorded in the multi-version memory.
     ///
-    /// Returns a validation task for the caller when only the transaction itself needs
-    /// re-validation (no new location was written) — the paper's case 1(b) optimization.
+    /// When the validation cursor has already run past the transaction, its (re-)
+    /// validation is handed straight back to the caller (the paper's case 1(b)
+    /// optimization), stamped with the wave it must satisfy; if the incarnation
+    /// wrote a location its predecessor did not, the cursor is additionally lowered
+    /// to `txn_idx + 1` so every higher transaction re-validates on a fresh wave.
     pub fn finish_execution(
         &self,
         txn_idx: TxnIndex,
@@ -327,21 +536,36 @@ impl Scheduler {
             debug_assert_eq!(entry.incarnation, incarnation);
             entry.status = TxnStatus::Executed;
         }
-        let deps = std::mem::take(&mut *self.txn_dependency[txn_idx].lock());
-        self.resume_dependencies(&deps);
+        let mut drained = std::mem::take(&mut *self.txn_dependency[txn_idx].lock());
+        self.resume_dependencies(&drained);
+        if drained.capacity() > 0 {
+            // Return the drained buffer to its slot so steady-state wake cycles
+            // allocate nothing. If a new dependency raced in meanwhile (the slot
+            // has its own buffer again), keep that one.
+            drained.clear();
+            let mut slot = self.txn_dependency[txn_idx].lock();
+            if slot.capacity() == 0 {
+                *slot = drained;
+            }
+        }
 
-        if self.validation_idx.load() > txn_idx {
+        let (validation_idx, current_wave) = self.validation_cursor();
+        if validation_idx > txn_idx {
             // Higher transactions have already been (or are being) validated against a
             // state that did not include this incarnation's writes.
-            if wrote_new_path {
-                // They must all be re-validated: lower the validation cursor.
-                self.decrease_validation_idx(txn_idx);
-            } else if self.task_return_optimization {
-                // Only this transaction needs validation; hand it straight back.
-                return Some(Task::validation(Version::new(txn_idx, incarnation)));
-            } else {
-                self.decrease_validation_idx(txn_idx);
+            if self.task_return_optimization {
+                let wave = if wrote_new_path {
+                    // Re-validate the whole suffix on a fresh wave; this
+                    // transaction itself is covered by the task handed back.
+                    self.decrease_validation_idx(txn_idx + 1)
+                } else {
+                    current_wave
+                };
+                self.txn_status[txn_idx].lock().required_wave = wave;
+                return Some(Task::validation(Version::new(txn_idx, incarnation), wave));
             }
+            // Optimization disabled: route everything through the shared cursor.
+            self.decrease_validation_idx(txn_idx);
         }
         self.num_active_tasks.decrement();
         None
@@ -349,10 +573,10 @@ impl Scheduler {
 
     /// `try_validation_abort` (Lines 176–181): claims the right to abort incarnation
     /// `incarnation` of `txn_idx`. Only the first failing validation per incarnation
-    /// succeeds.
+    /// succeeds; committed transactions can never be aborted.
     pub fn try_validation_abort(&self, txn_idx: TxnIndex, incarnation: Incarnation) -> bool {
         let mut entry = self.txn_status[txn_idx].lock();
-        if entry.incarnation == incarnation && entry.status == TxnStatus::Executed {
+        if entry.incarnation == incarnation && entry.status.is_validatable() {
             entry.status = TxnStatus::Aborting;
             true
         } else {
@@ -361,9 +585,18 @@ impl Scheduler {
     }
 
     /// `finish_validation` (Lines 182–191): called after a validation task completes.
-    /// If the validation aborted the incarnation, schedules the re-execution (possibly
-    /// returning it directly to the caller) and re-validation of higher transactions.
-    pub fn finish_validation(&self, txn_idx: TxnIndex, aborted: bool) -> Option<Task> {
+    ///
+    /// On abort, schedules the re-execution (possibly returning it directly to the
+    /// caller) and re-validation of higher transactions. On a pass, records the
+    /// validation's wave, promotes the incarnation to `Validated`, and — when the
+    /// transaction sits at the commit boundary — runs the commit ladder.
+    pub fn finish_validation(
+        &self,
+        txn_idx: TxnIndex,
+        incarnation: Incarnation,
+        wave: Wave,
+        aborted: bool,
+    ) -> Option<Task> {
         if aborted {
             self.set_ready_status(txn_idx);
             self.decrease_validation_idx(txn_idx + 1);
@@ -374,6 +607,20 @@ impl Scheduler {
                     }
                 } else {
                     self.decrease_execution_idx(txn_idx);
+                }
+            }
+        } else {
+            let mut entry = self.txn_status[txn_idx].lock();
+            // Stale validations (a different incarnation, or a transaction that
+            // committed or aborted meanwhile) record nothing.
+            if entry.incarnation == incarnation && entry.status.is_validatable() {
+                entry.status = TxnStatus::Validated;
+                entry.validated_wave =
+                    Some(entry.validated_wave.map_or(wave, |prev| prev.max(wave)));
+                let at_commit_boundary = self.commit_watermark.load() == txn_idx;
+                drop(entry);
+                if self.rolling_commit && at_commit_boundary {
+                    self.advance_commit_ladder();
                 }
             }
         }
@@ -406,6 +653,17 @@ mod tests {
         panic!("no task became available");
     }
 
+    /// Finishes a validation task as passing, passing its version/wave through.
+    fn pass_validation(scheduler: &Scheduler, task: Task) -> Option<Task> {
+        assert!(task.is_validation());
+        scheduler.finish_validation(
+            task.version.txn_idx,
+            task.version.incarnation,
+            task.wave,
+            false,
+        )
+    }
+
     #[test]
     fn initial_tasks_are_executions_in_order() {
         let scheduler = Scheduler::new(3);
@@ -422,6 +680,7 @@ mod tests {
         assert!(!scheduler.done());
         assert!(scheduler.next_task().is_none());
         assert!(scheduler.done());
+        assert_eq!(scheduler.committed_prefix(), 0);
     }
 
     #[test]
@@ -451,13 +710,18 @@ mod tests {
                 }
                 TaskKind::Validation => {
                     validated[task.version.txn_idx] += 1;
-                    pending = scheduler.finish_validation(task.version.txn_idx, false);
+                    pending = pass_validation(&scheduler, task);
                 }
             }
         }
         assert!(executed.iter().all(|&count| count == 1));
         assert!(validated.iter().all(|&count| count >= 1));
         assert_eq!(scheduler.active_tasks(), 0);
+        // The commit ladder committed the whole block, in order.
+        assert_eq!(scheduler.committed_prefix(), n);
+        for txn_idx in 0..n {
+            assert_eq!(scheduler.status_of(txn_idx), TxnStatus::Committed);
+        }
     }
 
     #[test]
@@ -474,36 +738,61 @@ mod tests {
         assert_eq!(scheduler.finish_execution(1, 0, false), None);
         // txn 0: the validation cursor already ran past it and no new location was
         // written, so its validation task is handed straight back to the caller
-        // (case 1(b) of the paper).
+        // (case 1(b) of the paper), stamped with the current wave (0).
         let handed_back = scheduler.finish_execution(0, 0, false);
-        assert_eq!(handed_back, Some(Task::validation(Version::new(0, 0))));
-        assert_eq!(scheduler.finish_validation(0, false), None);
+        assert_eq!(handed_back, Some(Task::validation(Version::new(0, 0), 0)));
+        assert_eq!(pass_validation(&scheduler, handed_back.unwrap()), None);
+        assert_eq!(scheduler.committed_prefix(), 1);
         // The remaining validation (txn 1) is claimed through the shared cursor.
         let v1 = claim(&scheduler);
-        assert_eq!(v1, Task::validation(Version::new(1, 0)));
-        assert_eq!(scheduler.finish_validation(1, false), None);
-        while !scheduler.done() {
-            assert!(scheduler.next_task().is_none());
-        }
+        assert_eq!(v1, Task::validation(Version::new(1, 0), 0));
+        assert_eq!(pass_validation(&scheduler, v1), None);
+        assert!(scheduler.done(), "last commit raises the done marker");
+        assert_eq!(scheduler.committed_prefix(), 2);
+    }
+
+    #[test]
+    fn wrote_new_path_hands_back_validation_and_sweeps_suffix() {
+        let scheduler = Scheduler::new(3);
+        let executions: Vec<Task> = (0..3).map(|_| claim(&scheduler)).collect();
+        assert!(executions.iter().all(|task| task.is_execution()));
+        // All three claimed: the validation cursor sits at 2 (it skipped 0 and 1).
+        // txn 0 wrote a new location: its own validation is handed back on the new
+        // wave and the cursor is lowered to 1 for the suffix.
+        let handed_back = scheduler.finish_execution(0, 0, true).unwrap();
+        assert_eq!(handed_back, Task::validation(Version::new(0, 0), 1));
+        assert_eq!(scheduler.validation_cursor(), (1, 1));
+        scheduler.finish_execution(1, 0, false);
+        scheduler.finish_execution(2, 0, false);
+        assert_eq!(pass_validation(&scheduler, handed_back), None);
+        // Suffix validations are claimed on wave 1.
+        let v1 = claim(&scheduler);
+        assert_eq!(v1, Task::validation(Version::new(1, 0), 1));
+        let v2 = claim(&scheduler);
+        assert_eq!(v2, Task::validation(Version::new(2, 0), 1));
+        pass_validation(&scheduler, v1);
+        pass_validation(&scheduler, v2);
         assert!(scheduler.done());
+        assert_eq!(scheduler.committed_prefix(), 3);
     }
 
     #[test]
     fn failed_validation_returns_re_execution_task_and_bumps_incarnation() {
         let scheduler = Scheduler::new(3);
-        // Claim all executions first (so no validation task interleaves), then finish.
+        // Claim all executions first (so no validation task interleaves), then finish
+        // them without new paths so no validation is handed back for txns 1 and 2.
         let executions: Vec<Task> = (0..3).map(|_| claim(&scheduler)).collect();
         assert!(executions.iter().all(|task| task.is_execution()));
-        for task in &executions {
-            scheduler.finish_execution(task.version.txn_idx, 0, true);
-        }
-        // Claim validation of txn 0 and abort it.
-        let v0 = claim(&scheduler);
-        assert_eq!(v0, Task::validation(Version::new(0, 0)));
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        assert_eq!(v0, Task::validation(Version::new(0, 0), 0));
+        // The cursor (at 2) ran past txn 1 as well: its validation comes back too.
+        let _v1 = scheduler.finish_execution(1, 0, false).unwrap();
+        assert_eq!(scheduler.finish_execution(2, 0, false), None);
+        // The handed-back validation of txn 0 fails.
         assert!(scheduler.try_validation_abort(0, 0));
         // Second abort attempt for the same incarnation must fail.
         assert!(!scheduler.try_validation_abort(0, 0));
-        let followup = scheduler.finish_validation(0, true).unwrap();
+        let followup = scheduler.finish_validation(0, 0, v0.wave, true).unwrap();
         assert_eq!(followup, Task::execution(Version::new(0, 1)));
         assert_eq!(scheduler.incarnation_of(0), 1);
         assert_eq!(scheduler.status_of(0), TxnStatus::Executing);
@@ -514,36 +803,97 @@ mod tests {
         let scheduler = Scheduler::new(3);
         let executions: Vec<Task> = (0..3).map(|_| claim(&scheduler)).collect();
         assert!(executions.iter().all(|task| task.is_execution()));
-        for task in &executions {
-            scheduler.finish_execution(task.version.txn_idx, 0, true);
-        }
-        // Validate all three (claiming moves validation_idx to 3).
-        let mut validations = Vec::new();
-        for _ in 0..3 {
-            validations.push(claim(&scheduler));
-        }
-        // Abort txn 1.
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        // The validation cursor (at 2) already ran past txn 1 too, so its validation
+        // is handed back as well; txn 2's is claimed through the cursor.
+        let v1 = scheduler.finish_execution(1, 0, false).unwrap();
+        assert_eq!(v1, Task::validation(Version::new(1, 0), 0));
+        assert_eq!(scheduler.finish_execution(2, 0, false), None);
+        let v2 = claim(&scheduler);
+        assert_eq!(v2, Task::validation(Version::new(2, 0), 0));
+        // txn 1's validation fails.
         assert!(scheduler.try_validation_abort(1, 0));
-        let reexec = scheduler.finish_validation(1, true).unwrap();
-        assert!(reexec.is_execution());
-        // Finish the other validations without abort.
-        assert_eq!(scheduler.finish_validation(0, false), None);
-        assert_eq!(scheduler.finish_validation(2, false), None);
-        // Complete the re-execution of txn 1 (no new path): a validation task for it
-        // comes straight back because the validation cursor had passed it.
-        let v1 = scheduler
+        let reexec = scheduler
+            .finish_validation(1, 0, v1.wave, true)
+            .expect("re-execution comes straight back");
+        assert_eq!(reexec, Task::execution(Version::new(1, 1)));
+        // The abort lowered the validation cursor to 2 on a fresh wave.
+        assert_eq!(scheduler.validation_cursor(), (2, 1));
+        // The other validations pass (txn 2's is now stale in wave terms).
+        assert_eq!(pass_validation(&scheduler, v0), None);
+        assert_eq!(pass_validation(&scheduler, v2), None);
+        assert_eq!(scheduler.committed_prefix(), 1, "only txn 0 commits so far");
+        // txn 1 re-executes without a new path: its validation is handed back on the
+        // current wave.
+        let v1_again = scheduler
             .finish_execution(1, 1, false)
             .expect("validation task should be returned to the caller");
-        assert_eq!(v1, Task::validation(Version::new(1, 1)));
-        assert_eq!(scheduler.finish_validation(1, false), None);
-        // Validation cursor was lowered to 2 by the abort: txn 2 gets re-validated.
-        let v2 = claim(&scheduler);
-        assert_eq!(v2, Task::validation(Version::new(2, 0)));
-        assert_eq!(scheduler.finish_validation(2, false), None);
-        while !scheduler.done() {
-            assert!(scheduler.next_task().is_none());
-        }
+        assert_eq!(v1_again, Task::validation(Version::new(1, 1), 1));
+        assert_eq!(pass_validation(&scheduler, v1_again), None);
+        assert_eq!(scheduler.committed_prefix(), 2);
+        // txn 2 must re-validate on wave 1 before it can commit: the wave-0 pass
+        // recorded above is too old (a fresh sweep covers it).
+        let v2_again = claim(&scheduler);
+        assert_eq!(v2_again, Task::validation(Version::new(2, 0), 1));
+        assert_eq!(pass_validation(&scheduler, v2_again), None);
         assert!(scheduler.done());
+        assert_eq!(scheduler.committed_prefix(), 3);
+    }
+
+    #[test]
+    fn stale_wave_validation_does_not_commit() {
+        // The commit ladder's freshness rule in isolation: a passing validation from
+        // an old wave must not commit a transaction a newer sweep has reached.
+        let scheduler = Scheduler::new(2);
+        let _e0 = claim(&scheduler);
+        let _e1 = claim(&scheduler);
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        scheduler.finish_execution(1, 0, false);
+        pass_validation(&scheduler, v0);
+        assert_eq!(scheduler.committed_prefix(), 1);
+        // txn 1's validation is claimed on wave 0 ...
+        let v1 = claim(&scheduler);
+        assert_eq!(v1, Task::validation(Version::new(1, 0), 0));
+        // ... but before it reports, something lowers the cursor (as a lower txn's
+        // re-execution with a new write path would).
+        assert_eq!(scheduler.decrease_validation_idx(1), 1);
+        // The wave-0 pass is recorded but does not commit: max_triggered_wave will
+        // reach 1 when the new sweep claims txn 1.
+        let v1_swept = claim(&scheduler);
+        assert_eq!(v1_swept, Task::validation(Version::new(1, 0), 1));
+        pass_validation(&scheduler, v1);
+        assert_eq!(
+            scheduler.committed_prefix(),
+            1,
+            "wave-0 validation is stale once the wave-1 sweep claimed the txn"
+        );
+        assert!(!scheduler.done());
+        // The fresh validation commits it.
+        pass_validation(&scheduler, v1_swept);
+        assert_eq!(scheduler.committed_prefix(), 2);
+        assert!(scheduler.done());
+    }
+
+    #[test]
+    fn committed_transactions_are_exempt_from_revalidation_and_abort() {
+        let scheduler = Scheduler::new(2);
+        let _e0 = claim(&scheduler);
+        let _e1 = claim(&scheduler);
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        scheduler.finish_execution(1, 0, false);
+        pass_validation(&scheduler, v0);
+        assert_eq!(scheduler.status_of(0), TxnStatus::Committed);
+        // A stale validation of the committed incarnation can neither abort it ...
+        assert!(!scheduler.try_validation_abort(0, 0));
+        // ... nor is it ever claimed again: lowering the cursor to 0 sweeps over the
+        // committed transaction without producing a task for it.
+        scheduler.decrease_validation_idx(0);
+        let swept = claim(&scheduler);
+        assert_eq!(
+            swept.version.txn_idx, 1,
+            "the sweep skips the committed transaction"
+        );
+        assert_eq!(scheduler.status_of(0), TxnStatus::Committed);
     }
 
     #[test]
@@ -556,14 +906,17 @@ mod tests {
         // txn2 discovers a dependency on txn0 (still executing): must register.
         assert!(scheduler.add_dependency(2, 0));
         assert_eq!(scheduler.status_of(2), TxnStatus::Aborting);
-        // txn0 finishes: txn2 must be resumed with incarnation 1.
-        scheduler.finish_execution(0, 0, true);
+        // txn0 finishes: txn2 must be resumed with incarnation 1. txn0's own
+        // (re-)validation comes straight back because the cursor had run past it.
+        let v0 = scheduler
+            .finish_execution(0, 0, true)
+            .expect("validation handed back");
         assert_eq!(scheduler.status_of(2), TxnStatus::ReadyToExecute);
         assert_eq!(scheduler.incarnation_of(2), 1);
-        // txn1 finishes too.
-        scheduler.finish_execution(1, 0, true);
+        // txn1 finishes too (the cursor was lowered to 1, so nothing is handed back).
+        assert_eq!(scheduler.finish_execution(1, 0, true), None);
         // Remaining work completes: validations of 0 and 1, then execution of 2, etc.
-        let mut pending: Option<Task> = None;
+        let mut pending: Option<Task> = Some(v0);
         let mut guard = 0;
         let mut executed_txn2_again = false;
         while !scheduler.done() {
@@ -584,11 +937,33 @@ mod tests {
                     );
                 }
                 TaskKind::Validation => {
-                    pending = scheduler.finish_validation(task.version.txn_idx, false);
+                    pending = pass_validation(&scheduler, task);
                 }
             }
         }
         assert!(executed_txn2_again);
+        assert_eq!(scheduler.committed_prefix(), 3);
+    }
+
+    #[test]
+    fn add_dependency_refuses_committed_blockers() {
+        // Regression: a committed blocker never calls finish_execution again, so
+        // registering a dependency on it would park the caller forever. The §3.3
+        // race check must treat Committed (not just Executed/Validated) as
+        // "writes are in place — re-execute immediately".
+        let scheduler = Scheduler::new(2);
+        let _e0 = claim(&scheduler);
+        let e1 = claim(&scheduler);
+        assert_eq!(e1, Task::execution(Version::new(1, 0)));
+        // txn 0 executes, validates and commits while txn 1 is still executing.
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        pass_validation(&scheduler, v0);
+        assert_eq!(scheduler.status_of(0), TxnStatus::Committed);
+        // txn 1 read txn 0's ESTIMATE earlier and only now reports the dependency:
+        // it must be refused (caller re-executes), not registered.
+        assert!(!scheduler.add_dependency(1, 0));
+        assert_eq!(scheduler.status_of(1), TxnStatus::Executing);
+        scheduler.finish_execution(1, 0, false);
     }
 
     #[test]
@@ -603,6 +978,61 @@ mod tests {
         // txn1 is still executing and can finish normally.
         assert_eq!(scheduler.status_of(1), TxnStatus::Executing);
         scheduler.finish_execution(1, 0, true);
+    }
+
+    #[test]
+    fn dependency_wake_cycles_reuse_the_drained_vector() {
+        // Satellite: resume_dependencies/add_dependency must not allocate a fresh
+        // Vec per wake cycle in steady state. The drained buffer is handed back to
+        // its slot after the wake, so after the first cycle the capacity is stable
+        // and non-zero across arbitrarily many cycles (and survives reset()).
+        let mut scheduler = Scheduler::new(2);
+        assert_eq!(scheduler.dependency_capacity(0), 0);
+        let mut stable_capacity = None;
+        for cycle in 0..50 {
+            let e0 = claim(&scheduler);
+            assert_eq!(e0.version.txn_idx, 0, "cycle {cycle}");
+            let e1 = claim(&scheduler);
+            assert_eq!(e1.version.txn_idx, 1, "cycle {cycle}");
+            assert!(scheduler.add_dependency(1, 0));
+            // Waking txn 1 drains the dependency list and must return the buffer.
+            let followup = scheduler.finish_execution(0, 0, true);
+            let capacity = scheduler.dependency_capacity(0);
+            assert!(capacity > 0, "buffer was not returned on cycle {cycle}");
+            match stable_capacity {
+                None => stable_capacity = Some(capacity),
+                Some(expected) => assert_eq!(
+                    capacity, expected,
+                    "steady-state capacity changed on cycle {cycle}"
+                ),
+            }
+            // Unwind the block: validate txn 0, execute + validate txn 1, then
+            // reset for the next cycle.
+            let mut pending = followup;
+            let mut guard = 0;
+            while !scheduler.done() {
+                guard += 1;
+                assert!(guard < 100);
+                let Some(task) = pending.take().or_else(|| scheduler.next_task()) else {
+                    continue;
+                };
+                pending = match task.kind {
+                    TaskKind::Execution => scheduler.finish_execution(
+                        task.version.txn_idx,
+                        task.version.incarnation,
+                        false,
+                    ),
+                    TaskKind::Validation => pass_validation(&scheduler, task),
+                };
+            }
+            scheduler.reset(2);
+            // reset() clears the lists but keeps their buffers.
+            assert_eq!(
+                scheduler.dependency_capacity(0),
+                stable_capacity.unwrap(),
+                "reset dropped the dependency buffer on cycle {cycle}"
+            );
+        }
     }
 
     #[test]
@@ -625,6 +1055,7 @@ mod tests {
             n,
             SchedulerOptions {
                 task_return_optimization: false,
+                ..SchedulerOptions::default()
             },
         );
         let mut executed = vec![0usize; n];
@@ -646,12 +1077,35 @@ mod tests {
                     assert!(followup.is_none(), "optimization disabled: no direct tasks");
                 }
                 TaskKind::Validation => {
-                    let followup = scheduler.finish_validation(task.version.txn_idx, false);
+                    let followup = pass_validation(&scheduler, task);
                     assert!(followup.is_none());
                 }
             }
         }
         assert!(executed.iter().all(|&count| count == 1));
+        assert_eq!(scheduler.committed_prefix(), n);
+    }
+
+    #[test]
+    fn rolling_commit_disabled_restores_double_collect_termination() {
+        let n = 6;
+        let scheduler = Scheduler::with_options(
+            n,
+            SchedulerOptions {
+                rolling_commit: false,
+                ..SchedulerOptions::default()
+            },
+        );
+        assert!(!scheduler.rolling_commit_enabled());
+        let executed = drive_to_completion(&scheduler);
+        assert!(executed.iter().all(|&count| count == 1));
+        // Without the ladder nothing commits; termination came from the legacy
+        // double-collect and every transaction parks at Validated.
+        assert_eq!(scheduler.committed_prefix(), 0);
+        assert!(scheduler.cursors_exhausted());
+        for txn_idx in 0..n {
+            assert_eq!(scheduler.status_of(txn_idx), TxnStatus::Validated);
+        }
     }
 
     #[test]
@@ -676,7 +1130,12 @@ mod tests {
                                 );
                             }
                             Some(t) => {
-                                task = scheduler.finish_validation(t.version.txn_idx, false);
+                                task = scheduler.finish_validation(
+                                    t.version.txn_idx,
+                                    t.version.incarnation,
+                                    t.wave,
+                                    false,
+                                );
                             }
                             None => {
                                 task = scheduler.next_task();
@@ -684,6 +1143,18 @@ mod tests {
                                     std::hint::spin_loop();
                                 }
                             }
+                        }
+                    }
+                    // Drain a task claimed right before the done marker rose, so the
+                    // active-task accounting balances.
+                    if let Some(t) = task {
+                        if t.is_validation() {
+                            scheduler.finish_validation(
+                                t.version.txn_idx,
+                                t.version.incarnation,
+                                t.wave,
+                                false,
+                            );
                         }
                     }
                 })
@@ -696,14 +1167,16 @@ mod tests {
         assert_eq!(executions.len(), n);
         assert!(executions.values().all(|&count| count == 1));
         assert_eq!(scheduler.active_tasks(), 0);
+        assert_eq!(scheduler.committed_prefix(), n);
     }
 
     #[test]
-    fn status_walks_figure_2_through_the_public_api() {
-        // Drive one transaction through the full lifecycle of Figure 2 using
-        // only scheduler entry points, asserting the observable status after
-        // each step: READY_TO_EXECUTE(0) -> EXECUTING(0) -> EXECUTED(0)
-        // -> ABORTING(0) -> READY_TO_EXECUTE(1) -> EXECUTING(1).
+    fn status_walks_the_lattice_through_the_public_api() {
+        // Drive one transaction through the full lifecycle using only scheduler
+        // entry points, asserting the observable status after each step:
+        // READY_TO_EXECUTE(0) -> EXECUTING(0) -> EXECUTED(0) -> ABORTING(0)
+        // -> READY_TO_EXECUTE(1) -> EXECUTING(1) -> EXECUTED(1) -> VALIDATED(1)
+        // -> COMMITTED(1).
         let scheduler = Scheduler::new(1);
         assert_eq!(scheduler.status_of(0), TxnStatus::ReadyToExecute);
         assert_eq!(scheduler.incarnation_of(0), 0);
@@ -715,7 +1188,10 @@ mod tests {
         assert!(scheduler.finish_execution(0, 0, true).is_none());
         assert_eq!(scheduler.status_of(0), TxnStatus::Executed);
 
-        // Validation fails: only the first abort claim for the incarnation wins.
+        // Its validation is claimed through the cursor and fails: only the first
+        // abort claim for the incarnation wins.
+        let v0 = claim(&scheduler);
+        assert_eq!(v0, Task::validation(Version::new(0, 0), 0));
         assert!(scheduler.try_validation_abort(0, 0));
         assert_eq!(scheduler.status_of(0), TxnStatus::Aborting);
         assert!(
@@ -725,10 +1201,22 @@ mod tests {
 
         // finish_validation schedules the re-execution; with the task-return
         // optimization the next incarnation comes straight back.
-        let requeued = scheduler.finish_validation(0, true);
+        let requeued = scheduler.finish_validation(0, 0, v0.wave, true);
         assert_eq!(requeued, Some(Task::execution(Version::new(0, 1))));
         assert_eq!(scheduler.incarnation_of(0), 1);
         assert_eq!(scheduler.status_of(0), TxnStatus::Executing);
+
+        // The second incarnation executes, validates and commits. The validation
+        // cursor already ran past the transaction, so its re-validation is handed
+        // straight back.
+        let v = scheduler
+            .finish_execution(0, 1, false)
+            .expect("validation handed back");
+        assert_eq!(scheduler.status_of(0), TxnStatus::Executed);
+        assert_eq!(v, Task::validation(Version::new(0, 1), 0));
+        pass_validation(&scheduler, v);
+        assert_eq!(scheduler.status_of(0), TxnStatus::Committed);
+        assert!(scheduler.done());
     }
 
     #[test]
@@ -750,13 +1238,13 @@ mod tests {
 
         // Once the blocker has already executed, add_dependency refuses and
         // the caller re-executes immediately (the §3.3 race). Pending
-        // validations of txn 0 come first (the cursor prefers the lowest
-        // index); drain them until txn 1's re-execution is handed out.
+        // validations come first (the cursor prefers the lowest index); drain
+        // them until txn 1's re-execution is handed out.
         let e1_again = loop {
             let task = claim(&scheduler);
             match task.kind {
                 TaskKind::Validation => {
-                    scheduler.finish_validation(task.version.txn_idx, false);
+                    pass_validation(&scheduler, task);
                 }
                 TaskKind::Execution => break task,
             }
@@ -782,10 +1270,36 @@ mod tests {
                     executed[task.version.txn_idx] += 1;
                     scheduler.finish_execution(task.version.txn_idx, task.version.incarnation, true)
                 }
-                TaskKind::Validation => scheduler.finish_validation(task.version.txn_idx, false),
+                TaskKind::Validation => scheduler.finish_validation(
+                    task.version.txn_idx,
+                    task.version.incarnation,
+                    task.wave,
+                    false,
+                ),
             };
         }
         executed
+    }
+
+    #[test]
+    fn check_done_and_commit_ladder_agree_on_termination() {
+        // Satellite: with the ladder on, the done marker must rise exactly when the
+        // committed prefix covers the block — and at that point the legacy
+        // double-collect condition holds as well (single-threaded, so no task can
+        // be in flight when the ladder finishes).
+        for n in [1usize, 2, 5, 17] {
+            let scheduler = Scheduler::new(n);
+            assert!(scheduler.rolling_commit_enabled(), "ladder is the default");
+            assert!(!scheduler.cursors_exhausted());
+            drive_to_completion(&scheduler);
+            assert!(scheduler.done());
+            assert_eq!(scheduler.committed_prefix(), n);
+            assert!(
+                scheduler.cursors_exhausted(),
+                "ladder termination implies the double-collect condition (n = {n})"
+            );
+            assert!(!scheduler.halted());
+        }
     }
 
     #[test]
@@ -794,11 +1308,13 @@ mod tests {
         let executed = drive_to_completion(&scheduler);
         assert!(executed.iter().all(|&count| count == 1));
         assert!(scheduler.done());
+        assert_eq!(scheduler.committed_prefix(), 3);
 
-        // Same size: statuses, cursors and the done marker must all re-arm.
+        // Same size: statuses, cursors, commit ladder and the done marker all re-arm.
         scheduler.reset(3);
         assert!(!scheduler.done());
         assert_eq!(scheduler.active_tasks(), 0);
+        assert_eq!(scheduler.committed_prefix(), 0);
         for txn_idx in 0..3 {
             assert_eq!(scheduler.status_of(txn_idx), TxnStatus::ReadyToExecute);
             assert_eq!(scheduler.incarnation_of(txn_idx), 0);
@@ -810,6 +1326,7 @@ mod tests {
         scheduler.reset(7);
         assert_eq!(scheduler.block_size(), 7);
         assert_eq!(drive_to_completion(&scheduler).len(), 7);
+        assert_eq!(scheduler.committed_prefix(), 7);
         scheduler.reset(1);
         assert_eq!(scheduler.block_size(), 1);
         assert_eq!(drive_to_completion(&scheduler), vec![1]);
@@ -821,6 +1338,7 @@ mod tests {
             2,
             SchedulerOptions {
                 task_return_optimization: false,
+                ..SchedulerOptions::default()
             },
         );
         scheduler.reset(2);
@@ -831,29 +1349,49 @@ mod tests {
             scheduler.finish_execution(task.version.txn_idx, 0, true);
         }
         let v0 = claim(&scheduler);
-        assert_eq!(v0, Task::validation(Version::new(0, 0)));
+        assert_eq!(v0.version, Version::new(0, 0));
         assert!(scheduler.try_validation_abort(0, 0));
-        assert_eq!(scheduler.finish_validation(0, true), None);
+        assert_eq!(scheduler.finish_validation(0, 0, v0.wave, true), None);
     }
 
     #[test]
-    fn halt_releases_the_run_loop_immediately() {
+    fn halt_releases_the_run_loop_and_freezes_the_ladder() {
         let scheduler = Scheduler::new(100);
         let _claimed = claim(&scheduler);
         assert!(!scheduler.done());
         scheduler.halt();
         assert!(scheduler.done());
+        assert!(scheduler.halted());
+        // The committed prefix stays where the halt found it.
+        assert_eq!(scheduler.committed_prefix(), 0);
         // After a reset, the scheduler is fully usable again.
         let mut scheduler = scheduler;
         scheduler.reset(2);
         assert!(!scheduler.done());
+        assert!(!scheduler.halted());
         assert!(drive_to_completion(&scheduler).iter().all(|&c| c == 1));
     }
 
     #[test]
-    fn multithreaded_with_random_aborts_terminates() {
+    fn halt_mid_block_keeps_the_committed_prefix() {
+        let scheduler = Scheduler::new(3);
+        let _e0 = claim(&scheduler);
+        let _e1 = claim(&scheduler);
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        pass_validation(&scheduler, v0);
+        assert_eq!(scheduler.committed_prefix(), 1);
+        scheduler.halt();
+        assert!(scheduler.done());
+        // Committed prefix survives the halt; nothing further commits.
+        assert_eq!(scheduler.committed_prefix(), 1);
+        assert_eq!(scheduler.status_of(0), TxnStatus::Committed);
+    }
+
+    #[test]
+    fn multithreaded_with_random_aborts_commits_every_txn() {
         // Validations randomly abort (once per incarnation, bounded by a per-txn cap)
-        // to exercise the re-execution and re-validation paths under concurrency.
+        // to exercise the re-execution, re-validation and commit-ladder paths under
+        // concurrency.
         let n = 120;
         let scheduler = Arc::new(Scheduler::new(n));
         let abort_budget: Arc<Vec<PaddedAtomicUsize>> =
@@ -886,7 +1424,12 @@ mod tests {
                                 if aborted {
                                     abort_budget[idx].decrement();
                                 }
-                                task = scheduler.finish_validation(idx, aborted);
+                                task = scheduler.finish_validation(
+                                    idx,
+                                    t.version.incarnation,
+                                    t.wave,
+                                    aborted,
+                                );
                             }
                             None => {
                                 task = scheduler.next_task();
@@ -903,10 +1446,10 @@ mod tests {
             thread.join().unwrap();
         }
         assert!(scheduler.done());
-        assert_eq!(scheduler.active_tasks(), 0);
-        // Every transaction must have finished in the EXECUTED state.
+        assert_eq!(scheduler.committed_prefix(), n);
+        // Every transaction must have finished in the COMMITTED state.
         for txn_idx in 0..n {
-            assert_eq!(scheduler.status_of(txn_idx), TxnStatus::Executed);
+            assert_eq!(scheduler.status_of(txn_idx), TxnStatus::Committed);
         }
     }
 }

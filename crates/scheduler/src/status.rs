@@ -1,19 +1,26 @@
-//! Per-transaction incarnation status (Figure 2 of the paper).
+//! Per-transaction incarnation status: the paper's Figure 2 lattice extended with
+//! the commit ladder's `Validated` and `Committed` states.
 
 /// The lifecycle status of a transaction's current incarnation.
 ///
-/// Valid transitions (Figure 2):
+/// Valid transitions (Figure 2 of the paper, plus the commit ladder):
 ///
 /// ```text
 /// READY_TO_EXECUTE(i) --try_incarnate--> EXECUTING(i)
 /// EXECUTING(i) --finish_execution--> EXECUTED(i)
 /// EXECUTING(i) --add_dependency--> ABORTING(i)        (read hit an ESTIMATE)
+/// EXECUTED(i)  --finish_validation(pass)--> VALIDATED(i)
 /// EXECUTED(i)  --try_validation_abort--> ABORTING(i)  (validation failed)
+/// VALIDATED(i) --try_validation_abort--> ABORTING(i)  (later re-validation failed)
+/// VALIDATED(i) --commit ladder--> COMMITTED(i)        (lowest uncommitted, wave ok)
 /// ABORTING(i)  --set_ready_status/resume--> READY_TO_EXECUTE(i + 1)
 /// ```
 ///
 /// A status never returns to `READY_TO_EXECUTE(i)` for the same incarnation `i`, which
 /// is what guarantees each incarnation is executed at most once (Corollary 1).
+/// `COMMITTED` is terminal: once the rolling commit ladder commits a transaction it is
+/// permanently exempt from re-validation and re-execution, and its multi-version
+/// entries are final.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TxnStatus {
     /// The next incarnation is ready to be picked up by a thread.
@@ -22,13 +29,19 @@ pub enum TxnStatus {
     Executing,
     /// The incarnation finished executing and recorded its effects.
     Executed,
+    /// A validation of this incarnation passed; the incarnation is committable once
+    /// every lower transaction has committed (and its validation wave is recent
+    /// enough — see the scheduler docs).
+    Validated,
+    /// The incarnation was committed by the rolling commit ladder. Terminal.
+    Committed,
     /// The incarnation is being aborted (failed validation or hit a dependency);
     /// it will become `ReadyToExecute` for the next incarnation.
     Aborting,
 }
 
 impl TxnStatus {
-    /// Returns `true` if the transition `self -> next` is allowed by Figure 2.
+    /// Returns `true` if the transition `self -> next` is allowed by the lattice.
     pub fn can_transition_to(&self, next: TxnStatus) -> bool {
         use TxnStatus::*;
         matches!(
@@ -36,8 +49,29 @@ impl TxnStatus {
             (ReadyToExecute, Executing)
                 | (Executing, Executed)
                 | (Executing, Aborting)
+                | (Executed, Validated)
                 | (Executed, Aborting)
+                | (Validated, Aborting)
+                | (Validated, Committed)
                 | (Aborting, ReadyToExecute)
+        )
+    }
+
+    /// Returns `true` if a validation task may be claimed for (or abort) this status:
+    /// the incarnation has executed and is not yet committed.
+    pub fn is_validatable(&self) -> bool {
+        matches!(self, TxnStatus::Executed | TxnStatus::Validated)
+    }
+
+    /// Returns `true` if the transaction's writes are currently in place in the
+    /// multi-version memory: the incarnation executed (and possibly validated) or
+    /// the transaction committed. A reader that hit this transaction's ESTIMATE can
+    /// simply re-execute instead of registering a dependency — committed blockers in
+    /// particular will never resume anyone again.
+    pub fn writes_settled(&self) -> bool {
+        matches!(
+            self,
+            TxnStatus::Executed | TxnStatus::Validated | TxnStatus::Committed
         )
     }
 }
@@ -48,11 +82,14 @@ mod tests {
     use TxnStatus::*;
 
     #[test]
-    fn legal_transitions_follow_figure_2() {
+    fn legal_transitions_follow_the_lattice() {
         assert!(ReadyToExecute.can_transition_to(Executing));
         assert!(Executing.can_transition_to(Executed));
         assert!(Executing.can_transition_to(Aborting));
+        assert!(Executed.can_transition_to(Validated));
         assert!(Executed.can_transition_to(Aborting));
+        assert!(Validated.can_transition_to(Aborting));
+        assert!(Validated.can_transition_to(Committed));
         assert!(Aborting.can_transition_to(ReadyToExecute));
     }
 
@@ -61,13 +98,38 @@ mod tests {
         assert!(!ReadyToExecute.can_transition_to(Executed));
         assert!(!ReadyToExecute.can_transition_to(Aborting));
         assert!(!Executing.can_transition_to(ReadyToExecute));
+        assert!(!Executing.can_transition_to(Validated));
         assert!(!Executed.can_transition_to(Executing));
         assert!(!Executed.can_transition_to(ReadyToExecute));
+        assert!(
+            !Executed.can_transition_to(Committed),
+            "commit requires a passed validation"
+        );
         assert!(!Aborting.can_transition_to(Executing));
         assert!(!Aborting.can_transition_to(Executed));
+        // Committed is terminal.
+        for next in [ReadyToExecute, Executing, Executed, Validated, Aborting] {
+            assert!(!Committed.can_transition_to(next));
+        }
         // Self transitions are never legal.
-        for status in [ReadyToExecute, Executing, Executed, Aborting] {
+        for status in [
+            ReadyToExecute,
+            Executing,
+            Executed,
+            Validated,
+            Committed,
+            Aborting,
+        ] {
             assert!(!status.can_transition_to(status));
+        }
+    }
+
+    #[test]
+    fn validatable_statuses() {
+        assert!(Executed.is_validatable());
+        assert!(Validated.is_validatable());
+        for status in [ReadyToExecute, Executing, Committed, Aborting] {
+            assert!(!status.is_validatable());
         }
     }
 }

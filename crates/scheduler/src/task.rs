@@ -2,6 +2,12 @@
 
 use block_stm_vm::Version;
 
+/// Monotone counter of validation-cursor decreases ("waves"). Every time the
+/// validation cursor is lowered, the wave increments; a validation task carries the
+/// wave it was claimed (or handed back) at, and the commit ladder only commits a
+/// transaction whose latest incarnation was validated at a sufficiently recent wave.
+pub type Wave = usize;
+
 /// What kind of work a [`Task`] asks a thread to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
@@ -19,6 +25,10 @@ pub struct Task {
     pub version: Version,
     /// Execute or validate.
     pub kind: TaskKind,
+    /// The validation wave this task was issued at (always `0` for executions).
+    /// Passed back to [`finish_validation`](crate::Scheduler::finish_validation) so
+    /// the commit ladder can tell fresh validations from stale ones.
+    pub wave: Wave,
 }
 
 impl Task {
@@ -27,14 +37,16 @@ impl Task {
         Self {
             version,
             kind: TaskKind::Execution,
+            wave: 0,
         }
     }
 
-    /// Creates a validation task.
-    pub fn validation(version: Version) -> Self {
+    /// Creates a validation task issued at `wave`.
+    pub fn validation(version: Version, wave: Wave) -> Self {
         Self {
             version,
             kind: TaskKind::Validation,
+            wave,
         }
     }
 
@@ -54,11 +66,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn constructors_set_kind() {
+    fn constructors_set_kind_and_wave() {
         let v = Version::new(3, 1);
         assert!(Task::execution(v).is_execution());
         assert!(!Task::execution(v).is_validation());
-        assert!(Task::validation(v).is_validation());
-        assert_eq!(Task::validation(v).version, v);
+        assert_eq!(Task::execution(v).wave, 0);
+        assert!(Task::validation(v, 2).is_validation());
+        assert_eq!(Task::validation(v, 2).version, v);
+        assert_eq!(Task::validation(v, 2).wave, 2);
     }
 }

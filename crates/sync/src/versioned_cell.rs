@@ -299,6 +299,42 @@ impl<V> VersionedCell<V> {
         CellRead::Missing
     }
 
+    /// Like [`read`](Self::read), for callers that know every transaction below
+    /// `bound` has **committed** (the rolling commit ladder's frozen prefix): no
+    /// writer below the bound can ever touch its slot again, so the seqlock
+    /// re-check is skipped — a committed read is one state load, one value load.
+    ///
+    /// ESTIMATE markers and in-flight publishes are impossible below a committed
+    /// bound; encountering one is an accounting bug upstream (`debug_assert`), and
+    /// release builds fall back to the full seqlock read for safety.
+    pub fn read_committed(&self, bound: usize) -> CellRead<'_, V> {
+        let slots = self.slots.load();
+        let mut pos = slots.partition_point(|slot| slot.txn_idx < bound);
+        while pos > 0 {
+            pos -= 1;
+            let slot = &slots[pos];
+            let state = slot.state();
+            match state & TAG_MASK {
+                TAG_EMPTY => continue, // old tombstone of a committed txn
+                TAG_VALUE => {
+                    return CellRead::Value {
+                        txn_idx: slot.txn_idx,
+                        incarnation: state >> 2,
+                        value: slot.value.load(),
+                    };
+                }
+                _ => {
+                    debug_assert!(
+                        false,
+                        "estimate/in-flight publish below a committed bound ({bound})"
+                    );
+                    return self.read(bound);
+                }
+            }
+        }
+        CellRead::Missing
+    }
+
     /// Number of live (non-tombstoned) entries; used by tests and metrics.
     pub fn live_entries(&self) -> usize {
         self.slots
@@ -430,6 +466,27 @@ mod tests {
             cell.read(5),
             CellRead::Value { incarnation: 2, .. }
         ));
+    }
+
+    #[test]
+    fn read_committed_matches_read_on_settled_prefixes() {
+        let cell = VersionedCell::new();
+        cell.write(0, 0, 5u64);
+        cell.write(2, 1, 25);
+        cell.write(4, 0, 45);
+        cell.remove(2, 2); // txn 2's final incarnation stopped writing
+        for bound in [1usize, 3, 5, 8] {
+            assert_eq!(
+                cell.read_committed(bound),
+                cell.read(bound),
+                "bound {bound}"
+            );
+        }
+        assert_eq!(cell.read_committed(0), CellRead::Missing);
+        match cell.read_committed(3) {
+            CellRead::Value { txn_idx, value, .. } => assert_eq!((txn_idx, *value), (0, 5)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

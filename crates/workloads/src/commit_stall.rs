@@ -1,0 +1,109 @@
+//! The `commit_stall` workload: an adversarial ordering that maximizes commit lag.
+//!
+//! Every `stall_every`-th transaction (starting with transaction 0) burns a large
+//! amount of synthetic gas; the rest are cheap, independent private-key updates.
+//! Because the rolling commit ladder commits strictly in preset order, all the
+//! cheap transactions above a staller execute and validate almost immediately —
+//! but cannot commit until the slow transaction below them finishes. The result is
+//! the worst realistic case for commit lag (`execution_cursor - commit_idx`),
+//! which `commitbench` measures as p50/p99 and the metrics record as sum/max.
+//!
+//! With `stall_every == block_size` only transaction 0 stalls: the entire rest of
+//! the block parks in the `Validated` state behind it.
+
+use block_stm_vm::synthetic::SyntheticTransaction;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the commit-stall workload over `u64` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitStallWorkload {
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// One staller every this many transactions (`>= 1`; transaction 0 always
+    /// stalls). `block_size` means a single staller at the front.
+    pub stall_every: usize,
+    /// Extra gas burned by each staller (with a work-performing gas schedule this
+    /// is real CPU time).
+    pub stall_extra_gas: u64,
+}
+
+impl CommitStallWorkload {
+    /// A block with one slow transaction at the front and `block_size - 1` cheap
+    /// independent ones behind it.
+    pub fn front_staller(block_size: usize, stall_extra_gas: u64) -> Self {
+        Self {
+            block_size,
+            stall_every: block_size.max(1),
+            stall_extra_gas,
+        }
+    }
+
+    /// A block with a staller every `stall_every` transactions.
+    pub fn periodic(block_size: usize, stall_every: usize, stall_extra_gas: u64) -> Self {
+        Self {
+            block_size,
+            stall_every: stall_every.max(1),
+            stall_extra_gas,
+        }
+    }
+
+    /// Whether transaction `txn_idx` is one of the slow ones.
+    pub fn is_staller(&self, txn_idx: usize) -> bool {
+        txn_idx.is_multiple_of(self.stall_every.max(1))
+    }
+
+    /// The pre-block state: one private key per transaction.
+    pub fn initial_state(&self) -> HashMap<u64, u64> {
+        (0..self.block_size as u64).map(|k| (k, k + 1)).collect()
+    }
+
+    /// Generates the block: every transaction increments its own private key (no
+    /// data conflicts at all — the stall is purely a commit-order effect), stallers
+    /// additionally burn `stall_extra_gas`.
+    pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
+        (0..self.block_size)
+            .map(|i| {
+                let txn = SyntheticTransaction::increment(i as u64);
+                if self.is_staller(i) {
+                    txn.with_extra_gas(self.stall_extra_gas)
+                } else {
+                    txn
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_staller_stalls_only_txn_zero() {
+        let workload = CommitStallWorkload::front_staller(32, 1_000);
+        let block = workload.generate_block();
+        assert_eq!(block.len(), 32);
+        assert_eq!(block[0].extra_gas, 1_000);
+        assert!(block[1..].iter().all(|t| t.extra_gas == 0));
+    }
+
+    #[test]
+    fn periodic_stallers_recur() {
+        let workload = CommitStallWorkload::periodic(10, 4, 50);
+        let stalled: Vec<usize> = (0..10).filter(|&i| workload.is_staller(i)).collect();
+        assert_eq!(stalled, vec![0, 4, 8]);
+        let block = workload.generate_block();
+        assert_eq!(block[4].extra_gas, 50);
+        assert_eq!(block[5].extra_gas, 0);
+    }
+
+    #[test]
+    fn transactions_are_conflict_free() {
+        let block = CommitStallWorkload::front_staller(8, 10).generate_block();
+        for (i, txn) in block.iter().enumerate() {
+            assert_eq!(txn.reads, vec![i as u64]);
+            assert_eq!(txn.writes, vec![i as u64]);
+        }
+    }
+}

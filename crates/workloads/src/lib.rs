@@ -18,16 +18,24 @@
 //! * [`HotspotWorkload`] — a tunable fraction of transactions touch one hot location
 //!   (an auction/counter contract), the adversarial pattern discussed in the paper's
 //!   introduction (performance attacks, popular contracts, auctions).
+//! * [`LongChainWorkload`] — every transaction depends on transaction 0 (a hub key):
+//!   the mass-revalidation stress case for the rolling commit ladder.
+//! * [`CommitStallWorkload`] — conflict-free block with slow transactions at
+//!   commit-critical positions: the adversarial ordering that maximizes commit lag.
 //!
 //! All generators are deterministic in their seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod commit_stall;
 mod hotspot;
+mod long_chain;
 mod p2p;
 mod synthetic;
 
+pub use commit_stall::CommitStallWorkload;
 pub use hotspot::HotspotWorkload;
+pub use long_chain::LongChainWorkload;
 pub use p2p::P2pWorkload;
 pub use synthetic::SyntheticWorkload;

@@ -1,0 +1,117 @@
+//! The `long_chain` workload: every transaction depends on transaction 0.
+//!
+//! Transaction 0 writes one hub key; every other transaction reads that key and
+//! writes a private key of its own. The first speculative wave executes everything
+//! against pre-block storage, so the moment transaction 0 lands its write, the
+//! entire rest of the block must re-validate — and with the rolling commit ladder,
+//! nothing above index 0 can commit until transaction 0 does. This makes the
+//! workload the canonical stress case for the commit ladder's wave bookkeeping
+//! (mass re-validation) while staying embarrassingly parallel *after* the
+//! dependency resolves.
+
+use block_stm_vm::synthetic::SyntheticTransaction;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the long-chain (hub dependency) workload over `u64` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LongChainWorkload {
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// Extra gas burned by the hub transaction (index 0); a large value delays the
+    /// hub and therefore the whole commit ladder.
+    pub hub_extra_gas: u64,
+    /// Extra gas burned by every dependent transaction.
+    pub dependent_extra_gas: u64,
+}
+
+impl LongChainWorkload {
+    /// The key transaction 0 writes and every other transaction reads.
+    pub const HUB_KEY: u64 = 0;
+
+    /// A long-chain block of `block_size` transactions with no extra gas.
+    pub fn new(block_size: usize) -> Self {
+        Self {
+            block_size,
+            hub_extra_gas: 0,
+            dependent_extra_gas: 0,
+        }
+    }
+
+    /// Builder: sets the hub transaction's extra gas.
+    pub fn with_hub_extra_gas(mut self, gas: u64) -> Self {
+        self.hub_extra_gas = gas;
+        self
+    }
+
+    /// Builder: sets every dependent transaction's extra gas.
+    pub fn with_dependent_extra_gas(mut self, gas: u64) -> Self {
+        self.dependent_extra_gas = gas;
+        self
+    }
+
+    /// The pre-block state: the hub key plus one private key per transaction.
+    pub fn initial_state(&self) -> HashMap<u64, u64> {
+        let mut state: HashMap<u64, u64> =
+            (1..=self.block_size as u64).map(|k| (k, k * 3)).collect();
+        state.insert(Self::HUB_KEY, 7);
+        state
+    }
+
+    /// Generates the block: txn 0 rewrites the hub key; txns `1..n` read it and
+    /// write their own key (values derived from the read, so a stale read changes
+    /// the committed state and is caught by the oracle).
+    pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
+        (0..self.block_size)
+            .map(|i| {
+                if i == 0 {
+                    SyntheticTransaction::increment(Self::HUB_KEY)
+                        .with_extra_gas(self.hub_extra_gas)
+                } else {
+                    SyntheticTransaction {
+                        reads: vec![Self::HUB_KEY],
+                        writes: vec![i as u64],
+                        conditional_writes: vec![],
+                        salt: i as u64,
+                        extra_gas: self.dependent_extra_gas,
+                        abort_when_divisible_by: None,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dependent_reads_the_hub() {
+        let block = LongChainWorkload::new(16).generate_block();
+        assert_eq!(block.len(), 16);
+        assert_eq!(block[0].writes, vec![LongChainWorkload::HUB_KEY]);
+        for (i, txn) in block.iter().enumerate().skip(1) {
+            assert_eq!(txn.reads, vec![LongChainWorkload::HUB_KEY]);
+            assert_eq!(txn.writes, vec![i as u64]);
+        }
+    }
+
+    #[test]
+    fn initial_state_covers_hub_and_private_keys() {
+        let workload = LongChainWorkload::new(8);
+        let state = workload.initial_state();
+        assert!(state.contains_key(&LongChainWorkload::HUB_KEY));
+        assert_eq!(state.len(), 9);
+    }
+
+    #[test]
+    fn gas_builders_apply() {
+        let block = LongChainWorkload::new(4)
+            .with_hub_extra_gas(100)
+            .with_dependent_extra_gas(3)
+            .generate_block();
+        assert_eq!(block[0].extra_gas, 100);
+        assert!(block[1..].iter().all(|t| t.extra_gas == 3));
+    }
+}

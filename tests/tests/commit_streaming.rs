@@ -1,0 +1,210 @@
+//! Commit-ladder integration suite: streamed commit order, early halt via
+//! `BlockLimiter`, and commit-lag metrics.
+//!
+//! The acceptance bar of the scheduler's rolling-commit redesign:
+//!
+//! * the streamed commit order is `0..n`, **exactly once per transaction**, under
+//!   arbitrary (property-generated) blocks — whose conflicts induce random abort
+//!   schedules — at 1–8 threads;
+//! * a `BlockGasLimit` cut mid-block produces exactly the sequential execution of
+//!   the truncated block;
+//! * the commit-lag and committed-prefix-read metrics are populated.
+
+use block_stm::{BlockGasLimit, BlockStmBuilder, CommitEvent, CommitSink, SequentialExecutor, Vm};
+use block_stm_storage::InMemoryStorage;
+use block_stm_vm::synthetic::SyntheticTransaction;
+use block_stm_workloads::{CommitStallWorkload, LongChainWorkload, SyntheticWorkload};
+use parking_lot::Mutex;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const KEYS: u64 = 10;
+
+/// Conflict-heavy arbitrary transactions: a small key universe plus deterministic
+/// aborts makes validation failures (and therefore random abort schedules inside the
+/// engine) common.
+fn arb_txn() -> impl Strategy<Value = SyntheticTransaction> {
+    (
+        vec(0..KEYS, 0..4),
+        vec(0..KEYS, 1..3),
+        vec(0..KEYS, 0..2),
+        any::<u64>(),
+        prop_oneof![Just(None), (2u64..5).prop_map(Some)],
+    )
+        .prop_map(
+            |(reads, writes, conditional, salt, abort)| SyntheticTransaction {
+                reads,
+                writes,
+                conditional_writes: conditional,
+                salt,
+                extra_gas: 0,
+                abort_when_divisible_by: abort,
+            },
+        )
+}
+
+fn initial_storage() -> InMemoryStorage<u64, u64> {
+    (0..KEYS).map(|k| (k, k * 13 + 5)).collect()
+}
+
+/// A sink recording the exact stream of committed indices.
+#[derive(Default)]
+struct OrderSink {
+    commits: Mutex<Vec<usize>>,
+    max_lag: Mutex<usize>,
+}
+
+impl CommitSink<u64, u64> for OrderSink {
+    fn begin_block(&self, _block_size: usize) {
+        self.commits.lock().clear();
+        *self.max_lag.lock() = 0;
+    }
+
+    fn on_commit(&self, event: &CommitEvent<'_, u64, u64>) {
+        self.commits.lock().push(event.txn_idx);
+        let mut max_lag = self.max_lag.lock();
+        *max_lag = (*max_lag).max(event.commit_lag());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole property: under random abort schedules, the streamed commit
+    /// order is `0..n` exactly once, at every thread count.
+    #[test]
+    fn streamed_commit_order_is_the_preset_order(
+        block in vec(arb_txn(), 1..50),
+        threads in 1usize..9,
+    ) {
+        let storage = initial_storage();
+        let sink = Arc::new(OrderSink::default());
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .commit_sink::<u64, u64>(sink.clone())
+            .build();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        let commits = sink.commits.lock();
+        prop_assert_eq!(&*commits, &(0..block.len()).collect::<Vec<_>>());
+        // And the streamed prefix is the real committed result.
+        let sequential = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&block, &storage)
+            .unwrap();
+        prop_assert_eq!(output.updates, sequential.updates);
+        prop_assert_eq!(output.metrics.committed_txns, block.len() as u64);
+    }
+
+    /// A `BlockGasLimit` cut anywhere in the block equals the sequential engine run
+    /// on the truncated block — transactions past the cut are cleanly excluded.
+    #[test]
+    fn gas_limit_cut_matches_sequential_on_the_truncated_block(
+        block in vec(arb_txn(), 2..40),
+        threads in 1usize..9,
+        cut_fraction in 1u64..100,
+    ) {
+        let storage = initial_storage();
+        let sequential = SequentialExecutor::new(Vm::for_testing());
+        let full = sequential.execute_block(&block, &storage).unwrap();
+        let total_gas: u64 = full.outputs.iter().map(|o| o.gas_used).sum();
+        let budget = total_gas * cut_fraction / 100;
+        // The deterministic expected cut: longest prefix within budget.
+        let mut expected_cut = block.len();
+        let mut used = 0u64;
+        for (idx, output) in full.outputs.iter().enumerate() {
+            if used + output.gas_used > budget {
+                expected_cut = idx;
+                break;
+            }
+            used += output.gas_used;
+        }
+
+        let limiter = Arc::new(BlockGasLimit::new(budget));
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .block_limiter::<u64, u64>(limiter)
+            .build();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        let cut = output.truncated_at.unwrap_or(block.len());
+        prop_assert_eq!(cut, expected_cut);
+        prop_assert_eq!(output.outputs.len(), cut);
+        let truncated = sequential.execute_block(&block[..cut], &storage).unwrap();
+        prop_assert_eq!(output.updates, truncated.updates);
+        for (p, s) in output.outputs.iter().zip(truncated.outputs.iter()) {
+            prop_assert_eq!(&p.writes, &s.writes);
+            prop_assert_eq!(p.abort_code, s.abort_code);
+        }
+    }
+}
+
+/// The long-chain workload (every transaction depends on txn 0) streams in order
+/// and hits the committed-prefix fast path heavily once the hub commits.
+#[test]
+fn long_chain_streams_in_order_with_prefix_reads() {
+    let workload = LongChainWorkload::new(300);
+    let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
+    let block = workload.generate_block();
+    for threads in [1usize, 2, 4, 8] {
+        let sink = Arc::new(OrderSink::default());
+        let executor = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .commit_sink::<u64, u64>(sink.clone())
+            .build();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        assert_eq!(
+            *sink.commits.lock(),
+            (0..300).collect::<Vec<_>>(),
+            "stream order at {threads} threads"
+        );
+        let oracle = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&block, &storage)
+            .unwrap();
+        assert_eq!(output.updates, oracle.updates, "{threads} threads");
+        assert_eq!(output.metrics.committed_txns, 300);
+    }
+}
+
+/// The commit-lag metrics satellite: a commit-stall block must record commits for
+/// every transaction, and with multiple workers the execution cursor provably runs
+/// ahead of the commit point (positive lag).
+#[test]
+fn commit_stall_records_commit_lag_metrics() {
+    let workload = CommitStallWorkload::front_staller(200, 50_000);
+    let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
+    let block = workload.generate_block();
+    let executor = BlockStmBuilder::new(Vm::for_testing())
+        .concurrency(4)
+        .build();
+    let metrics = executor.execute_block(&block, &storage).unwrap().metrics;
+    assert_eq!(metrics.committed_txns, 200);
+    assert!(
+        metrics.commit_lag_max >= 1,
+        "execution must run ahead of the stalled commit point (max lag {})",
+        metrics.commit_lag_max
+    );
+    assert!(metrics.avg_commit_lag() > 0.0);
+    assert!(metrics.commit_lag_sum >= metrics.commit_lag_max);
+}
+
+/// Sinks and arena reuse compose: one executor streams many blocks back to back,
+/// with `begin_block` re-arming the sink in between.
+#[test]
+fn streaming_survives_arena_reuse_across_blocks() {
+    let sink = Arc::new(OrderSink::default());
+    let executor = BlockStmBuilder::new(Vm::for_testing())
+        .concurrency(4)
+        .commit_sink::<u64, u64>(sink.clone())
+        .build();
+    let mut storage: InMemoryStorage<u64, u64> = initial_storage();
+    for round in 0..10u64 {
+        let workload = SyntheticWorkload::new(KEYS, 40).with_seed(0x5000 + round);
+        let block = workload.generate_block();
+        let output = executor.execute_block(&block, &storage).unwrap();
+        assert_eq!(
+            *sink.commits.lock(),
+            (0..40).collect::<Vec<_>>(),
+            "round {round}"
+        );
+        storage.apply_updates(output.updates.iter().cloned());
+    }
+}

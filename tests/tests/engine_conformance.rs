@@ -16,12 +16,20 @@ use block_stm_workloads::{P2pWorkload, SyntheticWorkload};
 type Storage = InMemoryStorage<u64, u64>;
 type Engine = Box<dyn BlockExecutor<SyntheticTransaction, Storage>>;
 
-/// Every engine in the workspace, configured for `threads` workers.
+/// Every engine in the workspace, configured for `threads` workers. Block-STM runs
+/// twice: with the rolling commit ladder (the default) and with the ladder disabled
+/// (the `commitbench` ablation) — both must match the sequential oracle.
 fn engines(threads: usize) -> Vec<Engine> {
     vec![
         Box::new(
             BlockStmBuilder::new(Vm::for_testing())
                 .concurrency(threads)
+                .build(),
+        ),
+        Box::new(
+            BlockStmBuilder::new(Vm::for_testing())
+                .concurrency(threads)
+                .rolling_commit(false)
                 .build(),
         ),
         Box::new(SequentialExecutor::new(Vm::for_testing())),
@@ -121,12 +129,15 @@ fn deterministic_aborts_conform() {
 #[test]
 fn engine_names_and_order_contract_are_stable() {
     let names: Vec<&str> = engines(2).iter().map(|engine| engine.name()).collect();
-    assert_eq!(names, vec!["block-stm", "sequential", "bohm", "litm"]);
+    assert_eq!(
+        names,
+        vec!["block-stm", "block-stm", "sequential", "bohm", "litm"]
+    );
     let order: Vec<bool> = engines(2)
         .iter()
         .map(|engine| engine.preserves_preset_order())
         .collect();
-    assert_eq!(order, vec![true, true, true, false]);
+    assert_eq!(order, vec![true, true, true, true, false]);
 }
 
 /// The tentpole reuse scenario: a single `BlockStm` instance executes 50 consecutive

@@ -314,6 +314,13 @@ where
     {
         return Err(ExecutionError::UndeclaredWrite { txn_idx });
     }
+    // A delta-set cannot be represented by Bohm's pre-built placeholder chains:
+    // the slot's value is unknown until the lower writers land, and Bohm has no
+    // lazy-resolution machinery. Refuse the block instead of committing a wrong
+    // state.
+    if output.has_deltas() {
+        return Err(ExecutionError::DeltasUnsupported { txn_idx });
+    }
     for location in declared {
         let value = output
             .writes

@@ -25,7 +25,9 @@
 use block_stm::{BlockExecutor, BlockOutput, ExecutionError, PanicCollector};
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_storage::Storage;
-use block_stm_vm::{ReadOutcome, StateReader, Transaction, TransactionOutput, Vm, VmStatus};
+use block_stm_vm::{
+    AggregatorValue, ReadOutcome, StateReader, Transaction, TransactionOutput, Vm, VmStatus,
+};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
@@ -154,6 +156,10 @@ impl LitmExecutor {
                         txn_idx: remaining[slot],
                     });
                 };
+                // Delta writes are treated conservatively as read-modify-writes
+                // here: LiTM's round model has no lazy-resolution machinery, so a
+                // delta'd key conflicts like any other write (the probe's base
+                // read already appears in `reads` as well).
                 let conflicts = execution
                     .reads
                     .iter()
@@ -162,7 +168,12 @@ impl LitmExecutor {
                         .output
                         .writes
                         .iter()
-                        .any(|write| written_this_round.contains(&write.key));
+                        .any(|write| written_this_round.contains(&write.key))
+                    || execution
+                        .output
+                        .deltas
+                        .iter()
+                        .any(|(key, _)| written_this_round.contains(key));
                 metrics.record_validation(!conflicts);
                 if conflicts {
                     still_remaining.push(execution.txn_idx);
@@ -171,6 +182,21 @@ impl LitmExecutor {
                 for write in &execution.output.writes {
                     written_this_round.insert(write.key.clone());
                     committed_state.insert(write.key.clone(), write.value.clone());
+                }
+                // Commutative deltas materialize against the committed state the
+                // round executed from (no same-round writer touched the key — the
+                // conflict check above deferred those).
+                for (key, op) in &execution.output.deltas {
+                    let base = committed_state
+                        .get(key)
+                        .map(|value| value.to_aggregator())
+                        .or_else(|| storage.get(key).map(|value| value.to_aggregator()))
+                        .unwrap_or(0);
+                    written_this_round.insert(key.clone());
+                    committed_state.insert(
+                        key.clone(),
+                        <T::Value as AggregatorValue>::from_aggregator(op.apply_clamped(base)),
+                    );
                 }
                 final_outputs[execution.txn_idx] = Some(execution.output);
             }

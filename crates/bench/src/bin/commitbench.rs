@@ -1,7 +1,7 @@
 //! Commit-ladder benchmark: rolling commit (ladder on, the default) vs the seed's
 //! batch-at-the-end completion (ladder off), plus commit-lag percentiles.
 //!
-//! Three workloads bracket the ladder's behavior:
+//! Four workloads bracket the ladder's (and the delta machinery's) behavior:
 //!
 //! * `read-heavy` — a low-conflict block over a wide key universe with a zero-work
 //!   gas schedule, so the numbers isolate *engine* overhead: the ladder must not
@@ -12,7 +12,13 @@
 //!   re-validation behind the hub; the wave bookkeeping's stress case);
 //! * `commit_stall` — a conflict-free block whose transaction 0 burns real gas:
 //!   everything validates immediately but must wait to commit, maximizing commit
-//!   lag.
+//!   lag;
+//! * `delta-hotspot` — every transaction bumps ONE shared aggregator while
+//!   burning real gas, compared **delta-on vs delta-off**: commutative deltas
+//!   execute each transaction exactly once (zero aborts, asserted), while the
+//!   read-modify-write shape re-burns every incarnation that speculated past an
+//!   in-flight writer. The binary asserts `delta-on tps >= delta-off tps` — the
+//!   CI bar for the aggregator machinery.
 //!
 //! Ladder-on rows additionally report the commit-lag distribution (p50/p99, in
 //! transactions), measured in a separate instrumented pass through a `CommitSink`
@@ -26,7 +32,9 @@ use block_stm::{BlockStmBuilder, CommitEvent, CommitSink, GasSchedule, Vm};
 use block_stm_bench::quick_mode;
 use block_stm_storage::InMemoryStorage;
 use block_stm_vm::synthetic::SyntheticTransaction;
-use block_stm_workloads::{CommitStallWorkload, LongChainWorkload, SyntheticWorkload};
+use block_stm_workloads::{
+    CommitStallWorkload, DeltaHotspotWorkload, LongChainWorkload, SyntheticWorkload,
+};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::Arc;
@@ -243,6 +251,62 @@ fn main() {
         GasSchedule::benchmark(),
         threads,
         blocks.min(10),
+    );
+
+    // delta-hotspot: every transaction bumps ONE hot aggregator and burns real
+    // gas work. With deltas on the bumps commute (zero aborts, lazy resolution
+    // + commit-time folding; every transaction executes exactly once); with
+    // deltas off they are the classic read-modify-write chain, and every
+    // incarnation that speculated past an in-flight writer re-burns its gas.
+    // CI bar: delta-on throughput must not fall below delta-off on this
+    // workload — the whole point of the aggregator machinery.
+    let delta_block_size = if quick { 400 } else { 1_000 };
+    let delta_blocks = if quick { 2 } else { 6 };
+    let workload = DeltaHotspotWorkload::new(delta_block_size, 1).with_extra_gas(2_000);
+    let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
+    let mut mode_tps = [0.0f64; 2];
+    for (slot, use_deltas) in [(0usize, false), (1usize, true)] {
+        let block = workload.with_deltas(use_deltas).generate_block();
+        let engine = BlockStmBuilder::new(Vm::new(GasSchedule::benchmark()))
+            .concurrency(threads)
+            .build();
+        let avg = timed_blocks(&engine, &block, &storage, delta_blocks);
+        // Sanity: delta mode must commit without a single aggregator abort.
+        if use_deltas {
+            let metrics = engine
+                .execute_block(&block, &storage)
+                .expect("delta block executes")
+                .metrics;
+            assert_eq!(metrics.validation_failures, 0, "deltas must not abort");
+            assert_eq!(metrics.delta_overflow_aborts, 0);
+            assert_eq!(metrics.delta_writes, delta_block_size as u64);
+        }
+        mode_tps[slot] = delta_block_size as f64 / avg;
+        let row = CommitbenchMeasurement {
+            workload: "delta-hotspot".to_string(),
+            mode: if use_deltas { "delta-on" } else { "delta-off" }.to_string(),
+            threads,
+            blocks: delta_blocks,
+            block_size: delta_block_size,
+            tps: mode_tps[slot],
+            avg_block_ms: avg * 1_000.0,
+            lag_p50: 0,
+            lag_p99: 0,
+            lag_max: 0,
+            speedup_vs_ladder_off: if use_deltas {
+                mode_tps[1] / mode_tps[0]
+            } else {
+                1.0
+            },
+        };
+        println!("{}", row.tsv_row());
+        results.push(row);
+    }
+    assert!(
+        mode_tps[1] >= mode_tps[0],
+        "delta-on ({:.0} tps) must beat delta-off ({:.0} tps) on the hot-aggregator workload",
+        mode_tps[1],
+        mode_tps[0]
     );
 
     println!(

@@ -7,7 +7,12 @@
 //!   structural inserts and removals;
 //! * `reexec-heavy` — the abort cycle: `convert_writes_to_estimates` followed by a
 //!   re-record of the same write-set (in-place slot republish on the new path, tree
-//!   mutation under the shard write lock on the old one).
+//!   mutation under the shard write lock on the old one);
+//! * `delta-hotspot` — one hot counter bumped by every transaction, `eager-rmw`
+//!   (read + full write) vs `lazy-delta` (delta entry + commit-order fold via
+//!   `materialize_deltas`). This isolates the *micro-level* cost of the delta
+//!   entry lifecycle; the engine-level payoff (no re-executions under
+//!   contention) is what `commitbench`'s delta-hotspot rows measure.
 //!
 //! The `sharded-btree` rows reconstruct the pre-interner design exactly as the seed
 //! implemented it: SipHash (`RandomState`) shard selection, one `RwLock` per shard,
@@ -24,7 +29,7 @@
 use block_stm_bench::quick_mode;
 use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput, ReadDescriptor};
 use block_stm_sync::{RcuCell, ShardedMap};
-use block_stm_vm::Version;
+use block_stm_vm::{DeltaOp, Version};
 use serde::Serialize;
 use std::collections::hash_map::RandomState;
 use std::collections::BTreeMap;
@@ -174,6 +179,9 @@ impl MvImpl for InternedCell {
             MVReadOutput::Versioned(version, value) => {
                 (version.txn_idx as u64) ^ ((version.incarnation as u64) << 20) ^ (value << 32)
             }
+            // The legacy comparison drives no deltas; resolved reads appear only
+            // in the delta-chain scenario, which fingerprints the sum.
+            MVReadOutput::Resolved { accumulated, .. } => 2 ^ ((accumulated as u64) << 2),
         }
     }
 
@@ -344,6 +352,96 @@ fn measure<M: MvImpl>(
     }
 }
 
+/// The `delta-hotspot` scenario: every transaction bumps ONE hot location, at
+/// the MVMemory level. `eager-rmw` is what a counter contract must do without
+/// aggregator support — read the current value, publish a full write.
+/// `lazy-delta` is the aggregator path — publish a delta entry (no read), and
+/// fold it at the commit boundary exactly as the executor's drain does
+/// (`materialize_deltas` in commit order). Both end each block with the same
+/// committed value, which the checksum cross-checks.
+fn run_delta_hotspot(sizes: &PatternSizes) -> (MvbenchMeasurement, MvbenchMeasurement) {
+    const HOT: u64 = 0;
+    let blocks = sizes.blocks * 2;
+
+    // eager-rmw rows: read + full write per transaction.
+    let mut memory: MVMemory<u64, u64> = MVMemory::new(sizes.num_txns);
+    let mut cache;
+    let mut ops = 0u64;
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _block in 0..blocks {
+        cache = LocationCache::new();
+        memory.reset(sizes.num_txns);
+        for txn in 0..sizes.num_txns {
+            let base = match memory.read_with_cache(&mut cache, &HOT, txn).output {
+                MVReadOutput::Versioned(_, value) => value,
+                MVReadOutput::NotFound => 0,
+                other => panic!("unexpected {other:?}"),
+            };
+            memory.record_with_cache(
+                &mut cache,
+                Version::new(txn, 0),
+                vec![],
+                vec![(HOT, base + 1)],
+            );
+            ops += 2;
+        }
+        checksum = checksum.wrapping_add(match memory.read(&HOT, sizes.num_txns) {
+            MVReadOutput::Versioned(_, value) => value,
+            other => panic!("unexpected {other:?}"),
+        });
+    }
+    let eager_elapsed = start.elapsed().as_secs_f64();
+    let eager = MvbenchMeasurement {
+        pattern: "delta-hotspot".to_string(),
+        implementation: "eager-rmw".to_string(),
+        threads: 1,
+        ops,
+        elapsed_s: eager_elapsed,
+        mops_per_sec: ops as f64 / eager_elapsed / 1e6,
+        speedup_vs_sharded: 1.0,
+        checksum,
+    };
+
+    // lazy-delta rows: delta entry + commit-order fold, no read.
+    let mut ops = 0u64;
+    let mut lazy_checksum = 0u64;
+    let start = Instant::now();
+    for _block in 0..blocks {
+        cache = LocationCache::new();
+        memory.reset(sizes.num_txns);
+        for txn in 0..sizes.num_txns {
+            memory.record_with_cache_deltas(
+                &mut cache,
+                Version::new(txn, 0),
+                vec![],
+                vec![],
+                vec![(HOT, DeltaOp::add_u64(1))],
+            );
+            // The commit drain folds each committed delta in order.
+            memory.materialize_deltas(txn, |_| None);
+            ops += 2;
+        }
+        lazy_checksum = lazy_checksum.wrapping_add(match memory.read(&HOT, sizes.num_txns) {
+            MVReadOutput::Versioned(_, value) => value,
+            other => panic!("unexpected {other:?}"),
+        });
+    }
+    let lazy_elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(checksum, lazy_checksum, "delta-hotspot: modes diverged");
+    let lazy = MvbenchMeasurement {
+        pattern: "delta-hotspot".to_string(),
+        implementation: "lazy-delta".to_string(),
+        threads: 1,
+        ops,
+        elapsed_s: lazy_elapsed,
+        mops_per_sec: ops as f64 / lazy_elapsed / 1e6,
+        speedup_vs_sharded: eager_elapsed / lazy_elapsed,
+        checksum: lazy_checksum,
+    };
+    (eager, lazy)
+}
+
 fn main() {
     let quick = quick_mode();
     let scale = if quick { 1 } else { 10 };
@@ -394,6 +492,12 @@ fn main() {
         results.push(legacy);
         results.push(interned);
     }
+
+    let (eager, lazy) = run_delta_hotspot(&sizes);
+    println!("{}", eager.tsv_row());
+    println!("{}", lazy.tsv_row());
+    results.push(eager);
+    results.push(lazy);
 
     println!(
         "# json: {}",

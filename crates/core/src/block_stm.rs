@@ -23,7 +23,9 @@ use block_stm_mvmemory::{LocationCache, MVMemory};
 use block_stm_scheduler::{Scheduler, SchedulerOptions, Task, TaskKind};
 use block_stm_storage::Storage;
 use block_stm_sync::{Backoff, WorkerPool};
-use block_stm_vm::{Transaction, TransactionOutput, Version, Vm, VmStatus};
+use block_stm_vm::{
+    AbortCode, AggregatorValue, Transaction, TransactionOutput, Version, Vm, VmStatus,
+};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
@@ -358,11 +360,13 @@ impl BlockStm {
         // A limiter cut excludes transactions `cut..` entirely: the committed state
         // is the snapshot bounded below the cut, exactly a sequential execution of
         // the truncated block (higher transactions' speculative writes are filtered
-        // by the version bound).
-        let updates = match cut {
-            Some(cut_at) => state.mvmemory.snapshot_prefix(cut_at),
-            None => state.mvmemory.snapshot(),
-        };
+        // by the version bound). The storage base covers delta chains that were
+        // never folded (the rolling ladder folds committed chains, but with the
+        // ladder disabled resolution happens only here).
+        let base_of = |key: &T::Key| storage.get(key).map(|value| value.to_aggregator());
+        let updates = state
+            .mvmemory
+            .snapshot_prefix_with_base(cut.unwrap_or(num_txns), base_of);
         let mut outputs = Vec::with_capacity(included);
         for (txn_idx, slot) in state.outputs.iter_mut().enumerate().take(included) {
             match slot.get_mut().take() {
@@ -425,7 +429,7 @@ struct EngineState<K, V> {
 impl<K, V> EngineState<K, V>
 where
     K: Eq + Hash + Ord + Clone + Debug + Send + Sync + 'static,
-    V: Clone + PartialEq + Debug + Send + Sync + 'static,
+    V: Clone + PartialEq + Debug + Send + Sync + AggregatorValue + 'static,
 {
     fn new(num_txns: usize, options: &ExecutorOptions) -> Self {
         Self {
@@ -629,7 +633,9 @@ where
                     Some(true) => {}
                     Some(false) => {
                         // Cut at the committed boundary: txns `idx..` are excluded
-                        // and the remaining speculation is abandoned.
+                        // and the remaining speculation is abandoned (their deltas
+                        // are deliberately left unfolded — the snapshot bound
+                        // filters them out).
                         state.cut = Some(idx);
                         self.scheduler.halt();
                         break;
@@ -643,12 +649,24 @@ where
                     }
                 }
             }
+            // Materialize the committed transaction's deltas before the freeze
+            // covers it: the chain is folded (in commit order, so each fold
+            // terminates after one step down) into a concrete frozen value, and
+            // the resolved pairs are handed to the sink so it can stream final
+            // states.
+            let resolved_deltas: Vec<(T::Key, T::Value)> = if output.has_deltas() {
+                self.mvmemory.materialize_deltas(idx, |key| {
+                    self.storage.get(key).map(|value| value.to_aggregator())
+                })
+            } else {
+                Vec::new()
+            };
             let execution_cursor = self.scheduler.execution_cursor();
             let lag = execution_cursor.saturating_sub(idx) as u64;
             lag_sum += lag;
             lag_max = lag_max.max(lag);
             if let Some(sink) = self.sink {
-                if !sink.on_commit_erased(idx, output, execution_cursor) {
+                if !sink.on_commit_erased(idx, output, &resolved_deltas, execution_cursor) {
                     state.failure =
                         Some(ExecutionError::HookStateModelMismatch { hook: "CommitSink" });
                     self.scheduler.halt();
@@ -713,17 +731,26 @@ where
                 VmStatus::Done(output) => {
                     self.metrics
                         .record_committed_prefix_reads(view.committed_final_reads());
+                    let (resolutions, chain_len_max) = view.delta_resolution_stats();
+                    self.metrics
+                        .record_delta_resolutions(resolutions, chain_len_max);
+                    if output.abort_code == Some(AbortCode::DeltaOverflow) {
+                        self.metrics.record_delta_overflow_abort();
+                    }
                     let read_set = view.take_read_set();
                     let write_set: Vec<(T::Key, T::Value)> = output
                         .writes
                         .iter()
                         .map(|write| (write.key.clone(), write.value.clone()))
                         .collect();
-                    let wrote_new_location = self.mvmemory.record_with_cache(
+                    let delta_set = output.deltas.clone();
+                    self.metrics.record_delta_writes(delta_set.len() as u64);
+                    let wrote_new_location = self.mvmemory.record_with_cache_deltas(
                         &mut cache.borrow_mut(),
                         version,
                         read_set,
                         write_set,
+                        delta_set,
                     );
                     *self.outputs[txn_idx].lock() = Some(output);
                     return self.scheduler.finish_execution(
@@ -746,7 +773,9 @@ where
             txn_idx,
             incarnation,
         } = task.version;
-        let read_set_valid = self.mvmemory.validate_read_set(txn_idx);
+        let read_set_valid = self.mvmemory.validate_read_set_with_base(txn_idx, |key| {
+            self.storage.get(key).map(|value| value.to_aggregator())
+        });
         let aborted = !read_set_valid && self.scheduler.try_validation_abort(txn_idx, incarnation);
         self.metrics.record_validation(!aborted);
         if aborted {
@@ -874,6 +903,8 @@ mod tests {
                         salt: rng.gen(),
                         extra_gas: 0,
                         abort_when_divisible_by: if rng.gen_bool(0.2) { Some(3) } else { None },
+                        deltas: vec![],
+                        delta_limit: u64::MAX as u128,
                     }
                 })
                 .collect();
@@ -998,22 +1029,37 @@ mod tests {
         assert_eq!(executor.blocks_dispatched(), 5);
     }
 
-    /// A trivial transaction over a `String`-valued state model, used to prove one
-    /// executor can serve different `(Key, Value)` pairs.
+    /// A trivial transaction over a string-valued state model, used to prove one
+    /// executor can serve different `(Key, Value)` pairs. The newtype supplies the
+    /// (degenerate but deterministic) aggregator embedding non-numeric state
+    /// models must declare.
+    #[derive(Debug, Clone, PartialEq, Eq, Default)]
+    struct Tag(String);
+
+    impl block_stm_vm::AggregatorValue for Tag {
+        fn to_aggregator(&self) -> u128 {
+            0
+        }
+
+        fn from_aggregator(raw: u128) -> Self {
+            Tag(raw.to_string())
+        }
+    }
+
     struct TagTxn {
         key: u64,
     }
 
     impl Transaction for TagTxn {
         type Key = u64;
-        type Value = String;
+        type Value = Tag;
 
-        fn execute<R: StateReader<u64, String>>(
+        fn execute<R: StateReader<u64, Tag>>(
             &self,
-            ctx: &mut TransactionContext<'_, u64, String, R>,
+            ctx: &mut TransactionContext<'_, u64, Tag, R>,
         ) -> Result<(), ExecutionFailure> {
             let prev = ctx.read(&self.key)?.unwrap_or_default();
-            ctx.write(self.key, format!("{prev}x"));
+            ctx.write(self.key, Tag(format!("{}x", prev.0)));
             Ok(())
         }
     }
@@ -1032,13 +1078,13 @@ mod tests {
         let first = executor.execute_block(&block, &storage).unwrap();
         assert_eq!(first.num_txns(), 10);
 
-        let string_storage: InMemoryStorage<u64, String> = InMemoryStorage::new();
+        let string_storage: InMemoryStorage<u64, Tag> = InMemoryStorage::new();
         let string_block: Vec<TagTxn> = (0..6).map(|i| TagTxn { key: i % 2 }).collect();
         let tagged = executor
             .execute_block(&string_block, &string_storage)
             .unwrap();
-        assert_eq!(tagged.get(&0), Some(&"xxx".to_string()));
-        assert_eq!(tagged.get(&1), Some(&"xxx".to_string()));
+        assert_eq!(tagged.get(&0), Some(&Tag("xxx".to_string())));
+        assert_eq!(tagged.get(&1), Some(&Tag("xxx".to_string())));
 
         // And back again: the u64 model still works.
         let output = executor.execute_block(&block, &storage).unwrap();
@@ -1186,7 +1232,7 @@ mod tests {
             .concurrency(2)
             .commit_sink::<u64, u64>(sink)
             .build();
-        let string_storage: InMemoryStorage<u64, String> = InMemoryStorage::new();
+        let string_storage: InMemoryStorage<u64, Tag> = InMemoryStorage::new();
         let string_block: Vec<TagTxn> = (0..4).map(|i| TagTxn { key: i % 2 }).collect();
         match executor.execute_block(&string_block, &string_storage) {
             Err(ExecutionError::HookStateModelMismatch { hook }) => {

@@ -63,6 +63,15 @@ pub enum ExecutionError {
         /// Which hook mismatched (`"CommitSink"` or `"BlockLimiter"`).
         hook: &'static str,
     },
+    /// An engine that publishes values into pre-built placeholder chains (Bohm)
+    /// was handed a transaction that produced commutative delta writes: without
+    /// run-time chain resolution the placeholders cannot represent "add δ to
+    /// whatever lands below", so the block is refused instead of committing a
+    /// wrong state.
+    DeltasUnsupported {
+        /// Index of the transaction that produced a delta-set.
+        txn_idx: usize,
+    },
     /// A streaming hook was attached but the rolling commit ladder is disabled
     /// (`rolling_commit(false)`): without the ladder there is no committed prefix to
     /// stream or cut.
@@ -185,6 +194,11 @@ impl fmt::Display for ExecutionError {
                 f,
                 "the attached {hook} hook is typed for a different (Key, Value) state \
                  model than the executed block"
+            ),
+            ExecutionError::DeltasUnsupported { txn_idx } => write!(
+                f,
+                "transaction {txn_idx} produced commutative delta writes, which this \
+                 engine's pre-declared placeholder chains cannot represent"
             ),
             ExecutionError::HooksRequireRollingCommit => write!(
                 f,

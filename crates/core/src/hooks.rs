@@ -33,6 +33,12 @@ pub struct CommitEvent<'a, K, V> {
     /// Its final output (the committed incarnation's). Borrowed from the engine's
     /// output slot; clone what must outlive the callback.
     pub output: &'a TransactionOutput<K, V>,
+    /// The concrete values the transaction's commutative delta writes
+    /// (`output.deltas`) materialized to at commit, in the same order: the commit
+    /// drain folds each delta chain against the committed prefix, so sinks can
+    /// stream final states without resolving anything. Empty when the
+    /// transaction used no deltas.
+    pub resolved_deltas: &'a [(K, V)],
     /// Position of the execution cursor when the commit was drained — how far
     /// speculation had run ahead of this commit.
     pub execution_cursor: usize,
@@ -141,6 +147,7 @@ pub(crate) trait ErasedCommitSink: Send + Sync {
         &self,
         txn_idx: TxnIndex,
         output: &dyn Any,
+        resolved_deltas: &dyn Any,
         execution_cursor: usize,
     ) -> bool;
 }
@@ -158,18 +165,23 @@ impl<K: Send + Sync + 'static, V: Send + Sync + 'static> ErasedCommitSink for Si
         &self,
         txn_idx: TxnIndex,
         output: &dyn Any,
+        resolved_deltas: &dyn Any,
         execution_cursor: usize,
     ) -> bool {
-        match output.downcast_ref::<TransactionOutput<K, V>>() {
-            Some(output) => {
+        match (
+            output.downcast_ref::<TransactionOutput<K, V>>(),
+            resolved_deltas.downcast_ref::<Vec<(K, V)>>(),
+        ) {
+            (Some(output), Some(resolved_deltas)) => {
                 self.sink.on_commit(&CommitEvent {
                     txn_idx,
                     output,
+                    resolved_deltas,
                     execution_cursor,
                 });
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 }
@@ -206,6 +218,7 @@ mod tests {
     fn output(gas: u64) -> TransactionOutput<u64, u64> {
         TransactionOutput {
             writes: vec![],
+            deltas: vec![],
             gas_used: gas,
             abort_code: None,
             reads_performed: 0,
@@ -244,6 +257,7 @@ mod tests {
         let event = CommitEvent {
             txn_idx: 3,
             output: &out,
+            resolved_deltas: &[],
             execution_cursor: 10,
         };
         assert_eq!(event.commit_lag(), 7);

@@ -120,6 +120,18 @@
 //! the batch-at-the-end behavior for ablation (the `commitbench` harness compares
 //! the two).
 //!
+//! ## Commutative delta writes (aggregators)
+//!
+//! Hot-key blocks (fee counters, total supply, vote tallies) collapse ordered
+//! speculation to sequential speed: every read-modify-write conflicts with every
+//! other. [`TransactionContext::apply_delta`] publishes a bounded commutative
+//! delta instead of a value; the multi-version memory resolves delta chains
+//! lazily, validation compares resolved sums / bounds predicates instead of
+//! exact versions, and the commit ladder materializes committed deltas into
+//! concrete frozen values (streamed via `CommitEvent::resolved_deltas`). The
+//! README's "Delta writes" section has a doctested walkthrough; the
+//! `block-stm-mvmemory` crate docs carry the safety argument.
+//!
 //! ## Crate layout
 //!
 //! * [`BlockExecutor`] — the engine-agnostic interface every engine implements.

@@ -136,6 +136,7 @@ mod tests {
         let outputs = vec![
             TransactionOutput {
                 writes: vec![WriteOp::new(1u64, 1u64)],
+                deltas: vec![],
                 gas_used: 10,
                 abort_code: None,
                 reads_performed: 1,
@@ -143,6 +144,7 @@ mod tests {
             },
             TransactionOutput {
                 writes: vec![],
+                deltas: vec![],
                 gas_used: 5,
                 abort_code: Some(block_stm_vm::AbortCode::User(1)),
                 reads_performed: 0,

@@ -12,7 +12,7 @@ use crate::executor::BlockExecutor;
 use crate::output::BlockOutput;
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_storage::Storage;
-use block_stm_vm::{ReadOutcome, StateReader, Transaction, Vm, VmStatus};
+use block_stm_vm::{AggregatorValue, ReadOutcome, StateReader, Transaction, Vm, VmStatus};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -94,6 +94,25 @@ impl SequentialExecutor {
             for write in &output.writes {
                 committed.insert(write.key.clone(), write.value.clone());
             }
+            // Commutative delta writes materialize immediately here: the
+            // sequential engine always knows the exact prior value. The bounds
+            // were checked during execution (the context's probe reads this very
+            // state), so a clamped application never actually clamps.
+            for (key, op) in &output.deltas {
+                let base = committed
+                    .get(key)
+                    .map(|value| value.to_aggregator())
+                    .or_else(|| storage.get(key).map(|value| value.to_aggregator()))
+                    .unwrap_or(0);
+                debug_assert!(
+                    op.apply_checked(base).is_some(),
+                    "sequential delta application re-checked out of bounds"
+                );
+                committed.insert(
+                    key.clone(),
+                    T::Value::from_aggregator(op.apply_clamped(base)),
+                );
+            }
             outputs.push(output);
         }
 
@@ -163,6 +182,8 @@ mod tests {
                 salt: 0,
                 extra_gas: 0,
                 abort_when_divisible_by: None,
+                deltas: vec![],
+                delta_limit: u64::MAX as u128,
             },
         ];
         let executor = SequentialExecutor::new(Vm::for_testing());

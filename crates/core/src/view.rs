@@ -1,10 +1,11 @@
 //! The parallel executor's state view: multi-version memory first, storage second,
-//! with read-set capture (Algorithm 3's read interception).
+//! with read-set capture (Algorithm 3's read interception) and delta-aware
+//! resolution.
 
 use block_stm_metrics::ExecutionMetrics;
 use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput, ReadDescriptor};
 use block_stm_storage::Storage;
-use block_stm_vm::{ReadOutcome, StateReader, TxnIndex};
+use block_stm_vm::{AggregatorValue, DeltaOp, DeltaProbe, ReadOutcome, StateReader, TxnIndex};
 use std::cell::{Cell, RefCell};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -13,11 +14,21 @@ use std::hash::Hash;
 /// inside the parallel executor.
 ///
 /// A read is served by the multi-version memory (the highest write of a *lower*
-/// transaction), falling back to pre-block storage when no such write exists, and is
-/// recorded in the incarnation's read-set together with the observed version (or the
-/// "storage" ⊥ descriptor) and the location's interned id. If the multi-version
-/// memory reports an ESTIMATE, the read outcome is a dependency and nothing is
-/// recorded — the incarnation will abort.
+/// transaction, with delta chains lazily resolved against the storage base), falling
+/// back to pre-block storage when no such write exists, and is recorded in the
+/// incarnation's read-set together with what validation must re-check:
+///
+/// * a full write → the observed **version** ([`ReadDescriptor::from_version`]);
+/// * a storage fall-through → the ⊥ descriptor ([`ReadDescriptor::from_storage`]);
+/// * a delta-chain resolution → the accumulated **sum**
+///   ([`ReadDescriptor::from_resolved`]) — versions along the chain stay free;
+/// * a delta application's bounds check ([`StateReader::probe_delta`]) → only the
+///   **predicate outcome** ([`ReadDescriptor::from_delta_probe`]), which is what
+///   lets interleaved in-bounds deltas commute instead of conflicting.
+///
+/// If the multi-version memory reports an ESTIMATE anywhere in the resolution, the
+/// read outcome is a dependency and nothing is recorded — the incarnation will
+/// abort.
 ///
 /// Locations are resolved through the worker's [`LocationCache`]: the view borrows
 /// the cache that outlives it (one cache per worker per block), so repeated accesses
@@ -39,12 +50,14 @@ pub struct MVHashMapView<'a, K, V, S> {
     cache: &'a RefCell<LocationCache<K, V>>,
     captured_reads: RefCell<Vec<ReadDescriptor<K>>>,
     committed_final_reads: Cell<u64>,
+    delta_resolutions: Cell<u64>,
+    delta_chain_len_max: Cell<u64>,
 }
 
 impl<'a, K, V, S> MVHashMapView<'a, K, V, S>
 where
     K: Eq + Hash + Clone + Debug,
-    V: Clone + Debug,
+    V: Clone + Debug + AggregatorValue,
     S: Storage<K, V>,
 {
     /// Creates a view for one incarnation of `txn_idx`, resolving locations through
@@ -64,6 +77,8 @@ where
             cache,
             captured_reads: RefCell::new(Vec::new()),
             committed_final_reads: Cell::new(0),
+            delta_resolutions: Cell::new(0),
+            delta_chain_len_max: Cell::new(0),
         }
     }
 
@@ -90,29 +105,52 @@ where
         self.committed_final_reads.get()
     }
 
+    /// Number of reads/probes that lazily resolved through at least one delta
+    /// entry, and the longest chain observed. Flushed into the
+    /// `delta_resolutions` / `delta_chain_len_max` metrics by the executor.
+    pub fn delta_resolution_stats(&self) -> (u64, u64) {
+        (self.delta_resolutions.get(), self.delta_chain_len_max.get())
+    }
+
     /// The block-wide metrics recorder this view reports to. Per-read events are not
     /// recorded (they would contend on shared counters in the hottest path); the
     /// recorder is exposed so custom transaction runners can record task-level events.
     pub fn metrics(&self) -> &ExecutionMetrics {
         self.metrics
     }
+
+    fn note_chain(&self, chain_len: usize) {
+        if chain_len > 0 {
+            self.delta_resolutions.set(self.delta_resolutions.get() + 1);
+            self.delta_chain_len_max
+                .set(self.delta_chain_len_max.get().max(chain_len as u64));
+        }
+    }
+
+    fn storage_base(&self, key: &K) -> Option<u128> {
+        self.storage.get(key).map(|value| value.to_aggregator())
+    }
 }
 
 impl<K, V, S> StateReader<K, V> for MVHashMapView<'_, K, V, S>
 where
     K: Eq + Hash + Clone + Debug,
-    V: Clone + Debug,
+    V: Clone + Debug + AggregatorValue,
     S: Storage<K, V>,
 {
     fn read(&self, key: &K) -> ReadOutcome<V> {
         // Note: per-read metric counters are deliberately NOT recorded here — a shared
         // atomic increment per read would put two highly contended cache lines on the
         // hottest path of every worker thread. The location-cache hit/miss counters
-        // accumulate locally in the worker's cache and are flushed once per block;
-        // read counts are aggregated per task from the transaction outputs.
-        let read = self
-            .mvmemory
-            .read_with_cache(&mut self.cache.borrow_mut(), key, self.txn_idx);
+        // (and the view's delta-resolution counters) accumulate locally and are
+        // flushed once per incarnation/block.
+        let read = self.mvmemory.read_with_cache_base(
+            &mut self.cache.borrow_mut(),
+            key,
+            self.txn_idx,
+            || self.storage_base(key),
+        );
+        self.note_chain(read.delta_chain_len);
         if read.committed_final {
             // Every transaction below this one has committed: the outcome can never
             // change for the rest of the block, so validation has nothing to
@@ -121,6 +159,9 @@ where
                 .set(self.committed_final_reads.get() + 1);
             return match read.output {
                 MVReadOutput::Versioned(_, value) => ReadOutcome::Value(value),
+                MVReadOutput::Resolved { accumulated, .. } => {
+                    ReadOutcome::Value(V::from_aggregator(accumulated))
+                }
                 MVReadOutput::NotFound => match self.storage.get(key) {
                     Some(value) => ReadOutcome::Value(value),
                     None => ReadOutcome::NotFound,
@@ -138,6 +179,15 @@ where
                 );
                 ReadOutcome::Value(value)
             }
+            MVReadOutput::Resolved { accumulated, .. } => {
+                // Validation compares the resolved sum, not the chain's versions:
+                // lower deltas may reorder or re-execute freely as long as the sum
+                // the VM observed is unchanged.
+                self.captured_reads.borrow_mut().push(
+                    ReadDescriptor::from_resolved(key.clone(), accumulated).with_location(read.id),
+                );
+                ReadOutcome::Value(V::from_aggregator(accumulated))
+            }
             MVReadOutput::NotFound => {
                 self.captured_reads
                     .borrow_mut()
@@ -152,6 +202,43 @@ where
                 // along with it, so there is nothing to record.
                 ReadOutcome::Dependency(blocking_txn_idx)
             }
+        }
+    }
+
+    fn probe_delta(&self, key: &K, prior: i128, op: DeltaOp) -> DeltaProbe {
+        let probe = self.mvmemory.probe_delta_with_cache(
+            &mut self.cache.borrow_mut(),
+            key,
+            self.txn_idx,
+            prior,
+            op,
+            || self.storage_base(key),
+        );
+        self.note_chain(probe.chain_len);
+        match probe.outcome {
+            Ok(in_bounds) => {
+                // `committed_final` was loaded before the resolution, so it
+                // describes the state the predicate was actually evaluated
+                // against — a commit landing mid-probe cannot cause a needed
+                // descriptor to be skipped.
+                if probe.committed_final {
+                    // Below the frozen committed prefix the base can never change:
+                    // the predicate is final and needs no descriptor.
+                    self.committed_final_reads
+                        .set(self.committed_final_reads.get() + 1);
+                } else {
+                    self.captured_reads.borrow_mut().push(
+                        ReadDescriptor::from_delta_probe(key.clone(), prior, op, in_bounds)
+                            .with_location(probe.id),
+                    );
+                }
+                if in_bounds {
+                    DeltaProbe::InBounds
+                } else {
+                    DeltaProbe::OutOfBounds
+                }
+            }
+            Err(blocking_txn_idx) => DeltaProbe::Dependency(blocking_txn_idx),
         }
     }
 }
@@ -258,5 +345,73 @@ mod tests {
         // then a pure cache hit for the second view.
         assert_eq!(stats.interner_hits, 1);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn delta_chains_resolve_against_the_storage_base_and_record_sums() {
+        let (mvmemory, storage, metrics) = fixture();
+        // Key 1 holds 100 in storage; txn 1 applies +5 as a delta.
+        mvmemory.record_with_deltas(
+            Version::new(1, 0),
+            vec![],
+            vec![],
+            vec![(1, block_stm_vm::DeltaOp::add(5, 1_000))],
+        );
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
+        assert_eq!(view.read(&1), ReadOutcome::Value(105));
+        let (resolutions, chain_max) = view.delta_resolution_stats();
+        assert_eq!((resolutions, chain_max), (1, 1));
+        let reads = view.take_read_set();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].origin, ReadOrigin::Resolved { accumulated: 105 });
+    }
+
+    #[test]
+    fn probes_record_predicates_and_stay_in_bounds_across_base_changes() {
+        let (mvmemory, storage, metrics) = fixture();
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
+        let op = block_stm_vm::DeltaOp::add(50, 200);
+        // Base is storage's 100: 100 + 50 <= 200.
+        assert_eq!(view.probe_delta(&1, 0, op), DeltaProbe::InBounds);
+        // 100 + 50 + 51 > 200.
+        assert_eq!(
+            view.probe_delta(&1, 50, block_stm_vm::DeltaOp::add(51, 200)),
+            DeltaProbe::OutOfBounds
+        );
+        let reads = view.take_read_set();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(
+            reads[0].origin,
+            ReadOrigin::DeltaProbe {
+                prior: 0,
+                op,
+                in_bounds: true
+            }
+        );
+        match reads[1].origin {
+            ReadOrigin::DeltaProbe { in_bounds, .. } => assert!(!in_bounds),
+            other => panic!("unexpected origin {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probes_surface_estimates_as_dependencies() {
+        let (mvmemory, storage, metrics) = fixture();
+        mvmemory.record_with_deltas(
+            Version::new(1, 0),
+            vec![],
+            vec![],
+            vec![(1, block_stm_vm::DeltaOp::add(1, 1_000))],
+        );
+        mvmemory.convert_writes_to_estimates(1);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache);
+        assert_eq!(
+            view.probe_delta(&1, 0, block_stm_vm::DeltaOp::add(1, 1_000)),
+            DeltaProbe::Dependency(1)
+        );
+        assert_eq!(view.reads_captured(), 0);
     }
 }

@@ -54,6 +54,16 @@ pub struct ExecutionMetrics {
     /// Reads served entirely from the frozen committed prefix (final: recorded no
     /// validation descriptor).
     committed_prefix_reads: PaddedAtomicU64,
+    /// Commutative delta writes recorded into the multi-version memory.
+    delta_writes: PaddedAtomicU64,
+    /// Reads/probes that resolved through at least one delta entry (lazy chain
+    /// resolutions).
+    delta_resolutions: PaddedAtomicU64,
+    /// Longest delta chain any single resolution walked through.
+    delta_chain_len_max: PaddedAtomicU64,
+    /// Incarnations that aborted deterministically with `DeltaOverflow` (an
+    /// aggregator bounds violation).
+    delta_overflow_aborts: PaddedAtomicU64,
 }
 
 impl ExecutionMetrics {
@@ -153,6 +163,28 @@ impl ExecutionMetrics {
         }
     }
 
+    /// Records `n` commutative delta writes published by one incarnation.
+    pub fn record_delta_writes(&self, n: u64) {
+        if n > 0 {
+            self.delta_writes.add(n);
+        }
+    }
+
+    /// Flushes one incarnation's delta-resolution counters: how many reads/probes
+    /// walked a delta chain, and the longest chain observed.
+    pub fn record_delta_resolutions(&self, resolutions: u64, chain_len_max: u64) {
+        if resolutions > 0 {
+            self.delta_resolutions.add(resolutions);
+            self.delta_chain_len_max.fetch_max(chain_len_max);
+        }
+    }
+
+    /// Records one deterministic `DeltaOverflow` abort (aggregator bounds
+    /// violation).
+    pub fn record_delta_overflow_abort(&self) {
+        self.delta_overflow_aborts.increment();
+    }
+
     /// Freezes the counters into a plain snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -175,6 +207,10 @@ impl ExecutionMetrics {
             commit_lag_sum: self.commit_lag_sum.load(),
             commit_lag_max: self.commit_lag_max.load(),
             committed_prefix_reads: self.committed_prefix_reads.load(),
+            delta_writes: self.delta_writes.load(),
+            delta_resolutions: self.delta_resolutions.load(),
+            delta_chain_len_max: self.delta_chain_len_max.load(),
+            delta_overflow_aborts: self.delta_overflow_aborts.load(),
         }
     }
 
@@ -199,6 +235,10 @@ impl ExecutionMetrics {
         self.commit_lag_sum.reset();
         self.commit_lag_max.reset();
         self.committed_prefix_reads.reset();
+        self.delta_writes.reset();
+        self.delta_resolutions.reset();
+        self.delta_chain_len_max.reset();
+        self.delta_overflow_aborts.reset();
     }
 }
 
@@ -224,6 +264,9 @@ mod tests {
         metrics.record_location_cache(5, 2, 1);
         metrics.record_commit(3);
         metrics.record_committed_prefix_reads(4);
+        metrics.record_delta_writes(2);
+        metrics.record_delta_resolutions(3, 5);
+        metrics.record_delta_overflow_abort();
         metrics.reset();
         let snap = metrics.snapshot();
         assert_eq!(snap, MetricsSnapshot::default());

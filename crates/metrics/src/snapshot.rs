@@ -48,6 +48,14 @@ pub struct MetricsSnapshot {
     /// Reads served entirely from the frozen committed prefix (no validation
     /// descriptor recorded).
     pub committed_prefix_reads: u64,
+    /// Commutative delta writes recorded into the multi-version memory.
+    pub delta_writes: u64,
+    /// Reads/probes that lazily resolved through at least one delta entry.
+    pub delta_resolutions: u64,
+    /// Longest delta chain any single resolution walked through.
+    pub delta_chain_len_max: u64,
+    /// Incarnations aborted deterministically on an aggregator bounds violation.
+    pub delta_overflow_aborts: u64,
 }
 
 impl MetricsSnapshot {
@@ -114,6 +122,10 @@ impl MetricsSnapshot {
             commit_lag_sum: self.commit_lag_sum + other.commit_lag_sum,
             commit_lag_max: self.commit_lag_max.max(other.commit_lag_max),
             committed_prefix_reads: self.committed_prefix_reads + other.committed_prefix_reads,
+            delta_writes: self.delta_writes + other.delta_writes,
+            delta_resolutions: self.delta_resolutions + other.delta_resolutions,
+            delta_chain_len_max: self.delta_chain_len_max.max(other.delta_chain_len_max),
+            delta_overflow_aborts: self.delta_overflow_aborts + other.delta_overflow_aborts,
         }
     }
 }
@@ -143,6 +155,10 @@ mod tests {
             commit_lag_sum: 250,
             commit_lag_max: 9,
             committed_prefix_reads: 120,
+            delta_writes: 30,
+            delta_resolutions: 12,
+            delta_chain_len_max: 4,
+            delta_overflow_aborts: 1,
         }
     }
 
@@ -176,6 +192,10 @@ mod tests {
         assert_eq!(merged.commit_lag_sum, 500);
         assert_eq!(merged.commit_lag_max, 9, "max merges as max, not sum");
         assert_eq!(merged.committed_prefix_reads, 240);
+        assert_eq!(merged.delta_writes, 60);
+        assert_eq!(merged.delta_resolutions, 24);
+        assert_eq!(merged.delta_chain_len_max, 4, "max merges as max");
+        assert_eq!(merged.delta_overflow_aborts, 2);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! The per-`(transaction, location)` entry payload: a full value or a delta.
+
+use block_stm_vm::DeltaOp;
+
+/// What one transaction's last finished incarnation left at one location:
+/// either a **full write** (the paper's only write kind) or a **commutative
+/// delta** ([`DeltaOp`]) that applies on top of whatever the next-lower entry
+/// (or pre-block storage) resolves to.
+///
+/// Reads resolve a *chain* of deltas lazily down to the nearest full write or
+/// the storage base; the commit drain folds committed chains into concrete
+/// `Value` entries (see `MVMemory::materialize_deltas`), so steady-state chain
+/// length tracks the commit lag, not the block length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MVEntry<V> {
+    /// A full write: the location's value as of this transaction.
+    Value(V),
+    /// A commutative delta on top of the lower entries / storage base.
+    Delta(DeltaOp),
+}
+
+impl<V> MVEntry<V> {
+    /// Returns the full value, if this entry is one.
+    pub fn as_value(&self) -> Option<&V> {
+        match self {
+            MVEntry::Value(value) => Some(value),
+            MVEntry::Delta(_) => None,
+        }
+    }
+
+    /// Returns the delta op, if this entry is one.
+    pub fn as_delta(&self) -> Option<DeltaOp> {
+        match self {
+            MVEntry::Value(_) => None,
+            MVEntry::Delta(op) => Some(*op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_distinguish_kinds() {
+        let value: MVEntry<u64> = MVEntry::Value(7);
+        assert_eq!(value.as_value(), Some(&7));
+        assert_eq!(value.as_delta(), None);
+        let delta: MVEntry<u64> = MVEntry::Delta(DeltaOp::add(3, 10));
+        assert_eq!(delta.as_value(), None);
+        assert_eq!(delta.as_delta(), Some(DeltaOp::add(3, 10)));
+    }
+}

@@ -25,6 +25,7 @@
 //! memory then tracks ~2× the live working set, while stable key sets never pay a
 //! re-arm.
 
+use crate::entry::MVEntry;
 use block_stm_sync::{FxHashMap, ShardedMap, SnapshotPtr, VersionedCell};
 use parking_lot::Mutex;
 use std::fmt::Debug;
@@ -55,11 +56,15 @@ impl LocationId {
     }
 }
 
+/// The lock-free cell type of one interned location: entries are either full
+/// values or commutative [`DeltaOp`](block_stm_vm::DeltaOp) writes.
+pub(crate) type LocationCell<V> = VersionedCell<MVEntry<V>>;
+
 /// A resolved location: its dense id plus the shared versioned cell.
 #[derive(Debug)]
 pub(crate) struct Interned<V> {
     pub id: LocationId,
-    pub cell: Arc<VersionedCell<V>>,
+    pub cell: Arc<LocationCell<V>>,
 }
 
 // Manual impl: the derive would add an unnecessary `V: Clone` bound.
@@ -80,7 +85,7 @@ const REGISTRY_CHUNK: usize = 256;
 /// bookkeeping of a small interner is cheaper than re-interning a hot set.
 const PRUNE_MIN_LOCATIONS: u32 = 16_384;
 
-type RegistryChunk<V> = Arc<Vec<OnceLock<Arc<VersionedCell<V>>>>>;
+type RegistryChunk<V> = Arc<Vec<OnceLock<Arc<LocationCell<V>>>>>;
 
 /// Lock-free `LocationId → cell` lookup: an RCU-published list of `OnceLock` chunks.
 ///
@@ -102,7 +107,7 @@ impl<V> Registry<V> {
         }
     }
 
-    fn get(&self, id: LocationId) -> Option<&Arc<VersionedCell<V>>> {
+    fn get(&self, id: LocationId) -> Option<&Arc<LocationCell<V>>> {
         let index = id.index();
         let chunks = self.chunks.load();
         chunks
@@ -111,7 +116,7 @@ impl<V> Registry<V> {
             .get()
     }
 
-    fn set(&self, id: LocationId, cell: Arc<VersionedCell<V>>) {
+    fn set(&self, id: LocationId, cell: Arc<LocationCell<V>>) {
         let index = id.index();
         let chunk_index = index / REGISTRY_CHUNK;
         if self.chunks.load().len() <= chunk_index {
@@ -157,7 +162,7 @@ impl<V> Registry<V> {
                                 // A stale external handle pins the old cell; give
                                 // the location a fresh one rather than sharing
                                 // state with the holdout.
-                                None => *shared_cell = Arc::new(VersionedCell::new()),
+                                None => *shared_cell = Arc::new(LocationCell::new()),
                             }
                         }
                     }
@@ -165,12 +170,12 @@ impl<V> Registry<V> {
                 // The chunk itself is pinned (leaked registry snapshot): replace it
                 // wholesale with fresh cells under the same ids.
                 None => {
-                    let rebuilt: Vec<OnceLock<Arc<VersionedCell<V>>>> = shared_chunk
+                    let rebuilt: Vec<OnceLock<Arc<LocationCell<V>>>> = shared_chunk
                         .iter()
                         .map(|slot| {
                             let fresh = OnceLock::new();
                             if slot.get().is_some() {
-                                fresh.set(Arc::new(VersionedCell::new())).ok();
+                                fresh.set(Arc::new(LocationCell::new())).ok();
                             }
                             fresh
                         })
@@ -248,7 +253,7 @@ where
         }
         let (id, first_touch) = self.map.get_or_insert_with(key.clone(), || {
             let id = LocationId(self.next_id.fetch_add(1, Ordering::Relaxed));
-            self.registry.set(id, Arc::new(VersionedCell::new()));
+            self.registry.set(id, Arc::new(LocationCell::new()));
             id
         });
         let cell = Arc::clone(
@@ -260,12 +265,12 @@ where
     }
 
     /// Lock-free `id → cell` lookup through the registry.
-    pub fn cell_by_id(&self, id: LocationId) -> Option<&Arc<VersionedCell<V>>> {
+    pub fn cell_by_id(&self, id: LocationId) -> Option<&Arc<LocationCell<V>>> {
         self.registry.get(id)
     }
 
     /// Invokes `f` on every interned `(key, cell)` pair (shard by shard; cold path).
-    pub fn for_each(&self, mut f: impl FnMut(&K, &Arc<VersionedCell<V>>)) {
+    pub fn for_each(&self, mut f: impl FnMut(&K, &Arc<LocationCell<V>>)) {
         self.map.for_each(|key, id| {
             if let Some(cell) = self.registry.get(*id) {
                 f(key, cell);
@@ -428,7 +433,7 @@ mod tests {
     fn reset_recycles_cells_and_keeps_ids_stable() {
         let mut interner: Interner<u64, u64> = Interner::new(8);
         let (entry, _) = interner.resolve(&7);
-        entry.cell.write(3, 0, 42);
+        entry.cell.write(3, 0, MVEntry::Value(42));
         let id = entry.id;
         let cell_ptr = Arc::as_ptr(&entry.cell);
         drop(entry); // emulate caches being dropped before reset
@@ -463,7 +468,7 @@ mod tests {
         for _block in 0..8 {
             for _ in 0..churn_per_block {
                 let (entry, _) = interner.resolve(&fresh_key);
-                entry.cell.write(0, 0, fresh_key);
+                entry.cell.write(0, 0, MVEntry::Value(fresh_key));
                 fresh_key += 1;
             }
             max_interned = max_interned.max(interner.len());
@@ -483,10 +488,13 @@ mod tests {
         // After a re-arm the interner serves fresh blocks correctly.
         let (entry, first_touch) = interner.resolve(&fresh_key);
         assert!(first_touch);
-        entry.cell.write(1, 0, 7);
+        entry.cell.write(1, 0, MVEntry::Value(7));
         assert!(matches!(
             entry.cell.read(2),
-            block_stm_sync::versioned_cell::CellRead::Value { value: &7, .. }
+            block_stm_sync::versioned_cell::CellRead::Value {
+                value: &MVEntry::Value(7),
+                ..
+            }
         ));
     }
 

@@ -38,13 +38,50 @@
 //!
 //! | Paper                              | Here                                             |
 //! |------------------------------------|--------------------------------------------------|
-//! | `record(version, rs, ws)`          | [`MVMemory::record`] / [`MVMemory::record_with_cache`] |
+//! | `record(version, rs, ws)`          | [`MVMemory::record`] / [`MVMemory::record_with_cache_deltas`] |
 //! | `convert_writes_to_estimates(i)`   | [`MVMemory::convert_writes_to_estimates`]        |
-//! | `read(location, i)`                | [`MVMemory::read`] / [`MVMemory::read_with`] / [`MVMemory::read_with_cache`] |
-//! | `validate_read_set(i)`             | [`MVMemory::validate_read_set`]                  |
-//! | `snapshot()`                       | [`MVMemory::snapshot`]                           |
+//! | `read(location, i)`                | [`MVMemory::read`] / [`MVMemory::read_with_cache_base`] |
+//! | `validate_read_set(i)`             | [`MVMemory::validate_read_set_with_base`]        |
+//! | `snapshot()`                       | [`MVMemory::snapshot_prefix_with_base`]          |
 //!
 //! plus read-set descriptor types shared with the executor.
+//!
+//! # Commutative delta writes and the lazy-resolution safety argument
+//!
+//! Every cell entry is an [`MVEntry`]: a **full write** or a **delta**
+//! ([`block_stm_vm::DeltaOp`]) — a commutative `+δ` with bounds that applies on
+//! top of whatever the lower entries resolve to. A read whose highest lower
+//! entry is a delta walks the chain down to the nearest full write (or the
+//! pre-block storage base) and reports [`MVReadOutput::Resolved`] with the
+//! accumulated sum. Nothing about the *versions* along the chain is recorded in
+//! the read-set — only the sum ([`ReadOrigin::Resolved`]) or, for a delta
+//! application's own bounds check, only the predicate outcome
+//! ([`ReadOrigin::DeltaProbe`]).
+//!
+//! **Why validating sums/predicates preserves sequential equivalence.** The VM
+//! is deterministic *given the values its reads observed*. A resolved read
+//! hands the VM exactly `from_aggregator(accumulated)`, so any two states that
+//! resolve to the same `accumulated` make the incarnation behave identically —
+//! re-validating the sum is therefore precisely as strong as re-validating the
+//! value, and strictly weaker than re-validating versions (which is the point:
+//! a lower delta writer re-executing with the same delta, or two deltas
+//! swapping order, changes versions but not the sum). Likewise a delta
+//! application observes nothing of the state except "did my bounds check
+//! pass?": the incarnation's behavior depends only on that boolean, so
+//! re-validating the *predicate outcome* against the fresh base suffices. The
+//! commit ladder's rule (see `block-stm-scheduler`) guarantees the validation
+//! that commits transaction `k` runs against the final entries below `k` —
+//! any later change below `k` starts a fresh wave and forces a re-validation —
+//! so at commit time the sums and predicates were checked against exactly the
+//! state a sequential execution would have presented. Delta applications whose
+//! predicate fails on that final state abort deterministically with
+//! `AbortCode::DeltaOverflow`, exactly like the sequential engine.
+//!
+//! At the commit watermark the drain **materializes** each committed
+//! transaction's deltas ([`MVMemory::materialize_deltas`]): the chain is folded
+//! into one concrete frozen value (in place, same version), so committed-prefix
+//! reads, streaming sinks and the final snapshot see plain values and
+//! steady-state chain length tracks the commit lag, not the block size.
 //!
 //! # Example: the worker hot path
 //!
@@ -72,10 +109,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod entry;
 mod interner;
 mod mvmemory;
 mod read_set;
 
+pub use entry::MVEntry;
 pub use interner::{LocationCache, LocationCacheStats, LocationId};
-pub use mvmemory::{CachedRead, MVMemory, MVRead, MVReadOutput, WrittenLocation};
+pub use mvmemory::{CachedRead, MVMemory, MVReadOutput, ProbeOutcome, WrittenLocation};
 pub use read_set::{ReadDescriptor, ReadOrigin};

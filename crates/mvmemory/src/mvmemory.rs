@@ -1,16 +1,26 @@
-//! The `MVMemory` data structure (Algorithm 2), on the two-level lock-free layout.
+//! The `MVMemory` data structure (Algorithm 2), on the two-level lock-free layout,
+//! extended with commutative **delta** entries.
 //!
 //! See the crate docs for the design. In short: locations are *interned* (level 1)
-//! into dense [`LocationId`]s with one lock-free [`VersionedCell`] each (level 2);
-//! the per-location lock-protected `BTreeMap` of the original design is gone.
+//! into dense [`LocationId`]s with one lock-free cell each (level 2); the
+//! per-location lock-protected `BTreeMap` of the original design is gone.
 //! Steady-state reads and writes resolve locations through per-worker
 //! [`LocationCache`]s and then operate on cells without any lock.
+//!
+//! Each cell entry is an [`MVEntry`]: a full value, or a [`DeltaOp`] that applies
+//! commutatively on top of whatever the lower entries (or the storage base)
+//! resolve to. A read whose highest lower entry is a delta **lazily resolves the
+//! chain** — walking down live entries, accumulating deltas, until the nearest
+//! full write (or the storage base supplied by the caller) — and reports
+//! [`MVReadOutput::Resolved`] carrying the accumulated sum, which is exactly what
+//! validation needs (see the crate docs for the safety argument).
 
-use crate::interner::{Interner, LocationCache, LocationId};
+use crate::entry::MVEntry;
+use crate::interner::{Interner, LocationCache, LocationCell, LocationId};
 use crate::read_set::{ReadDescriptor, ReadOrigin};
 use block_stm_sync::versioned_cell::CellRead;
-use block_stm_sync::{PaddedAtomicUsize, RcuCell, VersionedCell};
-use block_stm_vm::{Incarnation, TxnIndex, Version};
+use block_stm_sync::{PaddedAtomicUsize, RcuCell};
+use block_stm_vm::{AggregatorValue, DeltaOp, Incarnation, TxnIndex, Version};
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -19,23 +29,33 @@ use std::sync::Arc;
 const DEFAULT_INTERNER_SHARDS: usize = 256;
 
 /// Result of a speculative [`MVMemory::read`] on behalf of transaction `txn_idx`
-/// (mirrors the `OK` / `NOT_FOUND` / `READ_ERROR` statuses of the paper). The value
-/// is an owned clone; use [`MVMemory::read_with`] to inspect it by reference
-/// without cloning.
+/// (mirrors the `OK` / `NOT_FOUND` / `READ_ERROR` statuses of the paper, plus the
+/// delta-resolution outcome). The value is an owned clone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MVReadOutput<V> {
-    /// The highest write below `txn_idx`: its full version and the written value.
+    /// The highest write below `txn_idx` is a full write: its version and value.
     Versioned(Version, V),
-    /// No transaction below `txn_idx` wrote this location; the caller should fall back
-    /// to pre-block storage.
+    /// The highest entries below `txn_idx` form a delta chain: `accumulated` is
+    /// the chain resolved onto its base — the full write at `base_version`, or
+    /// the caller-supplied storage base (`base_version == None`). Validation
+    /// compares this **sum**, not the versions along the chain, which is what
+    /// lets interleaved in-bounds deltas commute.
+    Resolved {
+        /// Version of the full write the chain bottomed out at, if any.
+        base_version: Option<Version>,
+        /// The resolved aggregator value (base plus every delta, clamped).
+        accumulated: u128,
+    },
+    /// No transaction below `txn_idx` wrote this location; the caller should fall
+    /// back to pre-block storage.
     NotFound,
-    /// The highest write below `txn_idx` is an ESTIMATE marker left by an aborted
-    /// incarnation of the given transaction: the caller has a dependency on it.
+    /// The resolution hit an ESTIMATE marker left by an aborted incarnation of
+    /// the given transaction: the caller has a dependency on it.
     Dependency(TxnIndex),
 }
 
 impl<V> MVReadOutput<V> {
-    /// Returns the versioned value, if any.
+    /// Returns the versioned value, if the read was served by one full write.
     pub fn as_versioned(&self) -> Option<(Version, &V)> {
         match self {
             MVReadOutput::Versioned(version, value) => Some((*version, value)),
@@ -49,45 +69,53 @@ impl<V> MVReadOutput<V> {
     }
 }
 
-/// Borrowed result of a speculative read, handed to the closure of
-/// [`MVMemory::read_with`]. Unlike [`MVReadOutput`] the value is a reference into
-/// the multi-version structure: no clone, no `Arc` reference-count traffic.
+/// Borrowed result of resolving one location for one reader: the internal
+/// equivalent of [`MVReadOutput`] that borrows the base value instead of cloning
+/// it (validation and snapshotting work on sums and never clone).
 #[derive(Debug, PartialEq, Eq)]
-pub enum MVRead<'a, V> {
-    /// The highest write below the reader: its full version and a borrow of the value.
+enum ResolvedRead<'a, V> {
+    /// The highest lower entry is a full write.
     Versioned(Version, &'a V),
-    /// No transaction below the reader wrote this location.
+    /// A delta chain resolved onto `base_version` (or the storage base).
+    Resolved {
+        base_version: Option<Version>,
+        accumulated: u128,
+        chain_len: usize,
+    },
+    /// No lower entry exists.
     NotFound,
-    /// The highest write below the reader is an ESTIMATE left by the given transaction.
+    /// The walk hit an ESTIMATE left by the given transaction.
     Dependency(TxnIndex),
 }
 
-impl<V> MVRead<'_, V> {
-    /// Clones the borrowed value into an owned [`MVReadOutput`].
-    pub fn to_owned(&self) -> MVReadOutput<V>
+impl<V> ResolvedRead<'_, V> {
+    /// Number of delta entries the resolution walked through.
+    fn chain_len(&self) -> usize {
+        match self {
+            ResolvedRead::Resolved { chain_len, .. } => *chain_len,
+            _ => 0,
+        }
+    }
+
+    fn to_owned(&self) -> MVReadOutput<V>
     where
         V: Clone,
     {
         match self {
-            MVRead::Versioned(version, value) => {
+            ResolvedRead::Versioned(version, value) => {
                 MVReadOutput::Versioned(*version, (*value).clone())
             }
-            MVRead::NotFound => MVReadOutput::NotFound,
-            MVRead::Dependency(blocking) => MVReadOutput::Dependency(*blocking),
+            ResolvedRead::Resolved {
+                base_version,
+                accumulated,
+                ..
+            } => MVReadOutput::Resolved {
+                base_version: *base_version,
+                accumulated: *accumulated,
+            },
+            ResolvedRead::NotFound => MVReadOutput::NotFound,
+            ResolvedRead::Dependency(blocking) => MVReadOutput::Dependency(*blocking),
         }
-    }
-
-    /// The observed version, if the read was served by the multi-version map.
-    pub fn version(&self) -> Option<Version> {
-        match self {
-            MVRead::Versioned(version, _) => Some(*version),
-            _ => None,
-        }
-    }
-
-    /// Returns `true` for [`MVRead::Dependency`].
-    pub fn is_dependency(&self) -> bool {
-        matches!(self, MVRead::Dependency(_))
     }
 }
 
@@ -104,6 +132,26 @@ pub struct CachedRead<V> {
     /// `true` iff the read was served entirely from the frozen committed prefix
     /// (see [`MVMemory::freeze_committed_prefix`]): the executor may skip recording
     /// a read descriptor for it.
+    pub committed_final: bool,
+    /// Number of delta entries the read resolved through (0 for plain reads;
+    /// feeds the `delta_resolutions` / `delta_chain_len_max` metrics).
+    pub delta_chain_len: usize,
+}
+
+/// Result of a delta bounds probe ([`MVMemory::probe_delta_with_cache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The location's interned id (stamped into the probe's read descriptor so
+    /// validation resolves through the lock-free id registry, not by key hash).
+    pub id: LocationId,
+    /// `Ok(in_bounds)`, or `Err(blocking_txn_idx)` when the resolution hit an
+    /// ESTIMATE.
+    pub outcome: Result<bool, TxnIndex>,
+    /// Number of delta entries the resolution walked through.
+    pub chain_len: usize,
+    /// `true` iff the predicate was evaluated entirely against the frozen
+    /// committed prefix (loaded *before* the resolution): the base can never
+    /// change again, so no validation descriptor is needed.
     pub committed_final: bool,
 }
 
@@ -140,7 +188,7 @@ pub struct MVMemory<K, V> {
 impl<K, V> MVMemory<K, V>
 where
     K: Eq + Hash + Clone + Debug,
-    V: Debug,
+    V: Debug + AggregatorValue,
 {
     /// Creates the multi-version memory for a block of `block_size` transactions.
     pub fn new(block_size: usize) -> Self {
@@ -165,6 +213,10 @@ where
     /// no-revalidation path ([`read_with_cache`](Self::read_with_cache) reports them
     /// as `committed_final`). Monotone within a block; [`reset`](Self::reset)
     /// re-arms it.
+    ///
+    /// Callers that use deltas must fold each committed transaction's delta
+    /// entries first ([`materialize_deltas`](Self::materialize_deltas)), so
+    /// below-watermark reads find concrete values.
     pub fn freeze_committed_prefix(&self, prefix: usize) {
         debug_assert!(prefix <= self.block_size);
         debug_assert!(prefix >= self.committed_watermark.load());
@@ -226,27 +278,101 @@ where
         }
     }
 
-    /// Maps a cell-level read to the paper's read statuses.
-    fn cell_read(cell: &VersionedCell<V>, txn_idx: TxnIndex) -> MVRead<'_, V> {
-        Self::lift_cell_read(cell.read(txn_idx))
-    }
-
-    /// Like [`cell_read`](Self::cell_read) on the committed fast path: every writer
-    /// below `txn_idx` has committed, so the seqlock re-check is skipped.
-    fn cell_read_committed(cell: &VersionedCell<V>, txn_idx: TxnIndex) -> MVRead<'_, V> {
-        Self::lift_cell_read(cell.read_committed(txn_idx))
-    }
-
-    fn lift_cell_read(read: CellRead<'_, V>) -> MVRead<'_, V> {
-        match read {
-            CellRead::Value {
-                txn_idx: writer,
-                incarnation,
-                value,
-            } => MVRead::Versioned(Version::new(writer, incarnation), value),
-            CellRead::Estimate { txn_idx: blocking } => MVRead::Dependency(blocking),
-            CellRead::Missing => MVRead::NotFound,
+    /// Resolves the entry chain of one cell for a reader at `txn_idx`: the highest
+    /// live entry strictly below the reader if it is a full write, otherwise the
+    /// delta chain accumulated down to the nearest full write or the storage base
+    /// (`base_of`, consulted at most once; `None` means "absent", which reads as
+    /// aggregator `0`). `committed == true` takes the cheaper frozen-prefix cell
+    /// reads (no seqlock re-check).
+    ///
+    /// The walk is a sequence of independent lock-free cell reads, not an atomic
+    /// snapshot — standard Block-STM speculation: any torn interleaving is caught
+    /// by (re-)validation, and the validation run that commits a transaction
+    /// observes settled entries (see the crate docs).
+    fn resolve_cell<'a>(
+        cell: &'a LocationCell<V>,
+        txn_idx: TxnIndex,
+        committed: bool,
+        base_of: impl FnOnce() -> Option<u128>,
+    ) -> ResolvedRead<'a, V> {
+        let mut deltas: Vec<DeltaOp> = Vec::new();
+        let mut bound = txn_idx;
+        loop {
+            let read = if committed {
+                cell.read_committed(bound)
+            } else {
+                cell.read(bound)
+            };
+            match read {
+                CellRead::Missing => {
+                    if deltas.is_empty() {
+                        return ResolvedRead::NotFound;
+                    }
+                    let base = base_of().unwrap_or(0);
+                    return ResolvedRead::Resolved {
+                        base_version: None,
+                        accumulated: Self::fold_chain(base, &deltas),
+                        chain_len: deltas.len(),
+                    };
+                }
+                CellRead::Estimate { txn_idx: blocking } => {
+                    return ResolvedRead::Dependency(blocking)
+                }
+                CellRead::Value {
+                    txn_idx: writer,
+                    incarnation,
+                    value,
+                } => {
+                    let version = Version::new(writer, incarnation);
+                    match value {
+                        MVEntry::Value(value) => {
+                            if deltas.is_empty() {
+                                return ResolvedRead::Versioned(version, value);
+                            }
+                            return ResolvedRead::Resolved {
+                                base_version: Some(version),
+                                accumulated: Self::fold_chain(value.to_aggregator(), &deltas),
+                                chain_len: deltas.len(),
+                            };
+                        }
+                        MVEntry::Delta(op) => {
+                            deltas.push(*op);
+                            bound = writer;
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    /// Applies a chain of deltas (collected top → bottom) onto `base`, bottom-up.
+    ///
+    /// Clamped application keeps doomed speculative interleavings deterministic;
+    /// on settled (committed) state the clamp never engages, because every
+    /// application's bounds predicate was validated against exactly that state.
+    fn fold_chain(base: u128, deltas_top_down: &[DeltaOp]) -> u128 {
+        deltas_top_down
+            .iter()
+            .rev()
+            .fold(base, |acc, op| op.apply_clamped(acc))
+    }
+
+    /// Builds the merged entry list of one incarnation: full writes then deltas
+    /// (disjoint keys by the context's contract; on violation, later entries win
+    /// via the recording loop's last-wins dedup).
+    fn merge_effects(write_set: Vec<(K, V)>, delta_set: Vec<(K, DeltaOp)>) -> Vec<(K, MVEntry<V>)> {
+        let mut entries = Vec::with_capacity(write_set.len() + delta_set.len());
+        entries.extend(
+            write_set
+                .into_iter()
+                .map(|(key, value)| (key, MVEntry::Value(value))),
+        );
+        entries.extend(
+            delta_set
+                .into_iter()
+                .map(|(key, op)| (key, MVEntry::Delta(op))),
+        );
+        entries
     }
 
     /// Records the results of an execution (`record`, Lines 36–42), resolving
@@ -263,21 +389,35 @@ where
         read_set: Vec<ReadDescriptor<K>>,
         write_set: Vec<(K, V)>,
     ) -> bool {
+        self.record_with_deltas(version, read_set, write_set, Vec::new())
+    }
+
+    /// [`record`](Self::record) with a delta-set: deltas publish [`MVEntry::Delta`]
+    /// entries and otherwise follow exactly the full-write lifecycle (ESTIMATE
+    /// marking, tombstoning, `wrote_new_location` accounting).
+    pub fn record_with_deltas(
+        &self,
+        version: Version,
+        read_set: Vec<ReadDescriptor<K>>,
+        write_set: Vec<(K, V)>,
+        delta_set: Vec<(K, DeltaOp)>,
+    ) -> bool {
         let Version {
             txn_idx,
             incarnation,
         } = version;
         debug_assert!(txn_idx < self.block_size);
-        let mut new_locations = Vec::with_capacity(write_set.len());
-        let mut pending = write_set.into_iter();
-        while let Some((key, value)) = pending.next() {
+        let effects = Self::merge_effects(write_set, delta_set);
+        let mut new_locations = Vec::with_capacity(effects.len());
+        let mut pending = effects.into_iter();
+        while let Some((key, entry)) = pending.next() {
             // Last write wins on duplicate keys (and keeps the one-publish-per-
             // incarnation contract of `VersionedCell::write`).
             if pending.as_slice().iter().any(|(later, _)| *later == key) {
                 continue;
             }
             let interned = self.interner.resolve(&key).0;
-            interned.cell.write(txn_idx, incarnation, value);
+            interned.cell.write(txn_idx, incarnation, entry);
             new_locations.push(WrittenLocation {
                 key,
                 id: interned.id,
@@ -296,20 +436,33 @@ where
         read_set: Vec<ReadDescriptor<K>>,
         write_set: Vec<(K, V)>,
     ) -> bool {
+        self.record_with_cache_deltas(cache, version, read_set, write_set, Vec::new())
+    }
+
+    /// [`record_with_cache`](Self::record_with_cache) with a delta-set.
+    pub fn record_with_cache_deltas(
+        &self,
+        cache: &mut LocationCache<K, V>,
+        version: Version,
+        read_set: Vec<ReadDescriptor<K>>,
+        write_set: Vec<(K, V)>,
+        delta_set: Vec<(K, DeltaOp)>,
+    ) -> bool {
         let Version {
             txn_idx,
             incarnation,
         } = version;
         debug_assert!(txn_idx < self.block_size);
-        let mut new_locations = Vec::with_capacity(write_set.len());
-        let mut pending = write_set.into_iter();
-        while let Some((key, value)) = pending.next() {
+        let effects = Self::merge_effects(write_set, delta_set);
+        let mut new_locations = Vec::with_capacity(effects.len());
+        let mut pending = effects.into_iter();
+        while let Some((key, entry)) = pending.next() {
             // Last write wins on duplicate keys (see `record`).
             if pending.as_slice().iter().any(|(later, _)| *later == key) {
                 continue;
             }
             let interned = cache.resolve(&self.interner, &key);
-            interned.cell.write(txn_idx, incarnation, value);
+            interned.cell.write(txn_idx, incarnation, entry);
             let id = interned.id;
             new_locations.push(WrittenLocation { key, id });
         }
@@ -363,7 +516,7 @@ where
     fn with_cell_of<R>(
         &self,
         location: &WrittenLocation<K>,
-        f: impl FnOnce(&VersionedCell<V>) -> R,
+        f: impl FnOnce(&LocationCell<V>) -> R,
     ) -> Option<R> {
         if let Some(cell) = self.interner.cell_by_id(location.id) {
             return Some(f(cell));
@@ -377,7 +530,8 @@ where
     /// ESTIMATE marker (`convert_writes_to_estimates`, Lines 43–46). Called by the
     /// thread that successfully aborted the incarnation, *before* the transaction is
     /// re-scheduled for execution. A pure flag store per location — the slot arrays
-    /// and the interner map are untouched.
+    /// and the interner map are untouched. Delta entries are marked exactly like
+    /// full writes: a resolution walking through the marker reports the dependency.
     pub fn convert_writes_to_estimates(&self, txn_idx: TxnIndex) {
         let prev_locations = self.last_written_locations[txn_idx].load();
         for location in prev_locations.iter() {
@@ -391,30 +545,36 @@ where
 
     /// Speculative read of `location` on behalf of transaction `txn_idx`
     /// (`read`, Lines 47–54): returns the entry written by the highest transaction
-    /// with index strictly below `txn_idx`, a dependency if that entry is an
+    /// with index strictly below `txn_idx` (resolving delta chains lazily — see
+    /// [`MVReadOutput::Resolved`]), a dependency if the resolution hits an
     /// ESTIMATE, or `NotFound` if no lower transaction wrote the location.
     ///
-    /// Returns an owned clone of the value; prefer [`read_with`](Self::read_with)
-    /// (no clone) or [`read_with_cache`](Self::read_with_cache) (worker hot path).
+    /// A chain that bottoms out at storage resolves against base `0` here; use
+    /// [`read_with_base`](Self::read_with_base) (or the cached executor paths) to
+    /// supply the real storage base.
     pub fn read(&self, location: &K, txn_idx: TxnIndex) -> MVReadOutput<V>
     where
         V: Clone,
     {
-        self.read_with(location, txn_idx, |read| read.to_owned())
+        self.read_with_base(location, txn_idx, || None)
     }
 
-    /// Closure-based speculative read: `f` receives the borrowed [`MVRead`] result,
-    /// avoiding any value clone or `Arc` reference-count bump. This is the path
-    /// validation uses when it must fall back to key lookup.
-    pub fn read_with<R>(
+    /// [`read`](Self::read) with an explicit storage-base resolver, consulted (at
+    /// most once) when a delta chain reaches pre-block storage.
+    pub fn read_with_base(
         &self,
         location: &K,
         txn_idx: TxnIndex,
-        f: impl FnOnce(MVRead<'_, V>) -> R,
-    ) -> R {
+        base_of: impl FnOnce() -> Option<u128>,
+    ) -> MVReadOutput<V>
+    where
+        V: Clone,
+    {
         match self.interner.lookup(location) {
-            None => f(MVRead::NotFound),
-            Some(interned) => f(Self::cell_read(&interned.cell, txn_idx)),
+            None => MVReadOutput::NotFound,
+            Some(interned) => {
+                Self::resolve_cell(&interned.cell, txn_idx, false, base_of).to_owned()
+            }
         }
     }
 
@@ -438,71 +598,193 @@ where
     where
         V: Clone,
     {
+        self.read_with_cache_base(cache, location, txn_idx, || None)
+    }
+
+    /// [`read_with_cache`](Self::read_with_cache) with an explicit storage-base
+    /// resolver for delta chains that reach pre-block storage (the executor's
+    /// view passes a storage lookup).
+    pub fn read_with_cache_base(
+        &self,
+        cache: &mut LocationCache<K, V>,
+        location: &K,
+        txn_idx: TxnIndex,
+        base_of: impl FnOnce() -> Option<u128>,
+    ) -> CachedRead<V>
+    where
+        V: Clone,
+    {
         // Load the watermark before the cell: the watermark only grows, so a read
         // that observes `txn_idx <= watermark` is entirely below committed — and
-        // therefore immutable — entries.
+        // therefore immutable (and delta-folded) — entries.
         let committed_final = txn_idx <= self.committed_watermark.load();
         let interned = cache.resolve(&self.interner, location);
-        let output = if committed_final {
-            Self::cell_read_committed(&interned.cell, txn_idx).to_owned()
-        } else {
-            Self::cell_read(&interned.cell, txn_idx).to_owned()
-        };
+        let resolved = Self::resolve_cell(&interned.cell, txn_idx, committed_final, base_of);
         CachedRead {
             id: interned.id,
-            output,
+            delta_chain_len: resolved.chain_len(),
+            output: resolved.to_owned(),
+            committed_final,
+        }
+    }
+
+    /// Speculative bounds probe for a delta application by `txn_idx` (the
+    /// executor's `probe_delta` hot path): resolves the chain below the reader
+    /// and evaluates `op`'s bounds predicate on top of it (plus the
+    /// transaction's own prior cumulative delta).
+    pub fn probe_delta_with_cache(
+        &self,
+        cache: &mut LocationCache<K, V>,
+        location: &K,
+        txn_idx: TxnIndex,
+        prior: i128,
+        op: DeltaOp,
+        base_of: impl FnOnce() -> Option<u128>,
+    ) -> ProbeOutcome {
+        // The watermark is loaded BEFORE the resolution (like the read path's
+        // `committed_final`): the flag must describe the state the predicate
+        // was actually evaluated against, so callers can rely on it to decide
+        // whether a validation descriptor is needed. A second, later load
+        // could observe a commit that landed after a speculative base was
+        // read — and wrongly skip the descriptor.
+        let committed_final = txn_idx <= self.committed_watermark.load();
+        let interned = cache.resolve(&self.interner, location);
+        // `base_of` serves double duty: the chain's storage bottom inside the
+        // resolution, or — when no entry exists at all — the probe's own base.
+        let mut storage_base = Some(base_of);
+        let mut deferred_base = || storage_base.take().expect("base consulted once")();
+        let resolved =
+            Self::resolve_cell(&interned.cell, txn_idx, committed_final, &mut deferred_base);
+        let chain_len = resolved.chain_len();
+        let outcome = match resolved {
+            ResolvedRead::Versioned(_, value) => Ok(op.in_bounds_on(value.to_aggregator(), prior)),
+            ResolvedRead::Resolved { accumulated, .. } => Ok(op.in_bounds_on(accumulated, prior)),
+            ResolvedRead::NotFound => Ok(op.in_bounds_on(deferred_base().unwrap_or(0), prior)),
+            ResolvedRead::Dependency(blocking) => Err(blocking),
+        };
+        ProbeOutcome {
+            id: interned.id,
+            outcome,
+            chain_len,
             committed_final,
         }
     }
 
     /// Validates the read-set recorded by `txn_idx`'s last finished incarnation
     /// (`validate_read_set`, Lines 62–72): re-reads every location and compares the
-    /// observed origin (version or storage) against the recorded descriptor.
+    /// observed origin against the recorded descriptor — exact versions for full
+    /// writes, **resolved sums** for chain reads and **bounds predicates** for
+    /// delta probes.
     ///
-    /// Descriptors recorded by the executor carry interned ids, so each re-read is a
-    /// lock-free registry lookup plus a cell read — no hashing, no shard lock, no
-    /// value clone.
+    /// Delta descriptors whose chain bottoms out at storage resolve against base
+    /// `0` here; executors use
+    /// [`validate_read_set_with_base`](Self::validate_read_set_with_base).
     pub fn validate_read_set(&self, txn_idx: TxnIndex) -> bool {
+        self.validate_read_set_with_base(txn_idx, |_| None)
+    }
+
+    /// [`validate_read_set`](Self::validate_read_set) with a storage-base
+    /// resolver (`key → aggregator base`) for delta chains that reach pre-block
+    /// storage.
+    pub fn validate_read_set_with_base(
+        &self,
+        txn_idx: TxnIndex,
+        base_of: impl Fn(&K) -> Option<u128>,
+    ) -> bool {
         let prior_reads = self.last_read_set[txn_idx].load();
         prior_reads
             .iter()
-            .all(|descriptor| self.descriptor_still_holds(descriptor, txn_idx))
+            .all(|descriptor| self.descriptor_still_holds(descriptor, txn_idx, &base_of))
     }
 
-    fn descriptor_still_holds(&self, descriptor: &ReadDescriptor<K>, txn_idx: TxnIndex) -> bool {
-        self.read_descriptor_with(descriptor, txn_idx, |read| {
-            Self::origin_matches(read, descriptor.origin)
-        })
-    }
-
-    /// Re-reads a descriptor's location: by interned id through the lock-free
-    /// registry when resolved (no hashing), falling back to key lookup otherwise.
-    /// Both validation and the dependency pre-check dispatch through here so the
-    /// two paths cannot diverge.
-    fn read_descriptor_with<R>(
+    fn descriptor_still_holds(
         &self,
         descriptor: &ReadDescriptor<K>,
         txn_idx: TxnIndex,
-        f: impl FnOnce(MVRead<'_, V>) -> R,
+        base_of: &impl Fn(&K) -> Option<u128>,
+    ) -> bool {
+        self.resolve_descriptor_with(
+            descriptor,
+            txn_idx,
+            || base_of(&descriptor.key),
+            |read| Self::origin_matches(read, descriptor.origin, || base_of(&descriptor.key)),
+        )
+    }
+
+    /// Re-resolves a descriptor's location: by interned id through the lock-free
+    /// registry when resolved (no hashing), falling back to key lookup otherwise.
+    /// Both validation and the dependency pre-check dispatch through here so the
+    /// two paths cannot diverge. `base_of` supplies the storage base for chains
+    /// that bottom out below the block — it must match what the recording read
+    /// used, or sum comparisons would be inconsistent.
+    fn resolve_descriptor_with<R>(
+        &self,
+        descriptor: &ReadDescriptor<K>,
+        txn_idx: TxnIndex,
+        base_of: impl FnOnce() -> Option<u128>,
+        f: impl FnOnce(ResolvedRead<'_, V>) -> R,
     ) -> R {
         if descriptor.id.is_resolved() {
             if let Some(cell) = self.interner.cell_by_id(descriptor.id) {
-                return f(Self::cell_read(cell, txn_idx));
+                return f(Self::resolve_cell(cell, txn_idx, false, base_of));
             }
         }
-        self.read_with(&descriptor.key, txn_idx, f)
+        match self.interner.lookup(&descriptor.key) {
+            None => f(ResolvedRead::NotFound),
+            Some(interned) => f(Self::resolve_cell(&interned.cell, txn_idx, false, base_of)),
+        }
     }
 
-    fn origin_matches(read: MVRead<'_, V>, origin: ReadOrigin) -> bool {
+    /// The aggregator value a fresh resolution observes, for sum/predicate
+    /// comparisons: a full write's embedded value, a chain's accumulated sum
+    /// (the resolution already folded the storage base in when it bottomed out
+    /// there), or the storage base itself when no entry exists.
+    fn observed_sum(
+        read: &ResolvedRead<'_, V>,
+        storage_base: impl FnOnce() -> Option<u128>,
+    ) -> Option<u128> {
         match read {
-            // Previously read entry is now an ESTIMATE: fail (Line 67).
-            MVRead::Dependency(_) => false,
-            // Entry disappeared: only valid if the prior read also came from
-            // storage (Line 68–69).
-            MVRead::NotFound => origin == ReadOrigin::Storage,
-            // Entry present: must match the exact version observed before
-            // (Line 70–71; a prior storage read also fails here).
-            MVRead::Versioned(version, _) => origin == ReadOrigin::MultiVersion(version),
+            ResolvedRead::Versioned(_, value) => Some(value.to_aggregator()),
+            ResolvedRead::Resolved { accumulated, .. } => Some(*accumulated),
+            ResolvedRead::NotFound => Some(storage_base().unwrap_or(0)),
+            ResolvedRead::Dependency(_) => None,
+        }
+    }
+
+    fn origin_matches(
+        read: ResolvedRead<'_, V>,
+        origin: ReadOrigin,
+        storage_base: impl FnOnce() -> Option<u128>,
+    ) -> bool {
+        match origin {
+            // Entry present as one full write: must match the exact version
+            // observed before (Line 70–71; a prior storage read also fails here,
+            // as does a location that grew a delta chain on top).
+            ReadOrigin::MultiVersion(version) => match read {
+                ResolvedRead::Versioned(observed, _) => observed == version,
+                _ => false,
+            },
+            // Previously read from storage: only valid if nothing in the
+            // multi-version map serves the location now (Line 68–69).
+            ReadOrigin::Storage => matches!(read, ResolvedRead::NotFound),
+            // Previously resolved through a delta chain: the fresh resolution
+            // must yield the same sum — the versions along the chain are free to
+            // differ (that freedom is the commutativity win). A chain folded
+            // into a single committed value, or collapsed back to storage, still
+            // passes when the sum is unchanged.
+            ReadOrigin::Resolved { accumulated } => {
+                Self::observed_sum(&read, storage_base) == Some(accumulated)
+            }
+            // A delta probe re-evaluates its bounds predicate on the fresh base:
+            // the base may change arbitrarily as long as the outcome agrees.
+            ReadOrigin::DeltaProbe {
+                prior,
+                op,
+                in_bounds,
+            } => match Self::observed_sum(&read, storage_base) {
+                Some(base) => op.in_bounds_on(base, prior) == in_bounds,
+                None => false,
+            },
         }
     }
 
@@ -523,14 +805,21 @@ where
     /// This is the §4 mitigation for VMs that must restart from scratch: before paying
     /// for a full re-execution, cheaply check whether a known dependency is still
     /// unresolved. Like validation, the scan runs on ids: registry lookups plus
-    /// lock-free cell reads.
+    /// lock-free cell reads — for delta descriptors the whole chain is walked, since
+    /// an ESTIMATE anywhere in it blocks the resolution.
     pub fn first_estimate_in_prior_reads(&self, txn_idx: TxnIndex) -> Option<(K, TxnIndex)> {
         let prior_reads = self.last_read_set[txn_idx].load();
         for descriptor in prior_reads.iter() {
-            let blocking = self.read_descriptor_with(descriptor, txn_idx, |read| match read {
-                MVRead::Dependency(blocking) => Some(blocking),
-                _ => None,
-            });
+            // The storage base is irrelevant here: only ESTIMATEs matter.
+            let blocking = self.resolve_descriptor_with(
+                descriptor,
+                txn_idx,
+                || None,
+                |read| match read {
+                    ResolvedRead::Dependency(blocking) => Some(blocking),
+                    _ => None,
+                },
+            );
             if let Some(blocking) = blocking {
                 return Some((descriptor.key.clone(), blocking));
             }
@@ -538,11 +827,75 @@ where
         None
     }
 
+    /// Folds the delta entries of **committed** transaction `txn_idx` into
+    /// concrete [`MVEntry::Value`] entries, and returns the materialized
+    /// `(key, value)` pairs (for streaming sinks).
+    ///
+    /// Called by the commit drain, in commit order, before
+    /// [`freeze_committed_prefix`](Self::freeze_committed_prefix) covers the
+    /// transaction: every lower transaction is already committed and folded, so
+    /// each resolution terminates after at most one step down. The republish
+    /// reuses the committed incarnation number — both payloads resolve to the
+    /// same value, so concurrent readers observe no semantic change (see the
+    /// `VersionedCell::write` contract note).
+    ///
+    /// `base_of` supplies the storage base for chains that bottom out below the
+    /// block.
+    pub fn materialize_deltas(
+        &self,
+        txn_idx: TxnIndex,
+        base_of: impl Fn(&K) -> Option<u128>,
+    ) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let locations = self.last_written_locations[txn_idx].load();
+        let mut materialized = Vec::new();
+        for location in locations.iter() {
+            let folded = self.with_cell_of(location, |cell| {
+                let resolved =
+                    Self::resolve_cell(cell, txn_idx + 1, false, || base_of(&location.key));
+                match resolved {
+                    ResolvedRead::Resolved { accumulated, .. } => {
+                        // The top of the chain is this transaction's own delta
+                        // entry (it committed with one recorded); fold the
+                        // resolved value into it in place.
+                        let incarnation = match cell.read(txn_idx + 1) {
+                            CellRead::Value {
+                                txn_idx: writer,
+                                incarnation,
+                                ..
+                            } if writer == txn_idx => incarnation,
+                            other => {
+                                debug_assert!(
+                                    false,
+                                    "committed delta writer lost its entry: {other:?}"
+                                );
+                                return None;
+                            }
+                        };
+                        let value = V::from_aggregator(accumulated);
+                        cell.write(txn_idx, incarnation, MVEntry::Value(value.clone()));
+                        Some(value)
+                    }
+                    // A full write at the top: nothing to fold.
+                    _ => None,
+                }
+            });
+            if let Some(Some(value)) = folded {
+                materialized.push((location.key.clone(), value));
+            }
+        }
+        materialized
+    }
+
     /// Produces the final per-location values after all transactions committed
     /// (`snapshot`, Lines 55–61): for every location touched during the block, the
     /// value written by the highest transaction. Locations whose highest entry is an
     /// ESTIMATE (impossible after commit) or that only ever held tombstones are
-    /// skipped, matching the paper's `status = OK` filter.
+    /// skipped, matching the paper's `status = OK` filter. Unresolved delta chains
+    /// fold against base `0`; executors use
+    /// [`snapshot_prefix_with_base`](Self::snapshot_prefix_with_base).
     pub fn snapshot(&self) -> Vec<(K, V)>
     where
         V: Clone,
@@ -560,11 +913,29 @@ where
     where
         V: Clone,
     {
+        self.snapshot_prefix_with_base(bound, |_| None)
+    }
+
+    /// [`snapshot_prefix`](Self::snapshot_prefix) with a storage-base resolver
+    /// for delta chains that bottom out below the block (e.g. when the rolling
+    /// commit ladder — and with it commit-time delta folding — is disabled).
+    pub fn snapshot_prefix_with_base(
+        &self,
+        bound: usize,
+        base_of: impl Fn(&K) -> Option<u128>,
+    ) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
         debug_assert!(bound <= self.block_size);
         let mut output = Vec::new();
         self.interner.for_each(|key, cell| {
-            if let MVRead::Versioned(_, value) = Self::cell_read(cell, bound) {
-                output.push((key.clone(), value.clone()));
+            match Self::resolve_cell(cell, bound, false, || base_of(key)) {
+                ResolvedRead::Versioned(_, value) => output.push((key.clone(), value.clone())),
+                ResolvedRead::Resolved { accumulated, .. } => {
+                    output.push((key.clone(), V::from_aggregator(accumulated)))
+                }
+                ResolvedRead::NotFound | ResolvedRead::Dependency(_) => {}
             }
         });
         output
@@ -615,19 +986,6 @@ mod tests {
             memory.read(&10, 2),
             MVReadOutput::Versioned(Version::new(1, 0), 100)
         );
-    }
-
-    #[test]
-    fn read_with_borrows_instead_of_cloning() {
-        let memory = Memory::new(4);
-        memory.record(Version::new(0, 0), vec![], vec![(3, 30)]);
-        let (version, doubled) = memory.read_with(&3, 2, |read| match read {
-            MVRead::Versioned(version, value) => (version, *value * 2),
-            other => panic!("unexpected {other:?}"),
-        });
-        assert_eq!(version, Version::new(0, 0));
-        assert_eq!(doubled, 60);
-        assert!(memory.read_with(&9, 2, |read| matches!(read, MVRead::NotFound)));
     }
 
     #[test]
@@ -906,6 +1264,7 @@ mod tests {
         );
         assert!(first.id.is_resolved());
         assert!(!first.committed_final, "nothing frozen yet");
+        assert_eq!(first.delta_chain_len, 0, "no deltas involved");
         // The uncached read sees the same state.
         assert_eq!(memory.read(&10, 5), first.output);
         // And the id is stable across repeated cached reads.
@@ -1020,5 +1379,236 @@ mod tests {
                 other => panic!("location {location}: unexpected {other:?}"),
             }
         }
+    }
+
+    // ---------------------------------------------------------------------
+    // Delta (aggregator) entries
+    // ---------------------------------------------------------------------
+
+    fn delta(amount: i128) -> DeltaOp {
+        DeltaOp::add(amount, 1_000_000)
+    }
+
+    fn record_delta(memory: &Memory, version: Version, key: u64, amount: i128) {
+        memory.record_with_deltas(version, vec![], vec![], vec![(key, delta(amount))]);
+    }
+
+    #[test]
+    fn delta_chains_resolve_down_to_the_nearest_full_write() {
+        let memory = Memory::new(8);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        record_delta(&memory, Version::new(1, 0), 7, 5);
+        record_delta(&memory, Version::new(3, 0), 7, -2);
+        // A reader above both deltas resolves base 100 + 5 - 2.
+        assert_eq!(
+            memory.read(&7, 5),
+            MVReadOutput::Resolved {
+                base_version: Some(Version::new(0, 0)),
+                accumulated: 103,
+            }
+        );
+        // A reader between the deltas sees only the first.
+        assert_eq!(
+            memory.read(&7, 2),
+            MVReadOutput::Resolved {
+                base_version: Some(Version::new(0, 0)),
+                accumulated: 105,
+            }
+        );
+        // A full write above the chain shadows it entirely.
+        memory.record(Version::new(4, 0), vec![], vec![(7, 9)]);
+        assert_eq!(
+            memory.read(&7, 6),
+            MVReadOutput::Versioned(Version::new(4, 0), 9)
+        );
+    }
+
+    #[test]
+    fn delta_chains_bottom_out_at_the_supplied_storage_base() {
+        let memory = Memory::new(8);
+        record_delta(&memory, Version::new(2, 0), 7, 10);
+        // No base supplied: the chain folds onto 0.
+        assert_eq!(
+            memory.read(&7, 5),
+            MVReadOutput::Resolved {
+                base_version: None,
+                accumulated: 10,
+            }
+        );
+        // Base supplied (the executor's storage fallback).
+        assert_eq!(
+            memory.read_with_base(&7, 5, || Some(90)),
+            MVReadOutput::Resolved {
+                base_version: None,
+                accumulated: 100,
+            }
+        );
+        let mut cache = LocationCache::new();
+        let read = memory.read_with_cache_base(&mut cache, &7, 5, || Some(90));
+        assert_eq!(read.delta_chain_len, 1);
+        assert_eq!(
+            read.output,
+            MVReadOutput::Resolved {
+                base_version: None,
+                accumulated: 100,
+            }
+        );
+    }
+
+    #[test]
+    fn estimate_marked_delta_slots_block_resolution() {
+        let memory = Memory::new(8);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        record_delta(&memory, Version::new(2, 0), 7, 1);
+        memory.convert_writes_to_estimates(2);
+        match memory.read(&7, 5) {
+            MVReadOutput::Dependency(blocking) => assert_eq!(blocking, 2),
+            other => panic!("expected dependency, got {other:?}"),
+        }
+        // Readers below the estimate are unaffected.
+        assert_eq!(
+            memory.read(&7, 1),
+            MVReadOutput::Versioned(Version::new(0, 0), 100)
+        );
+        // The next incarnation clears the path again.
+        record_delta(&memory, Version::new(2, 1), 7, 4);
+        assert_eq!(
+            memory.read(&7, 5),
+            MVReadOutput::Resolved {
+                base_version: Some(Version::new(0, 0)),
+                accumulated: 104,
+            }
+        );
+    }
+
+    #[test]
+    fn resolved_descriptors_validate_by_sum_not_by_version() {
+        let memory = Memory::new(8);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        record_delta(&memory, Version::new(1, 0), 7, 5);
+        // Txn 4 resolved the chain to 105 and recorded a sum descriptor.
+        memory.record(
+            Version::new(4, 0),
+            vec![ReadDescriptor::from_resolved(7, 105)],
+            vec![],
+        );
+        assert!(memory.validate_read_set(4));
+        // Txn 1 re-executes with a *different* incarnation but the same delta:
+        // versions changed, the sum did not — validation still passes.
+        record_delta(&memory, Version::new(1, 1), 7, 5);
+        assert!(memory.validate_read_set(4));
+        // A second delta below the reader changes the sum: validation fails.
+        record_delta(&memory, Version::new(2, 0), 7, 1);
+        assert!(!memory.validate_read_set(4));
+    }
+
+    #[test]
+    fn delta_probe_descriptors_validate_by_predicate() {
+        let memory = Memory::new(8);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        // Txn 4 probed "+50 within limit 200 on top of base"; base was 100.
+        let op = DeltaOp::add(50, 200);
+        memory.record(
+            Version::new(4, 0),
+            vec![ReadDescriptor::from_delta_probe(7, 0, op, true)],
+            vec![(9, 9)],
+        );
+        assert!(memory.validate_read_set(4));
+        // The base moves to 120: still in bounds, still valid — this is the
+        // commutativity win.
+        memory.record(Version::new(1, 0), vec![], vec![(7, 120)]);
+        assert!(memory.validate_read_set(4));
+        // The base moves to 180: the predicate flips, validation fails.
+        memory.record(Version::new(1, 1), vec![], vec![(7, 180)]);
+        assert!(!memory.validate_read_set(4));
+    }
+
+    #[test]
+    fn probe_with_cache_resolves_chains_and_reports_dependencies() {
+        let memory = Memory::new(8);
+        let mut cache = LocationCache::new();
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        record_delta(&memory, Version::new(1, 0), 7, 50);
+        let probe =
+            memory.probe_delta_with_cache(&mut cache, &7, 4, 0, DeltaOp::add(49, 200), || None);
+        assert_eq!(probe.outcome, Ok(true));
+        assert_eq!(probe.chain_len, 1);
+        assert!(probe.id.is_resolved(), "probe descriptors carry ids");
+        assert!(!probe.committed_final, "nothing frozen yet");
+        let probe =
+            memory.probe_delta_with_cache(&mut cache, &7, 4, 0, DeltaOp::add(51, 200), || None);
+        assert_eq!(probe.outcome, Ok(false));
+        memory.convert_writes_to_estimates(1);
+        let probe =
+            memory.probe_delta_with_cache(&mut cache, &7, 4, 0, DeltaOp::add(1, 200), || None);
+        assert_eq!(probe.outcome, Err(1));
+    }
+
+    #[test]
+    fn materialize_deltas_folds_committed_chains_in_place() {
+        let memory = Memory::new(8);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        record_delta(&memory, Version::new(1, 0), 7, 5);
+        record_delta(&memory, Version::new(2, 0), 7, 7);
+        // Commit order: txn 0 (full write, nothing to fold), then 1, then 2.
+        assert!(memory.materialize_deltas(0, |_| None).is_empty());
+        assert_eq!(memory.materialize_deltas(1, |_| None), vec![(7, 105)]);
+        assert_eq!(memory.materialize_deltas(2, |_| None), vec![(7, 112)]);
+        memory.freeze_committed_prefix(3);
+        // Below-watermark readers now find concrete folded values.
+        let mut cache = LocationCache::new();
+        let read = memory.read_with_cache(&mut cache, &7, 3);
+        assert!(read.committed_final);
+        assert_eq!(
+            read.output,
+            MVReadOutput::Versioned(Version::new(2, 0), 112)
+        );
+        assert_eq!(read.delta_chain_len, 0, "chain folded away");
+        // The snapshot needs no base once everything is folded.
+        let mut snapshot = memory.snapshot();
+        snapshot.sort_unstable();
+        assert_eq!(snapshot, vec![(7, 112)]);
+    }
+
+    #[test]
+    fn materialize_deltas_uses_the_storage_base() {
+        let memory = Memory::new(4);
+        record_delta(&memory, Version::new(0, 0), 9, 25);
+        assert_eq!(
+            memory.materialize_deltas(0, |key| (*key == 9).then_some(50)),
+            vec![(9, 75)]
+        );
+        assert_eq!(
+            memory.read(&9, 2),
+            MVReadOutput::Versioned(Version::new(0, 0), 75)
+        );
+    }
+
+    #[test]
+    fn snapshot_resolves_unfolded_chains_with_the_base_resolver() {
+        // Ladder-off mode: nothing ever materializes, the snapshot must fold.
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(1, 10)]);
+        record_delta(&memory, Version::new(1, 0), 1, 5);
+        record_delta(&memory, Version::new(2, 0), 9, 3);
+        let mut snapshot = memory.snapshot_prefix_with_base(4, |key| (*key == 9).then_some(40));
+        snapshot.sort_unstable();
+        assert_eq!(snapshot, vec![(1, 15), (9, 43)]);
+        // Cutting below the deltas excludes them.
+        let prefix = memory.snapshot_prefix_with_base(1, |key| (*key == 9).then_some(40));
+        assert_eq!(prefix, vec![(1, 10)]);
+    }
+
+    #[test]
+    fn removed_delta_entries_drop_out_of_resolution() {
+        let memory = Memory::new(4);
+        memory.record(Version::new(0, 0), vec![], vec![(7, 100)]);
+        record_delta(&memory, Version::new(1, 0), 7, 5);
+        // The next incarnation of txn 1 no longer touches the aggregator.
+        memory.record(Version::new(1, 1), vec![], vec![]);
+        assert_eq!(
+            memory.read(&7, 3),
+            MVReadOutput::Versioned(Version::new(0, 0), 100)
+        );
     }
 }

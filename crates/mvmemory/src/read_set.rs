@@ -1,19 +1,47 @@
 //! Read-set descriptors.
 
 use crate::interner::LocationId;
-use block_stm_vm::Version;
+use block_stm_vm::{DeltaOp, Version};
 
 /// Where a speculative read obtained its value from.
 ///
 /// The paper stores, per read, "the version of the transaction (during the execution
 /// of which the value was written), or ⊥ if the value was read from storage"
 /// (§3.1.2). Validation compares these descriptors against a fresh read.
+///
+/// The two delta-aware origins deliberately validate something *weaker* than an
+/// exact version — that weakening is what makes commutative writes commute:
+///
+/// * [`ReadOrigin::Resolved`] records the **sum** a delta chain resolved to;
+///   validation passes as long as a fresh resolution yields the same sum, no
+///   matter which (re-)ordering of lower deltas produced it.
+/// * [`ReadOrigin::DeltaProbe`] records only the **bounds predicate** of one
+///   delta application; validation passes as long as the application would
+///   still succeed (or still fail) against the fresh base — the base value
+///   itself is free to change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadOrigin {
     /// The value was written by the given version (transaction index, incarnation).
     MultiVersion(Version),
     /// The value (or absence of one) came from pre-block storage — the ⊥ descriptor.
     Storage,
+    /// The value was resolved through a delta chain; validation re-resolves and
+    /// compares the accumulated sum (not the versions along the chain).
+    Resolved {
+        /// The resolved aggregator value observed by the read.
+        accumulated: u128,
+    },
+    /// A delta application's speculative bounds probe; validation re-resolves
+    /// the base and compares the predicate outcome.
+    DeltaProbe {
+        /// The transaction's own cumulative delta on the location before this
+        /// application.
+        prior: i128,
+        /// The applied op (delta and bound).
+        op: DeltaOp,
+        /// Whether the application was in bounds when probed.
+        in_bounds: bool,
+    },
 }
 
 /// One entry of an incarnation's read-set: which location was read and what version
@@ -53,17 +81,42 @@ impl<K> ReadDescriptor<K> {
         }
     }
 
+    /// A read resolved through a delta chain to `accumulated`.
+    pub fn from_resolved(key: K, accumulated: u128) -> Self {
+        Self {
+            key,
+            id: LocationId::UNRESOLVED,
+            origin: ReadOrigin::Resolved { accumulated },
+        }
+    }
+
+    /// A delta application's bounds probe and its observed outcome.
+    pub fn from_delta_probe(key: K, prior: i128, op: DeltaOp, in_bounds: bool) -> Self {
+        Self {
+            key,
+            id: LocationId::UNRESOLVED,
+            origin: ReadOrigin::DeltaProbe {
+                prior,
+                op,
+                in_bounds,
+            },
+        }
+    }
+
     /// Attaches the interned location id (executor hot path).
     pub fn with_location(mut self, id: LocationId) -> Self {
         self.id = id;
         self
     }
 
-    /// Returns the observed version, or `None` for storage reads.
+    /// Returns the observed version, or `None` for storage, resolved and probe
+    /// reads (which validate by value/predicate rather than by version).
     pub fn version(&self) -> Option<Version> {
         match self.origin {
             ReadOrigin::MultiVersion(version) => Some(version),
-            ReadOrigin::Storage => None,
+            ReadOrigin::Storage | ReadOrigin::Resolved { .. } | ReadOrigin::DeltaProbe { .. } => {
+                None
+            }
         }
     }
 }

@@ -185,6 +185,15 @@ impl<V> VersionedCell<V> {
     /// write-sets first): a second publish would repeat an identical state word and
     /// reopen the seqlock pairing ambiguity the `WRITING` marker closes.
     ///
+    /// One audited exception: a **refining** republish — replacing the payload
+    /// with a semantically equivalent one (the commit drain folding a committed
+    /// delta entry into its resolved concrete value) — is permitted. The
+    /// ambiguity the rule guards against is a reader pairing an old state word
+    /// with a *different-meaning* newer value; when both payloads resolve
+    /// identically for every reader, either pairing is correct. The refiner must
+    /// be the slot's sole remaining mutator (true after commit: the scheduler
+    /// never re-executes a committed transaction).
+    ///
     /// In-place (lock-free) when the transaction already owns a **live** slot — the
     /// common re-execution case. Reviving a tombstoned slot or inserting a new one
     /// takes the structural mutex: a compacting rebuild may only drop `EMPTY`

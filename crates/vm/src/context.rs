@@ -1,6 +1,7 @@
 //! The instrumented execution context handed to transaction code.
 
-use crate::errors::{ExecutionFailure, ReadDependency};
+use crate::delta::{AggregatorValue, DeltaOp, DeltaProbe};
+use crate::errors::{AbortCode, ExecutionFailure, ReadDependency};
 use crate::gas::{GasMeter, GasSchedule};
 use crate::transaction::{TransactionOutput, WriteOp};
 use crate::view::{ReadOutcome, StateReader};
@@ -29,6 +30,11 @@ pub struct TransactionContext<'a, K, V, R> {
     reader: &'a R,
     writes: Vec<WriteOp<K, V>>,
     write_index: HashMap<K, usize>,
+    /// Buffered commutative delta writes: one merged op per location, disjoint
+    /// from `writes` (a full write absorbs the location's pending delta, and a
+    /// delta on a buffered full write folds into that value locally).
+    deltas: Vec<(K, DeltaOp)>,
+    delta_index: HashMap<K, usize>,
     gas: GasMeter,
     reads_performed: usize,
     size_of: fn(&V) -> usize,
@@ -37,7 +43,7 @@ pub struct TransactionContext<'a, K, V, R> {
 impl<'a, K, V, R> TransactionContext<'a, K, V, R>
 where
     K: Eq + Hash + Clone + Debug,
-    V: Clone + Debug,
+    V: Clone + Debug + AggregatorValue,
     R: StateReader<K, V>,
 {
     /// Creates a context over the engine's reader with the given gas schedule.
@@ -48,6 +54,8 @@ where
             reader,
             writes: Vec::new(),
             write_index: HashMap::new(),
+            deltas: Vec::new(),
+            delta_index: HashMap::new(),
             gas,
             reads_performed: 0,
             size_of: default_size_of::<V>,
@@ -71,14 +79,27 @@ where
             self.gas.charge_read((self.size_of)(&value));
             return Ok(Some(value));
         }
+        let pending_delta = self.delta_index.get(key).map(|&idx| self.deltas[idx].1);
         match self.reader.read(key) {
             ReadOutcome::Value(value) => {
                 self.gas.charge_read((self.size_of)(&value));
-                Ok(Some(value))
+                // Read-your-own-deltas: the buffered delta applies on top of the
+                // engine-resolved base (clamped: a doomed speculative base stays
+                // deterministic and is corrected by validation).
+                match pending_delta {
+                    Some(op) => Ok(Some(V::from_aggregator(
+                        op.apply_clamped(value.to_aggregator()),
+                    ))),
+                    None => Ok(Some(value)),
+                }
             }
             ReadOutcome::NotFound => {
                 self.gas.charge_read(0);
-                Ok(None)
+                // An absent aggregator has value 0; a pending delta materializes it.
+                match pending_delta {
+                    Some(op) => Ok(Some(V::from_aggregator(op.apply_clamped(0)))),
+                    None => Ok(None),
+                }
             }
             ReadOutcome::Dependency(blocking_txn_idx) => Err(ExecutionFailure::Dependency(
                 ReadDependency::new(blocking_txn_idx),
@@ -98,9 +119,16 @@ where
         }
     }
 
-    /// Buffers a write of `value` to `key`, replacing any earlier buffered value.
+    /// Buffers a write of `value` to `key`, replacing any earlier buffered value
+    /// (and absorbing any pending delta on the location — the full write wins).
     pub fn write(&mut self, key: K, value: V) {
         self.gas.charge_write((self.size_of)(&value));
+        if let Some(idx) = self.delta_index.remove(&key) {
+            self.deltas.swap_remove(idx);
+            if let Some((moved_key, _)) = self.deltas.get(idx) {
+                self.delta_index.insert(moved_key.clone(), idx);
+            }
+        }
         match self.write_index.get(&key) {
             Some(&idx) => self.writes[idx].value = value,
             None => {
@@ -108,6 +136,61 @@ where
                 self.writes.push(WriteOp::new(key, value));
             }
         }
+    }
+
+    /// Applies a commutative delta to the aggregator at `key` (see
+    /// [`DeltaOp`]): the update is buffered as a *delta*, not a value, so the
+    /// parallel engine never needs to know the base — interleaved in-bounds
+    /// deltas commute instead of conflicting.
+    ///
+    /// Deterministic failure modes mirror a sequential execution exactly:
+    /// an application that would leave `[0, op.limit]` aborts the transaction
+    /// with [`AbortCode::DeltaOverflow`]; a probe that hits an ESTIMATE marker
+    /// suspends the incarnation (parallel engine only).
+    pub fn apply_delta(&mut self, key: K, op: DeltaOp) -> Result<(), ExecutionFailure> {
+        self.gas.charge_write(std::mem::size_of::<DeltaOp>());
+        // A delta on the transaction's own buffered full write folds locally —
+        // the base is known exactly, no engine probe needed.
+        if let Some(&idx) = self.write_index.get(&key) {
+            let base = self.writes[idx].value.to_aggregator();
+            return match op.apply_checked(base) {
+                Some(new) => {
+                    self.writes[idx].value = V::from_aggregator(new);
+                    Ok(())
+                }
+                None => Err(ExecutionFailure::Abort(AbortCode::DeltaOverflow)),
+            };
+        }
+        let prior = self
+            .delta_index
+            .get(&key)
+            .map_or(0, |&idx| self.deltas[idx].1.delta);
+        match self.reader.probe_delta(&key, prior, op) {
+            DeltaProbe::InBounds => {
+                match self.delta_index.get(&key) {
+                    Some(&idx) => self.deltas[idx].1.merge(op),
+                    None => {
+                        self.delta_index.insert(key.clone(), self.deltas.len());
+                        self.deltas.push((key, op));
+                    }
+                }
+                Ok(())
+            }
+            DeltaProbe::OutOfBounds => Err(ExecutionFailure::Abort(AbortCode::DeltaOverflow)),
+            DeltaProbe::Dependency(blocking_txn_idx) => Err(ExecutionFailure::Dependency(
+                ReadDependency::new(blocking_txn_idx),
+            )),
+        }
+    }
+
+    /// Reads the aggregator value at `key` (an absent location reads as `0`).
+    ///
+    /// This is a *value* read: in the parallel engine it resolves the delta
+    /// chain and is validated on the resolved sum, so it does re-introduce a
+    /// (value-level) dependency on lower transactions — use it only where the
+    /// logic genuinely needs the number.
+    pub fn read_aggregator(&mut self, key: &K) -> Result<u128, ExecutionFailure> {
+        Ok(self.read(key)?.map_or(0, |value| value.to_aggregator()))
     }
 
     /// Charges `units` of additional gas (synthetic contract computation).
@@ -130,6 +213,7 @@ where
         let (gas_used, work_sink) = self.gas.finish();
         TransactionOutput {
             writes: self.writes,
+            deltas: self.deltas,
             gas_used,
             abort_code: None,
             reads_performed: self.reads_performed,
@@ -146,6 +230,7 @@ where
         let (gas_used, work_sink) = self.gas.finish();
         TransactionOutput {
             writes: Vec::new(),
+            deltas: Vec::new(),
             gas_used,
             abort_code: Some(code),
             reads_performed: self.reads_performed,
@@ -252,9 +337,73 @@ mod tests {
         let r = reader();
         let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
         ctx.write(7, 70);
+        ctx.apply_delta(8, DeltaOp::add_u64(3)).unwrap();
         let output = ctx.into_aborted_output(AbortCode::User(9));
         assert!(output.writes.is_empty());
+        assert!(output.deltas.is_empty(), "aborts drop the delta-set too");
         assert_eq!(output.abort_code, Some(AbortCode::User(9)));
         assert!(output.gas_used > 0);
+    }
+
+    #[test]
+    fn deltas_merge_per_location_and_read_their_own_effect() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        // Key 1 holds 100 in the reader.
+        ctx.apply_delta(1, DeltaOp::add(5, 1_000)).unwrap();
+        ctx.apply_delta(1, DeltaOp::add(-2, 1_000)).unwrap();
+        assert_eq!(ctx.read(&1).unwrap(), Some(103), "read-your-own-delta");
+        // A missing location behaves as aggregator 0.
+        ctx.apply_delta(5, DeltaOp::add(7, 1_000)).unwrap();
+        assert_eq!(ctx.read(&5).unwrap(), Some(7));
+        let output = ctx.into_output();
+        assert!(output.writes.is_empty());
+        assert_eq!(
+            output.deltas,
+            vec![(1, DeltaOp::add(3, 1_000)), (5, DeltaOp::add(7, 1_000))]
+        );
+    }
+
+    #[test]
+    fn delta_on_own_write_folds_locally_and_write_absorbs_delta() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        ctx.write(7, 70);
+        ctx.apply_delta(7, DeltaOp::add(5, 1_000)).unwrap();
+        assert_eq!(ctx.read(&7).unwrap(), Some(75));
+        // A later full write on a delta'd location absorbs the pending delta.
+        ctx.apply_delta(8, DeltaOp::add(1, 1_000)).unwrap();
+        ctx.write(8, 42);
+        let output = ctx.into_output();
+        assert_eq!(
+            output.writes,
+            vec![WriteOp::new(7, 75), WriteOp::new(8, 42)]
+        );
+        assert!(output.deltas.is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_deltas_abort_deterministically() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        // Key 1 holds 100: +1 with limit 100 is fine, +1 more is not.
+        ctx.apply_delta(1, DeltaOp::add(0, 100)).unwrap();
+        let err = ctx.apply_delta(1, DeltaOp::add(1, 100)).unwrap_err();
+        assert_eq!(err, ExecutionFailure::Abort(AbortCode::DeltaOverflow));
+        // Below zero on the transaction's own buffered write.
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        ctx.write(7, 3);
+        let err = ctx.apply_delta(7, DeltaOp::add(-4, 100)).unwrap_err();
+        assert_eq!(err, ExecutionFailure::Abort(AbortCode::DeltaOverflow));
+    }
+
+    #[test]
+    fn read_aggregator_reads_resolved_sums() {
+        let r = reader();
+        let mut ctx = TransactionContext::new(&r, GasSchedule::zero_work());
+        assert_eq!(ctx.read_aggregator(&1).unwrap(), 100);
+        assert_eq!(ctx.read_aggregator(&5).unwrap(), 0, "missing reads as 0");
+        ctx.apply_delta(1, DeltaOp::add(11, 1_000)).unwrap();
+        assert_eq!(ctx.read_aggregator(&1).unwrap(), 111);
     }
 }

@@ -1,0 +1,222 @@
+//! Commutative delta (aggregator) writes.
+//!
+//! Block-STM's ordered-commit design collapses to sequential speed on hot-key
+//! workloads: every read-modify-write of a shared counter conflicts with every
+//! other one, even though *increments commute*. A [`DeltaOp`] declares **how** a
+//! location is mutated instead of publishing the resulting value: `+δ` with a
+//! bound, applied to whatever the prior value turns out to be. Two interleaved
+//! increments no longer invalidate each other — the engine validates the
+//! *bounds predicate* of each application (and the *resolved sum* of explicit
+//! aggregator reads) rather than the exact version of the observed value.
+//!
+//! The semantics are fixed so every engine (parallel, sequential, baselines)
+//! agrees byte-for-byte:
+//!
+//! * an aggregator value is a `u128` obtained through [`AggregatorValue`];
+//!   a location absent from state has aggregator value `0`;
+//! * applying `δ` to value `v` **succeeds** iff `0 <= v + δ <= limit` (checked
+//!   `i128`/`u128` arithmetic, no wrapping); a failing application aborts the
+//!   transaction deterministically with
+//!   [`AbortCode::DeltaOverflow`](crate::AbortCode::DeltaOverflow);
+//! * several applications by one transaction merge into a single cumulative op
+//!   (each individual application's bound is still checked at its point of
+//!   application);
+//! * resolution of a *speculative* chain uses the clamped form
+//!   ([`DeltaOp::apply_clamped`]) so doomed interleavings stay deterministic;
+//!   on the committed state the clamp never engages (every application's
+//!   predicate was validated against exactly that state).
+
+use std::fmt;
+
+/// A commutative update of an aggregator location: add `delta` (which may be
+/// negative) to the current value, requiring the result to stay in
+/// `[0, limit]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeltaOp {
+    /// The signed amount to add.
+    pub delta: i128,
+    /// Inclusive upper bound of the aggregator (`u64` state models should use
+    /// limits `<= u64::MAX`). The lower bound is always `0`.
+    pub limit: u128,
+}
+
+impl DeltaOp {
+    /// An addition of `delta` bounded by `[0, limit]`.
+    pub fn add(delta: i128, limit: u128) -> Self {
+        Self { delta, limit }
+    }
+
+    /// An unbounded-for-practical-purposes addition (limit `u64::MAX`, the
+    /// natural ceiling of `u64` state models).
+    pub fn add_u64(delta: i128) -> Self {
+        Self::add(delta, u64::MAX as u128)
+    }
+
+    /// Checked application: `base + delta` iff the result lies in
+    /// `[0, self.limit]`.
+    pub fn apply_checked(&self, base: u128) -> Option<u128> {
+        base.checked_add_signed(self.delta)
+            .filter(|result| *result <= self.limit)
+    }
+
+    /// Clamped application: `base + delta` saturated into `[0, self.limit]`.
+    /// Used when resolving *speculative* chains, where a torn interleaving may
+    /// momentarily violate a bound — the result stays deterministic and
+    /// validation converges on the checked outcome.
+    pub fn apply_clamped(&self, base: u128) -> u128 {
+        match base.checked_add_signed(self.delta) {
+            Some(result) => result.min(self.limit),
+            None if self.delta < 0 => 0,
+            None => self.limit,
+        }
+    }
+
+    /// The bounds predicate validated for each application: would applying this
+    /// op on top of `base + prior` (the engine-resolved value plus the
+    /// transaction's own earlier deltas) stay within `[0, limit]`?
+    pub fn in_bounds_on(&self, base: u128, prior: i128) -> bool {
+        base.checked_add_signed(prior)
+            .and_then(|with_prior| with_prior.checked_add_signed(self.delta))
+            .is_some_and(|result| result <= self.limit)
+    }
+
+    /// Merges a later application by the *same transaction* into this op: the
+    /// deltas accumulate and the later bound wins (each individual bound was
+    /// already checked at its point of application).
+    pub fn merge(&mut self, later: DeltaOp) {
+        self.delta = self.delta.saturating_add(later.delta);
+        self.limit = later.limit;
+    }
+}
+
+impl fmt::Display for DeltaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+} (limit {})", self.delta, self.limit)
+    }
+}
+
+/// Conversion between a state model's value type and the `u128` aggregator
+/// domain deltas operate on.
+///
+/// Every [`Transaction::Value`](crate::Transaction::Value) provides this so the
+/// engines can resolve delta chains over any state model. Numeric types
+/// round-trip exactly; non-numeric values choose a canonical (deterministic)
+/// embedding — both conversions **must be total and deterministic**, since
+/// parallel and sequential execution have to agree on the result of applying a
+/// delta to any value. A model that never uses deltas can embed everything as
+/// `0` and materialize `from_aggregator` arbitrarily (but deterministically).
+pub trait AggregatorValue: Sized {
+    /// The value's position in the aggregator domain.
+    fn to_aggregator(&self) -> u128;
+    /// Materializes an aggregator value back into the state model.
+    fn from_aggregator(raw: u128) -> Self;
+}
+
+impl AggregatorValue for u64 {
+    fn to_aggregator(&self) -> u128 {
+        *self as u128
+    }
+
+    fn from_aggregator(raw: u128) -> Self {
+        // Aggregators over u64 state use limits <= u64::MAX; the clamp keeps
+        // the conversion total for hand-built out-of-range ops.
+        raw.min(u64::MAX as u128) as u64
+    }
+}
+
+impl AggregatorValue for u128 {
+    fn to_aggregator(&self) -> u128 {
+        *self
+    }
+
+    fn from_aggregator(raw: u128) -> Self {
+        raw
+    }
+}
+
+impl AggregatorValue for u32 {
+    fn to_aggregator(&self) -> u128 {
+        *self as u128
+    }
+
+    fn from_aggregator(raw: u128) -> Self {
+        raw.min(u32::MAX as u128) as u32
+    }
+}
+
+impl AggregatorValue for usize {
+    fn to_aggregator(&self) -> u128 {
+        *self as u128
+    }
+
+    fn from_aggregator(raw: u128) -> Self {
+        raw.min(usize::MAX as u128) as usize
+    }
+}
+
+/// Outcome of a speculative bounds probe ([`StateReader::probe_delta`]
+/// (crate::StateReader::probe_delta)): may the delta be applied on the current
+/// value of the location?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaProbe {
+    /// The application stays within bounds.
+    InBounds,
+    /// The application would leave `[0, limit]`: the transaction must abort
+    /// deterministically with `AbortCode::DeltaOverflow`.
+    OutOfBounds,
+    /// The probe's resolution hit an ESTIMATE marker left by the given lower
+    /// transaction; the incarnation must suspend on it.
+    Dependency(crate::TxnIndex),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_apply_enforces_both_bounds() {
+        let op = DeltaOp::add(5, 10);
+        assert_eq!(op.apply_checked(3), Some(8));
+        assert_eq!(op.apply_checked(6), None, "over the limit");
+        assert_eq!(DeltaOp::add(-4, 10).apply_checked(3), None, "below zero");
+        assert_eq!(DeltaOp::add(-3, 10).apply_checked(3), Some(0));
+        assert_eq!(DeltaOp::add(0, 0).apply_checked(0), Some(0));
+    }
+
+    #[test]
+    fn clamped_apply_saturates_into_the_bounds() {
+        let op = DeltaOp::add(5, 10);
+        assert_eq!(op.apply_clamped(8), 10);
+        assert_eq!(DeltaOp::add(-9, 10).apply_clamped(3), 0);
+        assert_eq!(op.apply_clamped(3), 8, "in-bounds is untouched");
+        assert_eq!(
+            DeltaOp::add(1, u128::MAX).apply_clamped(u128::MAX),
+            u128::MAX
+        );
+        assert_eq!(DeltaOp::add(-1, 8).apply_clamped(0), 0);
+    }
+
+    #[test]
+    fn in_bounds_predicate_accounts_for_prior_own_deltas() {
+        let op = DeltaOp::add(3, 10);
+        assert!(op.in_bounds_on(2, 4)); // 2 + 4 + 3 = 9 <= 10
+        assert!(!op.in_bounds_on(2, 6)); // 11 > 10
+        assert!(!op.in_bounds_on(2, -6)); // intermediate -4 < 0
+        assert!(DeltaOp::add(-2, 10).in_bounds_on(5, -3));
+    }
+
+    #[test]
+    fn merge_accumulates_deltas_and_keeps_last_limit() {
+        let mut op = DeltaOp::add(3, 10);
+        op.merge(DeltaOp::add(-1, 7));
+        assert_eq!(op, DeltaOp::add(2, 7));
+    }
+
+    #[test]
+    fn u64_roundtrip_and_truncation() {
+        assert_eq!(7u64.to_aggregator(), 7);
+        assert_eq!(u64::from_aggregator(7), 7);
+        assert_eq!(u64::from_aggregator(u128::MAX), u64::MAX);
+        assert_eq!(u128::from_aggregator(u128::MAX), u128::MAX);
+    }
+}

@@ -48,6 +48,12 @@ pub enum AbortCode {
     InsufficientBalance,
     /// A resource had an unexpected type (storage corruption or test misconfiguration).
     TypeMismatch,
+    /// A commutative delta write would have pushed its aggregator outside
+    /// `[0, limit]` (the aggregator equivalent of an arithmetic overflow abort).
+    /// Like every abort code this is deterministic: parallel execution converges
+    /// on the same abort decision as the sequential order via (re-)validation of
+    /// the bounds predicate.
+    DeltaOverflow,
     /// Generic user-defined abort with a code, mirroring Move's `abort <code>`.
     User(u64),
 }
@@ -59,6 +65,7 @@ impl fmt::Display for AbortCode {
             AbortCode::AccountFrozen => write!(f, "account frozen"),
             AbortCode::InsufficientBalance => write!(f, "insufficient balance"),
             AbortCode::TypeMismatch => write!(f, "resource type mismatch"),
+            AbortCode::DeltaOverflow => write!(f, "aggregator delta out of bounds"),
             AbortCode::User(code) => write!(f, "user abort({code})"),
         }
     }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod context;
+pub mod delta;
 mod errors;
 mod gas;
 pub mod p2p;
@@ -43,6 +44,7 @@ mod view;
 mod vm;
 
 pub use context::TransactionContext;
+pub use delta::{AggregatorValue, DeltaOp, DeltaProbe};
 pub use errors::{AbortCode, ExecutionFailure, ReadDependency};
 pub use gas::{GasMeter, GasSchedule};
 pub use transaction::{Transaction, TransactionOutput, WriteOp};

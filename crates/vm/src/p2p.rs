@@ -19,11 +19,30 @@
 //! conservation easy to assert in tests — an explicit abort mode is also available).
 
 use crate::context::TransactionContext;
+use crate::delta::AggregatorValue;
 use crate::errors::{AbortCode, ExecutionFailure};
 use crate::transaction::Transaction;
 use crate::view::StateReader;
 use block_stm_storage::{AccessPath, AccountAddress, ConfigId, StateValue};
 use serde::{Deserialize, Serialize};
+
+/// Numeric state values embed exactly into the aggregator domain (total-supply
+/// style counters are `U64`/`U128` resources); structured values embed as `0`
+/// and a materialized aggregator becomes a `U128` resource. Both directions are
+/// total and deterministic, as the engines require.
+impl AggregatorValue for StateValue {
+    fn to_aggregator(&self) -> u128 {
+        match self {
+            StateValue::U64(v) => *v as u128,
+            StateValue::U128(v) => *v,
+            _ => 0,
+        }
+    }
+
+    fn from_aggregator(raw: u128) -> Self {
+        StateValue::U128(raw)
+    }
+}
 
 /// Which chain's p2p access pattern (and VM cost) to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -13,6 +13,7 @@
 //!   re-execution writes to locations its previous incarnation did not.
 
 use crate::context::TransactionContext;
+use crate::delta::DeltaOp;
 use crate::errors::{AbortCode, ExecutionFailure};
 use crate::transaction::Transaction;
 use crate::view::StateReader;
@@ -42,6 +43,13 @@ pub struct SyntheticTransaction {
     /// If set, the transaction aborts deterministically with this user code when the
     /// mixed read value is divisible by the given modulus (exercises abort paths).
     pub abort_when_divisible_by: Option<u64>,
+    /// Commutative delta applications `(key, delta)`: applied via
+    /// `TransactionContext::apply_delta` with bound `[0, delta_limit]`, in order,
+    /// after the full writes. An out-of-bounds application aborts the transaction
+    /// with [`AbortCode::DeltaOverflow`].
+    pub deltas: Vec<(Key, i128)>,
+    /// Inclusive upper bound for every delta application of this transaction.
+    pub delta_limit: u128,
 }
 
 impl SyntheticTransaction {
@@ -54,6 +62,8 @@ impl SyntheticTransaction {
             salt: value,
             extra_gas: 0,
             abort_when_divisible_by: None,
+            deltas: vec![],
+            delta_limit: u64::MAX as u128,
         }
     }
 
@@ -68,6 +78,8 @@ impl SyntheticTransaction {
             salt: 1,
             extra_gas: 0,
             abort_when_divisible_by: None,
+            deltas: vec![],
+            delta_limit: u64::MAX as u128,
         }
     }
 
@@ -80,7 +92,33 @@ impl SyntheticTransaction {
             salt,
             extra_gas: 0,
             abort_when_divisible_by: None,
+            deltas: vec![],
+            delta_limit: u64::MAX as u128,
         }
+    }
+
+    /// A pure commutative increment of the aggregator at `key`: applies `delta`
+    /// bounded by `[0, limit]` and touches nothing else. Blocks of these over a
+    /// single hot key are the delta machinery's headline case — they commute, so
+    /// the parallel engine commits them without a single abort.
+    pub fn delta_add(key: Key, delta: i128, limit: u128) -> Self {
+        Self {
+            reads: vec![],
+            writes: vec![],
+            conditional_writes: vec![],
+            salt: 0,
+            extra_gas: 0,
+            abort_when_divisible_by: None,
+            deltas: vec![(key, delta)],
+            delta_limit: limit,
+        }
+    }
+
+    /// Builder: replaces the delta applications.
+    pub fn with_deltas(mut self, deltas: Vec<(Key, i128)>, limit: u128) -> Self {
+        self.deltas = deltas;
+        self.delta_limit = limit;
+        self
     }
 
     /// Builder: adds extra gas.
@@ -106,6 +144,7 @@ impl SyntheticTransaction {
     pub fn perfect_write_set(&self) -> Vec<Key> {
         let mut set = self.writes.clone();
         set.extend(self.conditional_writes.iter().copied());
+        set.extend(self.deltas.iter().map(|(key, _)| *key));
         set.sort_unstable();
         set.dedup();
         set
@@ -154,6 +193,9 @@ impl Transaction for SyntheticTransaction {
                 let value = self.written_value(mixed, *key).wrapping_add(1);
                 ctx.write(*key, value);
             }
+        }
+        for (key, delta) in &self.deltas {
+            ctx.apply_delta(*key, DeltaOp::add(*delta, self.delta_limit))?;
         }
         Ok(())
     }
@@ -231,6 +273,8 @@ mod tests {
             salt: 0,
             extra_gas: 0,
             abort_when_divisible_by: None,
+            deltas: vec![],
+            delta_limit: u64::MAX as u128,
         };
         // Find two input values producing different parities of the mixed accumulator.
         let mut with_conditional = None;
@@ -273,6 +317,8 @@ mod tests {
             salt: 0,
             extra_gas: 0,
             abort_when_divisible_by: None,
+            deltas: vec![],
+            delta_limit: u64::MAX as u128,
         };
         assert_eq!(txn.perfect_write_set(), vec![1, 2, 3]);
     }

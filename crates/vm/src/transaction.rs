@@ -1,6 +1,7 @@
 //! The transaction trait and transaction outputs.
 
 use crate::context::TransactionContext;
+use crate::delta::{AggregatorValue, DeltaOp};
 use crate::errors::{AbortCode, ExecutionFailure};
 use crate::view::StateReader;
 use std::fmt::Debug;
@@ -32,6 +33,11 @@ pub struct TransactionOutput<K, V> {
     /// The write-set, deduplicated: the *last* value written per location
     /// (Algorithm 3, Lines 78–81).
     pub writes: Vec<WriteOp<K, V>>,
+    /// The delta-set: one merged commutative [`DeltaOp`] per aggregator location
+    /// the transaction applied deltas to (disjoint from `writes` — a full write
+    /// to the same location absorbs earlier deltas and later deltas fold into
+    /// the buffered value). Applied on top of the prior state at commit.
+    pub deltas: Vec<(K, DeltaOp)>,
     /// Gas consumed by the execution.
     pub gas_used: u64,
     /// If the transaction aborted deterministically (e.g. insufficient balance), the
@@ -49,11 +55,17 @@ impl<K, V> TransactionOutput<K, V> {
     pub fn empty() -> Self {
         Self {
             writes: Vec::new(),
+            deltas: Vec::new(),
             gas_used: 0,
             abort_code: None,
             reads_performed: 0,
             work_sink: 0,
         }
+    }
+
+    /// Whether the transaction produced any commutative delta writes.
+    pub fn has_deltas(&self) -> bool {
+        !self.deltas.is_empty()
     }
 
     /// Whether the transaction aborted deterministically.
@@ -86,7 +98,12 @@ pub trait Transaction: Send + Sync {
     /// across blocks; keys are plain data in every realistic state model.
     type Key: Eq + Hash + Ord + Clone + Debug + Send + Sync + 'static;
     /// The value type stored at locations (`'static` for the same reason as `Key`).
-    type Value: Clone + PartialEq + Debug + Send + Sync + 'static;
+    ///
+    /// [`AggregatorValue`] gives the engines a total, deterministic embedding of
+    /// values into the `u128` aggregator domain so commutative delta writes can
+    /// be resolved over any state model. Models that never use deltas implement
+    /// it with any canonical embedding (e.g. everything maps to `0`).
+    type Value: Clone + PartialEq + Debug + Send + Sync + AggregatorValue + 'static;
 
     /// Executes the transaction logic against the instrumented context.
     ///
@@ -140,6 +157,7 @@ mod tests {
     fn write_pairs_iterates_in_order() {
         let output = TransactionOutput {
             writes: vec![WriteOp::new(1u32, 10u32), WriteOp::new(2, 20)],
+            deltas: vec![],
             gas_used: 5,
             abort_code: None,
             reads_performed: 0,

@@ -1,5 +1,6 @@
 //! The read interface the execution engine exposes to the VM.
 
+use crate::delta::{AggregatorValue, DeltaOp, DeltaProbe};
 use crate::types::TxnIndex;
 
 /// Outcome of a speculative read issued by the VM for transaction `txn_idx`.
@@ -54,6 +55,40 @@ impl<V> ReadOutcome<V> {
 pub trait StateReader<K, V> {
     /// Serves a read of `key` on behalf of the executing transaction.
     fn read(&self, key: &K) -> ReadOutcome<V>;
+
+    /// Speculative bounds probe for a commutative delta write: may `op` be
+    /// applied on top of the current value of `key` plus the transaction's own
+    /// earlier cumulative delta `prior`?
+    ///
+    /// The default implementation resolves the base through [`read`](Self::read)
+    /// (a missing location has aggregator value `0`), which is correct for every
+    /// engine. The **parallel executor overrides it**: instead of recording a
+    /// value/version read (which would make hot-key deltas conflict exactly like
+    /// read-modify-writes), it records only the *bounds predicate* in the
+    /// read-set, so validation re-checks "still in bounds?" rather than "same
+    /// value?" — interleaved in-bounds deltas never abort each other.
+    fn probe_delta(&self, key: &K, prior: i128, op: DeltaOp) -> DeltaProbe
+    where
+        V: AggregatorValue,
+    {
+        match self.read(key) {
+            ReadOutcome::Value(value) => {
+                if op.in_bounds_on(value.to_aggregator(), prior) {
+                    DeltaProbe::InBounds
+                } else {
+                    DeltaProbe::OutOfBounds
+                }
+            }
+            ReadOutcome::NotFound => {
+                if op.in_bounds_on(0, prior) {
+                    DeltaProbe::InBounds
+                } else {
+                    DeltaProbe::OutOfBounds
+                }
+            }
+            ReadOutcome::Dependency(blocking_txn_idx) => DeltaProbe::Dependency(blocking_txn_idx),
+        }
+    }
 }
 
 impl<K, V, S> StateReader<K, V> for &S
@@ -62,6 +97,13 @@ where
 {
     fn read(&self, key: &K) -> ReadOutcome<V> {
         (**self).read(key)
+    }
+
+    fn probe_delta(&self, key: &K, prior: i128, op: DeltaOp) -> DeltaProbe
+    where
+        V: AggregatorValue,
+    {
+        (**self).probe_delta(key, prior, op)
     }
 }
 

@@ -26,6 +26,10 @@ pub struct CommitStallWorkload {
     /// Extra gas burned by each staller (with a work-performing gas schedule this
     /// is real CPU time).
     pub stall_extra_gas: u64,
+    /// `true` — every counter bump is a commutative delta write (the commit
+    /// drain then materializes one delta per transaction); `false` — classic
+    /// read-modify-write increments (the seed behavior).
+    pub use_deltas: bool,
 }
 
 impl CommitStallWorkload {
@@ -36,6 +40,7 @@ impl CommitStallWorkload {
             block_size,
             stall_every: block_size.max(1),
             stall_extra_gas,
+            use_deltas: false,
         }
     }
 
@@ -45,7 +50,15 @@ impl CommitStallWorkload {
             block_size,
             stall_every: stall_every.max(1),
             stall_extra_gas,
+            use_deltas: false,
         }
+    }
+
+    /// Builder: migrates the per-transaction counters to the commutative delta
+    /// API (`compare_engines` demos both modes).
+    pub fn with_deltas(mut self, use_deltas: bool) -> Self {
+        self.use_deltas = use_deltas;
+        self
     }
 
     /// Whether transaction `txn_idx` is one of the slow ones.
@@ -58,13 +71,18 @@ impl CommitStallWorkload {
         (0..self.block_size as u64).map(|k| (k, k + 1)).collect()
     }
 
-    /// Generates the block: every transaction increments its own private key (no
+    /// Generates the block: every transaction bumps its own private key (no
     /// data conflicts at all — the stall is purely a commit-order effect), stallers
-    /// additionally burn `stall_extra_gas`.
+    /// additionally burn `stall_extra_gas`. With `use_deltas` the bump is a
+    /// commutative delta write instead of a read-modify-write.
     pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
         (0..self.block_size)
             .map(|i| {
-                let txn = SyntheticTransaction::increment(i as u64);
+                let txn = if self.use_deltas {
+                    SyntheticTransaction::delta_add(i as u64, 1, u64::MAX as u128)
+                } else {
+                    SyntheticTransaction::increment(i as u64)
+                };
                 if self.is_staller(i) {
                     txn.with_extra_gas(self.stall_extra_gas)
                 } else {
@@ -96,6 +114,19 @@ mod tests {
         let block = workload.generate_block();
         assert_eq!(block[4].extra_gas, 50);
         assert_eq!(block[5].extra_gas, 0);
+    }
+
+    #[test]
+    fn delta_mode_bumps_the_same_counters_as_deltas() {
+        let block = CommitStallWorkload::front_staller(8, 10)
+            .with_deltas(true)
+            .generate_block();
+        for (i, txn) in block.iter().enumerate() {
+            assert!(txn.reads.is_empty());
+            assert!(txn.writes.is_empty());
+            assert_eq!(txn.deltas, vec![(i as u64, 1)]);
+        }
+        assert_eq!(block[0].extra_gas, 10, "stallers still stall");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! The `delta_hotspot` workload: every transaction bumps one of `K` hot
+//! aggregators.
+//!
+//! This is the block shape the paper's introduction worries about (fee counters,
+//! total-supply updates, vote tallies: *everything* touches the same location)
+//! and the headline case for commutative delta writes. With `use_deltas` the
+//! bumps are [`SyntheticTransaction::delta_add`] applications: they commute, so
+//! delta-enabled Block-STM commits the block with **zero aggregator-induced
+//! aborts** no matter how many transactions share one aggregator. With
+//! `use_deltas == false` the same bumps are classic read-modify-write
+//! increments — the inherently sequential worst case the `hotspot` workload
+//! already demonstrates — which is the delta-off comparison `commitbench`
+//! measures.
+//!
+//! `read_your_delta_pct` re-introduces a tunable amount of *value* dependency:
+//! that fraction of transactions also reads its aggregator (a resolved-sum
+//! read), which must re-validate whenever a lower delta lands.
+
+use block_stm_vm::synthetic::SyntheticTransaction;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the delta-hotspot (hot aggregator) workload over `u64` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaHotspotWorkload {
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// Number of hot aggregators `K` (keys `0..K`); every transaction touches
+    /// exactly one of them.
+    pub hot_aggregators: u64,
+    /// Percentage (0–100) of transactions that also *read* their aggregator's
+    /// resolved value (a value-level dependency on every lower delta).
+    pub read_your_delta_pct: u8,
+    /// Inclusive upper bound of every aggregator.
+    pub limit: u128,
+    /// `true` — bumps are commutative delta writes; `false` — the same bumps as
+    /// classic read-modify-write increments (the delta-off comparison).
+    pub use_deltas: bool,
+    /// Extra gas per transaction (with a work-performing schedule this is real
+    /// CPU time — what an aborted incarnation throws away).
+    pub extra_gas: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DeltaHotspotWorkload {
+    /// A delta-enabled block of `block_size` transactions over `hot_aggregators`
+    /// aggregators, with no read-your-delta transactions and an effectively
+    /// unbounded limit.
+    pub fn new(block_size: usize, hot_aggregators: u64) -> Self {
+        Self {
+            block_size,
+            hot_aggregators: hot_aggregators.max(1),
+            read_your_delta_pct: 0,
+            limit: u64::MAX as u128,
+            use_deltas: true,
+            extra_gas: 0,
+            seed: 0xDE17A,
+        }
+    }
+
+    /// Builder: toggles delta mode (`false` restores read-modify-write bumps).
+    pub fn with_deltas(mut self, use_deltas: bool) -> Self {
+        self.use_deltas = use_deltas;
+        self
+    }
+
+    /// Builder: sets the read-your-delta percentage.
+    pub fn with_read_your_delta_pct(mut self, pct: u8) -> Self {
+        self.read_your_delta_pct = pct.min(100);
+        self
+    }
+
+    /// Builder: sets the aggregator bound.
+    pub fn with_limit(mut self, limit: u128) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Builder: sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the extra per-transaction gas (simulated contract work).
+    pub fn with_extra_gas(mut self, gas: u64) -> Self {
+        self.extra_gas = gas;
+        self
+    }
+
+    /// The pre-block state: every aggregator starts at 0.
+    pub fn initial_state(&self) -> HashMap<u64, u64> {
+        (0..self.hot_aggregators.max(1)).map(|k| (k, 0)).collect()
+    }
+
+    /// Generates the block: each transaction bumps one aggregator by `1..=3`,
+    /// as a delta or as a read-modify-write depending on `use_deltas`, and
+    /// `read_your_delta_pct`% of transactions additionally read the aggregator.
+    pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let aggregators = self.hot_aggregators.max(1);
+        (0..self.block_size)
+            .map(|_| {
+                let key = rng.gen_range(0..aggregators);
+                let amount = rng.gen_range(1..=3u64);
+                let reads_value = rng.gen_range(0..100) < self.read_your_delta_pct;
+                let txn = if self.use_deltas {
+                    let mut txn = SyntheticTransaction::delta_add(key, amount as i128, self.limit);
+                    if reads_value {
+                        txn.reads = vec![key];
+                    }
+                    txn
+                } else {
+                    // The delta-off shape: the classic inherently-sequential
+                    // counter bump (reads + writes the key).
+                    let mut txn = SyntheticTransaction::increment(key);
+                    txn.salt = amount;
+                    txn
+                };
+                txn.with_extra_gas(self.extra_gas)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_mode_produces_pure_delta_transactions() {
+        let block = DeltaHotspotWorkload::new(64, 2).generate_block();
+        assert_eq!(block.len(), 64);
+        for txn in &block {
+            assert!(txn.writes.is_empty());
+            assert!(txn.reads.is_empty(), "read ratio 0 means no value reads");
+            assert_eq!(txn.deltas.len(), 1);
+            assert!(txn.deltas[0].0 < 2);
+            assert!((1..=3).contains(&txn.deltas[0].1));
+        }
+    }
+
+    #[test]
+    fn delta_off_mode_produces_read_modify_writes() {
+        let block = DeltaHotspotWorkload::new(16, 1)
+            .with_deltas(false)
+            .generate_block();
+        for txn in &block {
+            assert!(txn.deltas.is_empty());
+            assert_eq!(txn.reads, vec![0]);
+            assert_eq!(txn.writes, vec![0]);
+        }
+    }
+
+    #[test]
+    fn read_your_delta_ratio_adds_value_reads() {
+        let workload = DeltaHotspotWorkload::new(400, 1).with_read_your_delta_pct(50);
+        let readers = workload
+            .generate_block()
+            .iter()
+            .filter(|txn| !txn.reads.is_empty())
+            .count();
+        assert!(
+            (100..300).contains(&readers),
+            "readers {readers} far from 50%"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let workload = DeltaHotspotWorkload::new(64, 4);
+        assert_eq!(workload.generate_block(), workload.generate_block());
+        assert_ne!(
+            workload.generate_block(),
+            workload.with_seed(1).generate_block()
+        );
+    }
+
+    #[test]
+    fn initial_state_covers_every_aggregator() {
+        let state = DeltaHotspotWorkload::new(8, 3).initial_state();
+        assert_eq!(state.len(), 3);
+        assert!(state.values().all(|v| *v == 0));
+    }
+}

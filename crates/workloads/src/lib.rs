@@ -22,6 +22,10 @@
 //!   the mass-revalidation stress case for the rolling commit ladder.
 //! * [`CommitStallWorkload`] — conflict-free block with slow transactions at
 //!   commit-critical positions: the adversarial ordering that maximizes commit lag.
+//! * [`DeltaHotspotWorkload`] — every transaction bumps one of `K` hot
+//!   aggregators: with commutative delta writes the block commits with zero
+//!   aggregator-induced aborts; without them it is the inherently sequential
+//!   worst case.
 //!
 //! All generators are deterministic in their seed.
 
@@ -29,12 +33,14 @@
 #![warn(missing_docs)]
 
 mod commit_stall;
+mod delta_hotspot;
 mod hotspot;
 mod long_chain;
 mod p2p;
 mod synthetic;
 
 pub use commit_stall::CommitStallWorkload;
+pub use delta_hotspot::DeltaHotspotWorkload;
 pub use hotspot::HotspotWorkload;
 pub use long_chain::LongChainWorkload;
 pub use p2p::P2pWorkload;

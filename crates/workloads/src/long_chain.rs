@@ -23,6 +23,10 @@ pub struct LongChainWorkload {
     pub hub_extra_gas: u64,
     /// Extra gas burned by every dependent transaction.
     pub dependent_extra_gas: u64,
+    /// `true` — the hub transaction bumps the hub key with a commutative delta
+    /// write (dependents then *resolve* their reads through the delta chain);
+    /// `false` — a read-modify-write hub (the seed behavior).
+    pub use_deltas: bool,
 }
 
 impl LongChainWorkload {
@@ -35,7 +39,15 @@ impl LongChainWorkload {
             block_size,
             hub_extra_gas: 0,
             dependent_extra_gas: 0,
+            use_deltas: false,
         }
+    }
+
+    /// Builder: migrates the hub counter to the commutative delta API
+    /// (`compare_engines` demos both modes).
+    pub fn with_deltas(mut self, use_deltas: bool) -> Self {
+        self.use_deltas = use_deltas;
+        self
     }
 
     /// Builder: sets the hub transaction's extra gas.
@@ -58,15 +70,21 @@ impl LongChainWorkload {
         state
     }
 
-    /// Generates the block: txn 0 rewrites the hub key; txns `1..n` read it and
-    /// write their own key (values derived from the read, so a stale read changes
-    /// the committed state and is caught by the oracle).
+    /// Generates the block: txn 0 rewrites the hub key (as a delta when
+    /// `use_deltas`); txns `1..n` read it and write their own key (values derived
+    /// from the read, so a stale read changes the committed state and is caught
+    /// by the oracle — in delta mode the dependents' reads resolve lazily through
+    /// the hub's delta entry).
     pub fn generate_block(&self) -> Vec<SyntheticTransaction> {
         (0..self.block_size)
             .map(|i| {
                 if i == 0 {
-                    SyntheticTransaction::increment(Self::HUB_KEY)
-                        .with_extra_gas(self.hub_extra_gas)
+                    let hub = if self.use_deltas {
+                        SyntheticTransaction::delta_add(Self::HUB_KEY, 1, u64::MAX as u128)
+                    } else {
+                        SyntheticTransaction::increment(Self::HUB_KEY)
+                    };
+                    hub.with_extra_gas(self.hub_extra_gas)
                 } else {
                     SyntheticTransaction {
                         reads: vec![Self::HUB_KEY],
@@ -75,6 +93,8 @@ impl LongChainWorkload {
                         salt: i as u64,
                         extra_gas: self.dependent_extra_gas,
                         abort_when_divisible_by: None,
+                        deltas: vec![],
+                        delta_limit: u64::MAX as u128,
                     }
                 }
             })
@@ -103,6 +123,17 @@ mod tests {
         let state = workload.initial_state();
         assert!(state.contains_key(&LongChainWorkload::HUB_KEY));
         assert_eq!(state.len(), 9);
+    }
+
+    #[test]
+    fn delta_mode_turns_the_hub_into_a_delta_writer() {
+        let block = LongChainWorkload::new(4).with_deltas(true).generate_block();
+        assert!(block[0].writes.is_empty());
+        assert_eq!(block[0].deltas, vec![(LongChainWorkload::HUB_KEY, 1)]);
+        for txn in &block[1..] {
+            assert_eq!(txn.reads, vec![LongChainWorkload::HUB_KEY]);
+            assert!(txn.deltas.is_empty());
+        }
     }
 
     #[test]

@@ -101,6 +101,8 @@ impl SyntheticWorkload {
                     salt: rng.gen(),
                     extra_gas: self.extra_gas,
                     abort_when_divisible_by,
+                    deltas: vec![],
+                    delta_limit: u64::MAX as u128,
                 }
             })
             .collect()

@@ -129,7 +129,7 @@ macro_rules! int_strategies {
     )*};
 }
 
-int_strategies!(u8, u16, u32, u64, usize);
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 // ---------------------------------------------------------------------------
 // any

@@ -40,6 +40,8 @@ fn arb_txn() -> impl Strategy<Value = SyntheticTransaction> {
                 salt,
                 extra_gas: 0,
                 abort_when_divisible_by: abort,
+                deltas: vec![],
+                delta_limit: u64::MAX as u128,
             },
         )
 }

@@ -31,6 +31,8 @@ fn long_dependency_chain_completes_and_matches() {
             salt: i,
             extra_gas: 0,
             abort_when_divisible_by: None,
+            deltas: vec![],
+            delta_limit: u64::MAX as u128,
         })
         .collect();
     let sequential = SequentialExecutor::new(Vm::for_testing())

@@ -107,6 +107,11 @@ impl ConfigId {
     ];
 }
 
+/// Identifier of an ERC20-style token contract. Each token owns its own balance
+/// and allowance namespaces inside every account's storage, the way a real
+/// token contract keys its `balances`/`allowances` maps by holder address.
+pub type TokenId = u64;
+
 /// The resource addressed within an account (or within the core address).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ResourceTag {
@@ -124,6 +129,20 @@ pub enum ResourceTag {
     ReceivedEvents,
     /// A global configuration resource (only meaningful under [`AccountAddress::CORE`]).
     Config(ConfigId),
+    /// The account's balance in token `TokenId` (the token contract's
+    /// `balances[address]` storage slot).
+    TokenBalance(TokenId),
+    /// The allowance `address` (the owner) has granted to `spender` in token
+    /// `TokenId` (the contract's `allowances[owner][spender]` slot).
+    TokenAllowance {
+        /// The token contract the allowance belongs to.
+        token: TokenId,
+        /// The account allowed to spend the owner's tokens.
+        spender: AccountAddress,
+    },
+    /// The total supply of token `TokenId` (only meaningful under
+    /// [`AccountAddress::CORE`], where the token contract's fixed metadata lives).
+    TokenSupply(TokenId),
     /// An arbitrary user-defined resource, for custom workloads and examples.
     Custom(u64),
 }
@@ -179,6 +198,21 @@ impl AccessPath {
     /// The global configuration resource `id` (owned by the core address).
     pub fn config(id: ConfigId) -> Self {
         Self::new(AccountAddress::CORE, ResourceTag::Config(id))
+    }
+
+    /// The balance of `address` in token `token`.
+    pub fn token_balance(address: AccountAddress, token: TokenId) -> Self {
+        Self::new(address, ResourceTag::TokenBalance(token))
+    }
+
+    /// The allowance `owner` has granted `spender` in token `token`.
+    pub fn token_allowance(owner: AccountAddress, token: TokenId, spender: AccountAddress) -> Self {
+        Self::new(owner, ResourceTag::TokenAllowance { token, spender })
+    }
+
+    /// The total-supply resource of token `token` (owned by the core address).
+    pub fn token_supply(token: TokenId) -> Self {
+        Self::new(AccountAddress::CORE, ResourceTag::TokenSupply(token))
     }
 
     /// A custom resource of `address`, for examples and synthetic workloads.
@@ -280,5 +314,39 @@ mod tests {
         let json = serde_json::to_string(&path).unwrap();
         let back: AccessPath = serde_json::from_str(&json).unwrap();
         assert_eq!(path, back);
+    }
+
+    #[test]
+    fn token_paths_are_distinct_per_token_and_spender() {
+        let owner = AccountAddress::from_index(1);
+        let a = AccountAddress::from_index(2);
+        let b = AccountAddress::from_index(3);
+        let paths = [
+            AccessPath::token_balance(owner, 0),
+            AccessPath::token_balance(owner, 1),
+            AccessPath::token_allowance(owner, 0, a),
+            AccessPath::token_allowance(owner, 0, b),
+            AccessPath::token_allowance(owner, 1, a),
+            AccessPath::token_supply(0),
+            AccessPath::token_supply(1),
+            AccessPath::balance(owner),
+        ];
+        let unique: HashSet<_> = paths.iter().collect();
+        assert_eq!(unique.len(), paths.len());
+        assert_eq!(AccessPath::token_supply(0).address, AccountAddress::CORE);
+    }
+
+    #[test]
+    fn token_paths_serde_roundtrip() {
+        let owner = AccountAddress::from_index(4);
+        let spender = AccountAddress::from_index(5);
+        for path in [
+            AccessPath::token_balance(owner, 7),
+            AccessPath::token_allowance(owner, 7, spender),
+            AccessPath::token_supply(7),
+        ] {
+            let json = serde_json::to_string(&path).unwrap();
+            assert_eq!(serde_json::from_str::<AccessPath>(&json).unwrap(), path);
+        }
     }
 }

@@ -1,9 +1,25 @@
 //! Genesis (pre-block) state construction.
 
-use crate::access_path::{AccessPath, AccountAddress, ConfigId};
+use crate::access_path::{AccessPath, AccountAddress, ConfigId, TokenId};
 use crate::account::AccountResource;
 use crate::state_value::StateValue;
 use crate::storage::InMemoryStorage;
+
+/// One ERC20-style token funded at genesis: every account holds
+/// `balance_per_account`, the total supply is recorded under
+/// [`AccessPath::token_supply`], and each account pre-approves the next account
+/// in index order (`i` → `(i + 1) % n`, the "ring allowance") so
+/// `transferFrom`-style transactions have a spendable allowance from block 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenGenesis {
+    /// The token's identifier.
+    pub token: TokenId,
+    /// Initial token balance of every account.
+    pub balance_per_account: u64,
+    /// Allowance each account grants the next account in the ring (0 disables
+    /// the ring and creates no allowance resources).
+    pub ring_allowance: u64,
+}
 
 /// Builds a realistic pre-block state for the benchmark workloads: a universe of `n`
 /// funded accounts plus the on-chain configuration resources that Diem p2p transactions
@@ -17,6 +33,8 @@ pub struct GenesisBuilder {
     initial_balance: u64,
     initial_sequence_number: u64,
     config_blob_size: usize,
+    lean_accounts: bool,
+    tokens: Vec<TokenGenesis>,
 }
 
 impl Default for GenesisBuilder {
@@ -26,6 +44,8 @@ impl Default for GenesisBuilder {
             initial_balance: 1_000_000_000,
             initial_sequence_number: 0,
             config_blob_size: 64,
+            lean_accounts: false,
+            tokens: Vec::new(),
         }
     }
 }
@@ -57,6 +77,25 @@ impl GenesisBuilder {
         self
     }
 
+    /// Lean account mode: each account gets only its balance and sequence
+    /// number (2 resources instead of 6), and the configuration resources are
+    /// skipped. This is the footprint that makes **millions-of-accounts**
+    /// universes practical for the ETH-transfer / ERC20 workload family, whose
+    /// transactions never touch the Diem prologue resources.
+    pub fn lean_accounts(mut self, lean: bool) -> Self {
+        self.lean_accounts = lean;
+        self
+    }
+
+    /// Funds an ERC20-style token at genesis (may be called once per token):
+    /// every account receives `token.balance_per_account`, the exact total
+    /// supply is recorded under [`AccessPath::token_supply`], and the ring
+    /// allowances described on [`TokenGenesis`] are created.
+    pub fn token(mut self, token: TokenGenesis) -> Self {
+        self.tokens.push(token);
+        self
+    }
+
     /// Returns the address of workload account `index`.
     pub fn account_address(index: u64) -> AccountAddress {
         AccountAddress::from_index(index)
@@ -64,24 +103,31 @@ impl GenesisBuilder {
 
     /// Materializes the pre-block storage.
     pub fn build(&self) -> InMemoryStorage<AccessPath, StateValue> {
-        // 6 resources per account + the config resources.
-        let capacity = self.num_accounts as usize * 6 + ConfigId::ALL.len();
+        let per_account = if self.lean_accounts { 2 } else { 6 };
+        let per_token = |token: &TokenGenesis| {
+            // Balances + supply resource + (optional) ring allowances.
+            self.num_accounts as usize * if token.ring_allowance > 0 { 2 } else { 1 } + 1
+        };
+        let capacity = self.num_accounts as usize * per_account
+            + ConfigId::ALL.len()
+            + self.tokens.iter().map(per_token).sum::<usize>();
         let mut storage = InMemoryStorage::with_capacity(capacity);
 
-        // On-chain configuration under the core address.
-        for (i, id) in ConfigId::ALL.iter().enumerate() {
-            let mut blob = vec![0u8; self.config_blob_size];
-            for (j, byte) in blob.iter_mut().enumerate() {
-                *byte = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+        // On-chain configuration under the core address (skipped in lean mode:
+        // the account-model workloads never read it).
+        if !self.lean_accounts {
+            for (i, id) in ConfigId::ALL.iter().enumerate() {
+                let mut blob = vec![0u8; self.config_blob_size];
+                for (j, byte) in blob.iter_mut().enumerate() {
+                    *byte = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
+                }
+                storage.insert(AccessPath::config(*id), StateValue::Bytes(blob));
             }
-            storage.insert(AccessPath::config(*id), StateValue::Bytes(blob));
         }
 
         // Funded accounts.
         for index in 0..self.num_accounts {
             let address = AccountAddress::from_index(index);
-            let account =
-                AccountResource::new(AccountResource::auth_key_for_index(index), u64::MAX / 2);
             storage.insert(
                 AccessPath::balance(address),
                 StateValue::U64(self.initial_balance),
@@ -90,10 +136,38 @@ impl GenesisBuilder {
                 AccessPath::sequence_number(address),
                 StateValue::U64(self.initial_sequence_number),
             );
+            if self.lean_accounts {
+                continue;
+            }
+            let account =
+                AccountResource::new(AccountResource::auth_key_for_index(index), u64::MAX / 2);
             storage.insert(AccessPath::account(address), StateValue::Account(account));
             storage.insert(AccessPath::freezing_bit(address), StateValue::Bool(false));
             storage.insert(AccessPath::sent_events(address), StateValue::U64(0));
             storage.insert(AccessPath::received_events(address), StateValue::U64(0));
+        }
+
+        // Token balances, supplies and ring allowances.
+        for token in &self.tokens {
+            for index in 0..self.num_accounts {
+                let address = AccountAddress::from_index(index);
+                storage.insert(
+                    AccessPath::token_balance(address, token.token),
+                    StateValue::U64(token.balance_per_account),
+                );
+                if token.ring_allowance > 0 && self.num_accounts > 0 {
+                    let spender =
+                        AccountAddress::from_index((index + 1) % self.num_accounts.max(1));
+                    storage.insert(
+                        AccessPath::token_allowance(address, token.token, spender),
+                        StateValue::U64(token.ring_allowance),
+                    );
+                }
+            }
+            storage.insert(
+                AccessPath::token_supply(token.token),
+                StateValue::U128(self.num_accounts as u128 * token.balance_per_account as u128),
+            );
         }
 
         storage
@@ -151,6 +225,83 @@ mod tests {
     fn build_is_deterministic() {
         let a = GenesisBuilder::new(25).build();
         let b = GenesisBuilder::new(25).build();
+        assert_eq!(a.len(), b.len());
+        for (key, value) in a.iter() {
+            assert_eq!(b.get(key).as_ref(), Some(value));
+        }
+    }
+
+    #[test]
+    fn lean_mode_creates_only_balance_and_sequence_number() {
+        let storage = GenesisBuilder::new(10).lean_accounts(true).build();
+        assert_eq!(storage.len(), 10 * 2);
+        let address = GenesisBuilder::account_address(3);
+        assert!(storage.get(&AccessPath::balance(address)).is_some());
+        assert!(storage.get(&AccessPath::sequence_number(address)).is_some());
+        assert!(storage.get(&AccessPath::account(address)).is_none());
+        for id in ConfigId::ALL {
+            assert!(storage.get(&AccessPath::config(id)).is_none());
+        }
+    }
+
+    #[test]
+    fn token_genesis_funds_accounts_supply_and_ring_allowances() {
+        let token = TokenGenesis {
+            token: 7,
+            balance_per_account: 500,
+            ring_allowance: 120,
+        };
+        let storage = GenesisBuilder::new(4)
+            .lean_accounts(true)
+            .token(token)
+            .build();
+        // 2 per account + 2 token resources per account + 1 supply.
+        assert_eq!(storage.len(), 4 * 2 + 4 * 2 + 1);
+        for index in 0..4 {
+            let address = GenesisBuilder::account_address(index);
+            assert_eq!(
+                storage.get(&AccessPath::token_balance(address, 7)),
+                Some(StateValue::U64(500))
+            );
+            let spender = GenesisBuilder::account_address((index + 1) % 4);
+            assert_eq!(
+                storage.get(&AccessPath::token_allowance(address, 7, spender)),
+                Some(StateValue::U64(120))
+            );
+        }
+        assert_eq!(
+            storage.get(&AccessPath::token_supply(7)),
+            Some(StateValue::U128(4 * 500))
+        );
+    }
+
+    #[test]
+    fn zero_ring_allowance_creates_no_allowance_resources() {
+        let token = TokenGenesis {
+            token: 1,
+            balance_per_account: 10,
+            ring_allowance: 0,
+        };
+        let storage = GenesisBuilder::new(3)
+            .lean_accounts(true)
+            .token(token)
+            .build();
+        assert_eq!(storage.len(), 3 * 2 + 3 + 1);
+    }
+
+    #[test]
+    fn lean_and_token_genesis_is_deterministic() {
+        let make = || {
+            GenesisBuilder::new(16)
+                .lean_accounts(true)
+                .token(TokenGenesis {
+                    token: 2,
+                    balance_per_account: 99,
+                    ring_allowance: 5,
+                })
+                .build()
+        };
+        let (a, b) = (make(), make());
         assert_eq!(a.len(), b.len());
         for (key, value) in a.iter() {
             assert_eq!(b.get(key).as_ref(), Some(value));

@@ -28,8 +28,8 @@ mod genesis;
 mod state_value;
 mod storage;
 
-pub use access_path::{AccessPath, AccountAddress, ConfigId, ResourceTag};
+pub use access_path::{AccessPath, AccountAddress, ConfigId, ResourceTag, TokenId};
 pub use account::AccountResource;
-pub use genesis::GenesisBuilder;
+pub use genesis::{GenesisBuilder, TokenGenesis};
 pub use state_value::StateValue;
 pub use storage::{EmptyStorage, InMemoryStorage, Storage};

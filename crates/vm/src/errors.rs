@@ -46,6 +46,12 @@ pub enum AbortCode {
     AccountFrozen,
     /// Insufficient balance for the attempted operation.
     InsufficientBalance,
+    /// The transaction's declared sequence number does not match the sender's
+    /// on-chain sequence number (the classic prologue nonce check).
+    NonceMismatch,
+    /// An ERC20-style `transferFrom` exceeded the allowance the owner granted
+    /// the spender.
+    AllowanceExceeded,
     /// A resource had an unexpected type (storage corruption or test misconfiguration).
     TypeMismatch,
     /// A commutative delta write would have pushed its aggregator outside
@@ -64,6 +70,8 @@ impl fmt::Display for AbortCode {
             AbortCode::AccountNotFound => write!(f, "account not found"),
             AbortCode::AccountFrozen => write!(f, "account frozen"),
             AbortCode::InsufficientBalance => write!(f, "insufficient balance"),
+            AbortCode::NonceMismatch => write!(f, "sequence number mismatch"),
+            AbortCode::AllowanceExceeded => write!(f, "allowance exceeded"),
             AbortCode::TypeMismatch => write!(f, "resource type mismatch"),
             AbortCode::DeltaOverflow => write!(f, "aggregator delta out of bounds"),
             AbortCode::User(code) => write!(f, "user abort({code})"),
@@ -135,5 +143,7 @@ mod tests {
         assert!(format!("{}", ReadDependency::new(9)).contains('9'));
         assert!(format!("{}", ExecutionFailure::Abort(AbortCode::User(42))).contains("42"));
         assert!(format!("{}", AbortCode::AccountFrozen).contains("frozen"));
+        assert!(format!("{}", AbortCode::NonceMismatch).contains("sequence"));
+        assert!(format!("{}", AbortCode::AllowanceExceeded).contains("allowance"));
     }
 }

@@ -1,0 +1,614 @@
+//! ERC20-style token blocks: `transfer` / `approve` / `transferFrom` over
+//! token-contract storage keyed by [`AccessPath`].
+//!
+//! Every transaction is signed by an account that pays a native-currency fee
+//! (same nonce + fee machinery as [`EthTransferTransaction`]
+//! (super::eth_transfer::EthTransferTransaction)) and then performs one token
+//! operation against per-`(holder, token)` balance resources and
+//! per-`(owner, token, spender)` allowance resources. The genesis *ring
+//! allowance* (account `i` pre-approves account `i+1`) guarantees every
+//! `transferFrom` has a spendable allowance from block 0, so the op mix is
+//! exercised deterministically without a warm-up block.
+
+use super::eth_transfer::FeeMode;
+use super::oracle::AccountTransaction;
+use super::zipf::ZipfSampler;
+use block_stm_storage::{
+    AccessPath, AccountAddress, GenesisBuilder, InMemoryStorage, StateValue, TokenGenesis, TokenId,
+};
+use block_stm_vm::{
+    AbortCode, DeltaOp, ExecutionFailure, StateReader, Transaction, TransactionContext,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The token operation a transaction performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Erc20Op {
+    /// Move `amount` of the signer's tokens to `to`.
+    Transfer {
+        /// The credited holder.
+        to: AccountAddress,
+        /// Token amount.
+        amount: u64,
+    },
+    /// Set the allowance the signer grants `spender` to exactly `amount`.
+    Approve {
+        /// The approved spender.
+        spender: AccountAddress,
+        /// New allowance value (an absolute set, as in ERC20).
+        amount: u64,
+    },
+    /// Spend the signer's allowance on `owner`'s balance: move `amount` from
+    /// `owner` to `to` and decrease the allowance by `amount`.
+    TransferFrom {
+        /// The account whose tokens are moved.
+        owner: AccountAddress,
+        /// The credited holder.
+        to: AccountAddress,
+        /// Token amount.
+        amount: u64,
+    },
+}
+
+/// One ERC20-style transaction: nonce check, native fee, one token operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Erc20Transaction {
+    /// The signing account: its nonce is checked and it pays `fee` in the
+    /// native currency.
+    pub sender: AccountAddress,
+    /// The token contract operated on.
+    pub token: TokenId,
+    /// The token operation.
+    pub op: Erc20Op,
+    /// Native-currency fee credited to `beneficiary`.
+    pub fee: u64,
+    /// The nonce this transaction was signed against.
+    pub expected_nonce: u64,
+    /// The block proposer's fee account.
+    pub beneficiary: AccountAddress,
+    /// Delta or read-modify-write fee credit.
+    pub fee_mode: FeeMode,
+    /// Signature-verification stand-in gas, charged before any state access.
+    pub sigverify_gas: u64,
+}
+
+fn read_u64_or_zero<R: StateReader<AccessPath, StateValue>>(
+    ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    key: &AccessPath,
+) -> Result<u64, ExecutionFailure> {
+    match ctx.read(key)? {
+        None => Ok(0),
+        Some(StateValue::U64(v)) => Ok(v),
+        Some(_) => Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+    }
+}
+
+impl Erc20Transaction {
+    fn execute_token_op<R: StateReader<AccessPath, StateValue>>(
+        &self,
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    ) -> Result<(), ExecutionFailure> {
+        match self.op {
+            Erc20Op::Transfer { to, amount } => {
+                let balance =
+                    read_u64_or_zero(ctx, &AccessPath::token_balance(self.sender, self.token))?;
+                if balance < amount {
+                    return Err(ExecutionFailure::Abort(AbortCode::InsufficientBalance));
+                }
+                // Debit before reading the credit side: a self-transfer then
+                // observes its own debit (read-your-own-writes) and conserves.
+                ctx.write(
+                    AccessPath::token_balance(self.sender, self.token),
+                    StateValue::U64(balance - amount),
+                );
+                let to_balance = read_u64_or_zero(ctx, &AccessPath::token_balance(to, self.token))?;
+                ctx.write(
+                    AccessPath::token_balance(to, self.token),
+                    StateValue::U64(to_balance + amount),
+                );
+            }
+            Erc20Op::Approve { spender, amount } => {
+                ctx.write(
+                    AccessPath::token_allowance(self.sender, self.token, spender),
+                    StateValue::U64(amount),
+                );
+            }
+            Erc20Op::TransferFrom { owner, to, amount } => {
+                let allowance = read_u64_or_zero(
+                    ctx,
+                    &AccessPath::token_allowance(owner, self.token, self.sender),
+                )?;
+                if allowance < amount {
+                    return Err(ExecutionFailure::Abort(AbortCode::AllowanceExceeded));
+                }
+                let owner_balance =
+                    read_u64_or_zero(ctx, &AccessPath::token_balance(owner, self.token))?;
+                if owner_balance < amount {
+                    return Err(ExecutionFailure::Abort(AbortCode::InsufficientBalance));
+                }
+                ctx.write(
+                    AccessPath::token_allowance(owner, self.token, self.sender),
+                    StateValue::U64(allowance - amount),
+                );
+                ctx.write(
+                    AccessPath::token_balance(owner, self.token),
+                    StateValue::U64(owner_balance - amount),
+                );
+                let to_balance = read_u64_or_zero(ctx, &AccessPath::token_balance(to, self.token))?;
+                ctx.write(
+                    AccessPath::token_balance(to, self.token),
+                    StateValue::U64(to_balance + amount),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transaction for Erc20Transaction {
+    type Key = AccessPath;
+    type Value = StateValue;
+
+    fn execute<R: StateReader<AccessPath, StateValue>>(
+        &self,
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    ) -> Result<(), ExecutionFailure> {
+        ctx.charge_gas(self.sigverify_gas);
+
+        // --- Native-currency prologue: nonce and fee, identical to the
+        // ETH-transfer family.
+        let nonce = ctx
+            .read_required(
+                &AccessPath::sequence_number(self.sender),
+                AbortCode::AccountNotFound,
+            )?
+            .as_u64()
+            .ok_or(ExecutionFailure::Abort(AbortCode::TypeMismatch))?;
+        if nonce != self.expected_nonce {
+            return Err(ExecutionFailure::Abort(AbortCode::NonceMismatch));
+        }
+        let native_balance = match ctx.read_required(
+            &AccessPath::balance(self.sender),
+            AbortCode::AccountNotFound,
+        )? {
+            StateValue::U64(v) => v as u128,
+            StateValue::U128(v) => v,
+            _ => return Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+        };
+        if native_balance < self.fee as u128 {
+            return Err(ExecutionFailure::Abort(AbortCode::InsufficientBalance));
+        }
+        ctx.write(
+            AccessPath::sequence_number(self.sender),
+            StateValue::U64(nonce + 1),
+        );
+        let debited = native_balance - self.fee as u128;
+        let debited =
+            u64::try_from(debited).map_err(|_| ExecutionFailure::Abort(AbortCode::TypeMismatch))?;
+        ctx.write(AccessPath::balance(self.sender), StateValue::U64(debited));
+
+        // --- The token operation itself.
+        self.execute_token_op(ctx)?;
+
+        // --- Fee credit.
+        match self.fee_mode {
+            FeeMode::Delta => ctx.apply_delta(
+                AccessPath::balance(self.beneficiary),
+                DeltaOp::add(self.fee as i128, u64::MAX as u128),
+            )?,
+            FeeMode::ReadModifyWrite => {
+                let beneficiary_balance = match ctx.read_required(
+                    &AccessPath::balance(self.beneficiary),
+                    AbortCode::AccountNotFound,
+                )? {
+                    StateValue::U64(v) => v as u128,
+                    StateValue::U128(v) => v,
+                    _ => return Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+                };
+                let credited = u64::try_from(beneficiary_balance + self.fee as u128)
+                    .map_err(|_| ExecutionFailure::Abort(AbortCode::TypeMismatch))?;
+                ctx.write(
+                    AccessPath::balance(self.beneficiary),
+                    StateValue::U64(credited),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        match self.op {
+            Erc20Op::Transfer { .. } => "erc20-transfer",
+            Erc20Op::Approve { .. } => "erc20-approve",
+            Erc20Op::TransferFrom { .. } => "erc20-transfer-from",
+        }
+    }
+
+    fn declared_write_set(&self) -> Option<Vec<AccessPath>> {
+        let mut set = vec![
+            AccessPath::sequence_number(self.sender),
+            AccessPath::balance(self.sender),
+            AccessPath::balance(self.beneficiary),
+        ];
+        match self.op {
+            Erc20Op::Transfer { to, .. } => {
+                set.push(AccessPath::token_balance(self.sender, self.token));
+                set.push(AccessPath::token_balance(to, self.token));
+            }
+            Erc20Op::Approve { spender, .. } => {
+                set.push(AccessPath::token_allowance(
+                    self.sender,
+                    self.token,
+                    spender,
+                ));
+            }
+            Erc20Op::TransferFrom { owner, to, .. } => {
+                set.push(AccessPath::token_allowance(owner, self.token, self.sender));
+                set.push(AccessPath::token_balance(owner, self.token));
+                set.push(AccessPath::token_balance(to, self.token));
+            }
+        }
+        Some(set)
+    }
+}
+
+impl AccountTransaction for Erc20Transaction {
+    fn signer(&self) -> AccountAddress {
+        self.sender
+    }
+
+    fn fee(&self) -> u64 {
+        self.fee
+    }
+}
+
+/// Configuration of an ERC20-style token block workload.
+///
+/// The op mix is `transfer_pct`% transfers, `approve_pct`% approvals and the
+/// remainder `transferFrom`s. Spender/owner pairs follow the genesis ring
+/// (account `i` pre-approves `i+1`), approvals re-up the signer's outgoing ring
+/// allowance, and `transferFrom` amounts stay small relative to the ring
+/// allowance so the mix exercises both success and deterministic
+/// allowance-exhaustion aborts. Failure injection and the dedicated
+/// beneficiary account work exactly as in
+/// [`EthTransferWorkload`](super::eth_transfer::EthTransferWorkload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Erc20Workload {
+    /// Size of the signer universe (the beneficiary is one more; the token is
+    /// funded for all `num_accounts + 1` holders).
+    pub num_accounts: u64,
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// The token contract id.
+    pub token: TokenId,
+    /// Genesis token balance per holder.
+    pub token_balance_per_account: u64,
+    /// Genesis ring allowance (`i` → `i+1`).
+    pub ring_allowance: u64,
+    /// Initial native balance (fees are paid from this).
+    pub initial_balance: u64,
+    /// Flat per-transaction native fee.
+    pub fee: u64,
+    /// Token amounts are drawn uniformly from `1..=max_transfer`.
+    pub max_transfer: u64,
+    /// Zipf exponent in hundredths over signers and receivers.
+    pub zipf_s_hundredths: u32,
+    /// Percentage of transactions whose `to` is redirected into the hot set.
+    pub conflict_pct: u8,
+    /// Size of the hot receiver set.
+    pub hot_receivers: u64,
+    /// Signature-verification stand-in gas.
+    pub sigverify_gas: u64,
+    /// Delta or read-modify-write fee credits.
+    pub fee_mode: FeeMode,
+    /// Percentage of `transfer` operations in the mix (0–100).
+    pub transfer_pct: u8,
+    /// Percentage of `approve` operations in the mix (0–100, with
+    /// `transfer_pct + approve_pct <= 100`; the rest are `transferFrom`s).
+    pub approve_pct: u8,
+    /// Injected bad-nonce percentage.
+    pub bad_nonce_pct: u8,
+    /// Injected insufficient/over-allowance percentage.
+    pub insufficient_pct: u8,
+}
+
+impl Erc20Workload {
+    /// A delta-fee token workload with a 70/10/20 transfer/approve/transferFrom
+    /// mix, mild skew and no injected failures.
+    pub fn new(num_accounts: u64, block_size: usize) -> Self {
+        Self {
+            num_accounts: num_accounts.max(1),
+            block_size,
+            seed: 0xE2C_2001,
+            token: 1,
+            token_balance_per_account: 1_000_000,
+            ring_allowance: 1_000_000,
+            initial_balance: 1_000_000_000,
+            fee: 30,
+            max_transfer: 500,
+            zipf_s_hundredths: 100,
+            conflict_pct: 2,
+            hot_receivers: 4,
+            sigverify_gas: 0,
+            fee_mode: FeeMode::Delta,
+            transfer_pct: 70,
+            approve_pct: 10,
+            bad_nonce_pct: 0,
+            insufficient_pct: 0,
+        }
+    }
+
+    /// Builder: overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the Zipf exponent in hundredths.
+    pub fn with_zipf_s_hundredths(mut self, s: u32) -> Self {
+        self.zipf_s_hundredths = s;
+        self
+    }
+
+    /// Builder: sets the hot-receiver redirection percentage and set size.
+    pub fn with_conflict(mut self, pct: u8, hot_receivers: u64) -> Self {
+        self.conflict_pct = pct.min(100);
+        self.hot_receivers = hot_receivers.max(1);
+        self
+    }
+
+    /// Builder: toggles delta vs read-modify-write fee credits.
+    pub fn with_fee_mode(mut self, mode: FeeMode) -> Self {
+        self.fee_mode = mode;
+        self
+    }
+
+    /// Builder: sets the op mix (clamped so the two sum to at most 100).
+    pub fn with_mix(mut self, transfer_pct: u8, approve_pct: u8) -> Self {
+        self.transfer_pct = transfer_pct.min(100);
+        self.approve_pct = approve_pct.min(100 - self.transfer_pct);
+        self
+    }
+
+    /// Builder: sets the injected-failure percentages.
+    pub fn with_failures(mut self, bad_nonce_pct: u8, insufficient_pct: u8) -> Self {
+        self.bad_nonce_pct = bad_nonce_pct.min(100);
+        self.insufficient_pct = insufficient_pct.min(100);
+        self
+    }
+
+    /// Builder: sets the per-transaction signature-verification gas.
+    pub fn with_sigverify_gas(mut self, gas: u64) -> Self {
+        self.sigverify_gas = gas;
+        self
+    }
+
+    /// The dedicated fee account (index `num_accounts`).
+    pub fn beneficiary(&self) -> AccountAddress {
+        GenesisBuilder::account_address(self.num_accounts)
+    }
+
+    /// Number of token holders at genesis (`num_accounts + 1`: the ring wraps
+    /// through the beneficiary, which holds tokens but never signs).
+    pub fn num_holders(&self) -> u64 {
+        self.num_accounts + 1
+    }
+
+    /// The pre-block state: lean accounts plus the funded token with its ring
+    /// allowances.
+    pub fn genesis(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        GenesisBuilder::new(self.num_holders())
+            .initial_balance(self.initial_balance)
+            .lean_accounts(true)
+            .token(TokenGenesis {
+                token: self.token,
+                balance_per_account: self.token_balance_per_account,
+                ring_allowance: self.ring_allowance,
+            })
+            .build()
+    }
+
+    /// Generates the block of transactions.
+    pub fn generate_block(&self) -> Vec<Erc20Transaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let sampler = ZipfSampler::new(self.num_accounts, self.zipf_s_hundredths);
+        let beneficiary = self.beneficiary();
+        let holders = self.num_holders();
+        let mut next_nonce: HashMap<u64, u64> = HashMap::new();
+        (0..self.block_size)
+            .map(|_| {
+                let sender_idx = sampler.sample(&mut rng);
+                let sender = GenesisBuilder::account_address(sender_idx);
+                let to_idx = if rng.gen_range(0..100u8) < self.conflict_pct {
+                    rng.gen_range(0..self.hot_receivers.min(self.num_accounts))
+                } else {
+                    sampler.sample(&mut rng)
+                };
+                let to = GenesisBuilder::account_address(to_idx);
+                let amount = rng.gen_range(1..=self.max_transfer);
+                let op_roll = rng.gen_range(0..100u8);
+                let failure_roll = rng.gen_range(0..100u8);
+
+                let inject_bad_nonce = failure_roll < self.bad_nonce_pct;
+                let inject_insufficient = !inject_bad_nonce
+                    && failure_roll < self.bad_nonce_pct.saturating_add(self.insufficient_pct);
+                // An amount above the genesis supply can never be satisfiable,
+                // whatever the execution order did to balances or allowances.
+                let amount = if inject_insufficient {
+                    u64::MAX
+                } else {
+                    amount
+                };
+
+                let op = if op_roll < self.transfer_pct {
+                    Erc20Op::Transfer { to, amount }
+                } else if op_roll < self.transfer_pct.saturating_add(self.approve_pct) {
+                    // Re-up the signer's outgoing ring allowance.
+                    let spender = GenesisBuilder::account_address((sender_idx + 1) % holders);
+                    Erc20Op::Approve {
+                        spender,
+                        amount: self.ring_allowance,
+                    }
+                } else {
+                    // Spend the incoming ring allowance: the signer is the
+                    // pre-approved spender of its ring predecessor.
+                    let owner =
+                        GenesisBuilder::account_address((sender_idx + holders - 1) % holders);
+                    Erc20Op::TransferFrom { owner, to, amount }
+                };
+
+                let planned = next_nonce.entry(sender_idx).or_insert(0);
+                let expected_nonce = if inject_bad_nonce {
+                    *planned + 1_000_000
+                } else if inject_insufficient {
+                    *planned
+                } else {
+                    let nonce = *planned;
+                    *planned += 1;
+                    nonce
+                };
+                Erc20Transaction {
+                    sender,
+                    token: self.token,
+                    op,
+                    fee: self.fee,
+                    expected_nonce,
+                    beneficiary,
+                    fee_mode: self.fee_mode,
+                    sigverify_gas: self.sigverify_gas,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates both the genesis state and the block.
+    pub fn generate(
+        &self,
+    ) -> (
+        InMemoryStorage<AccessPath, StateValue>,
+        Vec<Erc20Transaction>,
+    ) {
+        (self.genesis(), self.generate_block())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm_storage::Storage;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let workload = Erc20Workload::new(200, 300);
+        assert_eq!(workload.generate_block(), workload.generate_block());
+        assert_ne!(
+            workload.generate_block(),
+            workload.with_seed(5).generate_block()
+        );
+    }
+
+    #[test]
+    fn mix_respects_percentages() {
+        let workload = Erc20Workload::new(1_000, 3_000).with_mix(60, 20);
+        let block = workload.generate_block();
+        let transfers = block
+            .iter()
+            .filter(|t| matches!(t.op, Erc20Op::Transfer { .. }))
+            .count();
+        let approvals = block
+            .iter()
+            .filter(|t| matches!(t.op, Erc20Op::Approve { .. }))
+            .count();
+        let from = block
+            .iter()
+            .filter(|t| matches!(t.op, Erc20Op::TransferFrom { .. }))
+            .count();
+        assert_eq!(transfers + approvals + from, 3_000);
+        assert!((1_500..2_100).contains(&transfers), "{transfers}");
+        assert!((400..800).contains(&approvals), "{approvals}");
+        assert!((400..800).contains(&from), "{from}");
+    }
+
+    #[test]
+    fn transfer_from_follows_the_genesis_ring() {
+        let workload = Erc20Workload::new(50, 500).with_mix(0, 0);
+        let storage = workload.genesis();
+        for txn in workload.generate_block() {
+            let Erc20Op::TransferFrom { owner, .. } = txn.op else {
+                panic!("mix(0,0) must be all transferFrom");
+            };
+            // The genesis ring must hold an allowance owner -> signer.
+            assert_eq!(
+                storage.get(&AccessPath::token_allowance(
+                    owner,
+                    workload.token,
+                    txn.sender
+                )),
+                Some(StateValue::U64(workload.ring_allowance)),
+                "ring allowance missing for {owner:?} -> {:?}",
+                txn.sender
+            );
+        }
+    }
+
+    #[test]
+    fn genesis_funds_token_for_all_holders() {
+        let workload = Erc20Workload::new(8, 0);
+        let storage = workload.genesis();
+        for index in 0..workload.num_holders() {
+            let address = GenesisBuilder::account_address(index);
+            assert_eq!(
+                storage.get(&AccessPath::token_balance(address, workload.token)),
+                Some(StateValue::U64(workload.token_balance_per_account))
+            );
+        }
+        assert_eq!(
+            storage.get(&AccessPath::token_supply(workload.token)),
+            Some(StateValue::U128(
+                workload.num_holders() as u128 * workload.token_balance_per_account as u128
+            ))
+        );
+    }
+
+    #[test]
+    fn declared_write_set_covers_op_writes() {
+        let workload = Erc20Workload::new(100, 400).with_mix(40, 30);
+        for txn in workload.generate_block() {
+            let declared = txn.declared_write_set().unwrap();
+            assert!(declared.contains(&AccessPath::sequence_number(txn.sender)));
+            assert!(declared.contains(&AccessPath::balance(txn.sender)));
+            assert!(declared.contains(&AccessPath::balance(txn.beneficiary)));
+            match txn.op {
+                Erc20Op::Transfer { to, .. } => {
+                    assert!(declared.contains(&AccessPath::token_balance(txn.sender, txn.token)));
+                    assert!(declared.contains(&AccessPath::token_balance(to, txn.token)));
+                }
+                Erc20Op::Approve { spender, .. } => {
+                    assert!(declared
+                        .contains(&AccessPath::token_allowance(txn.sender, txn.token, spender)));
+                }
+                Erc20Op::TransferFrom { owner, to, .. } => {
+                    assert!(declared
+                        .contains(&AccessPath::token_allowance(owner, txn.token, txn.sender)));
+                    assert!(declared.contains(&AccessPath::token_balance(owner, txn.token)));
+                    assert!(declared.contains(&AccessPath::token_balance(to, txn.token)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beneficiary_never_signs() {
+        let workload = Erc20Workload::new(20, 400);
+        let beneficiary = workload.beneficiary();
+        for txn in workload.generate_block() {
+            assert_ne!(txn.sender, beneficiary);
+        }
+    }
+}

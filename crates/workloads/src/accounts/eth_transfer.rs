@@ -1,0 +1,460 @@
+//! ETH-style native-currency transfer blocks.
+//!
+//! Each transaction is the canonical account-model payment: verify the sender's
+//! nonce, debit `amount + fee` from the sender, credit `amount` to the
+//! receiver, bump the sender's nonce, and credit the `fee` to a configurable
+//! *beneficiary* (the block proposer). The fee credit is the interesting part:
+//! every transaction in the block touches the same beneficiary balance, so with
+//! classic read-modify-write fees ([`FeeMode::ReadModifyWrite`]) the block is
+//! inherently sequential no matter how independent the payments are — and with
+//! the commutative delta API ([`FeeMode::Delta`]) the same block parallelizes
+//! freely. This is exactly the production pattern the PR 5 aggregator work
+//! exists for, reproduced as a real [`Transaction`] impl over
+//! [`AccessPath`]/[`StateValue`] state.
+
+use super::oracle::AccountTransaction;
+use super::zipf::ZipfSampler;
+use block_stm_storage::{AccessPath, AccountAddress, GenesisBuilder, InMemoryStorage, StateValue};
+use block_stm_vm::{
+    AbortCode, DeltaOp, ExecutionFailure, StateReader, Transaction, TransactionContext,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a transaction credits its gas fee to the block beneficiary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeeMode {
+    /// Commutative delta write (the PR 5 aggregator API): fee credits from
+    /// different transactions commute and never conflict.
+    Delta,
+    /// Classic read-modify-write of the beneficiary balance: every transaction
+    /// in the block conflicts on it (the delta-off comparison).
+    ReadModifyWrite,
+}
+
+/// Reads a balance-like value as `u128`, accepting both [`StateValue::U64`]
+/// (genesis values and plain writes) and [`StateValue::U128`] (values
+/// materialized from resolved aggregator chains).
+fn balance_of(value: &StateValue) -> Result<u128, ExecutionFailure> {
+    match value {
+        StateValue::U64(v) => Ok(*v as u128),
+        StateValue::U128(v) => Ok(*v),
+        _ => Err(ExecutionFailure::Abort(AbortCode::TypeMismatch)),
+    }
+}
+
+/// Narrows a `u128` balance back into the `u64` state model (the workloads
+/// never mint, so an overflow here means corrupted state).
+fn to_u64_balance(value: u128) -> Result<u64, ExecutionFailure> {
+    u64::try_from(value).map_err(|_| ExecutionFailure::Abort(AbortCode::TypeMismatch))
+}
+
+/// One ETH-style transfer: nonce check, debit, credit, fee to the beneficiary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthTransferTransaction {
+    /// The signing account (pays `amount + fee`, its nonce must match).
+    pub sender: AccountAddress,
+    /// The credited account.
+    pub receiver: AccountAddress,
+    /// Amount transferred to `receiver`.
+    pub amount: u64,
+    /// Gas fee credited to `beneficiary`.
+    pub fee: u64,
+    /// The sequence number this transaction was signed against; execution
+    /// aborts with [`AbortCode::NonceMismatch`] unless it equals the sender's
+    /// current on-chain nonce.
+    pub expected_nonce: u64,
+    /// The block proposer's fee account.
+    pub beneficiary: AccountAddress,
+    /// Delta or read-modify-write fee credit.
+    pub fee_mode: FeeMode,
+    /// Extra gas charged up front, standing in for signature verification and
+    /// other per-transaction CPU cost (with a work-performing gas schedule this
+    /// is real, wasted-on-abort CPU time).
+    pub sigverify_gas: u64,
+}
+
+impl Transaction for EthTransferTransaction {
+    type Key = AccessPath;
+    type Value = StateValue;
+
+    fn execute<R: StateReader<AccessPath, StateValue>>(
+        &self,
+        ctx: &mut TransactionContext<'_, AccessPath, StateValue, R>,
+    ) -> Result<(), ExecutionFailure> {
+        // Signature verification happens before any state check and is paid
+        // for even when the transaction goes on to abort.
+        ctx.charge_gas(self.sigverify_gas);
+
+        // --- Prologue: nonce and balance checks.
+        let nonce = ctx
+            .read_required(
+                &AccessPath::sequence_number(self.sender),
+                AbortCode::AccountNotFound,
+            )?
+            .as_u64()
+            .ok_or(ExecutionFailure::Abort(AbortCode::TypeMismatch))?;
+        if nonce != self.expected_nonce {
+            return Err(ExecutionFailure::Abort(AbortCode::NonceMismatch));
+        }
+        let sender_balance = balance_of(&ctx.read_required(
+            &AccessPath::balance(self.sender),
+            AbortCode::AccountNotFound,
+        )?)?;
+        let total = self
+            .amount
+            .checked_add(self.fee)
+            .ok_or(ExecutionFailure::Abort(AbortCode::InsufficientBalance))?;
+        if sender_balance < total as u128 {
+            return Err(ExecutionFailure::Abort(AbortCode::InsufficientBalance));
+        }
+
+        // --- Effects. The sender's debit is written *before* the receiver's
+        // balance is read, so a self-payment observes its own debit
+        // (read-your-own-writes) and stays conserving.
+        ctx.write(
+            AccessPath::sequence_number(self.sender),
+            StateValue::U64(nonce + 1),
+        );
+        ctx.write(
+            AccessPath::balance(self.sender),
+            StateValue::U64(to_u64_balance(sender_balance - total as u128)?),
+        );
+        let receiver_balance = balance_of(&ctx.read_required(
+            &AccessPath::balance(self.receiver),
+            AbortCode::AccountNotFound,
+        )?)?;
+        ctx.write(
+            AccessPath::balance(self.receiver),
+            StateValue::U64(to_u64_balance(receiver_balance + self.amount as u128)?),
+        );
+
+        // --- Fee credit: the hot-beneficiary write this workload exists to
+        // measure.
+        match self.fee_mode {
+            FeeMode::Delta => ctx.apply_delta(
+                AccessPath::balance(self.beneficiary),
+                DeltaOp::add(self.fee as i128, u64::MAX as u128),
+            )?,
+            FeeMode::ReadModifyWrite => {
+                let beneficiary_balance = balance_of(&ctx.read_required(
+                    &AccessPath::balance(self.beneficiary),
+                    AbortCode::AccountNotFound,
+                )?)?;
+                ctx.write(
+                    AccessPath::balance(self.beneficiary),
+                    StateValue::U64(to_u64_balance(beneficiary_balance + self.fee as u128)?),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn label(&self) -> &'static str {
+        "eth-transfer"
+    }
+
+    fn declared_write_set(&self) -> Option<Vec<AccessPath>> {
+        Some(vec![
+            AccessPath::sequence_number(self.sender),
+            AccessPath::balance(self.sender),
+            AccessPath::balance(self.receiver),
+            AccessPath::balance(self.beneficiary),
+        ])
+    }
+}
+
+impl AccountTransaction for EthTransferTransaction {
+    fn signer(&self) -> AccountAddress {
+        self.sender
+    }
+
+    fn fee(&self) -> u64 {
+        self.fee
+    }
+}
+
+/// Configuration of an ETH-transfer block workload.
+///
+/// Senders and receivers are drawn Zipf(`zipf_s_hundredths`/100) over
+/// `num_accounts`; additionally `conflict_pct`% of transactions redirect their
+/// receiver into a small hot set of `hot_receivers` accounts (exchange-deposit
+/// style contention). `bad_nonce_pct`/`insufficient_pct` inject transactions
+/// that must abort deterministically — with a nonce far above anything the
+/// block can reach and an amount above the total supply, so the abort decision
+/// is independent of execution order. The beneficiary is a dedicated extra
+/// account (index `num_accounts`) that never sends or receives payments, which
+/// lets the conservation oracle check the fee sum exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthTransferWorkload {
+    /// Size of the sender/receiver universe (the beneficiary is one more).
+    pub num_accounts: u64,
+    /// Number of transactions in the block.
+    pub block_size: usize,
+    /// RNG seed; blocks are a pure function of the configuration.
+    pub seed: u64,
+    /// Initial native balance of every account (including the beneficiary).
+    pub initial_balance: u64,
+    /// Transfer amounts are drawn uniformly from `1..=max_transfer`.
+    pub max_transfer: u64,
+    /// Flat per-transaction fee credited to the beneficiary.
+    pub fee: u64,
+    /// Zipf exponent in hundredths (0 = uniform, 100 = classic Zipf-1).
+    pub zipf_s_hundredths: u32,
+    /// Percentage (0–100) of transactions whose receiver is redirected into
+    /// the hot set.
+    pub conflict_pct: u8,
+    /// Size of the hot receiver set (`≥ 1`; only used when `conflict_pct > 0`).
+    pub hot_receivers: u64,
+    /// Per-transaction signature-verification gas (CPU-cost knob).
+    pub sigverify_gas: u64,
+    /// Delta or read-modify-write fee credits.
+    pub fee_mode: FeeMode,
+    /// Percentage of transactions signed with an unusable nonce (must abort
+    /// with [`AbortCode::NonceMismatch`] everywhere).
+    pub bad_nonce_pct: u8,
+    /// Percentage of transactions whose amount exceeds the total supply (must
+    /// abort with [`AbortCode::InsufficientBalance`] everywhere).
+    pub insufficient_pct: u8,
+}
+
+impl EthTransferWorkload {
+    /// A delta-fee workload over `num_accounts` accounts with mild skew
+    /// (s = 1.0), 2% hot-receiver traffic and no injected failures.
+    pub fn new(num_accounts: u64, block_size: usize) -> Self {
+        Self {
+            num_accounts: num_accounts.max(1),
+            block_size,
+            seed: 0xE7_0001,
+            initial_balance: 1_000_000_000,
+            max_transfer: 1_000,
+            fee: 21,
+            zipf_s_hundredths: 100,
+            conflict_pct: 2,
+            hot_receivers: 4,
+            sigverify_gas: 0,
+            fee_mode: FeeMode::Delta,
+            bad_nonce_pct: 0,
+            insufficient_pct: 0,
+        }
+    }
+
+    /// Builder: overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the Zipf exponent in hundredths (0 = uniform).
+    pub fn with_zipf_s_hundredths(mut self, s: u32) -> Self {
+        self.zipf_s_hundredths = s;
+        self
+    }
+
+    /// Builder: sets the hot-receiver redirection percentage and set size.
+    pub fn with_conflict(mut self, pct: u8, hot_receivers: u64) -> Self {
+        self.conflict_pct = pct.min(100);
+        self.hot_receivers = hot_receivers.max(1);
+        self
+    }
+
+    /// Builder: sets the per-transaction signature-verification gas.
+    pub fn with_sigverify_gas(mut self, gas: u64) -> Self {
+        self.sigverify_gas = gas;
+        self
+    }
+
+    /// Builder: toggles delta vs read-modify-write fee credits.
+    pub fn with_fee_mode(mut self, mode: FeeMode) -> Self {
+        self.fee_mode = mode;
+        self
+    }
+
+    /// Builder: sets the injected-failure percentages.
+    pub fn with_failures(mut self, bad_nonce_pct: u8, insufficient_pct: u8) -> Self {
+        self.bad_nonce_pct = bad_nonce_pct.min(100);
+        self.insufficient_pct = insufficient_pct.min(100);
+        self
+    }
+
+    /// The dedicated fee account: index `num_accounts`, funded at genesis but
+    /// never a sender or receiver.
+    pub fn beneficiary(&self) -> AccountAddress {
+        GenesisBuilder::account_address(self.num_accounts)
+    }
+
+    /// The pre-block state: `num_accounts + 1` lean accounts (balance +
+    /// sequence number only — the footprint that makes millions-of-accounts
+    /// universes practical).
+    pub fn genesis(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        GenesisBuilder::new(self.num_accounts + 1)
+            .initial_balance(self.initial_balance)
+            .lean_accounts(true)
+            .build()
+    }
+
+    /// Generates the block of transactions (deterministic in the seed; see the
+    /// type docs for the traffic model).
+    pub fn generate_block(&self) -> Vec<EthTransferTransaction> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let sampler = ZipfSampler::new(self.num_accounts, self.zipf_s_hundredths);
+        let beneficiary = self.beneficiary();
+        // Nonces the generator has "signed" so far, per sender index. Failing
+        // transactions do not advance this: later good transactions from the
+        // same sender must still apply.
+        let mut next_nonce: HashMap<u64, u64> = HashMap::new();
+        (0..self.block_size)
+            .map(|_| {
+                let sender_idx = sampler.sample(&mut rng);
+                let receiver_idx = if rng.gen_range(0..100u8) < self.conflict_pct {
+                    rng.gen_range(0..self.hot_receivers.min(self.num_accounts))
+                } else {
+                    sampler.sample(&mut rng)
+                };
+                let amount = rng.gen_range(1..=self.max_transfer);
+                let failure_roll = rng.gen_range(0..100u8);
+                let planned = next_nonce.entry(sender_idx).or_insert(0);
+                let (expected_nonce, amount) = if failure_roll < self.bad_nonce_pct {
+                    // A nonce no execution order can reach within one block.
+                    (*planned + 1_000_000, amount)
+                } else if failure_roll < self.bad_nonce_pct.saturating_add(self.insufficient_pct) {
+                    // More than the total supply: insufficient regardless of
+                    // how earlier transactions moved balances around.
+                    (*planned, u64::MAX)
+                } else {
+                    let nonce = *planned;
+                    *planned += 1;
+                    (nonce, amount)
+                };
+                EthTransferTransaction {
+                    sender: GenesisBuilder::account_address(sender_idx),
+                    receiver: GenesisBuilder::account_address(receiver_idx),
+                    amount,
+                    fee: self.fee,
+                    expected_nonce,
+                    beneficiary,
+                    fee_mode: self.fee_mode,
+                    sigverify_gas: self.sigverify_gas,
+                }
+            })
+            .collect()
+    }
+
+    /// Generates both the genesis state and the block.
+    pub fn generate(
+        &self,
+    ) -> (
+        InMemoryStorage<AccessPath, StateValue>,
+        Vec<EthTransferTransaction>,
+    ) {
+        (self.genesis(), self.generate_block())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm_storage::Storage;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let workload = EthTransferWorkload::new(500, 400).with_zipf_s_hundredths(120);
+        assert_eq!(workload.generate_block(), workload.generate_block());
+        assert_ne!(
+            workload.generate_block(),
+            workload.with_seed(9).generate_block()
+        );
+    }
+
+    #[test]
+    fn genesis_funds_the_beneficiary_too() {
+        let workload = EthTransferWorkload::new(10, 0);
+        let storage = workload.genesis();
+        assert_eq!(
+            storage.get(&AccessPath::balance(workload.beneficiary())),
+            Some(StateValue::U64(workload.initial_balance))
+        );
+        // Lean mode: 2 resources per account, 11 accounts.
+        assert_eq!(storage.len(), 11 * 2);
+    }
+
+    #[test]
+    fn beneficiary_never_sends_or_receives() {
+        let workload = EthTransferWorkload::new(50, 500).with_conflict(30, 4);
+        let beneficiary = workload.beneficiary();
+        for txn in workload.generate_block() {
+            assert_ne!(txn.sender, beneficiary);
+            assert_ne!(txn.receiver, beneficiary);
+            assert_eq!(txn.beneficiary, beneficiary);
+        }
+    }
+
+    #[test]
+    fn nonces_are_consecutive_per_sender_for_good_txns() {
+        let workload = EthTransferWorkload::new(20, 300);
+        let mut seen: HashMap<AccountAddress, u64> = HashMap::new();
+        for txn in workload.generate_block() {
+            let expected = seen.entry(txn.sender).or_insert(0);
+            assert_eq!(txn.expected_nonce, *expected);
+            *expected += 1;
+        }
+    }
+
+    #[test]
+    fn injected_failures_do_not_break_later_nonces() {
+        let workload = EthTransferWorkload::new(10, 400).with_failures(10, 10);
+        let block = workload.generate_block();
+        let mut planned: HashMap<AccountAddress, u64> = HashMap::new();
+        let mut bad_nonce = 0usize;
+        let mut insufficient = 0usize;
+        for txn in &block {
+            let next = planned.entry(txn.sender).or_insert(0);
+            if txn.expected_nonce >= 1_000_000 {
+                bad_nonce += 1;
+            } else if txn.amount == u64::MAX {
+                insufficient += 1;
+                assert_eq!(txn.expected_nonce, *next, "insufficient keeps the nonce");
+            } else {
+                assert_eq!(txn.expected_nonce, *next);
+                *next += 1;
+            }
+        }
+        assert!(bad_nonce > 10, "expected ~10% bad nonces, saw {bad_nonce}");
+        assert!(
+            insufficient > 10,
+            "expected ~10% insufficient, saw {insufficient}"
+        );
+    }
+
+    #[test]
+    fn declared_write_set_covers_all_writes() {
+        let workload = EthTransferWorkload::new(30, 100).with_fee_mode(FeeMode::ReadModifyWrite);
+        for txn in workload.generate_block() {
+            let declared = txn.declared_write_set().unwrap();
+            assert!(declared.contains(&AccessPath::balance(txn.sender)));
+            assert!(declared.contains(&AccessPath::sequence_number(txn.sender)));
+            assert!(declared.contains(&AccessPath::balance(txn.receiver)));
+            assert!(declared.contains(&AccessPath::balance(txn.beneficiary)));
+        }
+    }
+
+    #[test]
+    fn conflict_knob_concentrates_receivers() {
+        let hot = EthTransferWorkload::new(10_000, 2_000)
+            .with_zipf_s_hundredths(0)
+            .with_conflict(50, 2);
+        let hot_set: Vec<AccountAddress> = (0..2).map(GenesisBuilder::account_address).collect();
+        let hot_hits = hot
+            .generate_block()
+            .iter()
+            .filter(|t| hot_set.contains(&t.receiver))
+            .count();
+        assert!(
+            (800..1_300).contains(&hot_hits),
+            "~50% of 2000 receivers should be hot, saw {hot_hits}"
+        );
+    }
+}

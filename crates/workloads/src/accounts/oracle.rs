@@ -1,0 +1,394 @@
+//! The conservation oracle: domain-level invariants every engine must satisfy
+//! on account-model blocks, checked against the committed block output.
+//!
+//! Byte-for-byte equality with the sequential engine is the repo's primary
+//! cross-engine check, but it can only say two engines *agree* — if both share
+//! a bug (double-applied delta, lost debit) they agree on a wrong state. The
+//! oracle checks what the *domain* guarantees instead, independent of any
+//! reference execution:
+//!
+//! * **Value conservation** — native and per-token balance updates sum to zero
+//!   (nothing mints, nothing burns; fees only move value to the beneficiary).
+//! * **Balance validity** — every committed balance parses as an unsigned
+//!   quantity (`U64`, or `U128` for materialized aggregator values): no
+//!   negative balance can ever be committed.
+//! * **Nonce monotonicity** — sequence numbers never decrease, and each
+//!   signer's nonce advances by exactly its number of *successful*
+//!   transactions (aborted ones leave no trace).
+//! * **Exact fee routing** — the beneficiary's balance grows by exactly the
+//!   sum of fees of successful transactions (valid because the workload
+//!   generators never use the beneficiary as a sender or receiver).
+
+use block_stm_storage::{
+    AccessPath, AccountAddress, InMemoryStorage, ResourceTag, StateValue, Storage, TokenId,
+};
+use block_stm_vm::{Transaction, TransactionOutput};
+use std::collections::HashMap;
+
+/// Account-model transactions the oracle can reason about: they have a signing
+/// account (whose nonce advances on success) and a flat fee.
+pub trait AccountTransaction: Transaction<Key = AccessPath, Value = StateValue> {
+    /// The signing account.
+    fn signer(&self) -> AccountAddress;
+    /// The fee this transaction pays to the block beneficiary on success.
+    fn fee(&self) -> u64;
+}
+
+/// Summary statistics of a passing oracle check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// Transactions that committed effects.
+    pub successful: usize,
+    /// Transactions that aborted deterministically.
+    pub aborted: usize,
+    /// Total fees credited to the beneficiary.
+    pub fees_credited: u128,
+    /// Number of native-balance locations the block updated.
+    pub balances_touched: usize,
+}
+
+/// The oracle configuration: which invariants apply to the block under check.
+#[derive(Debug, Clone, Default)]
+pub struct ConservationOracle {
+    beneficiary: Option<AccountAddress>,
+    tokens: Vec<TokenId>,
+}
+
+/// Parses a balance-like committed value (absent = untouched, looked up in the
+/// pre-state by the caller).
+fn unsigned_of(value: &StateValue) -> Option<u128> {
+    match value {
+        StateValue::U64(v) => Some(*v as u128),
+        StateValue::U128(v) => Some(*v),
+        _ => None,
+    }
+}
+
+impl ConservationOracle {
+    /// An oracle with no beneficiary/token checks (conservation + nonces only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables the exact-fee-routing check for `beneficiary`. Only valid when
+    /// the workload never uses the beneficiary as a sender or receiver (both
+    /// account workload generators guarantee this).
+    pub fn with_beneficiary(mut self, beneficiary: AccountAddress) -> Self {
+        self.beneficiary = Some(beneficiary);
+        self
+    }
+
+    /// Enables per-token conservation for `token`.
+    pub fn with_token(mut self, token: TokenId) -> Self {
+        self.tokens.push(token);
+        self
+    }
+
+    /// Checks every configured invariant of one committed block.
+    ///
+    /// `updates` is the block's committed write-set (post-state = pre-state
+    /// overwritten by it); `block`/`outputs` are the committed transactions and
+    /// their per-transaction outputs, index-aligned (for a gas-truncated block,
+    /// pass the committed prefix of both).
+    pub fn check<T: AccountTransaction>(
+        &self,
+        pre: &InMemoryStorage<AccessPath, StateValue>,
+        block: &[T],
+        updates: &[(AccessPath, StateValue)],
+        outputs: &[TransactionOutput<AccessPath, StateValue>],
+    ) -> Result<ConservationReport, String> {
+        if block.len() != outputs.len() {
+            return Err(format!(
+                "block/outputs misaligned: {} transactions vs {} outputs",
+                block.len(),
+                outputs.len()
+            ));
+        }
+
+        let pre_unsigned =
+            |path: &AccessPath| pre.get(path).as_ref().and_then(unsigned_of).unwrap_or(0);
+
+        // --- Per-location validity + conservation sums.
+        let mut native_delta: i128 = 0;
+        let mut balances_touched = 0usize;
+        let mut token_delta: HashMap<TokenId, i128> = HashMap::new();
+        let mut nonce_advance: HashMap<AccountAddress, u64> = HashMap::new();
+        for (path, new_value) in updates {
+            match path.tag {
+                ResourceTag::Balance => {
+                    let new = unsigned_of(new_value).ok_or_else(|| {
+                        format!("balance at {path:?} committed as non-numeric {new_value:?}")
+                    })?;
+                    native_delta += new as i128 - pre_unsigned(path) as i128;
+                    balances_touched += 1;
+                }
+                ResourceTag::TokenBalance(token) => {
+                    let new = unsigned_of(new_value).ok_or_else(|| {
+                        format!("token balance at {path:?} committed as {new_value:?}")
+                    })?;
+                    *token_delta.entry(token).or_insert(0) +=
+                        new as i128 - pre_unsigned(path) as i128;
+                }
+                ResourceTag::TokenSupply(token) => {
+                    return Err(format!(
+                        "token {token} supply resource was written by the block"
+                    ));
+                }
+                ResourceTag::SequenceNumber => {
+                    let new = new_value.as_u64().ok_or_else(|| {
+                        format!("sequence number at {path:?} committed as {new_value:?}")
+                    })?;
+                    let old = pre_unsigned(path) as u64;
+                    if new < old {
+                        return Err(format!(
+                            "nonce of {:?} went backwards: {old} -> {new}",
+                            path.address
+                        ));
+                    }
+                    nonce_advance.insert(path.address, new - old);
+                }
+                ResourceTag::TokenAllowance { .. } if new_value.as_u64().is_none() => {
+                    return Err(format!("allowance at {path:?} committed as {new_value:?}"));
+                }
+                _ => {}
+            }
+        }
+
+        if native_delta != 0 {
+            return Err(format!(
+                "native supply not conserved: net delta {native_delta}"
+            ));
+        }
+        for (token, delta) in &token_delta {
+            if *delta != 0 {
+                return Err(format!("token {token} not conserved: net delta {delta}"));
+            }
+        }
+
+        // --- Per-transaction bookkeeping: who succeeded, what fees were owed.
+        let mut successful = 0usize;
+        let mut aborted = 0usize;
+        let mut fees_owed: u128 = 0;
+        let mut expected_advance: HashMap<AccountAddress, u64> = HashMap::new();
+        for (txn, output) in block.iter().zip(outputs) {
+            if output.is_aborted() {
+                aborted += 1;
+            } else {
+                successful += 1;
+                fees_owed += txn.fee() as u128;
+                *expected_advance.entry(txn.signer()).or_insert(0) += 1;
+            }
+        }
+
+        // Every signer's nonce must advance by exactly its successful count
+        // (and nobody else's nonce may move).
+        for (address, advance) in &nonce_advance {
+            let expected = expected_advance.get(address).copied().unwrap_or(0);
+            if *advance != expected {
+                return Err(format!(
+                    "nonce of {address:?} advanced by {advance}, expected {expected} successful txns"
+                ));
+            }
+        }
+        for (address, expected) in &expected_advance {
+            if *expected > 0 && !nonce_advance.contains_key(address) {
+                return Err(format!(
+                    "signer {address:?} had {expected} successful txns but no nonce update"
+                ));
+            }
+        }
+
+        // --- Exact fee routing.
+        if let Some(beneficiary) = self.beneficiary {
+            let path = AccessPath::balance(beneficiary);
+            let old = pre_unsigned(&path);
+            let new = updates
+                .iter()
+                .rev()
+                .find(|(p, _)| *p == path)
+                .map_or(Some(old), |(_, v)| unsigned_of(v))
+                .ok_or_else(|| "beneficiary balance committed as non-numeric".to_string())?;
+            if new < old || new - old != fees_owed {
+                return Err(format!(
+                    "beneficiary credited {} but successful txns owed {fees_owed}",
+                    new as i128 - old as i128
+                ));
+            }
+        }
+
+        Ok(ConservationReport {
+            successful,
+            aborted,
+            fees_credited: fees_owed,
+            balances_touched,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounts::eth_transfer::{EthTransferTransaction, FeeMode};
+    use block_stm_storage::GenesisBuilder;
+
+    fn txn(sender: u64, receiver: u64, fee: u64) -> EthTransferTransaction {
+        EthTransferTransaction {
+            sender: GenesisBuilder::account_address(sender),
+            receiver: GenesisBuilder::account_address(receiver),
+            amount: 10,
+            fee,
+            expected_nonce: 0,
+            beneficiary: GenesisBuilder::account_address(9),
+            fee_mode: FeeMode::Delta,
+            sigverify_gas: 0,
+        }
+    }
+
+    fn ok_output() -> TransactionOutput<AccessPath, StateValue> {
+        TransactionOutput::empty()
+    }
+
+    fn aborted_output() -> TransactionOutput<AccessPath, StateValue> {
+        TransactionOutput {
+            abort_code: Some(block_stm_vm::AbortCode::NonceMismatch),
+            ..TransactionOutput::empty()
+        }
+    }
+
+    fn genesis() -> InMemoryStorage<AccessPath, StateValue> {
+        GenesisBuilder::new(10)
+            .initial_balance(100)
+            .lean_accounts(true)
+            .build()
+    }
+
+    fn addr(i: u64) -> AccountAddress {
+        GenesisBuilder::account_address(i)
+    }
+
+    #[test]
+    fn balanced_updates_pass() {
+        let pre = genesis();
+        let block = vec![txn(0, 1, 5)];
+        let updates = vec![
+            (AccessPath::balance(addr(0)), StateValue::U64(85)),
+            (AccessPath::balance(addr(1)), StateValue::U64(110)),
+            (AccessPath::balance(addr(9)), StateValue::U64(105)),
+            (AccessPath::sequence_number(addr(0)), StateValue::U64(1)),
+        ];
+        let report = ConservationOracle::new()
+            .with_beneficiary(addr(9))
+            .check(&pre, &block, &updates, &[ok_output()])
+            .expect("conserving block");
+        assert_eq!(report.successful, 1);
+        assert_eq!(report.fees_credited, 5);
+        assert_eq!(report.balances_touched, 3);
+    }
+
+    #[test]
+    fn minting_is_rejected() {
+        let pre = genesis();
+        let block = vec![txn(0, 1, 0)];
+        let updates = vec![(AccessPath::balance(addr(1)), StateValue::U64(150))];
+        let err = ConservationOracle::new()
+            .check(&pre, &block, &updates, &[ok_output()])
+            .unwrap_err();
+        assert!(err.contains("not conserved"), "{err}");
+    }
+
+    #[test]
+    fn backwards_nonce_is_rejected() {
+        let pre = GenesisBuilder::new(10)
+            .initial_sequence_number(5)
+            .lean_accounts(true)
+            .build();
+        let updates = vec![(AccessPath::sequence_number(addr(0)), StateValue::U64(3))];
+        let err = ConservationOracle::new()
+            .check(&pre, &[txn(0, 1, 0)], &updates, &[aborted_output()])
+            .unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn nonce_advance_must_match_successful_count() {
+        let pre = genesis();
+        let block = vec![txn(0, 1, 0), txn(0, 2, 0)];
+        // Two successful txns but the nonce only advanced by one.
+        let updates = vec![
+            (AccessPath::sequence_number(addr(0)), StateValue::U64(1)),
+            (AccessPath::balance(addr(0)), StateValue::U64(80)),
+            (AccessPath::balance(addr(1)), StateValue::U64(110)),
+            (AccessPath::balance(addr(2)), StateValue::U64(110)),
+        ];
+        let err = ConservationOracle::new()
+            .check(&pre, &block, &updates, &[ok_output(), ok_output()])
+            .unwrap_err();
+        assert!(err.contains("advanced by 1"), "{err}");
+    }
+
+    #[test]
+    fn aborted_txns_are_excluded_from_fee_and_nonce_expectations() {
+        let pre = genesis();
+        let block = vec![txn(0, 1, 5), txn(2, 1, 7)];
+        // Only txn 0 succeeded; txn 1 (signer 2) aborted and left no trace.
+        let updates = vec![
+            (AccessPath::balance(addr(0)), StateValue::U64(85)),
+            (AccessPath::balance(addr(1)), StateValue::U64(110)),
+            (AccessPath::balance(addr(9)), StateValue::U64(105)),
+            (AccessPath::sequence_number(addr(0)), StateValue::U64(1)),
+        ];
+        let report = ConservationOracle::new()
+            .with_beneficiary(addr(9))
+            .check(&pre, &block, &updates, &[ok_output(), aborted_output()])
+            .expect("aborts leave no trace");
+        assert_eq!(report.successful, 1);
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.fees_credited, 5);
+    }
+
+    #[test]
+    fn wrong_beneficiary_credit_is_rejected() {
+        let pre = genesis();
+        let block = vec![txn(0, 1, 5)];
+        let updates = vec![
+            (AccessPath::balance(addr(0)), StateValue::U64(85)),
+            (AccessPath::balance(addr(1)), StateValue::U64(112)),
+            (AccessPath::balance(addr(9)), StateValue::U64(103)),
+            (AccessPath::sequence_number(addr(0)), StateValue::U64(1)),
+        ];
+        let err = ConservationOracle::new()
+            .with_beneficiary(addr(9))
+            .check(&pre, &block, &updates, &[ok_output()])
+            .unwrap_err();
+        assert!(err.contains("beneficiary"), "{err}");
+    }
+
+    #[test]
+    fn materialized_u128_beneficiary_balances_are_accepted() {
+        let pre = genesis();
+        let block = vec![txn(0, 1, 5)];
+        // A resolved aggregator commits as U128: the oracle must treat it as a
+        // plain unsigned balance.
+        let updates = vec![
+            (AccessPath::balance(addr(0)), StateValue::U64(85)),
+            (AccessPath::balance(addr(1)), StateValue::U64(110)),
+            (AccessPath::balance(addr(9)), StateValue::U128(105)),
+            (AccessPath::sequence_number(addr(0)), StateValue::U64(1)),
+        ];
+        ConservationOracle::new()
+            .with_beneficiary(addr(9))
+            .check(&pre, &block, &updates, &[ok_output()])
+            .expect("U128 balances are valid");
+    }
+
+    #[test]
+    fn supply_writes_are_rejected() {
+        let pre = genesis();
+        let updates = vec![(AccessPath::token_supply(3), StateValue::U128(1))];
+        let err = ConservationOracle::new()
+            .with_token(3)
+            .check(&pre, &[txn(0, 1, 0)], &updates, &[aborted_output()])
+            .unwrap_err();
+        assert!(err.contains("supply"), "{err}");
+    }
+}

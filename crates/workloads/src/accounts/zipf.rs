@@ -1,0 +1,253 @@
+//! Deterministic, host-independent Zipfian index sampling.
+//!
+//! The account workloads draw senders and receivers from a Zipf(s) distribution
+//! over `n` accounts — the standard model for blockchain traffic skew (a few
+//! exchange/bridge/meme-token accounts dominate real blocks). Baselines recorded
+//! on one machine must be reproducible on another, so the sampler must be
+//! **bit-identical across hosts**. `f64::powf`/`ln`/`exp` from libm are *not*
+//! guaranteed correctly rounded and genuinely differ between platforms, so this
+//! module builds the Zipf weight table out of nothing but IEEE 754 basic
+//! operations (`+`, `-`, `*`, `/` — correctly rounded everywhere) plus integer
+//! bit manipulation: [`det_ln`] and [`det_exp`] are fixed polynomial/series
+//! evaluations with a fixed association order, and [`det_pow`] composes them.
+//!
+//! Sampling itself uses a cumulative-weight table and binary search over a
+//! 53-bit uniform draw, so the (seed → sampled index sequence) map is a pure
+//! function of `(n, s)` with no platform dependence.
+
+use rand::RngCore;
+
+/// ln(2) to full f64 precision (the nearest representable value).
+const LN_2: f64 = core::f64::consts::LN_2;
+
+/// Deterministic natural logarithm for finite `x > 0`, built from basic IEEE
+/// ops only.
+///
+/// Decomposes `x = 2^e · m` with `m ∈ [1, 2)` via bit manipulation, then
+/// evaluates `ln(m) = 2·atanh(t)` with `t = (m−1)/(m+1)` as a fixed-length
+/// odd-power series (`|t| ≤ 1/3`, so 13 terms exceed f64 precision). Accuracy
+/// is a couple of ulps — irrelevant for workload shaping — but the result is
+/// **bit-identical on every host**, which is the property that matters here.
+pub fn det_ln(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0, "det_ln domain: finite positive");
+    let bits = x.to_bits();
+    let mut exponent = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    let mut mantissa_bits = bits & 0x000F_FFFF_FFFF_FFFF;
+    if exponent == -1023 {
+        // Subnormal: renormalize (not hit by the Zipf tables, kept for totality).
+        let shift = mantissa_bits.leading_zeros() as i64 - 11;
+        mantissa_bits = (mantissa_bits << (shift + 1)) & 0x000F_FFFF_FFFF_FFFF;
+        exponent = -1022 - shift - 1;
+    }
+    let m = f64::from_bits(mantissa_bits | (1023u64 << 52)); // m in [1, 2)
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // 2 * (t + t^3/3 + t^5/5 + ...) evaluated highest-order-first (Horner), a
+    // fixed association order shared by every host.
+    let mut series = 0.0f64;
+    let mut k = 25i32;
+    while k >= 1 {
+        series = series * t2 + 1.0 / k as f64;
+        k -= 2;
+    }
+    exponent as f64 * LN_2 + 2.0 * t * series
+}
+
+/// Deterministic exponential for `|x| ≤ ~700`, built from basic IEEE ops only.
+///
+/// Range-reduces `x = k·ln2 + r` with `|r| ≤ ln2/2` (the integer `k` is
+/// obtained by truncation, deterministically), evaluates `e^r` as a fixed
+/// 17-term Taylor polynomial in Horner form, and rescales by `2^k` through the
+/// exponent bits.
+pub fn det_exp(x: f64) -> f64 {
+    debug_assert!(x.is_finite(), "det_exp domain: finite");
+    // Round x / ln2 to the nearest integer without floor()/round() (which are
+    // correctly rounded anyway, but truncation casts are unambiguous).
+    let q = x / LN_2;
+    let k = if q >= 0.0 {
+        (q + 0.5) as i64
+    } else {
+        (q - 0.5) as i64
+    };
+    let r = x - k as f64 * LN_2; // |r| <= ln2/2 + 1 ulp
+    let mut poly = 1.0f64;
+    let mut n = 17i32;
+    while n >= 1 {
+        poly = poly * r / n as f64 + 1.0;
+        n -= 1;
+    }
+    // poly == e^r; scale by 2^k via exponent arithmetic (k is small here:
+    // |x| <= ~700 keeps k + 1023 in the normal range).
+    let biased = k + 1023;
+    debug_assert!((1..2047).contains(&biased), "det_exp overflow");
+    poly * f64::from_bits((biased as u64) << 52)
+}
+
+/// Deterministic `base^exponent` for `base > 0`: `exp(exponent · ln(base))`.
+pub fn det_pow(base: f64, exponent: f64) -> f64 {
+    if exponent == 0.0 {
+        return 1.0;
+    }
+    det_exp(exponent * det_ln(base))
+}
+
+/// A Zipf(s) sampler over indices `0..n`, deterministic in the RNG stream and
+/// bit-identical across hosts.
+///
+/// The exponent is given in **hundredths** (`s_hundredths = 120` ⇒ s = 1.20) so
+/// workload configs stay `Eq`/hashable without carrying raw floats. `s = 0` is
+/// the uniform distribution and skips the table entirely.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    /// Cumulative weights `Σ_{j<=i} (j+1)^{-s}`; empty in the uniform case.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n` (`n ≥ 1`) with exponent `s_hundredths/100`.
+    pub fn new(n: u64, s_hundredths: u32) -> Self {
+        assert!(n >= 1, "ZipfSampler needs a non-empty universe");
+        if s_hundredths == 0 {
+            return Self {
+                n,
+                cumulative: Vec::new(),
+            };
+        }
+        let s = s_hundredths as f64 / 100.0;
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            // Fixed left-to-right accumulation: the sum's rounding is part of
+            // the deterministic contract.
+            total += det_pow(rank as f64, -s);
+            cumulative.push(total);
+        }
+        Self { n, cumulative }
+    }
+
+    /// Size of the sampled universe.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one index in `0..n`. Rank 0 is the hottest index.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.cumulative.is_empty() {
+            return rand::Rng::gen_range(rng, 0..self.n);
+        }
+        let total = *self.cumulative.last().expect("non-empty table");
+        // 53 uniform bits scaled into [0, total): both steps are basic ops.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        let idx = self.cumulative.partition_point(|&c| c <= u) as u64;
+        idx.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn det_ln_matches_libm_closely() {
+        for x in [0.5f64, 1.0, 1.5, 2.0, 10.0, 12345.678, 1e9, 1e-9] {
+            let got = det_ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-14,
+                "ln({x}): {got} vs {want}"
+            );
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+
+    #[test]
+    fn det_exp_matches_libm_closely() {
+        for x in [-30.0f64, -1.0, -0.2, 0.0, 0.3, 1.0, 5.0, 30.0] {
+            let got = det_exp(x);
+            let want = x.exp();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-14,
+                "exp({x}): {got} vs {want}"
+            );
+        }
+        assert_eq!(det_exp(0.0), 1.0);
+    }
+
+    #[test]
+    fn det_pow_inverts_ranks() {
+        for rank in [1u64, 2, 7, 1000, 1_000_000] {
+            let got = det_pow(rank as f64, -1.0);
+            let want = 1.0 / rank as f64;
+            assert!((got - want).abs() <= want * 1e-13, "{rank}: {got} {want}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_in_the_seed() {
+        let sampler = ZipfSampler::new(10_000, 120);
+        let draw = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..200)
+                .map(|_| sampler.sample(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sampler = ZipfSampler::new(1_000, 100); // s = 1.0
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut head = 0usize;
+        const DRAWS: usize = 10_000;
+        for _ in 0..DRAWS {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1 the top-10 of 1000 carries ~39% of the mass; uniform would
+        // put 1% there. Accept a generous band.
+        assert!(
+            (2_500..6_000).contains(&head),
+            "top-10 mass {head}/{DRAWS} not Zipf-shaped"
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let sampler = ZipfSampler::new(100, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 100 && *max < 400, "not uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn samples_stay_in_universe() {
+        for s in [0u32, 80, 150, 200] {
+            let sampler = ZipfSampler::new(17, s);
+            let mut rng = ChaCha8Rng::seed_from_u64(s as u64);
+            assert!((0..500).all(|_| sampler.sample(&mut rng) < 17));
+        }
+    }
+
+    /// Golden values: these exact bit patterns must reproduce on every host —
+    /// this is the determinism contract the bench baselines rely on.
+    #[test]
+    fn golden_bit_patterns_are_host_independent() {
+        assert_eq!(det_ln(3.0).to_bits(), 1.0986122886681096f64.to_bits());
+        assert_eq!(det_exp(1.0).to_bits(), 2.7182818284590455f64.to_bits());
+        let sampler = ZipfSampler::new(1_000, 120);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xACC7);
+        let first: Vec<u64> = (0..8).map(|_| sampler.sample(&mut rng)).collect();
+        // Locked-in sequence for (n=1000, s=1.20, seed 0xACC7).
+        assert_eq!(first, vec![28, 253, 0, 40, 322, 3, 11, 532]);
+    }
+}

@@ -26,12 +26,21 @@
 //!   aggregators: with commutative delta writes the block commits with zero
 //!   aggregator-induced aborts; without them it is the inherently sequential
 //!   worst case.
+//! * [`accounts`] — the production-shaped account-model family:
+//!   [`EthTransferWorkload`] (nonce-checked native transfers with gas fees
+//!   credited to a block beneficiary) and [`Erc20Workload`]
+//!   (transfer/approve/transferFrom token blocks), both with Zipfian skew,
+//!   conflict and CPU-cost knobs, declared write-sets, and the
+//!   [`ConservationOracle`] that checks value conservation and nonce
+//!   monotonicity independently of any reference execution.
 //!
-//! All generators are deterministic in their seed.
+//! All generators are deterministic in their seed — the account family is
+//! additionally bit-identical *across hosts* (see [`accounts::zipf`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounts;
 mod commit_stall;
 mod delta_hotspot;
 mod hotspot;
@@ -39,6 +48,10 @@ mod long_chain;
 mod p2p;
 mod synthetic;
 
+pub use accounts::{
+    block_fingerprint, ConservationOracle, ConservationReport, Erc20Op, Erc20Transaction,
+    Erc20Workload, EthTransferTransaction, EthTransferWorkload, FeeMode, ZipfSampler,
+};
 pub use commit_stall::CommitStallWorkload;
 pub use delta_hotspot::DeltaHotspotWorkload;
 pub use hotspot::HotspotWorkload;

@@ -17,7 +17,9 @@ use block_stm_baselines::{BohmExecutor, LitmExecutor};
 use block_stm_storage::{AccessPath, InMemoryStorage, StateValue};
 use block_stm_vm::p2p::{P2pFlavor, PeerToPeerTransaction};
 use block_stm_vm::synthetic::SyntheticTransaction;
-use block_stm_workloads::{CommitStallWorkload, LongChainWorkload, P2pWorkload};
+use block_stm_workloads::{
+    CommitStallWorkload, ConservationOracle, EthTransferWorkload, LongChainWorkload, P2pWorkload,
+};
 use std::time::Instant;
 
 /// Bohm with its perfect write-sets precomputed outside the timed region — the
@@ -170,4 +172,36 @@ fn main() {
         );
     }
     println!("ladder adversaries (both write shapes) match the sequential baseline ✓");
+
+    // The production-shaped account case: ETH-style transfers with nonce
+    // checks and a per-transaction gas fee credited to the block proposer
+    // through the commutative delta API. The conservation oracle audits the
+    // committed state independently of the sequential comparison.
+    println!();
+    println!("account-model block (eth transfers, delta fees, {threads} threads):");
+    let account_workload = EthTransferWorkload::new(accounts, block_size);
+    let (account_storage, account_block) = account_workload.generate();
+    let parallel = BlockStmBuilder::new(vm).concurrency(threads).build();
+    let start = Instant::now();
+    let output = parallel
+        .execute_block(&account_block, &account_storage)
+        .expect("account block executes");
+    let tps = block_size as f64 / start.elapsed().as_secs_f64();
+    let oracle = SequentialExecutor::new(vm)
+        .execute_block(&account_block, &account_storage)
+        .unwrap();
+    assert_eq!(output.updates, oracle.updates, "account block diverged");
+    let report = ConservationOracle::new()
+        .with_beneficiary(account_workload.beneficiary())
+        .check(
+            &account_storage,
+            &account_block,
+            &output.updates,
+            &output.outputs,
+        )
+        .expect("account block conserves value");
+    println!(
+        "block-stm   {tps:9.0} txns/s   {} fees routed to the proposer, value conserved ✓",
+        report.fees_credited,
+    );
 }

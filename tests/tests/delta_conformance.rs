@@ -347,3 +347,64 @@ fn bohm_rejects_delta_blocks_with_a_typed_error() {
     let plain = vec![SyntheticTransaction::put(7, 1)];
     assert!(bohm.execute_block(&plain, &storage).is_ok());
 }
+
+/// The production shape the aggregator API exists for: an account block whose
+/// only shared location is the block beneficiary's fee balance. With delta
+/// fees the payments are independent, so the block must commit with **zero**
+/// aggregator-induced aborts and exactly one incarnation per transaction —
+/// while the read-modify-write fee mode of the very same payments is the
+/// inherently conflicted comparison. Bohm rejects the delta-fee variant with
+/// its typed error, exactly as for synthetic delta blocks.
+#[test]
+fn delta_fee_account_block_commits_without_beneficiary_aborts() {
+    use block_stm_storage::GenesisBuilder;
+    use block_stm_workloads::{EthTransferTransaction, EthTransferWorkload, FeeMode};
+
+    // Disjoint senders and receivers: txn i pays from account i to account
+    // n/2 + i, so the beneficiary fee credit is the block's only shared write.
+    let shape = EthTransferWorkload::new(300, 0);
+    let storage = shape.genesis();
+    let block: Vec<EthTransferTransaction> = (0..150)
+        .map(|i| EthTransferTransaction {
+            sender: GenesisBuilder::account_address(i),
+            receiver: GenesisBuilder::account_address(150 + i),
+            amount: 100 + i,
+            fee: shape.fee,
+            expected_nonce: 0,
+            beneficiary: shape.beneficiary(),
+            fee_mode: FeeMode::Delta,
+            sigverify_gas: 0,
+        })
+        .collect();
+    let oracle = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let engine = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .build();
+        let output = engine.execute_block(&block, &storage).unwrap();
+        assert_eq!(output.updates, oracle.updates, "{threads} threads diverged");
+        let m = &output.metrics;
+        assert_eq!(
+            m.validation_failures, 0,
+            "{threads} threads: delta fee credits must never fail validation"
+        );
+        assert_eq!(m.dependency_aborts, 0, "{threads} threads");
+        assert_eq!(m.delta_overflow_aborts, 0, "{threads} threads");
+        assert_eq!(
+            m.incarnations, 150,
+            "{threads} threads: every payment executed exactly once"
+        );
+        assert_eq!(m.committed_txns, 150);
+        assert_eq!(m.delta_writes, 150, "{threads} threads");
+    }
+
+    // The same block with delta fees is unusable for Bohm — typed rejection,
+    // not silent wrong answers.
+    let bohm = BohmExecutor::new(Vm::for_testing(), 2);
+    match bohm.execute_block(&block, &storage) {
+        Err(ExecutionError::DeltasUnsupported { txn_idx }) => assert_eq!(txn_idx, 0),
+        other => panic!("expected DeltasUnsupported, got {other:?}"),
+    }
+}

@@ -200,3 +200,61 @@ fn p2p_blocks_conform_through_the_trait() {
         );
     }
 }
+
+/// The account-model families (ETH transfers, ERC20 tokens) run through the
+/// same unified trait. Read-modify-write fee mode keeps the blocks delta-free
+/// so the hint-driven Bohm baseline participates; every order-preserving
+/// engine must land on the sequential oracle's state.
+#[test]
+fn account_blocks_conform_through_the_trait() {
+    use block_stm_workloads::{Erc20Workload, EthTransferWorkload, FeeMode};
+
+    type AccountStorage =
+        InMemoryStorage<block_stm_storage::AccessPath, block_stm_storage::StateValue>;
+
+    fn engines<
+        T: block_stm_vm::Transaction<
+            Key = block_stm_storage::AccessPath,
+            Value = block_stm_storage::StateValue,
+        >,
+    >() -> Vec<Box<dyn BlockExecutor<T, AccountStorage>>> {
+        vec![
+            Box::new(
+                BlockStmBuilder::new(Vm::for_testing())
+                    .concurrency(4)
+                    .build(),
+            ),
+            Box::new(BohmExecutor::new(Vm::for_testing(), 4)),
+        ]
+    }
+
+    let eth = EthTransferWorkload::new(30, 200).with_fee_mode(FeeMode::ReadModifyWrite);
+    let (storage, block) = eth.generate();
+    let oracle = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    for engine in engines() {
+        let output = engine.execute_block(&block, &storage).unwrap();
+        assert_eq!(
+            output.updates,
+            oracle.updates,
+            "{} diverged on the eth-transfer workload",
+            engine.name()
+        );
+    }
+
+    let erc20 = Erc20Workload::new(30, 200).with_fee_mode(FeeMode::ReadModifyWrite);
+    let (storage, block) = erc20.generate();
+    let oracle = SequentialExecutor::new(Vm::for_testing())
+        .execute_block(&block, &storage)
+        .unwrap();
+    for engine in engines() {
+        let output = engine.execute_block(&block, &storage).unwrap();
+        assert_eq!(
+            output.updates,
+            oracle.updates,
+            "{} diverged on the erc20 workload",
+            engine.name()
+        );
+    }
+}

@@ -49,7 +49,7 @@ use std::sync::Arc;
 pub struct BlockStmBuilder {
     vm: Vm,
     options: ExecutorOptions,
-    sink: Option<Arc<dyn ErasedCommitSink>>,
+    sinks: Vec<Arc<dyn ErasedCommitSink>>,
     limiter: Option<Arc<dyn ErasedBlockLimiter>>,
 }
 
@@ -57,7 +57,7 @@ impl Debug for BlockStmBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockStmBuilder")
             .field("options", &self.options)
-            .field("has_commit_sink", &self.sink.is_some())
+            .field("num_commit_sinks", &self.sinks.len())
             .field("has_block_limiter", &self.limiter.is_some())
             .finish()
     }
@@ -70,7 +70,7 @@ impl BlockStmBuilder {
         Self {
             vm,
             options: ExecutorOptions::default(),
-            sink: None,
+            sinks: Vec::new(),
             limiter: None,
         }
     }
@@ -80,7 +80,7 @@ impl BlockStmBuilder {
         Self {
             vm,
             options,
-            sink: None,
+            sinks: Vec::new(),
             limiter: None,
         }
     }
@@ -148,12 +148,17 @@ impl BlockStmBuilder {
     /// executor.execute_block(&block, &storage).unwrap();
     /// assert_eq!(*sink.0.lock(), (0..8).collect::<Vec<_>>());
     /// ```
+    /// Calling `commit_sink` again **adds** another sink rather than replacing
+    /// the first: every attached sink receives every commit event, in attach
+    /// order (the builder-level form of [`MultiSink`](crate::MultiSink)). This
+    /// is how, e.g., a receipt streamer and a disk persister share one commit
+    /// stream.
     pub fn commit_sink<K, V>(mut self, sink: Arc<dyn CommitSink<K, V>>) -> Self
     where
         K: Send + Sync + 'static,
         V: Send + Sync + 'static,
     {
-        self.sink = Some(Arc::new(SinkAdapter { sink }));
+        self.sinks.push(Arc::new(SinkAdapter { sink }));
         self
     }
 
@@ -181,7 +186,7 @@ impl BlockStmBuilder {
             // `in_place_scope`), so the pool itself needs one thread fewer.
             pool: WorkerPool::new(workers.saturating_sub(1)),
             options: self.options,
-            sink: self.sink,
+            sinks: self.sinks,
             limiter: self.limiter,
             state: Mutex::new(None),
         }
@@ -203,9 +208,10 @@ pub struct BlockStm {
     vm: Vm,
     options: ExecutorOptions,
     pool: WorkerPool,
-    /// Streaming consumer of the committed prefix, if attached (type-erased; see
-    /// [`BlockStmBuilder::commit_sink`]).
-    sink: Option<Arc<dyn ErasedCommitSink>>,
+    /// Streaming consumers of the committed prefix (type-erased; see
+    /// [`BlockStmBuilder::commit_sink`]). Every sink sees every commit event,
+    /// in attach order.
+    sinks: Vec<Arc<dyn ErasedCommitSink>>,
     /// In-order admission control over the committed prefix, if attached
     /// (type-erased; see [`BlockStmBuilder::block_limiter`]).
     limiter: Option<Arc<dyn ErasedBlockLimiter>>,
@@ -274,13 +280,13 @@ impl BlockStm {
         S: Storage<T::Key, T::Value>,
     {
         let num_txns = block.len();
-        let sink = self.sink.as_deref();
+        let sinks = self.sinks.as_slice();
         let limiter = self.limiter.as_deref();
-        if (sink.is_some() || limiter.is_some()) && !self.options.rolling_commit {
+        if (!sinks.is_empty() || limiter.is_some()) && !self.options.rolling_commit {
             return Err(ExecutionError::HooksRequireRollingCommit);
         }
         if num_txns == 0 {
-            if let Some(sink) = sink {
+            for sink in sinks {
                 sink.begin_block(0);
             }
             if let Some(limiter) = limiter {
@@ -304,7 +310,7 @@ impl BlockStm {
         let mut guard = self.state.lock();
         let state = EngineState::<T::Key, T::Value>::prepare(&mut guard, &self.options, num_txns);
         state.metrics.record_block(num_txns);
-        if let Some(sink) = sink {
+        for sink in sinks {
             sink.begin_block(num_txns);
         }
         if let Some(limiter) = limiter {
@@ -322,7 +328,7 @@ impl BlockStm {
             metrics: &state.metrics,
             outputs: &state.outputs,
             commit_drain: &state.commit_drain,
-            sink,
+            sinks,
             limiter,
         };
         let job = |_worker_index: usize| {
@@ -499,7 +505,7 @@ struct Worker<'a, T: Transaction, S> {
     metrics: &'a ExecutionMetrics,
     outputs: &'a [OutputSlot<T::Key, T::Value>],
     commit_drain: &'a Mutex<DrainState>,
-    sink: Option<&'a dyn ErasedCommitSink>,
+    sinks: &'a [Arc<dyn ErasedCommitSink>],
     limiter: Option<&'a dyn ErasedBlockLimiter>,
 }
 
@@ -665,13 +671,18 @@ where
             let lag = execution_cursor.saturating_sub(idx) as u64;
             lag_sum += lag;
             lag_max = lag_max.max(lag);
-            if let Some(sink) = self.sink {
+            let mut sink_mismatch = false;
+            for sink in self.sinks {
                 if !sink.on_commit_erased(idx, output, &resolved_deltas, execution_cursor) {
                     state.failure =
                         Some(ExecutionError::HookStateModelMismatch { hook: "CommitSink" });
                     self.scheduler.halt();
+                    sink_mismatch = true;
                     break;
                 }
+            }
+            if sink_mismatch {
+                break;
             }
             drop(slot);
             state.drained += 1;

@@ -67,6 +67,87 @@ pub trait CommitSink<K, V>: Send + Sync {
     fn on_commit(&self, event: &CommitEvent<'_, K, V>);
 }
 
+/// A [`CommitSink`] that fans one commit stream out to several sinks.
+///
+/// `BlockStmBuilder::commit_sink` already fans out when called repeatedly —
+/// every attached sink sees every event, in attach order. `MultiSink` is the
+/// same combinator as a value: compose sinks *before* attaching (or nest
+/// groups), hand the composite to anything that accepts a single
+/// `Arc<dyn CommitSink>`. Delivery guarantees are unchanged — each inner sink
+/// observes every commit in preset order, exactly once, and `begin_block`
+/// reaches each inner sink once per block.
+///
+/// ```
+/// use block_stm::{CommitEvent, CommitSink, MultiSink};
+/// use parking_lot::Mutex;
+/// use std::sync::Arc;
+///
+/// #[derive(Default)]
+/// struct Collect(Mutex<Vec<usize>>);
+/// impl CommitSink<u64, u64> for Collect {
+///     fn on_commit(&self, event: &CommitEvent<'_, u64, u64>) {
+///         self.0.lock().push(event.txn_idx);
+///     }
+/// }
+///
+/// let receipts = Arc::new(Collect::default());
+/// let state_sync = Arc::new(Collect::default());
+/// let fanout = MultiSink::new()
+///     .with(receipts.clone())
+///     .with(state_sync.clone());
+/// // `fanout` is itself a CommitSink<u64, u64>.
+/// ```
+pub struct MultiSink<K, V> {
+    sinks: Vec<Arc<dyn CommitSink<K, V>>>,
+}
+
+impl<K, V> Default for MultiSink<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> MultiSink<K, V> {
+    /// An empty fan-out (a no-op sink until sinks are added).
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Adds a sink; events are delivered to sinks in the order they were added.
+    pub fn with(mut self, sink: Arc<dyn CommitSink<K, V>>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Number of composed sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the fan-out is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl<K, V> CommitSink<K, V> for MultiSink<K, V>
+where
+    K: Send + Sync,
+    V: Send + Sync,
+{
+    fn begin_block(&self, block_size: usize) {
+        for sink in &self.sinks {
+            sink.begin_block(block_size);
+        }
+    }
+
+    fn on_commit(&self, event: &CommitEvent<'_, K, V>) {
+        for sink in &self.sinks {
+            sink.on_commit(event);
+        }
+    }
+}
+
 /// In-order admission control over the committed prefix: the block-gas-limit hook.
 ///
 /// `include_next` is called for each committed transaction in preset order, before
@@ -261,6 +342,53 @@ mod tests {
             execution_cursor: 10,
         };
         assert_eq!(event.commit_lag(), 7);
+    }
+
+    #[test]
+    fn multi_sink_fans_out_in_attach_order() {
+        use parking_lot::Mutex;
+
+        struct Tagged {
+            tag: u32,
+            log: Arc<Mutex<Vec<(u32, usize)>>>,
+            blocks: Arc<Mutex<Vec<(u32, usize)>>>,
+        }
+
+        impl CommitSink<u64, u64> for Tagged {
+            fn begin_block(&self, block_size: usize) {
+                self.blocks.lock().push((self.tag, block_size));
+            }
+
+            fn on_commit(&self, event: &CommitEvent<'_, u64, u64>) {
+                self.log.lock().push((self.tag, event.txn_idx));
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let blocks = Arc::new(Mutex::new(Vec::new()));
+        let tagged = |tag| {
+            Arc::new(Tagged {
+                tag,
+                log: log.clone(),
+                blocks: blocks.clone(),
+            })
+        };
+        let fanout = MultiSink::new().with(tagged(1)).with(tagged(2));
+        assert_eq!(fanout.len(), 2);
+        assert!(!fanout.is_empty());
+
+        fanout.begin_block(5);
+        let out = output(1);
+        for idx in 0..2 {
+            fanout.on_commit(&CommitEvent {
+                txn_idx: idx,
+                output: &out,
+                resolved_deltas: &[],
+                execution_cursor: idx + 1,
+            });
+        }
+        assert_eq!(*blocks.lock(), vec![(1, 5), (2, 5)]);
+        assert_eq!(*log.lock(), vec![(1, 0), (2, 0), (1, 1), (2, 1)]);
     }
 
     #[test]

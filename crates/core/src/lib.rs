@@ -175,7 +175,7 @@ pub use block_stm::{BlockStm, BlockStmBuilder};
 pub use config::ExecutorOptions;
 pub use errors::{ExecutionError, PanicCollector};
 pub use executor::BlockExecutor;
-pub use hooks::{BlockGasLimit, BlockLimiter, CommitEvent, CommitSink};
+pub use hooks::{BlockGasLimit, BlockLimiter, CommitEvent, CommitSink, MultiSink};
 pub use output::BlockOutput;
 pub use sequential::SequentialExecutor;
 pub use view::MVHashMapView;

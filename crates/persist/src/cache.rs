@@ -1,0 +1,239 @@
+//! A block-scoped, read-through cache over a [`LogStore`].
+//!
+//! Execution engines fall through to [`Storage`] for every key the current
+//! block has not written below the reading transaction — on a disk-backed
+//! store that is one positioned read per fall-through. [`BlockCache`] sits in
+//! between: the first read of a key pays the disk read (including a cached
+//! *negative* result for absent keys, which account workloads hit constantly
+//! for untouched resources), every later read in the block is a hash lookup.
+//!
+//! The cache is **block-scoped by design**: the embedder calls
+//! [`BlockCache::begin_block`] between blocks, which drops every entry. That
+//! makes coherence trivial — within one block the underlying store only gains
+//! keys the engines never read through (committed writes are served by the
+//! engines' multi-version memory, not by storage) — and bounds the footprint
+//! to one block's access set.
+//!
+//! [`BlockCache::prefetch`] warms the cache ahead of execution from a
+//! declared or predicted access set using [`LogStore::read_coalesced`], which
+//! turns thousands of scattered point reads into a few large sequential ones.
+//! [`BlockCache::prefetch_declared`] derives that set from the block's
+//! [`Transaction::declared_write_set`] hints where the transaction model
+//! provides them.
+
+use crate::codec::PersistCodec;
+use crate::errors::PersistError;
+use crate::log::LogStore;
+use block_stm_storage::Storage;
+use block_stm_vm::Transaction;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hit/miss counters of one cache (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served from the cache (including cached negatives).
+    pub hits: u64,
+    /// Reads that had to go to the log store.
+    pub misses: u64,
+    /// Entries loaded by prefetching.
+    pub prefetched: u64,
+}
+
+/// Block-scoped read-through cache; see the module docs.
+pub struct BlockCache<K, V> {
+    store: Arc<LogStore<K, V>>,
+    /// `None` = the store confirmed the key is absent (cached negative).
+    entries: RwLock<HashMap<K, Option<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    prefetched: AtomicU64,
+}
+
+impl<K, V> BlockCache<K, V>
+where
+    K: PersistCodec + Eq + Hash + Clone,
+    V: PersistCodec + Clone,
+{
+    /// A fresh, empty cache over `store`.
+    pub fn new(store: Arc<LogStore<K, V>>) -> Self {
+        Self {
+            store,
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
+        }
+    }
+
+    /// The log store this cache reads through to.
+    pub fn store(&self) -> &Arc<LogStore<K, V>> {
+        &self.store
+    }
+
+    /// Starts a new block: drops every cached entry. Call between blocks —
+    /// this is what keeps the cache trivially coherent with commits persisted
+    /// by a sink after the previous block.
+    pub fn begin_block(&self) {
+        self.entries.write().clear();
+    }
+
+    /// Warms the cache with `keys` (primed from a declared or predicted access
+    /// set) using one coalesced disk pass; already-cached keys are skipped.
+    /// Returns how many entries were loaded, counting cached negatives.
+    pub fn prefetch<I>(&self, keys: I) -> Result<usize, PersistError>
+    where
+        I: IntoIterator<Item = K>,
+    {
+        let wanted: Vec<K> = {
+            let entries = self.entries.read();
+            keys.into_iter()
+                .filter(|key| !entries.contains_key(key))
+                .collect()
+        };
+        if wanted.is_empty() {
+            return Ok(0);
+        }
+        let fetched = self.store.read_coalesced(wanted)?;
+        let loaded = fetched.len();
+        let mut entries = self.entries.write();
+        for (key, value) in fetched {
+            entries.insert(key, value);
+        }
+        self.prefetched.fetch_add(loaded as u64, Ordering::Relaxed);
+        Ok(loaded)
+    }
+
+    /// Prefetches the union of the block's [`Transaction::declared_write_set`]
+    /// hints — for account workloads the write set (sender, receiver, fee
+    /// accounts) is also the hot read set. Transactions without a declaration
+    /// contribute nothing; their reads fall back to read-through.
+    pub fn prefetch_declared<T>(&self, block: &[T]) -> Result<usize, PersistError>
+    where
+        T: Transaction<Key = K>,
+    {
+        let mut keys: Vec<K> = Vec::new();
+        for txn in block {
+            if let Some(declared) = txn.declared_write_set() {
+                keys.extend(declared);
+            }
+        }
+        self.prefetch(keys)
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The engines read through the cache exactly as they would read the store.
+///
+/// Like [`LogStore`]'s implementation, `get` panics on I/O failure or on-disk
+/// corruption (the trait has no error channel and a silent `None` would be
+/// wrong); the parallel engine contains the panic as a typed worker error.
+impl<K, V> Storage<K, V> for BlockCache<K, V>
+where
+    K: PersistCodec + Eq + Hash + Clone + Send + Sync,
+    V: PersistCodec + Clone + Send + Sync,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        if let Some(cached) = self.entries.read().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = self
+            .store
+            .get_value(key)
+            .expect("log store read failed (I/O error or corruption)");
+        self.entries.write().insert(key.clone(), value.clone());
+        value
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        if let Some(cached) = self.entries.read().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.is_some();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Storage::contains(&*self.store, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::TempDir;
+
+    fn cached_store(dir: &TempDir) -> BlockCache<u64, u64> {
+        let store = Arc::new(LogStore::open(dir.path().join("log")).expect("open"));
+        store.ingest((0..100u64).map(|k| (k, k * 2))).unwrap();
+        BlockCache::new(store)
+    }
+
+    #[test]
+    fn second_read_is_served_from_memory() {
+        let dir = TempDir::new("cache-hit");
+        let cache = cached_store(&dir);
+        let before = cache.store().stats().disk_reads;
+        assert_eq!(Storage::get(&cache, &7), Some(14));
+        assert_eq!(cache.store().stats().disk_reads, before + 1);
+        assert_eq!(Storage::get(&cache, &7), Some(14));
+        assert_eq!(cache.store().stats().disk_reads, before + 1, "cache hit");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn negative_results_are_cached_too() {
+        let dir = TempDir::new("cache-negative");
+        let cache = cached_store(&dir);
+        assert_eq!(Storage::get(&cache, &999), None);
+        let reads = cache.store().stats().disk_reads;
+        assert_eq!(Storage::get(&cache, &999), None);
+        assert!(!Storage::contains(&cache, &999));
+        assert_eq!(cache.store().stats().disk_reads, reads);
+    }
+
+    #[test]
+    fn prefetch_coalesces_and_later_reads_hit() {
+        let dir = TempDir::new("cache-prefetch");
+        let cache = cached_store(&dir);
+        let loaded = cache.prefetch((0..100u64).chain([555])).unwrap();
+        assert_eq!(loaded, 101);
+        let reads_after_prefetch = cache.store().stats().disk_reads;
+        assert!(
+            reads_after_prefetch <= 4,
+            "prefetch should coalesce, used {reads_after_prefetch} reads"
+        );
+        for key in 0..100u64 {
+            assert_eq!(Storage::get(&cache, &key), Some(key * 2));
+        }
+        assert_eq!(Storage::get(&cache, &555), None);
+        assert_eq!(cache.store().stats().disk_reads, reads_after_prefetch);
+        // Prefetching again is a no-op: everything is already cached.
+        assert_eq!(cache.prefetch(0..100u64).unwrap(), 0);
+    }
+
+    #[test]
+    fn begin_block_drops_all_entries() {
+        let dir = TempDir::new("cache-scope");
+        let cache = cached_store(&dir);
+        assert_eq!(Storage::get(&cache, &1), Some(2));
+        // A commit sink appends a new value between blocks…
+        cache.store().append_batch(&[(1u64, 999u64)], 1).unwrap();
+        // …the stale entry survives until the block boundary…
+        assert_eq!(Storage::get(&cache, &1), Some(2));
+        // …and the next block observes the committed value.
+        cache.begin_block();
+        assert_eq!(Storage::get(&cache, &1), Some(999));
+    }
+}

@@ -1,0 +1,375 @@
+//! Canonical binary encoding for persisted keys and values.
+//!
+//! The log store needs a *byte-stable* encoding: the same key or value must
+//! produce the same bytes on every host and every run, because recovery
+//! equality ("a reopened store reproduces genesis byte-for-byte") and the
+//! checksummed frame format both hang off it. The workspace's serde shim
+//! targets JSON for debugging, not a wire format, so persistence gets its own
+//! small trait with dense little-endian encodings and explicit, total
+//! decoding — every decode failure is a typed [`CodecError`], never a panic,
+//! so a corrupted log surfaces as a recovery truncation instead of UB.
+//!
+//! Implementations exist for the primitive state models the engines are
+//! tested with (`u64`, `u128`, `bool`, byte blobs) and for the production
+//! account model ([`AccessPath`]/[`StateValue`]). Encodings are
+//! length-prefixed where variable-sized so records are self-delimiting inside
+//! a frame.
+
+use block_stm_storage::{
+    AccessPath, AccountAddress, AccountResource, ConfigId, ResourceTag, StateValue,
+};
+use std::fmt;
+
+/// A decode failure: the input bytes are not a valid encoding of the target
+/// type (truncated, unknown variant tag, trailing garbage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the decoder was trying to produce.
+    pub what: &'static str,
+    /// Why it could not.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decoding {}: {}", self.what, self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn truncated(what: &'static str) -> CodecError {
+    CodecError {
+        what,
+        reason: "input truncated",
+    }
+}
+
+fn bad_tag(what: &'static str) -> CodecError {
+    CodecError {
+        what,
+        reason: "unknown variant tag",
+    }
+}
+
+/// Types with a canonical, self-delimiting binary encoding.
+///
+/// `decode` consumes exactly the bytes `encode_into` produced and advances the
+/// input cursor past them, so values can be concatenated inside a frame.
+pub trait PersistCodec: Sized {
+    /// Appends this value's canonical bytes to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing the cursor.
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError>;
+
+    /// Convenience: the canonical bytes as a fresh vector.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Convenience: decodes a value that must occupy the whole input.
+    fn decode_all(mut input: &[u8]) -> Result<Self, CodecError> {
+        let value = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(value)
+        } else {
+            Err(CodecError {
+                what: "value",
+                reason: "trailing bytes after decode",
+            })
+        }
+    }
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+    if input.len() < n {
+        return Err(truncated(what));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! int_codec {
+    ($ty:ty, $what:literal) => {
+        impl PersistCodec for $ty {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+                let bytes = take(input, std::mem::size_of::<$ty>(), $what)?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("exact slice")))
+            }
+        }
+    };
+}
+
+int_codec!(u32, "u32");
+int_codec!(u64, "u64");
+int_codec!(u128, "u128");
+
+impl PersistCodec for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1, "bool")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(bad_tag("bool")),
+        }
+    }
+}
+
+impl PersistCodec for Vec<u8> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        out.extend_from_slice(self);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = u32::decode(input)? as usize;
+        Ok(take(input, len, "byte blob")?.to_vec())
+    }
+}
+
+impl PersistCodec for AccountAddress {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let bytes = take(input, 16, "account address")?;
+        Ok(AccountAddress(bytes.try_into().expect("exact slice")))
+    }
+}
+
+impl PersistCodec for ConfigId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let tag = ConfigId::ALL
+            .iter()
+            .position(|id| id == self)
+            .expect("ConfigId::ALL covers every variant") as u8;
+        out.push(tag);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let tag = take(input, 1, "config id")?[0] as usize;
+        ConfigId::ALL
+            .get(tag)
+            .copied()
+            .ok_or_else(|| bad_tag("config id"))
+    }
+}
+
+impl PersistCodec for ResourceTag {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ResourceTag::Balance => out.push(0),
+            ResourceTag::SequenceNumber => out.push(1),
+            ResourceTag::Account => out.push(2),
+            ResourceTag::FreezingBit => out.push(3),
+            ResourceTag::SentEvents => out.push(4),
+            ResourceTag::ReceivedEvents => out.push(5),
+            ResourceTag::Config(id) => {
+                out.push(6);
+                id.encode_into(out);
+            }
+            ResourceTag::TokenBalance(token) => {
+                out.push(7);
+                token.encode_into(out);
+            }
+            ResourceTag::TokenAllowance { token, spender } => {
+                out.push(8);
+                token.encode_into(out);
+                spender.encode_into(out);
+            }
+            ResourceTag::TokenSupply(token) => {
+                out.push(9);
+                token.encode_into(out);
+            }
+            ResourceTag::Custom(id) => {
+                out.push(10);
+                id.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1, "resource tag")?[0] {
+            0 => Ok(ResourceTag::Balance),
+            1 => Ok(ResourceTag::SequenceNumber),
+            2 => Ok(ResourceTag::Account),
+            3 => Ok(ResourceTag::FreezingBit),
+            4 => Ok(ResourceTag::SentEvents),
+            5 => Ok(ResourceTag::ReceivedEvents),
+            6 => Ok(ResourceTag::Config(ConfigId::decode(input)?)),
+            7 => Ok(ResourceTag::TokenBalance(u64::decode(input)?)),
+            8 => Ok(ResourceTag::TokenAllowance {
+                token: u64::decode(input)?,
+                spender: AccountAddress::decode(input)?,
+            }),
+            9 => Ok(ResourceTag::TokenSupply(u64::decode(input)?)),
+            10 => Ok(ResourceTag::Custom(u64::decode(input)?)),
+            _ => Err(bad_tag("resource tag")),
+        }
+    }
+}
+
+impl PersistCodec for AccessPath {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.address.encode_into(out);
+        self.tag.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        Ok(AccessPath {
+            address: AccountAddress::decode(input)?,
+            tag: ResourceTag::decode(input)?,
+        })
+    }
+}
+
+impl PersistCodec for AccountResource {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.authentication_key);
+        self.role_id.encode_into(out);
+        self.frozen.encode_into(out);
+        self.sent_event_count.encode_into(out);
+        self.received_event_count.encode_into(out);
+        self.deposit_limit.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        let key = take(input, 32, "authentication key")?;
+        Ok(AccountResource {
+            authentication_key: key.try_into().expect("exact slice"),
+            role_id: u64::decode(input)?,
+            frozen: bool::decode(input)?,
+            sent_event_count: u64::decode(input)?,
+            received_event_count: u64::decode(input)?,
+            deposit_limit: u64::decode(input)?,
+        })
+    }
+}
+
+impl PersistCodec for StateValue {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            StateValue::U64(v) => {
+                out.push(0);
+                v.encode_into(out);
+            }
+            StateValue::U128(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+            StateValue::Bool(v) => {
+                out.push(2);
+                v.encode_into(out);
+            }
+            StateValue::Account(a) => {
+                out.push(3);
+                a.encode_into(out);
+            }
+            StateValue::Bytes(b) => {
+                out.push(4);
+                b.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, CodecError> {
+        match take(input, 1, "state value")?[0] {
+            0 => Ok(StateValue::U64(u64::decode(input)?)),
+            1 => Ok(StateValue::U128(u128::decode(input)?)),
+            2 => Ok(StateValue::Bool(bool::decode(input)?)),
+            3 => Ok(StateValue::Account(AccountResource::decode(input)?)),
+            4 => Ok(StateValue::Bytes(Vec::<u8>::decode(input)?)),
+            _ => Err(bad_tag("state value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: PersistCodec + PartialEq + fmt::Debug>(value: T) {
+        let bytes = value.encoded();
+        assert_eq!(T::decode_all(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(u128::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(vec![0u8; 0]);
+        roundtrip(vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn account_model_roundtrips() {
+        let addr = AccountAddress::from_index(42);
+        let spender = AccountAddress::from_index(7);
+        for path in [
+            AccessPath::balance(addr),
+            AccessPath::sequence_number(addr),
+            AccessPath::account(addr),
+            AccessPath::freezing_bit(addr),
+            AccessPath::sent_events(addr),
+            AccessPath::received_events(addr),
+            AccessPath::config(ConfigId::GasSchedule),
+            AccessPath::token_balance(addr, 9),
+            AccessPath::token_allowance(addr, 9, spender),
+            AccessPath::token_supply(9),
+            AccessPath::custom(addr, 123),
+        ] {
+            roundtrip(path);
+        }
+        for value in [
+            StateValue::U64(77),
+            StateValue::U128(u64::MAX as u128 + 1),
+            StateValue::Bool(false),
+            StateValue::Account(AccountResource::new(
+                AccountResource::auth_key_for_index(3),
+                500,
+            )),
+            StateValue::Bytes(vec![9u8; 64]),
+        ] {
+            roundtrip(value);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let path = AccessPath::token_allowance(
+            AccountAddress::from_index(1),
+            2,
+            AccountAddress::from_index(3),
+        );
+        assert_eq!(path.encoded(), path.encoded());
+        let value = StateValue::Account(AccountResource::new([5u8; 32], 10));
+        assert_eq!(value.encoded(), value.encoded());
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_fail_typed() {
+        let bytes = StateValue::U64(5).encoded();
+        assert!(StateValue::decode_all(&bytes[..bytes.len() - 1]).is_err());
+        assert!(StateValue::decode_all(&[99]).is_err());
+        assert!(AccessPath::decode_all(&[0u8; 3]).is_err());
+        // Trailing garbage is rejected by decode_all.
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(StateValue::decode_all(&padded).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed failures of the persistence tier.
+
+use crate::codec::CodecError;
+use std::fmt;
+use std::io;
+
+/// A failure of the log store or one of its consumers.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure (open, read, write, fsync).
+    Io {
+        /// The operation that failed.
+        operation: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file exists but does not start with the log-store magic header.
+    NotALogStore,
+    /// A value read back from the log failed to decode — the in-memory index
+    /// and the on-disk bytes disagree, which means either the file was
+    /// modified underneath the store or the store has a bug. Unlike a torn
+    /// *tail* (handled silently by recovery truncation), corruption under a
+    /// committed frame is never ignored.
+    Corrupt {
+        /// File offset of the undecodable bytes.
+        offset: u64,
+        /// The decoder's complaint.
+        source: CodecError,
+    },
+    /// The background persister was shut down (or crashed in a test harness)
+    /// and can no longer accept work.
+    PersisterUnavailable,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { operation, source } => {
+                write!(f, "log store I/O failure during {operation}: {source}")
+            }
+            PersistError::NotALogStore => {
+                write!(f, "file is not a block-stm log store (bad magic header)")
+            }
+            PersistError::Corrupt { offset, source } => {
+                write!(f, "log store corrupt at offset {offset}: {source}")
+            }
+            PersistError::PersisterUnavailable => {
+                write!(f, "background persister is no longer running")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Corrupt { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl PersistError {
+    pub(crate) fn io(operation: &'static str, source: io::Error) -> Self {
+        PersistError::Io { operation, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = PersistError::io(
+            "fsync",
+            io::Error::other("disk on fire"),
+        );
+        let text = err.to_string();
+        assert!(text.contains("fsync"));
+        assert!(text.contains("disk on fire"));
+        assert!(PersistError::NotALogStore.to_string().contains("magic"));
+        assert!(PersistError::PersisterUnavailable
+            .to_string()
+            .contains("persister"));
+    }
+}

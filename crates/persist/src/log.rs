@@ -1,0 +1,876 @@
+//! The append-only log store.
+//!
+//! One file, one format: an 8-byte magic header followed by **frames**. Each
+//! frame is `[payload_len: u32 le][crc32: u32 le][payload]`; the payload is a
+//! batch of `(key, value)` records plus the cumulative **durable watermark**
+//! (how many commit events are persisted once this frame is on disk):
+//!
+//! ```text
+//! payload := kind(u8) watermark(u64 le) count(u32 le) { key_len key val_len val }*
+//! ```
+//!
+//! Writes are append-only and batched: one frame per commit batch, one
+//! `fdatasync` per frame (the write-behind sink amortizes many commit events
+//! into one frame). Reads go through an in-memory `key → (offset, len)` index
+//! pointing at the *value bytes* inside the file, so a lookup is one
+//! positioned read plus a decode — values themselves are never cached here
+//! (that is [`BlockCache`](crate::BlockCache)'s job), which keeps the resident
+//! footprint proportional to the key set, not the state size.
+//!
+//! ## Recovery
+//!
+//! [`LogStore::open`] replays the file front to back, checking each frame's
+//! length and checksum. The first torn or corrupt frame **truncates** the log
+//! at that boundary: frames are written before they are fsynced, so a crash
+//! can only tear the tail, and everything below the last valid frame is
+//! exactly the state at the last published durable watermark. This is the
+//! disk half of the safety argument described in the crate docs.
+
+use crate::codec::PersistCodec;
+use crate::errors::PersistError;
+use block_stm_storage::Storage;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::hash::Hash;
+use std::io;
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File magic: identifies a block-stm log store, version 1.
+const MAGIC: &[u8; 8] = b"BSTMLOG1";
+/// Frame header size: payload length + crc32.
+const FRAME_HEADER: u64 = 8;
+/// A frame carrying committed transaction outputs.
+const KIND_COMMITS: u8 = 1;
+/// A frame carrying bulk-ingested (genesis) state.
+const KIND_INGEST: u8 = 2;
+/// Entries per frame during bulk ingest.
+const INGEST_CHUNK: usize = 4096;
+/// Coalesced reads merge value spans separated by at most this many bytes.
+const COALESCE_GAP: u64 = 4096;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for byte in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ *byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// A chunk staged during `ingest`: its records and their value locations,
+/// published to the index only after the chunk's frames are all on disk.
+type StagedChunk<K, V> = (Vec<(K, V)>, Vec<ValueLoc>);
+
+/// Where one value lives inside the log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ValueLoc {
+    /// Absolute file offset of the value bytes.
+    offset: u64,
+    /// Length of the value bytes.
+    len: u32,
+}
+
+/// What [`LogStore::open`] found while replaying the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid frames replayed into the index.
+    pub frames_recovered: u64,
+    /// Distinct keys in the rebuilt index.
+    pub entries_indexed: u64,
+    /// Bytes discarded from a torn or corrupt tail (0 for a clean file).
+    pub truncated_bytes: u64,
+    /// The durable watermark carried by the last valid frame.
+    pub durable_watermark: u64,
+}
+
+/// Read/write counters of one store (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStoreStats {
+    /// Positioned reads served (one per `get`, one per coalesced group).
+    pub disk_reads: u64,
+    /// Bytes fetched by those reads.
+    pub bytes_read: u64,
+    /// Frames appended since open.
+    pub frames_appended: u64,
+    /// `fdatasync` calls issued.
+    pub syncs: u64,
+}
+
+/// Writer-side state, serialized behind one mutex: appends happen from one
+/// thread at a time (the background persister in production).
+#[derive(Debug)]
+struct WriterState {
+    /// File length = offset of the next frame.
+    end: u64,
+    /// Reusable frame scratch buffer.
+    scratch: Vec<u8>,
+}
+
+/// The append-only, checksummed log store. See the module docs for the format
+/// and recovery semantics.
+///
+/// `LogStore` implements [`Storage`], so **any engine executes directly
+/// against disk state with zero engine changes** — reads that miss the block's
+/// multi-version memory fall through to a positioned file read. Appends and
+/// reads are safe concurrently: readers never observe a frame until its index
+/// entries are published, and index publication happens only after the frame
+/// is on disk.
+pub struct LogStore<K, V> {
+    file: File,
+    path: PathBuf,
+    index: RwLock<HashMap<K, ValueLoc>>,
+    writer: Mutex<WriterState>,
+    /// Commit events durable on disk (published after fsync, with `Release`).
+    durable_watermark: AtomicU64,
+    recovery: RecoveryReport,
+    disk_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    frames_appended: AtomicU64,
+    syncs: AtomicU64,
+    /// Serializes seek+read on platforms without positioned reads.
+    #[cfg(not(unix))]
+    seek_lock: Mutex<()>,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<K, V> std::fmt::Debug for LogStore<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogStore")
+            .field("path", &self.path)
+            .field("entries", &self.index.read().len())
+            .field(
+                "durable_watermark",
+                &self.durable_watermark.load(Ordering::Acquire),
+            )
+            .finish()
+    }
+}
+
+impl<K, V> LogStore<K, V>
+where
+    K: PersistCodec + Eq + Hash + Clone,
+    V: PersistCodec,
+{
+    /// Opens (or creates) the log store at `path`, replaying every valid frame
+    /// to rebuild the in-memory index and recover the durable watermark. A
+    /// torn tail — the signature of a crash mid-append — is truncated away;
+    /// corruption *underneath* a valid tail is reported as an error.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| PersistError::io("open", e))?;
+
+        let file_len = file
+            .metadata()
+            .map_err(|e| PersistError::io("stat", e))?
+            .len();
+        let mut index = HashMap::new();
+        let mut recovery = RecoveryReport::default();
+
+        let end = if file_len == 0 {
+            // Fresh store: stamp the magic header and make it durable before
+            // anything references the file.
+            use std::io::Write;
+            file.write_all(MAGIC)
+                .map_err(|e| PersistError::io("write header", e))?;
+            file.sync_data().map_err(|e| PersistError::io("fsync", e))?;
+            MAGIC.len() as u64
+        } else {
+            let mut header = [0u8; 8];
+            read_exact_at_raw(&file, &mut header, 0)
+                .map_err(|e| PersistError::io("read header", e))?;
+            if &header != MAGIC {
+                return Err(PersistError::NotALogStore);
+            }
+            let valid_end = Self::replay(&file, file_len, &mut index, &mut recovery)?;
+            if valid_end < file_len {
+                recovery.truncated_bytes = file_len - valid_end;
+                file.set_len(valid_end)
+                    .map_err(|e| PersistError::io("truncate torn tail", e))?;
+                file.sync_data().map_err(|e| PersistError::io("fsync", e))?;
+            }
+            valid_end
+        };
+
+        recovery.entries_indexed = index.len() as u64;
+        Ok(Self {
+            file,
+            path,
+            durable_watermark: AtomicU64::new(recovery.durable_watermark),
+            recovery,
+            index: RwLock::new(index),
+            writer: Mutex::new(WriterState {
+                end,
+                scratch: Vec::new(),
+            }),
+            disk_reads: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            frames_appended: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            #[cfg(not(unix))]
+            seek_lock: Mutex::new(()),
+            _values: PhantomData,
+        })
+    }
+
+    /// Replays frames from the header to the first invalid byte; returns the
+    /// offset of the valid prefix end.
+    fn replay(
+        file: &File,
+        file_len: u64,
+        index: &mut HashMap<K, ValueLoc>,
+        recovery: &mut RecoveryReport,
+    ) -> Result<u64, PersistError> {
+        let mut offset = MAGIC.len() as u64;
+        let mut frame = Vec::new();
+        while offset + FRAME_HEADER <= file_len {
+            let mut header = [0u8; 8];
+            read_exact_at_raw(file, &mut header, offset)
+                .map_err(|e| PersistError::io("read frame header", e))?;
+            let payload_len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as u64;
+            let expected_crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+            let payload_start = offset + FRAME_HEADER;
+            if payload_start + payload_len > file_len {
+                break; // Torn tail: the frame was never fully written.
+            }
+            frame.resize(payload_len as usize, 0);
+            read_exact_at_raw(file, &mut frame, payload_start)
+                .map_err(|e| PersistError::io("read frame", e))?;
+            if crc32(&frame) != expected_crc {
+                break; // Torn or corrupt tail: stop and truncate here.
+            }
+            // A checksummed frame must parse; failure here is real corruption
+            // (or a version skew), not a torn write.
+            let corrupt = |source| PersistError::Corrupt {
+                offset: payload_start,
+                source,
+            };
+            let mut cursor = &frame[..];
+            let kind = u8_from(&mut cursor).map_err(corrupt)?;
+            if kind != KIND_COMMITS && kind != KIND_INGEST {
+                return Err(PersistError::Corrupt {
+                    offset: payload_start,
+                    source: crate::codec::CodecError {
+                        what: "frame kind",
+                        reason: "unknown frame kind",
+                    },
+                });
+            }
+            let watermark = u64::decode(&mut cursor).map_err(corrupt)?;
+            let count = u32::decode(&mut cursor).map_err(corrupt)?;
+            for _ in 0..count {
+                let key_bytes = length_prefixed(&mut cursor).map_err(corrupt)?;
+                let key = K::decode_all(key_bytes).map_err(corrupt)?;
+                let consumed_before = frame.len() - cursor.len();
+                let val_bytes = length_prefixed(&mut cursor).map_err(corrupt)?;
+                // The value bytes start right after their u32 length prefix.
+                let val_offset = payload_start + consumed_before as u64 + 4;
+                index.insert(
+                    key,
+                    ValueLoc {
+                        offset: val_offset,
+                        len: val_bytes.len() as u32,
+                    },
+                );
+            }
+            recovery.frames_recovered += 1;
+            recovery.durable_watermark = watermark;
+            offset = payload_start + payload_len;
+        }
+        Ok(offset)
+    }
+
+    /// Appends one batch of committed `(key, value)` records as a single
+    /// checksummed frame, fsyncs it, publishes the index entries and advances
+    /// the durable watermark by `events` commit events.
+    ///
+    /// The ordering is the load-bearing part: *disk first, index second,
+    /// watermark last*. A reader can never observe an index entry whose bytes
+    /// are not durable, and the watermark never claims more than the index
+    /// serves.
+    pub fn append_batch(&self, entries: &[(K, V)], events: u64) -> Result<(), PersistError> {
+        let mut writer = self.writer.lock();
+        let watermark = self.durable_watermark.load(Ordering::Relaxed) + events;
+        let locs = self.append_frame_locked(&mut writer, KIND_COMMITS, entries, watermark)?;
+        self.sync_locked()?;
+        self.publish(entries, locs);
+        self.durable_watermark.store(watermark, Ordering::Release);
+        Ok(())
+    }
+
+    /// Bulk-loads pre-block state (genesis) in chunked frames with a single
+    /// fsync at the end; returns the number of entries ingested. The durable
+    /// watermark is unchanged — ingested state is base state, not commits.
+    pub fn ingest<I>(&self, entries: I) -> Result<u64, PersistError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut writer = self.writer.lock();
+        let watermark = self.durable_watermark.load(Ordering::Relaxed);
+        let mut chunk: Vec<(K, V)> = Vec::with_capacity(INGEST_CHUNK);
+        let mut total = 0u64;
+        let mut staged: Vec<StagedChunk<K, V>> = Vec::new();
+        for entry in entries {
+            chunk.push(entry);
+            if chunk.len() == INGEST_CHUNK {
+                let locs = self.append_frame_locked(&mut writer, KIND_INGEST, &chunk, watermark)?;
+                total += chunk.len() as u64;
+                staged.push((std::mem::take(&mut chunk), locs));
+            }
+        }
+        if !chunk.is_empty() {
+            let locs = self.append_frame_locked(&mut writer, KIND_INGEST, &chunk, watermark)?;
+            total += chunk.len() as u64;
+            staged.push((chunk, locs));
+        }
+        self.sync_locked()?;
+        for (entries, locs) in staged {
+            self.publish(&entries, locs);
+        }
+        Ok(total)
+    }
+
+    /// Serializes and writes one frame at the current end (no fsync, no index
+    /// publication); returns the value locations for later publication.
+    fn append_frame_locked(
+        &self,
+        writer: &mut WriterState,
+        kind: u8,
+        entries: &[(K, V)],
+        watermark: u64,
+    ) -> Result<Vec<ValueLoc>, PersistError> {
+        let payload_start = writer.end + FRAME_HEADER;
+        let scratch = &mut writer.scratch;
+        scratch.clear();
+        // Frame header placeholder (len + crc), patched below.
+        scratch.extend_from_slice(&[0u8; 8]);
+        scratch.push(kind);
+        watermark.encode_into(scratch);
+        (entries.len() as u32).encode_into(scratch);
+        let mut locs = Vec::with_capacity(entries.len());
+        let mut key_scratch = Vec::new();
+        let mut val_scratch = Vec::new();
+        for (key, value) in entries {
+            key_scratch.clear();
+            key.encode_into(&mut key_scratch);
+            (key_scratch.len() as u32).encode_into(scratch);
+            scratch.extend_from_slice(&key_scratch);
+            val_scratch.clear();
+            value.encode_into(&mut val_scratch);
+            (val_scratch.len() as u32).encode_into(scratch);
+            // The value bytes land at this offset within the payload; +8 skips
+            // the frame header bytes still sitting at the front of `scratch`.
+            let val_offset = payload_start + (scratch.len() as u64 - FRAME_HEADER);
+            scratch.extend_from_slice(&val_scratch);
+            locs.push(ValueLoc {
+                offset: val_offset,
+                len: val_scratch.len() as u32,
+            });
+        }
+        let payload_len = (scratch.len() - FRAME_HEADER as usize) as u32;
+        let crc = crc32(&scratch[FRAME_HEADER as usize..]);
+        scratch[..4].copy_from_slice(&payload_len.to_le_bytes());
+        scratch[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.write_all_at(scratch, writer.end)
+            .map_err(|e| PersistError::io("append frame", e))?;
+        writer.end += scratch.len() as u64;
+        self.frames_appended.fetch_add(1, Ordering::Relaxed);
+        Ok(locs)
+    }
+
+    fn sync_locked(&self) -> Result<(), PersistError> {
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::io("fsync", e))?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Publishes a frame's entries into the index (last write per key wins —
+    /// callers pass entries in commit order).
+    fn publish(&self, entries: &[(K, V)], locs: Vec<ValueLoc>) {
+        let mut index = self.index.write();
+        for ((key, _), loc) in entries.iter().zip(locs) {
+            index.insert(key.clone(), loc);
+        }
+    }
+
+    /// Reads and decodes the current value of `key`, or `None` if the key has
+    /// never been written. Errors mean I/O failure or on-disk corruption.
+    pub fn get_value(&self, key: &K) -> Result<Option<V>, PersistError> {
+        let loc = match self.index.read().get(key) {
+            Some(loc) => *loc,
+            None => return Ok(None),
+        };
+        let mut buf = vec![0u8; loc.len as usize];
+        self.read_exact_at(&mut buf, loc.offset)
+            .map_err(|e| PersistError::io("read value", e))?;
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(loc.len as u64, Ordering::Relaxed);
+        V::decode_all(&buf)
+            .map(Some)
+            .map_err(|source| PersistError::Corrupt {
+                offset: loc.offset,
+                source,
+            })
+    }
+
+    /// Reads many keys in one sequential pass: locations are sorted by file
+    /// offset and adjacent spans (gap ≤ 4 KiB) are fetched with a single
+    /// positioned read. This is the primitive behind
+    /// [`BlockCache`](crate::BlockCache) prefetching — a Zipf-hot account set
+    /// scattered across the log is warmed with a handful of large reads
+    /// instead of thousands of tiny ones.
+    ///
+    /// Returns one `(key, value)` pair per *distinct* input key; keys the
+    /// store has never seen map to `None`.
+    pub fn read_coalesced<I>(&self, keys: I) -> Result<Vec<(K, Option<V>)>, PersistError>
+    where
+        I: IntoIterator<Item = K>,
+    {
+        let mut found: Vec<(K, ValueLoc)> = Vec::new();
+        let mut missing: Vec<K> = Vec::new();
+        {
+            let index = self.index.read();
+            let mut seen = HashMap::new();
+            for key in keys {
+                if seen.insert(key.clone(), ()).is_some() {
+                    continue;
+                }
+                match index.get(&key) {
+                    Some(loc) => found.push((key, *loc)),
+                    None => missing.push(key),
+                }
+            }
+        }
+        found.sort_by_key(|(_, loc)| loc.offset);
+
+        let mut results: Vec<(K, Option<V>)> = Vec::with_capacity(found.len() + missing.len());
+        let mut buf: Vec<u8> = Vec::new();
+        while !found.is_empty() {
+            // Grow the group while the next value starts within the gap.
+            let base = found[0].1.offset;
+            let mut end = found[0].1.offset + found[0].1.len as u64;
+            let mut group_end = 1;
+            while group_end < found.len() {
+                let next = found[group_end].1;
+                if next.offset > end + COALESCE_GAP {
+                    break;
+                }
+                end = end.max(next.offset + next.len as u64);
+                group_end += 1;
+            }
+            buf.resize((end - base) as usize, 0);
+            self.read_exact_at(&mut buf, base)
+                .map_err(|e| PersistError::io("coalesced read", e))?;
+            self.disk_reads.fetch_add(1, Ordering::Relaxed);
+            self.bytes_read
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            for (key, loc) in found.drain(..group_end) {
+                let start = (loc.offset - base) as usize;
+                let bytes = &buf[start..start + loc.len as usize];
+                let value = V::decode_all(bytes).map_err(|source| PersistError::Corrupt {
+                    offset: loc.offset,
+                    source,
+                })?;
+                results.push((key, Some(value)));
+            }
+        }
+        results.extend(missing.into_iter().map(|key| (key, None)));
+        Ok(results)
+    }
+
+    /// The durable watermark: cumulative commit events whose effects are
+    /// fsynced. Published with `Release` after the fsync, so an `Acquire`
+    /// reader observing watermark `w` is guaranteed frames covering `w` events
+    /// are on disk.
+    pub fn durable_watermark(&self) -> u64 {
+        self.durable_watermark.load(Ordering::Acquire)
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Lifetime I/O counters.
+    pub fn stats(&self) -> LogStoreStats {
+        LogStoreStats {
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            frames_appended: self.frames_appended.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct keys the store holds.
+    pub fn len(&self) -> usize {
+        self.index.read().len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.read().is_empty()
+    }
+
+    /// All keys currently indexed (unordered). Intended for audits and tests;
+    /// production readers know their keys.
+    pub fn keys(&self) -> Vec<K> {
+        self.index.read().keys().cloned().collect()
+    }
+
+    /// The file this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            read_exact_at_raw(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            let _guard = self.seek_lock.lock();
+            read_exact_at_raw(&self.file, buf, offset)
+        }
+    }
+
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let _guard = self.seek_lock.lock();
+            let mut file = &self.file;
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(buf)
+        }
+    }
+}
+
+impl LogStore<block_stm_storage::AccessPath, block_stm_storage::StateValue> {
+    /// Writes a [`GenesisBuilder`](block_stm_storage::GenesisBuilder)'s state
+    /// **through the storage backend**: every genesis resource is emitted once
+    /// and bulk-ingested, so a reopened store reproduces genesis
+    /// byte-for-byte. Returns the number of resources persisted.
+    pub fn ingest_genesis(
+        &self,
+        genesis: &block_stm_storage::GenesisBuilder,
+    ) -> Result<u64, PersistError> {
+        let mut records = Vec::with_capacity(genesis.resource_count());
+        genesis.build_into(&mut records);
+        self.ingest(records)
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at_raw(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at_raw(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = file;
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+fn u8_from(input: &mut &[u8]) -> Result<u8, crate::codec::CodecError> {
+    if input.is_empty() {
+        return Err(crate::codec::CodecError {
+            what: "frame byte",
+            reason: "input truncated",
+        });
+    }
+    let byte = input[0];
+    *input = &input[1..];
+    Ok(byte)
+}
+
+/// Splits a `u32`-length-prefixed slice off the front of `input`.
+fn length_prefixed<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], crate::codec::CodecError> {
+    let len = u32::decode(input)? as usize;
+    if input.len() < len {
+        return Err(crate::codec::CodecError {
+            what: "length-prefixed record",
+            reason: "input truncated",
+        });
+    }
+    let (head, tail) = input.split_at(len);
+    *input = tail;
+    Ok(head)
+}
+
+/// The engines' storage fallback reads straight off the disk index.
+///
+/// `get` panics on I/O failure or on-disk corruption: the [`Storage`] trait
+/// has no error channel, and silently returning `None` would corrupt
+/// execution semantics (a missing balance reads as a nonexistent account).
+/// Inside the parallel engine the panic is contained by the worker's
+/// `catch_unwind` and surfaces as a typed `ExecutionError::WorkerPanic`.
+impl<K, V> Storage<K, V> for LogStore<K, V>
+where
+    K: PersistCodec + Eq + Hash + Clone + Sync + Send,
+    V: PersistCodec + Sync + Send,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        self.get_value(key)
+            .expect("log store read failed (I/O error or corruption)")
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.index.read().contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::TempDir;
+
+    fn store_at(dir: &TempDir, name: &str) -> LogStore<u64, u64> {
+        LogStore::open(dir.path().join(name)).expect("open store")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fresh_store_is_empty_with_zero_watermark() {
+        let dir = TempDir::new("log-fresh");
+        let store = store_at(&dir, "log");
+        assert!(store.is_empty());
+        assert_eq!(store.durable_watermark(), 0);
+        assert_eq!(store.recovery(), RecoveryReport::default());
+        assert_eq!(Storage::get(&store, &7), None);
+        assert!(!Storage::contains(&store, &7));
+    }
+
+    #[test]
+    fn append_then_get_roundtrips_and_watermark_advances() {
+        let dir = TempDir::new("log-roundtrip");
+        let store = store_at(&dir, "log");
+        store.append_batch(&[(1, 10), (2, 20)], 2).unwrap();
+        store.append_batch(&[(1, 11)], 1).unwrap();
+        assert_eq!(Storage::get(&store, &1), Some(11), "last write wins");
+        assert_eq!(Storage::get(&store, &2), Some(20));
+        assert_eq!(store.durable_watermark(), 3);
+        assert_eq!(store.len(), 2);
+        assert!(store.stats().syncs >= 2);
+    }
+
+    #[test]
+    fn reopen_replays_to_identical_state() {
+        let dir = TempDir::new("log-reopen");
+        let path = dir.path().join("log");
+        {
+            let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+            store.ingest((0..100u64).map(|k| (k, k * 3))).unwrap();
+            store.append_batch(&[(5, 999), (100, 1)], 2).unwrap();
+        }
+        let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        assert_eq!(store.durable_watermark(), 2);
+        assert_eq!(store.len(), 101);
+        assert_eq!(Storage::get(&store, &5), Some(999));
+        assert_eq!(Storage::get(&store, &99), Some(297));
+        assert_eq!(Storage::get(&store, &100), Some(1));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_valid_frame() {
+        let dir = TempDir::new("log-torn");
+        let path = dir.path().join("log");
+        {
+            let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+            store.append_batch(&[(1, 10)], 1).unwrap();
+            store.append_batch(&[(2, 20)], 1).unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-frame at the tail.
+        {
+            use std::io::Write;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(&[0xAB; 7]).unwrap();
+        }
+        let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+        assert_eq!(store.recovery().truncated_bytes, 7);
+        assert_eq!(store.recovery().frames_recovered, 2);
+        assert_eq!(store.durable_watermark(), 2);
+        assert_eq!(Storage::get(&store, &2), Some(20));
+
+        // The truncation is durable: a third open sees a clean file.
+        drop(store);
+        let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+        assert_eq!(store.recovery().truncated_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_truncates_frame_and_its_successors() {
+        let dir = TempDir::new("log-corrupt");
+        let path = dir.path().join("log");
+        let second_frame_start;
+        {
+            let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+            store.append_batch(&[(1, 10)], 1).unwrap();
+            second_frame_start = store.writer.lock().end;
+            store.append_batch(&[(2, 20)], 1).unwrap();
+        }
+        // Flip one payload byte of the second frame: its checksum now fails,
+        // so recovery must cut there even though the frame is complete.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut file = OpenOptions::new().write(true).open(&path).unwrap();
+            file.seek(SeekFrom::Start(second_frame_start + FRAME_HEADER + 2))
+                .unwrap();
+            file.write_all(&[0xFF]).unwrap();
+        }
+        let store: LogStore<u64, u64> = LogStore::open(&path).unwrap();
+        assert_eq!(store.recovery().frames_recovered, 1);
+        assert_eq!(store.durable_watermark(), 1);
+        assert_eq!(Storage::get(&store, &1), Some(10));
+        assert_eq!(Storage::get(&store, &2), None);
+    }
+
+    #[test]
+    fn non_log_file_is_rejected() {
+        let dir = TempDir::new("log-reject");
+        let path = dir.path().join("not-a-log");
+        std::fs::write(&path, b"definitely not a log store").unwrap();
+        match LogStore::<u64, u64>::open(&path) {
+            Err(PersistError::NotALogStore) => {}
+            other => panic!("expected NotALogStore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalesced_reads_return_every_key_once() {
+        let dir = TempDir::new("log-coalesce");
+        let store = store_at(&dir, "log");
+        store.ingest((0..500u64).map(|k| (k, k + 1000))).unwrap();
+        // Mixed present/absent keys, with duplicates.
+        let keys: Vec<u64> = vec![3, 499, 77, 3, 600, 601, 0];
+        let results = store.read_coalesced(keys).unwrap();
+        assert_eq!(results.len(), 6, "duplicates collapse");
+        let lookup: HashMap<u64, Option<u64>> = results.into_iter().collect();
+        assert_eq!(lookup[&3], Some(1003));
+        assert_eq!(lookup[&499], Some(1499));
+        assert_eq!(lookup[&0], Some(1000));
+        assert_eq!(lookup[&600], None);
+        assert_eq!(lookup[&601], None);
+        // 500 contiguous small values coalesce into very few reads.
+        assert!(
+            store.stats().disk_reads <= 4,
+            "expected coalescing, got {} reads",
+            store.stats().disk_reads
+        );
+    }
+
+    #[test]
+    fn reopened_store_reproduces_genesis_byte_for_byte() {
+        use block_stm_storage::{AccessPath, GenesisBuilder, StateValue, TokenGenesis};
+
+        let genesis = GenesisBuilder::new(20).token(TokenGenesis {
+            token: 4,
+            balance_per_account: 77,
+            ring_allowance: 3,
+        });
+        let dir = TempDir::new("log-genesis");
+        let path = dir.path().join("log");
+        {
+            let store: LogStore<AccessPath, StateValue> = LogStore::open(&path).unwrap();
+            let ingested = store.ingest_genesis(&genesis).unwrap();
+            assert_eq!(ingested as usize, genesis.resource_count());
+        }
+        let reopened: LogStore<AccessPath, StateValue> = LogStore::open(&path).unwrap();
+        assert_eq!(reopened.durable_watermark(), 0, "genesis is not a commit");
+        let reference = genesis.build();
+        assert_eq!(reopened.len(), reference.len());
+        for (key, value) in reference.iter() {
+            assert_eq!(
+                Storage::get(&reopened, key).as_ref(),
+                Some(value),
+                "mismatch at {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_does_not_move_the_watermark() {
+        let dir = TempDir::new("log-ingest");
+        let store = store_at(&dir, "log");
+        store.append_batch(&[(1, 1)], 5).unwrap();
+        store.ingest((10..20u64).map(|k| (k, k))).unwrap();
+        assert_eq!(store.durable_watermark(), 5);
+        assert_eq!(store.len(), 11);
+    }
+
+    #[test]
+    fn concurrent_readers_and_appender_agree() {
+        let dir = TempDir::new("log-concurrent");
+        let store = std::sync::Arc::new(store_at(&dir, "log"));
+        store.ingest((0..64u64).map(|k| (k, 0))).unwrap();
+        let appender = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for round in 1..=20u64 {
+                    let batch: Vec<(u64, u64)> = (0..64).map(|k| (k, round)).collect();
+                    store.append_batch(&batch, 64).unwrap();
+                }
+            })
+        };
+        // Readers must always see a value that was fully published.
+        for _ in 0..200 {
+            for key in 0..64u64 {
+                let value = Storage::get(&*store, &key).unwrap();
+                assert!(value <= 20);
+            }
+        }
+        appender.join().unwrap();
+        for key in 0..64u64 {
+            assert_eq!(Storage::get(&*store, &key), Some(20));
+        }
+        assert_eq!(store.durable_watermark(), 20 * 64);
+    }
+}

@@ -1,0 +1,58 @@
+//! Test and bench support: self-cleaning temporary directories.
+//!
+//! The workspace builds fully offline, so there is no `tempfile` crate; this
+//! is the minimal slice the persistence tests and `storagebench` need.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory whose name embeds `label`, the process id and
+    /// a per-process counter, so parallel test binaries never collide.
+    pub fn new(label: &str) -> Self {
+        let serial = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "block-stm-persist-{label}-{}-{serial}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort cleanup; leaking a temp dir must not fail a test.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dirs_are_unique_and_cleaned_up() {
+        let first = TempDir::new("t");
+        let second = TempDir::new("t");
+        assert_ne!(first.path(), second.path());
+        assert!(first.path().is_dir());
+        let kept = first.path().to_path_buf();
+        drop(first);
+        assert!(!kept.exists());
+        assert!(second.path().is_dir());
+    }
+}

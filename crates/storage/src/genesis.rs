@@ -5,6 +5,30 @@ use crate::account::AccountResource;
 use crate::state_value::StateValue;
 use crate::storage::InMemoryStorage;
 
+/// A destination genesis state can be materialized into: anything that can
+/// accept `(AccessPath, StateValue)` records. [`InMemoryStorage`] is the
+/// in-memory backend; the persistence tier implements this for its log store
+/// so genesis is written *through the storage backend* (and a reopened store
+/// reproduces it byte-for-byte) instead of existing only in memory.
+pub trait GenesisSink {
+    /// Records one genesis resource.
+    fn put(&mut self, key: AccessPath, value: StateValue);
+}
+
+impl GenesisSink for InMemoryStorage<AccessPath, StateValue> {
+    fn put(&mut self, key: AccessPath, value: StateValue) {
+        self.insert(key, value);
+    }
+}
+
+/// Adapts a plain `Vec` (useful for bulk loaders that want one pass over the
+/// records, e.g. chunked ingestion into a disk store).
+impl GenesisSink for Vec<(AccessPath, StateValue)> {
+    fn put(&mut self, key: AccessPath, value: StateValue) {
+        self.push((key, value));
+    }
+}
+
 /// One ERC20-style token funded at genesis: every account holds
 /// `balance_per_account`, the total supply is recorded under
 /// [`AccessPath::token_supply`], and each account pre-approves the next account
@@ -101,18 +125,38 @@ impl GenesisBuilder {
         AccountAddress::from_index(index)
     }
 
-    /// Materializes the pre-block storage.
+    /// Materializes the pre-block storage in memory. Equivalent to
+    /// [`build_into`](Self::build_into) an [`InMemoryStorage`].
     pub fn build(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        let mut storage = InMemoryStorage::with_capacity(self.resource_count());
+        self.build_into(&mut storage);
+        storage
+    }
+
+    /// Exact number of resources [`build_into`](Self::build_into) emits (for
+    /// pre-sizing sinks).
+    pub fn resource_count(&self) -> usize {
         let per_account = if self.lean_accounts { 2 } else { 6 };
         let per_token = |token: &TokenGenesis| {
             // Balances + supply resource + (optional) ring allowances.
             self.num_accounts as usize * if token.ring_allowance > 0 { 2 } else { 1 } + 1
         };
-        let capacity = self.num_accounts as usize * per_account
-            + ConfigId::ALL.len()
-            + self.tokens.iter().map(per_token).sum::<usize>();
-        let mut storage = InMemoryStorage::with_capacity(capacity);
+        let configs = if self.lean_accounts {
+            0
+        } else {
+            ConfigId::ALL.len()
+        };
+        self.num_accounts as usize * per_account
+            + configs
+            + self.tokens.iter().map(per_token).sum::<usize>()
+    }
 
+    /// Materializes genesis **through a storage backend**: every resource is
+    /// emitted to `sink` exactly once, in a deterministic order (configs, then
+    /// accounts in index order, then token resources), with no key repeated —
+    /// so any write-once backend (e.g. an append-only log) reproduces genesis
+    /// byte-for-byte on reopen.
+    pub fn build_into(&self, sink: &mut impl GenesisSink) {
         // On-chain configuration under the core address (skipped in lean mode:
         // the account-model workloads never read it).
         if !self.lean_accounts {
@@ -121,18 +165,18 @@ impl GenesisBuilder {
                 for (j, byte) in blob.iter_mut().enumerate() {
                     *byte = (i as u8).wrapping_mul(31).wrapping_add(j as u8);
                 }
-                storage.insert(AccessPath::config(*id), StateValue::Bytes(blob));
+                sink.put(AccessPath::config(*id), StateValue::Bytes(blob));
             }
         }
 
         // Funded accounts.
         for index in 0..self.num_accounts {
             let address = AccountAddress::from_index(index);
-            storage.insert(
+            sink.put(
                 AccessPath::balance(address),
                 StateValue::U64(self.initial_balance),
             );
-            storage.insert(
+            sink.put(
                 AccessPath::sequence_number(address),
                 StateValue::U64(self.initial_sequence_number),
             );
@@ -141,36 +185,34 @@ impl GenesisBuilder {
             }
             let account =
                 AccountResource::new(AccountResource::auth_key_for_index(index), u64::MAX / 2);
-            storage.insert(AccessPath::account(address), StateValue::Account(account));
-            storage.insert(AccessPath::freezing_bit(address), StateValue::Bool(false));
-            storage.insert(AccessPath::sent_events(address), StateValue::U64(0));
-            storage.insert(AccessPath::received_events(address), StateValue::U64(0));
+            sink.put(AccessPath::account(address), StateValue::Account(account));
+            sink.put(AccessPath::freezing_bit(address), StateValue::Bool(false));
+            sink.put(AccessPath::sent_events(address), StateValue::U64(0));
+            sink.put(AccessPath::received_events(address), StateValue::U64(0));
         }
 
         // Token balances, supplies and ring allowances.
         for token in &self.tokens {
             for index in 0..self.num_accounts {
                 let address = AccountAddress::from_index(index);
-                storage.insert(
+                sink.put(
                     AccessPath::token_balance(address, token.token),
                     StateValue::U64(token.balance_per_account),
                 );
                 if token.ring_allowance > 0 && self.num_accounts > 0 {
                     let spender =
                         AccountAddress::from_index((index + 1) % self.num_accounts.max(1));
-                    storage.insert(
+                    sink.put(
                         AccessPath::token_allowance(address, token.token, spender),
                         StateValue::U64(token.ring_allowance),
                     );
                 }
             }
-            storage.insert(
+            sink.put(
                 AccessPath::token_supply(token.token),
                 StateValue::U128(self.num_accounts as u128 * token.balance_per_account as u128),
             );
         }
-
-        storage
     }
 
     /// Number of accounts this builder will create.
@@ -306,6 +348,39 @@ mod tests {
         for (key, value) in a.iter() {
             assert_eq!(b.get(key).as_ref(), Some(value));
         }
+    }
+
+    #[test]
+    fn build_into_emits_each_resource_exactly_once_matching_build() {
+        let builder = GenesisBuilder::new(12).token(TokenGenesis {
+            token: 3,
+            balance_per_account: 50,
+            ring_allowance: 9,
+        });
+        let mut records: Vec<(AccessPath, StateValue)> = Vec::new();
+        builder.build_into(&mut records);
+        assert_eq!(records.len(), builder.resource_count(), "count is exact");
+        // No key emitted twice: a write-once backend can ingest the stream.
+        let mut seen = std::collections::HashSet::new();
+        for (key, _) in &records {
+            assert!(seen.insert(*key), "duplicate genesis key {key:?}");
+        }
+        // And the stream equals what build() materializes in memory.
+        let storage = builder.build();
+        assert_eq!(storage.len(), records.len());
+        for (key, value) in &records {
+            assert_eq!(storage.get(key).as_ref(), Some(value));
+        }
+    }
+
+    #[test]
+    fn build_into_is_deterministic_in_order_and_content() {
+        let builder = GenesisBuilder::new(8).lean_accounts(true);
+        let mut first: Vec<(AccessPath, StateValue)> = Vec::new();
+        let mut second: Vec<(AccessPath, StateValue)> = Vec::new();
+        builder.build_into(&mut first);
+        builder.build_into(&mut second);
+        assert_eq!(first, second);
     }
 
     #[test]

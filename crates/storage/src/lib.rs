@@ -30,6 +30,6 @@ mod storage;
 
 pub use access_path::{AccessPath, AccountAddress, ConfigId, ResourceTag, TokenId};
 pub use account::AccountResource;
-pub use genesis::{GenesisBuilder, TokenGenesis};
+pub use genesis::{GenesisBuilder, GenesisSink, TokenGenesis};
 pub use state_value::StateValue;
 pub use storage::{EmptyStorage, InMemoryStorage, Storage};

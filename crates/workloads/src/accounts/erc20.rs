@@ -403,6 +403,13 @@ impl Erc20Workload {
     /// The pre-block state: lean accounts plus the funded token with its ring
     /// allowances.
     pub fn genesis(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        self.genesis_builder().build()
+    }
+
+    /// The [`GenesisBuilder`] behind [`genesis`](Self::genesis) — hand it to a
+    /// storage backend (e.g. `GenesisBuilder::build_into`, or a disk store's
+    /// genesis ingestion) to materialize the same pre-block state there.
+    pub fn genesis_builder(&self) -> GenesisBuilder {
         GenesisBuilder::new(self.num_holders())
             .initial_balance(self.initial_balance)
             .lean_accounts(true)
@@ -411,7 +418,6 @@ impl Erc20Workload {
                 balance_per_account: self.token_balance_per_account,
                 ring_allowance: self.ring_allowance,
             })
-            .build()
     }
 
     /// Generates the block of transactions.

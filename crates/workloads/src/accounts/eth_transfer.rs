@@ -290,10 +290,16 @@ impl EthTransferWorkload {
     /// sequence number only — the footprint that makes millions-of-accounts
     /// universes practical).
     pub fn genesis(&self) -> InMemoryStorage<AccessPath, StateValue> {
+        self.genesis_builder().build()
+    }
+
+    /// The [`GenesisBuilder`] behind [`genesis`](Self::genesis) — hand it to a
+    /// storage backend (e.g. `GenesisBuilder::build_into`, or a disk store's
+    /// genesis ingestion) to materialize the same pre-block state there.
+    pub fn genesis_builder(&self) -> GenesisBuilder {
         GenesisBuilder::new(self.num_accounts + 1)
             .initial_balance(self.initial_balance)
             .lean_accounts(true)
-            .build()
     }
 
     /// Generates the block of transactions (deterministic in the seed; see the

@@ -1,14 +1,18 @@
 //! Executor-reuse benchmark: one persistent `BlockStm` vs. a fresh executor per
-//! block.
+//! block, vs. one `ChainExecutor` dispatch for the whole stream.
 //!
 //! The paper's setting (§1, §6) is a validator executing *block after block*; this
 //! benchmark quantifies why the engine is shaped for that: at small block sizes the
 //! per-block setup cost — spawning/joining worker threads plus allocating the
 //! multi-version memory, scheduler arrays and output slots — is a measurable fraction
-//! of the block time. The `reused` mode builds one [`BlockStm`] and hands it every
-//! block (workers park in between, arenas are reset in place); the `fresh` mode
-//! builds and drops an executor per block, which is what the removed one-shot
-//! `ParallelExecutor` flow effectively paid.
+//! of the block time. The `reused` mode builds one [`BlockStm`](block_stm::BlockStm)
+//! and hands it every block (workers park in between, arenas are reset in place); the
+//! `fresh` mode builds and drops an executor per block, which is what the removed
+//! one-shot `ParallelExecutor` flow effectively paid. The `chained` mode goes one
+//! step further: the whole stream is a single `execute_chain` dispatch, so workers
+//! are unparked **once per chain instead of once per block** — the `pool_wakeups`
+//! column (read from the executors' own dispatch counters) drops from `blocks` to 1,
+//! and block boundaries cost a commit-gate flip instead of a park/unpark round trip.
 //!
 //! Gas is `zero_work` so the numbers isolate *engine* cost: with heavy VM work the
 //! setup cost shrinks proportionally (also visible here via the diem-p2p rows).
@@ -34,18 +38,22 @@ struct ReuseMeasurement {
     blocks: usize,
     tps: f64,
     avg_block_ms: f64,
-    /// `fresh.avg_block_ms / reused.avg_block_ms` — filled on the `reused` row.
+    /// Worker-pool dispatch epochs during the timed run: how many times the
+    /// parked worker set was woken. `fresh` and `reused` pay one per block;
+    /// `chained` pays one per chain.
+    pool_wakeups: u64,
+    /// `fresh.avg_block_ms / mode.avg_block_ms` — 1.0 on the `fresh` row.
     speedup_vs_fresh: f64,
 }
 
 fn tsv_header() -> &'static str {
-    "workload\tmode\tblock_size\tthreads\tblocks\ttps\tavg_block_ms\tspeedup_vs_fresh"
+    "workload\tmode\tblock_size\tthreads\tblocks\ttps\tavg_block_ms\tpool_wakeups\tspeedup_vs_fresh"
 }
 
 impl ReuseMeasurement {
     fn tsv_row(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.3}\t{:.2}",
+            "{}\t{}\t{}\t{}\t{}\t{:.0}\t{:.3}\t{}\t{:.2}",
             self.workload,
             self.mode,
             self.block_size,
@@ -53,15 +61,16 @@ impl ReuseMeasurement {
             self.blocks,
             self.tps,
             self.avg_block_ms,
+            self.pool_wakeups,
             self.speedup_vs_fresh,
         )
     }
 }
 
-/// Average per-block seconds over `blocks` consecutive executions of `block`.
-fn run_mode<T, S>(
+/// The naive integration: build (spawns the pool), execute one block, drop
+/// (joins the pool). Returns average per-block seconds over `blocks` rounds.
+fn run_fresh<T, S>(
     make_executor: impl Fn() -> Box<dyn BlockExecutor<T, S>>,
-    reuse: bool,
     block: &[T],
     storage: &S,
     blocks: usize,
@@ -70,34 +79,21 @@ where
     T: Transaction,
     S: Storage<T::Key, T::Value>,
 {
-    // Warm up allocator pools and (in reused mode) the executor's arenas.
-    let warm = make_executor();
-    warm.execute_block(block, storage).expect("warm-up failed");
-    if reuse {
-        let executor = warm;
-        let start = Instant::now();
-        for _ in 0..blocks {
-            executor
-                .execute_block(block, storage)
-                .expect("block must execute");
-        }
-        start.elapsed().as_secs_f64() / blocks as f64
-    } else {
-        drop(warm);
-        let start = Instant::now();
-        for _ in 0..blocks {
-            // The naive integration: build (spawns the pool), execute one block,
-            // drop (joins the pool).
-            let executor = make_executor();
-            executor
-                .execute_block(block, storage)
-                .expect("block must execute");
-        }
-        start.elapsed().as_secs_f64() / blocks as f64
+    // Warm up allocator pools.
+    make_executor()
+        .execute_block(block, storage)
+        .expect("warm-up failed");
+    let start = Instant::now();
+    for _ in 0..blocks {
+        let executor = make_executor();
+        executor
+            .execute_block(block, storage)
+            .expect("block must execute");
     }
+    start.elapsed().as_secs_f64() / blocks as f64
 }
 
-fn measure_pair<T, S>(
+fn measure_triple<T, S>(
     results: &mut Vec<ReuseMeasurement>,
     workload_name: &str,
     block: &[T],
@@ -106,7 +102,7 @@ fn measure_pair<T, S>(
     blocks: usize,
     gas: GasSchedule,
 ) where
-    T: Transaction,
+    T: Transaction + Clone,
     S: Storage<T::Key, T::Value>,
 {
     let make = || -> Box<dyn BlockExecutor<T, S>> {
@@ -116,11 +112,55 @@ fn measure_pair<T, S>(
                 .build(),
         )
     };
-    let fresh_avg = run_mode(make, false, block, storage, blocks);
-    let reused_avg = run_mode(make, true, block, storage, blocks);
-    for (mode, avg, speedup) in [
-        ("fresh", fresh_avg, 1.0),
-        ("reused", reused_avg, fresh_avg / reused_avg),
+    let fresh_avg = run_fresh(make, block, storage, blocks);
+
+    // Reused: one persistent executor, one pool wakeup per block.
+    let reused = BlockStmBuilder::new(Vm::new(gas))
+        .concurrency(threads)
+        .build();
+    reused
+        .execute_block(block, storage)
+        .expect("warm-up failed");
+    let wakeups_before = reused.blocks_dispatched();
+    let start = Instant::now();
+    for _ in 0..blocks {
+        reused
+            .execute_block(block, storage)
+            .expect("block must execute");
+    }
+    let reused_avg = start.elapsed().as_secs_f64() / blocks as f64;
+    let reused_wakeups = reused.blocks_dispatched() - wakeups_before;
+
+    // Chained: the whole stream is one dispatch — workers stay unparked across
+    // every block boundary and pipeline into the successor while the head
+    // drains. (The stream repeats the same block; each re-execution reads the
+    // previous round's committed state through the frontier, touching the same
+    // keys with the same dependency structure, so the per-block engine work is
+    // comparable to the barrier modes.)
+    let stream: Vec<Vec<T>> = (0..blocks).map(|_| block.to_vec()).collect();
+    let chain = BlockStmBuilder::new(Vm::new(gas))
+        .concurrency(threads)
+        .build_chain();
+    chain
+        .execute_chain(&stream[..1], storage)
+        .expect("warm-up failed");
+    let wakeups_before = chain.chains_dispatched();
+    let start = Instant::now();
+    chain
+        .execute_chain(&stream, storage)
+        .expect("chain must execute");
+    let chained_avg = start.elapsed().as_secs_f64() / blocks as f64;
+    let chained_wakeups = chain.chains_dispatched() - wakeups_before;
+
+    for (mode, avg, wakeups, speedup) in [
+        ("fresh", fresh_avg, blocks as u64, 1.0),
+        ("reused", reused_avg, reused_wakeups, fresh_avg / reused_avg),
+        (
+            "chained",
+            chained_avg,
+            chained_wakeups,
+            fresh_avg / chained_avg,
+        ),
     ] {
         let row = ReuseMeasurement {
             workload: workload_name.to_string(),
@@ -130,6 +170,7 @@ fn measure_pair<T, S>(
             blocks,
             tps: block.len() as f64 / avg,
             avg_block_ms: avg * 1_000.0,
+            pool_wakeups: wakeups,
             speedup_vs_fresh: speedup,
         };
         println!("{}", row.tsv_row());
@@ -149,8 +190,8 @@ fn main() {
     let gas = GasSchedule::zero_work();
 
     println!(
-        "# Reuse: persistent BlockStm vs fresh-executor-per-block, {threads} threads, \
-         {blocks} blocks per mode"
+        "# Reuse: persistent BlockStm vs fresh-executor-per-block vs one chained \
+         dispatch, {threads} threads, {blocks} blocks per mode"
     );
     println!("{}", tsv_header());
     let mut results = Vec::new();
@@ -165,7 +206,7 @@ fn main() {
         let workload = SyntheticWorkload::new(256, block_size).with_seed(0xE05E);
         let storage: InMemoryStorage<u64, u64> = workload.initial_state().into_iter().collect();
         let block = workload.generate_block();
-        measure_pair(
+        measure_triple(
             &mut results,
             "synthetic",
             &block,
@@ -187,7 +228,7 @@ fn main() {
             max_transfer: 100,
         };
         let (storage, block) = workload.generate();
-        measure_pair(
+        measure_triple(
             &mut results,
             "diem-p2p",
             &block,

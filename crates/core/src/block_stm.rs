@@ -19,7 +19,7 @@ use crate::hooks::{
 use crate::output::BlockOutput;
 use crate::view::MVHashMapView;
 use block_stm_metrics::{ExecutionMetrics, MetricsSnapshot};
-use block_stm_mvmemory::{LocationCache, MVMemory};
+use block_stm_mvmemory::{FrontierOverlay, LocationCache, MVMemory};
 use block_stm_scheduler::{Scheduler, SchedulerOptions, Task, TaskKind};
 use block_stm_storage::Storage;
 use block_stm_sync::{Backoff, WorkerPool};
@@ -29,9 +29,11 @@ use block_stm_vm::{
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Builder for [`BlockStm`]: the VM plus every tuning knob of [`ExecutorOptions`].
@@ -174,6 +176,26 @@ impl BlockStmBuilder {
     {
         self.limiter = Some(Arc::new(LimiterAdapter { limiter }));
         self
+    }
+
+    /// Builds a [`ChainExecutor`](crate::ChainExecutor): the same engine, pool
+    /// and hooks, but driving a whole *stream* of blocks per dispatch — each
+    /// block speculating against its predecessor's committed prefix through
+    /// the cross-block frontier instead of waiting behind a per-block barrier.
+    /// Requires the rolling commit ladder (the default); a chain built with
+    /// `rolling_commit(false)` reports
+    /// [`ExecutionError::ChainRequiresRollingCommit`](crate::ExecutionError::ChainRequiresRollingCommit)
+    /// on use.
+    pub fn build_chain(self) -> crate::ChainExecutor {
+        let workers = self.options.effective_concurrency();
+        crate::ChainExecutor {
+            vm: self.vm,
+            pool: WorkerPool::new(workers.saturating_sub(1)),
+            options: self.options,
+            sinks: self.sinks,
+            limiter: self.limiter,
+            state: Mutex::new(None),
+        }
     }
 
     /// Builds the executor: spawns the persistent worker pool (threads park until the
@@ -330,6 +352,7 @@ impl BlockStm {
             commit_drain: &state.commit_drain,
             sinks,
             limiter,
+            frontier: None,
         };
         let job = |_worker_index: usize| {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker.run())) {
@@ -403,33 +426,50 @@ where
 }
 
 /// One per-transaction output slot, filled by the incarnation that commits.
-type OutputSlot<K, V> = Mutex<Option<TransactionOutput<K, V>>>;
+pub(crate) type OutputSlot<K, V> = Mutex<Option<TransactionOutput<K, V>>>;
 
 /// Progress of the commit drain: how much of the scheduler's committed prefix has
 /// been processed (metrics recorded, cells frozen, sink notified, limiter asked).
 /// Exactly one thread drains at a time (the mutex); the committed prefix is
 /// processed strictly in order, exactly once.
-#[derive(Debug, Default)]
-struct DrainState {
+#[derive(Debug)]
+pub(crate) struct DrainState<K, V> {
     /// Number of committed transactions fully drained.
-    drained: usize,
+    pub(crate) drained: usize,
     /// Set when the block limiter cut the block: index of the first *excluded*
     /// transaction.
-    cut: Option<usize>,
+    pub(crate) cut: Option<usize>,
     /// A typed failure discovered while draining (hook mismatch, missing output).
-    failure: Option<ExecutionError>,
+    pub(crate) failure: Option<ExecutionError>,
+    /// Chained execution only (stays empty otherwise): last committed write per
+    /// key, in commit order. The chain advance harvests the block's `updates`
+    /// from this map in O(block writes) — a slot's interner accumulates the
+    /// whole *stream's* key universe, so the single-block snapshot scan would
+    /// grow with chain length instead.
+    pub(crate) block_updates: HashMap<K, V>,
+}
+
+impl<K, V> Default for DrainState<K, V> {
+    fn default() -> Self {
+        Self {
+            drained: 0,
+            cut: None,
+            failure: None,
+            block_updates: HashMap::new(),
+        }
+    }
 }
 
 /// The reusable per-block arena: everything `execute_block` used to allocate fresh
 /// per call. Reset is cheap — counters re-armed, maps cleared in place, snapshot
 /// cells swapped to a shared empty — and allocation-free once the arena has grown to
 /// the steady-state block size.
-struct EngineState<K, V> {
-    metrics: ExecutionMetrics,
-    mvmemory: MVMemory<K, V>,
-    scheduler: Scheduler,
-    outputs: Vec<OutputSlot<K, V>>,
-    commit_drain: Mutex<DrainState>,
+pub(crate) struct EngineState<K, V> {
+    pub(crate) metrics: ExecutionMetrics,
+    pub(crate) mvmemory: MVMemory<K, V>,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) outputs: Vec<OutputSlot<K, V>>,
+    pub(crate) commit_drain: Mutex<DrainState<K, V>>,
 }
 
 impl<K, V> EngineState<K, V>
@@ -437,7 +477,7 @@ where
     K: Eq + Hash + Ord + Clone + Debug + Send + Sync + 'static,
     V: Clone + PartialEq + Debug + Send + Sync + AggregatorValue + 'static,
 {
-    fn new(num_txns: usize, options: &ExecutorOptions) -> Self {
+    pub(crate) fn new(num_txns: usize, options: &ExecutorOptions) -> Self {
         Self {
             metrics: ExecutionMetrics::new(),
             mvmemory: match options.mvmemory_shards {
@@ -457,7 +497,7 @@ where
     }
 
     /// Re-arms the arena for the next block, reusing every allocation.
-    fn reset(&mut self, num_txns: usize) {
+    pub(crate) fn reset(&mut self, num_txns: usize) {
         self.metrics.reset();
         self.mvmemory.reset(num_txns);
         self.scheduler.reset(num_txns);
@@ -494,19 +534,25 @@ where
 }
 
 /// Per-block shared context of the worker threads. `Copy`-able by reference only; all
-/// fields are shared state borrowed from [`BlockStm::execute_block`].
-struct Worker<'a, T: Transaction, S> {
-    vm: &'a Vm,
-    options: &'a ExecutorOptions,
-    block: &'a [T],
-    storage: &'a S,
-    mvmemory: &'a MVMemory<T::Key, T::Value>,
-    scheduler: &'a Scheduler,
-    metrics: &'a ExecutionMetrics,
-    outputs: &'a [OutputSlot<T::Key, T::Value>],
-    commit_drain: &'a Mutex<DrainState>,
-    sinks: &'a [Arc<dyn ErasedCommitSink>],
-    limiter: Option<&'a dyn ErasedBlockLimiter>,
+/// fields are shared state borrowed from [`BlockStm::execute_block`] (or, in chained
+/// execution, from one slot of the `ChainExecutor`'s ping-pong arena).
+pub(crate) struct Worker<'a, T: Transaction, S> {
+    pub(crate) vm: &'a Vm,
+    pub(crate) options: &'a ExecutorOptions,
+    pub(crate) block: &'a [T],
+    pub(crate) storage: &'a S,
+    pub(crate) mvmemory: &'a MVMemory<T::Key, T::Value>,
+    pub(crate) scheduler: &'a Scheduler,
+    pub(crate) metrics: &'a ExecutionMetrics,
+    pub(crate) outputs: &'a [OutputSlot<T::Key, T::Value>],
+    pub(crate) commit_drain: &'a Mutex<DrainState<T::Key, T::Value>>,
+    pub(crate) sinks: &'a [Arc<dyn ErasedCommitSink>],
+    pub(crate) limiter: Option<&'a dyn ErasedBlockLimiter>,
+    /// Chained execution only: the cross-block frontier overlay. Reads fall
+    /// through to it (stamped), validation checks it, and the commit drain
+    /// publishes this block's committed writes into it. `None` for single-block
+    /// execution — every chain-specific branch below is compiled around this.
+    pub(crate) frontier: Option<&'a FrontierOverlay<T::Key, T::Value>>,
 }
 
 // Manual impl: deriving Clone/Copy would add unnecessary bounds on T and S.
@@ -600,6 +646,86 @@ where
             .record_location_cache(stats.hits, stats.interner_hits, stats.interner_misses);
     }
 
+    /// Chained execution's bounded slice of [`run`](Self::run): performs up to
+    /// `budget` task-loop iterations against this worker's block, then returns
+    /// control to the chain loop (which may switch the worker to another block
+    /// of the chain, or let the slot be recycled). Unlike `run`, an empty poll
+    /// does not spin here — the chain loop has better things to try (the other
+    /// in-flight block) and owns the idle backoff.
+    ///
+    /// The per-stint [`LocationCache`] is deliberately scoped to the stint: it
+    /// holds handles into this slot's multi-version cells, which must all be
+    /// dropped before the slot can be reset for a later block of the chain.
+    ///
+    /// Returns `(done, progressed)`: whether the block's scheduler reports
+    /// completion, and whether this stint performed at least one task or drain.
+    pub(crate) fn run_stint(&self, budget: usize, abort: &AtomicBool) -> (bool, bool) {
+        let cache = RefCell::new(LocationCache::new());
+        let mut task: Option<Task> = None;
+        let rolling = self.options.rolling_commit;
+        let mut drained_seen = 0usize;
+        let mut progressed = false;
+        let mut iterations = 0usize;
+        loop {
+            if task.is_none() {
+                // Only exit the loop empty-handed: a claimed task must always be
+                // completed (dropping it would stall the scheduler forever).
+                if iterations >= budget || self.scheduler.done() || abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                task = self.scheduler.next_task();
+                if task.is_none() {
+                    self.metrics.record_scheduler_poll();
+                    break;
+                }
+            }
+            iterations += 1;
+            progressed = true;
+            task = match task {
+                Some(Task {
+                    version,
+                    kind: TaskKind::Execution,
+                    ..
+                }) => self.try_execute(version, &cache),
+                Some(
+                    validation @ Task {
+                        kind: TaskKind::Validation,
+                        ..
+                    },
+                ) => self.needs_reexecution(validation),
+                None => unreachable!("loop invariant: a task is in hand here"),
+            };
+            if rolling {
+                let watermark = self.scheduler.committed_prefix();
+                if watermark > drained_seen {
+                    if let Some(drained) = self.drain_commits(false) {
+                        progressed = progressed || drained > drained_seen;
+                        drained_seen = drained;
+                    }
+                }
+            }
+        }
+        let stats = cache.borrow().stats();
+        self.metrics
+            .record_location_cache(stats.hits, stats.interner_hits, stats.interner_misses);
+        (self.scheduler.done(), progressed)
+    }
+
+    /// The pre-block base of `key` in aggregator form: the cross-block frontier
+    /// overlay first (a predecessor block's committed write is this block's base
+    /// state), then storage. Outside chained execution this is exactly the
+    /// storage base. Used wherever an unfolded delta chain needs a base to fold
+    /// onto and wherever validation needs the value a fresh base read would
+    /// observe.
+    pub(crate) fn base_aggregator(&self, key: &T::Key) -> Option<u128> {
+        if let Some(frontier) = self.frontier {
+            if let Some(value) = frontier.get(key) {
+                return Some(value.to_aggregator());
+            }
+        }
+        self.storage.get(key).map(|value| value.to_aggregator())
+    }
+
     /// Processes the scheduler's committed prefix in order, exactly once per
     /// transaction: records the commit-lag metric, freezes the multi-version
     /// entries, asks the [`BlockLimiter`] whether the block continues and delivers
@@ -610,7 +736,7 @@ where
     ///
     /// Returns the number of commits drained so far, or `None` when the drain lock
     /// was busy and nothing was attempted.
-    fn drain_commits(&self, block_on_lock: bool) -> Option<usize> {
+    pub(crate) fn drain_commits(&self, block_on_lock: bool) -> Option<usize> {
         let mut state = if block_on_lock {
             self.commit_drain.lock()
         } else {
@@ -619,6 +745,10 @@ where
         let drained_before = state.drained;
         let mut lag_sum = 0u64;
         let mut lag_max = 0u64;
+        // Chained execution: committed writes (plain and resolved deltas) are
+        // collected in commit order and published to the cross-block frontier
+        // overlay once per pass, so successor blocks can speculate against them.
+        let mut frontier_batch: Vec<(T::Key, T::Value)> = Vec::new();
         while state.cut.is_none() && state.failure.is_none() {
             // Re-read the watermark each iteration: commits that land while we
             // drain are picked up in the same pass.
@@ -661,9 +791,8 @@ where
             // the resolved pairs are handed to the sink so it can stream final
             // states.
             let resolved_deltas: Vec<(T::Key, T::Value)> = if output.has_deltas() {
-                self.mvmemory.materialize_deltas(idx, |key| {
-                    self.storage.get(key).map(|value| value.to_aggregator())
-                })
+                self.mvmemory
+                    .materialize_deltas(idx, |key| self.base_aggregator(key))
             } else {
                 Vec::new()
             };
@@ -684,10 +813,29 @@ where
             if sink_mismatch {
                 break;
             }
+            if self.frontier.is_some() {
+                // Also fold the pairs into the per-block last-write map: the
+                // chain advance harvests the block's `updates` from it in
+                // O(block writes) instead of scanning the interner, whose key
+                // universe grows with the whole stream.
+                for write in output.writes.iter() {
+                    frontier_batch.push((write.key.clone(), write.value.clone()));
+                    state
+                        .block_updates
+                        .insert(write.key.clone(), write.value.clone());
+                }
+                for pair in resolved_deltas.iter() {
+                    frontier_batch.push(pair.clone());
+                    state.block_updates.insert(pair.0.clone(), pair.1.clone());
+                }
+            }
             drop(slot);
             state.drained += 1;
         }
         if state.drained > drained_before {
+            if let Some(frontier) = self.frontier {
+                frontier.publish(frontier_batch);
+            }
             // Freeze the prefix once per pass: readers at or below the watermark
             // now take the final-read fast path (no descriptors, no seqlock
             // re-checks); and flush the commit-lag metrics in one bulk update.
@@ -723,8 +871,14 @@ where
                 }
             }
 
-            let view =
+            let mut view =
                 MVHashMapView::new(self.mvmemory, self.storage, txn_idx, self.metrics, cache);
+            if let Some(frontier) = self.frontier {
+                // Chained execution: base reads fall through to the predecessor
+                // blocks' committed overlay. The overlay is sealed (frozen) for
+                // this block exactly when its commit gate has been opened.
+                view = view.with_frontier(frontier, self.scheduler.commit_gate_open());
+            }
             self.metrics.record_incarnation();
             match self.vm.execute(txn, &view) {
                 VmStatus::ReadError { blocking_txn_idx } => {
@@ -742,6 +896,7 @@ where
                 VmStatus::Done(output) => {
                     self.metrics
                         .record_committed_prefix_reads(view.committed_final_reads());
+                    self.metrics.record_frontier_reads(view.frontier_reads());
                     let (resolutions, chain_len_max) = view.delta_resolution_stats();
                     self.metrics
                         .record_delta_resolutions(resolutions, chain_len_max);
@@ -784,11 +939,27 @@ where
             txn_idx,
             incarnation,
         } = task.version;
-        let read_set_valid = self.mvmemory.validate_read_set_with_base(txn_idx, |key| {
-            self.storage.get(key).map(|value| value.to_aggregator())
-        });
+        let read_set_valid = if let Some(frontier) = self.frontier {
+            // Chained execution: the fresh base a re-read would observe is
+            // overlay-first, and stamped `Frontier` descriptors are compared
+            // against the key's current overlay stamp.
+            self.mvmemory.validate_read_set_with_frontier(
+                txn_idx,
+                |key| self.base_aggregator(key),
+                |key| Some(frontier.stamp_of(key)),
+            )
+        } else {
+            self.mvmemory.validate_read_set_with_base(txn_idx, |key| {
+                self.storage.get(key).map(|value| value.to_aggregator())
+            })
+        };
         let aborted = !read_set_valid && self.scheduler.try_validation_abort(txn_idx, incarnation);
         self.metrics.record_validation(!aborted);
+        if aborted && self.frontier.is_some() && !self.scheduler.commit_gate_open() {
+            // This block's gate is still closed, so the abort was triggered by a
+            // predecessor block's commits invalidating run-ahead speculation.
+            self.metrics.record_cross_block_abort();
+        }
         if aborted {
             self.mvmemory.convert_writes_to_estimates(txn_idx);
         }

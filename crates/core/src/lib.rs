@@ -120,6 +120,19 @@
 //! the batch-at-the-end behavior for ablation (the `commitbench` harness compares
 //! the two).
 //!
+//! ## Chained execution: pipelining across blocks
+//!
+//! [`BlockStmBuilder::build_chain`] returns a [`ChainExecutor`] that executes a
+//! whole *stream* of blocks in one worker-pool dispatch: as block `N`'s commit
+//! ladder drains, its committed writes are published to a cross-block frontier
+//! overlay and idle workers pipeline into block `N+1`, speculating against it.
+//! A commit gate holds block `N+1`'s commits until block `N` has fully
+//! committed and a final revalidation sweep has run, so the committed stream is
+//! byte-for-byte what a barrier between blocks would produce — while workers
+//! are unparked once per chain instead of once per block. The README's
+//! "Chained execution" section has a doctested walkthrough; the
+//! `block-stm-scheduler` crate docs carry the safety argument.
+//!
 //! ## Commutative delta writes (aggregators)
 //!
 //! Hot-key blocks (fee counters, total supply, vote tallies) collapse ordered
@@ -137,6 +150,9 @@
 //! * [`BlockExecutor`] — the engine-agnostic interface every engine implements.
 //! * [`BlockStm`] / [`BlockStmBuilder`] — the Block-STM engine (Algorithm 1 wiring of
 //!   the scheduler, multi-version memory and VM) with its persistent worker pool.
+//! * [`ChainExecutor`] / [`ChainOutput`] — cross-block pipelining: a stream of
+//!   blocks executed back-to-back on one pool dispatch, speculating through the
+//!   cross-block frontier.
 //! * [`CommitSink`] / [`BlockLimiter`] / [`BlockGasLimit`] — streaming hooks over the
 //!   rolling committed prefix.
 //! * [`SequentialExecutor`] — the baseline the paper compares against and the
@@ -163,6 +179,7 @@
 pub mod readme_doctests {}
 
 mod block_stm;
+mod chain;
 mod config;
 mod errors;
 mod executor;
@@ -172,6 +189,7 @@ mod sequential;
 mod view;
 
 pub use block_stm::{BlockStm, BlockStmBuilder};
+pub use chain::{ChainExecutor, ChainOutput};
 pub use config::ExecutorOptions;
 pub use errors::{ExecutionError, PanicCollector};
 pub use executor::BlockExecutor;

@@ -3,7 +3,7 @@
 //! resolution.
 
 use block_stm_metrics::ExecutionMetrics;
-use block_stm_mvmemory::{LocationCache, MVMemory, MVReadOutput, ReadDescriptor};
+use block_stm_mvmemory::{FrontierOverlay, LocationCache, MVMemory, MVReadOutput, ReadDescriptor};
 use block_stm_storage::Storage;
 use block_stm_vm::{AggregatorValue, DeltaOp, DeltaProbe, ReadOutcome, StateReader, TxnIndex};
 use std::cell::{Cell, RefCell};
@@ -48,8 +48,19 @@ pub struct MVHashMapView<'a, K, V, S> {
     txn_idx: TxnIndex,
     metrics: &'a ExecutionMetrics,
     cache: &'a RefCell<LocationCache<K, V>>,
+    /// Chained execution: the committed writes of predecessor blocks, layered
+    /// between this block's multi-version map and `storage`. `None` outside a
+    /// chain (single-block semantics are unchanged).
+    frontier: Option<&'a FrontierOverlay<K, V>>,
+    /// Chained execution: whether the frontier can no longer change for this
+    /// block (its predecessor has fully committed and published — observed as
+    /// the block's commit gate being open at view creation). While unsealed,
+    /// the committed-prefix fast path must not skip descriptors for reads that
+    /// rest on the frontier.
+    frontier_sealed: bool,
     captured_reads: RefCell<Vec<ReadDescriptor<K>>>,
     committed_final_reads: Cell<u64>,
+    frontier_reads: Cell<u64>,
     delta_resolutions: Cell<u64>,
     delta_chain_len_max: Cell<u64>,
 }
@@ -75,11 +86,29 @@ where
             txn_idx,
             metrics,
             cache,
+            frontier: None,
+            frontier_sealed: false,
             captured_reads: RefCell::new(Vec::new()),
             committed_final_reads: Cell::new(0),
+            frontier_reads: Cell::new(0),
             delta_resolutions: Cell::new(0),
             delta_chain_len_max: Cell::new(0),
         }
+    }
+
+    /// Layers a cross-block frontier overlay between the multi-version map and
+    /// storage (chained execution). Reads that fall through this block's map
+    /// consult the overlay first and record **stamped** frontier descriptors
+    /// ([`ReadDescriptor::from_frontier`]) so validation detects predecessor
+    /// commits that landed after the read. `sealed` declares that the overlay
+    /// is already final for this block (the predecessor fully committed before
+    /// this incarnation started — i.e. the block's commit gate was open), which
+    /// re-enables the committed-prefix descriptor-skip for frontier-resting
+    /// reads.
+    pub fn with_frontier(mut self, frontier: &'a FrontierOverlay<K, V>, sealed: bool) -> Self {
+        self.frontier = Some(frontier);
+        self.frontier_sealed = sealed;
+        self
     }
 
     /// The transaction index this view serves.
@@ -112,6 +141,13 @@ where
         (self.delta_resolutions.get(), self.delta_chain_len_max.get())
     }
 
+    /// Number of reads served from the cross-block frontier overlay — stamped
+    /// speculative reads while the frontier is live, plus final reads once it
+    /// sealed. Flushed into the `frontier_reads` metric by the executor.
+    pub fn frontier_reads(&self) -> u64 {
+        self.frontier_reads.get()
+    }
+
     /// The block-wide metrics recorder this view reports to. Per-read events are not
     /// recorded (they would contend on shared counters in the hottest path); the
     /// recorder is exposed so custom transaction runners can record task-level events.
@@ -127,8 +163,26 @@ where
         }
     }
 
+    /// The aggregator base below this block's multi-version map: the frontier
+    /// overlay (latest predecessor-committed value) first, then pre-chain
+    /// storage. Outside a chain this is plain storage.
     fn storage_base(&self, key: &K) -> Option<u128> {
+        if let Some(frontier) = self.frontier {
+            if let Some(value) = frontier.get(key) {
+                return Some(value.to_aggregator());
+            }
+        }
         self.storage.get(key).map(|value| value.to_aggregator())
+    }
+
+    /// Whether a committed-prefix-final read may skip its validation
+    /// descriptor. Outside a chain: always. Inside a chain: only for values
+    /// served by this block's own committed entries (`resting_on_own_map`), or
+    /// for any read once the frontier is sealed — an unsealed frontier can
+    /// still be overwritten by predecessor commits, so reads resting on it are
+    /// *not* final even below this block's watermark.
+    fn may_skip_descriptor(&self, resting_on_own_map: bool) -> bool {
+        self.frontier.is_none() || self.frontier_sealed || resting_on_own_map
     }
 }
 
@@ -152,25 +206,45 @@ where
         );
         self.note_chain(read.delta_chain_len);
         if read.committed_final {
-            // Every transaction below this one has committed: the outcome can never
-            // change for the rest of the block, so validation has nothing to
-            // re-check — skip the descriptor entirely.
-            self.committed_final_reads
-                .set(self.committed_final_reads.get() + 1);
-            return match read.output {
-                MVReadOutput::Versioned(_, value) => ReadOutcome::Value(value),
-                MVReadOutput::Resolved { accumulated, .. } => {
-                    ReadOutcome::Value(V::from_aggregator(accumulated))
-                }
-                MVReadOutput::NotFound => match self.storage.get(key) {
-                    Some(value) => ReadOutcome::Value(value),
-                    None => ReadOutcome::NotFound,
-                },
-                MVReadOutput::Dependency(blocking_txn_idx) => {
-                    debug_assert!(false, "ESTIMATE below the committed prefix");
-                    ReadOutcome::Dependency(blocking_txn_idx)
-                }
-            };
+            // Every transaction below this one has committed, so within this
+            // block the outcome can never change. Outside a chain (or once the
+            // frontier sealed) that makes the read final — no descriptor. In an
+            // unsealed chain only values served by this block's own committed
+            // entries are final; reads resting on the frontier fall through to
+            // the speculative paths below, which stamp them.
+            let skip = self.may_skip_descriptor(matches!(
+                read.output,
+                MVReadOutput::Versioned(..) | MVReadOutput::Dependency(_)
+            ));
+            if skip {
+                self.committed_final_reads
+                    .set(self.committed_final_reads.get() + 1);
+                return match read.output {
+                    MVReadOutput::Versioned(_, value) => ReadOutcome::Value(value),
+                    MVReadOutput::Resolved { accumulated, .. } => {
+                        ReadOutcome::Value(V::from_aggregator(accumulated))
+                    }
+                    MVReadOutput::NotFound => {
+                        if let Some(frontier) = self.frontier {
+                            if let Some(value) = frontier.get(key) {
+                                // Final (the frontier is sealed here), but still a
+                                // cross-block read: count it so the metric reflects
+                                // every read the overlay serves.
+                                self.frontier_reads.set(self.frontier_reads.get() + 1);
+                                return ReadOutcome::Value(value);
+                            }
+                        }
+                        match self.storage.get(key) {
+                            Some(value) => ReadOutcome::Value(value),
+                            None => ReadOutcome::NotFound,
+                        }
+                    }
+                    MVReadOutput::Dependency(blocking_txn_idx) => {
+                        debug_assert!(false, "ESTIMATE below the committed prefix");
+                        ReadOutcome::Dependency(blocking_txn_idx)
+                    }
+                };
+            }
         }
         match read.output {
             MVReadOutput::Versioned(version, value) => {
@@ -182,13 +256,29 @@ where
             MVReadOutput::Resolved { accumulated, .. } => {
                 // Validation compares the resolved sum, not the chain's versions:
                 // lower deltas may reorder or re-execute freely as long as the sum
-                // the VM observed is unchanged.
+                // the VM observed is unchanged. (In a chain the fresh resolution
+                // runs against the overlay-aware base, so a frontier change under
+                // the chain changes the sum and fails validation.)
                 self.captured_reads.borrow_mut().push(
                     ReadDescriptor::from_resolved(key.clone(), accumulated).with_location(read.id),
                 );
                 ReadOutcome::Value(V::from_aggregator(accumulated))
             }
             MVReadOutput::NotFound => {
+                if let Some(frontier) = self.frontier {
+                    // The read rests on the cross-block frontier: record the
+                    // overlay's publication stamp for the key (0 = absent) so
+                    // validation catches any later predecessor commit to it.
+                    let (stamp, value) = frontier.get_stamped(key);
+                    self.frontier_reads.set(self.frontier_reads.get() + 1);
+                    self.captured_reads.borrow_mut().push(
+                        ReadDescriptor::from_frontier(key.clone(), stamp).with_location(read.id),
+                    );
+                    return match value.or_else(|| self.storage.get(key)) {
+                        Some(value) => ReadOutcome::Value(value),
+                        None => ReadOutcome::NotFound,
+                    };
+                }
                 self.captured_reads
                     .borrow_mut()
                     .push(ReadDescriptor::from_storage(key.clone()).with_location(read.id));
@@ -220,8 +310,10 @@ where
                 // `committed_final` was loaded before the resolution, so it
                 // describes the state the predicate was actually evaluated
                 // against — a commit landing mid-probe cannot cause a needed
-                // descriptor to be skipped.
-                if probe.committed_final {
+                // descriptor to be skipped. In an unsealed chain the predicate
+                // additionally rests on the mutable frontier base, so the skip
+                // is only taken once the frontier sealed.
+                if probe.committed_final && self.may_skip_descriptor(false) {
                     // Below the frozen committed prefix the base can never change:
                     // the predicate is final and needs no descriptor.
                     self.committed_final_reads
@@ -394,6 +486,95 @@ mod tests {
             ReadOrigin::DeltaProbe { in_bounds, .. } => assert!(!in_bounds),
             other => panic!("unexpected origin {other:?}"),
         }
+    }
+
+    #[test]
+    fn frontier_reads_are_stamped_and_shadowed_by_own_block_writes() {
+        let (mvmemory, storage, metrics) = fixture();
+        let frontier: FrontierOverlay<u64, u64> = FrontierOverlay::new();
+        frontier.publish(vec![(1u64, 150u64), (5, 500)]);
+        mvmemory.record(Version::new(1, 0), vec![], vec![(5, 555)]);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 3, &metrics, &cache)
+            .with_frontier(&frontier, false);
+        // Key 1: absent from this block's map → served by the overlay (150
+        // shadows storage's 100) with a stamped frontier descriptor.
+        assert_eq!(view.read(&1), ReadOutcome::Value(150));
+        // Key 5: this block's own write shadows the overlay — version descriptor.
+        assert_eq!(view.read(&5), ReadOutcome::Value(555));
+        // Key 2: absent from map *and* overlay → storage value, stamp 0.
+        assert_eq!(view.read(&2), ReadOutcome::Value(200));
+        // Key 9: absent everywhere.
+        assert_eq!(view.read(&9), ReadOutcome::NotFound);
+        assert_eq!(view.frontier_reads(), 3);
+        let reads = view.take_read_set();
+        assert_eq!(reads.len(), 4);
+        match reads[0].origin {
+            ReadOrigin::Frontier { stamp } => assert_ne!(stamp, 0),
+            other => panic!("unexpected origin {other:?}"),
+        }
+        assert_eq!(
+            reads[1].origin,
+            ReadOrigin::MultiVersion(Version::new(1, 0))
+        );
+        assert_eq!(reads[2].origin, ReadOrigin::Frontier { stamp: 0 });
+        assert_eq!(reads[3].origin, ReadOrigin::Frontier { stamp: 0 });
+        // A later predecessor commit to key 2 bumps its stamp: the recorded
+        // descriptor no longer validates.
+        mvmemory.record(Version::new(3, 0), reads.clone(), vec![]);
+        assert!(mvmemory.validate_read_set_with_frontier(
+            3,
+            |key| frontier
+                .get(key)
+                .or_else(|| storage.get(key))
+                .map(|value| value as u128),
+            |key| Some(frontier.stamp_of(key)),
+        ));
+        frontier.publish(vec![(2u64, 201u64)]);
+        assert!(!mvmemory.validate_read_set_with_frontier(
+            3,
+            |key| frontier
+                .get(key)
+                .or_else(|| storage.get(key))
+                .map(|value| value as u128),
+            |key| Some(frontier.stamp_of(key)),
+        ));
+    }
+
+    #[test]
+    fn unsealed_frontier_disables_committed_final_skip_for_base_reads() {
+        let (mvmemory, storage, metrics) = fixture();
+        let frontier: FrontierOverlay<u64, u64> = FrontierOverlay::new();
+        let cache = RefCell::new(LocationCache::new());
+        // Nothing committed in this block: txn 0 is trivially committed-final,
+        // but its base reads rest on the (still mutable) frontier and must
+        // record stamped descriptors while unsealed ...
+        let view = MVHashMapView::new(&mvmemory, &storage, 0, &metrics, &cache)
+            .with_frontier(&frontier, false);
+        assert_eq!(view.read(&1), ReadOutcome::Value(100));
+        assert_eq!(view.committed_final_reads(), 0);
+        assert_eq!(view.reads_captured(), 1);
+        // ... and once sealed the skip returns.
+        let sealed = MVHashMapView::new(&mvmemory, &storage, 0, &metrics, &cache)
+            .with_frontier(&frontier, true);
+        assert_eq!(sealed.read(&1), ReadOutcome::Value(100));
+        assert_eq!(sealed.committed_final_reads(), 1);
+        assert_eq!(sealed.reads_captured(), 0);
+    }
+
+    #[test]
+    fn sealed_committed_final_fallthrough_serves_the_overlay_value() {
+        let (mvmemory, storage, metrics) = fixture();
+        let frontier: FrontierOverlay<u64, u64> = FrontierOverlay::new();
+        frontier.publish(vec![(2u64, 222u64)]);
+        mvmemory.freeze_committed_prefix(1);
+        let cache = RefCell::new(LocationCache::new());
+        let view = MVHashMapView::new(&mvmemory, &storage, 1, &metrics, &cache)
+            .with_frontier(&frontier, true);
+        // Final fall-through must still layer overlay over storage.
+        assert_eq!(view.read(&2), ReadOutcome::Value(222));
+        assert_eq!(view.committed_final_reads(), 1);
+        assert_eq!(view.reads_captured(), 0);
     }
 
     #[test]

@@ -64,6 +64,28 @@ pub struct ExecutionMetrics {
     /// Incarnations that aborted deterministically with `DeltaOverflow` (an
     /// aggregator bounds violation).
     delta_overflow_aborts: PaddedAtomicU64,
+    /// Blocks executed as part of a chained (pipelined) stream.
+    chain_blocks: PaddedAtomicU64,
+    /// Sum over chained blocks of the successor's execution cursor at the moment
+    /// its predecessor fully committed — how many transactions of the next block
+    /// had already started speculating ("run-ahead depth").
+    chain_runahead_sum: PaddedAtomicU64,
+    /// Deepest run-ahead observed at any block handoff in the chain.
+    chain_runahead_max: PaddedAtomicU64,
+    /// Reads that fell through a block's multi-version map to the cross-block
+    /// frontier overlay (stamped frontier descriptors recorded).
+    frontier_reads: PaddedAtomicU64,
+    /// Validation aborts suffered by a block whose commit gate was still closed —
+    /// i.e. speculation invalidated by a *predecessor* block's commits
+    /// (cross-block dependency aborts).
+    chain_cross_block_aborts: PaddedAtomicU64,
+    /// Full-revalidation sweeps triggered by frontier publication (including the
+    /// mandatory sweep before each gate opening).
+    chain_sweeps: PaddedAtomicU64,
+    /// Nanoseconds workers spent idle-polling while a chain was active — the
+    /// inter-block bubble a barrier-per-block executor would pay in park/unpark
+    /// and dispatch latency instead.
+    chain_idle_ns: PaddedAtomicU64,
 }
 
 impl ExecutionMetrics {
@@ -185,6 +207,42 @@ impl ExecutionMetrics {
         self.delta_overflow_aborts.increment();
     }
 
+    /// Records one chained-block handoff: the predecessor fully committed while
+    /// the successor's execution cursor had already reached `runahead`
+    /// transactions (0 = no pipelining benefit for this boundary).
+    pub fn record_chain_block(&self, runahead: u64) {
+        self.chain_blocks.increment();
+        self.chain_runahead_sum.add(runahead);
+        self.chain_runahead_max.fetch_max(runahead);
+    }
+
+    /// Flushes one incarnation's count of reads served through the cross-block
+    /// frontier overlay (stamped descriptors).
+    pub fn record_frontier_reads(&self, reads: u64) {
+        if reads > 0 {
+            self.frontier_reads.add(reads);
+        }
+    }
+
+    /// Records a validation abort that hit a block whose commit gate was still
+    /// closed: the speculation was invalidated by a predecessor block's commits.
+    pub fn record_cross_block_abort(&self) {
+        self.chain_cross_block_aborts.increment();
+    }
+
+    /// Records one frontier-driven full-revalidation sweep.
+    pub fn record_chain_sweep(&self) {
+        self.chain_sweeps.increment();
+    }
+
+    /// Flushes nanoseconds one worker spent idle-polling while the chain was
+    /// active (bulk add, reported per worker).
+    pub fn record_chain_idle_ns(&self, ns: u64) {
+        if ns > 0 {
+            self.chain_idle_ns.add(ns);
+        }
+    }
+
     /// Freezes the counters into a plain snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -211,6 +269,13 @@ impl ExecutionMetrics {
             delta_resolutions: self.delta_resolutions.load(),
             delta_chain_len_max: self.delta_chain_len_max.load(),
             delta_overflow_aborts: self.delta_overflow_aborts.load(),
+            chain_blocks: self.chain_blocks.load(),
+            chain_runahead_sum: self.chain_runahead_sum.load(),
+            chain_runahead_max: self.chain_runahead_max.load(),
+            frontier_reads: self.frontier_reads.load(),
+            chain_cross_block_aborts: self.chain_cross_block_aborts.load(),
+            chain_sweeps: self.chain_sweeps.load(),
+            chain_idle_ns: self.chain_idle_ns.load(),
         }
     }
 
@@ -239,6 +304,13 @@ impl ExecutionMetrics {
         self.delta_resolutions.reset();
         self.delta_chain_len_max.reset();
         self.delta_overflow_aborts.reset();
+        self.chain_blocks.reset();
+        self.chain_runahead_sum.reset();
+        self.chain_runahead_max.reset();
+        self.frontier_reads.reset();
+        self.chain_cross_block_aborts.reset();
+        self.chain_sweeps.reset();
+        self.chain_idle_ns.reset();
     }
 }
 
@@ -267,6 +339,11 @@ mod tests {
         metrics.record_delta_writes(2);
         metrics.record_delta_resolutions(3, 5);
         metrics.record_delta_overflow_abort();
+        metrics.record_chain_block(6);
+        metrics.record_frontier_reads(9);
+        metrics.record_cross_block_abort();
+        metrics.record_chain_sweep();
+        metrics.record_chain_idle_ns(1_000);
         metrics.reset();
         let snap = metrics.snapshot();
         assert_eq!(snap, MetricsSnapshot::default());

@@ -56,6 +56,25 @@ pub struct MetricsSnapshot {
     pub delta_chain_len_max: u64,
     /// Incarnations aborted deterministically on an aggregator bounds violation.
     pub delta_overflow_aborts: u64,
+    /// Blocks executed as part of a chained (pipelined) stream.
+    pub chain_blocks: u64,
+    /// Sum over chained-block handoffs of how far the successor block's execution
+    /// cursor had already run ahead when its predecessor fully committed.
+    pub chain_runahead_sum: u64,
+    /// Deepest run-ahead observed at any chained-block handoff.
+    pub chain_runahead_max: u64,
+    /// Reads that fell through to the cross-block frontier overlay (stamped
+    /// frontier descriptors recorded).
+    pub frontier_reads: u64,
+    /// Validation aborts of transactions in a block whose commit gate was still
+    /// closed — speculation invalidated by a predecessor block's commits.
+    pub chain_cross_block_aborts: u64,
+    /// Frontier-driven full-revalidation sweeps (incl. the mandatory pre-gate-open
+    /// sweep per chained block).
+    pub chain_sweeps: u64,
+    /// Nanoseconds workers spent idle-polling while a chain was active (the
+    /// pipelined substitute for inter-block park/unpark bubbles).
+    pub chain_idle_ns: u64,
 }
 
 impl MetricsSnapshot {
@@ -99,6 +118,17 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Average run-ahead depth at chained-block handoffs: how many transactions
+    /// of the next block had already started speculating, on average, when its
+    /// predecessor fully committed. 0.0 outside chained execution.
+    pub fn avg_chain_runahead(&self) -> f64 {
+        if self.chain_blocks == 0 {
+            0.0
+        } else {
+            self.chain_runahead_sum as f64 / self.chain_blocks as f64
+        }
+    }
+
     /// Element-wise sum of two snapshots (useful when aggregating repeated runs).
     pub fn merge(&self, other: &Self) -> Self {
         Self {
@@ -126,6 +156,14 @@ impl MetricsSnapshot {
             delta_resolutions: self.delta_resolutions + other.delta_resolutions,
             delta_chain_len_max: self.delta_chain_len_max.max(other.delta_chain_len_max),
             delta_overflow_aborts: self.delta_overflow_aborts + other.delta_overflow_aborts,
+            chain_blocks: self.chain_blocks + other.chain_blocks,
+            chain_runahead_sum: self.chain_runahead_sum + other.chain_runahead_sum,
+            chain_runahead_max: self.chain_runahead_max.max(other.chain_runahead_max),
+            frontier_reads: self.frontier_reads + other.frontier_reads,
+            chain_cross_block_aborts: self.chain_cross_block_aborts
+                + other.chain_cross_block_aborts,
+            chain_sweeps: self.chain_sweeps + other.chain_sweeps,
+            chain_idle_ns: self.chain_idle_ns + other.chain_idle_ns,
         }
     }
 }
@@ -159,6 +197,13 @@ mod tests {
             delta_resolutions: 12,
             delta_chain_len_max: 4,
             delta_overflow_aborts: 1,
+            chain_blocks: 4,
+            chain_runahead_sum: 20,
+            chain_runahead_max: 8,
+            frontier_reads: 35,
+            chain_cross_block_aborts: 2,
+            chain_sweeps: 5,
+            chain_idle_ns: 10_000,
         }
     }
 
@@ -169,6 +214,7 @@ mod tests {
         assert!((snap.re_execution_ratio() - 1.2).abs() < 1e-12);
         assert!((snap.validation_ratio() - 1.5).abs() < 1e-12);
         assert!((snap.avg_commit_lag() - 2.5).abs() < 1e-12);
+        assert!((snap.avg_chain_runahead() - 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -178,6 +224,7 @@ mod tests {
         assert_eq!(snap.re_execution_ratio(), 0.0);
         assert_eq!(snap.validation_ratio(), 0.0);
         assert_eq!(snap.avg_commit_lag(), 0.0);
+        assert_eq!(snap.avg_chain_runahead(), 0.0);
     }
 
     #[test]
@@ -196,6 +243,13 @@ mod tests {
         assert_eq!(merged.delta_resolutions, 24);
         assert_eq!(merged.delta_chain_len_max, 4, "max merges as max");
         assert_eq!(merged.delta_overflow_aborts, 2);
+        assert_eq!(merged.chain_blocks, 8);
+        assert_eq!(merged.chain_runahead_sum, 40);
+        assert_eq!(merged.chain_runahead_max, 8, "max merges as max");
+        assert_eq!(merged.frontier_reads, 70);
+        assert_eq!(merged.chain_cross_block_aborts, 4);
+        assert_eq!(merged.chain_sweeps, 10);
+        assert_eq!(merged.chain_idle_ns, 20_000);
     }
 
     #[test]

@@ -110,11 +110,13 @@
 #![warn(missing_docs)]
 
 mod entry;
+mod frontier;
 mod interner;
 mod mvmemory;
 mod read_set;
 
 pub use entry::MVEntry;
+pub use frontier::{FrontierOverlay, FRONTIER_ABSENT};
 pub use interner::{LocationCache, LocationCacheStats, LocationId};
 pub use mvmemory::{CachedRead, MVMemory, MVReadOutput, ProbeOutcome, WrittenLocation};
 pub use read_set::{ReadDescriptor, ReadOrigin};

@@ -691,10 +691,33 @@ where
         txn_idx: TxnIndex,
         base_of: impl Fn(&K) -> Option<u128>,
     ) -> bool {
+        // Outside chained execution no frontier exists: a `Frontier` descriptor
+        // can only be stale tooling state, and the conservative answer (abort)
+        // is the safe one.
+        self.validate_read_set_with_frontier(txn_idx, base_of, |_| None)
+    }
+
+    /// [`validate_read_set_with_base`](Self::validate_read_set_with_base) for
+    /// chained execution: `frontier_stamp_of` resolves a key's **current**
+    /// publication stamp in the cross-block [`FrontierOverlay`] (`None` when no
+    /// frontier is attached — every `Frontier` descriptor then fails).
+    ///
+    /// A [`ReadOrigin::Frontier`] descriptor holds iff the multi-version map
+    /// still has no lower entry for the location *and* the overlay still
+    /// carries exactly the stamp the read observed — stamps are unique per
+    /// publication, so stamp equality implies the observed value is unchanged,
+    /// and a predecessor-block commit that overwrote the key since the read is
+    /// guaranteed to fail the check.
+    pub fn validate_read_set_with_frontier(
+        &self,
+        txn_idx: TxnIndex,
+        base_of: impl Fn(&K) -> Option<u128>,
+        frontier_stamp_of: impl Fn(&K) -> Option<u64>,
+    ) -> bool {
         let prior_reads = self.last_read_set[txn_idx].load();
-        prior_reads
-            .iter()
-            .all(|descriptor| self.descriptor_still_holds(descriptor, txn_idx, &base_of))
+        prior_reads.iter().all(|descriptor| {
+            self.descriptor_still_holds(descriptor, txn_idx, &base_of, &frontier_stamp_of)
+        })
     }
 
     fn descriptor_still_holds(
@@ -702,12 +725,20 @@ where
         descriptor: &ReadDescriptor<K>,
         txn_idx: TxnIndex,
         base_of: &impl Fn(&K) -> Option<u128>,
+        frontier_stamp_of: &impl Fn(&K) -> Option<u64>,
     ) -> bool {
         self.resolve_descriptor_with(
             descriptor,
             txn_idx,
             || base_of(&descriptor.key),
-            |read| Self::origin_matches(read, descriptor.origin, || base_of(&descriptor.key)),
+            |read| {
+                Self::origin_matches(
+                    read,
+                    descriptor.origin,
+                    || base_of(&descriptor.key),
+                    || frontier_stamp_of(&descriptor.key),
+                )
+            },
         )
     }
 
@@ -755,6 +786,7 @@ where
         read: ResolvedRead<'_, V>,
         origin: ReadOrigin,
         storage_base: impl FnOnce() -> Option<u128>,
+        frontier_stamp: impl FnOnce() -> Option<u64>,
     ) -> bool {
         match origin {
             // Entry present as one full write: must match the exact version
@@ -785,6 +817,15 @@ where
                 Some(base) => op.in_bounds_on(base, prior) == in_bounds,
                 None => false,
             },
+            // Chained execution: the read fell through to the cross-block
+            // frontier overlay. It holds iff nothing in the multi-version map
+            // serves the location now (like a storage read) AND the overlay
+            // still carries exactly the stamp the read observed — a
+            // predecessor-block commit that overwrote the key bumped the stamp
+            // and fails the check.
+            ReadOrigin::Frontier { stamp } => {
+                matches!(read, ResolvedRead::NotFound) && frontier_stamp() == Some(stamp)
+            }
         }
     }
 

@@ -42,6 +42,21 @@ pub enum ReadOrigin {
         /// Whether the application was in bounds when probed.
         in_bounds: bool,
     },
+    /// Chained execution: the read fell through the multi-version map to the
+    /// **cross-block frontier overlay** (the committed writes of predecessor
+    /// blocks, see [`FrontierOverlay`](crate::FrontierOverlay)). Unlike
+    /// [`ReadOrigin::Storage`], the frontier *can* change while the reader's
+    /// block speculates — the predecessor block is still committing — so the
+    /// descriptor records the overlay's per-key publication stamp and
+    /// validation re-checks that the key still carries exactly that stamp
+    /// (stamps are unique per publication, so stamp equality implies value
+    /// equality). `stamp == 0` means the key was absent from the overlay and
+    /// the read bottomed out in immutable pre-chain storage.
+    Frontier {
+        /// The overlay's publication stamp for the key at read time
+        /// (0 = absent).
+        stamp: u64,
+    },
 }
 
 /// One entry of an incarnation's read-set: which location was read and what version
@@ -103,20 +118,33 @@ impl<K> ReadDescriptor<K> {
         }
     }
 
+    /// A chained-execution read that fell through to the cross-block frontier
+    /// overlay, stamped with the overlay's publication stamp for the key
+    /// (0 = absent from the overlay).
+    pub fn from_frontier(key: K, stamp: u64) -> Self {
+        Self {
+            key,
+            id: LocationId::UNRESOLVED,
+            origin: ReadOrigin::Frontier { stamp },
+        }
+    }
+
     /// Attaches the interned location id (executor hot path).
     pub fn with_location(mut self, id: LocationId) -> Self {
         self.id = id;
         self
     }
 
-    /// Returns the observed version, or `None` for storage, resolved and probe
-    /// reads (which validate by value/predicate rather than by version).
+    /// Returns the observed version, or `None` for storage, resolved, probe and
+    /// frontier reads (which validate by value/predicate/stamp rather than by
+    /// version).
     pub fn version(&self) -> Option<Version> {
         match self.origin {
             ReadOrigin::MultiVersion(version) => Some(version),
-            ReadOrigin::Storage | ReadOrigin::Resolved { .. } | ReadOrigin::DeltaProbe { .. } => {
-                None
-            }
+            ReadOrigin::Storage
+            | ReadOrigin::Resolved { .. }
+            | ReadOrigin::DeltaProbe { .. }
+            | ReadOrigin::Frontier { .. } => None,
         }
     }
 }

@@ -48,6 +48,10 @@ pub struct BlockCache<K, V> {
     store: Arc<LogStore<K, V>>,
     /// `None` = the store confirmed the key is absent (cached negative).
     entries: RwLock<HashMap<K, Option<V>>>,
+    /// Block-boundary counter: bumped by every [`begin_block`](Self::begin_block)
+    /// (invalidate) and [`advance_block`](Self::advance_block) (absorb), so an
+    /// embedder can tell which boundary a cached view belongs to.
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     prefetched: AtomicU64,
@@ -63,6 +67,7 @@ where
         Self {
             store,
             entries: RwLock::new(HashMap::new()),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             prefetched: AtomicU64::new(0),
@@ -74,11 +79,45 @@ where
         &self.store
     }
 
-    /// Starts a new block: drops every cached entry. Call between blocks —
-    /// this is what keeps the cache trivially coherent with commits persisted
-    /// by a sink after the previous block.
+    /// Starts a new block: drops every cached entry and advances the epoch.
+    /// Call between blocks — this is what keeps the cache trivially coherent
+    /// with commits persisted by a sink after the previous block. The
+    /// keep-everything alternative is [`advance_block`](Self::advance_block).
     pub fn begin_block(&self) {
         self.entries.write().clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of block boundaries this cache has crossed (via
+    /// [`begin_block`](Self::begin_block) or
+    /// [`advance_block`](Self::advance_block)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Crosses a block boundary by **absorbing** the committed writes instead
+    /// of dropping the cache: every `(key, value)` in `committed` replaces (or
+    /// seeds) its cache entry, every other entry stays valid and keeps serving
+    /// hits. Advances the epoch.
+    ///
+    /// Coherence contract: `committed` must cover every mutation the
+    /// underlying store received since the previous boundary — which is
+    /// exactly a block's (or a whole chain's) committed `updates`, the same
+    /// stream a persisting [`CommitSink`](block_stm::CommitSink) appends to
+    /// the log. Chained execution uses this between chains: the
+    /// `ChainExecutor` resolves cross-block reads through its in-memory
+    /// frontier while the chain runs, and the net updates are absorbed here so
+    /// the *next* chain starts warm instead of re-reading disk.
+    pub fn advance_block<I>(&self, committed: I)
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut entries = self.entries.write();
+        for (key, value) in committed {
+            entries.insert(key, Some(value));
+        }
+        drop(entries);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Warms the cache with `keys` (primed from a declared or predicted access
@@ -221,6 +260,79 @@ mod tests {
         assert_eq!(cache.store().stats().disk_reads, reads_after_prefetch);
         // Prefetching again is a no-op: everything is already cached.
         assert_eq!(cache.prefetch(0..100u64).unwrap(), 0);
+    }
+
+    #[test]
+    fn advance_block_absorbs_committed_writes_and_keeps_the_rest() {
+        let dir = TempDir::new("cache-advance");
+        let cache = cached_store(&dir);
+        assert_eq!(cache.epoch(), 0);
+        assert_eq!(Storage::get(&cache, &1), Some(2));
+        assert_eq!(Storage::get(&cache, &2), Some(4));
+        // A sink persists a block's commits…
+        cache.store().append_batch(&[(1u64, 999u64)], 1).unwrap();
+        let reads_before = cache.store().stats().disk_reads;
+        // …absorbing them replaces the stale entry and keeps the others warm.
+        cache.advance_block([(1u64, 999u64)]);
+        assert_eq!(cache.epoch(), 1);
+        assert_eq!(Storage::get(&cache, &1), Some(999));
+        assert_eq!(Storage::get(&cache, &2), Some(4));
+        assert_eq!(
+            cache.store().stats().disk_reads,
+            reads_before,
+            "absorbed boundary must not cost disk reads"
+        );
+        // The invalidating boundary also advances the epoch.
+        cache.begin_block();
+        assert_eq!(cache.epoch(), 2);
+    }
+
+    #[test]
+    fn chained_execution_streams_through_the_persist_tier() {
+        use crate::sink::WriteBehindSink;
+        use block_stm::BlockStmBuilder;
+        use block_stm_vm::synthetic::SyntheticTransaction;
+        use block_stm_vm::Vm;
+
+        let dir = TempDir::new("cache-chain");
+        let store = Arc::new(LogStore::open(dir.path().join("log")).expect("open"));
+        store.ingest((0..4u64).map(|k| (k, 0u64))).unwrap();
+        let cache = BlockCache::new(store.clone());
+        let sink = Arc::new(WriteBehindSink::new(store.clone()));
+        let chain = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .commit_sink::<u64, u64>(sink.clone())
+            .build_chain();
+
+        // The chain reads its base state through the cache; cross-block reads
+        // resolve in the executor's frontier, so the cache stays coherent (it
+        // only ever serves the pre-chain state during the chain).
+        let blocks: Vec<Vec<SyntheticTransaction>> = (0..6)
+            .map(|_| {
+                (0..8)
+                    .map(|i| SyntheticTransaction::increment(i % 4))
+                    .collect()
+            })
+            .collect();
+        let output = chain.execute_chain(&blocks, &cache).unwrap();
+        sink.flush().unwrap();
+
+        // The committed stream reached the log in stream order: the store's
+        // latest value per key equals the chain's net update.
+        for (key, value) in &output.updates {
+            assert_eq!(store.get_value(key).unwrap(), Some(*value));
+        }
+        // Until the boundary the cache still serves the pre-chain base…
+        assert_eq!(Storage::get(&cache, &0), Some(0));
+        // …absorbing the chain's net updates flips it to the post-chain state
+        // without a single disk read.
+        let reads_before = cache.store().stats().disk_reads;
+        cache.advance_block(output.updates.iter().cloned());
+        for (key, value) in &output.updates {
+            assert_eq!(Storage::get(&cache, key), Some(*value));
+        }
+        assert_eq!(cache.store().stats().disk_reads, reads_before);
+        assert_eq!(cache.epoch(), 1);
     }
 
     #[test]

@@ -73,10 +73,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = PersistError::io(
-            "fsync",
-            io::Error::other("disk on fire"),
-        );
+        let err = PersistError::io("fsync", io::Error::other("disk on fire"));
         let text = err.to_string();
         assert!(text.contains("fsync"));
         assert!(text.contains("disk on fire"));

@@ -100,6 +100,52 @@
 //! double-collect (`check_done`, Theorem 1), which is retained (and cross-checked in
 //! tests) as [`Scheduler::cursors_exhausted`].
 //!
+//! # Chained execution: the commit gate and the cross-block frontier
+//!
+//! A `ChainExecutor` (in `block-stm-core`) runs a *stream* of blocks on one worker
+//! pool: block `N+1` starts speculating while block `N` is still committing. Two
+//! scheduler primitives make that safe:
+//!
+//! * [`Scheduler::set_commit_gate`] — while the gate is closed, the commit ladder
+//!   is frozen: tasks are dispensed normally (the block executes and validates at
+//!   full speed) but nothing commits and `done()` stays down.
+//! * [`Scheduler::trigger_full_revalidation`] — lowers the validation cursor to 0,
+//!   starting a fresh wave that covers the whole block.
+//!
+//! ## Chain-serializability safety argument
+//!
+//! Claim: the concatenated committed output stream of the chain equals a
+//! sequential execution of the concatenated blocks.
+//!
+//! Block `N+1` reads locations its own multi-version map cannot serve from the
+//! **frontier overlay** — the committed writes of blocks `<= N`, published in
+//! commit order by the predecessor's drain — falling through to the immutable
+//! pre-chain storage below it. Such a read records a *stamped* frontier
+//! descriptor (`ReadOrigin::Frontier` in `block-stm-mvmemory`): the overlay
+//! assigns every published key a fresh stamp from a monotone counter, and
+//! validation passes only if the key still carries exactly the observed stamp.
+//! Stamps are unique per publication and keys are never removed, so **stamp
+//! equality implies the read observed the value a fresh read would observe**.
+//!
+//! The gate turns that per-read check into a commit-time guarantee. The
+//! protocol is: block `N+1`'s gate stays closed while block `N` runs; when
+//! block `N` has fully committed (the overlay now holds the final frontier for
+//! `N+1`), the chain executor first calls `trigger_full_revalidation` on
+//! `N+1` and only then opens its gate. Consider any transaction `k` of `N+1`
+//! that commits. By commit rule 2 above, `validated_wave >= max_triggered_wave`,
+//! and the pre-open sweep raised `max_triggered_wave` (or `required_wave`, by
+//! the same case analysis as the ladder argument) for every transaction to at
+//! least the sweep's wave — so the validation backing `k`'s commit was *claimed
+//! at or after the sweep*, i.e. it re-checked `k`'s frontier stamps strictly
+//! after the overlay froze. A passing check against the frozen overlay means
+//! `k` read exactly the final committed state of blocks `<= N`; the ladder
+//! argument above then gives, by induction over blocks, that `k`'s reads equal
+//! the state a sequential execution of the concatenated blocks would present.
+//! Publications *during* block `N`'s drain can additionally trigger
+//! intermediate sweeps — that is purely a liveness/performance measure (it
+//! re-executes doomed speculation early); soundness needs only the final,
+//! mandatory sweep-then-open ordering. ∎
+//!
 //! The public API mirrors the paper's function names one-to-one so the correctness
 //! argument of Appendix A maps directly onto this code:
 //! [`Scheduler::next_task`], [`Scheduler::add_dependency`],

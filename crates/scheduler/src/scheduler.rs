@@ -110,6 +110,14 @@ pub struct Scheduler {
     /// Set by [`halt`](Self::halt): the block was cut short (worker panic or a
     /// `BlockLimiter` boundary) rather than run to completion.
     halted: PaddedAtomicBool,
+    /// Chained execution's commit gate (open by default). While closed, the
+    /// commit ladder does not advance — the block may execute and validate
+    /// speculatively, but nothing commits and the done marker stays down. A
+    /// `ChainExecutor` keeps a successor block's gate closed until its
+    /// predecessor has fully committed, then triggers a full revalidation
+    /// sweep and opens the gate (see
+    /// [`set_commit_gate`](Self::set_commit_gate) for the safety protocol).
+    commit_gate_open: PaddedAtomicBool,
     /// The commit ladder cursor: index of the lowest uncommitted transaction. Only
     /// the thread holding the mutex advances it; `commit_watermark` mirrors it for
     /// lock-free reads.
@@ -148,6 +156,7 @@ impl Scheduler {
             num_active_tasks: PaddedAtomicUsize::new(0),
             done_marker: PaddedAtomicBool::new(false),
             halted: PaddedAtomicBool::new(false),
+            commit_gate_open: PaddedAtomicBool::new(true),
             commit_cursor: CachePadded::new(Mutex::new(0)),
             commit_watermark: PaddedAtomicUsize::new(0),
             txn_dependency: (0..block_size)
@@ -179,6 +188,7 @@ impl Scheduler {
         self.num_active_tasks.store(0);
         self.done_marker.store(false);
         self.halted.store(false);
+        self.commit_gate_open.store(true);
         *self.commit_cursor.get_mut() = 0;
         self.commit_watermark.store(0);
         self.txn_dependency.truncate(block_size);
@@ -215,6 +225,53 @@ impl Scheduler {
     /// Whether [`halt`](Self::halt) cut this block short.
     pub fn halted(&self) -> bool {
         self.halted.load()
+    }
+
+    /// Opens or closes the chained-execution **commit gate** (open by default;
+    /// [`reset`](Self::reset) re-opens it).
+    ///
+    /// While the gate is closed the commit ladder is frozen at its current
+    /// boundary: execution and validation tasks are dispensed normally — the
+    /// block speculates at full speed — but no transaction transitions to
+    /// `Committed`, the committed watermark does not move, and the done marker
+    /// stays down. A `ChainExecutor` closes the gate of block `N+1` while
+    /// block `N` is still committing (so `N+1` can never commit a read of a
+    /// not-yet-final cross-block frontier), and opens it only **after** the
+    /// frontier is final *and* a [`trigger_full_revalidation`] sweep has
+    /// started a fresh validation wave — the ladder's wave-freshness rule then
+    /// guarantees every commit is backed by a validation that began after the
+    /// frontier froze.
+    ///
+    /// Opening the gate re-attempts the ladder immediately, so a block whose
+    /// validations all passed while gated does not wait for another
+    /// validation event.
+    ///
+    /// [`trigger_full_revalidation`]: Self::trigger_full_revalidation
+    pub fn set_commit_gate(&self, open: bool) {
+        self.commit_gate_open.store(open);
+        if open && self.rolling_commit {
+            self.advance_commit_ladder();
+        }
+    }
+
+    /// Whether the chained-execution commit gate is open (see
+    /// [`set_commit_gate`](Self::set_commit_gate)).
+    pub fn commit_gate_open(&self) -> bool {
+        self.commit_gate_open.load()
+    }
+
+    /// Starts a fresh validation wave covering the whole block: lowers the
+    /// validation cursor to 0 (if it is not already there) and returns the
+    /// wave at which transactions will now (re-)validate.
+    ///
+    /// Chained execution calls this when the cross-block frontier advances —
+    /// most importantly once the predecessor block has fully committed, right
+    /// before opening the successor's commit gate: the commit rule's
+    /// `validated_wave >= max_triggered_wave` freshness check then rejects any
+    /// validation that predates the sweep, so stale frontier reads (caught by
+    /// their stamped descriptors) can never be committed.
+    pub fn trigger_full_revalidation(&self) -> Wave {
+        self.decrease_validation_idx(0)
     }
 
     /// Number of transactions in the block.
@@ -353,6 +410,13 @@ impl Scheduler {
         debug_assert!(self.rolling_commit);
         let mut next = self.commit_cursor.lock();
         loop {
+            if !self.commit_gate_open.load() {
+                // Chained execution: the predecessor block has not fully
+                // committed, so nothing here may commit yet (and the done
+                // marker stays down). The gate owner re-attempts the ladder
+                // when it opens the gate.
+                return;
+            }
             if *next == self.block_size {
                 self.done_marker.store(true);
                 return;
@@ -894,6 +958,73 @@ mod tests {
             "the sweep skips the committed transaction"
         );
         assert_eq!(scheduler.status_of(0), TxnStatus::Committed);
+    }
+
+    #[test]
+    fn closed_commit_gate_freezes_ladder_and_done_marker() {
+        let scheduler = Scheduler::new(2);
+        scheduler.set_commit_gate(false);
+        assert!(!scheduler.commit_gate_open());
+        let _e0 = claim(&scheduler);
+        let _e1 = claim(&scheduler);
+        assert_eq!(scheduler.finish_execution(1, 0, false), None);
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        pass_validation(&scheduler, v0);
+        let v1 = claim(&scheduler);
+        pass_validation(&scheduler, v1);
+        // Fully executed and validated, but the gate holds everything back:
+        // nothing commits and the done marker stays down (chained workers must
+        // keep serving this block's tasks).
+        assert_eq!(scheduler.committed_prefix(), 0);
+        assert!(!scheduler.done());
+        assert_eq!(scheduler.status_of(0), TxnStatus::Validated);
+        // Opening the gate re-attempts the ladder: the validated prefix commits
+        // without any further validation event.
+        scheduler.set_commit_gate(true);
+        assert_eq!(scheduler.committed_prefix(), 2);
+        assert!(scheduler.done());
+    }
+
+    #[test]
+    fn gate_open_after_full_revalidation_rejects_stale_validations() {
+        // The chain protocol: sweep *then* open. Validations that predate the
+        // sweep must not commit, even though they passed.
+        let scheduler = Scheduler::new(2);
+        scheduler.set_commit_gate(false);
+        let _e0 = claim(&scheduler);
+        let _e1 = claim(&scheduler);
+        assert_eq!(scheduler.finish_execution(1, 0, false), None);
+        let v0 = scheduler.finish_execution(0, 0, false).unwrap();
+        pass_validation(&scheduler, v0);
+        let v1 = claim(&scheduler);
+        pass_validation(&scheduler, v1);
+        // Frontier froze: start the mandatory fresh wave, then open the gate.
+        let wave = scheduler.trigger_full_revalidation();
+        assert!(wave >= 1);
+        scheduler.set_commit_gate(true);
+        assert_eq!(
+            scheduler.committed_prefix(),
+            0,
+            "wave-stale validations must not commit after the sweep"
+        );
+        // Only validations claimed at (or after) the sweep's wave commit.
+        let v0_fresh = claim(&scheduler);
+        assert_eq!(v0_fresh, Task::validation(Version::new(0, 0), wave));
+        pass_validation(&scheduler, v0_fresh);
+        assert_eq!(scheduler.committed_prefix(), 1);
+        let v1_fresh = claim(&scheduler);
+        assert_eq!(v1_fresh, Task::validation(Version::new(1, 0), wave));
+        pass_validation(&scheduler, v1_fresh);
+        assert_eq!(scheduler.committed_prefix(), 2);
+        assert!(scheduler.done());
+    }
+
+    #[test]
+    fn reset_reopens_the_commit_gate() {
+        let mut scheduler = Scheduler::new(1);
+        scheduler.set_commit_gate(false);
+        scheduler.reset(1);
+        assert!(scheduler.commit_gate_open());
     }
 
     #[test]

@@ -21,8 +21,11 @@
 //! which is exactly the trade-off the paper's Figure 3 explores.
 //!
 //! Through the [`BlockExecutor`] interface the write-sets come from
-//! [`Transaction::declared_write_set`]; transaction models that cannot declare them
-//! make the engine return [`ExecutionError::MissingWriteSet`] instead of guessing.
+//! [`Transaction::access_hints`] — and they must be **exact** hints: Bohm's
+//! chains are only sound when the declared writes are a superset of the actual
+//! writes. Transaction models that declare no hints make the engine return
+//! [`ExecutionError::MissingWriteSet`], and advisory-only hints are refused
+//! with [`ExecutionError::InexactHints`] instead of being trusted.
 
 use block_stm::{BlockExecutor, BlockOutput, ExecutionError, PanicCollector};
 use block_stm_metrics::ExecutionMetrics;
@@ -72,8 +75,11 @@ impl BohmExecutor {
     }
 
     /// Executes `block`, deriving the perfect write-sets from
-    /// [`Transaction::declared_write_set`]. Fails with
-    /// [`ExecutionError::MissingWriteSet`] if a transaction declares none.
+    /// [`Transaction::access_hints`]. Fails with
+    /// [`ExecutionError::MissingWriteSet`] if a transaction declares no hints
+    /// at all, and with [`ExecutionError::InexactHints`] if its hints are
+    /// advisory-only — Bohm's pre-built version chains require the exact
+    /// write-superset guarantee, which advisory hints do not carry.
     pub fn execute_block<T, S>(
         &self,
         block: &[T],
@@ -85,10 +91,13 @@ impl BohmExecutor {
     {
         let mut write_sets = Vec::with_capacity(block.len());
         for (txn_idx, txn) in block.iter().enumerate() {
-            write_sets.push(
-                txn.declared_write_set()
-                    .ok_or(ExecutionError::MissingWriteSet { txn_idx })?,
-            );
+            let hints = txn
+                .access_hints()
+                .ok_or(ExecutionError::MissingWriteSet { txn_idx })?;
+            if !hints.exact {
+                return Err(ExecutionError::InexactHints { txn_idx });
+            }
+            write_sets.push(hints.writes);
         }
         self.execute_with_write_sets(block, &write_sets, storage)
     }
@@ -578,8 +587,8 @@ mod tests {
                 ctx.write(1, 1);
                 Ok(())
             }
-            fn declared_write_set(&self) -> Option<Vec<u64>> {
-                Some(vec![0])
+            fn access_hints(&self) -> Option<block_stm_vm::AccessHints<u64>> {
+                Some(block_stm_vm::AccessHints::exact(vec![], vec![0]))
             }
         }
 
@@ -587,6 +596,42 @@ mod tests {
         let bohm = BohmExecutor::new(Vm::for_testing(), 2);
         let err = bohm.execute_block(&[UnderDeclared], &storage).unwrap_err();
         assert_eq!(err, ExecutionError::UndeclaredWrite { txn_idx: 0 });
+    }
+
+    #[test]
+    fn advisory_hints_are_a_typed_error() {
+        use block_stm_vm::{ExecutionFailure, HintedTransaction, TransactionContext};
+
+        /// Declares hints but refuses the exactness guarantee.
+        struct Advisory;
+        impl Transaction for Advisory {
+            type Key = u64;
+            type Value = u64;
+            fn execute<R: StateReader<u64, u64>>(
+                &self,
+                ctx: &mut TransactionContext<'_, u64, u64, R>,
+            ) -> Result<(), ExecutionFailure> {
+                ctx.write(0, 1);
+                Ok(())
+            }
+            fn access_hints(&self) -> Option<block_stm_vm::AccessHints<u64>> {
+                Some(block_stm_vm::AccessHints::advisory(vec![], vec![0]))
+            }
+        }
+
+        let storage: InMemoryStorage<u64, u64> = storage_with_keys(1);
+        let bohm = BohmExecutor::new(Vm::for_testing(), 2);
+        let err = bohm.execute_block(&[Advisory], &storage).unwrap_err();
+        assert_eq!(err, ExecutionError::InexactHints { txn_idx: 0 });
+
+        // The same applies when an exact-hinted model is wrapped with degraded
+        // advisory hints — the wrapper's hints win.
+        let wrapped = vec![HintedTransaction::new(
+            SyntheticTransaction::put(0, 1),
+            Some(block_stm_vm::AccessHints::advisory(vec![], vec![0])),
+        )];
+        let err = bohm.execute_block(&wrapped, &storage).unwrap_err();
+        assert_eq!(err, ExecutionError::InexactHints { txn_idx: 0 });
     }
 
     #[test]
@@ -613,8 +658,8 @@ mod tests {
                 ctx.write(0, prev + 1);
                 Ok(())
             }
-            fn declared_write_set(&self) -> Option<Vec<u64>> {
-                Some(vec![0])
+            fn access_hints(&self) -> Option<block_stm_vm::AccessHints<u64>> {
+                Some(block_stm_vm::AccessHints::exact(vec![0], vec![0]))
             }
         }
 

@@ -22,7 +22,7 @@
 //! Set `BLOCK_STM_BENCH_QUICK=1` for a fast smoke-test grid. Baselines are
 //! recorded via `scripts/record-baseline.sh accountbench`.
 
-use block_stm::{BlockStmBuilder, GasSchedule, Transaction, Vm};
+use block_stm::{AdaptiveExecutor, BlockExecutor, BlockStmBuilder, GasSchedule, Transaction, Vm};
 use block_stm_bench::quick_mode;
 use block_stm_storage::{AccessPath, InMemoryStorage, StateValue};
 use block_stm_workloads::{ConservationOracle, Erc20Workload, EthTransferWorkload, FeeMode};
@@ -79,7 +79,7 @@ impl AccountbenchMeasurement {
 /// Times `blocks` consecutive executions (after one warm-up) and returns the
 /// average seconds per block plus the metrics of one representative run.
 fn timed_blocks<T>(
-    executor: &block_stm::BlockStm,
+    executor: &dyn BlockExecutor<T, AccountStorage>,
     block: &[T],
     storage: &AccountStorage,
     blocks: usize,
@@ -112,17 +112,14 @@ fn measure_config<T>(
     block: &[T],
     storage: &AccountStorage,
     oracle: &ConservationOracle,
-    gas: GasSchedule,
+    engine: &dyn BlockExecutor<T, AccountStorage>,
     threads: usize,
     blocks: usize,
 ) -> f64
 where
     T: block_stm_workloads::accounts::AccountTransaction,
 {
-    let engine = BlockStmBuilder::new(Vm::new(gas))
-        .concurrency(threads)
-        .build();
-    let (avg, metrics) = timed_blocks(&engine, block, storage, blocks);
+    let (avg, metrics) = timed_blocks(engine, block, storage, blocks);
 
     // The correctness gate: a benchmark row only counts if the block it timed
     // conserved value, kept nonces monotone and routed every fee exactly.
@@ -191,6 +188,9 @@ fn main() {
                     .with_conflict(conflict, 4);
                 let block = workload.generate_block();
                 let oracle = ConservationOracle::new().with_beneficiary(workload.beneficiary());
+                let engine = BlockStmBuilder::new(Vm::new(GasSchedule::zero_work()))
+                    .concurrency(threads)
+                    .build();
                 measure_config(
                     &mut results,
                     "eth-transfer",
@@ -201,7 +201,7 @@ fn main() {
                     &block,
                     &storage,
                     &oracle,
-                    GasSchedule::zero_work(),
+                    &engine,
                     threads,
                     blocks,
                 );
@@ -220,6 +220,9 @@ fn main() {
                 let oracle = ConservationOracle::new()
                     .with_beneficiary(workload.beneficiary())
                     .with_token(workload.token);
+                let engine = BlockStmBuilder::new(Vm::new(GasSchedule::zero_work()))
+                    .concurrency(threads)
+                    .build();
                 measure_config(
                     &mut results,
                     "erc20",
@@ -230,7 +233,7 @@ fn main() {
                     &block,
                     &storage,
                     &oracle,
-                    GasSchedule::zero_work(),
+                    &engine,
                     threads,
                     blocks,
                 );
@@ -256,6 +259,9 @@ fn main() {
     for (slot, mode) in [(0usize, FeeMode::ReadModifyWrite), (1, FeeMode::Delta)] {
         let workload = base.with_fee_mode(mode);
         let block = workload.generate_block();
+        let engine = BlockStmBuilder::new(Vm::new(GasSchedule::benchmark()))
+            .concurrency(threads)
+            .build();
         fee_tps[slot] = measure_config(
             &mut results,
             "eth-fee",
@@ -266,7 +272,7 @@ fn main() {
             &block,
             &storage,
             &oracle,
-            GasSchedule::benchmark(),
+            &engine,
             threads,
             fee_blocks,
         );
@@ -278,6 +284,38 @@ fn main() {
         fee_tps[1],
         fee_tps[0]
     );
+
+    // eth-adaptive: the same ETH-transfer shape dispatched through the
+    // per-block adaptive executor — on a 1-CPU host it decides sequential, on
+    // a multicore host it speculates; either way the conservation oracle
+    // audits the committed output like every other row.
+    {
+        let pool = 10_000u64;
+        let workload = EthTransferWorkload::new(pool, block_size)
+            .with_zipf_s_hundredths(100)
+            .with_conflict(20, 4);
+        let storage = workload.genesis();
+        let block = workload.generate_block();
+        let oracle = ConservationOracle::new().with_beneficiary(workload.beneficiary());
+        let engine = AdaptiveExecutor::builder(Vm::new(GasSchedule::zero_work()))
+            .concurrency(threads)
+            .abort_fallback_threshold(4 * block_size as u64)
+            .build();
+        measure_config(
+            &mut results,
+            "eth-adaptive",
+            "delta",
+            pool,
+            100,
+            20,
+            &block,
+            &storage,
+            &oracle,
+            &engine,
+            threads,
+            blocks,
+        );
+    }
 
     println!(
         "# json: {}",

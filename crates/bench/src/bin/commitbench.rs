@@ -279,6 +279,7 @@ fn main() {
         abort_pct: 0,
         extra_gas: 0,
         seed: 0xC0117,
+        hint_accuracy_pct: 100,
     };
     let storage: InMemoryStorage<u64, u64> = read_heavy.initial_state().into_iter().collect();
     let block = read_heavy.generate_block();
@@ -415,6 +416,7 @@ fn main() {
                 abort_pct: 0,
                 extra_gas: 0,
                 seed: 0xC4A1 + i as u64,
+                hint_accuracy_pct: 100,
             }
             .generate_block()
         })
@@ -428,6 +430,7 @@ fn main() {
         abort_pct: 0,
         extra_gas: 0,
         seed: 0xC4A1,
+        hint_accuracy_pct: 100,
     }
     .initial_state()
     .into_iter()

@@ -31,6 +31,22 @@ pub struct ExecutorOptions {
     /// Shard count of the multi-version memory's concurrent hash map. `None` uses the
     /// default (256).
     pub mvmemory_shards: Option<usize>,
+    /// Use declared access hints ([`Transaction::access_hints`]) to guide the
+    /// scheduler: pre-register dependencies on declared read/write overlaps,
+    /// reorder initial executions low-conflict-first, and (when every hint is
+    /// exact) skip validation descriptors for hint-proven private reads. Hints
+    /// are advisory for scheduling; correctness never depends on them unless
+    /// they claim exactness, which is then enforced at record time. Default:
+    /// `false`.
+    ///
+    /// [`Transaction::access_hints`]: block_stm_vm::Transaction::access_hints
+    pub use_hints: bool,
+    /// Halt the block with
+    /// [`AbortThresholdExceeded`](crate::ExecutionError::AbortThresholdExceeded)
+    /// once more than this many validation aborts have occurred — the adaptive
+    /// executor's mid-block escape hatch to a sequential re-run. `None` (the
+    /// default) never trips.
+    pub abort_fallback_threshold: Option<u64>,
 }
 
 impl Default for ExecutorOptions {
@@ -41,6 +57,8 @@ impl Default for ExecutorOptions {
             task_return_optimization: true,
             rolling_commit: true,
             mvmemory_shards: None,
+            use_hints: false,
+            abort_fallback_threshold: None,
         }
     }
 }
@@ -78,6 +96,18 @@ impl ExecutorOptions {
         self
     }
 
+    /// Builder: toggles hint-guided scheduling.
+    pub fn use_hints(mut self, enabled: bool) -> Self {
+        self.use_hints = enabled;
+        self
+    }
+
+    /// Builder: sets the mid-block abort-fallback threshold.
+    pub fn abort_fallback_threshold(mut self, aborts: u64) -> Self {
+        self.abort_fallback_threshold = Some(aborts);
+        self
+    }
+
     /// The number of worker threads to actually spawn: the configured concurrency, or
     /// the machine's available parallelism when unset, never less than 1 and never
     /// more than 32 (the paper's maximum).
@@ -105,6 +135,8 @@ mod tests {
         assert!(options.rolling_commit, "commit ladder is on by default");
         assert_eq!(options.concurrency, 0);
         assert!(options.mvmemory_shards.is_none());
+        assert!(!options.use_hints, "hints are opt-in");
+        assert!(options.abort_fallback_threshold.is_none());
     }
 
     #[test]
@@ -130,10 +162,14 @@ mod tests {
             .dependency_recheck(false)
             .task_return_optimization(false)
             .rolling_commit(false)
-            .mvmemory_shards(64);
+            .mvmemory_shards(64)
+            .use_hints(true)
+            .abort_fallback_threshold(16);
         assert!(!options.dependency_recheck);
         assert!(!options.task_return_optimization);
         assert!(!options.rolling_commit);
         assert_eq!(options.mvmemory_shards, Some(64));
+        assert!(options.use_hints);
+        assert_eq!(options.abort_fallback_threshold, Some(16));
     }
 }

@@ -49,10 +49,29 @@ pub enum ExecutionError {
     },
     /// A transaction wrote a location missing from its declared write-set — the
     /// declaration under-approximates the writes, which breaks the contract of
-    /// engines that pre-build version chains from it (Bohm).
+    /// engines that pre-build version chains from it (Bohm) or skip validation
+    /// for hint-private reads (hinted Block-STM).
     UndeclaredWrite {
         /// Index of the offending transaction.
         txn_idx: usize,
+    },
+    /// An engine that requires *exact* access hints (Bohm's pre-built version
+    /// chains) was handed a transaction whose hints are advisory
+    /// (`AccessHints::exact == false`). Advisory hints carry no write-superset
+    /// guarantee, so the engine refuses the block instead of guessing.
+    InexactHints {
+        /// Index of the transaction with advisory-only hints.
+        txn_idx: usize,
+    },
+    /// The configured abort-fallback threshold was crossed mid-block: the
+    /// block's speculation aborted more than
+    /// `ExecutorOptions::abort_fallback_threshold` times, the engine halted it
+    /// and discarded all speculative results. The adaptive executor catches
+    /// this and re-runs the block sequentially; callers driving `BlockStm`
+    /// directly can do the same (the engine remains usable).
+    AbortThresholdExceeded {
+        /// Number of aborts observed when the threshold tripped.
+        aborts: u64,
     },
     /// A streaming hook ([`CommitSink`](crate::CommitSink) or
     /// [`BlockLimiter`](crate::BlockLimiter)) was attached for a different state
@@ -195,6 +214,17 @@ impl fmt::Display for ExecutionError {
                 "transaction {txn_idx} wrote a location missing from its declared \
                  write-set (the declaration must be a superset of every possible write)"
             ),
+            ExecutionError::InexactHints { txn_idx } => write!(
+                f,
+                "transaction {txn_idx} provides only advisory access hints \
+                 (`AccessHints::exact` is false), but this engine requires an exact \
+                 declared write-set to pre-build its version chains"
+            ),
+            ExecutionError::AbortThresholdExceeded { aborts } => write!(
+                f,
+                "speculation aborted {aborts} times, crossing the configured \
+                 abort-fallback threshold; the block was halted for a sequential re-run"
+            ),
             ExecutionError::HookStateModelMismatch { hook } => write!(
                 f,
                 "the attached {hook} hook is typed for a different (Key, Value) state \
@@ -256,6 +286,12 @@ mod tests {
         }
         .to_string()
         .contains("4 transaction(s)"));
+        assert!(ExecutionError::InexactHints { txn_idx: 5 }
+            .to_string()
+            .contains("transaction 5"));
+        assert!(ExecutionError::AbortThresholdExceeded { aborts: 9 }
+            .to_string()
+            .contains("9 times"));
     }
 
     #[test]

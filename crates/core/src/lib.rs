@@ -145,6 +145,22 @@
 //! README's "Delta writes" section has a doctested walkthrough; the
 //! `block-stm-mvmemory` crate docs carry the safety argument.
 //!
+//! ## Hint-guided scheduling and adaptive engine selection
+//!
+//! Transactions may declare optional [`AccessHints`] (read/write sets, possibly
+//! imprecise). With [`BlockStmBuilder::use_hints`] the scheduler pre-registers
+//! dependencies on declared read-over-write overlaps, reorders initial
+//! executions low-conflict-first (commit order is untouched), and — when every
+//! hint in the block is exact — skips validation descriptors for hint-proven
+//! private reads. Hints are advisory for scheduling; correctness never depends
+//! on them unless they claim exactness, which is then enforced at record time
+//! ([`ExecutionError::UndeclaredWrite`]). On top of this, [`AdaptiveExecutor`]
+//! picks sequential / parallel / hinted execution **per block** from cheap
+//! signals and carries a mid-block escape hatch back to sequential
+//! ([`ExecutionError::AbortThresholdExceeded`]). The README's "Adaptive
+//! execution" section has a doctested walkthrough; the `block-stm-scheduler`
+//! crate docs carry the hint-safety argument.
+//!
 //! ## Crate layout
 //!
 //! * [`BlockExecutor`] — the engine-agnostic interface every engine implements.
@@ -157,6 +173,8 @@
 //!   rolling committed prefix.
 //! * [`SequentialExecutor`] — the baseline the paper compares against and the
 //!   correctness oracle for every other engine.
+//! * [`AdaptiveExecutor`] — per-block engine selection over sequential /
+//!   parallel / hinted dispatch, with the abort-threshold escape hatch.
 //! * [`BlockOutput`] — committed state updates, per-transaction outputs and execution
 //!   metrics (plus the [`truncated_at`](BlockOutput::truncated_at) cut marker).
 //! * [`ExecutionError`] — typed failures (worker panic, misconfiguration, violated
@@ -178,6 +196,7 @@
 #[cfg(doctest)]
 pub mod readme_doctests {}
 
+mod adaptive;
 mod block_stm;
 mod chain;
 mod config;
@@ -188,6 +207,7 @@ mod output;
 mod sequential;
 mod view;
 
+pub use adaptive::{AdaptiveDecision, AdaptiveExecutor, AdaptiveExecutorBuilder, EngineChoice};
 pub use block_stm::{BlockStm, BlockStmBuilder};
 pub use chain::{ChainExecutor, ChainOutput};
 pub use config::ExecutorOptions;
@@ -206,6 +226,7 @@ pub use block_stm_mvmemory::{LocationCache, LocationCacheStats, LocationId};
 // sibling crates as direct dependencies.
 pub use block_stm_metrics::MetricsSnapshot;
 pub use block_stm_vm::{
-    AbortCode, ExecutionFailure, GasSchedule, Incarnation, ReadOutcome, StateReader, Transaction,
-    TransactionContext, TransactionOutput, TxnIndex, Version, Vm, WriteOp,
+    AbortCode, AccessHints, ExecutionFailure, GasSchedule, HintedTransaction, Incarnation,
+    ReadOutcome, StateReader, Transaction, TransactionContext, TransactionOutput, TxnIndex,
+    Version, Vm, WriteOp,
 };

@@ -17,11 +17,20 @@
 //!   an incarnation flips the owned slots' tag to `ESTIMATE`; an incarnation that
 //!   stops writing a location tombstones its slot with the `EMPTY` tag.
 //! * Only a **structural insert** — the first time a transaction ever writes the
-//!   location — takes the cell's short mutex to publish a new slot array. Slots are
-//!   `Arc`-shared between array versions, so concurrent in-place writes through an
-//!   older array are never lost. Rebuilds **compact**: tombstoned slots are dropped,
-//!   so array length (and rebuild cost) tracks the number of *live* writers of the
-//!   location, not the all-time churn of write-sets.
+//!   location — takes the cell's short mutex, and even then it almost never
+//!   rebuilds the array: the published snapshot is a sorted **base** array plus a
+//!   small append-only **tail** of [`OnceLock`] cells, and an insert just fills
+//!   the next free tail cell (readers observe it through the `OnceLock`'s own
+//!   release/acquire pairing, no array republish). Only a *full* tail triggers a
+//!   merge-rebuild into a new base. Slots are `Arc`-shared between array
+//!   versions, so concurrent in-place writes through an older array are never
+//!   lost. Rebuilds **compact**: tombstoned slots are dropped, so array length
+//!   (and rebuild cost) tracks the number of *live* writers of the location, not
+//!   the all-time churn of write-sets — and the tail amortizes the rebuilds
+//!   themselves, so a write-set that shifts every incarnation (fresh
+//!   `(txn, location)` pairs each round, the `mvbench write-heavy` pattern) costs
+//!   one array copy per `TAIL_CAPACITY` (8) inserts instead of one per
+//!   insert.
 //!
 //! # Concurrency contract
 //!
@@ -52,7 +61,11 @@ use crate::snapshot_ptr::SnapshotPtr;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Structural inserts between two array rebuilds: each insert lands in a free
+/// tail cell; the array is merged and republished only when the tail is full.
+const TAIL_CAPACITY: usize = 8;
 
 /// Tag bits of the packed slot state word.
 const TAG_MASK: usize = 0b11;
@@ -122,13 +135,97 @@ pub enum CellRead<'a, V> {
     Missing,
 }
 
+/// A slot reference with its owner's index **inlined**: `find`, the reads'
+/// descending merge and the base's binary search compare `txn_idx` without
+/// dereferencing the `Arc` — one cache line instead of a pointer chase per
+/// probe. The inlined copy is written under exclusive slot ownership only
+/// (insert and pooled reuse both hold the structural mutex with
+/// `strong_count == 1`), so it always agrees with `slot.txn_idx`.
+struct Keyed<V> {
+    txn_idx: usize,
+    slot: Arc<Slot<V>>,
+}
+
+impl<V> Keyed<V> {
+    fn new(slot: Arc<Slot<V>>) -> Self {
+        Self {
+            txn_idx: slot.txn_idx,
+            slot,
+        }
+    }
+}
+
+/// The RCU-published snapshot: a sorted base array plus a small append-only
+/// overflow tail. The tail lets a structural insert publish a new slot without
+/// copying the base — each `OnceLock` cell is written once (under the
+/// structural mutex) and read lock-free; its release/acquire pairing hands a
+/// fully initialized slot to every reader that observes it.
+struct SlotArray<V> {
+    /// Sorted (by `txn_idx`) array of `Arc`-shared slots.
+    base: Vec<Keyed<V>>,
+    /// Unsorted overflow, filled left to right; disjoint from `base` by
+    /// `txn_idx`. Scanned linearly by readers (at most `TAIL_CAPACITY`).
+    tail: [OnceLock<Keyed<V>>; TAIL_CAPACITY],
+}
+
+impl<V> SlotArray<V> {
+    fn empty() -> Self {
+        Self {
+            base: Vec::new(),
+            tail: Default::default(),
+        }
+    }
+
+    fn with_base(base: Vec<Keyed<V>>) -> Self {
+        Self {
+            base,
+            tail: Default::default(),
+        }
+    }
+
+    /// Filled tail cells, in fill order.
+    fn tail_slots(&self) -> impl Iterator<Item = &Keyed<V>> {
+        self.tail.iter().map_while(|cell| cell.get())
+    }
+
+    /// Every slot, base then tail (no particular overall order).
+    fn all_slots(&self) -> impl Iterator<Item = &Arc<Slot<V>>> {
+        self.base
+            .iter()
+            .chain(self.tail_slots())
+            .map(|keyed| &keyed.slot)
+    }
+
+    /// The slot owned by `txn_idx`, if any: binary search in the base, linear
+    /// scan of the (tiny) tail — both over inlined indices, no `Arc` derefs.
+    fn find(&self, txn_idx: usize) -> Option<&Arc<Slot<V>>> {
+        self.base
+            .binary_search_by(|keyed| keyed.txn_idx.cmp(&txn_idx))
+            .ok()
+            .map(|pos| &self.base[pos].slot)
+            .or_else(|| {
+                self.tail_slots()
+                    .find(|keyed| keyed.txn_idx == txn_idx)
+                    .map(|keyed| &keyed.slot)
+            })
+    }
+}
+
 /// A lock-free multi-version cell for one memory location. See the module docs for
 /// the design and the single-writer-per-slot contract.
 pub struct VersionedCell<V> {
-    /// Sorted (by `txn_idx`) array of `Arc`-shared slots, RCU-published.
-    slots: SnapshotPtr<Vec<Arc<Slot<V>>>>,
-    /// Serializes structural inserts (slot-array replacement) only.
-    structural: Mutex<()>,
+    /// The published base-plus-tail slot snapshot.
+    slots: SnapshotPtr<SlotArray<V>>,
+    /// Serializes structural inserts (tail fills and array replacement) and
+    /// holds the **slot pool**: slots whose transactions stopped writing the
+    /// location by the end of a block are recycled here at [`reset`], and a
+    /// later structural insert pops one instead of allocating — the slot's
+    /// `Arc` and its value's `SnapshotPtr` node both get reused, so the
+    /// write-set-churn worst case (`mvbench write-heavy`) runs allocation-free
+    /// in steady state.
+    ///
+    /// [`reset`]: VersionedCell::reset
+    structural: Mutex<Vec<Arc<Slot<V>>>>,
 }
 
 impl<V> Default for VersionedCell<V> {
@@ -141,41 +238,29 @@ impl<V> VersionedCell<V> {
     /// Creates an empty cell.
     pub fn new() -> Self {
         Self {
-            slots: SnapshotPtr::new(Vec::new()),
-            structural: Mutex::new(()),
+            slots: SnapshotPtr::new(SlotArray::empty()),
+            structural: Mutex::new(Vec::new()),
         }
     }
 
-    #[inline]
-    fn find(slots: &[Arc<Slot<V>>], txn_idx: usize) -> Option<&Arc<Slot<V>>> {
-        slots
-            .binary_search_by(|slot| slot.txn_idx.cmp(&txn_idx))
-            .ok()
-            .map(|pos| &slots[pos])
-    }
-
-    /// Builds a new sorted array from `slots` with `insert` added, dropping
-    /// tombstoned slots (compaction). Dropping an `EMPTY` slot cannot lose a write:
-    /// only the slot's own transaction can revive it, and revivals take the
-    /// structural mutex (see [`write`](Self::write)), so they are serialized with
-    /// this rebuild.
-    fn rebuilt_with(slots: &[Arc<Slot<V>>], insert: Arc<Slot<V>>) -> Vec<Arc<Slot<V>>> {
-        let mut new = Vec::with_capacity(slots.len() + 1);
-        let mut pending = Some(insert);
-        for slot in slots {
-            if let Some(inserting) = &pending {
-                debug_assert_ne!(slot.txn_idx, inserting.txn_idx);
-                if slot.txn_idx > inserting.txn_idx {
-                    new.push(pending.take().expect("checked above"));
-                }
-            }
-            if slot.state() & TAG_MASK != TAG_EMPTY {
-                new.push(Arc::clone(slot));
+    /// Builds a new sorted base from `snapshot`'s base, tail and `insert`,
+    /// dropping tombstoned slots (compaction). Dropping an `EMPTY` slot cannot
+    /// lose a write: only the slot's own transaction can revive it, and
+    /// revivals take the structural mutex (see [`write`](Self::write)), so they
+    /// are serialized with this rebuild.
+    fn rebuilt_with(snapshot: &SlotArray<V>, insert: Keyed<V>) -> Vec<Keyed<V>> {
+        let mut new = Vec::with_capacity(snapshot.base.len() + TAIL_CAPACITY + 1);
+        new.push(insert);
+        for keyed in snapshot.base.iter().chain(snapshot.tail_slots()) {
+            debug_assert_ne!(keyed.txn_idx, new[0].txn_idx);
+            if keyed.slot.state() & TAG_MASK != TAG_EMPTY {
+                new.push(Keyed {
+                    txn_idx: keyed.txn_idx,
+                    slot: Arc::clone(&keyed.slot),
+                });
             }
         }
-        if let Some(inserting) = pending {
-            new.push(inserting);
-        }
+        new.sort_unstable_by_key(|keyed| keyed.txn_idx);
         new
     }
 
@@ -200,11 +285,13 @@ impl<V> VersionedCell<V> {
     /// slots, and the mutex serializes it against the one thread (the slot's own
     /// transaction) that could concurrently flip that slot live again — without
     /// it, a rebuild could capture the slot as `EMPTY`, race the revival, and
-    /// publish an array that silently drops the revived write. Returns `true` if a
-    /// structural insert was performed.
+    /// publish an array that silently drops the revived write. An insert fills
+    /// the next free tail cell when one exists; only a full tail pays for a
+    /// merge-rebuild of the array. Returns `true` if a structural insert was
+    /// performed.
     pub fn write(&self, txn_idx: usize, incarnation: usize, value: V) -> bool {
-        let slots = self.slots.load();
-        if let Some(slot) = Self::find(slots, txn_idx) {
+        let snapshot = self.slots.load();
+        if let Some(slot) = snapshot.find(txn_idx) {
             // Only this transaction tombstones or revives its slot, so the tag
             // observed here is stable until we act on it.
             if slot.state() & TAG_MASK != TAG_EMPTY {
@@ -212,35 +299,53 @@ impl<V> VersionedCell<V> {
                 return false;
             }
         }
-        let _guard = self.structural.lock();
+        let mut pool = self.structural.lock();
         // Re-load under the lock: a structural rebuild may have republished (or
         // compacted the tombstoned slot out of) the array.
-        let slots = self.slots.load();
-        match slots.binary_search_by(|slot| slot.txn_idx.cmp(&txn_idx)) {
-            Ok(pos) => {
-                // Revival (or a slot that appeared since the optimistic check):
-                // in place, serialized with rebuilds by the mutex.
-                slots[pos].publish_in_place(incarnation, value);
-                false
-            }
-            Err(_) => {
-                let slot = Arc::new(Slot {
-                    txn_idx,
-                    state: AtomicUsize::new(pack(incarnation, TAG_VALUE)),
-                    value: SnapshotPtr::new(value),
-                });
-                let new = Self::rebuilt_with(slots, slot);
-                self.slots.publish(new);
-                true
-            }
+        let snapshot = self.slots.load();
+        if let Some(slot) = snapshot.find(txn_idx) {
+            // Revival (or a slot that appeared since the optimistic check):
+            // in place, serialized with rebuilds by the mutex.
+            slot.publish_in_place(incarnation, value);
+            return false;
         }
+        let slot = match pool.pop() {
+            Some(mut recycled) => {
+                // Pooled slots are exclusively owned (checked at reset, and the
+                // pool is only touched under this mutex), so re-targeting the
+                // slot to a new transaction is plain mutation — no allocation
+                // for the slot, none for its value node.
+                let inner = Arc::get_mut(&mut recycled).expect("pooled slots have no other owners");
+                inner.txn_idx = txn_idx;
+                *inner.state.get_mut() = pack(incarnation, TAG_VALUE);
+                *inner.value.get_mut() = value;
+                recycled
+            }
+            None => Arc::new(Slot {
+                txn_idx,
+                state: AtomicUsize::new(pack(incarnation, TAG_VALUE)),
+                value: SnapshotPtr::new(value),
+            }),
+        };
+        if let Some(free) = snapshot.tail.iter().find(|cell| cell.get().is_none()) {
+            // The cheap structural insert: publish through the tail cell, no
+            // array copy. Setting cannot fail — fills are serialized by the
+            // structural mutex held here.
+            free.set(Keyed::new(slot))
+                .ok()
+                .expect("tail fills hold the mutex");
+        } else {
+            let new = Self::rebuilt_with(snapshot, Keyed::new(slot));
+            self.slots.publish(SlotArray::with_base(new));
+        }
+        true
     }
 
     /// Flips `txn_idx`'s slot to an ESTIMATE marker (dependency hint for readers).
     /// Returns `false` if the transaction holds no slot (callers treat that as an
     /// accounting bug and `debug_assert` on it).
     pub fn mark_estimate(&self, txn_idx: usize) -> bool {
-        match Self::find(self.slots.load(), txn_idx) {
+        match self.slots.load().find(txn_idx) {
             Some(slot) => {
                 // Single mutator per slot: plain read-modify-write is race-free.
                 let state = slot.state();
@@ -257,7 +362,7 @@ impl<V> VersionedCell<V> {
     /// The tombstone carries the *removing* incarnation so the state word stays
     /// monotonic (`pack(k, ESTIMATE) < pack(k + 1, EMPTY) < pack(k + 2, VALUE)`).
     pub fn remove(&self, txn_idx: usize, removing_incarnation: usize) -> bool {
-        match Self::find(self.slots.load(), txn_idx) {
+        match self.slots.load().find(txn_idx) {
             Some(slot) => {
                 slot.publish_state(pack(removing_incarnation, TAG_EMPTY));
                 true
@@ -269,14 +374,14 @@ impl<V> VersionedCell<V> {
     /// Returns the highest live entry strictly below `bound` (Algorithm 2's `read`):
     /// a value, an ESTIMATE dependency, or [`CellRead::Missing`].
     ///
-    /// Lock-free: snapshot load + binary search; per candidate slot a seqlock read
-    /// that retries only while that slot's single writer is mid-publish.
+    /// Lock-free and allocation-free: snapshot load, binary search in the base,
+    /// a sort of the (at most `TAIL_CAPACITY`) tail candidates on the stack,
+    /// then a descending merge; per candidate slot a seqlock read that retries
+    /// only while that slot's single writer is mid-publish.
     pub fn read(&self, bound: usize) -> CellRead<'_, V> {
-        let slots = self.slots.load();
-        let mut pos = slots.partition_point(|slot| slot.txn_idx < bound);
-        while pos > 0 {
-            pos -= 1;
-            let slot = &slots[pos];
+        let snapshot = self.slots.load();
+        let mut cursor = DescendingSlots::below(snapshot, bound);
+        while let Some(slot) = cursor.next_highest() {
             loop {
                 let s1 = slot.state();
                 match s1 & TAG_MASK {
@@ -317,11 +422,9 @@ impl<V> VersionedCell<V> {
     /// bound; encountering one is an accounting bug upstream (`debug_assert`), and
     /// release builds fall back to the full seqlock read for safety.
     pub fn read_committed(&self, bound: usize) -> CellRead<'_, V> {
-        let slots = self.slots.load();
-        let mut pos = slots.partition_point(|slot| slot.txn_idx < bound);
-        while pos > 0 {
-            pos -= 1;
-            let slot = &slots[pos];
+        let snapshot = self.slots.load();
+        let mut cursor = DescendingSlots::below(snapshot, bound);
+        while let Some(slot) = cursor.next_highest() {
             let state = slot.state();
             match state & TAG_MASK {
                 TAG_EMPTY => continue, // old tombstone of a committed txn
@@ -348,14 +451,14 @@ impl<V> VersionedCell<V> {
     pub fn live_entries(&self) -> usize {
         self.slots
             .load()
-            .iter()
+            .all_slots()
             .filter(|slot| slot.state() & TAG_MASK != TAG_EMPTY)
             .count()
     }
 
-    /// Current slot-array length including tombstones (diagnostics).
+    /// Current slot count (base plus tail) including tombstones (diagnostics).
     pub fn slot_count(&self) -> usize {
-        self.slots.load().len()
+        self.slots.load().all_slots().count()
     }
 
     /// Re-arms the cell for the next block and frees all parked garbage. `&mut
@@ -371,18 +474,95 @@ impl<V> VersionedCell<V> {
     /// external reference force a full rebuild of the array instead.
     pub fn reset(&mut self) {
         self.slots.quiesce();
-        let slots = self.slots.get_mut();
-        let all_exclusive = slots.iter().all(|slot| Arc::strong_count(slot) == 1);
-        if all_exclusive {
-            for shared in slots.iter_mut() {
-                let slot = Arc::get_mut(shared).expect("strong_count checked above");
-                *slot.state.get_mut() = pack(0, TAG_EMPTY);
-                // The last block's value stays allocated (recycled storage, never
-                // readable behind the EMPTY tag); parked replacements are freed.
-                slot.value.quiesce();
+        let pool = self.structural.get_mut();
+        let snapshot = self.slots.get_mut();
+        // Fold the tail into the base so the next block's revivals all take the
+        // cheap binary-search path and the tail is free again.
+        for cell in snapshot.tail.iter_mut() {
+            if let Some(keyed) = cell.take() {
+                snapshot.base.push(keyed);
             }
-        } else {
-            self.slots.set(Vec::new());
+        }
+        let all_exclusive = snapshot
+            .base
+            .iter()
+            .all(|keyed| Arc::strong_count(&keyed.slot) == 1);
+        if !all_exclusive {
+            // Slots pinned by a leaked external reference: rebuild from scratch
+            // (rare; only tests that squirrel away handles hit this).
+            self.slots.set(SlotArray::empty());
+            pool.clear();
+            return;
+        }
+        // Split the slots by how the block left them. A slot still LIVE at the
+        // block boundary marks a `(txn, location)` pair that tends to repeat in
+        // the next block (re-executed identical blocks, hot locations): keep it
+        // in place, tombstoned, so the next write is an in-place revival. A
+        // slot already TOMBSTONED marks write-set churn — its transaction
+        // stopped writing the location — so its pair is unlikely to recur:
+        // recycle it through the pool, where the next structural insert (for
+        // whatever transaction) reuses the allocation.
+        snapshot.base.retain_mut(|keyed| {
+            let slot = Arc::get_mut(&mut keyed.slot).expect("strong_count checked above");
+            let dead = *slot.state.get_mut() & TAG_MASK == TAG_EMPTY;
+            *slot.state.get_mut() = pack(0, TAG_EMPTY);
+            // The last block's value stays allocated (recycled storage, never
+            // readable behind the EMPTY tag); parked replacements are freed.
+            slot.value.quiesce();
+            if dead {
+                pool.push(Arc::clone(&keyed.slot));
+            }
+            !dead
+        });
+        snapshot.base.sort_unstable_by_key(|keyed| keyed.txn_idx);
+    }
+}
+
+/// Descending-by-`txn_idx` cursor over a snapshot's slots strictly below a
+/// bound: the binary-searched base prefix walked right to left, merged on the
+/// fly with the tail candidates (sorted once into a stack array — at most
+/// `TAIL_CAPACITY` entries, so no allocation). Base and tail are disjoint by
+/// `txn_idx`, so the merge never ties.
+struct DescendingSlots<'a, V> {
+    base: &'a [Keyed<V>],
+    tail: [Option<&'a Keyed<V>>; TAIL_CAPACITY],
+    tail_pos: usize,
+}
+
+impl<'a, V> DescendingSlots<'a, V> {
+    fn below(snapshot: &'a SlotArray<V>, bound: usize) -> Self {
+        let base_end = snapshot.base.partition_point(|keyed| keyed.txn_idx < bound);
+        let mut tail: [Option<&'a Keyed<V>>; TAIL_CAPACITY] = [None; TAIL_CAPACITY];
+        let mut tail_len = 0;
+        for keyed in snapshot.tail_slots() {
+            if keyed.txn_idx < bound {
+                tail[tail_len] = Some(keyed);
+                tail_len += 1;
+            }
+        }
+        tail[..tail_len]
+            .sort_unstable_by_key(|keyed| std::cmp::Reverse(keyed.expect("filled above").txn_idx));
+        Self {
+            base: &snapshot.base[..base_end],
+            tail,
+            tail_pos: 0,
+        }
+    }
+
+    fn next_highest(&mut self) -> Option<&'a Slot<V>> {
+        let base_top = self.base.split_last();
+        let tail_top = self.tail.get(self.tail_pos).copied().flatten();
+        match (base_top, tail_top) {
+            (None, None) => None,
+            (Some((keyed, rest)), tail) if tail.is_none_or(|t| keyed.txn_idx > t.txn_idx) => {
+                self.base = rest;
+                Some(keyed.slot.as_ref())
+            }
+            (_, Some(keyed)) => {
+                self.tail_pos += 1;
+                Some(keyed.slot.as_ref())
+            }
+            (_, None) => unreachable!("covered by the first two arms"),
         }
     }
 }
@@ -391,7 +571,7 @@ impl<V: fmt::Debug> fmt::Debug for VersionedCell<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let slots = self.slots.load();
         let mut map = f.debug_map();
-        for slot in slots.iter() {
+        for slot in slots.all_slots() {
             let state = slot.state();
             let tag = match state & TAG_MASK {
                 TAG_VALUE => "value",

@@ -47,7 +47,7 @@ pub use context::TransactionContext;
 pub use delta::{AggregatorValue, DeltaOp, DeltaProbe};
 pub use errors::{AbortCode, ExecutionFailure, ReadDependency};
 pub use gas::{GasMeter, GasSchedule};
-pub use transaction::{Transaction, TransactionOutput, WriteOp};
+pub use transaction::{AccessHints, HintedTransaction, Transaction, TransactionOutput, WriteOp};
 pub use types::{Incarnation, TxnIndex, Version};
 pub use view::{ReadOutcome, StateReader};
 pub use vm::{Vm, VmResult, VmStatus};

@@ -21,7 +21,7 @@
 use crate::context::TransactionContext;
 use crate::delta::AggregatorValue;
 use crate::errors::{AbortCode, ExecutionFailure};
-use crate::transaction::Transaction;
+use crate::transaction::{AccessHints, Transaction};
 use crate::view::StateReader;
 use block_stm_storage::{AccessPath, AccountAddress, ConfigId, StateValue};
 use serde::{Deserialize, Serialize};
@@ -347,8 +347,15 @@ impl Transaction for PeerToPeerTransaction {
         }
     }
 
-    fn declared_write_set(&self) -> Option<Vec<AccessPath>> {
-        Some(self.perfect_write_set())
+    /// Exact hints. Every written location is also read by both flavours, so
+    /// the perfect write-set doubles as the (advisory) read hint; the shared
+    /// read-only configuration paths are omitted — nothing ever writes them,
+    /// so they can never contribute a scheduling conflict.
+    fn access_hints(&self) -> Option<AccessHints<AccessPath>> {
+        Some(AccessHints::exact(
+            self.perfect_write_set(),
+            self.perfect_write_set(),
+        ))
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::context::TransactionContext;
 use crate::delta::DeltaOp;
 use crate::errors::{AbortCode, ExecutionFailure};
-use crate::transaction::Transaction;
+use crate::transaction::{AccessHints, Transaction};
 use crate::view::StateReader;
 use serde::{Deserialize, Serialize};
 
@@ -204,8 +204,14 @@ impl Transaction for SyntheticTransaction {
         "synthetic"
     }
 
-    fn declared_write_set(&self) -> Option<Vec<Key>> {
-        Some(self.perfect_write_set())
+    /// Exact hints: the read list is the literal read set and
+    /// [`perfect_write_set`](SyntheticTransaction::perfect_write_set) covers
+    /// every possible write (conditional writes and delta keys included).
+    fn access_hints(&self) -> Option<AccessHints<Key>> {
+        Some(AccessHints::exact(
+            self.reads.clone(),
+            self.perfect_write_set(),
+        ))
     }
 }
 

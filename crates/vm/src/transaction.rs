@@ -7,6 +7,61 @@ use crate::view::StateReader;
 use std::fmt::Debug;
 use std::hash::Hash;
 
+/// Declared read/write access sets for one transaction — the structured form of
+/// the conflict-specification hints the scheduling layers consume.
+///
+/// Hints are **advisory for scheduling** (pre-registering dependencies, choosing
+/// an initial execution order) and may be partial, stale or plain wrong without
+/// affecting the committed output. The one correctness-bearing bit is
+/// [`exact`](AccessHints::exact): an exact hint *promises* that `writes` is a
+/// superset of every location any execution of the transaction may write
+/// (including delta applications). Engines that rely on that promise — Bohm's
+/// pre-built version chains, hinted Block-STM's private-read validation
+/// skipping — enforce it at run time and fail the block with a typed error
+/// ([`UndeclaredWrite`](https://docs.rs/block-stm)-style) instead of committing
+/// a wrong state when a transaction breaks it. `reads` is always advisory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessHints<K> {
+    /// Locations the transaction is expected to read (advisory, may be partial).
+    pub reads: Vec<K>,
+    /// Locations the transaction is expected to write. Only a superset guarantee
+    /// when [`exact`](AccessHints::exact) is set; advisory otherwise.
+    pub writes: Vec<K>,
+    /// Whether `writes` is guaranteed to cover every possible write.
+    pub exact: bool,
+}
+
+impl<K> AccessHints<K> {
+    /// Exact hints: `writes` is a superset of every possible write.
+    pub fn exact(reads: Vec<K>, writes: Vec<K>) -> Self {
+        Self {
+            reads,
+            writes,
+            exact: true,
+        }
+    }
+
+    /// Advisory hints: best-effort sets that engines may only use for
+    /// scheduling, never for correctness.
+    pub fn advisory(reads: Vec<K>, writes: Vec<K>) -> Self {
+        Self {
+            reads,
+            writes,
+            exact: false,
+        }
+    }
+
+    /// Total number of hinted locations (used as a cheap per-txn work estimate).
+    pub fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Whether both sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+}
+
 /// A single write produced by a transaction: the new value of one location.
 ///
 /// The paper's write-sets are `(memory location, value)` pairs; we keep the pair as a
@@ -121,16 +176,79 @@ pub trait Transaction: Send + Sync {
         "txn"
     }
 
-    /// The transaction's *declared* write-set — a superset of every location any
-    /// execution of it may write — when the transaction model can provide one.
+    /// The transaction's declared access sets, when the model can provide them.
     ///
-    /// Block-STM never needs this (run-time write-set estimation is its whole
-    /// point); the Bohm baseline, which assumes perfect pre-execution write-set
-    /// knowledge, uses it to build its placeholder version chains when driven
-    /// through the engine-agnostic `BlockExecutor` interface. The default (`None`)
-    /// makes Bohm report a typed error rather than guess.
-    fn declared_write_set(&self) -> Option<Vec<Self::Key>> {
+    /// Block-STM never needs hints (run-time write-set estimation is its whole
+    /// point), but it can *use* them: the hinted scheduler pre-registers
+    /// dependencies and reorders initial execution from them, and the Bohm
+    /// baseline builds its placeholder version chains from exact hints when
+    /// driven through the engine-agnostic `BlockExecutor` interface. The
+    /// default (`None`) opts out: hint-aware engines fall back to plain
+    /// speculation, and engines that *require* hints (Bohm) report a typed
+    /// error rather than guess.
+    fn access_hints(&self) -> Option<AccessHints<Self::Key>> {
         None
+    }
+
+    /// The transaction's *declared* write-set — a superset of every location any
+    /// execution of it may write — when the transaction model guarantees one.
+    ///
+    /// Derived from [`access_hints`](Transaction::access_hints): only an
+    /// `exact` hint carries the superset guarantee, so advisory hints yield
+    /// `None` here. Kept as a convenience for consumers that only care about
+    /// guaranteed write-sets (Bohm's chains, the persistence layer's commit
+    /// prefetch); implementors should override `access_hints`, not this.
+    fn declared_write_set(&self) -> Option<Vec<Self::Key>> {
+        self.access_hints()
+            .filter(|hints| hints.exact)
+            .map(|hints| hints.writes)
+    }
+}
+
+/// A transaction wrapper that overrides the hints of its inner transaction.
+///
+/// Workload generators use this to emit deliberately imprecise or partial hint
+/// sets (the accuracy knob of the adaptive benchmarks), and the property tests
+/// use it to hand engines *wrong* hints and assert the committed output still
+/// matches sequential execution byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintedTransaction<T: Transaction> {
+    /// The wrapped transaction; execution delegates to it unchanged.
+    pub inner: T,
+    /// The hints to expose instead of the inner transaction's own
+    /// (`None` = expose no hints at all).
+    pub hints: Option<AccessHints<T::Key>>,
+}
+
+impl<T: Transaction> HintedTransaction<T> {
+    /// Wraps `inner`, exposing `hints` instead of its own.
+    pub fn new(inner: T, hints: Option<AccessHints<T::Key>>) -> Self {
+        Self { inner, hints }
+    }
+
+    /// Wraps `inner`, exposing no hints (the "coverage gap" case).
+    pub fn unhinted(inner: T) -> Self {
+        Self { inner, hints: None }
+    }
+}
+
+impl<T: Transaction> Transaction for HintedTransaction<T> {
+    type Key = T::Key;
+    type Value = T::Value;
+
+    fn execute<R: StateReader<Self::Key, Self::Value>>(
+        &self,
+        ctx: &mut TransactionContext<'_, Self::Key, Self::Value, R>,
+    ) -> Result<(), ExecutionFailure> {
+        self.inner.execute(ctx)
+    }
+
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    fn access_hints(&self) -> Option<AccessHints<Self::Key>> {
+        self.hints.clone()
     }
 }
 
@@ -165,6 +283,75 @@ mod tests {
         };
         let pairs: Vec<_> = output.write_pairs().map(|(k, v)| (*k, *v)).collect();
         assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    struct NoHints;
+    impl Transaction for NoHints {
+        type Key = u64;
+        type Value = u64;
+        fn execute<R: StateReader<u64, u64>>(
+            &self,
+            _ctx: &mut TransactionContext<'_, u64, u64, R>,
+        ) -> Result<(), ExecutionFailure> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn declared_write_set_requires_exact_hints() {
+        struct Advisory;
+        impl Transaction for Advisory {
+            type Key = u64;
+            type Value = u64;
+            fn execute<R: StateReader<u64, u64>>(
+                &self,
+                _ctx: &mut TransactionContext<'_, u64, u64, R>,
+            ) -> Result<(), ExecutionFailure> {
+                Ok(())
+            }
+            fn access_hints(&self) -> Option<AccessHints<u64>> {
+                Some(AccessHints::advisory(vec![1], vec![2]))
+            }
+        }
+        struct Exact;
+        impl Transaction for Exact {
+            type Key = u64;
+            type Value = u64;
+            fn execute<R: StateReader<u64, u64>>(
+                &self,
+                _ctx: &mut TransactionContext<'_, u64, u64, R>,
+            ) -> Result<(), ExecutionFailure> {
+                Ok(())
+            }
+            fn access_hints(&self) -> Option<AccessHints<u64>> {
+                Some(AccessHints::exact(vec![1], vec![2]))
+            }
+        }
+        assert_eq!(NoHints.declared_write_set(), None);
+        assert_eq!(
+            Advisory.declared_write_set(),
+            None,
+            "advisory hints carry no guarantee"
+        );
+        assert_eq!(Exact.declared_write_set(), Some(vec![2]));
+    }
+
+    #[test]
+    fn hinted_transaction_overrides_hints_only() {
+        let wrapped = HintedTransaction::new(NoHints, Some(AccessHints::advisory(vec![7], vec![])));
+        assert_eq!(
+            wrapped.access_hints(),
+            Some(AccessHints::advisory(vec![7], vec![]))
+        );
+        assert_eq!(HintedTransaction::unhinted(NoHints).access_hints(), None);
+    }
+
+    #[test]
+    fn access_hints_len_counts_both_sets() {
+        let hints = AccessHints::exact(vec![1u64, 2], vec![3]);
+        assert_eq!(hints.len(), 3);
+        assert!(!hints.is_empty());
+        assert!(AccessHints::<u64>::advisory(vec![], vec![]).is_empty());
     }
 
     #[test]

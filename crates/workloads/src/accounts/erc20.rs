@@ -17,7 +17,7 @@ use block_stm_storage::{
     AccessPath, AccountAddress, GenesisBuilder, InMemoryStorage, StateValue, TokenGenesis, TokenId,
 };
 use block_stm_vm::{
-    AbortCode, DeltaOp, ExecutionFailure, StateReader, Transaction, TransactionContext,
+    AbortCode, AccessHints, DeltaOp, ExecutionFailure, StateReader, Transaction, TransactionContext,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -228,7 +228,10 @@ impl Transaction for Erc20Transaction {
         }
     }
 
-    fn declared_write_set(&self) -> Option<Vec<AccessPath>> {
+    /// Exact hints: every path the operation may write, which doubles as the
+    /// advisory read hint (each written location is read-modify-written apart
+    /// from the delta fee credit, whose over-approximation is harmless).
+    fn access_hints(&self) -> Option<AccessHints<AccessPath>> {
         let mut set = vec![
             AccessPath::sequence_number(self.sender),
             AccessPath::balance(self.sender),
@@ -252,7 +255,7 @@ impl Transaction for Erc20Transaction {
                 set.push(AccessPath::token_balance(to, self.token));
             }
         }
-        Some(set)
+        Some(AccessHints::exact(set.clone(), set))
     }
 }
 

@@ -16,7 +16,7 @@ use super::oracle::AccountTransaction;
 use super::zipf::ZipfSampler;
 use block_stm_storage::{AccessPath, AccountAddress, GenesisBuilder, InMemoryStorage, StateValue};
 use block_stm_vm::{
-    AbortCode, DeltaOp, ExecutionFailure, StateReader, Transaction, TransactionContext,
+    AbortCode, AccessHints, DeltaOp, ExecutionFailure, StateReader, Transaction, TransactionContext,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -157,13 +157,18 @@ impl Transaction for EthTransferTransaction {
         "eth-transfer"
     }
 
-    fn declared_write_set(&self) -> Option<Vec<AccessPath>> {
-        Some(vec![
+    /// Exact hints: the four paths a transfer may touch. The same four paths
+    /// are also the read hint — every written location is read first (nonce
+    /// check, balance checks; the delta fee credit never reads, but the
+    /// over-approximation is harmless since reads are advisory).
+    fn access_hints(&self) -> Option<AccessHints<AccessPath>> {
+        let paths = vec![
             AccessPath::sequence_number(self.sender),
             AccessPath::balance(self.sender),
             AccessPath::balance(self.receiver),
             AccessPath::balance(self.beneficiary),
-        ])
+        ];
+        Some(AccessHints::exact(paths.clone(), paths))
     }
 }
 

@@ -1,11 +1,17 @@
 //! Random synthetic read/write workloads over an integer key space.
 
 use block_stm_vm::synthetic::SyntheticTransaction;
+use block_stm_vm::{AccessHints, HintedTransaction, Transaction};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Seed salt for the hint RNG stream: hints are derived from a *separate*
+/// stream so turning the accuracy knob never perturbs the transactions
+/// themselves — the same seed always yields byte-identical blocks.
+const HINT_STREAM_SALT: u64 = 0x48_49_4E_54; // "HINT"
 
 /// Configuration of a random synthetic workload (used by stress and property tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,6 +32,12 @@ pub struct SyntheticWorkload {
     pub extra_gas: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Probability (percent, 0–100) that a transaction's declared hints are
+    /// accurate in [`generate_hinted_block`](Self::generate_hinted_block).
+    /// Accurate hints are exact (true reads plus the perfect write-set);
+    /// inaccurate ones are advisory noise or missing entirely — never falsely
+    /// exact, so wrong hints can only cost performance, not correctness.
+    pub hint_accuracy_pct: u8,
 }
 
 impl Default for SyntheticWorkload {
@@ -39,6 +51,7 @@ impl Default for SyntheticWorkload {
             abort_pct: 10,
             extra_gas: 0,
             seed: 0x5EED,
+            hint_accuracy_pct: 100,
         }
     }
 }
@@ -62,6 +75,14 @@ impl SyntheticWorkload {
     /// Builder: sets the extra per-transaction gas.
     pub fn with_extra_gas(mut self, gas: u64) -> Self {
         self.extra_gas = gas;
+        self
+    }
+
+    /// Builder: sets the hint-accuracy percentage for
+    /// [`generate_hinted_block`](Self::generate_hinted_block).
+    pub fn with_hint_accuracy(mut self, pct: u8) -> Self {
+        assert!(pct <= 100, "hint accuracy is a percentage");
+        self.hint_accuracy_pct = pct;
         self
     }
 
@@ -107,6 +128,43 @@ impl SyntheticWorkload {
             })
             .collect()
     }
+
+    /// Generates the **same** block as [`generate_block`](Self::generate_block)
+    /// (bit-identical transactions, same seed), wrapped with declared
+    /// [`AccessHints`] at the configured accuracy.
+    ///
+    /// Hint derivation draws from a separate RNG stream, so the accuracy knob
+    /// sweeps hint quality without changing the work being executed. At each
+    /// transaction:
+    ///
+    /// * with probability `hint_accuracy_pct` — the truth: exact hints carrying
+    ///   the real reads and the perfect write-set;
+    /// * otherwise, half the time — *advisory* hints over random keys (wrong,
+    ///   but never claiming exactness, so they can only mislead the scheduler);
+    /// * the remaining half — no hints at all (partial coverage).
+    pub fn generate_hinted_block(&self) -> Vec<HintedTransaction<SyntheticTransaction>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ HINT_STREAM_SALT);
+        self.generate_block()
+            .into_iter()
+            .map(|txn| {
+                let hints = if rng.gen_range(0..100) < self.hint_accuracy_pct {
+                    txn.access_hints()
+                } else if rng.gen_range(0..2) == 0 {
+                    let noise = |rng: &mut ChaCha8Rng, max: usize| -> Vec<u64> {
+                        (0..rng.gen_range(0..=max))
+                            .map(|_| rng.gen_range(0..self.num_keys))
+                            .collect()
+                    };
+                    let reads = noise(&mut rng, self.max_reads);
+                    let writes = noise(&mut rng, self.max_writes);
+                    Some(AccessHints::advisory(reads, writes))
+                } else {
+                    None
+                };
+                HintedTransaction::new(txn, hints)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +203,52 @@ mod tests {
     fn extra_gas_is_propagated() {
         let workload = SyntheticWorkload::new(4, 10).with_extra_gas(77);
         assert!(workload.generate_block().iter().all(|t| t.extra_gas == 77));
+    }
+
+    #[test]
+    fn hinted_block_carries_the_same_transactions() {
+        for accuracy in [0, 40, 100] {
+            let workload = SyntheticWorkload::new(16, 200).with_hint_accuracy(accuracy);
+            let hinted: Vec<_> = workload
+                .generate_hinted_block()
+                .into_iter()
+                .map(|h| h.inner)
+                .collect();
+            assert_eq!(
+                hinted,
+                workload.generate_block(),
+                "the accuracy knob must not perturb the executed work"
+            );
+        }
+    }
+
+    #[test]
+    fn hint_accuracy_extremes_behave_as_documented() {
+        let workload = SyntheticWorkload::new(16, 300);
+        let accurate = workload.with_hint_accuracy(100).generate_hinted_block();
+        assert!(accurate.iter().all(|h| {
+            h.hints
+                .as_ref()
+                .is_some_and(|hints| hints.exact && hints.writes == h.inner.perfect_write_set())
+        }));
+
+        let inaccurate = workload.with_hint_accuracy(0).generate_hinted_block();
+        assert!(
+            inaccurate
+                .iter()
+                .all(|h| h.hints.as_ref().is_none_or(|hints| !hints.exact)),
+            "wrong hints must never claim exactness"
+        );
+        assert!(inaccurate.iter().any(|h| h.hints.is_some()));
+        assert!(inaccurate.iter().any(|h| h.hints.is_none()));
+    }
+
+    #[test]
+    fn hinted_generation_is_deterministic_in_the_seed() {
+        let workload = SyntheticWorkload::new(16, 100).with_hint_accuracy(50);
+        assert_eq!(
+            workload.generate_hinted_block(),
+            workload.generate_hinted_block()
+        );
     }
 }

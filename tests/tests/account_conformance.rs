@@ -5,16 +5,19 @@
 //! bug.
 //!
 //! The battery runs Block-STM with the rolling commit ladder on and off at
-//! 1–8 threads, the sequential baseline, Bohm (on delta-free blocks) and LiTM
-//! (checked for thread-count determinism and oracle compliance on its own
-//! serialization, since it commits a different deterministic order). Proptest
+//! 1–8 threads, the sequential baseline, Bohm (on delta-free blocks), the
+//! adaptive dispatcher (organic plus every decision path forced via builder
+//! knobs, including the mid-block sequential fallback) and LiTM (checked for
+//! thread-count determinism and oracle compliance on its own serialization,
+//! since it commits a different deterministic order). Proptest
 //! cases randomize the workload shape — pool size, Zipf skew, conflict factor,
 //! fee mode and injected failures (bad nonces, insufficient balances) that
 //! must abort identically everywhere; failing seeds persist to
 //! `proptest-regressions/account_conformance.txt`.
 
 use block_stm::{
-    BlockExecutor, BlockGasLimit, BlockStmBuilder, CommitEvent, CommitSink, SequentialExecutor, Vm,
+    AdaptiveExecutor, BlockExecutor, BlockGasLimit, BlockStmBuilder, CommitEvent, CommitSink,
+    EngineChoice, SequentialExecutor, Vm,
 };
 use block_stm_baselines::{BohmExecutor, LitmExecutor};
 use block_stm_storage::{AccessPath, InMemoryStorage, StateValue, Storage};
@@ -75,6 +78,44 @@ fn conformance_battery<T: AccountTransaction>(
                 Box::new(BohmExecutor::new(Vm::for_testing(), threads)),
             ));
         }
+        // The adaptive dispatcher preserves the preset order no matter which
+        // engine it picks, so it belongs in the exact-equality battery: once
+        // organically (the block's own signals decide), once per forced
+        // decision path, and once with the mid-block abort fallback armed to
+        // fire on the very first conflict.
+        engines.push((
+            "adaptive",
+            Box::new(
+                AdaptiveExecutor::builder(Vm::for_testing())
+                    .concurrency(threads)
+                    .build(),
+            ),
+        ));
+        for (label, choice) in [
+            ("adaptive(seq)", EngineChoice::Sequential),
+            ("adaptive(par)", EngineChoice::Parallel),
+            ("adaptive(hint)", EngineChoice::Hinted),
+        ] {
+            engines.push((
+                label,
+                Box::new(
+                    AdaptiveExecutor::builder(Vm::for_testing())
+                        .concurrency(threads)
+                        .force_choice(choice)
+                        .build(),
+                ),
+            ));
+        }
+        engines.push((
+            "adaptive(fallback)",
+            Box::new(
+                AdaptiveExecutor::builder(Vm::for_testing())
+                    .concurrency(threads)
+                    .force_choice(EngineChoice::Hinted)
+                    .abort_fallback_threshold(0)
+                    .build(),
+            ),
+        ));
         for (label, engine) in engines {
             let output = engine
                 .execute_block(block, storage)
@@ -295,6 +336,17 @@ proptest! {
         if rmw_fees {
             engines.push(("bohm", Box::new(BohmExecutor::new(Vm::for_testing(), threads))));
         }
+        engines.push(("adaptive", Box::new(AdaptiveExecutor::builder(Vm::for_testing()).concurrency(threads).build())));
+        engines.push((
+            "adaptive-fallback",
+            Box::new(
+                AdaptiveExecutor::builder(Vm::for_testing())
+                    .concurrency(threads)
+                    .force_choice(EngineChoice::Hinted)
+                    .abort_fallback_threshold(0)
+                    .build(),
+            ),
+        ));
         for (label, engine) in engines {
             let output = engine.execute_block(&block, &storage).unwrap();
             prop_assert_eq!((label, &output.updates), (label, &reference.updates));
@@ -346,6 +398,17 @@ proptest! {
         if rmw_fees {
             engines.push(("bohm", Box::new(BohmExecutor::new(Vm::for_testing(), threads))));
         }
+        engines.push(("adaptive", Box::new(AdaptiveExecutor::builder(Vm::for_testing()).concurrency(threads).build())));
+        engines.push((
+            "adaptive-fallback",
+            Box::new(
+                AdaptiveExecutor::builder(Vm::for_testing())
+                    .concurrency(threads)
+                    .force_choice(EngineChoice::Hinted)
+                    .abort_fallback_threshold(0)
+                    .build(),
+            ),
+        ));
         for (label, engine) in engines {
             let output = engine.execute_block(&block, &storage).unwrap();
             prop_assert_eq!((label, &output.updates), (label, &reference.updates));

@@ -1,13 +1,15 @@
 //! Engine-conformance suite: one shared battery of blocks runs over **every**
 //! [`BlockExecutor`] implementation in the workspace — Block-STM, the sequential
-//! baseline, Bohm and LiTM — at thread counts 1 through 8, through the unified trait
-//! instead of four bespoke call sites.
+//! baseline, Bohm, LiTM and the adaptive dispatcher — at thread counts 1 through 8,
+//! through the unified trait instead of bespoke call sites.
 //!
 //! Engines that preserve the preset order must match the sequential oracle exactly;
 //! LiTM (which commits a different deterministic serialization) is checked for
 //! determinism across thread counts and completeness instead.
 
-use block_stm::{BlockExecutor, BlockStmBuilder, SequentialExecutor, Vm};
+use block_stm::{
+    AdaptiveExecutor, BlockExecutor, BlockStmBuilder, EngineChoice, SequentialExecutor, Vm,
+};
 use block_stm_baselines::{BohmExecutor, LitmExecutor};
 use block_stm_storage::InMemoryStorage;
 use block_stm_vm::synthetic::SyntheticTransaction;
@@ -18,7 +20,10 @@ type Engine = Box<dyn BlockExecutor<SyntheticTransaction, Storage>>;
 
 /// Every engine in the workspace, configured for `threads` workers. Block-STM runs
 /// twice: with the rolling commit ladder (the default) and with the ladder disabled
-/// (the `commitbench` ablation) — both must match the sequential oracle.
+/// (the `commitbench` ablation) — both must match the sequential oracle. The
+/// adaptive dispatcher runs five ways: deciding organically, forced down each of
+/// its three engine paths, and forced hinted with a zero abort budget so the
+/// mid-block sequential fallback fires whenever the block conflicts at all.
 fn engines(threads: usize) -> Vec<Engine> {
     vec![
         Box::new(
@@ -35,6 +40,36 @@ fn engines(threads: usize) -> Vec<Engine> {
         Box::new(SequentialExecutor::new(Vm::for_testing())),
         Box::new(BohmExecutor::new(Vm::for_testing(), threads)),
         Box::new(LitmExecutor::new(Vm::for_testing(), threads)),
+        Box::new(
+            AdaptiveExecutor::builder(Vm::for_testing())
+                .concurrency(threads)
+                .build(),
+        ),
+        Box::new(
+            AdaptiveExecutor::builder(Vm::for_testing())
+                .concurrency(threads)
+                .force_choice(EngineChoice::Sequential)
+                .build(),
+        ),
+        Box::new(
+            AdaptiveExecutor::builder(Vm::for_testing())
+                .concurrency(threads)
+                .force_choice(EngineChoice::Parallel)
+                .build(),
+        ),
+        Box::new(
+            AdaptiveExecutor::builder(Vm::for_testing())
+                .concurrency(threads)
+                .force_choice(EngineChoice::Hinted)
+                .build(),
+        ),
+        Box::new(
+            AdaptiveExecutor::builder(Vm::for_testing())
+                .concurrency(threads)
+                .force_choice(EngineChoice::Hinted)
+                .abort_fallback_threshold(0)
+                .build(),
+        ),
     ]
 }
 
@@ -131,13 +166,27 @@ fn engine_names_and_order_contract_are_stable() {
     let names: Vec<&str> = engines(2).iter().map(|engine| engine.name()).collect();
     assert_eq!(
         names,
-        vec!["block-stm", "block-stm", "sequential", "bohm", "litm"]
+        vec![
+            "block-stm",
+            "block-stm",
+            "sequential",
+            "bohm",
+            "litm",
+            "adaptive",
+            "adaptive",
+            "adaptive",
+            "adaptive",
+            "adaptive"
+        ]
     );
     let order: Vec<bool> = engines(2)
         .iter()
         .map(|engine| engine.preserves_preset_order())
         .collect();
-    assert_eq!(order, vec![true, true, true, true, false]);
+    assert_eq!(
+        order,
+        vec![true, true, true, true, false, true, true, true, true, true]
+    );
 }
 
 /// The tentpole reuse scenario: a single `BlockStm` instance executes 50 consecutive

@@ -1,11 +1,23 @@
 //! Property-based tests: for *arbitrary* blocks of synthetic read/write transactions,
 //! the parallel engines commit exactly the sequential preset-order state, on any
 //! thread count. Shrinking gives minimal counterexamples if the engines ever diverge.
+//!
+//! The wrong-hints suite is the teeth behind the "hints are advisory" claim:
+//! arbitrarily wrong *advisory* hints fed to the hinted scheduler (and to the
+//! adaptive dispatcher forced onto its hinted path) must leave the committed
+//! output byte-for-byte identical to sequential execution, while an *exact*
+//! hint that lies about the write-set must fail the block with the typed
+//! [`UndeclaredWrite`](block_stm::ExecutionError::UndeclaredWrite) error
+//! instead of committing anything.
 
-use block_stm::{BlockStmBuilder, SequentialExecutor, Vm};
+use block_stm::{
+    AdaptiveExecutor, BlockExecutor, BlockStmBuilder, EngineChoice, ExecutionError,
+    SequentialExecutor, Vm,
+};
 use block_stm_baselines::{BohmExecutor, LitmExecutor};
 use block_stm_storage::InMemoryStorage;
 use block_stm_vm::synthetic::SyntheticTransaction;
+use block_stm_vm::{AccessHints, HintedTransaction, Transaction};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -35,6 +47,18 @@ fn arb_txn() -> impl Strategy<Value = SyntheticTransaction> {
 
 fn initial_storage() -> InMemoryStorage<u64, u64> {
     (0..KEYS).map(|k| (k, k * 17 + 3)).collect()
+}
+
+/// Deliberately wrong hints: advisory sets drawn independently of the
+/// transaction's real accesses (so they routinely miss real conflicts and
+/// invent fake ones), or no hints at all. Never `exact` — exactness is the one
+/// correctness-bearing promise, covered by the lying-exact test below.
+fn arb_wrong_hints() -> impl Strategy<Value = Option<AccessHints<u64>>> {
+    prop_oneof![
+        Just(None),
+        (vec(0..KEYS, 0..4), vec(0..KEYS, 0..4))
+            .prop_map(|(reads, writes)| Some(AccessHints::advisory(reads, writes))),
+    ]
 }
 
 proptest! {
@@ -96,5 +120,107 @@ proptest! {
         let first = executor.execute_block(&block, &storage).unwrap();
         let second = executor.execute_block(&block, &storage).unwrap();
         prop_assert_eq!(first.updates, second.updates);
+    }
+
+    /// Advisory hints are pure scheduling advice: no matter how wrong they are,
+    /// the hinted scheduler and the adaptive dispatcher (forced onto its hinted
+    /// path, with the mid-block fallback both disarmed and hair-triggered) must
+    /// commit the sequential preset-order state byte for byte.
+    #[test]
+    fn arbitrarily_wrong_advisory_hints_never_change_committed_output(
+        block in vec((arb_txn(), arb_wrong_hints()), 1..50),
+        threads in 1usize..9,
+    ) {
+        let storage = initial_storage();
+        let hinted_block: Vec<_> = block
+            .into_iter()
+            .map(|(txn, hints)| HintedTransaction::new(txn, hints))
+            .collect();
+        let sequential = SequentialExecutor::new(Vm::for_testing())
+            .execute_block(&hinted_block, &storage)
+            .unwrap();
+
+        let engines: Vec<(&str, Box<dyn BlockExecutor<_, _>>)> = vec![
+            (
+                "hinted-block-stm",
+                Box::new(
+                    BlockStmBuilder::new(Vm::for_testing())
+                        .concurrency(threads)
+                        .use_hints(true)
+                        .build(),
+                ),
+            ),
+            (
+                "adaptive(hint)",
+                Box::new(
+                    AdaptiveExecutor::builder(Vm::for_testing())
+                        .concurrency(threads)
+                        .force_choice(EngineChoice::Hinted)
+                        .build(),
+                ),
+            ),
+            (
+                "adaptive(hint, fallback)",
+                Box::new(
+                    AdaptiveExecutor::builder(Vm::for_testing())
+                        .concurrency(threads)
+                        .force_choice(EngineChoice::Hinted)
+                        .abort_fallback_threshold(0)
+                        .build(),
+                ),
+            ),
+        ];
+        for (label, engine) in engines {
+            let output = engine.execute_block(&hinted_block, &storage).unwrap();
+            prop_assert_eq!((label, &output.updates), (label, &sequential.updates));
+            for (idx, (h, s)) in output.outputs.iter().zip(sequential.outputs.iter()).enumerate() {
+                prop_assert_eq!((label, idx, &h.writes), (label, idx, &s.writes));
+                prop_assert_eq!((label, idx, h.abort_code), (label, idx, s.abort_code));
+            }
+        }
+    }
+
+    /// The flip side: an `exact` hint whose write-set lies (omits a location
+    /// the transaction really writes) must fail the whole block with the typed
+    /// [`UndeclaredWrite`] error naming the liar — never commit a state built
+    /// on the broken privacy promise. Every other transaction carries its own
+    /// truthful exact hints, so enforcement is per-transaction.
+    #[test]
+    fn lying_exact_hints_fail_with_undeclared_write(
+        block in vec(arb_txn(), 1..30),
+        liar_seed in any::<u64>(),
+        threads in 1usize..9,
+    ) {
+        let storage = initial_storage();
+        let liar_idx = (liar_seed % block.len() as u64) as usize;
+        let hinted_block: Vec<_> = block
+            .into_iter()
+            .enumerate()
+            .map(|(idx, mut txn)| {
+                if idx == liar_idx {
+                    // The liar must actually perform its writes: disarm the
+                    // deterministic abort, then declare an empty exact
+                    // write-set (its `writes` strategy is never empty).
+                    txn.abort_when_divisible_by = None;
+                    let reads = txn.reads.clone();
+                    HintedTransaction::new(txn, Some(AccessHints::exact(reads, vec![])))
+                } else {
+                    let hints = txn.access_hints();
+                    HintedTransaction::new(txn, hints)
+                }
+            })
+            .collect();
+        let hinted = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(threads)
+            .use_hints(true)
+            .build();
+        match hinted.execute_block(&hinted_block, &storage) {
+            Err(ExecutionError::UndeclaredWrite { txn_idx }) => {
+                prop_assert_eq!(txn_idx, liar_idx);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected UndeclaredWrite at {liar_idx}, got {other:?}"
+            ))),
+        }
     }
 }

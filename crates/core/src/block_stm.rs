@@ -35,6 +35,18 @@ use std::fmt::Debug;
 use std::hash::Hash;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Whether the opt-in chained-commit audit is on (`BLOCK_STM_CHAIN_AUDIT=1`):
+/// every committed transaction's full read set is re-validated at drain time,
+/// when everything below it is final, using the same predicate the executor
+/// validates with. Any failure is a stale commit; the audit dumps the failing
+/// descriptors plus the scheduler's wave bookkeeping and aborts the process.
+/// Diagnostics only — keep it off in production runs.
+fn chain_commit_audit_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("BLOCK_STM_CHAIN_AUDIT").is_some())
+}
 use std::sync::Arc;
 
 /// Builder for [`BlockStm`]: the VM plus every tuning knob of [`ExecutorOptions`].
@@ -997,6 +1009,53 @@ where
             }
             if sink_mismatch {
                 break;
+            }
+            if let Some(frontier) = self.frontier {
+                if chain_commit_audit_enabled() {
+                    // Debug audit (BLOCK_STM_CHAIN_AUDIT=1): everything below a
+                    // committed transaction is final by the time it drains, so
+                    // its read set must still pass the exact validation predicate
+                    // the executor uses — every origin type, not just frontier
+                    // stamps. A failure here is a stale read that slipped past
+                    // validation; dump it and abort so stress harnesses catch
+                    // the exact transaction.
+                    let failed = self.mvmemory.failed_read_descriptors(
+                        idx,
+                        |key| self.base_aggregator(key),
+                        |key| Some(frontier.stamp_of(key)),
+                    );
+                    if !failed.is_empty() {
+                        for descriptor in &failed {
+                            eprintln!(
+                                "CHAIN AUDIT: txn {idx} committed with stale read: \
+                                 key {:?} recorded origin {:?} current frontier stamp {} \
+                                 fresh resolution {}",
+                                descriptor.key,
+                                descriptor.origin,
+                                frontier.stamp_of(&descriptor.key),
+                                self.mvmemory
+                                    .describe_resolution(descriptor, idx, |key| self
+                                        .base_aggregator(key)),
+                            );
+                        }
+                        let (incarnation, status, mtw, required, validated, cursor_idx, wave) =
+                            self.scheduler.wave_diagnostics(idx);
+                        eprintln!(
+                            "CHAIN AUDIT: txn {idx} incarnation {incarnation} status {status:?} \
+                             max_triggered_wave {mtw} required_wave {required} \
+                             validated_wave {validated:?} cursor ({cursor_idx}, {wave})",
+                        );
+                        eprintln!(
+                            "CHAIN AUDIT: context: committed_prefix {}, gate_open {}, \
+                             block_size {}, execution_cursor {}",
+                            self.scheduler.committed_prefix(),
+                            self.scheduler.commit_gate_open(),
+                            self.scheduler.block_size(),
+                            execution_cursor,
+                        );
+                        std::process::abort();
+                    }
+                }
             }
             if self.frontier.is_some() {
                 // Also fold the pairs into the per-block last-write map: the

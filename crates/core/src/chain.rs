@@ -25,6 +25,19 @@
 //! Slots alternate: while blocks `N` and `N+1` occupy the two engine arenas,
 //! the arena of block `N-1` is reset in place for block `N+2`, so a chain of
 //! any length reuses exactly two blocks' worth of allocations.
+//!
+//! # Incremental feeds
+//!
+//! The chain does not require the whole stream up front. Next to
+//! [`execute_chain`](ChainExecutor::execute_chain) (a pre-materialized slice),
+//! [`execute_stream`](ChainExecutor::execute_stream) pulls blocks from a
+//! [`BlockSource`] *while the chain runs*: idle workers poll the source, and a
+//! block that arrives after the previous head already finished is prepared
+//! directly as the new open head (the frontier is frozen at that point, so the
+//! fresh block needs no revalidation sweep — the same argument that lets block
+//! 0 start with its gate open). This is what a long-lived node needs: blocks
+//! are formed from a mempool as traffic arrives, and the stream ends only when
+//! the source reports [`BlockFeed::End`].
 
 use crate::block_stm::{EngineState, Worker};
 use crate::config::ExecutorOptions;
@@ -50,6 +63,44 @@ use std::time::Instant;
 /// per-stint location cache, small enough that slot recycling (which must wait
 /// out every in-flight stint on the old block) never stalls noticeably.
 const STINT_BUDGET: usize = 512;
+
+/// Blocks pulled from a [`BlockSource`] in one poll, bounding the time a worker
+/// spends holding the fetch lock while its peers execute.
+const MAX_PULLS_PER_POLL: usize = 16;
+
+/// One pull from a [`BlockSource`].
+#[derive(Debug)]
+pub enum BlockFeed<T> {
+    /// The next block of the stream, in stream order.
+    Ready(Vec<T>),
+    /// No block is available *yet* — the chain keeps executing what it has and
+    /// polls again.
+    Pending,
+    /// The stream is complete; once every fetched block commits, the chain
+    /// call returns.
+    End,
+}
+
+/// An incremental feed of blocks for [`ChainExecutor::execute_stream`].
+///
+/// `next_block` is called by chain workers (serialized — never concurrently)
+/// whenever they have pipeline capacity, so an implementation is free to *form*
+/// the block on demand, e.g. by cutting a mempool. Returning
+/// [`BlockFeed::Pending`] must not block: the chain turns it into bounded
+/// idle backoff and polls again.
+pub trait BlockSource<T>: Send + Sync {
+    /// Pulls the next block, if one is available.
+    fn next_block(&self) -> BlockFeed<T>;
+}
+
+impl<T, F> BlockSource<T> for F
+where
+    F: Fn() -> BlockFeed<T> + Send + Sync,
+{
+    fn next_block(&self) -> BlockFeed<T> {
+        self()
+    }
+}
 
 /// The committed result of a whole chain.
 #[derive(Debug, Clone)]
@@ -112,11 +163,11 @@ where
         Self {
             slots: [
                 RwLock::new(ChainSlot {
-                    generation: 0,
+                    generation: usize::MAX,
                     state: EngineState::new(0, options),
                 }),
                 RwLock::new(ChainSlot {
-                    generation: 0,
+                    generation: usize::MAX,
                     state: EngineState::new(0, options),
                 }),
             ],
@@ -140,6 +191,161 @@ where
     }
 }
 
+/// Progress of one position in the (possibly still-arriving) block stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockStatus {
+    /// The block is available; payload is its transaction count.
+    Ready(usize),
+    /// The source has not produced this block yet.
+    Pending,
+    /// The stream ended before this position.
+    Ended,
+}
+
+/// A borrowed view of one block, valid for the duration of a stint.
+enum BlockRef<'a, T> {
+    Slice(&'a [T]),
+    Shared(Arc<Vec<T>>),
+}
+
+impl<T> std::ops::Deref for BlockRef<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self {
+            BlockRef::Slice(block) => block,
+            BlockRef::Shared(block) => block,
+        }
+    }
+}
+
+/// The dynamic half of [`BlockStream`]: blocks pulled from a source so far.
+struct DynamicStore<'a, T> {
+    source: &'a dyn BlockSource<T>,
+    /// Blocks fetched so far, in stream order. Retained for the duration of
+    /// the chain call (harvested blocks stay reachable for bounded straggler
+    /// stints that observed the old slot generation).
+    fetched: RwLock<Vec<Arc<Vec<T>>>>,
+    /// Serializes pulls from the source; the flag records that the source
+    /// reported [`BlockFeed::End`]. Only ever `try_lock`ed.
+    ended: Mutex<bool>,
+}
+
+/// The chain's view of its input: either a pre-materialized slice
+/// ([`ChainExecutor::execute_chain`]) or an incrementally fetched stream
+/// ([`ChainExecutor::execute_stream`]). All methods are lock-light and safe to
+/// call from any worker.
+enum BlockStore<'a, T> {
+    Slice(&'a [Vec<T>]),
+    Dynamic(DynamicStore<'a, T>),
+}
+
+struct BlockStream<'a, T> {
+    store: BlockStore<'a, T>,
+    /// Total number of blocks in the stream; `usize::MAX` until the end is
+    /// known. Workers exit once the head reaches this.
+    total: AtomicUsize,
+}
+
+impl<'a, T> BlockStream<'a, T> {
+    fn from_slice(blocks: &'a [Vec<T>]) -> Self {
+        Self {
+            store: BlockStore::Slice(blocks),
+            total: AtomicUsize::new(blocks.len()),
+        }
+    }
+
+    fn from_source(source: &'a dyn BlockSource<T>) -> Self {
+        Self {
+            store: BlockStore::Dynamic(DynamicStore {
+                source,
+                fetched: RwLock::new(Vec::new()),
+                ended: Mutex::new(false),
+            }),
+            total: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.total.load(Ordering::SeqCst)
+    }
+
+    fn status(&self, index: usize) -> BlockStatus {
+        match &self.store {
+            BlockStore::Slice(blocks) => {
+                if index < blocks.len() {
+                    BlockStatus::Ready(blocks[index].len())
+                } else {
+                    BlockStatus::Ended
+                }
+            }
+            BlockStore::Dynamic(store) => {
+                let fetched = store.fetched.read();
+                if index < fetched.len() {
+                    BlockStatus::Ready(fetched[index].len())
+                } else if self.total() != usize::MAX {
+                    BlockStatus::Ended
+                } else {
+                    BlockStatus::Pending
+                }
+            }
+        }
+    }
+
+    /// The block at `index`, which must already be fetched (callers only ask
+    /// for blocks whose slot they observed prepared).
+    fn block(&self, index: usize) -> BlockRef<'a, T> {
+        match &self.store {
+            BlockStore::Slice(blocks) => BlockRef::Slice(&blocks[index]),
+            BlockStore::Dynamic(store) => BlockRef::Shared(store.fetched.read()[index].clone()),
+        }
+    }
+
+    /// Pulls newly available blocks from the source, bounded per call. Returns
+    /// whether anything changed (a block arrived or the end was discovered).
+    /// A lost `try_lock` race returns `false` — some other worker is pulling.
+    fn poll(&self) -> bool {
+        let BlockStore::Dynamic(store) = &self.store else {
+            return false;
+        };
+        let Some(mut ended) = store.ended.try_lock() else {
+            return false;
+        };
+        if *ended {
+            return false;
+        }
+        let mut progressed = false;
+        for _ in 0..MAX_PULLS_PER_POLL {
+            match store.source.next_block() {
+                BlockFeed::Ready(block) => {
+                    store.fetched.write().push(Arc::new(block));
+                    progressed = true;
+                }
+                BlockFeed::Pending => break,
+                BlockFeed::End => {
+                    *ended = true;
+                    self.total
+                        .store(store.fetched.read().len(), Ordering::SeqCst);
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+}
+
+/// Handoff bookkeeping, all guarded by the advance mutex. `advanced` blocks are
+/// fully harvested; `prepared` is the stream prefix whose slots are
+/// initialized; `announced` is the stream prefix the sinks/limiter have seen a
+/// `begin_block` for. A run-ahead block can be prepared but not announced;
+/// the head is always announced exactly when it is prepared.
+struct AdvanceState {
+    advanced: usize,
+    prepared: usize,
+    announced: usize,
+}
+
 /// Per-call shared control state of the chain workers.
 struct ChainControl<K, V> {
     /// Index of the oldest un-harvested block — the chain's head. Workers stint
@@ -150,10 +356,11 @@ struct ChainControl<K, V> {
     failed: AtomicBool,
     /// The first typed failure observed.
     failure: Mutex<Option<ExecutionError>>,
-    /// Serializes block handoffs: the number of blocks fully advanced past.
-    /// Only `try_lock` is ever used — a worker holding a slot read guard must
-    /// never block here (the recycling write lock waits on those readers).
-    advance: Mutex<usize>,
+    /// Serializes block handoffs and slot preparation (every slot *writer*
+    /// lives under this mutex). Only `try_lock` is ever used — a worker holding
+    /// a slot read guard must never block here (the recycling write lock waits
+    /// on those readers).
+    advance: Mutex<AdvanceState>,
     /// Frontier publication count already covered by an intermediate
     /// revalidation sweep of the successor block (throttles sweeps to one per
     /// publication batch across all workers).
@@ -236,63 +443,80 @@ impl ChainExecutor {
         T: Transaction,
         S: Storage<T::Key, T::Value>,
     {
-        if !self.options.rolling_commit {
-            return Err(ExecutionError::ChainRequiresRollingCommit);
-        }
-        let num_blocks = blocks.len();
-        if num_blocks == 0 {
+        if blocks.is_empty() && self.options.rolling_commit {
             return Ok(ChainOutput {
                 blocks: Vec::new(),
                 updates: Vec::new(),
                 metrics: MetricsSnapshot::default(),
             });
         }
+        self.run(BlockStream::from_slice(blocks), storage)
+    }
 
+    /// Executes an *incrementally fed* stream of blocks: blocks are pulled from
+    /// `source` while the chain runs, so block formation (e.g. cutting a
+    /// mempool) overlaps with execution. Everything else matches
+    /// [`execute_chain`](Self::execute_chain): per-block outputs equal a
+    /// barrier-per-block execution of the same stream, sinks and the limiter
+    /// see blocks strictly in stream order, and the call returns once the
+    /// source reports [`BlockFeed::End`] and every fetched block has
+    /// committed. A source that never ends makes this a service loop that
+    /// only returns on failure.
+    pub fn execute_stream<T, S>(
+        &self,
+        source: &dyn BlockSource<T>,
+        storage: &S,
+    ) -> Result<ChainOutput<T::Key, T::Value>, ExecutionError>
+    where
+        T: Transaction,
+        S: Storage<T::Key, T::Value>,
+    {
+        self.run(BlockStream::from_source(source), storage)
+    }
+
+    fn run<T, S>(
+        &self,
+        stream: BlockStream<'_, T>,
+        storage: &S,
+    ) -> Result<ChainOutput<T::Key, T::Value>, ExecutionError>
+    where
+        T: Transaction,
+        S: Storage<T::Key, T::Value>,
+    {
+        if !self.options.rolling_commit {
+            return Err(ExecutionError::ChainRequiresRollingCommit);
+        }
         let mut guard = self.state.lock();
         let arena = ChainArena::<T::Key, T::Value>::prepare(&mut guard, &self.options);
         arena.chain_metrics.reset();
-        // Prepare the first two slots. Block 0 has no predecessor: its gate is
-        // (re-)opened explicitly, which also re-attempts the ladder so an empty
-        // block 0 reports done immediately. Block 1 is gated until block 0 has
-        // fully committed.
-        {
-            let slot = arena.slots[0].get_mut();
-            slot.generation = 0;
-            slot.state.reset(blocks[0].len());
-            slot.state.metrics.record_block(blocks[0].len());
-            slot.state.scheduler.set_commit_gate(true);
-        }
-        if num_blocks > 1 {
-            let slot = arena.slots[1].get_mut();
-            slot.generation = 1;
-            slot.state.reset(blocks[1].len());
-            slot.state.metrics.record_block(blocks[1].len());
-            slot.state.scheduler.set_commit_gate(false);
+        // Invalidate slot generations left over from a previous chain so a
+        // stream whose first blocks arrive late can never alias them.
+        for slot in &mut arena.slots {
+            slot.get_mut().generation = usize::MAX;
         }
         let sinks = self.sinks.as_slice();
         let limiter = self.limiter.as_deref();
-        for sink in sinks {
-            sink.begin_block(blocks[0].len());
-        }
-        if let Some(limiter) = limiter {
-            limiter.begin_block(blocks[0].len());
-        }
 
         let frontier = FrontierOverlay::<T::Key, T::Value>::new();
         let control = ChainControl::<T::Key, T::Value> {
             active_block: AtomicUsize::new(0),
             failed: AtomicBool::new(false),
             failure: Mutex::new(None),
-            advance: Mutex::new(0),
+            advance: Mutex::new(AdvanceState {
+                advanced: 0,
+                prepared: 0,
+                announced: 0,
+            }),
             swept_publications: AtomicU64::new(0),
-            results: Mutex::new((0..num_blocks).map(|_| None).collect()),
+            results: Mutex::new(Vec::new()),
         };
         let panics = PanicCollector::new();
         let arena = &*arena;
+        let stream = &stream;
         let shared = ChainShared {
             vm: &self.vm,
             options: &self.options,
-            blocks,
+            stream,
             storage,
             sinks,
             limiter,
@@ -300,6 +524,22 @@ impl ChainExecutor {
             arena,
             control: &control,
         };
+        // Pull whatever the source already has and prepare the initial slots
+        // (head gate open, run-ahead gated) before dispatching, so a
+        // pre-materialized chain starts exactly as it always did. A dynamic
+        // source may well have nothing yet — workers then poll it.
+        {
+            stream.poll();
+            let mut st = control.advance.lock();
+            shared.settle(&mut st);
+        }
+        if stream.total() == 0 {
+            return Ok(ChainOutput {
+                blocks: Vec::new(),
+                updates: Vec::new(),
+                metrics: MetricsSnapshot::default(),
+            });
+        }
 
         let job = |_worker_index: usize| {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| shared.worker_loop())) {
@@ -328,8 +568,18 @@ impl ChainExecutor {
             return Err(error);
         }
 
+        let total = stream.total();
         let mut results = control.results.into_inner();
-        let mut outputs = Vec::with_capacity(num_blocks);
+        if total == usize::MAX || results.len() != total {
+            return Err(ExecutionError::Internal {
+                detail: format!(
+                    "chain finished with {} of {} blocks harvested",
+                    results.len(),
+                    if total == usize::MAX { 0 } else { total }
+                ),
+            });
+        }
+        let mut outputs = Vec::with_capacity(total);
         for (index, result) in results.iter_mut().enumerate() {
             match result.take() {
                 Some(output) => outputs.push(output),
@@ -359,7 +609,7 @@ impl ChainExecutor {
 struct ChainShared<'a, T: Transaction, S> {
     vm: &'a Vm,
     options: &'a ExecutorOptions,
-    blocks: &'a [Vec<T>],
+    stream: &'a BlockStream<'a, T>,
     storage: &'a S,
     sinks: &'a [Arc<dyn ErasedCommitSink>],
     limiter: Option<&'a dyn ErasedBlockLimiter>,
@@ -377,12 +627,12 @@ where
     fn worker_over<'s>(
         &'s self,
         state: &'s EngineState<T::Key, T::Value>,
-        block_index: usize,
+        block: &'s [T],
     ) -> Worker<'s, T, S> {
         Worker {
             vm: self.vm,
             options: self.options,
-            block: &self.blocks[block_index],
+            block,
             storage: self.storage,
             mvmemory: &state.mvmemory,
             scheduler: &state.scheduler,
@@ -399,11 +649,76 @@ where
         }
     }
 
+    /// Calls `begin_block` on every sink and the limiter — the stream-order
+    /// announcement that hooks key their per-block state off.
+    fn announce(&self, block_size: usize) {
+        for sink in self.sinks {
+            sink.begin_block(block_size);
+        }
+        if let Some(limiter) = self.limiter {
+            limiter.begin_block(block_size);
+        }
+    }
+
+    /// Prepares whatever slots newly fetched blocks allow, under the advance
+    /// mutex. Covers the two situations `try_advance` cannot: the initial
+    /// prepare of blocks 0/1, and a head that arrived *after* its predecessor
+    /// was already harvested (the stream ran dry). In the latter case the
+    /// frontier is frozen — every older block has committed and published — so
+    /// the fresh head starts with its gate open and needs no revalidation
+    /// sweep, exactly like block 0. Returns whether any slot was prepared.
+    fn settle(&self, st: &mut AdvanceState) -> bool {
+        if self.control.failed.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut progressed = false;
+        if st.prepared == st.advanced {
+            // No block in flight: prepare the head, announced and gate-open.
+            if let BlockStatus::Ready(len) = self.stream.status(st.advanced) {
+                debug_assert_eq!(st.announced, st.advanced, "head announced before prepared");
+                self.announce(len);
+                st.announced = st.advanced + 1;
+                let mut slot = self.arena.slots[st.advanced % 2].write();
+                slot.generation = st.advanced;
+                slot.state.reset(len);
+                slot.state.metrics.record_block(len);
+                slot.state.scheduler.set_commit_gate(true);
+                drop(slot);
+                st.prepared = st.advanced + 1;
+                progressed = true;
+            }
+        }
+        if st.prepared == st.advanced + 1 {
+            // Head in flight, run-ahead slot free: prepare the successor gated.
+            if let BlockStatus::Ready(len) = self.stream.status(st.prepared) {
+                let mut slot = self.arena.slots[st.prepared % 2].write();
+                slot.generation = st.prepared;
+                slot.state.reset(len);
+                slot.state.metrics.record_block(len);
+                slot.state.scheduler.set_commit_gate(false);
+                drop(slot);
+                st.prepared += 1;
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Feeds the stream: pulls newly available blocks from the source and
+    /// prepares slots for them. Called by workers with nothing to execute.
+    fn poll_stream(&self) -> bool {
+        let mut progressed = self.stream.poll();
+        if let Some(mut st) = self.control.advance.try_lock() {
+            progressed |= self.settle(&mut st);
+        }
+        progressed
+    }
+
     /// One worker's chain main loop: stint on the head block, opportunistically
-    /// on its successor, advance the chain when the head completes, back off
-    /// when neither has work. Exits when the chain is fully advanced or failed.
+    /// on its successor, advance the chain when the head completes, poll the
+    /// block source when idle, back off when nothing moves. Exits when the
+    /// chain is fully advanced or failed.
     fn worker_loop(&self) {
-        let num_blocks = self.blocks.len();
         let control = self.control;
         let mut backoff = Backoff::new();
         let mut idle_ns = 0u64;
@@ -412,7 +727,7 @@ where
                 break;
             }
             let head = control.active_block.load(Ordering::SeqCst);
-            if head >= num_blocks {
+            if head >= self.stream.total() {
                 break;
             }
             let mut progressed = false;
@@ -420,12 +735,13 @@ where
             if let Some(slot) = self.arena.slots[head % 2].try_read() {
                 if slot.generation == head {
                     let publications_before = self.frontier.publications();
-                    let worker = self.worker_over(&slot.state, head);
+                    let block = self.stream.block(head);
+                    let worker = self.worker_over(&slot.state, &block);
                     let (done, stint_progressed) = worker.run_stint(STINT_BUDGET, &control.failed);
                     head_done = done;
                     progressed |= stint_progressed;
                     if self.frontier.publications() > publications_before {
-                        self.sweep_successor(head, num_blocks);
+                        self.sweep_successor(head);
                     }
                 }
             }
@@ -441,15 +757,21 @@ where
                 // successor stint below and turns the wait into run-ahead.
                 progressed |= self.try_advance(head);
             }
-            if !progressed && head + 1 < num_blocks {
+            if !progressed {
                 // No work on the head: speculate on the gated successor.
                 if let Some(slot) = self.arena.slots[(head + 1) % 2].try_read() {
                     if slot.generation == head + 1 {
-                        let worker = self.worker_over(&slot.state, head + 1);
+                        let block = self.stream.block(head + 1);
+                        let worker = self.worker_over(&slot.state, &block);
                         let (_, stint_progressed) = worker.run_stint(STINT_BUDGET, &control.failed);
                         progressed |= stint_progressed;
                     }
                 }
+            }
+            if !progressed {
+                // Still nothing: see whether the source has new blocks for the
+                // free slot (or the head itself, if the stream had run dry).
+                progressed |= self.poll_stream();
             }
             if progressed {
                 backoff.reset();
@@ -470,10 +792,7 @@ where
     /// publication batch chain-wide. Purely a performance lever: it invalidates
     /// stale run-ahead speculation early. Safety never depends on these sweeps —
     /// only on the mandatory pre-gate-open sweep in [`try_advance`](Self::try_advance).
-    fn sweep_successor(&self, head: usize, num_blocks: usize) {
-        if head + 1 >= num_blocks {
-            return;
-        }
+    fn sweep_successor(&self, head: usize) {
         if let Some(slot) = self.arena.slots[(head + 1) % 2].try_read() {
             if slot.generation != head + 1
                 || slot.state.scheduler.commit_gate_open()
@@ -514,21 +833,21 @@ where
     /// recycling write lock, which waits out bounded stints only.
     fn try_advance(&self, head: usize) -> bool {
         let control = self.control;
-        let Some(mut advanced) = control.advance.try_lock() else {
+        let Some(mut st) = control.advance.try_lock() else {
             return false;
         };
-        if *advanced != head || control.failed.load(Ordering::SeqCst) {
+        if st.advanced != head || control.failed.load(Ordering::SeqCst) {
             return false;
         }
-        let num_blocks = self.blocks.len();
-        let block_size = self.blocks[head].len();
+        let block = self.stream.block(head);
+        let block_size = block.len();
 
         // Phase 1: final drain + harvest of the completed head block.
         {
             let slot = self.arena.slots[head % 2].read();
             debug_assert_eq!(slot.generation, head, "advance raced a recycle");
             let state = &slot.state;
-            let worker = self.worker_over(state, head);
+            let worker = self.worker_over(state, &block);
             worker.drain_commits(true);
             let (cut, failure, block_updates) = {
                 let mut drain = state.commit_drain.lock();
@@ -569,48 +888,75 @@ where
             }
             let output =
                 BlockOutput::new(updates, outputs, state.metrics.snapshot()).with_truncation(cut);
-            control.results.lock()[head] = Some(output);
+            let mut results = control.results.lock();
+            if results.len() <= head {
+                results.resize_with(head + 1, || None);
+            }
+            results[head] = Some(output);
         }
 
         // Phase 2: hand the commit stream to the successor, in stream order —
         // hooks learn about block `head + 1` before its first commit can be
         // drained, and the gate opens only after the mandatory sweep.
-        if head + 1 < num_blocks {
-            let successor_size = self.blocks[head + 1].len();
-            for sink in self.sinks {
-                sink.begin_block(successor_size);
+        st.advanced = head + 1;
+        match self.stream.status(head + 1) {
+            BlockStatus::Ready(successor_size) => {
+                self.announce(successor_size);
+                st.announced = head + 2;
+                if st.prepared >= head + 2 {
+                    // The successor has been speculating in the other slot.
+                    let slot = self.arena.slots[(head + 1) % 2].read();
+                    debug_assert_eq!(slot.generation, head + 1, "successor slot not prepared");
+                    let runahead =
+                        slot.state.scheduler.execution_cursor().min(successor_size) as u64;
+                    self.arena.chain_metrics.record_chain_block(runahead);
+                    // The frontier is frozen from the successor's point of view
+                    // (its predecessors have all committed and published).
+                    // Sweep, then open: the ladder's wave-freshness rule now
+                    // rejects any validation that predates this sweep, so no
+                    // stale frontier read can commit.
+                    slot.state.scheduler.trigger_full_revalidation();
+                    self.arena.chain_metrics.record_chain_sweep();
+                    slot.state.scheduler.set_commit_gate(true);
+                } else {
+                    // The successor arrived only after the head was already
+                    // running: nothing has speculated on it, the frontier is
+                    // frozen — prepare it directly as the open head, no sweep
+                    // needed (same argument as block 0).
+                    debug_assert_eq!(st.prepared, head + 1, "exactly the head was in flight");
+                    self.arena.chain_metrics.record_chain_block(0);
+                    let mut slot = self.arena.slots[(head + 1) % 2].write();
+                    slot.generation = head + 1;
+                    slot.state.reset(successor_size);
+                    slot.state.metrics.record_block(successor_size);
+                    slot.state.scheduler.set_commit_gate(true);
+                    drop(slot);
+                    st.prepared = head + 2;
+                }
             }
-            if let Some(limiter) = self.limiter {
-                limiter.begin_block(successor_size);
+            BlockStatus::Pending | BlockStatus::Ended => {
+                // Stream end, or the source has nothing ready yet — in the
+                // latter case `settle` prepares the next head (announced and
+                // gate-open) when it arrives.
+                self.arena.chain_metrics.record_chain_block(0);
             }
-            let slot = self.arena.slots[(head + 1) % 2].read();
-            debug_assert_eq!(slot.generation, head + 1, "successor slot not prepared");
-            let runahead = slot.state.scheduler.execution_cursor().min(successor_size) as u64;
-            self.arena.chain_metrics.record_chain_block(runahead);
-            // The frontier is frozen from the successor's point of view (its
-            // predecessors have all committed and published). Sweep, then open:
-            // the ladder's wave-freshness rule now rejects any validation that
-            // predates this sweep, so no stale frontier read can commit.
-            slot.state.scheduler.trigger_full_revalidation();
-            self.arena.chain_metrics.record_chain_sweep();
-            slot.state.scheduler.set_commit_gate(true);
-        } else {
-            self.arena.chain_metrics.record_chain_block(0);
         }
-        *advanced = head + 1;
         control.active_block.store(head + 1, Ordering::SeqCst);
 
         // Phase 3: recycle the freed slot for block `head + 2`, gated. The
         // write lock waits out any straggler stint still holding the old
         // generation (each such stint is bounded and exits fast on the `done`
         // scheduler); new stints check the generation and move on.
-        if head + 2 < num_blocks {
-            let mut slot = self.arena.slots[head % 2].write();
-            let next_size = self.blocks[head + 2].len();
-            slot.generation = head + 2;
-            slot.state.reset(next_size);
-            slot.state.metrics.record_block(next_size);
-            slot.state.scheduler.set_commit_gate(false);
+        if st.prepared == head + 2 {
+            if let BlockStatus::Ready(next_size) = self.stream.status(head + 2) {
+                let mut slot = self.arena.slots[head % 2].write();
+                slot.generation = head + 2;
+                slot.state.reset(next_size);
+                slot.state.metrics.record_block(next_size);
+                slot.state.scheduler.set_commit_gate(false);
+                drop(slot);
+                st.prepared = head + 3;
+            }
         }
         true
     }
@@ -882,6 +1228,123 @@ mod tests {
                 .find(|(key, _)| *key == 0)
                 .map(|(_, value)| *value);
             assert_eq!(final_key0, Some(10 * 4 * 5));
+        }
+    }
+
+    /// A source that yields its blocks only every `stride`-th call, so the
+    /// chain repeatedly runs dry and must take the late-arrival prepare path.
+    struct DribbleSource {
+        blocks: Mutex<std::collections::VecDeque<Vec<SyntheticTransaction>>>,
+        calls: AtomicUsize,
+        stride: usize,
+    }
+
+    impl BlockSource<SyntheticTransaction> for DribbleSource {
+        fn next_block(&self) -> BlockFeed<SyntheticTransaction> {
+            let calls = self.calls.fetch_add(1, Ordering::SeqCst);
+            if calls % self.stride != self.stride - 1 {
+                return BlockFeed::Pending;
+            }
+            match self.blocks.lock().pop_front() {
+                Some(block) => BlockFeed::Ready(block),
+                None => BlockFeed::End,
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_chain_matches_slice_execution() {
+        let storage = storage_with_keys(4);
+        let blocks: Vec<Vec<SyntheticTransaction>> = (0..10)
+            .map(|_| {
+                (0..12)
+                    .map(|i| SyntheticTransaction::increment(i % 4))
+                    .collect()
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let chain = BlockStmBuilder::new(Vm::for_testing())
+                .concurrency(threads)
+                .build_chain();
+            let source = DribbleSource {
+                blocks: Mutex::new(blocks.iter().cloned().collect()),
+                calls: AtomicUsize::new(0),
+                stride: 7,
+            };
+            let streamed = chain.execute_stream(&source, &storage).unwrap();
+            let sliced = chain.execute_chain(&blocks, &storage).unwrap();
+            assert_eq!(streamed.num_blocks(), blocks.len());
+            assert_eq!(streamed.updates, sliced.updates);
+            assert_eq!(streamed.metrics.chain_blocks, blocks.len() as u64);
+            for (index, (s, r)) in streamed.blocks.iter().zip(sliced.blocks.iter()).enumerate() {
+                assert_eq!(s.updates, r.updates, "block {index} updates diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_chain_accepts_closures_as_sources() {
+        let storage = storage_with_keys(4);
+        let pending = Mutex::new(
+            (0..4)
+                .map(|_| {
+                    (0..8)
+                        .map(|i| SyntheticTransaction::increment(i % 4))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<std::collections::VecDeque<_>>(),
+        );
+        let source = move || match pending.lock().pop_front() {
+            Some(block) => BlockFeed::Ready(block),
+            None => BlockFeed::End,
+        };
+        let chain = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .build_chain();
+        let output = chain.execute_stream(&source, &storage).unwrap();
+        assert_eq!(output.num_blocks(), 4);
+        assert_eq!(output.total_txns(), 32);
+    }
+
+    #[test]
+    fn empty_stream_returns_no_blocks() {
+        let chain = BlockStmBuilder::new(Vm::for_testing()).build_chain();
+        let storage = storage_with_keys(1);
+        let source = || BlockFeed::<SyntheticTransaction>::End;
+        let output = chain.execute_stream(&source, &storage).unwrap();
+        assert_eq!(output.num_blocks(), 0);
+        assert!(output.updates.is_empty());
+        // And the executor remains reusable for a real stream afterwards.
+        let blocks = vec![vec![SyntheticTransaction::increment(0)]];
+        let output = chain.execute_chain(&blocks, &storage).unwrap();
+        assert_eq!(output.num_blocks(), 1);
+    }
+
+    #[test]
+    fn streamed_gas_cut_matches_barrier() {
+        let storage = storage_with_keys(4);
+        let blocks: Vec<Vec<SyntheticTransaction>> = (0..4)
+            .map(|_| {
+                (0..10)
+                    .map(|i| SyntheticTransaction::increment(i % 4))
+                    .collect()
+            })
+            .collect();
+        let sequential = crate::sequential::SequentialExecutor::new(Vm::for_testing());
+        let full = sequential.execute_block(&blocks[0], &storage).unwrap();
+        let budget: u64 = full.outputs.iter().take(7).map(|o| o.gas_used).sum();
+        let chain = BlockStmBuilder::new(Vm::for_testing())
+            .concurrency(2)
+            .block_limiter::<u64, u64>(Arc::new(BlockGasLimit::new(budget)))
+            .build_chain();
+        let source = DribbleSource {
+            blocks: Mutex::new(blocks.iter().cloned().collect()),
+            calls: AtomicUsize::new(0),
+            stride: 5,
+        };
+        let streamed = chain.execute_stream(&source, &storage).unwrap();
+        for (index, block) in streamed.blocks.iter().enumerate() {
+            assert_eq!(block.truncated_at, Some(7), "block {index} cut diverges");
         }
     }
 

@@ -209,7 +209,7 @@ mod view;
 
 pub use adaptive::{AdaptiveDecision, AdaptiveExecutor, AdaptiveExecutorBuilder, EngineChoice};
 pub use block_stm::{BlockStm, BlockStmBuilder};
-pub use chain::{ChainExecutor, ChainOutput};
+pub use chain::{BlockFeed, BlockSource, ChainExecutor, ChainOutput};
 pub use config::ExecutorOptions;
 pub use errors::{ExecutionError, PanicCollector};
 pub use executor::BlockExecutor;

@@ -1,0 +1,260 @@
+//! A log-bucketed latency histogram for end-to-end per-transaction timings.
+//!
+//! The node records one sample per transaction (ingest→formed, then
+//! ingest→committed, in microseconds), so recording must be O(1) and the
+//! structure must merge cheaply across reporting intervals. Samples land in
+//! power-of-two buckets (`bucket = bits(value)`), which bounds the relative
+//! quantile error at 2x — plenty for latency percentiles spanning six orders
+//! of magnitude — while keeping the whole histogram at 65 counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one per possible bit-length of a `u64` sample, plus the
+/// zero bucket.
+const BUCKETS: usize = 65;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (microseconds, by
+/// convention, but the structure is unit-agnostic).
+///
+/// Percentile queries walk the cumulative counts and report the *upper bound*
+/// of the bucket the requested rank falls in, so `percentile(p)` is monotone
+/// in `p` by construction: the soak battery's `p50 <= p99` invariant can never
+/// be violated by bucketing artifacts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound of a bucket: the largest sample that lands in it.
+    fn bucket_upper(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else if bucket >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample recorded (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at or below which `pct` percent of samples fall, reported at
+    /// bucket resolution (upper bound of the bucket holding that rank, clamped
+    /// to the observed maximum). Returns 0 for an empty histogram.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = pct.clamp(0.0, 100.0);
+        // Rank of the sample we are after, 1-based: ceil(pct/100 * count),
+        // with at least rank 1 so percentile(0) is the smallest bucket.
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise merge of two histograms (counts add; min/max widen).
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Freezes the histogram into the plain percentile summary used by
+    /// reports and JSON dumps.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+/// A frozen percentile summary of a [`LatencyHistogram`] — plain serializable
+/// data for reports, JSON dumps and bench baselines. Values carry the unit of
+/// the recorded samples (microseconds by convention).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean sample.
+    pub mean: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LatencyHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.percentile(50.0), 0);
+        assert_eq!(hist.percentile(99.0), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.mean(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucket_bounded() {
+        let mut hist = LatencyHistogram::new();
+        for v in [3u64, 5, 9, 17, 33, 65, 129, 1025, 4097, 100_000] {
+            hist.record(v);
+        }
+        let p50 = hist.percentile(50.0);
+        let p90 = hist.percentile(90.0);
+        let p99 = hist.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} <= {p90} <= {p99}");
+        assert!(p99 <= hist.max());
+        // Each sample's bucket upper bound is < 2x the sample.
+        assert!(p50 >= 9, "median of the sample set lands at or above 9");
+    }
+
+    #[test]
+    fn percentile_is_within_2x_of_exact() {
+        let mut hist = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            hist.record(v);
+        }
+        let p50 = hist.percentile(50.0);
+        // Exact median is 500; bucket resolution may report up to the bucket
+        // upper bound (511) but never less than the true value.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p100 = hist.percentile(100.0);
+        assert_eq!(p100, 1000, "top percentile clamps to the observed max");
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_extremes() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        a.record(20);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+        assert!(a.percentile(99.0) >= 1000 || a.percentile(99.0) >= a.max());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut hist = LatencyHistogram::new();
+        for v in [5u64, 50, 500, 5000] {
+            hist.record(v);
+        }
+        let summary = hist.summary();
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: LatencySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+        assert_eq!(back.count, 4);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_json() {
+        let mut hist = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 1_000_000] {
+            hist.record(v);
+        }
+        let json = serde_json::to_string(&hist).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(hist, back);
+    }
+
+    #[test]
+    fn zero_samples_land_in_the_zero_bucket() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(0);
+        hist.record(0);
+        hist.record(u64::MAX);
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.percentile(50.0), 0);
+        assert_eq!(hist.max(), u64::MAX);
+    }
+}

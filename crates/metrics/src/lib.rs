@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod histogram;
 mod recorder;
 mod snapshot;
 
+pub use histogram::{LatencyHistogram, LatencySummary};
 pub use recorder::ExecutionMetrics;
 pub use snapshot::MetricsSnapshot;
 

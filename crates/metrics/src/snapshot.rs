@@ -92,6 +92,20 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Serializes the snapshot to its stable JSON form — a flat object keyed
+    /// by the field names above. This is the one wire format shared by the
+    /// node's periodic dump, bench `# json:` baselines and tests; both ends go
+    /// through the same serde codec, so a dump recorded by one can always be
+    /// read back by the others.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("MetricsSnapshot is plain data and always serializes")
+    }
+
+    /// Parses a snapshot back from [`to_json`](Self::to_json) output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
     /// Fraction of incarnations that were aborted by a failed validation.
     /// Returns 0.0 when no incarnations were recorded.
     pub fn abort_rate(&self) -> f64 {
@@ -290,5 +304,18 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn stable_json_helpers_round_trip() {
+        let snap = sample();
+        let json = snap.to_json();
+        // The stable format is a flat object keyed by field names.
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"committed_txns\":100"));
+        assert!(json.contains("\"chain_blocks\":4"));
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        assert!(MetricsSnapshot::from_json("not json").is_err());
     }
 }

@@ -720,6 +720,48 @@ where
         })
     }
 
+    /// Diagnostic: formats what a fresh resolution of `descriptor`'s location
+    /// observes for a reader at `txn_idx` (version, resolved sum, absence, or
+    /// a blocking estimate). Used by the opt-in chained-commit audit to report
+    /// the state a stale descriptor diverged from. Not on any hot path.
+    pub fn describe_resolution(
+        &self,
+        descriptor: &ReadDescriptor<K>,
+        txn_idx: TxnIndex,
+        base_of: impl Fn(&K) -> Option<u128>,
+    ) -> String
+    where
+        V: std::fmt::Debug,
+    {
+        self.resolve_descriptor_with(
+            descriptor,
+            txn_idx,
+            || base_of(&descriptor.key),
+            |read| format!("{read:?}"),
+        )
+    }
+
+    /// Diagnostic twin of
+    /// [`validate_read_set_with_frontier`](Self::validate_read_set_with_frontier):
+    /// returns the descriptors that no longer hold instead of a bare boolean,
+    /// so audit tooling can report exactly which read went stale. Not on any
+    /// hot path.
+    pub fn failed_read_descriptors(
+        &self,
+        txn_idx: TxnIndex,
+        base_of: impl Fn(&K) -> Option<u128>,
+        frontier_stamp_of: impl Fn(&K) -> Option<u64>,
+    ) -> Vec<ReadDescriptor<K>> {
+        self.last_read_set[txn_idx]
+            .load()
+            .iter()
+            .filter(|descriptor| {
+                !self.descriptor_still_holds(descriptor, txn_idx, &base_of, &frontier_stamp_of)
+            })
+            .cloned()
+            .collect()
+    }
+
     fn descriptor_still_holds(
         &self,
         descriptor: &ReadDescriptor<K>,

@@ -1,0 +1,209 @@
+//! The block former: cuts the mempool's FIFO prefix into blocks.
+//!
+//! A block is cut when any of three conditions holds:
+//!
+//! 1. **Count**: the queue holds at least `max_block_txns` transactions.
+//! 2. **Age**: the oldest queued transaction has waited at least `max_wait` —
+//!    the latency bound for lightly loaded nodes (a lone transaction never
+//!    waits for a full block).
+//! 3. **Drain**: the mempool is closed — shutdown flushes whatever is queued.
+//!
+//! An optional [`BlockLimiter`] (in practice [`BlockGasLimit`]) additionally
+//! caps each block by *estimated* gas: the former feeds the limiter a
+//! synthetic output carrying the estimator's gas guess per transaction, so a
+//! cut block is exactly the prefix a gas-limited engine would have admitted
+//! at those estimates. The first transaction of a block is always included
+//! even if its estimate alone busts the budget — otherwise an expensive
+//! transaction at the queue head would stall the node forever.
+//!
+//! The former never produces an empty block: an empty queue yields
+//! [`FormOutcome::NotYet`] (or [`FormOutcome::Drained`] once closed).
+//!
+//! [`BlockGasLimit`]: block_stm::BlockGasLimit
+
+use crate::mempool::Mempool;
+use block_stm::{BlockLimiter, Transaction};
+use block_stm_vm::TransactionOutput;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Estimates a transaction's gas before execution (used only for forming-time
+/// gas cuts; the engine still meters real gas).
+pub type GasEstimator<T> = Arc<dyn Fn(&T) -> u64 + Send + Sync>;
+
+/// A block cut from the mempool, with the bookkeeping the node needs to
+/// account for each transaction after commit.
+pub(crate) struct FormedBlock<T> {
+    pub txns: Vec<T>,
+    pub ids: Vec<u64>,
+    pub arrivals: Vec<Instant>,
+}
+
+/// What one forming attempt produced.
+pub(crate) enum FormOutcome<T> {
+    /// A non-empty block was cut.
+    Formed(FormedBlock<T>),
+    /// Nothing is due yet — poll again later.
+    NotYet,
+    /// The mempool is closed and empty: the stream has ended.
+    Drained,
+}
+
+/// Cut policy shared by the node's execution loop. See the module docs for
+/// the cut rule.
+pub(crate) struct BlockFormer<T: Transaction> {
+    pub max_block_txns: usize,
+    pub max_wait: Duration,
+    pub limiter: Option<Arc<dyn BlockLimiter<T::Key, T::Value>>>,
+    pub estimator: GasEstimator<T>,
+}
+
+impl<T: Transaction> BlockFormer<T> {
+    /// Attempts to cut one block at time `now`.
+    pub fn try_form(&self, mempool: &Mempool<T>, now: Instant) -> FormOutcome<T> {
+        let mut state = mempool.lock();
+        let Some(oldest) = state.queue.front() else {
+            return if state.closed {
+                FormOutcome::Drained
+            } else {
+                FormOutcome::NotYet
+            };
+        };
+        let due = state.closed
+            || state.queue.len() >= self.max_block_txns
+            || now.saturating_duration_since(oldest.arrived) >= self.max_wait;
+        if !due {
+            return FormOutcome::NotYet;
+        }
+
+        let candidates = state.queue.len().min(self.max_block_txns);
+        if let Some(limiter) = &self.limiter {
+            limiter.begin_block(candidates);
+        }
+        let mut txns = Vec::with_capacity(candidates);
+        let mut ids = Vec::with_capacity(candidates);
+        let mut arrivals = Vec::with_capacity(candidates);
+        while txns.len() < candidates {
+            let front = state.queue.front().expect("candidates bounded by len");
+            let mut closes_block = false;
+            if let Some(limiter) = &self.limiter {
+                let mut estimate = TransactionOutput::<T::Key, T::Value>::empty();
+                estimate.gas_used = (self.estimator)(&front.txn);
+                if !limiter.include_next(txns.len(), &estimate) {
+                    if !txns.is_empty() {
+                        break;
+                    }
+                    // Anti-livelock: the block's first transaction is admitted
+                    // even over budget (see module docs) — but it exhausts the
+                    // block by itself.
+                    closes_block = true;
+                }
+            }
+            let pending = state.queue.pop_front().expect("front checked above");
+            txns.push(pending.txn);
+            ids.push(pending.id);
+            arrivals.push(pending.arrived);
+            if closes_block {
+                break;
+            }
+        }
+        FormOutcome::Formed(FormedBlock {
+            txns,
+            ids,
+            arrivals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use block_stm::BlockGasLimit;
+    use block_stm_vm::synthetic::SyntheticTransaction;
+
+    fn former(
+        max_block_txns: usize,
+        max_wait: Duration,
+        budget: Option<u64>,
+        estimate: u64,
+    ) -> BlockFormer<SyntheticTransaction> {
+        BlockFormer {
+            max_block_txns,
+            max_wait,
+            limiter: budget
+                .map(|b| Arc::new(BlockGasLimit::new(b)) as Arc<dyn BlockLimiter<u64, u64>>),
+            estimator: Arc::new(move |_| estimate),
+        }
+    }
+
+    fn noop_txn() -> SyntheticTransaction {
+        SyntheticTransaction::put(0, 0)
+    }
+
+    #[test]
+    fn empty_mempool_never_forms_a_block() {
+        let mempool = Mempool::new(16);
+        let former = former(4, Duration::ZERO, None, 0);
+        assert!(matches!(
+            former.try_form(&mempool, Instant::now()),
+            FormOutcome::NotYet
+        ));
+        mempool.close();
+        assert!(matches!(
+            former.try_form(&mempool, Instant::now()),
+            FormOutcome::Drained
+        ));
+    }
+
+    #[test]
+    fn count_cut_takes_exactly_max_block_txns() {
+        let mempool = Mempool::new(16);
+        for _ in 0..6 {
+            mempool.submit(noop_txn()).unwrap();
+        }
+        let former = former(4, Duration::from_secs(3600), None, 0);
+        match former.try_form(&mempool, Instant::now()) {
+            FormOutcome::Formed(block) => {
+                assert_eq!(block.ids, vec![0, 1, 2, 3]);
+            }
+            _ => panic!("count cut expected"),
+        }
+        // Two remain, below the count threshold and younger than max_wait.
+        assert!(matches!(
+            former.try_form(&mempool, Instant::now()),
+            FormOutcome::NotYet
+        ));
+    }
+
+    #[test]
+    fn age_cut_fires_for_a_single_transaction() {
+        let mempool = Mempool::new(16);
+        mempool.submit(noop_txn()).unwrap();
+        let former = former(1024, Duration::from_millis(1), None, 0);
+        let later = Instant::now() + Duration::from_millis(5);
+        match former.try_form(&mempool, later) {
+            FormOutcome::Formed(block) => assert_eq!(block.txns.len(), 1),
+            _ => panic!("age cut expected"),
+        }
+    }
+
+    #[test]
+    fn gas_cut_bounds_the_block_but_admits_the_first_transaction() {
+        let mempool = Mempool::new(16);
+        for _ in 0..8 {
+            mempool.submit(noop_txn()).unwrap();
+        }
+        // Budget 25 at 10 gas each: txns 0 and 1 fit (20), txn 2 busts it.
+        let capped = former(8, Duration::ZERO, Some(25), 10);
+        match capped.try_form(&mempool, Instant::now()) {
+            FormOutcome::Formed(block) => assert_eq!(block.ids, vec![0, 1]),
+            _ => panic!("gas cut expected"),
+        }
+        // A budget smaller than any single estimate still forms singletons.
+        let tight = former(8, Duration::ZERO, Some(5), 10);
+        match tight.try_form(&mempool, Instant::now()) {
+            FormOutcome::Formed(block) => assert_eq!(block.ids, vec![2]),
+            _ => panic!("singleton expected"),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Bounded transaction mempool with backpressure.
+//!
+//! The mempool is the node's admission queue: producers [`submit`] from any
+//! thread, the block former drains in FIFO order. Capacity is a hard bound —
+//! a full mempool rejects the submission with a typed error instead of
+//! blocking or silently dropping, so open-loop drivers can observe and
+//! account for backpressure. Every admitted transaction is stamped with a
+//! submit id (dense, starting at 0) and an arrival timestamp; the ids feed
+//! the exactly-once commit audit and the timestamps feed the ingest→formed
+//! and ingest→committed latency histograms.
+//!
+//! [`submit`]: Mempool::submit
+
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The mempool holds `capacity` transactions; retry after the block
+    /// former drains some.
+    Full {
+        /// The configured capacity bound.
+        capacity: usize,
+    },
+    /// The node is shutting down and no longer accepts transactions.
+    Closed,
+}
+
+/// One admitted transaction waiting to be formed into a block.
+pub(crate) struct PendingTxn<T> {
+    pub txn: T,
+    pub id: u64,
+    pub arrived: Instant,
+}
+
+pub(crate) struct MempoolState<T> {
+    pub queue: VecDeque<PendingTxn<T>>,
+    pub closed: bool,
+    next_id: u64,
+}
+
+/// A bounded FIFO admission queue shared between submitters and the block
+/// former.
+pub(crate) struct Mempool<T> {
+    capacity: usize,
+    state: Mutex<MempoolState<T>>,
+}
+
+impl<T> Mempool<T> {
+    pub fn new(capacity: usize) -> Self {
+        Mempool {
+            capacity: capacity.max(1),
+            state: Mutex::new(MempoolState {
+                queue: VecDeque::new(),
+                closed: false,
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// Admits `txn`, assigning it the next submit id. Never blocks: a full
+    /// mempool returns [`SubmitError::Full`] immediately.
+    pub fn submit(&self, txn: T) -> Result<u64, SubmitError> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(SubmitError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push_back(PendingTxn {
+            txn,
+            id,
+            arrived: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// Stops admissions; transactions already queued still drain. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Locks the queue for the block former.
+    pub fn lock(&self) -> MutexGuard<'_, MempoolState<T>> {
+        self.state.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_assigns_dense_ids_and_bounds_capacity() {
+        let mempool = Mempool::new(3);
+        assert_eq!(mempool.submit(10u64), Ok(0));
+        assert_eq!(mempool.submit(11), Ok(1));
+        assert_eq!(mempool.submit(12), Ok(2));
+        assert_eq!(mempool.submit(13), Err(SubmitError::Full { capacity: 3 }));
+        // Rejection did not burn an id.
+        mempool.lock().queue.pop_front();
+        assert_eq!(mempool.submit(13), Ok(3));
+    }
+
+    #[test]
+    fn close_rejects_new_submissions_but_keeps_queued() {
+        let mempool = Mempool::new(8);
+        mempool.submit(1u64).unwrap();
+        mempool.close();
+        assert_eq!(mempool.submit(2), Err(SubmitError::Closed));
+        assert_eq!(mempool.len(), 1);
+    }
+}

@@ -419,6 +419,36 @@ impl Scheduler {
         self.txn_status[txn_idx].lock().status
     }
 
+    /// Diagnostic snapshot of one transaction's commit-freshness state plus the
+    /// validation cursor: `(incarnation, status, max_triggered_wave,
+    /// required_wave, validated_wave, cursor_idx, cursor_wave)`. Used by the
+    /// opt-in chained-commit audit; not on any hot path.
+    #[allow(clippy::type_complexity)]
+    pub fn wave_diagnostics(
+        &self,
+        txn_idx: TxnIndex,
+    ) -> (
+        Incarnation,
+        TxnStatus,
+        Wave,
+        Wave,
+        Option<Wave>,
+        usize,
+        Wave,
+    ) {
+        let entry = self.txn_status[txn_idx].lock();
+        let (cursor_idx, cursor_wave) = self.validation_cursor();
+        (
+            entry.incarnation,
+            entry.status,
+            entry.max_triggered_wave,
+            entry.required_wave,
+            entry.validated_wave,
+            cursor_idx,
+            cursor_wave,
+        )
+    }
+
     /// Capacity of the dependency list slot of `txn_idx` (steady-state allocation
     /// test hook).
     #[doc(hidden)]
@@ -590,6 +620,17 @@ impl Scheduler {
     /// returned task and the transaction's `max_triggered_wave` (the commit ladder's
     /// freshness floor). Committed transactions are never validatable: the committed
     /// prefix is permanently exempt from re-validation.
+    ///
+    /// The wave is stamped *before* the cursor advances, under the transaction's
+    /// status lock, with the advance itself a CAS performed while the lock is
+    /// still held. This ordering is load-bearing for the commit ladder's rule 2:
+    /// the ladder's rule 3 treats `cursor > k` as proof that the cursor's wave
+    /// has been stamped into `max_triggered_wave[k]` (or that `k` needs no
+    /// stamp). A simple `fetch_add` claim would open a window — cursor already
+    /// past `k`, stamp not yet taken — in which the ladder can commit `k`
+    /// against a stale older-wave validation; the claimer then finds `k`
+    /// `Committed`, discards the fresh validation that would have caught the
+    /// stale read, and the miscommit stands.
     fn next_version_to_validate(&self) -> Option<Task> {
         let (idx, _) = self.validation_cursor();
         if idx >= self.block_size {
@@ -597,16 +638,42 @@ impl Scheduler {
             return None;
         }
         self.num_active_tasks.increment();
-        let claimed = self.validation_idx.fetch_add(1, Ordering::SeqCst);
-        let (idx_to_validate, wave) = unpack_cursor(claimed);
-        if idx_to_validate < self.block_size {
-            let mut entry = self.txn_status[idx_to_validate].lock();
-            if entry.status.is_validatable() {
-                entry.max_triggered_wave = entry.max_triggered_wave.max(wave);
-                return Some(Task::validation(
-                    Version::new(idx_to_validate, entry.incarnation),
-                    wave,
-                ));
+        let mut current = self.validation_idx.load(Ordering::SeqCst);
+        loop {
+            let (idx_to_validate, wave) = unpack_cursor(current);
+            if idx_to_validate >= self.block_size {
+                break;
+            }
+            let entry_guard = &mut *self.txn_status[idx_to_validate].lock();
+            let validatable = entry_guard.status.is_validatable();
+            if validatable {
+                entry_guard.max_triggered_wave = entry_guard.max_triggered_wave.max(wave);
+            }
+            match self.validation_idx.compare_exchange(
+                current,
+                pack_cursor(idx_to_validate + 1, wave),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    if validatable {
+                        return Some(Task::validation(
+                            Version::new(idx_to_validate, entry_guard.incarnation),
+                            wave,
+                        ));
+                    }
+                    // Claimed a transaction with nothing to validate right now
+                    // (not yet executed, aborting, or already committed); its
+                    // freshness is covered by `required_wave` at hand-back or
+                    // by a later sweep.
+                    break;
+                }
+                Err(observed) => {
+                    // Lost the claim (another claimer advanced, or a decrease
+                    // started a new wave). The stamp taken above is at most
+                    // conservative — it can only demand a fresher validation.
+                    current = observed;
+                }
             }
         }
         self.num_active_tasks.decrement();

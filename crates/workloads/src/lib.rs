@@ -33,6 +33,9 @@
 //!   conflict and CPU-cost knobs, declared write-sets, and the
 //!   [`ConservationOracle`] that checks value conservation and nonce
 //!   monotonicity independently of any reference execution.
+//! * [`ArrivalProcess`] — deterministic open-loop arrival schedules
+//!   (fixed-rate and bursty) that turn any of the above into *traffic* for the
+//!   node's soak harness.
 //!
 //! All generators are deterministic in their seed — the account family is
 //! additionally bit-identical *across hosts* (see [`accounts::zipf`]).
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod accounts;
+mod arrival;
 mod commit_stall;
 mod delta_hotspot;
 mod hotspot;
@@ -52,6 +56,7 @@ pub use accounts::{
     block_fingerprint, ConservationOracle, ConservationReport, Erc20Op, Erc20Transaction,
     Erc20Workload, EthTransferTransaction, EthTransferWorkload, FeeMode, ZipfSampler,
 };
+pub use arrival::ArrivalProcess;
 pub use commit_stall::CommitStallWorkload;
 pub use delta_hotspot::DeltaHotspotWorkload;
 pub use hotspot::HotspotWorkload;
